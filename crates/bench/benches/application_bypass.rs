@@ -1,0 +1,55 @@
+//! Figure 6 (criterion form): residual wait after a fixed work interval for
+//! the two MPI stacks. The full sweep with the paper's axes is the `fig6`
+//! binary; this bench pins three representative points per stack so
+//! regressions in overlap behaviour show up in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portals_mpi::bypass::{calibrate_work, run_point, BypassConfig};
+use portals_net::LinkModel;
+use std::time::Duration;
+
+fn quick(cfg: BypassConfig) -> BypassConfig {
+    BypassConfig {
+        batch: 4,
+        repeats: 1,
+        link: LinkModel {
+            latency: Duration::from_micros(5),
+            bandwidth_bytes_per_sec: 200.0 * 1024.0 * 1024.0,
+            per_packet_overhead: Duration::from_micros(1),
+        },
+        ..cfg
+    }
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_application_bypass");
+    g.sample_size(10);
+    let work_ms = [0u64, 2, 8];
+    let iters_per_ms = calibrate_work(Duration::from_millis(1));
+
+    for ms in work_ms {
+        let iters = iters_per_ms * ms;
+        g.bench_with_input(BenchmarkId::new("portals_residual_wait", ms), &iters, |b, &w| {
+            b.iter_custom(|n| {
+                let mut total = Duration::ZERO;
+                for _ in 0..n {
+                    total += run_point(quick(BypassConfig::portals_style(w))).wait;
+                }
+                total
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gm_residual_wait", ms), &iters, |b, &w| {
+            b.iter_custom(|n| {
+                let mut total = Duration::ZERO;
+                for _ in 0..n {
+                    total += run_point(quick(BypassConfig::gm_style(w))).wait;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! §2's collective library: operation latency vs world size, plus the
+//! algorithm ablations (recursive-doubling vs reduce+broadcast allreduce,
+//! ring vs linear allgather).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portals_runtime::{AllgatherAlgo, AllreduceAlgo, Collectives, Job, JobConfig, ReduceOp};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run `op` once per rank inside a fresh job and return rank 0's wall time.
+fn timed_job<F>(n: usize, iters: u64, op: F) -> Duration
+where
+    F: Fn(&Collectives, u64) + Send + Sync + 'static,
+{
+    let nanos = Arc::new(AtomicU64::new(0));
+    let nanos2 = nanos.clone();
+    Job::launch(n, JobConfig::default(), move |env| {
+        let coll = Collectives::new(env.comm.clone());
+        coll.barrier();
+        let t0 = Instant::now();
+        for i in 0..iters {
+            op(&coll, i);
+        }
+        let elapsed = t0.elapsed();
+        if env.rank().0 == 0 {
+            nanos2.store(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        }
+    });
+    Duration::from_nanos(nanos.load(Ordering::Relaxed))
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec2_barrier");
+    g.sample_size(10);
+    for n in [2usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_custom(|iters| timed_job(n, iters, |coll, _| coll.barrier()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce_algos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec2_allreduce_1kB");
+    g.sample_size(10);
+    for n in [4usize, 8, 16] {
+        for algo in [AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::ReduceBroadcast] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), n),
+                &(n, algo),
+                |b, &(n, algo)| {
+                    b.iter_custom(move |iters| {
+                        timed_job(n, iters, move |coll, _| {
+                            let mut coll_local =
+                                Collectives::new(coll.comm().clone());
+                            coll_local.allreduce_algo = algo;
+                            let mut v = vec![1.0f64; 128];
+                            coll_local.allreduce(&mut v, ReduceOp::Sum);
+                        })
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec2_bcast_64kB");
+    g.sample_size(10);
+    for n in [2usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                timed_job(n, iters, |coll, _| {
+                    let mut data = vec![3u8; 64 * 1024];
+                    coll.bcast(0, &mut data);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allgather_algos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec2_allgather_4kB");
+    g.sample_size(10);
+    for algo in [AllgatherAlgo::Ring, AllgatherAlgo::Linear] {
+        for n in [4usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), n),
+                &(n, algo),
+                |b, &(n, algo)| {
+                    b.iter_custom(move |iters| {
+                        timed_job(n, iters, move |coll, _| {
+                            let mut coll_local =
+                                Collectives::new(coll.comm().clone());
+                            coll_local.allgather_algo = algo;
+                            let mine = vec![5u8; 4096];
+                            let _ = coll_local.allgather(&mine);
+                        })
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barrier, bench_allreduce_algos, bench_bcast, bench_allgather_algos);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figures 3–4: address translation cost.
+//!
+//! The Fig. 4 algorithm walks the match list linearly. This bench measures the
+//! walk against list length, hit position (front / middle / back / miss) and
+//! wildcard density — the costs an MPI implementation pays per posted receive
+//! under heavy pre-posting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portals::bench_support::MatchBench;
+use std::hint::black_box;
+
+fn bench_walk_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_walk_vs_length");
+    for len in [1usize, 16, 64, 256, 1024, 4096] {
+        let rig = MatchBench::new(len, None);
+        g.bench_with_input(BenchmarkId::new("match_last", len), &rig, |b, rig| {
+            b.iter(|| black_box(rig.translate((len - 1) as u64)))
+        });
+        g.bench_with_input(BenchmarkId::new("miss", len), &rig, |b, rig| {
+            b.iter(|| black_box(rig.translate_miss()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hit_position(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_hit_position");
+    let len = 1024usize;
+    let rig = MatchBench::new(len, None);
+    for (name, bits) in [("front", 0u64), ("middle", (len / 2) as u64), ("back", (len - 1) as u64)]
+    {
+        g.bench_with_input(BenchmarkId::new("hit", name), &bits, |b, &bits| {
+            b.iter(|| black_box(rig.translate(bits)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_wildcard_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_wildcard_density");
+    let len = 1024usize;
+    for density in [None, Some(64), Some(8)] {
+        let rig = MatchBench::new(len, density);
+        let label = density.map_or("exact_only".to_string(), |d| format!("every_{d}"));
+        g.bench_with_input(BenchmarkId::new("match_back", &label), &rig, |b, rig| {
+            b.iter(|| black_box(rig.translate((len - 1) as u64)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash_ablation(c: &mut Criterion) {
+    // DESIGN.md §6 ablation: ordered linear walk (spec semantics) vs a hash
+    // index over exact-match entries (valid when signatures are unique).
+    let mut g = c.benchmark_group("fig4_ablation_walk_vs_hash");
+    for len in [64usize, 1024, 4096] {
+        let rig = MatchBench::new(len, None);
+        let idx = rig.hash_index();
+        g.bench_with_input(BenchmarkId::new("linear_walk", len), &rig, |b, rig| {
+            b.iter(|| black_box(rig.translate((len - 1) as u64)))
+        });
+        g.bench_with_input(BenchmarkId::new("hash_index", len), &rig, |b, rig| {
+            b.iter(|| black_box(rig.translate_hashed(&idx, (len - 1) as u64)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walk_length,
+    bench_hit_position,
+    bench_wildcard_density,
+    bench_hash_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Tables 1–4: encode/decode cost of the four Portals message types.
+//!
+//! The paper's tables define what crosses the wire; this bench measures the
+//! serialization overhead our implementation adds per message, across payload
+//! sizes for the data-bearing types.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use portals_types::{MatchBits, ProcessId};
+use portals_wire::{
+    Ack, GetRequest, PortalsMessage, PutRequest, Reply, RequestHeader, ResponseHeader,
+    RAW_HANDLE_NONE,
+};
+use std::hint::black_box;
+
+fn req_header(len: u64) -> RequestHeader {
+    RequestHeader {
+        initiator: ProcessId::new(0, 1),
+        target: ProcessId::new(1, 1),
+        portal_index: 4,
+        cookie: 0,
+        match_bits: MatchBits::new(0xfeed_f00d),
+        offset: 0,
+        length: len,
+    }
+}
+
+fn resp_header(len: u64) -> ResponseHeader {
+    ResponseHeader {
+        initiator: ProcessId::new(1, 1),
+        target: ProcessId::new(0, 1),
+        portal_index: 4,
+        match_bits: MatchBits::new(0xfeed_f00d),
+        offset: 0,
+        md_handle: 7,
+        eq_handle: RAW_HANDLE_NONE,
+        requested_length: len,
+        manipulated_length: len,
+    }
+}
+
+fn bench_table1_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_put_request");
+    for size in [0usize, 256, 4096, 50 * 1024] {
+        let msg = PortalsMessage::Put(PutRequest {
+            header: req_header(size as u64),
+            ack_md: 7,
+            ack_eq: 8,
+            payload: Bytes::from(vec![0xab; size]),
+        });
+        let encoded = msg.encode();
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", size), &msg, |b, m| {
+            b.iter(|| black_box(m.encode()))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", size), &encoded, |b, e| {
+            b.iter(|| black_box(PortalsMessage::decode(e).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table2_ack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_ack");
+    let msg = PortalsMessage::Ack(Ack { header: resp_header(50 * 1024) });
+    let encoded = msg.encode();
+    g.bench_function("encode", |b| b.iter(|| black_box(msg.encode())));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(PortalsMessage::decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_table3_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_get_request");
+    let msg = PortalsMessage::Get(GetRequest { header: req_header(50 * 1024), reply_md: 7 });
+    let encoded = msg.encode();
+    g.bench_function("encode", |b| b.iter(|| black_box(msg.encode())));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(PortalsMessage::decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_table4_reply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_reply");
+    for size in [0usize, 4096, 50 * 1024] {
+        let msg = PortalsMessage::Reply(Reply {
+            header: resp_header(size as u64),
+            payload: Bytes::from(vec![0xcd; size]),
+        });
+        let encoded = msg.encode();
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", size), &msg, |b, m| {
+            b.iter(|| black_box(m.encode()))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", size), &encoded, |b, e| {
+            b.iter(|| black_box(PortalsMessage::decode(e).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_put,
+    bench_table2_ack,
+    bench_table3_get,
+    bench_table4_reply
+);
+criterion_main!(benches);

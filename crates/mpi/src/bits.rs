@@ -1,0 +1,119 @@
+//! Match-bit encoding for MPI selection state.
+//!
+//! §4.4: "each message contains a set of match bits that allow the receiver to
+//! determine where incoming messages should be placed ... the Portals API
+//! provides the flexibility needed for an efficient implementation of the
+//! send/receive operations in MPI."
+//!
+//! The 64 bits are packed `[context:16 | source rank:16 | tag:32]`, and the
+//! MPI wildcards map exactly onto the "don't care" masks of a match entry:
+//! `MPI_ANY_SOURCE` ignores the rank field, `MPI_ANY_TAG` the tag field.
+
+use portals_types::{MatchBits, MatchCriteria};
+
+/// Communicator context id (16 bits).
+pub type Context = u16;
+/// MPI tag (user tags must stay below [`MAX_USER_TAG`]).
+pub type Tag = u32;
+
+/// Tags at or above this value are reserved for internal protocols
+/// (barrier rounds, collective plumbing).
+pub const MAX_USER_TAG: Tag = 1 << 30;
+
+const SRC_SHIFT: u32 = 32;
+const CTX_SHIFT: u32 = 48;
+const TAG_MASK: u64 = 0xffff_ffff;
+const SRC_MASK: u64 = 0xffff << SRC_SHIFT;
+
+/// Pack `(context, source rank, tag)` into match bits.
+#[inline]
+pub fn encode(context: Context, src_rank: u16, tag: Tag) -> MatchBits {
+    MatchBits::new(
+        ((context as u64) << CTX_SHIFT) | ((src_rank as u64) << SRC_SHIFT) | tag as u64,
+    )
+}
+
+/// Unpack `(context, source rank, tag)`.
+#[inline]
+pub fn decode(bits: MatchBits) -> (Context, u16, Tag) {
+    let raw = bits.raw();
+    ((raw >> CTX_SHIFT) as u16, (raw >> SRC_SHIFT) as u16, (raw & TAG_MASK) as u32)
+}
+
+/// Build the receive-side criteria: exact context, optionally wildcarded
+/// source and tag.
+#[inline]
+pub fn recv_criteria(context: Context, src: Option<u16>, tag: Option<Tag>) -> MatchCriteria {
+    let must = encode(context, src.unwrap_or(0), tag.unwrap_or(0));
+    let mut ignore = 0u64;
+    if src.is_none() {
+        ignore |= SRC_MASK;
+    }
+    if tag.is_none() {
+        ignore |= TAG_MASK;
+    }
+    MatchCriteria::with_ignore(must, MatchBits::new(ignore))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let bits = encode(7, 42, 123456);
+        assert_eq!(decode(bits), (7, 42, 123456));
+    }
+
+    #[test]
+    fn exact_criteria_match_only_their_triple() {
+        let c = recv_criteria(1, Some(2), Some(3));
+        assert!(c.matches(encode(1, 2, 3)));
+        assert!(!c.matches(encode(1, 2, 4)));
+        assert!(!c.matches(encode(1, 3, 3)));
+        assert!(!c.matches(encode(2, 2, 3)));
+    }
+
+    #[test]
+    fn any_source_ignores_rank_only() {
+        let c = recv_criteria(5, None, Some(9));
+        assert!(c.matches(encode(5, 0, 9)));
+        assert!(c.matches(encode(5, 65535, 9)));
+        assert!(!c.matches(encode(5, 0, 10)));
+        assert!(!c.matches(encode(6, 0, 9)));
+    }
+
+    #[test]
+    fn any_tag_ignores_tag_only() {
+        let c = recv_criteria(5, Some(3), None);
+        assert!(c.matches(encode(5, 3, 0)));
+        assert!(c.matches(encode(5, 3, u32::MAX)));
+        assert!(!c.matches(encode(5, 4, 0)));
+    }
+
+    #[test]
+    fn fully_wild_still_pins_context() {
+        let c = recv_criteria(8, None, None);
+        assert!(c.matches(encode(8, 1, 2)));
+        assert!(!c.matches(encode(9, 1, 2)));
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrips(ctx in any::<u16>(), src in any::<u16>(), tag in any::<u32>()) {
+            prop_assert_eq!(decode(encode(ctx, src, tag)), (ctx, src, tag));
+        }
+
+        #[test]
+        fn wildcards_never_leak_across_fields(
+            ctx in any::<u16>(), src in any::<u16>(), tag in any::<u32>(),
+            other_src in any::<u16>(), other_tag in any::<u32>()
+        ) {
+            // ANY_SOURCE accepts any source but still requires the tag.
+            let c = recv_criteria(ctx, None, Some(tag));
+            prop_assert!(c.matches(encode(ctx, other_src, tag)));
+            prop_assert_eq!(c.matches(encode(ctx, src, other_tag)), other_tag == tag);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! MPI layer configuration.
+
+/// Which wire protocol the layer runs (see the crate docs for how these map
+/// onto the paper's §5.3 comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Protocol {
+    /// Portals-style: one matching put per message, any size, delivered
+    /// directly into posted buffers by the receive engine.
+    #[default]
+    EagerDirect,
+    /// GM-style: library-side matching; messages of `eager_limit` bytes or
+    /// more are announced with a request-to-send and pulled by the receiver's
+    /// library with a get.
+    Rendezvous {
+        /// Messages at or above this size use the RTS/get path.
+        eager_limit: usize,
+    },
+}
+
+
+/// Tuning for one process's MPI engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpiConfig {
+    /// Protocol selection.
+    pub protocol: Protocol,
+    /// Size of each unexpected-message slab, bytes.
+    pub slab_size: usize,
+    /// Number of slabs kept attached (each rotates out when its free space
+    /// drops below `slab_min_free` and is replaced).
+    pub slab_count: usize,
+    /// Rotate a slab out when its free space drops below this; must be at
+    /// least the largest message the application may send unexpectedly (in
+    /// `Rendezvous` mode: at least `eager_limit`).
+    pub slab_min_free: usize,
+    /// Event queue capacity; bounds outstanding operations.
+    pub eq_capacity: usize,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            protocol: Protocol::EagerDirect,
+            slab_size: 4 * 1024 * 1024,
+            slab_count: 2,
+            slab_min_free: 256 * 1024,
+            eq_capacity: 8192,
+        }
+    }
+}
+
+impl MpiConfig {
+    /// The GM-style baseline configuration used by the Figure 6 experiment.
+    pub fn gm_style() -> MpiConfig {
+        MpiConfig { protocol: Protocol::Rendezvous { eager_limit: 16 * 1024 }, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = MpiConfig::default();
+        assert!(c.slab_min_free < c.slab_size);
+        assert!(c.slab_count >= 1);
+        assert_eq!(c.protocol, Protocol::EagerDirect);
+    }
+
+    #[test]
+    fn gm_style_uses_rendezvous() {
+        match MpiConfig::gm_style().protocol {
+            Protocol::Rendezvous { eager_limit } => assert!(eager_limit > 0),
+            p => panic!("expected rendezvous, got {p:?}"),
+        }
+    }
+}

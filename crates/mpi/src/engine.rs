@@ -1,0 +1,700 @@
+//! The MPI progress engine.
+//!
+//! One engine exists per process. It owns a Portals [`NetworkInterface`], one
+//! event queue for all MPI traffic, and the per-process matching state:
+//! posted receives (in posting order), unexpected arrivals and rendezvous
+//! announcements (in wire-arrival order, totally ordered by a stamp so the
+//! MPI non-overtaking rule holds even when the two protocols mix).
+//!
+//! Portal assignments:
+//!
+//! | portal | use |
+//! |---|---|
+//! | 0 (`PT_MSG`) | eager message data: posted receives + overflow slabs |
+//! | 1 (`PT_CTRL`) | rendezvous request-to-send records |
+//! | 2 (`PT_RDVZ`) | exposed send buffers awaiting the receiver's get |
+//!
+//! In [`Protocol::EagerDirect`] posted receives are *hardware* match entries:
+//! the Portals receive engine steers data into user buffers with no MPI
+//! involvement (application bypass). In [`Protocol::Rendezvous`] no hardware
+//! entries exist: everything funnels through the slabs and is matched here,
+//! inside MPI calls — the GM-style baseline.
+
+use crate::bits::{self, Tag};
+use crate::config::{MpiConfig, Protocol};
+use crate::request::{Completion, ReqKind, Request, Status};
+use parking_lot::Mutex;
+use portals::{
+    iobuf, AckRequest, EqHandle, EventKind, IoBuf, MdHandle, MdOptions, MdSpec, MeHandle, MePos,
+    NetworkInterface, Threshold,
+};
+use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlError, PtlResult, Rank};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+const PT_MSG: u32 = 0;
+const PT_CTRL: u32 = 1;
+const PT_RDVZ: u32 = 2;
+/// ACL cookie: entry 0 = same parallel application (§4.5).
+const COOKIE: u32 = 0;
+/// Size of one rendezvous RTS record on the wire.
+const RTS_SIZE: usize = 16;
+/// Control slab capacity (RTS records).
+const CTRL_SLAB_RECORDS: usize = 4096;
+
+/// A posted-but-unmatched receive.
+struct PostedRecv {
+    id: u64,
+    criteria: MatchCriteria,
+    buf: IoBuf,
+    cap: usize,
+    /// `Some` when a hardware match entry backs this receive (EagerDirect).
+    hw: Option<(MeHandle, MdHandle)>,
+}
+
+/// An eager message sitting in an overflow slab.
+struct Arrival {
+    stamp: u64,
+    bits: MatchBits,
+    buf: IoBuf,
+    offset: usize,
+    mlength: usize,
+    rlength: usize,
+}
+
+/// A rendezvous announcement waiting for its receive.
+struct RtsRecord {
+    stamp: u64,
+    bits: MatchBits,
+    sender: ProcessId,
+    serial: u64,
+    total_len: u64,
+}
+
+/// An outstanding rendezvous pull (receiver-side get).
+struct PullInfo {
+    id: u64,
+    src: u16,
+    tag: Tag,
+    total_len: u64,
+    cap: usize,
+}
+
+struct EngState {
+    next_req: u64,
+    next_serial: u64,
+    next_stamp: u64,
+    sends: HashMap<MdHandle, u64>,
+    send_done: HashMap<u64, (u64, u64)>,
+    recvs: Vec<PostedRecv>,
+    recv_done: HashMap<u64, Status>,
+    pulls: HashMap<MdHandle, PullInfo>,
+    unexpected: VecDeque<Arrival>,
+    rts_waiting: VecDeque<RtsRecord>,
+    slab_me: MeHandle,
+    slab_mds: HashMap<MdHandle, IoBuf>,
+    ctrl_me: MeHandle,
+    ctrl_mds: HashMap<MdHandle, IoBuf>,
+}
+
+/// The per-process MPI engine (see module docs).
+pub struct MpiEngine {
+    ni: NetworkInterface,
+    eq: EqHandle,
+    config: MpiConfig,
+    state: Mutex<EngState>,
+}
+
+impl MpiEngine {
+    /// Build an engine on a network interface, setting up the message portal,
+    /// overflow slabs and control portal.
+    pub fn new(ni: NetworkInterface, config: MpiConfig) -> PtlResult<MpiEngine> {
+        let eq = ni.eq_alloc(config.eq_capacity)?;
+        let slab_me =
+            ni.me_attach(PT_MSG, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
+        let ctrl_me =
+            ni.me_attach(PT_CTRL, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
+        let engine = MpiEngine {
+            ni,
+            eq,
+            config,
+            state: Mutex::new(EngState {
+                next_req: 0,
+                next_serial: 0,
+                next_stamp: 0,
+                sends: HashMap::new(),
+                send_done: HashMap::new(),
+                recvs: Vec::new(),
+                recv_done: HashMap::new(),
+                pulls: HashMap::new(),
+                unexpected: VecDeque::new(),
+                rts_waiting: VecDeque::new(),
+                slab_me,
+                slab_mds: HashMap::new(),
+                ctrl_me,
+                ctrl_mds: HashMap::new(),
+            }),
+        };
+        {
+            let mut st = engine.state.lock();
+            for _ in 0..config.slab_count {
+                engine.attach_slab(&mut st)?;
+            }
+            engine.attach_ctrl_slab(&mut st)?;
+        }
+        Ok(engine)
+    }
+
+    /// The underlying interface (for counters and diagnostics).
+    pub fn ni(&self) -> &NetworkInterface {
+        &self.ni
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MpiConfig {
+        &self.config
+    }
+
+    fn attach_slab(&self, st: &mut EngState) -> PtlResult<()> {
+        let buf = iobuf(vec![0u8; self.config.slab_size]);
+        let md = self.ni.md_attach(
+            st.slab_me,
+            MdSpec::new(buf.clone()).with_eq(self.eq).with_options(MdOptions {
+                op_put: true,
+                op_get: false,
+                truncate: true,
+                manage_local_offset: true,
+                unlink_on_exhaustion: false,
+                min_free: self.config.slab_min_free,
+            }),
+        )?;
+        st.slab_mds.insert(md, buf);
+        Ok(())
+    }
+
+    fn attach_ctrl_slab(&self, st: &mut EngState) -> PtlResult<()> {
+        let buf = iobuf(vec![0u8; RTS_SIZE * CTRL_SLAB_RECORDS]);
+        let md = self.ni.md_attach(
+            st.ctrl_me,
+            MdSpec::new(buf.clone()).with_eq(self.eq).with_options(MdOptions {
+                op_put: true,
+                op_get: false,
+                truncate: true,
+                manage_local_offset: true,
+                unlink_on_exhaustion: false,
+                min_free: RTS_SIZE,
+            }),
+        )?;
+        st.ctrl_mds.insert(md, buf);
+        Ok(())
+    }
+
+    // ----- sending -----------------------------------------------------------
+
+    /// Nonblocking send of `data` to `dest` with the given context/rank/tag
+    /// triple. The data is snapshotted (the caller's slice need not outlive
+    /// the request).
+    pub fn isend(
+        &self,
+        context: bits::Context,
+        my_rank: u16,
+        dest: ProcessId,
+        tag: Tag,
+        data: &[u8],
+    ) -> PtlResult<Request> {
+        let match_bits = bits::encode(context, my_rank, tag);
+        let mut st = self.state.lock();
+        let id = st.next_req;
+        st.next_req += 1;
+
+        let rendezvous = match self.config.protocol {
+            Protocol::Rendezvous { eager_limit } => data.len() >= eager_limit,
+            Protocol::EagerDirect => false,
+        };
+
+        if rendezvous {
+            // Expose the payload for the receiver's get, then announce it.
+            let serial = st.next_serial;
+            st.next_serial += 1;
+            let me = self.ni.me_attach(
+                PT_RDVZ,
+                ProcessId::ANY,
+                MatchCriteria::exact(MatchBits::new(serial)),
+                true,
+                MePos::Back,
+            )?;
+            let md = self.ni.md_attach(
+                me,
+                MdSpec::new(iobuf(data.to_vec()))
+                    .with_eq(self.eq)
+                    .with_threshold(Threshold::Count(1))
+                    .with_options(MdOptions {
+                        op_put: false,
+                        op_get: true,
+                        truncate: true,
+                        unlink_on_exhaustion: true,
+                        ..Default::default()
+                    }),
+            )?;
+            st.sends.insert(md, id);
+
+            let mut rts = Vec::with_capacity(RTS_SIZE);
+            rts.extend_from_slice(&serial.to_le_bytes());
+            rts.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            // The RTS needs no completion tracking: put() snapshots the
+            // payload synchronously, so the MD can be unlinked immediately.
+            let rts_md = self.ni.md_bind(MdSpec::new(iobuf(rts)))?;
+            self.ni.put(rts_md, AckRequest::NoAck, dest, PT_CTRL, COOKIE, match_bits, 0)?;
+            let _ = self.ni.md_unlink(rts_md);
+        } else {
+            let md = self.ni.md_bind(
+                MdSpec::new(iobuf(data.to_vec()))
+                    .with_eq(self.eq)
+                    .with_threshold(Threshold::Count(1)),
+            )?;
+            st.sends.insert(md, id);
+            self.ni.put(md, AckRequest::Ack, dest, PT_MSG, COOKIE, match_bits, 0)?;
+        }
+        Ok(Request { id, kind: ReqKind::Send })
+    }
+
+    // ----- receiving ----------------------------------------------------------
+
+    /// Nonblocking receive into `buf` (up to `cap` bytes). `src`/`tag` of
+    /// `None` are the MPI wildcards.
+    pub fn irecv(
+        &self,
+        context: bits::Context,
+        src: Option<u16>,
+        tag: Option<Tag>,
+        buf: IoBuf,
+        cap: usize,
+    ) -> PtlResult<Request> {
+        let criteria = bits::recv_criteria(context, src, tag);
+        let mut st = self.state.lock();
+        let id = st.next_req;
+        st.next_req += 1;
+        self.drain(&mut st);
+
+        // Already arrived? Pick the oldest matching arrival across the eager
+        // and rendezvous queues (the stamp preserves wire order between them).
+        if self.take_waiting_match(&mut st, id, &criteria, &buf, cap) {
+            return Ok(Request { id, kind: ReqKind::Recv });
+        }
+
+        match self.config.protocol {
+            Protocol::EagerDirect => {
+                // Post a hardware match entry ahead of the overflow slab, with
+                // an inactive MD, then activate it atomically against the
+                // event queue (the PtlMDUpdate pattern).
+                let slab_me = st.slab_me;
+                let me = self.ni.me_attach(
+                    PT_MSG,
+                    ProcessId::ANY,
+                    criteria,
+                    true,
+                    MePos::Before(slab_me),
+                )?;
+                let md = self.ni.md_attach(
+                    me,
+                    MdSpec::new(buf.clone())
+                        .with_length(cap)
+                        .with_eq(self.eq)
+                        .with_threshold(Threshold::Count(0))
+                        .with_options(MdOptions {
+                            op_put: true,
+                            op_get: false,
+                            truncate: true,
+                            unlink_on_exhaustion: true,
+                            ..Default::default()
+                        }),
+                )?;
+                st.recvs.push(PostedRecv { id, criteria, buf, cap, hw: Some((me, md)) });
+                loop {
+                    match self.ni.md_update(md, Some(self.eq), |m| {
+                        m.threshold = Threshold::Count(1)
+                    }) {
+                        Ok(()) => break,
+                        Err(PtlError::NoUpdate) => {
+                            // Pending events might include the very message
+                            // this receive wants: drain and re-check.
+                            self.drain(&mut st);
+                            if st.recv_done.contains_key(&id) {
+                                break; // completed from a slab during drain
+                            }
+                        }
+                        Err(PtlError::InvalidMd) if st.recv_done.contains_key(&id) => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Protocol::Rendezvous { .. } => {
+                // Library-side matching only.
+                st.recvs.push(PostedRecv { id, criteria, buf, cap, hw: None });
+            }
+        }
+        Ok(Request { id, kind: ReqKind::Recv })
+    }
+
+    /// Search both waiting queues for the oldest arrival matching `criteria`;
+    /// consume it into `buf` (or start the rendezvous pull). True if matched.
+    fn take_waiting_match(
+        &self,
+        st: &mut EngState,
+        id: u64,
+        criteria: &MatchCriteria,
+        buf: &IoBuf,
+        cap: usize,
+    ) -> bool {
+        let eager_pos = st
+            .unexpected
+            .iter()
+            .position(|a| criteria.matches(a.bits))
+            .map(|i| (st.unexpected[i].stamp, i));
+        let rts_pos = st
+            .rts_waiting
+            .iter()
+            .position(|r| criteria.matches(r.bits))
+            .map(|i| (st.rts_waiting[i].stamp, i));
+        match (eager_pos, rts_pos) {
+            (None, None) => false,
+            (Some((_, i)), None) => {
+                let arrival = st.unexpected.remove(i).expect("indexed");
+                self.complete_eager(st, id, buf, cap, arrival);
+                true
+            }
+            (None, Some((_, i))) => {
+                let rts = st.rts_waiting.remove(i).expect("indexed");
+                self.start_pull(st, id, buf.clone(), cap, rts);
+                true
+            }
+            (Some((es, ei)), Some((rs, ri))) => {
+                if es < rs {
+                    let arrival = st.unexpected.remove(ei).expect("indexed");
+                    self.complete_eager(st, id, buf, cap, arrival);
+                } else {
+                    let rts = st.rts_waiting.remove(ri).expect("indexed");
+                    self.start_pull(st, id, buf.clone(), cap, rts);
+                }
+                true
+            }
+        }
+    }
+
+    /// Copy a slab arrival into the receive buffer and complete the request.
+    fn complete_eager(&self, st: &mut EngState, id: u64, buf: &IoBuf, cap: usize, a: Arrival) {
+        let n = a.mlength.min(cap);
+        if n > 0 {
+            let src = a.buf.lock();
+            let mut dst = buf.lock();
+            dst[..n].copy_from_slice(&src[a.offset..a.offset + n]);
+        }
+        let (_, src_rank, tag) = bits::decode(a.bits);
+        st.recv_done.insert(
+            id,
+            Status {
+                source: Rank(src_rank as u32),
+                tag,
+                len: n,
+                truncated: a.rlength > n,
+            },
+        );
+    }
+
+    /// Issue the rendezvous get for a matched announcement.
+    fn start_pull(&self, st: &mut EngState, id: u64, buf: IoBuf, cap: usize, rts: RtsRecord) {
+        let pull_len = rts.total_len.min(cap as u64);
+        let (_, src_rank, tag) = bits::decode(rts.bits);
+        let md = self
+            .ni
+            .md_bind(
+                MdSpec::new(buf)
+                    .with_length(cap)
+                    .with_eq(self.eq)
+                    .with_threshold(Threshold::Count(1)),
+            )
+            .expect("bind pull md");
+        st.pulls.insert(
+            md,
+            PullInfo { id, src: src_rank, tag, total_len: rts.total_len, cap },
+        );
+        self.ni
+            .get(md, rts.sender, PT_RDVZ, COOKIE, MatchBits::new(rts.serial), 0, pull_len)
+            .expect("rendezvous get");
+    }
+
+    /// Nonblocking probe (MPI_Iprobe): report the oldest arrived-but-unclaimed
+    /// message matching `(src, tag)` without consuming it. Only messages that
+    /// arrived *unexpected* are visible — which is the situation probe exists
+    /// for (deciding how to post the receive).
+    pub fn iprobe(&self, context: bits::Context, src: Option<u16>, tag: Option<Tag>) -> Option<Status> {
+        let criteria = bits::recv_criteria(context, src, tag);
+        let mut st = self.state.lock();
+        self.drain(&mut st);
+        let eager = st
+            .unexpected
+            .iter()
+            .filter(|a| criteria.matches(a.bits))
+            .min_by_key(|a| a.stamp)
+            .map(|a| (a.stamp, a.bits, a.rlength as u64));
+        let rts = st
+            .rts_waiting
+            .iter()
+            .filter(|r| criteria.matches(r.bits))
+            .min_by_key(|r| r.stamp)
+            .map(|r| (r.stamp, r.bits, r.total_len));
+        let (_, bits, len) = match (eager, rts) {
+            (None, None) => return None,
+            (Some(e), None) => e,
+            (None, Some(r)) => r,
+            (Some(e), Some(r)) => {
+                if e.0 < r.0 {
+                    e
+                } else {
+                    r
+                }
+            }
+        };
+        let (_, src_rank, tag) = bits::decode(bits);
+        Some(Status { source: Rank(src_rank as u32), tag, len: len as usize, truncated: false })
+    }
+
+    // ----- completion ----------------------------------------------------------
+
+    /// Nonblocking completion test. Consumes the request when complete.
+    pub fn test(&self, req: Request) -> Option<Completion> {
+        let mut st = self.state.lock();
+        self.drain(&mut st);
+        Self::take_completion(&mut st, req)
+    }
+
+    /// Drive progress without testing anything (an `MPI_Test`-like call for
+    /// the Figure 6 "test calls during work" variant).
+    pub fn progress(&self) {
+        let mut st = self.state.lock();
+        self.drain(&mut st);
+    }
+
+    /// Block until `req` completes or `timeout` expires.
+    pub fn wait_timeout(&self, req: Request, timeout: Duration) -> Option<Completion> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(c) = self.test(req) {
+                return Some(c);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            // Block briefly on the event queue. Under a host-driven interface
+            // this is also what pumps the Portals raw queue.
+            match self.ni.eq_poll(self.eq, Duration::from_micros(200)) {
+                Ok(ev) => {
+                    let mut st = self.state.lock();
+                    self.handle_event(&mut st, ev);
+                }
+                Err(PtlError::Timeout) | Err(PtlError::EqEmpty) => {}
+                Err(PtlError::EqDropped) => panic!(
+                    "MPI event queue overflowed — raise MpiConfig::eq_capacity"
+                ),
+                Err(e) => panic!("event queue failure: {e}"),
+            }
+        }
+    }
+
+    /// Block until `req` completes.
+    pub fn wait(&self, req: Request) -> Completion {
+        self.wait_timeout(req, Duration::from_secs(300)).expect("MPI wait timed out (5 min)")
+    }
+
+    /// Wait for every request, in order.
+    pub fn wait_all(&self, reqs: &[Request]) -> Vec<Completion> {
+        reqs.iter().map(|r| self.wait(*r)).collect()
+    }
+
+    /// Wait until any one of `reqs` completes; returns its index and
+    /// completion (MPI_Waitany).
+    pub fn wait_any(&self, reqs: &[Request]) -> (usize, Completion) {
+        assert!(!reqs.is_empty(), "wait_any needs at least one request");
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            {
+                let mut st = self.state.lock();
+                self.drain(&mut st);
+                for (i, r) in reqs.iter().enumerate() {
+                    if let Some(c) = Self::take_completion(&mut st, *r) {
+                        return (i, c);
+                    }
+                }
+            }
+            assert!(Instant::now() < deadline, "MPI wait_any timed out (5 min)");
+            match self.ni.eq_poll(self.eq, Duration::from_micros(200)) {
+                Ok(ev) => {
+                    let mut st = self.state.lock();
+                    self.handle_event(&mut st, ev);
+                }
+                Err(PtlError::Timeout) | Err(PtlError::EqEmpty) => {}
+                Err(e) => panic!("event queue failure: {e}"),
+            }
+        }
+    }
+
+    fn take_completion(st: &mut EngState, req: Request) -> Option<Completion> {
+        match req.kind {
+            ReqKind::Send => st
+                .send_done
+                .remove(&req.id)
+                .map(|(delivered, requested)| Completion::Send { delivered, requested }),
+            ReqKind::Recv => st.recv_done.remove(&req.id).map(Completion::Recv),
+        }
+    }
+
+    /// Bytes of unexpected-message buffering currently attached (the §4.1
+    /// memory-scaling metric: independent of peer count).
+    pub fn unexpected_buffer_bytes(&self) -> usize {
+        let st = self.state.lock();
+        st.slab_mds.len() * self.config.slab_size + st.ctrl_mds.len() * RTS_SIZE * CTRL_SLAB_RECORDS
+    }
+
+    /// Unconsumed unexpected arrivals (diagnostics).
+    pub fn unexpected_pending(&self) -> usize {
+        self.state.lock().unexpected.len()
+    }
+
+    // ----- event processing -----------------------------------------------------
+
+    /// Consume every pending event.
+    fn drain(&self, st: &mut EngState) {
+        loop {
+            match self.ni.eq_get(self.eq) {
+                Ok(ev) => self.handle_event(st, ev),
+                Err(PtlError::EqEmpty) => break,
+                Err(PtlError::EqDropped) => {
+                    panic!("MPI event queue overflowed — raise MpiConfig::eq_capacity")
+                }
+                Err(e) => panic!("event queue failure: {e}"),
+            }
+        }
+    }
+
+    fn handle_event(&self, st: &mut EngState, ev: portals::Event) {
+        match ev.kind {
+            EventKind::Sent => {}
+            EventKind::Ack => {
+                // Eager send completion: the target reports what it accepted.
+                if let Some(id) = st.sends.remove(&ev.md) {
+                    st.send_done.insert(id, (ev.mlength, ev.rlength));
+                    let _ = self.ni.md_unlink(ev.md);
+                }
+            }
+            EventKind::Get => {
+                // Rendezvous send completion: the receiver pulled the payload.
+                if let Some(id) = st.sends.remove(&ev.md) {
+                    st.send_done.insert(id, (ev.mlength, ev.rlength));
+                    // Exposed MD unlinks itself (threshold 1 + unlink flag).
+                }
+            }
+            EventKind::Reply => {
+                // Rendezvous receive completion.
+                if let Some(pull) = st.pulls.remove(&ev.md) {
+                    st.recv_done.insert(
+                        pull.id,
+                        Status {
+                            source: Rank(pull.src as u32),
+                            tag: pull.tag,
+                            len: ev.mlength as usize,
+                            truncated: pull.total_len as usize > pull.cap,
+                        },
+                    );
+                    let _ = self.ni.md_unlink(ev.md);
+                }
+            }
+            EventKind::Put => self.handle_put_event(st, ev),
+            EventKind::Unlink => {
+                // A slab rotated out: attach a replacement. (Buffers stay
+                // alive via Arc until their last unexpected message is
+                // consumed.)
+                if st.slab_mds.remove(&ev.md).is_some() {
+                    self.attach_slab(st).expect("replenish slab");
+                } else if st.ctrl_mds.remove(&ev.md).is_some() {
+                    self.attach_ctrl_slab(st).expect("replenish control slab");
+                }
+            }
+        }
+    }
+
+    fn handle_put_event(&self, st: &mut EngState, ev: portals::Event) {
+        if ev.portal_index == PT_CTRL {
+            // A rendezvous announcement.
+            let Some(buf) = st.ctrl_mds.get(&ev.md).cloned() else { return };
+            debug_assert_eq!(ev.mlength as usize, RTS_SIZE, "malformed RTS record");
+            let (serial, total_len) = {
+                let b = buf.lock();
+                let at = ev.offset as usize;
+                let serial = u64::from_le_bytes(b[at..at + 8].try_into().expect("slice"));
+                let total = u64::from_le_bytes(b[at + 8..at + 16].try_into().expect("slice"));
+                (serial, total)
+            };
+            let stamp = st.next_stamp;
+            st.next_stamp += 1;
+            let rts =
+                RtsRecord { stamp, bits: ev.match_bits, sender: ev.initiator, serial, total_len };
+            if let Some(pos) = st.recvs.iter().position(|r| r.criteria.matches(rts.bits)) {
+                let r = st.recvs.remove(pos);
+                if let Some((me, _)) = r.hw {
+                    let _ = self.ni.me_unlink(me);
+                }
+                self.start_pull(st, r.id, r.buf, r.cap, rts);
+            } else {
+                st.rts_waiting.push_back(rts);
+            }
+        } else if let Some(buf) = st.slab_mds.get(&ev.md).cloned() {
+            // An eager message landed in the overflow slab.
+            let stamp = st.next_stamp;
+            st.next_stamp += 1;
+            let arrival = Arrival {
+                stamp,
+                bits: ev.match_bits,
+                buf,
+                offset: ev.offset as usize,
+                mlength: ev.mlength as usize,
+                rlength: ev.rlength as usize,
+            };
+            if let Some(pos) = st.recvs.iter().position(|r| r.criteria.matches(arrival.bits)) {
+                let r = st.recvs.remove(pos);
+                if let Some((me, _)) = r.hw {
+                    // The receive was posted but not yet activated when this
+                    // message arrived: tear the hardware entry down and
+                    // deliver from the slab.
+                    let _ = self.ni.me_unlink(me);
+                }
+                let buf = r.buf.clone();
+                self.complete_eager(st, r.id, &buf, r.cap, arrival);
+            } else {
+                st.unexpected.push_back(arrival);
+            }
+        } else {
+            // Direct delivery into a posted hardware receive.
+            if let Some(pos) =
+                st.recvs.iter().position(|r| r.hw.map(|(_, md)| md) == Some(ev.md))
+            {
+                let r = st.recvs.remove(pos);
+                let (_, src_rank, tag) = bits::decode(ev.match_bits);
+                st.recv_done.insert(
+                    r.id,
+                    Status {
+                        source: Rank(src_rank as u32),
+                        tag,
+                        len: ev.mlength as usize,
+                        truncated: ev.rlength > ev.mlength,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MpiEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MpiEngine({}, {:?})", self.ni.id(), self.config.protocol)
+    }
+}

@@ -1,0 +1,183 @@
+//! An Intel NX compatibility shim.
+//!
+//! §2 of the paper: "Since Portals pre-dated the development of the MPI
+//! standard, multiple application-level message passing APIs were implemented
+//! on top of Portals, such as Intel's NX interface and nCUBE's Vertex
+//! interface." This module demonstrates that multi-protocol claim: the same
+//! matching engine that carries MPI also carries NX's *type*-addressed
+//! messages, concurrently, without either knowing about the other.
+//!
+//! NX (the Paragon's native interface) selects messages by a single integer
+//! *type* with `-1` as the wildcard; nodes are flat integers. The classic
+//! calls are `csend`/`crecv` (blocking), `isend`/`irecv` (returning message
+//! ids for `msgwait`), and `infocount`/`infonode`/`infotype` for the last
+//! received message's envelope.
+
+use crate::bits::Tag;
+use crate::comm::Communicator;
+use crate::request::Request;
+use parking_lot::Mutex;
+use portals::{iobuf, IoBuf};
+use portals_types::Rank;
+
+/// Highest NX type value (types map into the user tag space).
+pub const MAX_TYPE: i64 = (crate::bits::MAX_USER_TAG - 1) as i64;
+
+/// The wildcard type selector.
+pub const ANY_TYPE: i64 = -1;
+
+/// A received message plus its envelope (what `infocount`/`infonode`/
+/// `infotype` reported on the Paragon).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NxMessage {
+    /// The payload.
+    pub data: Vec<u8>,
+    /// Sending node.
+    pub node: i32,
+    /// Message type.
+    pub msg_type: i64,
+}
+
+/// An asynchronous NX operation id (`mid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mid(u64);
+
+enum Pending {
+    Send(Request),
+    Recv { req: Request, buf: IoBuf },
+}
+
+/// An NX endpoint over a communicator.
+pub struct Nx {
+    comm: Communicator,
+    pending: Mutex<Vec<(u64, Pending)>>,
+    next_mid: Mutex<u64>,
+    /// Envelope of the last completed receive (the `info*` calls).
+    last_info: Mutex<Option<(usize, i32, i64)>>,
+}
+
+fn type_to_tag(msg_type: i64) -> Tag {
+    assert!((0..=MAX_TYPE).contains(&msg_type), "NX type out of range: {msg_type}");
+    msg_type as Tag
+}
+
+impl Nx {
+    /// Wrap a communicator. NX "node numbers" are the communicator's ranks.
+    pub fn new(comm: Communicator) -> Nx {
+        Nx { comm, pending: Mutex::new(Vec::new()), next_mid: Mutex::new(0), last_info: Mutex::new(None) }
+    }
+
+    /// This node's number (`mynode()`).
+    pub fn mynode(&self) -> i32 {
+        self.comm.rank().0 as i32
+    }
+
+    /// Number of nodes (`numnodes()`).
+    pub fn numnodes(&self) -> i32 {
+        self.comm.size() as i32
+    }
+
+    /// Blocking typed send (`csend`).
+    pub fn csend(&self, msg_type: i64, data: &[u8], node: i32) {
+        self.comm.send(Rank(node as u32), type_to_tag(msg_type), data);
+    }
+
+    /// Blocking typed receive (`crecv`): `typesel` of [`ANY_TYPE`] matches any
+    /// type; any source matches (as on the Paragon).
+    pub fn crecv(&self, typesel: i64, max_len: usize) -> NxMessage {
+        let tag = (typesel != ANY_TYPE).then(|| type_to_tag(typesel));
+        let (data, status) = self.comm.recv(None, tag, max_len);
+        let msg = NxMessage { data, node: status.source.0 as i32, msg_type: status.tag as i64 };
+        *self.last_info.lock() = Some((msg.data.len(), msg.node, msg.msg_type));
+        msg
+    }
+
+    /// Asynchronous send (`isend`); complete with [`Nx::msgwait`].
+    pub fn isend(&self, msg_type: i64, data: &[u8], node: i32) -> Mid {
+        let req = self.comm.isend(Rank(node as u32), type_to_tag(msg_type), data);
+        self.register(Pending::Send(req))
+    }
+
+    /// Asynchronous receive (`irecv`); the data is retrieved by `msgwait`.
+    pub fn irecv(&self, typesel: i64, max_len: usize) -> Mid {
+        let tag = (typesel != ANY_TYPE).then(|| type_to_tag(typesel));
+        let buf = iobuf(vec![0u8; max_len]);
+        let req = self.comm.irecv(None, tag, buf.clone());
+        self.register(Pending::Recv { req, buf })
+    }
+
+    fn register(&self, p: Pending) -> Mid {
+        let mut next = self.next_mid.lock();
+        let mid = *next;
+        *next += 1;
+        self.pending.lock().push((mid, p));
+        Mid(mid)
+    }
+
+    /// Complete an asynchronous operation (`msgwait`). For receives, returns
+    /// the message; for sends, `None`.
+    pub fn msgwait(&self, mid: Mid) -> Option<NxMessage> {
+        let idx = self
+            .pending
+            .lock()
+            .iter()
+            .position(|(m, _)| *m == mid.0)
+            .expect("unknown or already-completed mid");
+        let (_, p) = self.pending.lock().remove(idx);
+        match p {
+            Pending::Send(req) => {
+                self.comm.wait(req);
+                None
+            }
+            Pending::Recv { req, buf } => {
+                let status = self.comm.wait(req).status().expect("recv status");
+                let data = buf.lock()[..status.len].to_vec();
+                let msg = NxMessage {
+                    data,
+                    node: status.source.0 as i32,
+                    msg_type: status.tag as i64,
+                };
+                *self.last_info.lock() = Some((msg.data.len(), msg.node, msg.msg_type));
+                Some(msg)
+            }
+        }
+    }
+
+    /// Byte count of the last received message (`infocount`).
+    pub fn infocount(&self) -> usize {
+        self.last_info.lock().expect("no message received yet").0
+    }
+
+    /// Sending node of the last received message (`infonode`).
+    pub fn infonode(&self) -> i32 {
+        self.last_info.lock().expect("no message received yet").1
+    }
+
+    /// Type of the last received message (`infotype`).
+    pub fn infotype(&self) -> i64 {
+        self.last_info.lock().expect("no message received yet").2
+    }
+
+    /// Global synchronization (`gsync`).
+    pub fn gsync(&self) {
+        self.comm.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn negative_types_other_than_wildcard_rejected() {
+        let _ = type_to_tag(-7);
+    }
+
+    #[test]
+    fn type_tag_mapping_is_identity_in_range() {
+        assert_eq!(type_to_tag(0), 0);
+        assert_eq!(type_to_tag(12345), 12345);
+        assert_eq!(type_to_tag(MAX_TYPE), MAX_TYPE as u32);
+    }
+}

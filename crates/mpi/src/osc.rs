@@ -1,0 +1,222 @@
+//! One-sided communication (MPI-2 style windows).
+//!
+//! §2 of the paper: the Puma MPI "contained a preliminary implementation of
+//! the MPI-2 one-sided functions", and §4.4 notes that Portals addressing
+//! `(process id, portal id, match bits, offset)` is exactly the triple-style
+//! addressing one-sided models (shmem, ST, MPI-2) use. This module is that
+//! preliminary implementation, rebuilt: a [`Window`] exposes a byte region on
+//! every rank; `put`/`get` move data with **no code running on the target
+//! process** (under application bypass — under a host-driven interface the
+//! target only serves one-sided traffic inside its own MPI calls, which is
+//! precisely the §5.2 progress problem the paper describes).
+//!
+//! Completion model (a simplification of MPI-2 epochs): `put` is asynchronous
+//! and completed by [`Window::flush`]; `get` is blocking; [`Window::fence`]
+//! flushes local operations and barriers, so after a fence every rank's puts
+//! are visible everywhere.
+
+use crate::comm::Communicator;
+use crate::request::Request;
+use portals::{
+    iobuf, AckRequest, EqHandle, EventKind, IoBuf, MdHandle, MdOptions, MdSpec, MeHandle, MePos,
+    Threshold,
+};
+use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlError, PtlResult, Rank};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Portal index reserved for one-sided windows.
+const PT_OSC: u32 = 3;
+/// ACL cookie: same-application entry.
+const COOKIE: u32 = 0;
+/// High bits marking window traffic; the low 32 bits carry the window id.
+const OSC_BASE: u64 = 0x05C0_0000_0000_0000;
+
+fn window_bits(win_id: u32) -> MatchBits {
+    MatchBits::new(OSC_BASE | win_id as u64)
+}
+
+/// An exposed memory window across all ranks of a communicator.
+///
+/// Creation is collective: every rank calls [`Window::create`] with the same
+/// `win_id` (ids are application-managed, like tag space) and its local
+/// region. The region stays exposed until the window is dropped.
+pub struct Window {
+    comm: Communicator,
+    win_id: u32,
+    eq: EqHandle,
+    me: MeHandle,
+    local: IoBuf,
+    /// Outstanding puts not yet acknowledged.
+    pending_puts: usize,
+    /// Gets in flight (md → destination buffer length check).
+    pending_gets: HashMap<MdHandle, usize>,
+}
+
+impl Window {
+    /// Collectively create a window exposing `local` on this rank.
+    pub fn create(comm: &Communicator, win_id: u32, local: IoBuf) -> PtlResult<Window> {
+        let ni = comm.engine().ni();
+        let eq = ni.eq_alloc(1024)?;
+        let me = ni.me_attach(
+            PT_OSC,
+            ProcessId::ANY,
+            MatchCriteria::exact(window_bits(win_id)),
+            false,
+            MePos::Back,
+        )?;
+        ni.md_attach(
+            me,
+            MdSpec::new(local.clone()).with_options(MdOptions {
+                op_put: true,
+                op_get: true,
+                truncate: false, // out-of-range one-sided access is an error
+                ..Default::default()
+            }),
+        )?;
+        let win = Window {
+            comm: comm.clone(),
+            win_id,
+            eq,
+            me,
+            local,
+            pending_puts: 0,
+            pending_gets: HashMap::new(),
+        };
+        // Exposure epoch starts aligned, so no rank touches a window that is
+        // not yet attached anywhere.
+        win.comm.barrier();
+        Ok(win)
+    }
+
+    /// The window id.
+    pub fn id(&self) -> u32 {
+        self.win_id
+    }
+
+    /// This rank's exposed region.
+    pub fn local(&self) -> &IoBuf {
+        &self.local
+    }
+
+    /// Asynchronous one-sided write of `data` into `target`'s window at byte
+    /// `offset`. Completed by [`Window::flush`] or [`Window::fence`].
+    pub fn put(&mut self, target: Rank, offset: u64, data: &[u8]) -> PtlResult<()> {
+        let ni = self.comm.engine().ni();
+        let md = ni.md_bind(
+            MdSpec::new(iobuf(data.to_vec()))
+                .with_eq(self.eq)
+                .with_threshold(Threshold::Count(1)),
+        )?;
+        ni.put(
+            md,
+            AckRequest::Ack,
+            self.comm.process(target),
+            PT_OSC,
+            COOKIE,
+            window_bits(self.win_id),
+            offset,
+        )?;
+        self.pending_puts += 1;
+        Ok(())
+    }
+
+    /// Blocking one-sided read of `len` bytes from `target`'s window at
+    /// `offset`.
+    pub fn get(&mut self, target: Rank, offset: u64, len: usize) -> PtlResult<Vec<u8>> {
+        let ni = self.comm.engine().ni();
+        let dst = iobuf(vec![0u8; len]);
+        let md = ni.md_bind(
+            MdSpec::new(dst.clone()).with_eq(self.eq).with_threshold(Threshold::Count(1)),
+        )?;
+        ni.get(
+            md,
+            self.comm.process(target),
+            PT_OSC,
+            COOKIE,
+            window_bits(self.win_id),
+            offset,
+            len as u64,
+        )?;
+        self.pending_gets.insert(md, len);
+
+        // Drain until this get's reply arrives (other completions are
+        // processed along the way).
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while self.pending_gets.contains_key(&md) {
+            if std::time::Instant::now() > deadline {
+                return Err(PtlError::Timeout);
+            }
+            self.pump(Duration::from_millis(1))?;
+        }
+        let out = dst.lock().clone();
+        Ok(out)
+    }
+
+    /// Wait until every outstanding put is acknowledged.
+    pub fn flush(&mut self) -> PtlResult<()> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while self.pending_puts > 0 || !self.pending_gets.is_empty() {
+            if std::time::Instant::now() > deadline {
+                return Err(PtlError::Timeout);
+            }
+            self.pump(Duration::from_millis(1))?;
+        }
+        Ok(())
+    }
+
+    /// MPI_Win_fence: complete local operations, then synchronize, so that
+    /// after the fence every rank observes every other rank's accesses.
+    pub fn fence(&mut self) -> PtlResult<()> {
+        self.flush()?;
+        self.comm.barrier();
+        Ok(())
+    }
+
+    /// Process one batch of window events.
+    fn pump(&mut self, timeout: Duration) -> PtlResult<()> {
+        let ni = self.comm.engine().ni();
+        match ni.eq_poll(self.eq, timeout) {
+            Ok(ev) => {
+                match ev.kind {
+                    EventKind::Ack => {
+                        self.pending_puts = self.pending_puts.saturating_sub(1);
+                        let _ = ni.md_unlink(ev.md);
+                    }
+                    EventKind::Reply => {
+                        self.pending_gets.remove(&ev.md);
+                        let _ = ni.md_unlink(ev.md);
+                    }
+                    EventKind::Sent | EventKind::Unlink => {}
+                    other => {
+                        debug_assert!(false, "unexpected window event {other:?}");
+                    }
+                }
+                Ok(())
+            }
+            Err(PtlError::Timeout) | Err(PtlError::EqEmpty) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Window {
+    fn drop(&mut self) {
+        let ni = self.comm.engine().ni();
+        let _ = ni.me_unlink(self.me);
+        let _ = ni.eq_free(self.eq);
+    }
+}
+
+impl std::fmt::Debug for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Window(id={}, pending_puts={})", self.win_id, self.pending_puts)
+    }
+}
+
+/// Convenience wrapper tying a request to its window (reserved for future
+/// nonblocking get support; kept private until then).
+#[allow(dead_code)]
+struct PendingOp {
+    req: Request,
+}

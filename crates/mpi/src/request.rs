@@ -1,0 +1,80 @@
+//! Requests and completion records.
+
+use crate::bits::Tag;
+use portals_types::Rank;
+
+/// Opaque identifier for an outstanding nonblocking operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    pub(crate) id: u64,
+    pub(crate) kind: ReqKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ReqKind {
+    Send,
+    Recv,
+}
+
+impl Request {
+    /// True if this is a send request.
+    pub fn is_send(&self) -> bool {
+        matches!(self.kind, ReqKind::Send)
+    }
+}
+
+/// Receive completion information (the `MPI_Status` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank of the sender within the communicator.
+    pub source: Rank,
+    /// Tag the message carried.
+    pub tag: Tag,
+    /// Bytes delivered into the receive buffer.
+    pub len: usize,
+    /// True if the incoming message was longer than the buffer
+    /// (MPI's `MPI_ERR_TRUNCATE` condition, reported rather than fatal).
+    pub truncated: bool,
+}
+
+/// What a completed request produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// A send finished.
+    Send {
+        /// Bytes the target accepted (less than requested if it truncated).
+        delivered: u64,
+        /// Bytes the send carried.
+        requested: u64,
+    },
+    /// A receive finished.
+    Recv(Status),
+}
+
+impl Completion {
+    /// The receive status, if this was a receive.
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            Completion::Recv(s) => Some(*s),
+            Completion::Send { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_status_projection() {
+        let s = Status { source: Rank(1), tag: 2, len: 3, truncated: false };
+        assert_eq!(Completion::Recv(s).status(), Some(s));
+        assert_eq!(Completion::Send { delivered: 1, requested: 1 }.status(), None);
+    }
+
+    #[test]
+    fn request_kind_projection() {
+        assert!(Request { id: 0, kind: ReqKind::Send }.is_send());
+        assert!(!Request { id: 0, kind: ReqKind::Recv }.is_send());
+    }
+}

@@ -1,0 +1,64 @@
+//! Simulation clock.
+//!
+//! All fabric timestamps are offsets from a common epoch so they can be compared
+//! across NICs, logged compactly, and fed to the benchmark harness.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic clock shared by everything attached to one fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct SimClock {
+    epoch: Instant,
+}
+
+impl SimClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        SimClock { epoch: Instant::now() }
+    }
+
+    /// Time elapsed since the fabric epoch.
+    #[inline]
+    pub fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// The underlying epoch instant (for converting deadlines back to `Instant`).
+    #[inline]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Convert a fabric-relative deadline into an absolute `Instant`.
+    #[inline]
+    pub fn instant_at(&self, offset: Duration) -> Instant {
+        self.epoch + offset
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic() {
+        let clock = SimClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn instant_roundtrip() {
+        let clock = SimClock::new();
+        let offset = Duration::from_millis(5);
+        let abs = clock.instant_at(offset);
+        assert_eq!(abs.duration_since(clock.epoch()), offset);
+    }
+}

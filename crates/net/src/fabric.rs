@@ -1,0 +1,513 @@
+//! The fabric: routing, the wire-model scheduler, partitions.
+
+use crate::clock::SimClock;
+use crate::config::FabricConfig;
+use crate::nic::{Datagram, Nic};
+use crate::stats::{FabricStats, FabricStatsSnapshot, NicStats};
+use crossbeam::channel::Sender;
+use parking_lot::{Condvar, Mutex, RwLock};
+use portals_types::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A packet waiting on the simulated wire.
+struct ScheduledPacket {
+    deliver_at: Duration,
+    seq: u64,
+    datagram: Datagram,
+}
+
+// BinaryHeap is a max-heap; order by Reverse externally, so implement Ord by
+// (deliver_at, seq) ascending-when-reversed.
+impl PartialEq for ScheduledPacket {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledPacket {}
+impl PartialOrd for ScheduledPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+struct WireState {
+    heap: BinaryHeap<Reverse<ScheduledPacket>>,
+    next_seq: u64,
+    rng: SmallRng,
+    /// Per-node egress "busy until" time (fabric-relative) for serialization.
+    egress_busy: HashMap<NodeId, Duration>,
+    shutdown: bool,
+}
+
+pub(crate) struct Shared {
+    pub(crate) clock: SimClock,
+    pub(crate) config: FabricConfig,
+    pub(crate) stats: FabricStats,
+    pub(crate) routes: RwLock<HashMap<NodeId, Sender<Datagram>>>,
+    partitions: RwLock<HashSet<(NodeId, NodeId)>>,
+    wire: Mutex<WireState>,
+    wire_cond: Condvar,
+    /// True when the link model and fault plan allow delivering in the sender's
+    /// thread (zero delay, no faults) — the scheduler is skipped entirely.
+    bypass_wire: bool,
+    alive: AtomicBool,
+}
+
+impl Shared {
+    fn is_partitioned(&self, src: NodeId, dst: NodeId) -> bool {
+        let p = self.partitions.read();
+        p.contains(&(src, dst))
+    }
+
+    fn deliver(&self, datagram: Datagram) {
+        let routes = self.routes.read();
+        match routes.get(&datagram.dst) {
+            Some(tx) => {
+                let bytes = datagram.payload.len() as u64;
+                if tx.send(datagram).is_ok() {
+                    self.stats.packets_delivered.fetch_add(1, Ordering::Relaxed);
+                    self.stats.bytes_delivered.fetch_add(bytes, Ordering::Relaxed);
+                } else {
+                    self.stats.packets_unroutable.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.stats.packets_unroutable.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Entry point used by [`Nic::send`].
+    pub(crate) fn send(&self, datagram: Datagram) {
+        self.stats.packets_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_sent.fetch_add(datagram.payload.len() as u64, Ordering::Relaxed);
+
+        if self.is_partitioned(datagram.src, datagram.dst) {
+            self.stats.packets_lost.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
+        if self.bypass_wire {
+            self.deliver(datagram);
+            return;
+        }
+
+        let now = self.clock.now();
+        let link = &self.config.link;
+        let faults = &self.config.faults;
+        let mut wire = self.wire.lock();
+
+        // Fault: loss.
+        if faults.loss_probability > 0.0 && wire.rng.gen::<f64>() < faults.loss_probability {
+            self.stats.packets_lost.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
+        // Egress serialization: the packet cannot start until the link is free.
+        let busy = wire.egress_busy.get(&datagram.src).copied().unwrap_or(Duration::ZERO);
+        let start = busy.max(now);
+        let occupy = link.occupancy(datagram.payload.len());
+        wire.egress_busy.insert(datagram.src, start + occupy);
+        let mut deliver_at = start + occupy + link.latency;
+
+        // Fault: jitter (may reorder).
+        if faults.max_jitter > Duration::ZERO {
+            let j = wire.rng.gen_range(0.0..faults.max_jitter.as_secs_f64());
+            deliver_at += Duration::from_secs_f64(j);
+        }
+
+        let duplicate = faults.duplicate_probability > 0.0
+            && wire.rng.gen::<f64>() < faults.duplicate_probability;
+
+        let seq = wire.next_seq;
+        wire.next_seq += 1;
+        wire.heap.push(Reverse(ScheduledPacket { deliver_at, seq, datagram: datagram.clone() }));
+        if duplicate {
+            self.stats.packets_duplicated.fetch_add(1, Ordering::Relaxed);
+            let seq = wire.next_seq;
+            wire.next_seq += 1;
+            wire.heap.push(Reverse(ScheduledPacket { deliver_at, seq, datagram }));
+        }
+        drop(wire);
+        self.wire_cond.notify_one();
+    }
+}
+
+/// The simulated network fabric.
+///
+/// Create one with [`Fabric::new`], attach NICs with [`Fabric::attach`], and let
+/// it drop when the simulation ends (the wire scheduler thread is joined on
+/// drop). `Fabric` is usually wrapped in an [`Arc`] and shared with every
+/// simulated node.
+pub struct Fabric {
+    shared: Arc<Shared>,
+    scheduler: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Fabric {
+    /// Build a fabric with the given configuration and start its wire scheduler.
+    pub fn new(config: FabricConfig) -> Self {
+        let bypass_wire = config.faults.is_fault_free()
+            && config.link.latency == Duration::ZERO
+            && config.link.per_packet_overhead == Duration::ZERO
+            && config.link.bandwidth_bytes_per_sec.is_infinite();
+        let shared = Arc::new(Shared {
+            clock: SimClock::new(),
+            stats: FabricStats::default(),
+            routes: RwLock::new(HashMap::new()),
+            partitions: RwLock::new(HashSet::new()),
+            wire: Mutex::new(WireState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                rng: SmallRng::seed_from_u64(config.seed),
+                egress_busy: HashMap::new(),
+                shutdown: false,
+            }),
+            wire_cond: Condvar::new(),
+            bypass_wire,
+            alive: AtomicBool::new(true),
+            config,
+        });
+
+        let scheduler = if bypass_wire {
+            None
+        } else {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("portals-net-wire".into())
+                    .spawn(move || wire_scheduler(shared))
+                    .expect("spawn wire scheduler"),
+            )
+        };
+
+        Fabric { shared, scheduler: Mutex::new(scheduler) }
+    }
+
+    /// An ideal fabric: instantaneous, lossless, in-order.
+    pub fn ideal() -> Self {
+        Fabric::new(FabricConfig::ideal())
+    }
+
+    /// Attach a NIC for node `nid`. Panics if the node is already attached —
+    /// attaching twice is a program structure bug, not a runtime condition.
+    pub fn attach(&self, nid: NodeId) -> Nic {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        {
+            let mut routes = self.shared.routes.write();
+            let prev = routes.insert(nid, tx);
+            assert!(prev.is_none(), "node {nid} attached twice");
+        }
+        Nic::new(nid, Arc::clone(&self.shared), rx, Arc::new(NicStats::default()))
+    }
+
+    /// The fabric clock (shared by all NICs).
+    pub fn clock(&self) -> SimClock {
+        self.shared.clock
+    }
+
+    /// Snapshot wire-level statistics.
+    pub fn stats(&self) -> FabricStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Sever the directed link `src → dst`. Packets sent while severed are lost
+    /// (and counted as lost). Use [`Fabric::partition`] for both directions.
+    pub fn sever(&self, src: NodeId, dst: NodeId) {
+        self.shared.partitions.write().insert((src, dst));
+    }
+
+    /// Sever both directions between `a` and `b`.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut p = self.shared.partitions.write();
+        p.insert((a, b));
+        p.insert((b, a));
+    }
+
+    /// Restore both directions between `a` and `b`.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let mut p = self.shared.partitions.write();
+        p.remove(&(a, b));
+        p.remove(&(b, a));
+    }
+
+    /// Number of currently attached NICs.
+    pub fn attached_count(&self) -> usize {
+        self.shared.routes.read().len()
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        self.shared.alive.store(false, Ordering::SeqCst);
+        {
+            let mut wire = self.shared.wire.lock();
+            wire.shutdown = true;
+        }
+        self.wire_cond_notify();
+        if let Some(handle) = self.scheduler.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Fabric {
+    fn wire_cond_notify(&self) {
+        self.shared.wire_cond.notify_all();
+    }
+}
+
+/// The wire scheduler: sleeps until the earliest packet's delivery time, then
+/// delivers every due packet in (time, seq) order.
+fn wire_scheduler(shared: Arc<Shared>) {
+    let mut wire = shared.wire.lock();
+    loop {
+        if wire.shutdown && wire.heap.is_empty() {
+            return;
+        }
+        let now = shared.clock.now();
+        match wire.heap.peek() {
+            Some(Reverse(pkt)) if pkt.deliver_at <= now => {
+                let pkt = wire.heap.pop().expect("peeked").0;
+                // Deliver without holding the wire lock: receivers may send from
+                // within channel callbacks in future revisions, and delivery can
+                // block on an unbounded channel only during allocation anyway.
+                drop(wire);
+                shared.deliver(pkt.datagram);
+                wire = shared.wire.lock();
+            }
+            Some(Reverse(pkt)) => {
+                let deadline = shared.clock.instant_at(pkt.deliver_at);
+                let _timed_out = shared.wire_cond.wait_until(&mut wire, deadline);
+            }
+            None => {
+                if wire.shutdown {
+                    return;
+                }
+                shared.wire_cond.wait(&mut wire);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LinkModel;
+    use crate::fault::FaultPlan;
+    use bytes::Bytes;
+
+    fn dgram(src: u32, dst: u32, len: usize) -> Bytes {
+        let _ = (src, dst);
+        Bytes::from(vec![0u8; len])
+    }
+
+    #[test]
+    fn ideal_fabric_delivers_in_order() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        for i in 0..100u8 {
+            a.send(NodeId(1), Bytes::from(vec![i]));
+        }
+        for i in 0..100u8 {
+            let d = b.recv().unwrap();
+            assert_eq!(d.src, NodeId(0));
+            assert_eq!(d.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn timed_fabric_delivers_in_order() {
+        let cfg = FabricConfig::default().with_link(LinkModel {
+            latency: Duration::from_micros(50),
+            bandwidth_bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+            per_packet_overhead: Duration::from_micros(1),
+        });
+        let fabric = Fabric::new(cfg);
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        for i in 0..50u8 {
+            a.send(NodeId(1), Bytes::from(vec![i; 64]));
+        }
+        for i in 0..50u8 {
+            let d = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(d.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn latency_is_observed() {
+        let latency = Duration::from_millis(20);
+        let cfg = FabricConfig::default().with_link(LinkModel {
+            latency,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            per_packet_overhead: Duration::ZERO,
+        });
+        let fabric = Fabric::new(cfg);
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        let t0 = std::time::Instant::now();
+        a.send(NodeId(1), Bytes::from_static(b"x"));
+        let _ = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= latency, "delivered after {elapsed:?}, expected >= {latency:?}");
+    }
+
+    #[test]
+    fn loss_injection_drops_packets() {
+        let cfg = FabricConfig::default().with_faults(FaultPlan::lossy(1.0)).with_link(LinkModel {
+            latency: Duration::from_micros(1),
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            per_packet_overhead: Duration::ZERO,
+        });
+        let fabric = Fabric::new(cfg);
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        for _ in 0..10 {
+            a.send(NodeId(1), dgram(0, 1, 8));
+        }
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        let stats = fabric.stats();
+        assert_eq!(stats.packets_lost, 10);
+        assert_eq!(stats.packets_delivered, 0);
+    }
+
+    #[test]
+    fn duplication_injection_duplicates() {
+        let cfg = FabricConfig::default()
+            .with_faults(FaultPlan::duplicating(1.0))
+            .with_link(LinkModel {
+                latency: Duration::from_micros(1),
+                bandwidth_bytes_per_sec: f64::INFINITY,
+                per_packet_overhead: Duration::ZERO,
+            });
+        let fabric = Fabric::new(cfg);
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        a.send(NodeId(1), dgram(0, 1, 8));
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert_eq!(fabric.stats().packets_duplicated, 1);
+    }
+
+    #[test]
+    fn partition_loses_traffic_and_heal_restores() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        fabric.partition(NodeId(0), NodeId(1));
+        a.send(NodeId(1), dgram(0, 1, 4));
+        assert!(b.try_recv().is_err());
+        fabric.heal(NodeId(0), NodeId(1));
+        a.send(NodeId(1), dgram(0, 1, 4));
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn sever_is_directional() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        fabric.sever(NodeId(0), NodeId(1));
+        a.send(NodeId(1), dgram(0, 1, 4));
+        assert!(b.try_recv().is_err());
+        // Reverse direction still works.
+        b.send(NodeId(0), dgram(1, 0, 4));
+        assert!(a.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn unroutable_packets_are_counted() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        a.send(NodeId(99), dgram(0, 99, 4));
+        assert_eq!(fabric.stats().packets_unroutable, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "attached twice")]
+    fn double_attach_panics() {
+        let fabric = Fabric::ideal();
+        let _a = fabric.attach(NodeId(0));
+        let _b = fabric.attach(NodeId(0));
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_sends() {
+        // 1 MB at 10 MB/s = 100 ms per packet; 3 packets ~= 300 ms from one egress.
+        let cfg = FabricConfig::default().with_link(LinkModel {
+            latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: 10.0 * 1024.0 * 1024.0,
+            per_packet_overhead: Duration::ZERO,
+        });
+        let fabric = Fabric::new(cfg);
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        let t0 = std::time::Instant::now();
+        for _ in 0..3 {
+            a.send(NodeId(1), Bytes::from(vec![0u8; 1024 * 1024]));
+        }
+        for _ in 0..3 {
+            b.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(250), "3 MB arrived in {elapsed:?}");
+    }
+
+    #[test]
+    fn seeded_loss_is_deterministic() {
+        let run = |seed: u64| {
+            let cfg = FabricConfig::default()
+                .with_faults(FaultPlan::lossy(0.5))
+                .with_seed(seed)
+                .with_link(LinkModel {
+                    latency: Duration::from_micros(1),
+                    bandwidth_bytes_per_sec: f64::INFINITY,
+                    per_packet_overhead: Duration::ZERO,
+                });
+            let fabric = Fabric::new(cfg);
+            let a = fabric.attach(NodeId(0));
+            let b = fabric.attach(NodeId(1));
+            for i in 0..200u8 {
+                a.send(NodeId(1), Bytes::from(vec![i]));
+            }
+            let mut got = Vec::new();
+            while let Ok(d) = b.recv_timeout(Duration::from_millis(100)) {
+                got.push(d.payload[0]);
+            }
+            got
+        };
+        let first = run(1234);
+        let second = run(1234);
+        let different = run(99);
+        assert_eq!(first, second, "same seed, same survivors");
+        assert!(!first.is_empty() && first.len() < 200, "50% loss plausible");
+        assert_ne!(first, different, "different seed, different pattern");
+    }
+
+    #[test]
+    fn detached_nic_frees_route() {
+        let fabric = Fabric::ideal();
+        {
+            let _a = fabric.attach(NodeId(0));
+            assert_eq!(fabric.attached_count(), 1);
+        }
+        assert_eq!(fabric.attached_count(), 0);
+        // Re-attach after detach is allowed.
+        let _a2 = fabric.attach(NodeId(0));
+        assert_eq!(fabric.attached_count(), 1);
+    }
+}

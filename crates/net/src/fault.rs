@@ -1,0 +1,80 @@
+//! Fault injection.
+//!
+//! Portals assumes a reliable, ordered transport; our transport crate has to
+//! *provide* that over an imperfect wire, exactly as the RTS/CTS module did.
+//! [`FaultPlan`] describes the imperfections the fabric injects so transport
+//! tests can prove recovery works.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Probabilistic fault injection plan for a fabric.
+///
+/// All probabilities are per-packet and independent. The default plan is
+/// fault-free, which also guarantees in-order per-pair delivery.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability a packet is silently dropped.
+    pub loss_probability: f64,
+    /// Probability a packet is delivered twice.
+    pub duplicate_probability: f64,
+    /// Maximum random extra delay added per packet. Non-zero jitter can reorder
+    /// packets between a pair — deliberately violating the in-order property so
+    /// the transport's sequencing is exercised.
+    pub max_jitter: Duration,
+}
+
+impl FaultPlan {
+    /// No faults: lossless, duplicate-free, in-order.
+    pub const NONE: FaultPlan = FaultPlan {
+        loss_probability: 0.0,
+        duplicate_probability: 0.0,
+        max_jitter: Duration::ZERO,
+    };
+
+    /// A lossy plan useful in tests.
+    pub fn lossy(p: f64) -> Self {
+        FaultPlan { loss_probability: p, ..Self::NONE }
+    }
+
+    /// A duplicating plan.
+    pub fn duplicating(p: f64) -> Self {
+        FaultPlan { duplicate_probability: p, ..Self::NONE }
+    }
+
+    /// A reordering plan (jitter up to `max`).
+    pub fn jittery(max: Duration) -> Self {
+        FaultPlan { max_jitter: max, ..Self::NONE }
+    }
+
+    /// True if this plan can never perturb traffic.
+    pub fn is_fault_free(&self) -> bool {
+        self.loss_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.max_jitter == Duration::ZERO
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fault_free() {
+        assert!(FaultPlan::default().is_fault_free());
+    }
+
+    #[test]
+    fn constructors_set_single_dimensions() {
+        assert_eq!(FaultPlan::lossy(0.5).loss_probability, 0.5);
+        assert!(!FaultPlan::lossy(0.5).is_fault_free());
+        assert_eq!(FaultPlan::duplicating(0.1).duplicate_probability, 0.1);
+        assert_eq!(FaultPlan::jittery(Duration::from_millis(1)).max_jitter, Duration::from_millis(1));
+    }
+}

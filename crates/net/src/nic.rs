@@ -1,0 +1,206 @@
+//! The NIC endpoint: what a simulated node holds to talk to the fabric.
+
+use crate::fabric::Shared;
+use crate::stats::NicStats;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use portals_types::NodeId;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One packet on the wire: source, destination, opaque payload.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes (cheaply cloneable).
+    pub payload: Bytes,
+}
+
+impl fmt::Debug for Datagram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Datagram({} -> {}, {} B)", self.src, self.dst, self.payload.len())
+    }
+}
+
+/// Errors from the receive calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// `try_recv` found nothing pending.
+    Empty,
+    /// `recv_timeout` expired.
+    Timeout,
+    /// The fabric has shut down.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Empty => f.write_str("no packet pending"),
+            RecvError::Timeout => f.write_str("receive timed out"),
+            RecvError::Disconnected => f.write_str("fabric shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A network interface attached to a fabric.
+///
+/// Sending is wait-free from the caller's perspective (the wire model delays
+/// *delivery*, not the send call — as with a real NIC ring buffer). Receiving
+/// offers blocking, non-blocking and bounded-wait variants; the Portals NIC
+/// engine built on top chooses per its progress model.
+pub struct Nic {
+    nid: NodeId,
+    shared: Arc<Shared>,
+    inbound: Receiver<Datagram>,
+    stats: Arc<NicStats>,
+}
+
+impl Nic {
+    pub(crate) fn new(
+        nid: NodeId,
+        shared: Arc<Shared>,
+        inbound: Receiver<Datagram>,
+        stats: Arc<NicStats>,
+    ) -> Self {
+        Nic { nid, shared, inbound, stats }
+    }
+
+    /// This NIC's node id.
+    #[inline]
+    pub fn nid(&self) -> NodeId {
+        self.nid
+    }
+
+    /// Send a packet to `dst`. Sends to unattached nodes vanish (counted in
+    /// fabric stats) — the wire gives no failure feedback, just like hardware.
+    pub fn send(&self, dst: NodeId, payload: Bytes) {
+        self.stats.record_send(payload.len());
+        self.shared.send(Datagram { src: self.nid, dst, payload });
+    }
+
+    /// Block until a packet arrives.
+    pub fn recv(&self) -> Result<Datagram, RecvError> {
+        match self.inbound.recv() {
+            Ok(d) => {
+                self.stats.record_recv(d.payload.len());
+                Ok(d)
+            }
+            Err(_) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Datagram, RecvError> {
+        match self.inbound.try_recv() {
+            Ok(d) => {
+                self.stats.record_recv(d.payload.len());
+                Ok(d)
+            }
+            Err(TryRecvError::Empty) => Err(RecvError::Empty),
+            Err(TryRecvError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Datagram, RecvError> {
+        match self.inbound.recv_timeout(timeout) {
+            Ok(d) => {
+                self.stats.record_recv(d.payload.len());
+                Ok(d)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Number of packets queued for this NIC right now.
+    pub fn pending(&self) -> usize {
+        self.inbound.len()
+    }
+
+    /// This NIC's traffic counters.
+    pub fn stats(&self) -> &NicStats {
+        &self.stats
+    }
+
+    /// A clone of the inbound receiver, for NIC engines that park a dedicated
+    /// thread on it.
+    pub fn inbound_receiver(&self) -> Receiver<Datagram> {
+        self.inbound.clone()
+    }
+}
+
+impl Drop for Nic {
+    fn drop(&mut self) {
+        self.shared.routes.write().remove(&self.nid);
+    }
+}
+
+impl fmt::Debug for Nic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nic({})", self.nid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+
+    #[test]
+    fn loopback_send_recv() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        a.send(NodeId(0), Bytes::from_static(b"self"));
+        let d = a.recv().unwrap();
+        assert_eq!(d.src, NodeId(0));
+        assert_eq!(d.dst, NodeId(0));
+        assert_eq!(&d.payload[..], b"self");
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        assert_eq!(a.try_recv().unwrap_err(), RecvError::Empty);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        let err = a.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvError::Timeout);
+    }
+
+    #[test]
+    fn pending_counts_queued() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        for _ in 0..3 {
+            a.send(NodeId(1), Bytes::from_static(b"x"));
+        }
+        assert_eq!(b.pending(), 3);
+    }
+
+    #[test]
+    fn nic_stats_track_traffic() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        a.send(NodeId(1), Bytes::from(vec![0u8; 100]));
+        let _ = b.recv().unwrap();
+        assert_eq!(a.stats().sent.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(a.stats().bytes_sent.load(std::sync::atomic::Ordering::Relaxed), 100);
+        assert_eq!(b.stats().received.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(b.stats().bytes_received.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+}

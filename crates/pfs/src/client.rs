@@ -1,0 +1,217 @@
+//! The file-service client.
+
+use crate::proto::{
+    FsError, FsOp, FsResult, FsStatus, Reply, Request, FileId, PT_FS_DATA, PT_FS_REP,
+    PT_FS_REQ, REPLY_SIZE,
+};
+use portals::{
+    iobuf, AckRequest, EqHandle, EventKind, MdSpec, MePos, NetworkInterface, Threshold,
+};
+use portals_types::{MatchBits, MatchCriteria, ProcessId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Deadline for any single server interaction.
+const RPC_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A client handle to one file server.
+///
+/// Not `Sync`-hostile: one client may be used from one thread; spin up one
+/// client per thread for concurrency (they share the interface safely).
+pub struct FsClient {
+    ni: NetworkInterface,
+    server: ProcessId,
+    eq: EqHandle,
+    next_reply_bits: AtomicU64,
+}
+
+impl FsClient {
+    /// Connect (connectionless-ly: just remember the server's address).
+    pub fn new(ni: NetworkInterface, server: ProcessId) -> FsResult<FsClient> {
+        let eq = ni.eq_alloc(256)?;
+        Ok(FsClient { ni, server, eq, next_reply_bits: AtomicU64::new(0x0F5C_0000_0000_0000) })
+    }
+
+    /// The underlying interface.
+    pub fn ni(&self) -> &NetworkInterface {
+        &self.ni
+    }
+
+    /// One request/reply exchange.
+    fn rpc(&self, mut req: Request) -> FsResult<Reply> {
+        let bits = self.next_reply_bits.fetch_add(1, Ordering::Relaxed);
+        req.reply_bits = bits;
+
+        // Arm the reply slot before sending the request.
+        let me = self.ni.me_attach(
+            PT_FS_REP,
+            ProcessId::ANY,
+            MatchCriteria::exact(MatchBits::new(bits)),
+            true,
+            MePos::Back,
+        )?;
+        let reply_buf = iobuf(vec![0u8; REPLY_SIZE]);
+        self.ni.md_attach(
+            me,
+            MdSpec::new(reply_buf.clone())
+                .with_eq(self.eq)
+                .with_threshold(Threshold::Count(1))
+                .with_options(portals::MdOptions {
+                    unlink_on_exhaustion: true,
+                    ..Default::default()
+                }),
+        )?;
+
+        let req_md = self.ni.md_bind(MdSpec::new(iobuf(req.encode())))?;
+        self.ni.put(
+            req_md,
+            AckRequest::NoAck,
+            self.server,
+            PT_FS_REQ,
+            0,
+            MatchBits::new(bits), // informational; the slab matches anything
+            0,
+        )?;
+        let _ = self.ni.md_unlink(req_md);
+
+        // Wait for the reply record.
+        let deadline = std::time::Instant::now() + RPC_TIMEOUT;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(FsError::Timeout)?;
+            match self.ni.eq_poll(self.eq, remaining) {
+                Ok(ev) if ev.kind == EventKind::Put && ev.match_bits == MatchBits::new(bits) => {
+                    let bytes = reply_buf.lock().clone();
+                    let reply = Reply::decode(&bytes)?;
+                    return match reply.status {
+                        FsStatus::Ok => Ok(reply),
+                        FsStatus::NotFound => Err(FsError::NotFound),
+                        FsStatus::OutOfRange => Err(FsError::OutOfRange),
+                        FsStatus::Bad | FsStatus::Busy => Err(FsError::Rejected),
+                    };
+                }
+                Ok(_) => continue, // unrelated event (stale unlink etc.)
+                Err(portals_types::PtlError::Timeout) => return Err(FsError::Timeout),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn named_op(&self, op: FsOp, name: &[u8]) -> FsResult<Reply> {
+        self.rpc(Request { op, file: 0, offset: 0, len: 0, reply_bits: 0, name: name.to_vec() })
+    }
+
+    /// Create (or truncate) a file; returns its id.
+    pub fn create(&self, name: &[u8]) -> FsResult<FileId> {
+        Ok(self.named_op(FsOp::Create, name)?.file)
+    }
+
+    /// Open an existing file; returns `(id, size)`.
+    pub fn open(&self, name: &[u8]) -> FsResult<(FileId, u64)> {
+        let r = self.named_op(FsOp::Open, name)?;
+        Ok((r.file, r.size))
+    }
+
+    /// Remove a file.
+    pub fn remove(&self, name: &[u8]) -> FsResult<()> {
+        self.named_op(FsOp::Remove, name).map(|_| ())
+    }
+
+    /// Current size of an open file.
+    pub fn stat(&self, file: FileId) -> FsResult<u64> {
+        let r = self.rpc(Request {
+            op: FsOp::Stat,
+            file,
+            offset: 0,
+            len: 0,
+            reply_bits: 0,
+            name: Vec::new(),
+        })?;
+        Ok(r.size)
+    }
+
+    /// Read `len` bytes at `offset`: request a grant, then pull the data with
+    /// a one-sided get straight out of the server's file buffer.
+    pub fn read(&self, file: FileId, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let grant = self.rpc(Request {
+            op: FsOp::Read,
+            file,
+            offset,
+            len: len as u64,
+            reply_bits: 0,
+            name: Vec::new(),
+        })?;
+        let dst = iobuf(vec![0u8; len]);
+        let md = self
+            .ni
+            .md_bind(MdSpec::new(dst.clone()).with_eq(self.eq).with_threshold(Threshold::Count(1)))?;
+        self.ni.get(
+            md,
+            self.server,
+            PT_FS_DATA,
+            0,
+            MatchBits::new(grant.grant_bits),
+            offset,
+            grant.grant_len,
+        )?;
+        self.wait_md_event(md, EventKind::Reply)?;
+        let _ = self.ni.md_unlink(md);
+        let out = dst.lock().clone();
+        Ok(out)
+    }
+
+    /// Write `data` at `offset`: request a grant, then put the bytes directly
+    /// into the server's file buffer; the put's ack is the completion.
+    pub fn write(&self, file: FileId, offset: u64, data: &[u8]) -> FsResult<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let grant = self.rpc(Request {
+            op: FsOp::Write,
+            file,
+            offset,
+            len: data.len() as u64,
+            reply_bits: 0,
+            name: Vec::new(),
+        })?;
+        let md = self
+            .ni
+            .md_bind(
+                MdSpec::new(iobuf(data.to_vec()))
+                    .with_eq(self.eq)
+                    .with_threshold(Threshold::Count(1)),
+            )?;
+        self.ni.put(
+            md,
+            AckRequest::Ack,
+            self.server,
+            PT_FS_DATA,
+            0,
+            MatchBits::new(grant.grant_bits),
+            offset,
+        )?;
+        self.wait_md_event(md, EventKind::Ack)?;
+        let _ = self.ni.md_unlink(md);
+        Ok(())
+    }
+
+    /// Wait for a specific event kind on a specific MD (skipping Sent etc.).
+    fn wait_md_event(&self, md: portals::MdHandle, kind: EventKind) -> FsResult<()> {
+        let deadline = std::time::Instant::now() + RPC_TIMEOUT;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(FsError::Timeout)?;
+            match self.ni.eq_poll(self.eq, remaining) {
+                Ok(ev) if ev.md == md && ev.kind == kind => return Ok(()),
+                Ok(_) => continue,
+                Err(portals_types::PtlError::Timeout) => return Err(FsError::Timeout),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! A remote file service over raw Portals — the I/O-protocol substrate.
+//!
+//! §2 of the paper: "the only way to communicate with a process on a compute
+//! node is via Portals, [so] they had to support not only application message
+//! passing, but also I/O protocols to a remote filesystem". This crate
+//! rebuilds that substrate in the Portals idiom:
+//!
+//! * **Requests** are fixed-size records put into the server's request portal
+//!   (a managed-offset slab, the same §4.1 expected-message pattern the MPI
+//!   layer uses).
+//! * **Reads are one-sided**: the server responds to a READ by *exposing* the
+//!   file region as a one-shot match entry and granting the client match bits;
+//!   the client then **gets** the data straight out of the server's file
+//!   buffer. The server process does no per-byte work — under application
+//!   bypass its involvement ends at the grant.
+//! * **Writes are granted puts**: the server exposes a writable one-shot
+//!   region and the client puts directly into file memory, with the put's ack
+//!   serving as the client's completion.
+//! * **Striping** ([`stripe::StripedFile`]) spreads a logical file across
+//!   multiple servers in fixed-size stripe units, with the per-server
+//!   transfers issued in parallel.
+//!
+//! The server is a *system process* in the §4.5 sense: deployments register it
+//! as such in the job directory and clients reach it through ACL entry 1 (the
+//! tests also exercise the open default configuration).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod stripe;
+
+pub use client::FsClient;
+pub use proto::{FileId, FsError, FsResult};
+pub use server::FileServer;
+pub use stripe::StripedFile;

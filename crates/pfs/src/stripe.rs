@@ -1,0 +1,150 @@
+//! Striped files across multiple servers.
+//!
+//! A logical file is cut into fixed-size stripe units distributed round-robin
+//! over the servers, each holding a component file (`name` is shared; servers
+//! are distinguished by the client handle used). Reads and writes decompose
+//! into per-server spans; each span is one grant + one one-sided transfer.
+
+use crate::client::FsClient;
+use crate::proto::{FileId, FsResult};
+
+/// A logical file striped over `clients.len()` servers.
+pub struct StripedFile {
+    clients: Vec<FsClient>,
+    ids: Vec<FileId>,
+    stripe: usize,
+}
+
+/// One contiguous piece of a striped access, mapped to a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    server: usize,
+    /// Offset within that server's component file.
+    local_offset: u64,
+    /// Offset within the caller's buffer.
+    buf_offset: usize,
+    len: usize,
+}
+
+/// Decompose `[offset, offset+len)` into per-server spans.
+fn spans(offset: u64, len: usize, stripe: usize, servers: usize) -> Vec<Span> {
+    let mut out = Vec::new();
+    let mut remaining = len;
+    let mut global = offset;
+    let mut buf_offset = 0usize;
+    while remaining > 0 {
+        let unit = (global / stripe as u64) as usize;
+        let within = (global % stripe as u64) as usize;
+        let server = unit % servers;
+        let local_unit = (unit / servers) as u64;
+        let take = remaining.min(stripe - within);
+        out.push(Span {
+            server,
+            local_offset: local_unit * stripe as u64 + within as u64,
+            buf_offset,
+            len: take,
+        });
+        global += take as u64;
+        buf_offset += take;
+        remaining -= take;
+    }
+    out
+}
+
+impl StripedFile {
+    /// Create the component files on every server.
+    pub fn create(clients: Vec<FsClient>, name: &[u8], stripe: usize) -> FsResult<StripedFile> {
+        assert!(stripe > 0 && !clients.is_empty());
+        let ids = clients.iter().map(|c| c.create(name)).collect::<FsResult<Vec<_>>>()?;
+        Ok(StripedFile { clients, ids, stripe })
+    }
+
+    /// Open existing component files on every server.
+    pub fn open(clients: Vec<FsClient>, name: &[u8], stripe: usize) -> FsResult<StripedFile> {
+        assert!(stripe > 0 && !clients.is_empty());
+        let ids =
+            clients.iter().map(|c| c.open(name).map(|(id, _)| id)).collect::<FsResult<Vec<_>>>()?;
+        Ok(StripedFile { clients, ids, stripe })
+    }
+
+    /// Number of servers backing this file.
+    pub fn width(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Write `data` at logical `offset`.
+    pub fn write(&self, offset: u64, data: &[u8]) -> FsResult<()> {
+        for span in spans(offset, data.len(), self.stripe, self.clients.len()) {
+            self.clients[span.server].write(
+                self.ids[span.server],
+                span.local_offset,
+                &data[span.buf_offset..span.buf_offset + span.len],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at logical `offset`.
+    pub fn read(&self, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let mut out = vec![0u8; len];
+        for span in spans(offset, len, self.stripe, self.clients.len()) {
+            let piece =
+                self.clients[span.server].read(self.ids[span.server], span.local_offset, span.len)?;
+            out[span.buf_offset..span.buf_offset + span.len].copy_from_slice(&piece);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_within_one_stripe() {
+        let s = spans(10, 20, 100, 4);
+        assert_eq!(s, vec![Span { server: 0, local_offset: 10, buf_offset: 0, len: 20 }]);
+    }
+
+    #[test]
+    fn spans_cross_stripe_boundaries_round_robin() {
+        // stripe 10, 2 servers: units 0,2,4.. on server 0; 1,3,5.. on server 1.
+        let s = spans(5, 20, 10, 2);
+        assert_eq!(
+            s,
+            vec![
+                Span { server: 0, local_offset: 5, buf_offset: 0, len: 5 }, // unit 0 tail
+                Span { server: 1, local_offset: 0, buf_offset: 5, len: 10 }, // unit 1
+                Span { server: 0, local_offset: 10, buf_offset: 15, len: 5 }, // unit 2 head
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_cover_exactly_the_request() {
+        for (off, len, stripe, servers) in
+            [(0u64, 1000usize, 64usize, 3usize), (777, 3000, 128, 5), (1, 1, 1, 2)]
+        {
+            let s = spans(off, len, stripe, servers);
+            let total: usize = s.iter().map(|sp| sp.len).sum();
+            assert_eq!(total, len);
+            // Buffer offsets are contiguous.
+            let mut expect = 0usize;
+            for sp in &s {
+                assert_eq!(sp.buf_offset, expect);
+                expect += sp.len;
+                assert!(sp.server < servers);
+            }
+        }
+    }
+
+    #[test]
+    fn single_server_degenerates_to_plain_offsets() {
+        let s = spans(123, 456, 32, 1);
+        let total: usize = s.iter().map(|sp| sp.len).sum();
+        assert_eq!(total, 456);
+        assert!(s.iter().all(|sp| sp.server == 0));
+        // Local offsets must be exactly the global ones for width 1.
+        assert_eq!(s[0].local_offset, 123);
+    }
+}

@@ -1,0 +1,276 @@
+//! Access control lists (§4.5).
+//!
+//! "Each entry in the access control list specifies a process id and a Portal
+//! table index. ... Each incoming request includes an index into the access
+//! control list (i.e., a 'cookie' or hint). If the id of the process issuing
+//! the request doesn't match the id specified in the access control list entry
+//! or the Portal table index specified in the request doesn't match the Portal
+//! table index specified in the access control list entry, the request is
+//! rejected. Process identifiers and Portal table indexes may include wildcard
+//! values. ... When the access control list is initialized, the entry with
+//! index zero enables access to all Portals for all processes in the same
+//! parallel application and the entry with index one enables access to all
+//! Portals for all system processes. The remaining entries are set to disable
+//! all other access."
+
+use portals_types::ProcessId;
+
+/// The process half of an ACL entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcMatch {
+    /// A concrete process id, possibly with nid/pid wildcards.
+    Process(ProcessId),
+    /// Any process in the same parallel application as this interface
+    /// (resolved through the node's [`ProcessDirectory`](crate::ProcessDirectory)).
+    SameApplication,
+    /// Any system process (runtime daemons, file servers).
+    SystemProcess,
+}
+
+/// The portal half of an ACL entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortalMatch {
+    /// Any portal table index.
+    Any,
+    /// Exactly this index.
+    Index(u32),
+}
+
+impl PortalMatch {
+    #[inline]
+    fn matches(self, index: u32) -> bool {
+        match self {
+            PortalMatch::Any => true,
+            PortalMatch::Index(i) => i == index,
+        }
+    }
+}
+
+/// One access-control entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcEntry {
+    /// Rejects everything (the initial state of entries ≥ 2).
+    Disabled,
+    /// Admits requests whose initiator matches `id` and whose portal index
+    /// matches `portal`.
+    Allow {
+        /// Who may use this entry.
+        id: AcMatch,
+        /// Which portals it opens.
+        portal: PortalMatch,
+    },
+}
+
+/// Why an ACL check failed, mapped onto the §4.8 drop reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclReject {
+    /// "the cookie supplied in the request is not a valid access control entry"
+    InvalidIndex,
+    /// "the access control entry identified by the cookie does not match the
+    /// identifier of the requesting process"
+    ProcessMismatch,
+    /// "the access control entry ... does not match the Portal index supplied
+    /// in the request"
+    PortalMismatch,
+}
+
+/// How an [`AcMatch`] classifies the initiator. The node's process directory
+/// answers the `SameApplication`/`SystemProcess` questions.
+pub trait InitiatorClass {
+    /// True if `id` belongs to the same parallel application as this NI.
+    fn is_same_application(&self, id: ProcessId) -> bool;
+    /// True if `id` is a system process.
+    fn is_system(&self, id: ProcessId) -> bool;
+}
+
+/// A fixed-size access control table.
+#[derive(Debug)]
+pub struct AccessControlList {
+    entries: Vec<AcEntry>,
+}
+
+impl AccessControlList {
+    /// The paper's initial configuration: entry 0 = same application on all
+    /// portals, entry 1 = system processes on all portals, the rest disabled.
+    pub fn standard(size: usize) -> AccessControlList {
+        assert!(size >= 2, "ACL needs at least the two standard entries");
+        let mut entries = vec![AcEntry::Disabled; size];
+        entries[0] = AcEntry::Allow { id: AcMatch::SameApplication, portal: PortalMatch::Any };
+        entries[1] = AcEntry::Allow { id: AcMatch::SystemProcess, portal: PortalMatch::Any };
+        AccessControlList { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries (never the case for [`standard`]).
+    ///
+    /// [`standard`]: AccessControlList::standard
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Replace an entry. Returns false if `index` is out of range.
+    pub fn set(&mut self, index: usize, entry: AcEntry) -> bool {
+        match self.entries.get_mut(index) {
+            Some(slot) => {
+                *slot = entry;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Read an entry.
+    pub fn get(&self, index: usize) -> Option<AcEntry> {
+        self.entries.get(index).copied()
+    }
+
+    /// The §4.5/§4.8 check: does the request's cookie admit this initiator on
+    /// this portal?
+    pub fn check(
+        &self,
+        cookie: u32,
+        initiator: ProcessId,
+        portal_index: u32,
+        class: &dyn InitiatorClass,
+    ) -> Result<(), AclReject> {
+        let entry = self.entries.get(cookie as usize).ok_or(AclReject::InvalidIndex)?;
+        match entry {
+            AcEntry::Disabled => Err(AclReject::InvalidIndex),
+            AcEntry::Allow { id, portal } => {
+                let id_ok = match id {
+                    AcMatch::Process(p) => p.matches(initiator),
+                    AcMatch::SameApplication => class.is_same_application(initiator),
+                    AcMatch::SystemProcess => class.is_system(initiator),
+                };
+                if !id_ok {
+                    return Err(AclReject::ProcessMismatch);
+                }
+                if !portal.matches(portal_index) {
+                    return Err(AclReject::PortalMismatch);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Everyone with pid < 100 is in "the application"; pid 999 is "system".
+    struct TestClass;
+    impl InitiatorClass for TestClass {
+        fn is_same_application(&self, id: ProcessId) -> bool {
+            id.pid < 100
+        }
+        fn is_system(&self, id: ProcessId) -> bool {
+            id.pid == 999
+        }
+    }
+
+    #[test]
+    fn standard_layout() {
+        let acl = AccessControlList::standard(8);
+        assert_eq!(acl.len(), 8);
+        assert!(matches!(acl.get(0), Some(AcEntry::Allow { id: AcMatch::SameApplication, .. })));
+        assert!(matches!(acl.get(1), Some(AcEntry::Allow { id: AcMatch::SystemProcess, .. })));
+        for i in 2..8 {
+            assert_eq!(acl.get(i), Some(AcEntry::Disabled));
+        }
+    }
+
+    #[test]
+    fn entry_zero_admits_application_peers_on_any_portal() {
+        let acl = AccessControlList::standard(4);
+        let peer = ProcessId::new(5, 3);
+        assert!(acl.check(0, peer, 0, &TestClass).is_ok());
+        assert!(acl.check(0, peer, 63, &TestClass).is_ok());
+    }
+
+    #[test]
+    fn entry_zero_rejects_foreign_processes() {
+        let acl = AccessControlList::standard(4);
+        let foreign = ProcessId::new(5, 500);
+        assert_eq!(acl.check(0, foreign, 0, &TestClass), Err(AclReject::ProcessMismatch));
+    }
+
+    #[test]
+    fn entry_one_admits_system_processes() {
+        let acl = AccessControlList::standard(4);
+        let sys = ProcessId::new(0, 999);
+        assert!(acl.check(1, sys, 2, &TestClass).is_ok());
+        let app = ProcessId::new(0, 1);
+        assert_eq!(acl.check(1, app, 2, &TestClass), Err(AclReject::ProcessMismatch));
+    }
+
+    #[test]
+    fn disabled_entries_reject() {
+        let acl = AccessControlList::standard(4);
+        assert_eq!(
+            acl.check(2, ProcessId::new(0, 0), 0, &TestClass),
+            Err(AclReject::InvalidIndex)
+        );
+    }
+
+    #[test]
+    fn out_of_range_cookie_rejects() {
+        let acl = AccessControlList::standard(4);
+        assert_eq!(
+            acl.check(99, ProcessId::new(0, 0), 0, &TestClass),
+            Err(AclReject::InvalidIndex)
+        );
+    }
+
+    #[test]
+    fn custom_entry_with_portal_restriction() {
+        let mut acl = AccessControlList::standard(4);
+        assert!(acl.set(
+            2,
+            AcEntry::Allow {
+                id: AcMatch::Process(ProcessId::new(7, 7)),
+                portal: PortalMatch::Index(3),
+            },
+        ));
+        let p = ProcessId::new(7, 7);
+        assert!(acl.check(2, p, 3, &TestClass).is_ok());
+        assert_eq!(acl.check(2, p, 4, &TestClass), Err(AclReject::PortalMismatch));
+        assert_eq!(
+            acl.check(2, ProcessId::new(7, 8), 3, &TestClass),
+            Err(AclReject::ProcessMismatch)
+        );
+    }
+
+    #[test]
+    fn wildcard_process_entry() {
+        let mut acl = AccessControlList::standard(4);
+        assert!(acl.set(
+            3,
+            AcEntry::Allow {
+                id: AcMatch::Process(ProcessId { nid: portals_types::NodeId(4), pid: portals_types::ANY_PID }),
+                portal: PortalMatch::Any,
+            },
+        ));
+        assert!(acl.check(3, ProcessId::new(4, 77), 0, &TestClass).is_ok());
+        assert_eq!(
+            acl.check(3, ProcessId::new(5, 77), 0, &TestClass),
+            Err(AclReject::ProcessMismatch)
+        );
+    }
+
+    #[test]
+    fn set_out_of_range_fails() {
+        let mut acl = AccessControlList::standard(2);
+        assert!(!acl.set(2, AcEntry::Disabled));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the two standard entries")]
+    fn standard_requires_two_slots() {
+        let _ = AccessControlList::standard(1);
+    }
+}

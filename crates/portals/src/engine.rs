@@ -1,0 +1,559 @@
+//! The receive engine: §4.8 of the paper, executed either by the node's
+//! dispatcher thread (application bypass) or inside API calls (host driven).
+//!
+//! Processing order for put/get requests:
+//!
+//! 1. portal index validity;
+//! 2. access control (cookie → entry → process id and portal index match);
+//! 3. address translation (Fig. 4): walk the match list in order; for each
+//!    entry whose source filter and match criteria pass, consult only the
+//!    *first* memory descriptor — if it accepts, perform the operation,
+//!    handle unlinks, log the event; if it rejects, continue down the list;
+//! 4. if the list is exhausted the message is discarded and the dropped
+//!    message count incremented.
+//!
+//! Acks and replies "bypass the access control checks and the translation
+//! step": an ack needs only its event queue to still exist; a reply needs its
+//! memory descriptor to exist and its event queue (if any) to have space.
+
+use crate::counters::DropReason;
+use crate::event::{Event, EventKind};
+use crate::md::{MdVerdict, ReqOp};
+use crate::ni::{NiClass, NiCore, NiState};
+use crate::node::NodeShared;
+use crate::{EqHandle, MdHandle, MeHandle};
+use bytes::Bytes;
+use portals_types::{Handle, MatchBits, ProcessId};
+use portals_wire::{
+    Ack, GetRequest, PortalsMessage, PutRequest, Reply, ResponseHeader, RAW_HANDLE_NONE,
+};
+use std::sync::atomic::Ordering;
+
+/// A successful Fig. 4 translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Accepted {
+    pub me: MeHandle,
+    pub md: MdHandle,
+    /// Manipulated length (§4.7).
+    pub mlength: u64,
+    /// Offset within the region actually used.
+    pub offset: u64,
+}
+
+/// Steps 1–3 above, without side effects beyond the walk itself.
+#[allow(clippy::too_many_arguments)] // the request header's field count
+pub(crate) fn translate(
+    state: &NiState,
+    class: &dyn crate::acl::InitiatorClass,
+    op: ReqOp,
+    initiator: ProcessId,
+    portal_index: u32,
+    cookie: u32,
+    match_bits: MatchBits,
+    offset: u64,
+    rlength: u64,
+) -> Result<Accepted, DropReason> {
+    let list = state.table.list(portal_index).ok_or(DropReason::InvalidPortalIndex)?;
+    state
+        .acl
+        .check(cookie, initiator, portal_index, class)
+        .map_err(DropReason::from)?;
+
+    for me_h in list.iter() {
+        let Some(me) = state.mes.get(me_h) else { continue };
+        if !me.matches(initiator, match_bits) {
+            continue;
+        }
+        // Only the first MD of the list is considered (Fig. 4).
+        let Some(md_h) = me.first_md() else { continue };
+        let Some(md) = state.mds.get(md_h) else { continue };
+        match md.evaluate(op, rlength, offset) {
+            MdVerdict::Accept { mlength, offset } => {
+                return Ok(Accepted { me: me_h, md: md_h, mlength, offset });
+            }
+            MdVerdict::Reject(_) => continue,
+        }
+    }
+    Err(DropReason::NoMatch)
+}
+
+/// Post-acceptance bookkeeping: consume threshold, auto-unlink the MD and
+/// possibly its match entry (Fig. 4), and log the operation's event.
+#[allow(clippy::too_many_arguments)]
+fn commit_and_log(
+    core: &NiCore,
+    state: &mut NiState,
+    accepted: Accepted,
+    portal_index: u32,
+    kind: EventKind,
+    initiator: ProcessId,
+    match_bits: MatchBits,
+    rlength: u64,
+) {
+    let md = state.mds.get_mut(accepted.md).expect("md accepted above");
+    let unlink_md = md.commit(accepted.mlength, accepted.offset);
+    let eq = md.eq;
+
+    push_event(
+        core,
+        state,
+        eq,
+        Event {
+            kind,
+            initiator,
+            portal_index,
+            match_bits,
+            rlength,
+            mlength: accepted.mlength,
+            offset: accepted.offset,
+            md: accepted.md,
+        },
+    );
+
+    if unlink_md {
+        let pending = state.mds.get(accepted.md).map(|m| m.pending_ops).unwrap_or(0);
+        if pending == 0 {
+            state.mds.remove(accepted.md);
+            push_event(
+                core,
+                state,
+                eq,
+                Event {
+                    kind: EventKind::Unlink,
+                    initiator: core.id,
+                    portal_index,
+                    match_bits,
+                    rlength,
+                    mlength: accepted.mlength,
+                    offset: accepted.offset,
+                    md: accepted.md,
+                },
+            );
+            if let Some(me) = state.mes.get_mut(accepted.me) {
+                me.remove_md(accepted.md);
+                if me.md_list.is_empty() && me.unlink_when_empty {
+                    state.mes.remove(accepted.me);
+                    if let Some(list) = state.table.list_mut(portal_index) {
+                        list.remove(accepted.me);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn push_event(core: &NiCore, state: &NiState, eq: Option<EqHandle>, event: Event) {
+    if let Some(eqh) = eq {
+        if let Some(queue) = state.eqs.get(eqh) {
+            if !queue.push(event) {
+                core.counters.events_overwritten.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Entry point: apply §4.8 to one incoming message for `core`.
+pub(crate) fn deliver(core: &NiCore, node: &NodeShared, msg: PortalsMessage) {
+    match msg {
+        PortalsMessage::Put(put) => handle_put(core, node, put),
+        PortalsMessage::Get(get) => handle_get(core, node, get),
+        PortalsMessage::Ack(ack) => handle_ack(core, ack),
+        PortalsMessage::Reply(reply) => handle_reply(core, reply),
+    }
+}
+
+fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
+    let h = put.header;
+    let class = NiClass { node, my_job: core.config.job };
+    let mut state = core.state.lock();
+    let accepted = match translate(
+        &state,
+        &class,
+        ReqOp::Put,
+        h.initiator,
+        h.portal_index,
+        h.cookie,
+        h.match_bits,
+        h.offset,
+        h.length,
+    ) {
+        Ok(a) => a,
+        Err(reason) => {
+            core.counters.drop_message(reason);
+            return;
+        }
+    };
+
+    // Move the data, then commit/unlink/log.
+    {
+        let md = state.mds.get(accepted.md).expect("accepted");
+        md.write(accepted.offset, &put.payload[..accepted.mlength as usize]);
+    }
+    core.counters.requests_accepted.fetch_add(1, Ordering::Relaxed);
+    commit_and_log(
+        core,
+        &mut state,
+        accepted,
+        h.portal_index,
+        EventKind::Put,
+        h.initiator,
+        h.match_bits,
+        h.length,
+    );
+    drop(state);
+
+    // "the target optionally sends an acknowledgment message" (§4.3): only if
+    // the initiator asked and the operation was accepted.
+    if put.wants_ack() {
+        let ack = PortalsMessage::Ack(Ack {
+            header: ResponseHeader {
+                initiator: h.target, // swapped (§4.7)
+                target: h.initiator,
+                portal_index: h.portal_index,
+                match_bits: h.match_bits,
+                offset: accepted.offset,
+                md_handle: put.ack_md,
+                eq_handle: put.ack_eq,
+                requested_length: h.length,
+                manipulated_length: accepted.mlength,
+            },
+        });
+        node.endpoint.send(h.initiator.nid, ack.encode());
+    }
+}
+
+fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
+    let h = get.header;
+    let class = NiClass { node, my_job: core.config.job };
+    let mut state = core.state.lock();
+    let accepted = match translate(
+        &state,
+        &class,
+        ReqOp::Get,
+        h.initiator,
+        h.portal_index,
+        h.cookie,
+        h.match_bits,
+        h.offset,
+        h.length,
+    ) {
+        Ok(a) => a,
+        Err(reason) => {
+            core.counters.drop_message(reason);
+            return;
+        }
+    };
+
+    let payload = {
+        let md = state.mds.get(accepted.md).expect("accepted");
+        Bytes::from(md.read(accepted.offset, accepted.mlength))
+    };
+    core.counters.requests_accepted.fetch_add(1, Ordering::Relaxed);
+    commit_and_log(
+        core,
+        &mut state,
+        accepted,
+        h.portal_index,
+        EventKind::Get,
+        h.initiator,
+        h.match_bits,
+        h.length,
+    );
+    drop(state);
+
+    // "the reply is generated whenever the operation succeeds" (§4.7) — it is
+    // not optional, unlike the ack.
+    let reply = PortalsMessage::Reply(Reply {
+        header: ResponseHeader {
+            initiator: h.target, // swapped
+            target: h.initiator,
+            portal_index: h.portal_index,
+            match_bits: h.match_bits,
+            offset: accepted.offset,
+            md_handle: get.reply_md,
+            eq_handle: RAW_HANDLE_NONE,
+            requested_length: h.length,
+            manipulated_length: accepted.mlength,
+        },
+        payload,
+    });
+    node.endpoint.send(h.initiator.nid, reply.encode());
+}
+
+fn handle_ack(core: &NiCore, ack: Ack) {
+    // §4.8: "Upon receipt of an acknowledgment, the runtime system only needs
+    // to confirm that the event queue still exists."
+    let h = ack.header;
+    let state = core.state.lock();
+    let eq_handle: EqHandle = Handle::from_raw(h.eq_handle);
+    let Some(queue) = (if h.eq_handle == RAW_HANDLE_NONE {
+        None
+    } else {
+        state.eqs.get(eq_handle)
+    }) else {
+        core.counters.drop_message(DropReason::AckEqMissing);
+        return;
+    };
+    let event = Event {
+        kind: EventKind::Ack,
+        initiator: h.initiator,
+        portal_index: h.portal_index,
+        match_bits: h.match_bits,
+        rlength: h.requested_length,
+        mlength: h.manipulated_length,
+        offset: h.offset,
+        md: Handle::from_raw(h.md_handle),
+    };
+    core.counters.acks_accepted.fetch_add(1, Ordering::Relaxed);
+    if !queue.push(event) {
+        core.counters.events_overwritten.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_reply(core: &NiCore, reply: Reply) {
+    // §4.8: "Each reply message includes a handle for a memory descriptor. If
+    // this descriptor exists, it is used to receive the message. A reply
+    // message will be dropped if the memory descriptor ... doesn't exist or if
+    // the event queue in the memory descriptor has no space and is not null.
+    // ... Every memory descriptor accepts and truncates incoming reply
+    // messages."
+    let h = reply.header;
+    let mut state = core.state.lock();
+    let md_handle: MdHandle = Handle::from_raw(h.md_handle);
+    let Some(md) = state.mds.get(md_handle) else {
+        core.counters.drop_message(DropReason::ReplyMdMissing);
+        return;
+    };
+    let eq = md.eq;
+    if let Some(eqh) = eq {
+        if let Some(queue) = state.eqs.get(eqh) {
+            if queue.is_full() {
+                core.counters.drop_message(DropReason::ReplyEqFull);
+                return;
+            }
+        }
+    }
+    // Accept-and-truncate: land at the region start.
+    let mlength = (reply.payload.len() as u64).min(md.len() as u64);
+    md.write(0, &reply.payload[..mlength as usize]);
+    let unlink = {
+        let md = state.mds.get_mut(md_handle).expect("checked above");
+        md.pending_ops = md.pending_ops.saturating_sub(1);
+        md.options.unlink_on_exhaustion && !md.threshold.active() && md.pending_ops == 0
+    };
+    core.counters.replies_accepted.fetch_add(1, Ordering::Relaxed);
+    push_event(
+        core,
+        &state,
+        eq,
+        Event {
+            kind: EventKind::Reply,
+            initiator: h.initiator,
+            portal_index: h.portal_index,
+            match_bits: h.match_bits,
+            rlength: h.requested_length,
+            mlength,
+            offset: 0,
+            md: md_handle,
+        },
+    );
+    if unlink {
+        state.mds.remove(md_handle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::InitiatorClass;
+    use crate::md::{iobuf, MdOptions, MdSpec, Threshold};
+    use crate::me::MatchEntry;
+    use crate::table::MePos;
+    use portals_types::{MatchCriteria, NiLimits};
+
+    struct AllowAll;
+    impl InitiatorClass for AllowAll {
+        fn is_same_application(&self, _: ProcessId) -> bool {
+            true
+        }
+        fn is_system(&self, _: ProcessId) -> bool {
+            false
+        }
+    }
+
+    fn state_with_entry(
+        criteria: MatchCriteria,
+        source: ProcessId,
+        md_len: usize,
+        options: MdOptions,
+        threshold: Threshold,
+    ) -> (NiState, MeHandle, MdHandle) {
+        let mut state = NiState::new(&NiLimits::DEFAULT);
+        let me = state.mes.insert(MatchEntry::new(source, criteria, false));
+        state.table.list_mut(0).unwrap().insert(me, MePos::Back);
+        let md = state.mds.insert(crate::md::Md::from_spec(
+            MdSpec::new(iobuf(vec![0u8; md_len]))
+                .with_options(options)
+                .with_threshold(threshold),
+        ));
+        state.mes.get_mut(me).unwrap().md_list.push_back(md);
+        (state, me, md)
+    }
+
+    fn translate_put(
+        state: &NiState,
+        initiator: ProcessId,
+        pt: u32,
+        cookie: u32,
+        bits: MatchBits,
+        offset: u64,
+        len: u64,
+    ) -> Result<Accepted, DropReason> {
+        translate(state, &AllowAll, ReqOp::Put, initiator, pt, cookie, bits, offset, len)
+    }
+
+    #[test]
+    fn invalid_portal_index_is_first_check() {
+        let (state, _, _) = state_with_entry(
+            MatchCriteria::any(),
+            ProcessId::ANY,
+            64,
+            MdOptions::default(),
+            Threshold::Infinite,
+        );
+        let r = translate_put(&state, ProcessId::new(0, 0), 9999, 0, MatchBits::ZERO, 0, 1);
+        assert_eq!(r, Err(DropReason::InvalidPortalIndex));
+    }
+
+    #[test]
+    fn acl_rejection_maps_to_drop_reasons() {
+        let (state, _, _) = state_with_entry(
+            MatchCriteria::any(),
+            ProcessId::ANY,
+            64,
+            MdOptions::default(),
+            Threshold::Infinite,
+        );
+        // Cookie 5 is a disabled entry in the standard layout.
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, 5, MatchBits::ZERO, 0, 1);
+        assert_eq!(r, Err(DropReason::InvalidAcIndex));
+    }
+
+    #[test]
+    fn match_walk_accepts_first_match() {
+        let (state, me, md) = state_with_entry(
+            MatchCriteria::exact(MatchBits::new(7)),
+            ProcessId::ANY,
+            64,
+            MdOptions::default(),
+            Threshold::Infinite,
+        );
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, 0, MatchBits::new(7), 4, 10)
+            .expect("accept");
+        assert_eq!(r, Accepted { me, md, mlength: 10, offset: 4 });
+    }
+
+    #[test]
+    fn wrong_bits_fall_off_the_list() {
+        let (state, _, _) = state_with_entry(
+            MatchCriteria::exact(MatchBits::new(7)),
+            ProcessId::ANY,
+            64,
+            MdOptions::default(),
+            Threshold::Infinite,
+        );
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, 0, MatchBits::new(8), 0, 1);
+        assert_eq!(r, Err(DropReason::NoMatch));
+    }
+
+    #[test]
+    fn source_filter_excludes_other_processes() {
+        let (state, _, _) = state_with_entry(
+            MatchCriteria::any(),
+            ProcessId::new(3, 3),
+            64,
+            MdOptions::default(),
+            Threshold::Infinite,
+        );
+        assert!(translate_put(&state, ProcessId::new(3, 3), 0, 0, MatchBits::ZERO, 0, 1).is_ok());
+        assert_eq!(
+            translate_put(&state, ProcessId::new(3, 4), 0, 0, MatchBits::ZERO, 0, 1),
+            Err(DropReason::NoMatch)
+        );
+    }
+
+    #[test]
+    fn md_rejection_continues_down_the_list() {
+        // First entry matches but its MD only accepts gets; second entry
+        // accepts puts. Translation must land on the second (Fig. 4).
+        let mut state = NiState::new(&NiLimits::DEFAULT);
+        let me1 = state
+            .mes
+            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
+        let me2 = state
+            .mes
+            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
+        state.table.list_mut(0).unwrap().insert(me1, MePos::Back);
+        state.table.list_mut(0).unwrap().insert(me2, MePos::Back);
+        let md1 = state.mds.insert(crate::md::Md::from_spec(
+            MdSpec::new(iobuf(vec![0u8; 64]))
+                .with_options(MdOptions { op_put: false, ..Default::default() }),
+        ));
+        let md2 = state
+            .mds
+            .insert(crate::md::Md::from_spec(MdSpec::new(iobuf(vec![0u8; 64]))));
+        state.mes.get_mut(me1).unwrap().md_list.push_back(md1);
+        state.mes.get_mut(me2).unwrap().md_list.push_back(md2);
+
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, 0, MatchBits::ZERO, 0, 8)
+            .expect("accept at second entry");
+        assert_eq!(r.me, me2);
+        assert_eq!(r.md, md2);
+    }
+
+    #[test]
+    fn only_first_md_of_an_entry_is_considered() {
+        // Entry's first MD rejects (op disabled); a perfectly good second MD
+        // sits behind it — but Fig. 4 says only the first is considered, so
+        // translation must fall through to NoMatch.
+        let mut state = NiState::new(&NiLimits::DEFAULT);
+        let me = state
+            .mes
+            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
+        state.table.list_mut(0).unwrap().insert(me, MePos::Back);
+        let bad = state.mds.insert(crate::md::Md::from_spec(
+            MdSpec::new(iobuf(vec![0u8; 64]))
+                .with_options(MdOptions { op_put: false, ..Default::default() }),
+        ));
+        let good = state
+            .mds
+            .insert(crate::md::Md::from_spec(MdSpec::new(iobuf(vec![0u8; 64]))));
+        state.mes.get_mut(me).unwrap().md_list.push_back(bad);
+        state.mes.get_mut(me).unwrap().md_list.push_back(good);
+
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, 0, MatchBits::ZERO, 0, 8);
+        assert_eq!(r, Err(DropReason::NoMatch));
+    }
+
+    #[test]
+    fn empty_md_list_continues_walk() {
+        let mut state = NiState::new(&NiLimits::DEFAULT);
+        let empty = state
+            .mes
+            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
+        state.table.list_mut(0).unwrap().insert(empty, MePos::Back);
+        let (mut s2, me2, md2) = (state, empty, ());
+        let _ = (me2, md2);
+        let real = s2
+            .mes
+            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
+        s2.table.list_mut(0).unwrap().insert(real, MePos::Back);
+        let md = s2
+            .mds
+            .insert(crate::md::Md::from_spec(MdSpec::new(iobuf(vec![0u8; 8]))));
+        s2.mes.get_mut(real).unwrap().md_list.push_back(md);
+        let r = translate_put(&s2, ProcessId::new(0, 0), 0, 0, MatchBits::ZERO, 0, 4)
+            .expect("walks past empty entry");
+        assert_eq!(r.md, md);
+    }
+}

@@ -1,0 +1,387 @@
+//! Events and event queues.
+//!
+//! §4.4: "Each memory descriptor identifies a memory region and an optional
+//! event queue ... the event queue is used to record information about these
+//! operations." §4.8: "Event queues are circular, which prevents indexing out
+//! of bounds. The higher level protocol needs to ensure that there are enough
+//! event slots and the rate of event consumption is able to keep up with the
+//! rate of event production to avoid missing events."
+//!
+//! The queue here is a fixed-capacity ring with monotonic read/write counters:
+//! the producer never blocks (it overwrites the oldest unread slot), and a
+//! consumer that fell behind gets [`PtlError::EqDropped`] once, then resumes
+//! from the oldest surviving event — the spec's `PTL_EQ_DROPPED` behaviour.
+
+use crate::md::Md;
+use parking_lot::{Condvar, Mutex};
+use portals_types::{Handle, MatchBits, ProcessId, PtlError, PtlResult};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What happened (spec: `ptl_event_kind_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Target side: a put landed in one of this process's memory descriptors.
+    Put,
+    /// Target side: a get read from one of this process's memory descriptors.
+    Get,
+    /// Initiator side: the reply to an earlier get arrived.
+    Reply,
+    /// Initiator side: the acknowledgment to an earlier put arrived.
+    Ack,
+    /// Initiator side: an outgoing put/get request left the interface.
+    Sent,
+    /// A memory descriptor reached threshold 0 and was unlinked. (Extension:
+    /// Portals 3.0 signalled this implicitly; later revisions added the event,
+    /// and the MPI layer uses it to recycle unexpected-message blocks.)
+    Unlink,
+}
+
+/// One event record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// The remote process involved: for Put/Get the request's initiator, for
+    /// Ack/Reply the responder, for Sent/Unlink this process itself.
+    pub initiator: ProcessId,
+    /// Portal table index the operation addressed.
+    pub portal_index: u32,
+    /// Match bits the operation carried.
+    pub match_bits: MatchBits,
+    /// Requested length.
+    pub rlength: u64,
+    /// Manipulated length — bytes actually moved (§4.7).
+    pub mlength: u64,
+    /// Offset within the memory region that was used.
+    pub offset: u64,
+    /// The local memory descriptor involved.
+    pub md: Handle<Md>,
+}
+
+struct Ring {
+    slots: Vec<Option<Event>>,
+    /// Total events ever written.
+    write: u64,
+    /// Total events ever consumed (or skipped by overflow resync).
+    read: u64,
+    /// Set when the writer lapped the reader; cleared when reported.
+    overflowed: bool,
+}
+
+/// A circular event queue (spec: `ptl_handle_eq_t` target).
+///
+/// Shared between the application (consumer) and the NIC engine (producer);
+/// `eq_wait` blocks on the internal condvar, which the producer notifies.
+pub struct EventQueue {
+    inner: Arc<EqInner>,
+}
+
+pub(crate) struct EqInner {
+    ring: Mutex<Ring>,
+    cond: Condvar,
+}
+
+impl EventQueue {
+    /// A queue with room for `capacity` unconsumed events.
+    pub fn new(capacity: usize) -> EventQueue {
+        assert!(capacity > 0, "event queue capacity must be positive");
+        EventQueue {
+            inner: Arc::new(EqInner {
+                ring: Mutex::new(Ring {
+                    slots: vec![None; capacity],
+                    write: 0,
+                    read: 0,
+                    overflowed: false,
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A second consumer-side reference to the same queue (used by blocking
+    /// API calls so they can wait without holding the interface lock).
+    pub(crate) fn clone_ref(&self) -> EventQueue {
+        EventQueue { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.inner.ring.lock().slots.len()
+    }
+
+    /// Unconsumed events currently queued.
+    pub fn len(&self) -> usize {
+        let ring = self.inner.ring.lock();
+        (ring.write - ring.read) as usize
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if one more push would overwrite (§4.8 uses this for replies:
+    /// "if the event queue in the memory descriptor has no space").
+    pub fn is_full(&self) -> bool {
+        let ring = self.inner.ring.lock();
+        ring.write - ring.read >= ring.slots.len() as u64
+    }
+
+    /// Producer push. Never blocks; overwrites the oldest unread event when
+    /// full (circularity, §4.8). Returns false if an unread event was lost.
+    pub fn push(&self, event: Event) -> bool {
+        self.inner.push(event)
+    }
+
+    /// Non-blocking consume (spec: `PtlEQGet`).
+    pub fn try_get(&self) -> PtlResult<Event> {
+        self.inner.try_get()
+    }
+
+    /// Blocking consume (spec: `PtlEQWait`).
+    pub fn wait(&self) -> PtlResult<Event> {
+        self.inner.wait(None).and_then(|o| o.ok_or(PtlError::Timeout))
+    }
+
+    /// Consume with a deadline.
+    pub fn poll(&self, timeout: Duration) -> PtlResult<Event> {
+        self.inner.wait(Some(timeout)).and_then(|o| o.ok_or(PtlError::Timeout))
+    }
+}
+
+impl std::fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventQueue(len={}, cap={})", self.len(), self.capacity())
+    }
+}
+
+impl EqInner {
+    fn push(&self, event: Event) -> bool {
+        let mut ring = self.ring.lock();
+        let cap = ring.slots.len() as u64;
+        let idx = (ring.write % cap) as usize;
+        ring.slots[idx] = Some(event);
+        ring.write += 1;
+        let mut clean = true;
+        if ring.write - ring.read > cap {
+            // Lapped the reader: the oldest unread event is gone.
+            ring.read = ring.write - cap;
+            ring.overflowed = true;
+            clean = false;
+        }
+        drop(ring);
+        self.cond.notify_all();
+        clean
+    }
+
+    fn pop_locked(ring: &mut Ring) -> PtlResult<Option<Event>> {
+        if ring.overflowed {
+            ring.overflowed = false;
+            return Err(PtlError::EqDropped);
+        }
+        if ring.read == ring.write {
+            return Ok(None);
+        }
+        let cap = ring.slots.len() as u64;
+        let idx = (ring.read % cap) as usize;
+        let event = ring.slots[idx].take().expect("ring slot populated");
+        ring.read += 1;
+        Ok(Some(event))
+    }
+
+    fn try_get(&self) -> PtlResult<Event> {
+        let mut ring = self.ring.lock();
+        Self::pop_locked(&mut ring)?.ok_or(PtlError::EqEmpty)
+    }
+
+    /// Wait until an event is available, the timeout expires (Ok(None)), or an
+    /// overflow must be reported.
+    fn wait(&self, timeout: Option<Duration>) -> PtlResult<Option<Event>> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut ring = self.ring.lock();
+        loop {
+            match Self::pop_locked(&mut ring) {
+                Ok(Some(e)) => return Ok(Some(e)),
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+            match deadline {
+                Some(d) => {
+                    if self.cond.wait_until(&mut ring, d).timed_out() {
+                        // One final check: the producer may have raced the
+                        // timeout.
+                        return Self::pop_locked(&mut ring);
+                    }
+                }
+                None => self.cond.wait(&mut ring),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portals_types::MatchBits;
+
+    fn ev(n: u64) -> Event {
+        Event {
+            kind: EventKind::Put,
+            initiator: ProcessId::new(0, 0),
+            portal_index: 0,
+            match_bits: MatchBits::new(n),
+            rlength: n,
+            mlength: n,
+            offset: 0,
+            md: Handle::NONE,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let eq = EventQueue::new(8);
+        for i in 0..5 {
+            assert!(eq.push(ev(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(eq.try_get().unwrap().rlength, i);
+        }
+        assert_eq!(eq.try_get(), Err(PtlError::EqEmpty));
+    }
+
+    #[test]
+    fn circular_overflow_reports_dropped_once() {
+        let eq = EventQueue::new(4);
+        for i in 0..6 {
+            let clean = eq.push(ev(i));
+            assert_eq!(clean, i < 4, "push {i}");
+        }
+        // Two oldest events (0,1) were overwritten.
+        assert_eq!(eq.try_get(), Err(PtlError::EqDropped));
+        // After the report, consumption resumes at the oldest survivor.
+        assert_eq!(eq.try_get().unwrap().rlength, 2);
+        assert_eq!(eq.try_get().unwrap().rlength, 3);
+        assert_eq!(eq.try_get().unwrap().rlength, 4);
+        assert_eq!(eq.try_get().unwrap().rlength, 5);
+        assert_eq!(eq.try_get(), Err(PtlError::EqEmpty));
+    }
+
+    #[test]
+    fn is_full_tracks_occupancy() {
+        let eq = EventQueue::new(2);
+        assert!(!eq.is_full());
+        eq.push(ev(0));
+        assert!(!eq.is_full());
+        eq.push(ev(1));
+        assert!(eq.is_full());
+        eq.try_get().unwrap();
+        assert!(!eq.is_full());
+    }
+
+    #[test]
+    fn wait_blocks_until_push() {
+        let eq = EventQueue::new(4);
+        let producer = eq.clone_ref();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            producer.push(ev(9));
+        });
+        let got = eq.wait().unwrap();
+        assert_eq!(got.rlength, 9);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn poll_times_out() {
+        let eq = EventQueue::new(4);
+        let start = Instant::now();
+        assert_eq!(eq.poll(Duration::from_millis(15)), Err(PtlError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn poll_returns_early_event() {
+        let eq = EventQueue::new(4);
+        eq.push(ev(1));
+        assert_eq!(eq.poll(Duration::from_secs(5)).unwrap().rlength, 1);
+    }
+
+    #[test]
+    fn len_and_capacity() {
+        let eq = EventQueue::new(3);
+        assert_eq!(eq.capacity(), 3);
+        assert!(eq.is_empty());
+        eq.push(ev(0));
+        eq.push(ev(1));
+        assert_eq!(eq.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = EventQueue::new(0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_within_capacity() {
+        let eq = std::sync::Arc::new(EventQueue::new(4096));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let eq = std::sync::Arc::new(eq.clone_ref());
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        assert!(eq.push(ev(p * 1000 + i)), "no overflow expected");
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Ok(e) = eq.try_get() {
+            assert!(seen.insert(e.rlength), "duplicate event {:?}", e.rlength);
+        }
+        assert_eq!(seen.len(), 4000);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_stream() {
+        let eq = std::sync::Arc::new(EventQueue::new(64));
+        let producer = {
+            let eq = std::sync::Arc::new(eq.clone_ref());
+            std::thread::spawn(move || {
+                for i in 0..5000u64 {
+                    // Pace pushes so the small ring never laps the consumer.
+                    while eq.len() > 32 {
+                        std::thread::yield_now();
+                    }
+                    eq.push(ev(i));
+                }
+            })
+        };
+        let mut next = 0u64;
+        while next < 5000 {
+            match eq.poll(Duration::from_secs(5)) {
+                Ok(e) => {
+                    assert_eq!(e.rlength, next, "stream stays ordered");
+                    next += 1;
+                }
+                Err(e) => panic!("consumer error: {e}"),
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn heavy_overflow_resyncs_to_survivors() {
+        let eq = EventQueue::new(2);
+        for i in 0..100 {
+            eq.push(ev(i));
+        }
+        assert_eq!(eq.try_get(), Err(PtlError::EqDropped));
+        assert_eq!(eq.try_get().unwrap().rlength, 98);
+        assert_eq!(eq.try_get().unwrap().rlength, 99);
+    }
+}

@@ -1,0 +1,619 @@
+//! The network interface: the per-process Portals API object.
+//!
+//! A [`NetworkInterface`] owns the process's Portal table, match entries,
+//! memory descriptors, event queues and access control list, and provides the
+//! data movement verbs ([`NetworkInterface::put`], [`NetworkInterface::get`]).
+//!
+//! Its [`ProgressModel`] decides *who* runs the receive rules of §4.8:
+//!
+//! * [`ProgressModel::ApplicationBypass`] — the node's dispatcher thread (our
+//!   NIC firmware) processes messages the moment they arrive. "The fundamental
+//!   concept of Portals is to decouple the host processor from the network and
+//!   allow data to flow with virtually no application processing" (§5.1).
+//! * [`ProgressModel::HostDriven`] — arriving messages queue raw; they are
+//!   processed only inside API calls on the application's thread. This is the
+//!   GM-style baseline of §5.3, kept protocol-identical so the Figure 6
+//!   comparison isolates exactly the progress question.
+
+use crate::acl::{AcEntry, AccessControlList, AclReject, InitiatorClass};
+use crate::counters::{DropReason, NiCounters, NiCountersSnapshot};
+use crate::engine;
+use crate::event::{Event, EventKind, EventQueue};
+use crate::md::{Md, MdSpec};
+use crate::me::MatchEntry;
+use crate::node::NodeShared;
+use crate::table::{MePos, PortalTable};
+use crate::{EqHandle, MdHandle, MeHandle};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use portals_types::{
+    Arena, MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult,
+};
+use portals_wire::{
+    GetRequest, PortalsMessage, PutRequest, RequestHeader, RAW_HANDLE_NONE,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Who advances the protocol for this interface (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressModel {
+    /// NIC-engine processing on arrival; no application involvement.
+    #[default]
+    ApplicationBypass,
+    /// Raw-queue processing inside API calls only (GM-style baseline).
+    HostDriven,
+}
+
+/// Per-interface configuration.
+#[derive(Debug, Clone, Default)]
+pub struct NiConfig {
+    /// Resource limits.
+    pub limits: NiLimits,
+    /// Progress model.
+    pub progress: ProgressModel,
+    /// Parallel-application (job) id this process belongs to, for the
+    /// "same application" ACL entry (§4.5).
+    pub job: u32,
+}
+
+/// Whether a put requests an acknowledgment (§4.7: "A process can also signify
+/// that no acknowledgment is requested by using a special flag").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckRequest {
+    /// Ask the target for an ack on successful delivery.
+    Ack,
+    /// No ack.
+    NoAck,
+}
+
+/// Mutable interface state, guarded by one lock (the spec's library critical
+/// section; the real NIC implementation serialized on the LANai similarly).
+pub(crate) struct NiState {
+    pub(crate) table: PortalTable,
+    pub(crate) mes: Arena<MatchEntry>,
+    pub(crate) mds: Arena<Md>,
+    pub(crate) eqs: Arena<EventQueue>,
+    pub(crate) acl: AccessControlList,
+}
+
+impl NiState {
+    pub(crate) fn new(limits: &NiLimits) -> NiState {
+        NiState {
+            table: PortalTable::new(limits.max_portal_table_size),
+            mes: Arena::with_capacity(64),
+            mds: Arena::with_capacity(64),
+            eqs: Arena::with_capacity(8),
+            acl: AccessControlList::standard(limits.max_access_control_entries),
+        }
+    }
+}
+
+/// The shared interface core: everything the engine and the API both touch.
+pub(crate) struct NiCore {
+    pub(crate) id: ProcessId,
+    pub(crate) config: NiConfig,
+    pub(crate) state: Mutex<NiState>,
+    pub(crate) counters: NiCounters,
+    /// Host-driven model: raw messages awaiting an API call.
+    pub(crate) raw: Mutex<VecDeque<PortalsMessage>>,
+    /// Signalled on raw arrival so blocked API calls wake to make progress.
+    pub(crate) raw_cond: Condvar,
+}
+
+impl NiCore {
+    pub(crate) fn new(id: ProcessId, config: NiConfig) -> NiCore {
+        NiCore {
+            id,
+            state: Mutex::new(NiState::new(&config.limits)),
+            config,
+            counters: NiCounters::default(),
+            raw: Mutex::new(VecDeque::new()),
+            raw_cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a raw message for host-driven processing.
+    pub(crate) fn enqueue_raw(&self, msg: PortalsMessage) {
+        self.raw.lock().push_back(msg);
+        self.raw_cond.notify_all();
+    }
+
+    /// Wait briefly for raw traffic (host-driven blocking calls).
+    pub(crate) fn wait_raw(&self, timeout: Duration) {
+        let mut raw = self.raw.lock();
+        if raw.is_empty() {
+            let _ = self.raw_cond.wait_for(&mut raw, timeout);
+        }
+    }
+}
+
+/// ACL classification adapter: resolves `SameApplication`/`SystemProcess`
+/// through the node's process directory.
+pub(crate) struct NiClass<'a> {
+    pub(crate) node: &'a NodeShared,
+    pub(crate) my_job: u32,
+}
+
+impl InitiatorClass for NiClass<'_> {
+    fn is_same_application(&self, id: ProcessId) -> bool {
+        match self.node.directory.classify(id) {
+            portals_types::UserId::Application(job) => job == self.my_job,
+            portals_types::UserId::System => false,
+        }
+    }
+
+    fn is_system(&self, id: ProcessId) -> bool {
+        matches!(self.node.directory.classify(id), portals_types::UserId::System)
+    }
+}
+
+impl From<AclReject> for DropReason {
+    fn from(r: AclReject) -> DropReason {
+        match r {
+            AclReject::InvalidIndex => DropReason::InvalidAcIndex,
+            AclReject::ProcessMismatch => DropReason::AclProcessMismatch,
+            AclReject::PortalMismatch => DropReason::AclPortalMismatch,
+        }
+    }
+}
+
+/// A Portals 3.0 network interface bound to one process on one node.
+///
+/// Created by [`Node::create_ni`](crate::Node::create_ni). Dropping the
+/// interface detaches it from the node: subsequent traffic for its pid counts
+/// against the node's "invalid process" drops, per §4.8.
+pub struct NetworkInterface {
+    pub(crate) core: Arc<NiCore>,
+    pub(crate) node: Arc<NodeShared>,
+}
+
+impl NetworkInterface {
+    /// This process's id `(nid, pid)`.
+    pub fn id(&self) -> ProcessId {
+        self.core.id
+    }
+
+    /// The interface limits.
+    pub fn limits(&self) -> NiLimits {
+        self.core.config.limits
+    }
+
+    /// The progress model.
+    pub fn progress_model(&self) -> ProgressModel {
+        self.core.config.progress
+    }
+
+    /// Interface counters, including the §4.8 dropped-message counts.
+    pub fn counters(&self) -> NiCountersSnapshot {
+        self.core.counters.snapshot()
+    }
+
+    // ----- event queues ---------------------------------------------------
+
+    /// Allocate an event queue with room for `capacity` pending events
+    /// (spec: `PtlEQAlloc`).
+    pub fn eq_alloc(&self, capacity: usize) -> PtlResult<EqHandle> {
+        let mut state = self.core.state.lock();
+        if state.eqs.len() >= self.core.config.limits.max_event_queues {
+            return Err(PtlError::NoSpace);
+        }
+        if capacity == 0 {
+            return Err(PtlError::InvalidArgument);
+        }
+        Ok(state.eqs.insert(EventQueue::new(capacity)))
+    }
+
+    /// Free an event queue (spec: `PtlEQFree`). Messages that later name this
+    /// queue are dropped per §4.8.
+    pub fn eq_free(&self, h: EqHandle) -> PtlResult<()> {
+        let mut state = self.core.state.lock();
+        state.eqs.remove(h).map(|_| ()).ok_or(PtlError::InvalidEq)
+    }
+
+    /// Non-blocking event read (spec: `PtlEQGet`).
+    pub fn eq_get(&self, h: EqHandle) -> PtlResult<Event> {
+        self.progress();
+        let eq = self.eq_ref(h)?;
+        eq.try_get()
+    }
+
+    /// Blocking event read (spec: `PtlEQWait`).
+    pub fn eq_wait(&self, h: EqHandle) -> PtlResult<Event> {
+        self.eq_wait_inner(h, None)
+    }
+
+    /// Event read with a deadline.
+    pub fn eq_poll(&self, h: EqHandle, timeout: Duration) -> PtlResult<Event> {
+        self.eq_wait_inner(h, Some(timeout))
+    }
+
+    /// Number of events currently pending on a queue.
+    pub fn eq_len(&self, h: EqHandle) -> PtlResult<usize> {
+        Ok(self.eq_ref(h)?.len())
+    }
+
+    fn eq_ref(&self, h: EqHandle) -> PtlResult<EventQueue> {
+        let state = self.core.state.lock();
+        state.eqs.get(h).map(EventQueue::clone_ref).ok_or(PtlError::InvalidEq)
+    }
+
+    fn eq_wait_inner(&self, h: EqHandle, timeout: Option<Duration>) -> PtlResult<Event> {
+        let eq = self.eq_ref(h)?;
+        match self.core.config.progress {
+            ProgressModel::ApplicationBypass => match timeout {
+                Some(t) => eq.poll(t),
+                None => eq.wait(),
+            },
+            ProgressModel::HostDriven => {
+                // Progress happens only inside this call: pump the raw queue,
+                // test, and nap until more raw traffic arrives.
+                let deadline = timeout.map(|t| Instant::now() + t);
+                loop {
+                    self.progress();
+                    match eq.try_get() {
+                        Ok(e) => return Ok(e),
+                        Err(PtlError::EqEmpty) => {}
+                        Err(e) => return Err(e),
+                    }
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return Err(PtlError::Timeout);
+                        }
+                    }
+                    self.core.wait_raw(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    // ----- match entries ---------------------------------------------------
+
+    /// Attach a match entry to `portal_index` at `pos` (spec: `PtlMEAttach` /
+    /// `PtlMEInsert`). `source` filters initiators (wildcards allowed);
+    /// `unlink_when_empty` is the entry's unlink flag (Fig. 4).
+    pub fn me_attach(
+        &self,
+        portal_index: u32,
+        source: ProcessId,
+        criteria: MatchCriteria,
+        unlink_when_empty: bool,
+        pos: MePos,
+    ) -> PtlResult<MeHandle> {
+        let mut state = self.core.state.lock();
+        if state.mes.len() >= self.core.config.limits.max_match_entries {
+            return Err(PtlError::NoSpace);
+        }
+        if state.table.list(portal_index).is_none() {
+            return Err(PtlError::InvalidPortalIndex);
+        }
+        let me = state.mes.insert(MatchEntry::new(source, criteria, unlink_when_empty));
+        let list = state.table.list_mut(portal_index).expect("checked above");
+        if !list.insert(me, pos) {
+            state.mes.remove(me);
+            return Err(PtlError::InvalidMe); // anchor handle not in this list
+        }
+        Ok(me)
+    }
+
+    /// Unlink a match entry and every memory descriptor attached to it
+    /// (spec: `PtlMEUnlink`).
+    pub fn me_unlink(&self, h: MeHandle) -> PtlResult<()> {
+        let mut state = self.core.state.lock();
+        let me = state.mes.remove(h).ok_or(PtlError::InvalidMe)?;
+        for md in me.md_list {
+            state.mds.remove(md);
+        }
+        // Remove from whichever portal list holds it.
+        for idx in 0..state.table.size() as u32 {
+            if state.table.list_mut(idx).expect("in range").remove(h) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- memory descriptors ----------------------------------------------
+
+    /// Attach an MD to the back of a match entry's descriptor list
+    /// (spec: `PtlMDAttach`).
+    pub fn md_attach(&self, me: MeHandle, spec: MdSpec) -> PtlResult<MdHandle> {
+        let mut state = self.core.state.lock();
+        if state.mds.len() >= self.core.config.limits.max_memory_descriptors {
+            return Err(PtlError::NoSpace);
+        }
+        if let Some(eq) = spec.eq {
+            if !state.eqs.contains(eq) {
+                return Err(PtlError::InvalidEq);
+            }
+        }
+        if !state.mes.contains(me) {
+            return Err(PtlError::InvalidMe);
+        }
+        let md = state.mds.insert(Md::from_spec(spec));
+        state.mes.get_mut(me).expect("checked above").md_list.push_back(md);
+        Ok(md)
+    }
+
+    /// Create a free-standing MD for initiator-side operations
+    /// (spec: `PtlMDBind`).
+    pub fn md_bind(&self, spec: MdSpec) -> PtlResult<MdHandle> {
+        let mut state = self.core.state.lock();
+        if state.mds.len() >= self.core.config.limits.max_memory_descriptors {
+            return Err(PtlError::NoSpace);
+        }
+        if let Some(eq) = spec.eq {
+            if !state.eqs.contains(eq) {
+                return Err(PtlError::InvalidEq);
+            }
+        }
+        Ok(state.mds.insert(Md::from_spec(spec)))
+    }
+
+    /// Unlink an MD (spec: `PtlMDUnlink`). Fails with [`PtlError::MdInUse`]
+    /// while a get's reply is outstanding (§4.7: the descriptor "must not be
+    /// unlinked until the reply is received").
+    pub fn md_unlink(&self, h: MdHandle) -> PtlResult<()> {
+        let mut state = self.core.state.lock();
+        let md = state.mds.get(h).ok_or(PtlError::InvalidMd)?;
+        if md.pending_ops > 0 {
+            return Err(PtlError::MdInUse);
+        }
+        state.mds.remove(h);
+        // Detach from any match entry that references it.
+        let owners: Vec<MeHandle> = state
+            .mes
+            .iter()
+            .filter(|(_, me)| me.md_list.contains(&h))
+            .map(|(meh, _)| meh)
+            .collect();
+        for meh in owners {
+            state.mes.get_mut(meh).expect("listed").remove_md(h);
+        }
+        Ok(())
+    }
+
+    /// Read bytes out of an MD's region (application-side buffer access).
+    pub fn md_read(&self, h: MdHandle, offset: usize, len: usize) -> PtlResult<Vec<u8>> {
+        let state = self.core.state.lock();
+        let md = state.mds.get(h).ok_or(PtlError::InvalidMd)?;
+        if offset + len > md.len() {
+            return Err(PtlError::InvalidArgument);
+        }
+        Ok(md.read(offset as u64, len as u64))
+    }
+
+    /// Write bytes into an MD's region (application-side buffer access).
+    pub fn md_write(&self, h: MdHandle, offset: usize, data: &[u8]) -> PtlResult<()> {
+        let state = self.core.state.lock();
+        let md = state.mds.get(h).ok_or(PtlError::InvalidMd)?;
+        if offset + data.len() > md.len() {
+            return Err(PtlError::InvalidArgument);
+        }
+        md.write(offset as u64, data);
+        Ok(())
+    }
+
+    /// Current managed local offset of an MD (how far an offset-managed
+    /// unexpected buffer has filled).
+    pub fn md_local_offset(&self, h: MdHandle) -> PtlResult<u64> {
+        let state = self.core.state.lock();
+        state.mds.get(h).map(|md| md.local_offset).ok_or(PtlError::InvalidMd)
+    }
+
+    /// Atomically update an MD, conditional on an event queue being empty
+    /// (spec: `PtlMDUpdate`).
+    ///
+    /// If `test_eq` is supplied and holds *any* unconsumed event, the update is
+    /// refused with [`PtlError::NoUpdate`] and `mutate` is not run. Because the
+    /// receive engine holds the interface lock for the whole of a message's
+    /// processing, the test and the update are atomic with respect to message
+    /// arrival — this is the primitive an MPI implementation uses to close the
+    /// race between posting a receive and an unexpected message landing in the
+    /// overflow slab.
+    pub fn md_update(
+        &self,
+        h: MdHandle,
+        test_eq: Option<EqHandle>,
+        mutate: impl FnOnce(&mut Md),
+    ) -> PtlResult<()> {
+        let mut state = self.core.state.lock();
+        if let Some(eqh) = test_eq {
+            let eq = state.eqs.get(eqh).ok_or(PtlError::InvalidEq)?;
+            if !eq.is_empty() {
+                return Err(PtlError::NoUpdate);
+            }
+        }
+        let md = state.mds.get_mut(h).ok_or(PtlError::InvalidMd)?;
+        mutate(md);
+        Ok(())
+    }
+
+    // ----- access control ---------------------------------------------------
+
+    /// Replace an access-control entry (spec: `PtlACEntry`).
+    pub fn acl_set(&self, index: usize, entry: AcEntry) -> PtlResult<()> {
+        let mut state = self.core.state.lock();
+        if state.acl.set(index, entry) {
+            Ok(())
+        } else {
+            Err(PtlError::InvalidAcIndex)
+        }
+    }
+
+    // ----- data movement ----------------------------------------------------
+
+    /// Initiate a put (send): transmit the MD's region to
+    /// `(target, portal_index)` with `match_bits` at `remote_offset`
+    /// (spec: `PtlPut`). Logs a `Sent` event to the MD's queue, and later an
+    /// `Ack` event if `ack` was requested and the target accepted.
+    #[allow(clippy::too_many_arguments)] // mirrors PtlPut's arity
+    pub fn put(
+        &self,
+        md: MdHandle,
+        ack: AckRequest,
+        target: ProcessId,
+        portal_index: u32,
+        cookie: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
+    ) -> PtlResult<()> {
+        if target.has_wildcard() {
+            return Err(PtlError::InvalidProcess);
+        }
+        let (payload, eq, length) = {
+            let mut state = self.core.state.lock();
+            let mdr = state.mds.get_mut(md).ok_or(PtlError::InvalidMd)?;
+            if !mdr.threshold.active() {
+                return Err(PtlError::InvalidMd);
+            }
+            mdr.threshold = mdr.threshold.decrement();
+            let length = mdr.len() as u64;
+            if length as usize > self.core.config.limits.max_message_size {
+                return Err(PtlError::LimitExceeded);
+            }
+            (Bytes::from(mdr.read(0, length)), mdr.eq, length)
+        };
+
+        let (ack_md, ack_eq) = match ack {
+            AckRequest::Ack => (md.to_raw(), eq.map_or(RAW_HANDLE_NONE, |e| e.to_raw())),
+            AckRequest::NoAck => (RAW_HANDLE_NONE, RAW_HANDLE_NONE),
+        };
+        let msg = PortalsMessage::Put(PutRequest {
+            header: RequestHeader {
+                initiator: self.core.id,
+                target,
+                portal_index,
+                cookie,
+                match_bits,
+                offset: remote_offset,
+                length,
+            },
+            ack_md,
+            ack_eq,
+            payload,
+        });
+        self.transmit(target, msg, md, eq, match_bits, portal_index, length)
+    }
+
+    /// Initiate a get (read): ask `(target, portal_index)` for `length` bytes
+    /// at `remote_offset`; the reply lands at the start of this MD's region
+    /// (spec: `PtlGet`). The MD stays pinned ([`PtlError::MdInUse`]) until the
+    /// reply arrives.
+    #[allow(clippy::too_many_arguments)] // mirrors PtlGet's arity
+    pub fn get(
+        &self,
+        md: MdHandle,
+        target: ProcessId,
+        portal_index: u32,
+        cookie: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
+        length: u64,
+    ) -> PtlResult<()> {
+        if target.has_wildcard() {
+            return Err(PtlError::InvalidProcess);
+        }
+        if length as usize > self.core.config.limits.max_message_size {
+            return Err(PtlError::LimitExceeded);
+        }
+        let eq = {
+            let mut state = self.core.state.lock();
+            let mdr = state.mds.get_mut(md).ok_or(PtlError::InvalidMd)?;
+            if !mdr.threshold.active() {
+                return Err(PtlError::InvalidMd);
+            }
+            mdr.threshold = mdr.threshold.decrement();
+            mdr.pending_ops += 1;
+            mdr.eq
+        };
+        let msg = PortalsMessage::Get(GetRequest {
+            header: RequestHeader {
+                initiator: self.core.id,
+                target,
+                portal_index,
+                cookie,
+                match_bits,
+                offset: remote_offset,
+                length,
+            },
+            reply_md: md.to_raw(),
+        });
+        self.transmit(target, msg, md, eq, match_bits, portal_index, length)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &self,
+        target: ProcessId,
+        msg: PortalsMessage,
+        md: MdHandle,
+        eq: Option<EqHandle>,
+        match_bits: MatchBits,
+        portal_index: u32,
+        length: u64,
+    ) -> PtlResult<()> {
+        self.node.endpoint.send(target.nid, msg.encode());
+        self.core
+            .counters
+            .messages_sent
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(eqh) = eq {
+            let event = Event {
+                kind: EventKind::Sent,
+                initiator: self.core.id,
+                portal_index,
+                match_bits,
+                rlength: length,
+                mlength: length,
+                offset: 0,
+                md,
+            };
+            let state = self.core.state.lock();
+            if let Some(queue) = state.eqs.get(eqh) {
+                if !queue.push(event) {
+                    self.core
+                        .counters
+                        .events_overwritten
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- progress -----------------------------------------------------------
+
+    /// Drain the raw message queue (host-driven model). A no-op for
+    /// application-bypass interfaces, whose engine runs on the dispatcher.
+    pub fn progress(&self) {
+        if self.core.config.progress == ProgressModel::ApplicationBypass {
+            return;
+        }
+        loop {
+            let msg = self.core.raw.lock().pop_front();
+            match msg {
+                Some(m) => engine::deliver(&self.core, &self.node, m),
+                None => break,
+            }
+        }
+    }
+
+    /// Raw messages awaiting progress (always 0 under application bypass).
+    pub fn raw_pending(&self) -> usize {
+        self.core.raw.lock().len()
+    }
+}
+
+impl Drop for NetworkInterface {
+    fn drop(&mut self) {
+        self.node.nis.write().remove(&self.core.id.pid);
+    }
+}
+
+impl std::fmt::Debug for NetworkInterface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetworkInterface({}, {:?})", self.core.id, self.core.config.progress)
+    }
+}

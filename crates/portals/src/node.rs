@@ -1,0 +1,196 @@
+//! The node: the per-machine runtime that owns the transport endpoint and
+//! demultiplexes incoming traffic to its processes' network interfaces.
+//!
+//! §4.8: "When an incoming message arrives on a network interface, the runtime
+//! system first checks that the target process identified in the request is a
+//! valid process that has initialized the network interface ... If this test
+//! fails, the runtime system discards the message and increments the dropped
+//! message count for the interface."
+//!
+//! The node's dispatcher thread is also the stand-in for NIC firmware: for
+//! application-bypass interfaces it runs the receive engine directly, so
+//! message selection and delivery proceed while the application computes.
+
+use crate::engine;
+use crate::ni::{NetworkInterface, NiConfig, NiCore};
+use parking_lot::RwLock;
+use portals_transport::{Endpoint, TransportConfig};
+use portals_types::{NodeId, ProcessId, PtlError, PtlResult, UserId};
+use portals_wire::PortalsMessage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Classifies processes for the "same application" / "system" ACL entries
+/// (§4.5). The parallel runtime implements this against its job tables; the
+/// default treats every process as a member of application 0.
+pub trait ProcessDirectory: Send + Sync {
+    /// Which user/application a process id belongs to.
+    fn classify(&self, id: ProcessId) -> UserId;
+}
+
+/// Default directory: one big happy application.
+struct OpenDirectory;
+
+impl ProcessDirectory for OpenDirectory {
+    fn classify(&self, _: ProcessId) -> UserId {
+        UserId::Application(0)
+    }
+}
+
+/// Node configuration.
+#[derive(Clone)]
+#[derive(Default)]
+pub struct NodeConfig {
+    /// Transport tuning for the node's endpoint.
+    pub transport: TransportConfig,
+    /// Process classifier for ACL checks; defaults to "everyone is
+    /// application 0".
+    pub directory: Option<Arc<dyn ProcessDirectory>>,
+}
+
+
+impl std::fmt::Debug for NodeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeConfig").field("transport", &self.transport).finish()
+    }
+}
+
+pub(crate) struct NodeShared {
+    pub(crate) nid: NodeId,
+    pub(crate) endpoint: Endpoint,
+    pub(crate) nis: RwLock<HashMap<u32, Arc<NiCore>>>,
+    pub(crate) directory: Arc<dyn ProcessDirectory>,
+    /// §4.8 first-check failures: traffic for pids with no interface.
+    pub(crate) dropped_no_process: AtomicU64,
+    /// Misrouted or undecodable traffic.
+    pub(crate) dropped_garbage: AtomicU64,
+    pub(crate) alive: AtomicBool,
+}
+
+/// A simulated machine: one transport endpoint, one dispatcher thread, and any
+/// number of process-level [`NetworkInterface`]s.
+///
+/// Dropping the node powers it off: the dispatcher stops and its interfaces
+/// stop receiving (sends from elsewhere are retried by their transports until
+/// those endpoints are dropped too).
+pub struct Node {
+    shared: Arc<NodeShared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Node {
+    /// Bring up a node on an attached NIC.
+    pub fn new(nic: portals_net::Nic, config: NodeConfig) -> Node {
+        let nid = nic.nid();
+        let endpoint = Endpoint::new(nic, config.transport);
+        let shared = Arc::new(NodeShared {
+            nid,
+            endpoint,
+            nis: RwLock::new(HashMap::new()),
+            directory: config.directory.unwrap_or_else(|| Arc::new(OpenDirectory)),
+            dropped_no_process: AtomicU64::new(0),
+            dropped_garbage: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            let incoming = shared.endpoint.incoming_receiver();
+            std::thread::Builder::new()
+                .name(format!("portals-node-{}", nid.0))
+                .spawn(move || {
+                    while shared.alive.load(Ordering::Relaxed) {
+                        match incoming.recv_timeout(Duration::from_millis(50)) {
+                            Ok(msg) => dispatch(&shared, &msg.payload),
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                        }
+                    }
+                })
+                .expect("spawn node dispatcher")
+        };
+        Node { shared, dispatcher: Some(dispatcher) }
+    }
+
+    /// This node's id.
+    pub fn nid(&self) -> NodeId {
+        self.shared.nid
+    }
+
+    /// Create a network interface for process `pid` on this node.
+    pub fn create_ni(&self, pid: u32, config: NiConfig) -> PtlResult<NetworkInterface> {
+        let id = ProcessId { nid: self.shared.nid, pid };
+        let core = Arc::new(NiCore::new(id, config));
+        let mut nis = self.shared.nis.write();
+        if nis.contains_key(&pid) {
+            return Err(PtlError::InvalidProcess);
+        }
+        nis.insert(pid, Arc::clone(&core));
+        drop(nis);
+        Ok(NetworkInterface { core, node: Arc::clone(&self.shared) })
+    }
+
+    /// Messages dropped because no process claimed them (§4.8 first check).
+    pub fn dropped_no_process(&self) -> u64 {
+        self.shared.dropped_no_process.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped as undecodable or misrouted.
+    pub fn dropped_garbage(&self) -> u64 {
+        self.shared.dropped_garbage.load(Ordering::Relaxed)
+    }
+
+    /// Transport statistics for this node's endpoint.
+    pub fn transport_stats(&self) -> portals_transport::TransportStatsSnapshot {
+        self.shared.endpoint.stats()
+    }
+
+    /// Block until this node's outbound transport queue fully drains, or the
+    /// timeout expires. Returns true on success.
+    pub fn flush_transport(&self, timeout: Duration) -> bool {
+        self.shared.endpoint.flush(timeout)
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.shared.alive.store(false, Ordering::Relaxed);
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Node({})", self.shared.nid)
+    }
+}
+
+/// One message's §4.8 journey, starting from the node-level checks.
+fn dispatch(shared: &NodeShared, payload: &[u8]) {
+    let msg = match PortalsMessage::decode(payload) {
+        Ok(m) => m,
+        Err(_) => {
+            shared.dropped_garbage.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let target = msg.wire_target();
+    if target.nid != shared.nid {
+        shared.dropped_garbage.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let core = shared.nis.read().get(&target.pid).cloned();
+    match core {
+        None => {
+            shared.dropped_no_process.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(core) => match core.config.progress {
+            crate::ProgressModel::ApplicationBypass => engine::deliver(&core, shared, msg),
+            crate::ProgressModel::HostDriven => core.enqueue_raw(msg),
+        },
+    }
+}

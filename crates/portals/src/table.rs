@@ -1,0 +1,179 @@
+//! The Portal table: ordered match lists per portal index.
+//!
+//! Fig. 3: "The memory buffer id, called the portal id, is used as an index
+//! into the Portal table. Each element of the Portal table identifies a match
+//! list." Match-list *order* is semantically load-bearing — MPI's matching
+//! rules depend on receives being considered in posting order, with the
+//! overflow (unexpected-message) entries last — so insertion position is part
+//! of the API.
+
+use crate::MeHandle;
+
+/// Where to insert a match entry relative to the existing list (spec:
+/// `PTL_INS_BEFORE` / `PTL_INS_AFTER` on `PtlMEAttach`/`PtlMEInsert`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MePos {
+    /// Head of the list: considered first.
+    Front,
+    /// Tail of the list: considered last (where overflow entries live).
+    Back,
+    /// Immediately before an existing entry.
+    Before(MeHandle),
+    /// Immediately after an existing entry.
+    After(MeHandle),
+}
+
+/// One portal's ordered match list.
+#[derive(Debug, Default)]
+pub struct MatchList {
+    entries: Vec<MeHandle>,
+}
+
+impl MatchList {
+    /// Insert `me` at `pos`. Returns false if an anchor handle isn't present.
+    pub fn insert(&mut self, me: MeHandle, pos: MePos) -> bool {
+        match pos {
+            MePos::Front => {
+                self.entries.insert(0, me);
+                true
+            }
+            MePos::Back => {
+                self.entries.push(me);
+                true
+            }
+            MePos::Before(anchor) => match self.position(anchor) {
+                Some(i) => {
+                    self.entries.insert(i, me);
+                    true
+                }
+                None => false,
+            },
+            MePos::After(anchor) => match self.position(anchor) {
+                Some(i) => {
+                    self.entries.insert(i + 1, me);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Remove `me`; true if it was present.
+    pub fn remove(&mut self, me: MeHandle) -> bool {
+        match self.position(me) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn position(&self, me: MeHandle) -> Option<usize> {
+        self.entries.iter().position(|h| *h == me)
+    }
+
+    /// Walk order.
+    pub fn iter(&self) -> impl Iterator<Item = MeHandle> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are attached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The whole table: a fixed number of portal indices, each with a match list.
+#[derive(Debug)]
+pub struct PortalTable {
+    lists: Vec<MatchList>,
+}
+
+impl PortalTable {
+    /// A table with `size` portal indices.
+    pub fn new(size: usize) -> PortalTable {
+        PortalTable { lists: (0..size).map(|_| MatchList::default()).collect() }
+    }
+
+    /// Number of portal indices.
+    pub fn size(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The match list at `index`, or None if out of range ("the Portal index
+    /// supplied in the request is not valid", §4.8).
+    pub fn list(&self, index: u32) -> Option<&MatchList> {
+        self.lists.get(index as usize)
+    }
+
+    /// Mutable access.
+    pub fn list_mut(&mut self, index: u32) -> Option<&mut MatchList> {
+        self.lists.get_mut(index as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portals_types::Handle;
+
+    fn h(n: u64) -> MeHandle {
+        Handle::from_raw(n)
+    }
+
+    #[test]
+    fn front_back_ordering() {
+        let mut list = MatchList::default();
+        list.insert(h(1), MePos::Back);
+        list.insert(h(2), MePos::Back);
+        list.insert(h(0), MePos::Front);
+        let order: Vec<_> = list.iter().collect();
+        assert_eq!(order, vec![h(0), h(1), h(2)]);
+    }
+
+    #[test]
+    fn before_after_anchors() {
+        let mut list = MatchList::default();
+        list.insert(h(1), MePos::Back);
+        list.insert(h(3), MePos::Back);
+        assert!(list.insert(h(2), MePos::Before(h(3))));
+        assert!(list.insert(h(4), MePos::After(h(3))));
+        let order: Vec<_> = list.iter().collect();
+        assert_eq!(order, vec![h(1), h(2), h(3), h(4)]);
+    }
+
+    #[test]
+    fn missing_anchor_fails() {
+        let mut list = MatchList::default();
+        assert!(!list.insert(h(1), MePos::Before(h(99))));
+        assert!(!list.insert(h(1), MePos::After(h(99))));
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn remove_preserves_order() {
+        let mut list = MatchList::default();
+        for i in 0..4 {
+            list.insert(h(i), MePos::Back);
+        }
+        assert!(list.remove(h(2)));
+        assert!(!list.remove(h(2)));
+        let order: Vec<_> = list.iter().collect();
+        assert_eq!(order, vec![h(0), h(1), h(3)]);
+    }
+
+    #[test]
+    fn table_bounds() {
+        let mut table = PortalTable::new(4);
+        assert_eq!(table.size(), 4);
+        assert!(table.list(3).is_some());
+        assert!(table.list(4).is_none());
+        assert!(table.list_mut(0).is_some());
+    }
+}

@@ -1,0 +1,405 @@
+//! The collective communication library.
+//!
+//! §2: the Puma MPI "utilized a high-performance collective communication
+//! library implemented directly on Portals". Ours runs over the Portals-backed
+//! matching engine on reserved tags (invisible to application send/recv), with
+//! classic distributed-memory algorithms:
+//!
+//! * broadcast / reduce — binomial trees;
+//! * allreduce — recursive doubling (with the non-power-of-two fold-in), or
+//!   reduce+broadcast, selectable for the ablation bench;
+//! * allgather — ring or linear, selectable;
+//! * gather / scatter — linear to/from the root;
+//! * alltoall — fully posted nonblocking exchange;
+//! * barrier — the communicator's dissemination barrier.
+
+use portals::iobuf;
+use portals_mpi::bits::MAX_USER_TAG;
+use portals_mpi::{Communicator, Request};
+use portals_types::Rank;
+
+const TAG_BCAST: u32 = MAX_USER_TAG + 0x100;
+const TAG_REDUCE: u32 = MAX_USER_TAG + 0x101;
+const TAG_ALLRED_PRE: u32 = MAX_USER_TAG + 0x102;
+const TAG_ALLRED_STEP: u32 = MAX_USER_TAG + 0x103;
+const TAG_ALLRED_POST: u32 = MAX_USER_TAG + 0x104;
+const TAG_GATHER: u32 = MAX_USER_TAG + 0x105;
+const TAG_SCATTER: u32 = MAX_USER_TAG + 0x106;
+const TAG_ALLGATHER: u32 = MAX_USER_TAG + 0x107;
+const TAG_ALLTOALL: u32 = MAX_USER_TAG + 0x108;
+
+/// Element-wise reduction operator over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn combine(self, into: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(into.len(), other.len());
+        match self {
+            ReduceOp::Sum => into.iter_mut().zip(other).for_each(|(a, b)| *a += b),
+            ReduceOp::Min => into.iter_mut().zip(other).for_each(|(a, b)| *a = a.min(*b)),
+            ReduceOp::Max => into.iter_mut().zip(other).for_each(|(a, b)| *a = a.max(*b)),
+        }
+    }
+}
+
+/// Allreduce algorithm choice (ablation target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllreduceAlgo {
+    /// Recursive doubling: ⌈log₂ n⌉ exchange rounds, all ranks active.
+    #[default]
+    RecursiveDoubling,
+    /// Binomial reduce to rank 0, then binomial broadcast.
+    ReduceBroadcast,
+}
+
+/// Allgather algorithm choice (ablation target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllgatherAlgo {
+    /// Ring: n−1 steps, each rank forwards one block per step.
+    #[default]
+    Ring,
+    /// Everyone sends to everyone, fully nonblocking.
+    Linear,
+}
+
+/// The collective library bound to one communicator.
+pub struct Collectives {
+    comm: Communicator,
+    /// Allreduce algorithm.
+    pub allreduce_algo: AllreduceAlgo,
+    /// Allgather algorithm.
+    pub allgather_algo: AllgatherAlgo,
+}
+
+impl Collectives {
+    /// Bind to a communicator with default algorithms.
+    pub fn new(comm: Communicator) -> Collectives {
+        Collectives { comm, allreduce_algo: Default::default(), allgather_algo: Default::default() }
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    fn me(&self) -> usize {
+        self.comm.rank().0 as usize
+    }
+
+    fn n(&self) -> usize {
+        self.comm.size()
+    }
+
+    // -- small blocking plumbing on reserved tags ---------------------------
+
+    fn send_to(&self, to: usize, tag: u32, data: &[u8]) {
+        let req = self.comm.isend_reserved(Rank(to as u32), tag, data);
+        self.comm.wait(req);
+    }
+
+    fn isend_to(&self, to: usize, tag: u32, data: &[u8]) -> Request {
+        self.comm.isend_reserved(Rank(to as u32), tag, data)
+    }
+
+    fn recv_from(&self, from: usize, tag: u32, cap: usize) -> Vec<u8> {
+        let buf = iobuf(vec![0u8; cap]);
+        let req = self.comm.irecv_reserved(Rank(from as u32), tag, buf.clone());
+        let st = self.comm.wait(req).status().expect("collective recv");
+        assert!(!st.truncated, "collective message truncated: peers disagree on sizes");
+        let out = buf.lock()[..st.len].to_vec();
+        out
+    }
+
+    // -- collectives --------------------------------------------------------
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.comm.barrier();
+    }
+
+    /// Binomial-tree broadcast: `data` must be the same length on every rank;
+    /// after the call every rank holds the root's bytes.
+    pub fn bcast(&self, root: usize, data: &mut [u8]) {
+        let n = self.n();
+        if n == 1 {
+            return;
+        }
+        let me = self.me();
+        let vrank = (me + n - root) % n;
+        // Receive from the parent…
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = ((vrank - mask) + root) % n;
+                let got = self.recv_from(parent, TAG_BCAST, data.len());
+                assert_eq!(got.len(), data.len(), "bcast length mismatch");
+                data.copy_from_slice(&got);
+                break;
+            }
+            mask <<= 1;
+        }
+        // …then forward to children in decreasing mask order.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank & mask == 0 && vrank + mask < n {
+                let child = ((vrank + mask) + root) % n;
+                self.send_to(child, TAG_BCAST, data);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Binomial-tree reduction of `f64` vectors to `root`; returns the result
+    /// there, `None` elsewhere.
+    pub fn reduce(&self, root: usize, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let n = self.n();
+        let me = self.me();
+        let vrank = (me + n - root) % n;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask == 0 {
+                let partner = vrank | mask;
+                if partner < n {
+                    let from = (partner + root) % n;
+                    let bytes = self.recv_from(from, TAG_REDUCE, data.len() * 8);
+                    op.combine(&mut acc, &decode_f64(&bytes));
+                }
+            } else {
+                let parent = ((vrank & !mask) + root) % n;
+                self.send_to(parent, TAG_REDUCE, &encode_f64(&acc));
+                return None;
+            }
+            mask <<= 1;
+        }
+        debug_assert_eq!(me, root);
+        Some(acc)
+    }
+
+    /// Allreduce: every rank ends with the element-wise reduction of all
+    /// ranks' `data`.
+    pub fn allreduce(&self, data: &mut [f64], op: ReduceOp) {
+        match self.allreduce_algo {
+            AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(data, op),
+            AllreduceAlgo::ReduceBroadcast => {
+                if let Some(result) = self.reduce(0, data, op) {
+                    data.copy_from_slice(&result);
+                }
+                let mut bytes = encode_f64(data);
+                self.bcast(0, &mut bytes);
+                data.copy_from_slice(&decode_f64(&bytes));
+            }
+        }
+    }
+
+    /// Recursive-doubling allreduce with the standard non-power-of-two
+    /// fold-in: extras hand their data to a partner, the power-of-two core
+    /// runs log rounds, the result is handed back.
+    fn allreduce_rd(&self, data: &mut [f64], op: ReduceOp) {
+        let n = self.n();
+        if n == 1 {
+            return;
+        }
+        let me = self.me();
+        let p = n.next_power_of_two() >> if n.is_power_of_two() { 0 } else { 1 };
+        let extra = n - p;
+
+        if me >= p {
+            // Extra rank: fold into (me - p), then receive the final result.
+            self.send_to(me - p, TAG_ALLRED_PRE, &encode_f64(data));
+            let result = self.recv_from(me - p, TAG_ALLRED_POST, data.len() * 8);
+            data.copy_from_slice(&decode_f64(&result));
+            return;
+        }
+        if me < extra {
+            let bytes = self.recv_from(me + p, TAG_ALLRED_PRE, data.len() * 8);
+            op.combine(data, &decode_f64(&bytes));
+        }
+        // Core recursive doubling among ranks 0..p.
+        let mut mask = 1usize;
+        while mask < p {
+            let partner = me ^ mask;
+            // Exchange simultaneously: post the receive, send, wait both.
+            let buf = iobuf(vec![0u8; data.len() * 8]);
+            let rreq = self.comm.irecv_reserved(Rank(partner as u32), TAG_ALLRED_STEP, buf.clone());
+            let sreq = self.isend_to(partner, TAG_ALLRED_STEP, &encode_f64(data));
+            let st = self.comm.wait(rreq).status().expect("allreduce step");
+            self.comm.wait(sreq);
+            assert_eq!(st.len, data.len() * 8);
+            op.combine(data, &decode_f64(&buf.lock()));
+            mask <<= 1;
+        }
+        if me < extra {
+            self.send_to(me + p, TAG_ALLRED_POST, &encode_f64(data));
+        }
+    }
+
+    /// Gather every rank's bytes at `root` (rank-ordered); `None` elsewhere.
+    pub fn gather(&self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let n = self.n();
+        let me = self.me();
+        if me != root {
+            self.send_to(root, TAG_GATHER, mine);
+            return None;
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[me] = mine.to_vec();
+        // Collect from everyone else (any completion order; ranks are matched
+        // by source).
+        for (r, slot) in out.iter_mut().enumerate() {
+            if r != me {
+                *slot = self.recv_from(r, TAG_GATHER, 16 * 1024 * 1024);
+            }
+        }
+        Some(out)
+    }
+
+    /// Scatter `parts[i]` from `root` to rank `i`; returns this rank's part.
+    pub fn scatter(&self, root: usize, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
+        let n = self.n();
+        let me = self.me();
+        if me == root {
+            let parts = parts.expect("root must supply parts");
+            assert_eq!(parts.len(), n, "one part per rank");
+            let reqs: Vec<Request> = (0..n)
+                .filter(|&r| r != me)
+                .map(|r| self.isend_to(r, TAG_SCATTER, &parts[r]))
+                .collect();
+            for req in reqs {
+                self.comm.wait(req);
+            }
+            parts[me].clone()
+        } else {
+            self.recv_from(root, TAG_SCATTER, 16 * 1024 * 1024)
+        }
+    }
+
+    /// Every rank ends with every rank's bytes, rank-ordered. All
+    /// contributions must be the same length.
+    pub fn allgather(&self, mine: &[u8]) -> Vec<Vec<u8>> {
+        match self.allgather_algo {
+            AllgatherAlgo::Ring => self.allgather_ring(mine),
+            AllgatherAlgo::Linear => self.allgather_linear(mine),
+        }
+    }
+
+    fn allgather_ring(&self, mine: &[u8]) -> Vec<Vec<u8>> {
+        let n = self.n();
+        let me = self.me();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[me] = mine.to_vec();
+        if n == 1 {
+            return out;
+        }
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for step in 0..n - 1 {
+            let send_block = (me + n - step) % n;
+            let recv_block = (me + n - step - 1) % n;
+            let buf = iobuf(vec![0u8; mine.len()]);
+            let rreq = self.comm.irecv_reserved(Rank(left as u32), TAG_ALLGATHER, buf.clone());
+            let sreq = self.isend_to(right, TAG_ALLGATHER, &out[send_block]);
+            let st = self.comm.wait(rreq).status().expect("allgather ring");
+            self.comm.wait(sreq);
+            assert_eq!(st.len, mine.len(), "allgather blocks must be equal-sized");
+            out[recv_block] = buf.lock()[..st.len].to_vec();
+        }
+        out
+    }
+
+    fn allgather_linear(&self, mine: &[u8]) -> Vec<Vec<u8>> {
+        let n = self.n();
+        let me = self.me();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[me] = mine.to_vec();
+        let bufs: Vec<_> = (0..n).map(|_| iobuf(vec![0u8; mine.len()])).collect();
+        let rreqs: Vec<(usize, Request)> = (0..n)
+            .filter(|&r| r != me)
+            .map(|r| (r, self.comm.irecv_reserved(Rank(r as u32), TAG_ALLGATHER, bufs[r].clone())))
+            .collect();
+        let sreqs: Vec<Request> =
+            (0..n).filter(|&r| r != me).map(|r| self.isend_to(r, TAG_ALLGATHER, mine)).collect();
+        for (r, req) in rreqs {
+            let st = self.comm.wait(req).status().expect("allgather linear");
+            out[r] = bufs[r].lock()[..st.len].to_vec();
+        }
+        for req in sreqs {
+            self.comm.wait(req);
+        }
+        out
+    }
+
+    /// Personalized all-to-all: rank `i` receives `parts[i]` from every rank.
+    pub fn alltoall(&self, parts: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let n = self.n();
+        let me = self.me();
+        assert_eq!(parts.len(), n, "one part per destination");
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[me] = parts[me].clone();
+        let cap = parts.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        let bufs: Vec<_> = (0..n).map(|_| iobuf(vec![0u8; cap])).collect();
+        let rreqs: Vec<(usize, Request)> = (0..n)
+            .filter(|&r| r != me)
+            .map(|r| (r, self.comm.irecv_reserved(Rank(r as u32), TAG_ALLTOALL, bufs[r].clone())))
+            .collect();
+        let sreqs: Vec<Request> = (0..n)
+            .filter(|&r| r != me)
+            .map(|r| self.isend_to(r, TAG_ALLTOALL, &parts[r]))
+            .collect();
+        for (r, req) in rreqs {
+            let st = self.comm.wait(req).status().expect("alltoall");
+            assert!(!st.truncated, "alltoall part exceeded the agreed maximum");
+            out[r] = bufs[r].lock()[..st.len].to_vec();
+        }
+        for req in sreqs {
+            self.comm.wait(req);
+        }
+        out
+    }
+}
+
+/// Pack f64s little-endian.
+pub fn encode_f64(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack little-endian f64s.
+pub fn decode_f64(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "f64 payload must be 8-byte aligned");
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("chunk"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_codec_roundtrip() {
+        let data = vec![1.5, -2.25, f64::MAX, 0.0, f64::MIN_POSITIVE];
+        assert_eq!(decode_f64(&encode_f64(&data)), data);
+    }
+
+    #[test]
+    fn reduce_op_combine() {
+        let mut a = vec![1.0, 5.0, 3.0];
+        ReduceOp::Sum.combine(&mut a, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 6.0, 4.0]);
+        ReduceOp::Min.combine(&mut a, &[3.0, 0.0, 9.0]);
+        assert_eq!(a, vec![2.0, 0.0, 4.0]);
+        ReduceOp::Max.combine(&mut a, &[0.0, 7.0, 4.5]);
+        assert_eq!(a, vec![2.0, 7.0, 4.5]);
+    }
+}

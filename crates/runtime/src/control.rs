@@ -1,0 +1,431 @@
+//! Runtime control protocol: launcher ↔ per-node process managers.
+//!
+//! §2 of the paper: Portals carried the "protocols between the components of
+//! the parallel runtime environment" — on Cplant™, the `yod` launcher talked
+//! to per-node process-management daemons over Portals to start jobs, collect
+//! exit status and detect node failure. This module rebuilds that control
+//! plane: fixed-size records over raw Portals puts, a managed-offset request
+//! slab on each side, heartbeat-based failure detection, and system-process
+//! access control (launcher and managers are §4.5 *system* processes).
+
+use parking_lot::Mutex;
+use portals::{
+    iobuf, AckRequest, EqHandle, EventKind, IoBuf, MdOptions, MdSpec, MePos, NetworkInterface,
+};
+use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Portal the launcher listens on.
+pub const PT_LAUNCHER: u32 = 10;
+/// Portal every process manager listens on.
+pub const PT_MANAGER: u32 = 11;
+/// Fixed control-record size.
+const RECORD_SIZE: usize = 32;
+const SLAB_RECORDS: usize = 1024;
+
+/// Control messages (both directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Manager → launcher: this node's manager is up.
+    Register {
+        /// The manager's node.
+        nid: u32,
+    },
+    /// Launcher → manager: start job `job` with `nranks` ranks.
+    StartJob {
+        /// Job id.
+        job: u32,
+        /// World size.
+        nranks: u32,
+    },
+    /// Manager → launcher: job started on this node.
+    Started {
+        /// Job id.
+        job: u32,
+        /// The manager's node.
+        nid: u32,
+    },
+    /// Launcher → manager: tear the job down.
+    KillJob {
+        /// Job id.
+        job: u32,
+    },
+    /// Manager → launcher: periodic liveness beacon.
+    Heartbeat {
+        /// The manager's node.
+        nid: u32,
+        /// Beacon sequence number.
+        seq: u64,
+    },
+}
+
+impl Control {
+    /// Serialize to [`RECORD_SIZE`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; RECORD_SIZE];
+        match *self {
+            Control::Register { nid } => {
+                out[0] = 1;
+                out[8..12].copy_from_slice(&nid.to_le_bytes());
+            }
+            Control::StartJob { job, nranks } => {
+                out[0] = 2;
+                out[8..12].copy_from_slice(&job.to_le_bytes());
+                out[12..16].copy_from_slice(&nranks.to_le_bytes());
+            }
+            Control::Started { job, nid } => {
+                out[0] = 3;
+                out[8..12].copy_from_slice(&job.to_le_bytes());
+                out[12..16].copy_from_slice(&nid.to_le_bytes());
+            }
+            Control::KillJob { job } => {
+                out[0] = 4;
+                out[8..12].copy_from_slice(&job.to_le_bytes());
+            }
+            Control::Heartbeat { nid, seq } => {
+                out[0] = 5;
+                out[8..12].copy_from_slice(&nid.to_le_bytes());
+                out[16..24].copy_from_slice(&seq.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a record; `None` for unknown/short records.
+    pub fn decode(buf: &[u8]) -> Option<Control> {
+        if buf.len() < RECORD_SIZE {
+            return None;
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(buf[i..i + 4].try_into().expect("slice"));
+        let u64_at = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("slice"));
+        match buf[0] {
+            1 => Some(Control::Register { nid: u32_at(8) }),
+            2 => Some(Control::StartJob { job: u32_at(8), nranks: u32_at(12) }),
+            3 => Some(Control::Started { job: u32_at(8), nid: u32_at(12) }),
+            4 => Some(Control::KillJob { job: u32_at(8) }),
+            5 => Some(Control::Heartbeat { nid: u32_at(8), seq: u64_at(16) }),
+            _ => None,
+        }
+    }
+}
+
+/// Attach a control slab (managed offset, auto-rotating) on `portal`.
+fn attach_slab(
+    ni: &NetworkInterface,
+    me: portals::MeHandle,
+    eq: EqHandle,
+    slabs: &Mutex<HashMap<portals::MdHandle, IoBuf>>,
+) -> PtlResult<()> {
+    let buf = iobuf(vec![0u8; RECORD_SIZE * SLAB_RECORDS]);
+    let md = ni.md_attach(
+        me,
+        MdSpec::new(buf.clone()).with_eq(eq).with_options(MdOptions {
+            op_put: true,
+            op_get: false,
+            truncate: true,
+            manage_local_offset: true,
+            unlink_on_exhaustion: false,
+            min_free: RECORD_SIZE,
+        }),
+    )?;
+    slabs.lock().insert(md, buf);
+    Ok(())
+}
+
+fn send_record(ni: &NetworkInterface, to: ProcessId, portal: u32, record: Control) {
+    let md = ni.md_bind(MdSpec::new(iobuf(record.encode()))).expect("bind control md");
+    let _ = ni.put(md, AckRequest::NoAck, to, portal, 1 /* system ACL entry */, MatchBits::ZERO, 0);
+    let _ = ni.md_unlink(md);
+}
+
+/// What the launcher currently knows about one node's manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Registered and beaconing.
+    Alive,
+    /// Heartbeats stopped arriving.
+    Suspect,
+}
+
+struct LauncherInner {
+    ni: NetworkInterface,
+    eq: EqHandle,
+    slabs: Mutex<HashMap<portals::MdHandle, IoBuf>>,
+    slab_me: portals::MeHandle,
+    managers: Mutex<HashMap<u32, (ProcessId, Instant, NodeState)>>,
+    started: Mutex<Vec<(u32, u32)>>, // (job, nid)
+    stop: AtomicBool,
+    heartbeat_timeout: Duration,
+}
+
+/// The job launcher: collects registrations and heartbeats, starts and kills
+/// jobs, and flags nodes whose beacons stop (the failure-detection role the
+/// Cplant runtime played).
+pub struct Launcher {
+    inner: Arc<LauncherInner>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Launcher {
+    /// Start a launcher on `ni` (a system process).
+    pub fn start(ni: NetworkInterface, heartbeat_timeout: Duration) -> PtlResult<Launcher> {
+        let eq = ni.eq_alloc(4096)?;
+        let slab_me =
+            ni.me_attach(PT_LAUNCHER, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
+        let inner = Arc::new(LauncherInner {
+            ni,
+            eq,
+            slabs: Mutex::new(HashMap::new()),
+            slab_me,
+            managers: Mutex::new(HashMap::new()),
+            started: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            heartbeat_timeout,
+        });
+        attach_slab(&inner.ni, slab_me, eq, &inner.slabs)?;
+        let thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("portals-launcher".into())
+                .spawn(move || launcher_loop(inner))
+                .expect("spawn launcher")
+        };
+        Ok(Launcher { inner, thread: Some(thread) })
+    }
+
+    /// The launcher's process id (managers address this).
+    pub fn id(&self) -> ProcessId {
+        self.inner.ni.id()
+    }
+
+    /// Nodes currently registered, with their states.
+    pub fn nodes(&self) -> Vec<(u32, NodeState)> {
+        self.inner.managers.lock().iter().map(|(nid, (_, _, st))| (*nid, *st)).collect()
+    }
+
+    /// Nodes that acknowledged the start of `job`.
+    pub fn started_on(&self, job: u32) -> Vec<u32> {
+        self.inner
+            .started
+            .lock()
+            .iter()
+            .filter(|(j, _)| *j == job)
+            .map(|(_, nid)| *nid)
+            .collect()
+    }
+
+    /// Command every registered manager to start `job`.
+    pub fn start_job(&self, job: u32, nranks: u32) {
+        let managers = self.inner.managers.lock();
+        for (pid, _, _) in managers.values() {
+            send_record(&self.inner.ni, *pid, PT_MANAGER, Control::StartJob { job, nranks });
+        }
+    }
+
+    /// Command every registered manager to kill `job`.
+    pub fn kill_job(&self, job: u32) {
+        let managers = self.inner.managers.lock();
+        for (pid, _, _) in managers.values() {
+            send_record(&self.inner.ni, *pid, PT_MANAGER, Control::KillJob { job });
+        }
+    }
+}
+
+impl Drop for Launcher {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn launcher_loop(inner: Arc<LauncherInner>) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        match inner.ni.eq_poll(inner.eq, Duration::from_millis(10)) {
+            Ok(ev) if ev.kind == EventKind::Put => {
+                let Some(buf) = inner.slabs.lock().get(&ev.md).cloned() else { continue };
+                let record = {
+                    let b = buf.lock();
+                    let at = ev.offset as usize;
+                    Control::decode(&b[at..at + (ev.mlength as usize).min(RECORD_SIZE)])
+                };
+                match record {
+                    Some(Control::Register { nid }) => {
+                        inner
+                            .managers
+                            .lock()
+                            .insert(nid, (ev.initiator, Instant::now(), NodeState::Alive));
+                    }
+                    Some(Control::Heartbeat { nid, .. }) => {
+                        if let Some(entry) = inner.managers.lock().get_mut(&nid) {
+                            entry.1 = Instant::now();
+                            entry.2 = NodeState::Alive;
+                        }
+                    }
+                    Some(Control::Started { job, nid }) => {
+                        inner.started.lock().push((job, nid));
+                    }
+                    _ => {}
+                }
+            }
+            Ok(ev) if ev.kind == EventKind::Unlink
+                && inner.slabs.lock().remove(&ev.md).is_some() => {
+                    let _ = attach_slab(&inner.ni, inner.slab_me, inner.eq, &inner.slabs);
+                }
+            _ => {}
+        }
+        // Failure detection sweep.
+        let timeout = inner.heartbeat_timeout;
+        for entry in inner.managers.lock().values_mut() {
+            if entry.1.elapsed() > timeout {
+                entry.2 = NodeState::Suspect;
+            }
+        }
+    }
+}
+
+struct ManagerInner {
+    ni: NetworkInterface,
+    eq: EqHandle,
+    slabs: Mutex<HashMap<portals::MdHandle, IoBuf>>,
+    slab_me: portals::MeHandle,
+    launcher: ProcessId,
+    nid: u32,
+    jobs: Mutex<HashMap<u32, u32>>, // job -> nranks (running)
+    stop: AtomicBool,
+    heartbeat_every: Duration,
+}
+
+/// A per-node process manager daemon: registers with the launcher, beacons,
+/// and acknowledges job start/kill commands.
+pub struct ProcessManager {
+    inner: Arc<ManagerInner>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ProcessManager {
+    /// Start a manager on `ni`, reporting to `launcher`.
+    pub fn start(
+        ni: NetworkInterface,
+        launcher: ProcessId,
+        heartbeat_every: Duration,
+    ) -> PtlResult<ProcessManager> {
+        let nid = ni.id().nid.0;
+        let eq = ni.eq_alloc(1024)?;
+        let slab_me =
+            ni.me_attach(PT_MANAGER, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
+        let inner = Arc::new(ManagerInner {
+            ni,
+            eq,
+            slabs: Mutex::new(HashMap::new()),
+            slab_me,
+            launcher,
+            nid,
+            jobs: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+            heartbeat_every,
+        });
+        attach_slab(&inner.ni, slab_me, eq, &inner.slabs)?;
+        send_record(&inner.ni, launcher, PT_LAUNCHER, Control::Register { nid });
+        let thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("portals-pm-{nid}"))
+                .spawn(move || manager_loop(inner))
+                .expect("spawn manager")
+        };
+        Ok(ProcessManager { inner, thread: Some(thread) })
+    }
+
+    /// Jobs this manager currently considers running.
+    pub fn running_jobs(&self) -> Vec<u32> {
+        self.inner.jobs.lock().keys().copied().collect()
+    }
+}
+
+impl Drop for ProcessManager {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn manager_loop(inner: Arc<ManagerInner>) {
+    let mut seq = 0u64;
+    let mut last_beat = Instant::now();
+    while !inner.stop.load(Ordering::Relaxed) {
+        if last_beat.elapsed() >= inner.heartbeat_every {
+            seq += 1;
+            send_record(
+                &inner.ni,
+                inner.launcher,
+                PT_LAUNCHER,
+                Control::Heartbeat { nid: inner.nid, seq },
+            );
+            last_beat = Instant::now();
+        }
+        match inner.ni.eq_poll(inner.eq, inner.heartbeat_every / 4) {
+            Ok(ev) if ev.kind == EventKind::Put => {
+                let Some(buf) = inner.slabs.lock().get(&ev.md).cloned() else { continue };
+                let record = {
+                    let b = buf.lock();
+                    let at = ev.offset as usize;
+                    Control::decode(&b[at..at + (ev.mlength as usize).min(RECORD_SIZE)])
+                };
+                match record {
+                    Some(Control::StartJob { job, nranks }) => {
+                        inner.jobs.lock().insert(job, nranks);
+                        send_record(
+                            &inner.ni,
+                            inner.launcher,
+                            PT_LAUNCHER,
+                            Control::Started { job, nid: inner.nid },
+                        );
+                    }
+                    Some(Control::KillJob { job }) => {
+                        inner.jobs.lock().remove(&job);
+                    }
+                    _ => {}
+                }
+            }
+            Ok(ev) if ev.kind == EventKind::Unlink
+                && inner.slabs.lock().remove(&ev.md).is_some() => {
+                    let _ = attach_slab(&inner.ni, inner.slab_me, inner.eq, &inner.slabs);
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_records_roundtrip() {
+        for c in [
+            Control::Register { nid: 7 },
+            Control::StartJob { job: 3, nranks: 128 },
+            Control::Started { job: 3, nid: 7 },
+            Control::KillJob { job: 3 },
+            Control::Heartbeat { nid: 7, seq: 99 },
+        ] {
+            let enc = c.encode();
+            assert_eq!(enc.len(), RECORD_SIZE);
+            assert_eq!(Control::decode(&enc), Some(c));
+        }
+    }
+
+    #[test]
+    fn garbage_records_rejected() {
+        assert_eq!(Control::decode(&[0u8; 4]), None);
+        assert_eq!(Control::decode(&[200u8; RECORD_SIZE]), None);
+    }
+}

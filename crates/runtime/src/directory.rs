@@ -1,0 +1,99 @@
+//! Job membership directory.
+//!
+//! The §4.5 access-control entries "all processes in the same parallel
+//! application" and "all system processes" need someone who knows which
+//! process belongs to which job. On Cplant™ that was the runtime's job
+//! tables; here it is [`JobDirectory`], registered with every [`Node`] a job
+//! spans.
+//!
+//! [`Node`]: portals::Node
+
+use parking_lot::RwLock;
+use portals::ProcessDirectory;
+use portals_types::{ProcessId, UserId};
+use std::collections::HashMap;
+
+/// A shared registry mapping processes to jobs or system status.
+#[derive(Debug)]
+pub struct JobDirectory {
+    entries: RwLock<HashMap<ProcessId, UserId>>,
+    /// What unregistered processes classify as.
+    default: UserId,
+}
+
+impl JobDirectory {
+    /// A directory where unknown processes belong to no job (classified as
+    /// application `u32::MAX`, which matches nothing sensible).
+    pub fn new() -> JobDirectory {
+        JobDirectory {
+            entries: RwLock::new(HashMap::new()),
+            default: UserId::Application(u32::MAX),
+        }
+    }
+
+    /// Register a process as a member of `job`.
+    pub fn register(&self, id: ProcessId, job: u32) {
+        self.entries.write().insert(id, UserId::Application(job));
+    }
+
+    /// Register a process as a system service.
+    pub fn register_system(&self, id: ProcessId) {
+        self.entries.write().insert(id, UserId::System);
+    }
+
+    /// Remove a process (job teardown).
+    pub fn unregister(&self, id: ProcessId) {
+        self.entries.write().remove(&id);
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+impl Default for JobDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProcessDirectory for JobDirectory {
+    fn classify(&self, id: ProcessId) -> UserId {
+        self.entries.read().get(&id).copied().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_registration() {
+        let dir = JobDirectory::new();
+        let p1 = ProcessId::new(0, 1);
+        let p2 = ProcessId::new(0, 2);
+        dir.register(p1, 7);
+        dir.register_system(p2);
+        assert_eq!(dir.classify(p1), UserId::Application(7));
+        assert_eq!(dir.classify(p2), UserId::System);
+        // Unknown processes match no real job.
+        assert_eq!(dir.classify(ProcessId::new(9, 9)), UserId::Application(u32::MAX));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let dir = JobDirectory::new();
+        let p = ProcessId::new(1, 1);
+        dir.register(p, 3);
+        assert_eq!(dir.len(), 1);
+        dir.unregister(p);
+        assert!(dir.is_empty());
+        assert_eq!(dir.classify(p), UserId::Application(u32::MAX));
+    }
+}

@@ -1,0 +1,66 @@
+//! Transport tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration for an [`Endpoint`](crate::Endpoint).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportConfig {
+    /// Maximum fragment payload per DATA packet, in bytes. Myrinet-era MTUs
+    /// were a few KB; the default is 8 KiB.
+    pub mtu: usize,
+    /// Go-back-N window: maximum unacknowledged DATA packets per destination.
+    pub window: usize,
+    /// Base retransmission timeout. Doubles per consecutive timeout, capped at
+    /// `rto_base * 2^MAX_BACKOFF_EXP`.
+    pub rto_base: Duration,
+    /// Number of consecutive timeouts after which a peer is counted as
+    /// *stalled* in the stats (retransmission continues regardless; see the
+    /// crate docs for why the transport never gives up).
+    pub stall_retries: u32,
+}
+
+impl TransportConfig {
+    /// Exponent cap for retransmission backoff.
+    pub const MAX_BACKOFF_EXP: u32 = 6;
+
+    /// Effective retransmission timeout after `retries` consecutive timeouts.
+    pub fn rto_after(&self, retries: u32) -> Duration {
+        self.rto_base * 2u32.pow(retries.min(Self::MAX_BACKOFF_EXP))
+    }
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            mtu: 8 * 1024,
+            window: 64,
+            rto_base: Duration::from_millis(20),
+            stall_retries: 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = TransportConfig { rto_base: Duration::from_millis(10), ..Default::default() };
+        assert_eq!(cfg.rto_after(0), Duration::from_millis(10));
+        assert_eq!(cfg.rto_after(1), Duration::from_millis(20));
+        assert_eq!(cfg.rto_after(3), Duration::from_millis(80));
+        assert_eq!(cfg.rto_after(6), Duration::from_millis(640));
+        // Capped beyond MAX_BACKOFF_EXP.
+        assert_eq!(cfg.rto_after(7), Duration::from_millis(640));
+        assert_eq!(cfg.rto_after(100), Duration::from_millis(640));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = TransportConfig::default();
+        assert!(cfg.mtu >= 1024);
+        assert!(cfg.window >= 2);
+        assert!(cfg.rto_base > Duration::ZERO);
+    }
+}

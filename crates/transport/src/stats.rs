@@ -1,0 +1,82 @@
+//! Transport-level counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by an endpoint's worker.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Messages accepted for sending.
+    pub messages_sent: AtomicU64,
+    /// Messages fully reassembled and delivered upward.
+    pub messages_delivered: AtomicU64,
+    /// DATA packets put on the wire (including retransmissions).
+    pub data_packets_sent: AtomicU64,
+    /// DATA packets retransmitted.
+    pub retransmissions: AtomicU64,
+    /// Duplicate DATA packets suppressed.
+    pub duplicates_dropped: AtomicU64,
+    /// Out-of-order DATA packets dropped (go-back-N).
+    pub out_of_order_dropped: AtomicU64,
+    /// ACK packets sent.
+    pub acks_sent: AtomicU64,
+    /// ACK packets received.
+    pub acks_received: AtomicU64,
+    /// Undecodable packets discarded.
+    pub garbage_dropped: AtomicU64,
+    /// Times a peer crossed the stall threshold.
+    pub peers_stalled: AtomicU64,
+}
+
+impl TransportStats {
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot into plain data.
+    pub fn snapshot(&self) -> TransportStatsSnapshot {
+        TransportStatsSnapshot {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
+            data_packets_sent: self.data_packets_sent.load(Ordering::Relaxed),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            out_of_order_dropped: self.out_of_order_dropped.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            acks_received: self.acks_received.load(Ordering::Relaxed),
+            garbage_dropped: self.garbage_dropped.load(Ordering::Relaxed),
+            peers_stalled: self.peers_stalled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`TransportStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)]
+pub struct TransportStatsSnapshot {
+    pub messages_sent: u64,
+    pub messages_delivered: u64,
+    pub data_packets_sent: u64,
+    pub retransmissions: u64,
+    pub duplicates_dropped: u64,
+    pub out_of_order_dropped: u64,
+    pub acks_sent: u64,
+    pub acks_received: u64,
+    pub garbage_dropped: u64,
+    pub peers_stalled: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let s = TransportStats::default();
+        s.add(&s.messages_sent, 2);
+        s.add(&s.retransmissions, 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.retransmissions, 5);
+        assert_eq!(snap.acks_sent, 0);
+    }
+}

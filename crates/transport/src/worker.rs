@@ -1,0 +1,166 @@
+//! The endpoint worker: one thread that owns all per-peer protocol state and
+//! multiplexes NIC receive, send commands and retransmission timers.
+
+use crate::config::TransportConfig;
+use crate::endpoint::IncomingMessage;
+use crate::peer::{ReceiverPeer, SenderPeer};
+use crate::stats::TransportStats;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use portals_net::{Datagram, Nic};
+use portals_wire::{Packet, PacketHeader};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use portals_types::NodeId;
+
+/// Commands from the public API to the worker.
+pub(crate) enum Command {
+    Send { dst: NodeId, msg: Bytes },
+    Shutdown,
+}
+
+pub(crate) struct Worker {
+    nic: Nic,
+    cfg: TransportConfig,
+    commands: Receiver<Command>,
+    delivered: Sender<IncomingMessage>,
+    stats: Arc<TransportStats>,
+    outstanding: Arc<AtomicUsize>,
+    tx_peers: HashMap<NodeId, SenderPeer>,
+    rx_peers: HashMap<NodeId, ReceiverPeer>,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        nic: Nic,
+        cfg: TransportConfig,
+        commands: Receiver<Command>,
+        delivered: Sender<IncomingMessage>,
+        stats: Arc<TransportStats>,
+        outstanding: Arc<AtomicUsize>,
+    ) -> Worker {
+        Worker {
+            nic,
+            cfg,
+            commands,
+            delivered,
+            stats,
+            outstanding,
+            tx_peers: HashMap::new(),
+            rx_peers: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        let inbound = self.nic.inbound_receiver();
+        loop {
+            let timeout = self.next_deadline_in();
+            crossbeam::channel::select! {
+                recv(inbound) -> dgram => match dgram {
+                    Ok(d) => self.on_datagram(d),
+                    Err(_) => return, // fabric gone
+                },
+                recv(self.commands) -> cmd => match cmd {
+                    Ok(Command::Send { dst, msg }) => self.on_send(dst, msg),
+                    Ok(Command::Shutdown) | Err(_) => return,
+                },
+                default(timeout) => self.fire_timers(),
+            }
+        }
+    }
+
+    /// Time until the nearest retransmission deadline (bounded so shutdown and
+    /// races with just-armed timers are handled promptly).
+    fn next_deadline_in(&self) -> Duration {
+        let now = Instant::now();
+        self.tx_peers
+            .values()
+            .filter_map(SenderPeer::deadline)
+            .map(|d| d.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_millis(100))
+            .min(Duration::from_millis(100))
+    }
+
+    fn on_send(&mut self, dst: NodeId, msg: Bytes) {
+        self.stats.add(&self.stats.messages_sent, 1);
+        let now = Instant::now();
+        let peer = self.tx_peers.entry(dst).or_default();
+        let before = peer.outstanding();
+        let packets = peer.enqueue_message(msg, &self.cfg, now);
+        self.outstanding.fetch_add(peer.outstanding() - before, Ordering::Relaxed);
+        self.send_data(dst, packets);
+    }
+
+    fn send_data(&self, dst: NodeId, packets: Vec<Bytes>) {
+        self.stats.add(&self.stats.data_packets_sent, packets.len() as u64);
+        for p in packets {
+            self.nic.send(dst, p);
+        }
+    }
+
+    fn on_datagram(&mut self, dgram: Datagram) {
+        let src = dgram.src;
+        let packet = match Packet::decode(&dgram.payload) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.add(&self.stats.garbage_dropped, 1);
+                return;
+            }
+        };
+        match packet.header {
+            PacketHeader::Ack { cumulative } => {
+                self.stats.add(&self.stats.acks_received, 1);
+                let now = Instant::now();
+                if let Some(peer) = self.tx_peers.get_mut(&src) {
+                    let before = peer.outstanding();
+                    let released = peer.on_ack(cumulative, &self.cfg, now);
+                    let after = peer.outstanding();
+                    self.outstanding.fetch_sub(before - after, Ordering::Relaxed);
+                    self.send_data(src, released);
+                }
+            }
+            header @ PacketHeader::Data { .. } => {
+                let peer = self.rx_peers.entry(src).or_default();
+                let result = peer.on_data(header, packet.body);
+                if result.duplicate {
+                    self.stats.add(&self.stats.duplicates_dropped, 1);
+                }
+                if result.out_of_order {
+                    self.stats.add(&self.stats.out_of_order_dropped, 1);
+                }
+                if let Some(msg) = result.delivered {
+                    self.stats.add(&self.stats.messages_delivered, 1);
+                    // Receiver side is unbounded; drop only if the endpoint is
+                    // being torn down.
+                    let _ = self.delivered.send(IncomingMessage { src, payload: msg });
+                }
+                self.stats.add(&self.stats.acks_sent, 1);
+                self.nic.send(src, Packet::ack(result.ack).encode());
+            }
+        }
+    }
+
+    fn fire_timers(&mut self) {
+        let now = Instant::now();
+        let due: Vec<NodeId> = self
+            .tx_peers
+            .iter()
+            .filter(|(_, p)| p.deadline().is_some_and(|d| d <= now))
+            .map(|(nid, _)| *nid)
+            .collect();
+        for nid in due {
+            let peer = self.tx_peers.get_mut(&nid).expect("just listed");
+            let result = peer.on_timeout(&self.cfg, now);
+            if result.newly_stalled {
+                self.stats.add(&self.stats.peers_stalled, 1);
+            }
+            self.stats.add(&self.stats.retransmissions, result.resend.len() as u64);
+            self.send_data(nid, result.resend);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Error codes.
+//!
+//! Portals 3.0 is a C API returning `PTL_*` status codes; we map those onto a Rust
+//! error enum. The variants keep the spec's names (minus the prefix) so the
+//! correspondence with the paper and the SAND report is direct.
+
+use std::fmt;
+
+/// Result alias used across the Portals crates.
+pub type PtlResult<T> = Result<T, PtlError>;
+
+/// The Portals error codes (spec: `ptl_err_t`).
+///
+/// Only the codes the library can actually produce are represented; codes tied to
+/// C-API misuse that Rust's type system makes unrepresentable (e.g. invalid handle
+/// *types*) are omitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PtlError {
+    /// Generic failure (`PTL_FAIL`).
+    Fail,
+    /// A table, queue or list has no free space (`PTL_NO_SPACE`).
+    NoSpace,
+    /// An argument was out of range or otherwise invalid (`PTL_INV_ARG` family).
+    InvalidArgument,
+    /// A stale or never-valid memory-descriptor handle (`PTL_INV_MD`).
+    InvalidMd,
+    /// A stale or never-valid match-entry handle (`PTL_INV_ME`).
+    InvalidMe,
+    /// A stale or never-valid event-queue handle (`PTL_INV_EQ`).
+    InvalidEq,
+    /// A bad network-interface handle (`PTL_INV_NI`).
+    InvalidNi,
+    /// Portal table index out of range (`PTL_INV_PTINDEX`).
+    InvalidPortalIndex,
+    /// Access-control index out of range (`PTL_AC_INV_INDEX`).
+    InvalidAcIndex,
+    /// Process id malformed for this operation (`PTL_INV_PROC`).
+    InvalidProcess,
+    /// The event queue was empty (`PTL_EQ_EMPTY`).
+    EqEmpty,
+    /// Events were dropped because the circular queue wrapped over unconsumed
+    /// entries (`PTL_EQ_DROPPED`). Carries the event that *was* successfully read.
+    EqDropped,
+    /// The MD has pending operations and cannot be unlinked/updated
+    /// (`PTL_MD_IN_USE`).
+    MdInUse,
+    /// An MD update lost the race with the progress engine (`PTL_NOUPDATE`).
+    NoUpdate,
+    /// The operation would exceed a configured interface limit.
+    LimitExceeded,
+    /// The network interface has been shut down.
+    NiShutdown,
+    /// A blocking call timed out (extension; the C API used polling instead).
+    Timeout,
+}
+
+impl PtlError {
+    /// Short spec-style name, e.g. `PTL_NO_SPACE`.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            PtlError::Fail => "PTL_FAIL",
+            PtlError::NoSpace => "PTL_NO_SPACE",
+            PtlError::InvalidArgument => "PTL_INV_ARG",
+            PtlError::InvalidMd => "PTL_INV_MD",
+            PtlError::InvalidMe => "PTL_INV_ME",
+            PtlError::InvalidEq => "PTL_INV_EQ",
+            PtlError::InvalidNi => "PTL_INV_NI",
+            PtlError::InvalidPortalIndex => "PTL_INV_PTINDEX",
+            PtlError::InvalidAcIndex => "PTL_AC_INV_INDEX",
+            PtlError::InvalidProcess => "PTL_INV_PROC",
+            PtlError::EqEmpty => "PTL_EQ_EMPTY",
+            PtlError::EqDropped => "PTL_EQ_DROPPED",
+            PtlError::MdInUse => "PTL_MD_IN_USE",
+            PtlError::NoUpdate => "PTL_NOUPDATE",
+            PtlError::LimitExceeded => "PTL_LIMIT_EXCEEDED",
+            PtlError::NiShutdown => "PTL_NI_SHUTDOWN",
+            PtlError::Timeout => "PTL_TIMEOUT",
+        }
+    }
+}
+
+impl fmt::Display for PtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec_name())
+    }
+}
+
+impl std::error::Error for PtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_spec_names() {
+        assert_eq!(PtlError::NoSpace.to_string(), "PTL_NO_SPACE");
+        assert_eq!(PtlError::EqDropped.to_string(), "PTL_EQ_DROPPED");
+    }
+
+    #[test]
+    fn errors_are_small() {
+        // PtlError rides inside every result on the hot path; keep it a bare tag.
+        assert_eq!(std::mem::size_of::<PtlError>(), 1);
+    }
+}

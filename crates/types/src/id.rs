@@ -1,0 +1,186 @@
+//! Process and node identifiers.
+//!
+//! Portals is *connectionless*: the only thing an initiator needs in order to
+//! address a target is its [`ProcessId`] — a `(node id, process id)` pair, exactly
+//! as on Cplant™ where a process was addressed by `(nid, pid)`. No connection
+//! setup, no per-peer state at the initiator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node identifier (`nid`). On Cplant™ this named a physical box on the Myrinet
+/// fabric; here it names a simulated node attached to a [`portals-net`] fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Wildcard node id used in access-control entries.
+    pub const ANY: NodeId = NodeId(u32::MAX);
+
+    /// True if this id is the wildcard.
+    #[inline]
+    pub fn is_any(self) -> bool {
+        self == Self::ANY
+    }
+
+    /// True if `self` (which may be the wildcard) matches a concrete id.
+    #[inline]
+    pub fn matches(self, concrete: NodeId) -> bool {
+        self.is_any() || self == concrete
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            write!(f, "nid:*")
+        } else {
+            write!(f, "nid:{}", self.0)
+        }
+    }
+}
+
+/// Wildcard node id (spec: `PTL_NID_ANY`).
+pub const ANY_NID: NodeId = NodeId::ANY;
+
+/// A process identifier relative to a node (`pid`).
+pub type Pid = u32;
+
+/// Wildcard pid (spec: `PTL_PID_ANY`).
+pub const ANY_PID: Pid = u32::MAX;
+
+/// A fully-qualified process identifier: which process on which node.
+///
+/// This is the `ptl_process_id_t` of the spec. Either component may be a wildcard
+/// when the id appears in an access-control entry; wire headers always carry
+/// concrete ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessId {
+    /// The node the process lives on.
+    pub nid: NodeId,
+    /// The process number on that node.
+    pub pid: Pid,
+}
+
+impl ProcessId {
+    /// Wildcard process id: any process on any node.
+    pub const ANY: ProcessId = ProcessId { nid: NodeId::ANY, pid: ANY_PID };
+
+    /// Construct from raw parts.
+    #[inline]
+    pub const fn new(nid: u32, pid: u32) -> Self {
+        ProcessId { nid: NodeId(nid), pid }
+    }
+
+    /// True if both components are wildcards.
+    #[inline]
+    pub fn is_any(self) -> bool {
+        self.nid.is_any() && self.pid == ANY_PID
+    }
+
+    /// True if either component is a wildcard.
+    #[inline]
+    pub fn has_wildcard(self) -> bool {
+        self.nid.is_any() || self.pid == ANY_PID
+    }
+
+    /// Access-control matching: each component independently matches either
+    /// exactly or via its wildcard (§4.5 of the paper).
+    #[inline]
+    pub fn matches(self, concrete: ProcessId) -> bool {
+        self.nid.matches(concrete.nid) && (self.pid == ANY_PID || self.pid == concrete.pid)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pid == ANY_PID {
+            write!(f, "{}/pid:*", self.nid)
+        } else {
+            write!(f, "{}/pid:{}", self.nid, self.pid)
+        }
+    }
+}
+
+/// A rank within a parallel job (runtime-level concept; Portals itself only knows
+/// [`ProcessId`]s — the runtime owns the rank↔process map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// Convert to a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank:{}", self.0)
+    }
+}
+
+/// A user identifier. The paper's access control model distinguishes "processes in
+/// the same parallel application" from "system processes"; we model that with a
+/// job-scoped user id carried in the job membership table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserId {
+    /// A member of a particular parallel application (job).
+    Application(u32),
+    /// A trusted system service (runtime daemon, file server, ...).
+    System,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_nid_matches_everything() {
+        assert!(NodeId::ANY.matches(NodeId(0)));
+        assert!(NodeId::ANY.matches(NodeId(12345)));
+        assert!(NodeId::ANY.matches(NodeId::ANY));
+    }
+
+    #[test]
+    fn concrete_nid_matches_only_itself() {
+        assert!(NodeId(7).matches(NodeId(7)));
+        assert!(!NodeId(7).matches(NodeId(8)));
+    }
+
+    #[test]
+    fn process_id_wildcards_are_per_component() {
+        let any_pid_on_node3 = ProcessId { nid: NodeId(3), pid: ANY_PID };
+        assert!(any_pid_on_node3.matches(ProcessId::new(3, 0)));
+        assert!(any_pid_on_node3.matches(ProcessId::new(3, 99)));
+        assert!(!any_pid_on_node3.matches(ProcessId::new(4, 0)));
+
+        let pid2_any_node = ProcessId { nid: NodeId::ANY, pid: 2 };
+        assert!(pid2_any_node.matches(ProcessId::new(0, 2)));
+        assert!(pid2_any_node.matches(ProcessId::new(9, 2)));
+        assert!(!pid2_any_node.matches(ProcessId::new(9, 3)));
+    }
+
+    #[test]
+    fn full_wildcard_matches_all() {
+        assert!(ProcessId::ANY.matches(ProcessId::new(0, 0)));
+        assert!(ProcessId::ANY.is_any());
+        assert!(ProcessId::ANY.has_wildcard());
+        assert!(!ProcessId::new(1, 1).has_wildcard());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId::new(3, 4).to_string(), "nid:3/pid:4");
+        assert_eq!(ProcessId::ANY.to_string(), "nid:*/pid:*");
+        assert_eq!(Rank(5).to_string(), "rank:5");
+    }
+
+    #[test]
+    fn ordering_is_nid_major() {
+        let a = ProcessId::new(1, 9);
+        let b = ProcessId::new(2, 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Core identifiers, handles, match bits, limits and error codes shared by every
+//! layer of the Portals 3.0 reproduction.
+//!
+//! This crate is deliberately dependency-light: everything above it — the network
+//! fabric, the transport, the Portals library itself, the MPI layer and the
+//! runtime — agrees on these vocabulary types.
+//!
+//! The names follow the Portals 3.0 specification (Sandia tech report SAND99-2959)
+//! where a direct analogue exists: [`ProcessId`] is `ptl_process_id_t`,
+//! [`MatchBits`] is `ptl_match_bits_t`, [`PtlError`] collects the `PTL_*` return
+//! codes, and the `*_handle` types correspond to `ptl_handle_*_t`.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod error;
+pub mod id;
+pub mod limits;
+pub mod matchbits;
+
+pub use arena::{Arena, Handle};
+pub use error::{PtlError, PtlResult};
+pub use id::{NodeId, ProcessId, Rank, UserId, ANY_NID, ANY_PID};
+pub use limits::NiLimits;
+pub use matchbits::{MatchBits, MatchCriteria};

@@ -1,0 +1,72 @@
+//! Per-interface limits (spec: `ptl_ni_limits_t`).
+//!
+//! §4.1 of the paper: "the Portals interface maintains a minimal amount of state".
+//! Limits make that state bound explicit and let tests exercise `PTL_NO_SPACE`
+//! paths deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource limits enforced by a network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NiLimits {
+    /// Number of entries in the Portal table.
+    pub max_portal_table_size: usize,
+    /// Maximum simultaneously-attached match entries.
+    pub max_match_entries: usize,
+    /// Maximum simultaneously-attached memory descriptors.
+    pub max_memory_descriptors: usize,
+    /// Maximum simultaneously-allocated event queues.
+    pub max_event_queues: usize,
+    /// Number of entries in the access-control table.
+    pub max_access_control_entries: usize,
+    /// Largest payload a single put/get may move (bytes).
+    pub max_message_size: usize,
+}
+
+impl NiLimits {
+    /// The defaults used throughout the workspace. Chosen to be ample for tests
+    /// yet small enough that exhaustion tests run quickly.
+    pub const DEFAULT: NiLimits = NiLimits {
+        max_portal_table_size: 64,
+        max_match_entries: 16 * 1024,
+        max_memory_descriptors: 16 * 1024,
+        max_event_queues: 256,
+        max_access_control_entries: 64,
+        max_message_size: 16 * 1024 * 1024,
+    };
+
+    /// Tiny limits for exhaustion tests.
+    pub const TINY: NiLimits = NiLimits {
+        max_portal_table_size: 4,
+        max_match_entries: 8,
+        max_memory_descriptors: 8,
+        max_event_queues: 2,
+        max_access_control_entries: 4,
+        max_message_size: 4096,
+    };
+}
+
+impl Default for NiLimits {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let l = NiLimits::default();
+        assert!(l.max_portal_table_size >= 8);
+        assert!(l.max_event_queues >= 2);
+        assert!(l.max_message_size >= 1024 * 1024);
+    }
+
+    #[test]
+    fn tiny_is_smaller_than_default() {
+        assert!(NiLimits::TINY.max_match_entries < NiLimits::DEFAULT.max_match_entries);
+        assert!(NiLimits::TINY.max_message_size < NiLimits::DEFAULT.max_message_size);
+    }
+}

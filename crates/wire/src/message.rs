@@ -1,0 +1,215 @@
+//! The top-level Portals message envelope.
+//!
+//! One byte of operation code (plus a magic/version byte to catch cross-version
+//! or corrupted traffic) selects among the four §4.6 message types.
+
+use crate::ack::Ack;
+use crate::error::WireError;
+use crate::get::GetRequest;
+use crate::op::Operation;
+use crate::put::PutRequest;
+use crate::reply::Reply;
+use bytes::{Bytes, BytesMut};
+use portals_types::ProcessId;
+
+/// Magic byte identifying Portals 3.0 traffic ('P' ^ 0x30).
+const MAGIC: u8 = b'P' ^ 0x30;
+
+/// Any of the four Portals messages, ready for the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortalsMessage {
+    /// Table 1.
+    Put(PutRequest),
+    /// Table 2.
+    Ack(Ack),
+    /// Table 3.
+    Get(GetRequest),
+    /// Table 4.
+    Reply(Reply),
+}
+
+impl PortalsMessage {
+    /// Envelope overhead: magic + operation code.
+    pub const ENVELOPE_SIZE: usize = 2;
+
+    /// The operation code of this message.
+    pub fn operation(&self) -> Operation {
+        match self {
+            PortalsMessage::Put(_) => Operation::PutRequest,
+            PortalsMessage::Ack(_) => Operation::Ack,
+            PortalsMessage::Get(_) => Operation::GetRequest,
+            PortalsMessage::Reply(_) => Operation::Reply,
+        }
+    }
+
+    /// The process this message must be delivered to. This is how the runtime
+    /// on the receiving node demultiplexes traffic among its processes (§4.8:
+    /// "the runtime system first checks that the target process identified in
+    /// the request is a valid process").
+    pub fn wire_target(&self) -> ProcessId {
+        match self {
+            PortalsMessage::Put(m) => m.header.target,
+            PortalsMessage::Ack(m) => m.header.target,
+            PortalsMessage::Get(m) => m.header.target,
+            PortalsMessage::Reply(m) => m.header.target,
+        }
+    }
+
+    /// The process that sent this message.
+    pub fn wire_initiator(&self) -> ProcessId {
+        match self {
+            PortalsMessage::Put(m) => m.header.initiator,
+            PortalsMessage::Ack(m) => m.header.initiator,
+            PortalsMessage::Get(m) => m.header.initiator,
+            PortalsMessage::Reply(m) => m.header.initiator,
+        }
+    }
+
+    /// Serialize to a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.extend_from_slice(&[MAGIC, self.operation().to_byte()]);
+        match self {
+            PortalsMessage::Put(m) => m.encode_body(&mut buf),
+            PortalsMessage::Ack(m) => m.encode_body(&mut buf),
+            PortalsMessage::Get(m) => m.encode_body(&mut buf),
+            PortalsMessage::Reply(m) => m.encode_body(&mut buf),
+        }
+        buf.freeze()
+    }
+
+    /// Exact size [`PortalsMessage::encode`] will produce.
+    pub fn encoded_len(&self) -> usize {
+        Self::ENVELOPE_SIZE
+            + match self {
+                PortalsMessage::Put(m) => PutRequest::WIRE_HEADER_SIZE + m.payload.len(),
+                PortalsMessage::Ack(_) => Ack::WIRE_SIZE,
+                PortalsMessage::Get(_) => GetRequest::WIRE_SIZE,
+                PortalsMessage::Reply(m) => Reply::WIRE_HEADER_SIZE + m.payload.len(),
+            }
+    }
+
+    /// Parse a buffer produced by [`PortalsMessage::encode`].
+    pub fn decode(buf: &[u8]) -> Result<PortalsMessage, WireError> {
+        if buf.len() < Self::ENVELOPE_SIZE {
+            return Err(WireError::Truncated { needed: Self::ENVELOPE_SIZE, available: buf.len() });
+        }
+        if buf[0] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let op = Operation::from_byte(buf[1])?;
+        let body = &buf[Self::ENVELOPE_SIZE..];
+        Ok(match op {
+            Operation::PutRequest => PortalsMessage::Put(PutRequest::decode_body(body)?),
+            Operation::Ack => PortalsMessage::Ack(Ack::decode_body(body)?),
+            Operation::GetRequest => PortalsMessage::Get(GetRequest::decode_body(body)?),
+            Operation::Reply => PortalsMessage::Reply(Reply::decode_body(body)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{RequestHeader, ResponseHeader, RAW_HANDLE_NONE};
+    use portals_types::MatchBits;
+    use proptest::prelude::*;
+
+    fn req_header(len: u64) -> RequestHeader {
+        RequestHeader {
+            initiator: ProcessId::new(0, 0),
+            target: ProcessId::new(1, 0),
+            portal_index: 1,
+            cookie: 0,
+            match_bits: MatchBits::new(99),
+            offset: 0,
+            length: len,
+        }
+    }
+
+    fn resp_header(req: u64, man: u64) -> ResponseHeader {
+        ResponseHeader {
+            initiator: ProcessId::new(1, 0),
+            target: ProcessId::new(0, 0),
+            portal_index: 1,
+            match_bits: MatchBits::new(99),
+            offset: 0,
+            md_handle: 5,
+            eq_handle: RAW_HANDLE_NONE,
+            requested_length: req,
+            manipulated_length: man,
+        }
+    }
+
+    #[test]
+    fn all_four_types_roundtrip() {
+        let messages = vec![
+            PortalsMessage::Put(PutRequest {
+                header: req_header(3),
+                ack_md: 1,
+                ack_eq: 2,
+                payload: Bytes::from_static(b"abc"),
+            }),
+            PortalsMessage::Ack(Ack { header: resp_header(3, 3) }),
+            PortalsMessage::Get(GetRequest { header: req_header(100), reply_md: 6 }),
+            PortalsMessage::Reply(Reply {
+                header: resp_header(4, 4),
+                payload: Bytes::from_static(b"wxyz"),
+            }),
+        ];
+        for m in messages {
+            let encoded = m.encode();
+            assert_eq!(encoded.len(), m.encoded_len());
+            let decoded = PortalsMessage::decode(&encoded).unwrap();
+            assert_eq!(decoded, m);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let m = PortalsMessage::Get(GetRequest { header: req_header(0), reply_md: 0 });
+        let mut encoded = m.encode().to_vec();
+        encoded[0] ^= 0xff;
+        assert_eq!(PortalsMessage::decode(&encoded), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn empty_buffer_rejected() {
+        assert!(matches!(PortalsMessage::decode(&[]), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn wire_target_and_initiator() {
+        let m = PortalsMessage::Get(GetRequest { header: req_header(0), reply_md: 0 });
+        assert_eq!(m.wire_target(), ProcessId::new(1, 0));
+        assert_eq!(m.wire_initiator(), ProcessId::new(0, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn put_roundtrips_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let m = PortalsMessage::Put(PutRequest {
+                header: req_header(payload.len() as u64),
+                ack_md: RAW_HANDLE_NONE,
+                ack_eq: RAW_HANDLE_NONE,
+                payload: Bytes::from(payload),
+            });
+            let decoded = PortalsMessage::decode(&m.encode()).unwrap();
+            prop_assert_eq!(decoded, m);
+        }
+
+        #[test]
+        fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = PortalsMessage::decode(&bytes); // must not panic
+        }
+
+        #[test]
+        fn decode_garbage_with_valid_envelope_never_panics(
+            op in 0u8..6, body in proptest::collection::vec(any::<u8>(), 0..256)
+        ) {
+            let mut buf = vec![MAGIC, op];
+            buf.extend_from_slice(&body);
+            let _ = PortalsMessage::decode(&buf);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The transport packet header.
+//!
+//! The Cplant™ RTS/CTS kernel module was "responsible for packetization and
+//! flow control" (§3) underneath Portals. Our transport does the same job and
+//! this is its packet format: DATA packets carry one fragment of one message
+//! and a per-(src,dst)-pair sequence number; ACK packets carry the receiver's
+//! cumulative in-order sequence, driving the go-back-N sender window.
+
+use crate::error::WireError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Packet type discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PacketKind {
+    /// A message fragment.
+    Data = 0x10,
+    /// A cumulative acknowledgment.
+    Ack = 0x11,
+}
+
+impl PacketKind {
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0x10 => Ok(PacketKind::Data),
+            0x11 => Ok(PacketKind::Ack),
+            other => Err(WireError::UnknownPacketKind(other)),
+        }
+    }
+}
+
+/// Decoded packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketHeader {
+    /// One fragment of a message.
+    Data {
+        /// Per-(src,dst) stream sequence number of this packet.
+        seq: u64,
+        /// Message this fragment belongs to (sender-local, monotonically
+        /// increasing — used only for reassembly sanity checks).
+        msg_id: u64,
+        /// Fragment index within the message.
+        frag_index: u32,
+        /// Total fragments in the message.
+        frag_count: u32,
+    },
+    /// Cumulative acknowledgment: every DATA packet with `seq <= cumulative`
+    /// has been received in order.
+    Ack {
+        /// Highest in-order sequence received, or `u64::MAX` if none yet
+        /// (encoded as the pre-first value so the first packet has seq 0).
+        cumulative: u64,
+    },
+}
+
+/// A full transport packet: header + (for DATA) fragment bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The header.
+    pub header: PacketHeader,
+    /// Fragment payload (empty for ACK packets).
+    pub body: Bytes,
+}
+
+impl Packet {
+    /// Size of an encoded DATA header.
+    pub const DATA_HEADER_SIZE: usize = 1 + 8 + 8 + 4 + 4;
+    /// Size of an encoded ACK packet.
+    pub const ACK_SIZE: usize = 1 + 8;
+
+    /// Build a DATA packet.
+    pub fn data(seq: u64, msg_id: u64, frag_index: u32, frag_count: u32, body: Bytes) -> Packet {
+        Packet { header: PacketHeader::Data { seq, msg_id, frag_index, frag_count }, body }
+    }
+
+    /// Build an ACK packet.
+    pub fn ack(cumulative: u64) -> Packet {
+        Packet { header: PacketHeader::Ack { cumulative }, body: Bytes::new() }
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Bytes {
+        match self.header {
+            PacketHeader::Data { seq, msg_id, frag_index, frag_count } => {
+                let mut buf = BytesMut::with_capacity(Self::DATA_HEADER_SIZE + self.body.len());
+                buf.put_u8(PacketKind::Data as u8);
+                buf.put_u64_le(seq);
+                buf.put_u64_le(msg_id);
+                buf.put_u32_le(frag_index);
+                buf.put_u32_le(frag_count);
+                buf.extend_from_slice(&self.body);
+                buf.freeze()
+            }
+            PacketHeader::Ack { cumulative } => {
+                let mut buf = BytesMut::with_capacity(Self::ACK_SIZE);
+                buf.put_u8(PacketKind::Ack as u8);
+                buf.put_u64_le(cumulative);
+                buf.freeze()
+            }
+        }
+    }
+
+    /// Parse.
+    pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
+        if buf.is_empty() {
+            return Err(WireError::Truncated { needed: 1, available: 0 });
+        }
+        let kind = PacketKind::from_byte(buf[0])?;
+        let mut cursor = &buf[1..];
+        match kind {
+            PacketKind::Data => {
+                if buf.len() < Self::DATA_HEADER_SIZE {
+                    return Err(WireError::Truncated {
+                        needed: Self::DATA_HEADER_SIZE,
+                        available: buf.len(),
+                    });
+                }
+                let seq = cursor.get_u64_le();
+                let msg_id = cursor.get_u64_le();
+                let frag_index = cursor.get_u32_le();
+                let frag_count = cursor.get_u32_le();
+                let body = Bytes::copy_from_slice(cursor);
+                Ok(Packet { header: PacketHeader::Data { seq, msg_id, frag_index, frag_count }, body })
+            }
+            PacketKind::Ack => {
+                if buf.len() < Self::ACK_SIZE {
+                    return Err(WireError::Truncated { needed: Self::ACK_SIZE, available: buf.len() });
+                }
+                let cumulative = cursor.get_u64_le();
+                Ok(Packet::ack(cumulative))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let p = Packet::data(7, 3, 1, 4, Bytes::from_static(b"frag"));
+        let decoded = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let p = Packet::ack(41);
+        let encoded = p.encode();
+        assert_eq!(encoded.len(), Packet::ACK_SIZE);
+        assert_eq!(Packet::decode(&encoded).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_and_unknown_rejected() {
+        assert!(matches!(Packet::decode(&[]), Err(WireError::Truncated { .. })));
+        assert!(matches!(Packet::decode(&[0x99, 0, 0]), Err(WireError::UnknownPacketKind(0x99))));
+    }
+
+    #[test]
+    fn truncated_data_header_rejected() {
+        let p = Packet::data(1, 1, 0, 1, Bytes::new());
+        let encoded = p.encode();
+        assert!(matches!(Packet::decode(&encoded[..10]), Err(WireError::Truncated { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn data_roundtrips(
+            seq in any::<u64>(), msg_id in any::<u64>(),
+            frag_index in any::<u32>(), frag_count in any::<u32>(),
+            body in proptest::collection::vec(any::<u8>(), 0..1024)
+        ) {
+            let p = Packet::data(seq, msg_id, frag_index, frag_count, Bytes::from(body));
+            prop_assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Packet::decode(&bytes);
+        }
+    }
+}

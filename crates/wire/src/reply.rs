@@ -1,0 +1,94 @@
+//! The reply (Table 4).
+
+use crate::error::WireError;
+use crate::header::{check_len, ResponseHeader};
+use bytes::{Buf, Bytes, BytesMut};
+
+/// A reply carrying a get's data back to its initiator.
+///
+/// §4.7: "Like an acknowledgment, most of the information is simply echoed from
+/// the get request ... The only new information ... are the manipulated length
+/// and the data which are determined as the get request is satisfied."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Echoed-and-swapped fields; `manipulated_length` is the byte count
+    /// actually read from the target's memory region.
+    pub header: ResponseHeader,
+    /// The data read from the target (length == `manipulated_length`).
+    pub payload: Bytes,
+}
+
+impl Reply {
+    /// Fixed-size portion on the wire (excludes payload).
+    pub const WIRE_HEADER_SIZE: usize = ResponseHeader::WIRE_SIZE;
+
+    pub(crate) fn encode_body(&self, buf: &mut BytesMut) {
+        self.header.encode(buf);
+        buf.extend_from_slice(&self.payload);
+    }
+
+    pub(crate) fn decode_body(buf: &[u8]) -> Result<Reply, WireError> {
+        check_len(buf, Self::WIRE_HEADER_SIZE)?;
+        let mut cursor = buf;
+        let header = ResponseHeader::decode(&mut cursor);
+        let declared = header.manipulated_length as usize;
+        if cursor.remaining() != declared {
+            return Err(WireError::LengthMismatch { declared, actual: cursor.remaining() });
+        }
+        let payload = Bytes::copy_from_slice(cursor);
+        Ok(Reply { header, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::RAW_HANDLE_NONE;
+    use portals_types::{MatchBits, ProcessId};
+
+    fn sample(len: usize) -> Reply {
+        Reply {
+            header: ResponseHeader {
+                initiator: ProcessId::new(1, 1),
+                target: ProcessId::new(0, 1),
+                portal_index: 2,
+                match_bits: MatchBits::new(7),
+                offset: 0,
+                md_handle: 33,
+                eq_handle: RAW_HANDLE_NONE,
+                requested_length: len as u64,
+                manipulated_length: len as u64,
+            },
+            payload: Bytes::from(vec![3u8; len]),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let reply = sample(64);
+        let mut buf = BytesMut::new();
+        reply.encode_body(&mut buf);
+        assert_eq!(buf.len(), Reply::WIRE_HEADER_SIZE + 64);
+        assert_eq!(Reply::decode_body(&buf).unwrap(), reply);
+    }
+
+    #[test]
+    fn empty_reply_roundtrip() {
+        let reply = sample(0);
+        let mut buf = BytesMut::new();
+        reply.encode_body(&mut buf);
+        assert_eq!(Reply::decode_body(&buf).unwrap(), reply);
+    }
+
+    #[test]
+    fn payload_must_match_manipulated_length() {
+        let mut reply = sample(32);
+        reply.header.manipulated_length = 16; // lie about the length
+        let mut buf = BytesMut::new();
+        reply.encode_body(&mut buf);
+        assert!(matches!(
+            Reply::decode_body(&buf),
+            Err(WireError::LengthMismatch { declared: 16, actual: 32 })
+        ));
+    }
+}

@@ -1,0 +1,170 @@
+//! An I/O-protocol style file server over raw Portals.
+//!
+//! §2 of the paper: "the only way to communicate with a process on a compute
+//! node is via Portals, [so] they had to support not only application message
+//! passing, but also I/O protocols to a remote filesystem". This example
+//! sketches that usage: a *system* process serves an in-memory "file" and
+//! compute processes read it with one-sided **gets** (no server-side code runs
+//! per request under application bypass!) and append records with matching
+//! **puts** into a managed-offset log region.
+//!
+//! Access control does real work here: the server admits the compute job's
+//! processes through a dedicated ACL entry, and the job directory marks the
+//! server as a system process (§4.5).
+//!
+//! Run: `cargo run -p portals-examples --bin file_server`
+
+use portals::{
+    iobuf, AcEntry, AcMatch, AckRequest, MdOptions, MdSpec, MePos, NiConfig, Node, NodeConfig,
+    PortalMatch,
+};
+use portals_net::Fabric;
+use portals_runtime::JobDirectory;
+use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId, ANY_PID, PtlError};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PT_FILE: u32 = 4; // read-only file contents
+const PT_LOG: u32 = 5; // append-only log
+const FILE_BITS: u64 = 0xf11e;
+const LOG_BITS: u64 = 0x106;
+const AC_CLIENTS: u32 = 2; // ACL entry the server opens for the compute job
+
+fn main() {
+    let fabric = Fabric::ideal();
+    let directory = Arc::new(JobDirectory::new());
+
+    // Node 0 hosts the file server (a system process); nodes 1-2 host clients.
+    let server_node = Node::new(
+        fabric.attach(NodeId(0)),
+        NodeConfig { directory: Some(directory.clone()), ..Default::default() },
+    );
+    let client_nodes: Vec<Node> = (1..3)
+        .map(|n| {
+            Node::new(
+                fabric.attach(NodeId(n)),
+                NodeConfig { directory: Some(directory.clone()), ..Default::default() },
+            )
+        })
+        .collect();
+
+    directory.register_system(ProcessId::new(0, 1));
+    directory.register(ProcessId::new(1, 1), 1);
+    directory.register(ProcessId::new(2, 1), 1);
+
+    // --- server setup -------------------------------------------------------
+    let server = server_node.create_ni(1, NiConfig::default()).unwrap();
+    // Admit the compute job's processes to the file and log portals only.
+    server
+        .acl_set(
+            AC_CLIENTS as usize,
+            AcEntry::Allow {
+                id: AcMatch::Process(ProcessId { nid: portals_types::ANY_NID, pid: ANY_PID }),
+                portal: PortalMatch::Any,
+            },
+        )
+        .unwrap();
+
+    // The "file": 4 KiB of content exposed read-only (gets only).
+    let file_contents: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+    let file_me = server
+        .me_attach(PT_FILE, ProcessId::ANY, MatchCriteria::exact(MatchBits::new(FILE_BITS)), false, MePos::Back)
+        .unwrap();
+    server
+        .md_attach(
+            file_me,
+            MdSpec::new(iobuf(file_contents.clone())).with_options(MdOptions {
+                op_put: false, // read-only!
+                op_get: true,
+                ..Default::default()
+            }),
+        )
+        .unwrap();
+
+    // The log: an append-only region (managed offset) with an event queue the
+    // server watches.
+    let log_eq = server.eq_alloc(64).unwrap();
+    let log_me = server
+        .me_attach(PT_LOG, ProcessId::ANY, MatchCriteria::exact(MatchBits::new(LOG_BITS)), false, MePos::Back)
+        .unwrap();
+    let log_buf = iobuf(vec![0u8; 4096]);
+    server
+        .md_attach(
+            log_me,
+            MdSpec::new(log_buf.clone()).with_eq(log_eq).with_options(MdOptions {
+                op_put: true,
+                op_get: false,
+                manage_local_offset: true,
+                ..Default::default()
+            }),
+        )
+        .unwrap();
+
+    // --- clients -------------------------------------------------------------
+    let server_id = server.id();
+    let clients: Vec<_> = client_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let ni = node.create_ni(1, NiConfig { job: 1, ..Default::default() }).unwrap();
+            let expect = file_contents.clone();
+            let id = i as u32 + 1;
+            std::thread::spawn(move || {
+                let eq = ni.eq_alloc(16).unwrap();
+                // Read bytes [100, 600) of the remote file with a get.
+                let window = iobuf(vec![0u8; 500]);
+                let md = ni.md_bind(MdSpec::new(window.clone()).with_eq(eq)).unwrap();
+                ni.get(md, server_id, PT_FILE, AC_CLIENTS, MatchBits::new(FILE_BITS), 100, 500)
+                    .unwrap();
+                loop {
+                    let ev = ni.eq_wait(eq).unwrap();
+                    if ev.kind == portals::EventKind::Reply {
+                        assert_eq!(ev.mlength, 500);
+                        break;
+                    }
+                }
+                assert_eq!(&window.lock()[..], &expect[100..600], "client {id} read");
+
+                // Append a record to the server's log.
+                let record = format!("client {id} read 500 bytes");
+                let rmd = ni.md_bind(MdSpec::new(iobuf(record.into_bytes()))).unwrap();
+                ni.put(rmd, AckRequest::NoAck, server_id, PT_LOG, AC_CLIENTS, MatchBits::new(LOG_BITS), 0)
+                    .unwrap();
+
+                // A write to the read-only file must be dropped (no match,
+                // because the MD rejects puts).
+                let bad = ni.md_bind(MdSpec::new(iobuf(b"vandalism".to_vec()))).unwrap();
+                ni.put(bad, AckRequest::NoAck, server_id, PT_FILE, AC_CLIENTS, MatchBits::new(FILE_BITS), 0)
+                    .unwrap();
+                id
+            })
+        })
+        .collect();
+
+    // The server process itself does nothing but consume log events.
+    let mut appended = 0;
+    while appended < 2 {
+        let ev = server.eq_poll(log_eq, Duration::from_secs(10)).unwrap();
+        let text = {
+            let buf = log_buf.lock();
+            String::from_utf8_lossy(&buf[ev.offset as usize..(ev.offset + ev.mlength) as usize])
+                .into_owned()
+        };
+        println!("server log <- {} (from {})", text, ev.initiator);
+        appended += 1;
+    }
+    for c in clients {
+        let id = c.join().unwrap();
+        println!("client {id} finished");
+    }
+
+    // The vandalism attempts were dropped and counted (§4.8).
+    let wait_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.counters().dropped(portals::DropReason::NoMatch) < 2 {
+        assert!(std::time::Instant::now() < wait_deadline, "drops not recorded");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.counters().dropped(portals::DropReason::NoMatch), 2);
+    assert_eq!(server.eq_get(log_eq).err(), Some(PtlError::EqEmpty));
+    println!("write attempts on the read-only file were dropped: ok");
+}

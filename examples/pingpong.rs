@@ -1,0 +1,97 @@
+//! Raw-Portals ping-pong: latency and bandwidth sweep over message sizes.
+//!
+//! §3 of the paper reports "less than 20 µsec for a zero-length ping-pong
+//! latency test" for the in-progress NIC implementation. This example measures
+//! the same microbenchmark through the full reproduction stack (Portals →
+//! transport → simulated wire) with the 2001-era Myrinet-like link model.
+//!
+//! Run: `cargo run --release -p portals-examples --bin pingpong`
+
+use portals::{iobuf, AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig};
+use portals_net::{Fabric, FabricConfig};
+use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
+use std::time::Instant;
+
+const WARMUP: usize = 50;
+const ITERS: usize = 500;
+const SIZES: [usize; 7] = [0, 8, 64, 512, 4 * 1024, 32 * 1024, 256 * 1024];
+
+fn main() {
+    let fabric = Fabric::new(FabricConfig::myrinet_2001());
+    let node_a = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
+    let node_b = Node::new(fabric.attach(NodeId(1)), NodeConfig::default());
+    let a = node_a.create_ni(1, NiConfig::default()).unwrap();
+    let b = node_b.create_ni(1, NiConfig::default()).unwrap();
+    let a_id = a.id();
+    let b_id = b.id();
+
+    // The ponger thread owns `b` for the whole run and echoes every ping,
+    // size by size in lockstep with the pinger.
+    let ponger = std::thread::spawn(move || {
+        for size in SIZES {
+            let eq = b.eq_alloc(64).unwrap();
+            let me = b
+                .me_attach(
+                    0,
+                    ProcessId::ANY,
+                    MatchCriteria::exact(MatchBits::new(size as u64)),
+                    false,
+                    MePos::Back,
+                )
+                .unwrap();
+            let inbox = iobuf(vec![0u8; size]);
+            b.md_attach(me, MdSpec::new(inbox).with_eq(eq)).unwrap();
+            let md = b.md_bind(MdSpec::new(iobuf(vec![0xb0u8; size]))).unwrap();
+            for _ in 0..WARMUP + ITERS {
+                b.eq_wait(eq).unwrap();
+                b.put(md, AckRequest::NoAck, a_id, 0, 0, MatchBits::new(size as u64), 0).unwrap();
+            }
+            b.me_unlink(me).unwrap();
+            b.md_unlink(md).unwrap();
+            b.eq_free(eq).unwrap();
+        }
+    });
+
+    println!("{:>10} {:>12} {:>14}", "size(B)", "rtt/2(us)", "bw(MB/s)");
+    for size in SIZES {
+        let eq = a.eq_alloc(64).unwrap();
+        let me = a
+            .me_attach(
+                0,
+                ProcessId::ANY,
+                MatchCriteria::exact(MatchBits::new(size as u64)),
+                false,
+                MePos::Back,
+            )
+            .unwrap();
+        let inbox = iobuf(vec![0u8; size]);
+        a.md_attach(me, MdSpec::new(inbox).with_eq(eq)).unwrap();
+        let md = a.md_bind(MdSpec::new(iobuf(vec![0xa0u8; size]))).unwrap();
+
+        for _ in 0..WARMUP {
+            a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::new(size as u64), 0).unwrap();
+            a.eq_wait(eq).unwrap();
+        }
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::new(size as u64), 0).unwrap();
+            a.eq_wait(eq).unwrap();
+        }
+        let elapsed = t0.elapsed();
+
+        let half_rtt_us = elapsed.as_secs_f64() * 1e6 / (2.0 * ITERS as f64);
+        let bw = if size > 0 {
+            (2.0 * ITERS as f64 * size as f64) / elapsed.as_secs_f64() / (1024.0 * 1024.0)
+        } else {
+            0.0
+        };
+        println!("{size:>10} {half_rtt_us:>12.2} {bw:>14.1}");
+
+        a.me_unlink(me).unwrap();
+        a.md_unlink(md).unwrap();
+        a.eq_free(eq).unwrap();
+    }
+
+    ponger.join().unwrap();
+    println!("done");
+}
