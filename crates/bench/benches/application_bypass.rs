@@ -29,15 +29,19 @@ fn bench_fig6(c: &mut Criterion) {
 
     for ms in work_ms {
         let iters = iters_per_ms * ms;
-        g.bench_with_input(BenchmarkId::new("portals_residual_wait", ms), &iters, |b, &w| {
-            b.iter_custom(|n| {
-                let mut total = Duration::ZERO;
-                for _ in 0..n {
-                    total += run_point(quick(BypassConfig::portals_style(w))).wait;
-                }
-                total
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("portals_residual_wait", ms),
+            &iters,
+            |b, &w| {
+                b.iter_custom(|n| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..n {
+                        total += run_point(quick(BypassConfig::portals_style(w))).wait;
+                    }
+                    total
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("gm_residual_wait", ms), &iters, |b, &w| {
             b.iter_custom(|n| {
                 let mut total = Duration::ZERO;

@@ -45,15 +45,17 @@ fn bench_allreduce_algos(c: &mut Criterion) {
     let mut g = c.benchmark_group("sec2_allreduce_1kB");
     g.sample_size(10);
     for n in [4usize, 8, 16] {
-        for algo in [AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::ReduceBroadcast] {
+        for algo in [
+            AllreduceAlgo::RecursiveDoubling,
+            AllreduceAlgo::ReduceBroadcast,
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(format!("{algo:?}"), n),
                 &(n, algo),
                 |b, &(n, algo)| {
                     b.iter_custom(move |iters| {
                         timed_job(n, iters, move |coll, _| {
-                            let mut coll_local =
-                                Collectives::new(coll.comm().clone());
+                            let mut coll_local = Collectives::new(coll.comm().clone());
                             coll_local.allreduce_algo = algo;
                             let mut v = vec![1.0f64; 128];
                             coll_local.allreduce(&mut v, ReduceOp::Sum);
@@ -93,8 +95,7 @@ fn bench_allgather_algos(c: &mut Criterion) {
                 |b, &(n, algo)| {
                     b.iter_custom(move |iters| {
                         timed_job(n, iters, move |coll, _| {
-                            let mut coll_local =
-                                Collectives::new(coll.comm().clone());
+                            let mut coll_local = Collectives::new(coll.comm().clone());
                             coll_local.allgather_algo = algo;
                             let mine = vec![5u8; 4096];
                             let _ = coll_local.allgather(&mine);
@@ -107,5 +108,11 @@ fn bench_allgather_algos(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_barrier, bench_allreduce_algos, bench_bcast, bench_allgather_algos);
+criterion_group!(
+    benches,
+    bench_barrier,
+    bench_allreduce_algos,
+    bench_bcast,
+    bench_allgather_algos
+);
 criterion_main!(benches);

@@ -23,7 +23,8 @@ fn bench_pingpong(c: &mut Criterion) {
             let me = ni
                 .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
                 .unwrap();
-            ni.md_attach(me, MdSpec::new(iobuf(vec![0u8; size.max(1)])).with_eq(eq)).unwrap();
+            ni.md_attach(me, MdSpec::new(iobuf(vec![0u8; size.max(1)])).with_eq(eq))
+                .unwrap();
             eq
         };
         let eq_a = setup(&a);
@@ -36,9 +37,9 @@ fn bench_pingpong(c: &mut Criterion) {
             let md = b.md_bind(MdSpec::new(iobuf(vec![0u8; size]))).unwrap();
             while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
                 match b.eq_poll(eq_b, std::time::Duration::from_millis(10)) {
-                    Ok(_) => {
-                        b.put(md, AckRequest::NoAck, a_id, 0, 0, MatchBits::ZERO, 0).unwrap()
-                    }
+                    Ok(_) => b
+                        .put(md, AckRequest::NoAck, a_id, 0, 0, MatchBits::ZERO, 0)
+                        .unwrap(),
                     Err(_) => continue,
                 }
             }
@@ -47,7 +48,8 @@ fn bench_pingpong(c: &mut Criterion) {
         let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; size]))).unwrap();
         g.bench_with_input(BenchmarkId::new("rtt", size), &size, |bch, _| {
             bch.iter(|| {
-                a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::ZERO, 0).unwrap();
+                a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::ZERO, 0)
+                    .unwrap();
                 a.eq_wait(eq_a).unwrap();
             })
         });

@@ -7,8 +7,8 @@
 //! with and without acks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use portals::MePos;
 use portals::{iobuf, AckRequest, EventKind, MdSpec, NiConfig, Node, NodeConfig};
-use portals::{MePos};
 use portals_bench::PutGetRig;
 use portals_net::{Fabric, FabricConfig};
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
@@ -18,7 +18,10 @@ fn bench_fig1_put(c: &mut Criterion) {
     g.sample_size(30);
     for size in [0usize, 1024, 50 * 1024, 256 * 1024] {
         let rig = PutGetRig::new(FabricConfig::ideal(), size.max(1));
-        let md = rig.initiator.md_bind(MdSpec::new(iobuf(vec![1u8; size]))).unwrap();
+        let md = rig
+            .initiator
+            .md_bind(MdSpec::new(iobuf(vec![1u8; size])))
+            .unwrap();
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::new("no_ack", size), &size, |b, _| {
             b.iter(|| rig.put_once(md, AckRequest::NoAck))
@@ -28,7 +31,10 @@ fn bench_fig1_put(c: &mut Criterion) {
     for size in [0usize, 50 * 1024] {
         let rig = PutGetRig::new(FabricConfig::ideal(), size.max(1));
         let ieq = rig.initiator.eq_alloc(1024).unwrap();
-        let md = rig.initiator.md_bind(MdSpec::new(iobuf(vec![1u8; size])).with_eq(ieq)).unwrap();
+        let md = rig
+            .initiator
+            .md_bind(MdSpec::new(iobuf(vec![1u8; size])).with_eq(ieq))
+            .unwrap();
         g.bench_with_input(BenchmarkId::new("with_ack", size), &size, |b, _| {
             b.iter(|| {
                 rig.put_once(md, AckRequest::Ack);
@@ -57,7 +63,9 @@ fn bench_fig2_get(c: &mut Criterion) {
         let me = target
             .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
             .unwrap();
-        target.md_attach(me, MdSpec::new(iobuf(vec![9u8; size]))).unwrap();
+        target
+            .md_attach(me, MdSpec::new(iobuf(vec![9u8; size])))
+            .unwrap();
         let ieq = initiator.eq_alloc(1024).unwrap();
         let dst = iobuf(vec![0u8; size]);
         let md = initiator.md_bind(MdSpec::new(dst).with_eq(ieq)).unwrap();
@@ -66,7 +74,9 @@ fn bench_fig2_get(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::new("get", size), &size, |b, &s| {
             b.iter(|| {
-                initiator.get(md, target_id, 0, 0, MatchBits::ZERO, 0, s as u64).unwrap();
+                initiator
+                    .get(md, target_id, 0, 0, MatchBits::ZERO, 0, s as u64)
+                    .unwrap();
                 loop {
                     let ev = initiator.eq_wait(ieq).unwrap();
                     if ev.kind == EventKind::Reply {

@@ -27,8 +27,11 @@ fn bench_hit_position(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_hit_position");
     let len = 1024usize;
     let rig = MatchBench::new(len, None);
-    for (name, bits) in [("front", 0u64), ("middle", (len / 2) as u64), ("back", (len - 1) as u64)]
-    {
+    for (name, bits) in [
+        ("front", 0u64),
+        ("middle", (len / 2) as u64),
+        ("back", (len - 1) as u64),
+    ] {
         g.bench_with_input(BenchmarkId::new("hit", name), &bits, |b, &bits| {
             b.iter(|| black_box(rig.translate(bits)))
         });
@@ -49,18 +52,18 @@ fn bench_wildcard_density(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_hash_ablation(c: &mut Criterion) {
-    // DESIGN.md §6 ablation: ordered linear walk (spec semantics) vs a hash
-    // index over exact-match entries (valid when signatures are unique).
-    let mut g = c.benchmark_group("fig4_ablation_walk_vs_hash");
+fn bench_index_ablation(c: &mut Criterion) {
+    // The receive-path ablation: ordered linear walk (reference semantics) vs
+    // the match list's built-in exact-bits index — the same translation entry
+    // point, `NiConfig::match_index` on vs off.
+    let mut g = c.benchmark_group("fig4_ablation_walk_vs_index");
     for len in [64usize, 1024, 4096] {
         let rig = MatchBench::new(len, None);
-        let idx = rig.hash_index();
         g.bench_with_input(BenchmarkId::new("linear_walk", len), &rig, |b, rig| {
             b.iter(|| black_box(rig.translate((len - 1) as u64)))
         });
-        g.bench_with_input(BenchmarkId::new("hash_index", len), &rig, |b, rig| {
-            b.iter(|| black_box(rig.translate_hashed(&idx, (len - 1) as u64)))
+        g.bench_with_input(BenchmarkId::new("match_index", len), &rig, |b, rig| {
+            b.iter(|| black_box(rig.translate_indexed((len - 1) as u64)))
         });
     }
     g.finish();
@@ -71,6 +74,6 @@ criterion_group!(
     bench_walk_length,
     bench_hit_position,
     bench_wildcard_density,
-    bench_hash_ablation
+    bench_index_ablation
 );
 criterion_main!(benches);

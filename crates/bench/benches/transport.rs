@@ -31,7 +31,10 @@ fn bench_mtu(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(MSG as u64));
     for mtu in [1024usize, 4096, 16 * 1024, 64 * 1024] {
-        let tcfg = TransportConfig { mtu, ..Default::default() };
+        let tcfg = TransportConfig {
+            mtu,
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(mtu), &tcfg, |b, &tcfg| {
             b.iter_custom(|iters| run_transfer(FabricConfig::ideal(), tcfg, iters))
         });
@@ -49,7 +52,11 @@ fn bench_window(c: &mut Criterion) {
         per_packet_overhead: Duration::from_micros(1),
     };
     for window in [2usize, 8, 32, 128] {
-        let tcfg = TransportConfig { window, mtu: 4096, ..Default::default() };
+        let tcfg = TransportConfig {
+            window,
+            mtu: 4096,
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(window), &tcfg, |b, &tcfg| {
             b.iter_custom(|iters| {
                 run_transfer(FabricConfig::default().with_link(link), tcfg, iters)
@@ -86,5 +93,43 @@ fn bench_loss(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mtu, bench_window, bench_loss);
+/// Receive-batching ablation: `recv_batch = 1` is the per-packet-ack
+/// baseline, larger batches coalesce acks (one cumulative ACK per source per
+/// drained batch) and amortise the worker wakeup over the burst.
+fn bench_recv_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_recv_batch");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(MSG as u64));
+    let link = LinkModel {
+        latency: Duration::from_micros(10),
+        bandwidth_bytes_per_sec: 500.0 * 1024.0 * 1024.0,
+        per_packet_overhead: Duration::from_micros(1),
+    };
+    for recv_batch in [1usize, 8, 64] {
+        let tcfg = TransportConfig {
+            mtu: 4096,
+            window: 128,
+            recv_batch,
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(recv_batch),
+            &tcfg,
+            |b, &tcfg| {
+                b.iter_custom(|iters| {
+                    run_transfer(FabricConfig::default().with_link(link), tcfg, iters)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mtu,
+    bench_window,
+    bench_loss,
+    bench_recv_batch
+);
 criterion_main!(benches);

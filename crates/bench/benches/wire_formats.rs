@@ -62,7 +62,9 @@ fn bench_table1_put(c: &mut Criterion) {
 
 fn bench_table2_ack(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_ack");
-    let msg = PortalsMessage::Ack(Ack { header: resp_header(50 * 1024) });
+    let msg = PortalsMessage::Ack(Ack {
+        header: resp_header(50 * 1024),
+    });
     let encoded = msg.encode();
     g.bench_function("encode", |b| b.iter(|| black_box(msg.encode())));
     g.bench_function("decode", |b| {
@@ -73,7 +75,10 @@ fn bench_table2_ack(c: &mut Criterion) {
 
 fn bench_table3_get(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_get_request");
-    let msg = PortalsMessage::Get(GetRequest { header: req_header(50 * 1024), reply_md: 7 });
+    let msg = PortalsMessage::Get(GetRequest {
+        header: req_header(50 * 1024),
+        reply_md: 7,
+    });
     let encoded = msg.encode();
     g.bench_function("encode", |b| b.iter(|| black_box(msg.encode())));
     g.bench_function("decode", |b| {

@@ -38,7 +38,11 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
 
-    let (steps, max_ms, repeats, batch) = if quick { (4, 6.0, 2, 6) } else { (10, 10.0, 5, 10) };
+    let (steps, max_ms, repeats, batch) = if quick {
+        (4, 6.0, 2, 6)
+    } else {
+        (10, 10.0, 5, 10)
+    };
     let iters_per_ms = calibrate_work(Duration::from_millis(1));
 
     let mut rows = Vec::new();
@@ -46,7 +50,11 @@ fn main() {
     for i in 0..=steps {
         let work_ms = max_ms * i as f64 / steps as f64;
         let iters = (iters_per_ms as f64 * work_ms) as u64;
-        let base = BypassConfig { repeats, batch, ..BypassConfig::portals_style(iters) };
+        let base = BypassConfig {
+            repeats,
+            batch,
+            ..BypassConfig::portals_style(iters)
+        };
         let portals = run_point(base);
         let gm = run_point(BypassConfig {
             repeats,

@@ -51,7 +51,10 @@ fn main() {
             }
             comm.wait_all(&reqs);
             if me == 0 {
-                measured2.store(env.mpi.engine().unexpected_buffer_bytes(), Ordering::Relaxed);
+                measured2.store(
+                    env.mpi.engine().unexpected_buffer_bytes(),
+                    Ordering::Relaxed,
+                );
             }
         });
         let portals_bytes = measured.load(Ordering::Relaxed);

@@ -39,7 +39,10 @@ fn tables_1_to_4() {
         ("match bits", "matching criteria"),
         ("offset", "offset within the target memory"),
         ("memory desc", "local memory region for an ack"),
-        ("ack event queue", "REPRODUCTION ADDITION: eq handle the ack names (per sec 4.8)"),
+        (
+            "ack event queue",
+            "REPRODUCTION ADDITION: eq handle the ack names (per sec 4.8)",
+        ),
         ("length", "length of the data"),
         ("data", "payload"),
     ];
@@ -57,7 +60,10 @@ fn tables_1_to_4() {
         ack_eq: 8,
         payload: Bytes::from(vec![0u8; 50 * 1024]),
     };
-    println!("Table 1 — put request ({} header bytes + payload):", PutRequest::WIRE_HEADER_SIZE);
+    println!(
+        "Table 1 — put request ({} header bytes + payload):",
+        PutRequest::WIRE_HEADER_SIZE
+    );
     for (f, d) in fields_t1 {
         println!("  {f:<16} {d}");
     }
@@ -73,7 +79,10 @@ fn tables_1_to_4() {
     println!("  as Table 1 minus payload and ack handles; memory desc names the");
     println!("  local region for the reply; NO event queue handle (sec 4.7)\n");
 
-    println!("Table 4 — reply ({} header bytes + payload):", Reply::WIRE_HEADER_SIZE);
+    println!(
+        "Table 4 — reply ({} header bytes + payload):",
+        Reply::WIRE_HEADER_SIZE
+    );
     println!("  echoed as Table 2; new: manipulated length and the data\n");
 
     // Round-trip sanity so the report never lies about the implementation.
@@ -95,10 +104,16 @@ fn tables_1_to_4() {
 
 fn fig1_put_timing() {
     println!("== Figure 1: put (send) path, one-way time observed at target ==\n");
-    println!("{:>10} {:>14} {:>14}", "size(B)", "no-ack (us)", "with-ack rtt (us)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "size(B)", "no-ack (us)", "with-ack rtt (us)"
+    );
     for size in [0usize, 1024, 50 * 1024, 256 * 1024] {
         let rig = PutGetRig::new(FabricConfig::ideal(), size.max(1));
-        let md = rig.initiator.md_bind(MdSpec::new(iobuf(vec![1u8; size]))).unwrap();
+        let md = rig
+            .initiator
+            .md_bind(MdSpec::new(iobuf(vec![1u8; size])))
+            .unwrap();
         let iters = 300;
         for _ in 0..30 {
             rig.put_once(md, AckRequest::NoAck);
@@ -110,7 +125,10 @@ fn fig1_put_timing() {
         let no_ack = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
 
         let ieq = rig.initiator.eq_alloc(1024).unwrap();
-        let md2 = rig.initiator.md_bind(MdSpec::new(iobuf(vec![1u8; size])).with_eq(ieq)).unwrap();
+        let md2 = rig
+            .initiator
+            .md_bind(MdSpec::new(iobuf(vec![1u8; size])).with_eq(ieq))
+            .unwrap();
         let t0 = Instant::now();
         for _ in 0..iters {
             rig.put_once(md2, AckRequest::Ack);
@@ -138,12 +156,18 @@ fn fig2_get_timing() {
         let me = target
             .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
             .unwrap();
-        target.md_attach(me, MdSpec::new(iobuf(vec![9u8; size]))).unwrap();
+        target
+            .md_attach(me, MdSpec::new(iobuf(vec![9u8; size])))
+            .unwrap();
         let ieq = initiator.eq_alloc(1024).unwrap();
-        let md = initiator.md_bind(MdSpec::new(iobuf(vec![0u8; size])).with_eq(ieq)).unwrap();
+        let md = initiator
+            .md_bind(MdSpec::new(iobuf(vec![0u8; size])).with_eq(ieq))
+            .unwrap();
         let iters = 300;
         let pull = || {
-            initiator.get(md, target.id(), 0, 0, MatchBits::ZERO, 0, size as u64).unwrap();
+            initiator
+                .get(md, target.id(), 0, 0, MatchBits::ZERO, 0, size as u64)
+                .unwrap();
             loop {
                 if initiator.eq_wait(ieq).unwrap().kind == EventKind::Reply {
                     break;
@@ -165,21 +189,25 @@ fn fig2_get_timing() {
 
 fn fig34_translation() {
     println!("== Figures 3-4: address translation walk cost ==\n");
-    println!("{:>10} {:>16} {:>16}", "entries", "match-last (ns)", "miss (ns)");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16} {:>16}",
+        "entries", "walk-last (ns)", "indexed (ns)", "walk-miss (ns)", "idx-miss (ns)"
+    );
     for len in [1usize, 16, 64, 256, 1024, 4096] {
         let rig = MatchBench::new(len, None);
         let iters = 20_000u64;
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(rig.translate((len - 1) as u64));
-        }
-        let hit = t0.elapsed().as_nanos() as f64 / iters as f64;
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(rig.translate_miss());
-        }
-        let miss = t0.elapsed().as_nanos() as f64 / iters as f64;
-        println!("{len:>10} {hit:>16.1} {miss:>16.1}");
+        let time = |f: &dyn Fn() -> bool| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        };
+        let hit = time(&|| rig.translate((len - 1) as u64));
+        let hit_idx = time(&|| rig.translate_indexed((len - 1) as u64));
+        let miss = time(&|| rig.translate_miss());
+        let miss_idx = time(&|| rig.translate_miss_indexed());
+        println!("{len:>10} {hit:>16.1} {hit_idx:>16.1} {miss:>16.1} {miss_idx:>16.1}");
     }
-    println!("\n(linear growth with search depth, per the Fig. 4 walk)");
+    println!("\n(walk grows linearly with search depth; the exact-bits index is flat)");
 }

@@ -28,16 +28,18 @@ const SRC_MASK: u64 = 0xffff << SRC_SHIFT;
 /// Pack `(context, source rank, tag)` into match bits.
 #[inline]
 pub fn encode(context: Context, src_rank: u16, tag: Tag) -> MatchBits {
-    MatchBits::new(
-        ((context as u64) << CTX_SHIFT) | ((src_rank as u64) << SRC_SHIFT) | tag as u64,
-    )
+    MatchBits::new(((context as u64) << CTX_SHIFT) | ((src_rank as u64) << SRC_SHIFT) | tag as u64)
 }
 
 /// Unpack `(context, source rank, tag)`.
 #[inline]
 pub fn decode(bits: MatchBits) -> (Context, u16, Tag) {
     let raw = bits.raw();
-    ((raw >> CTX_SHIFT) as u16, (raw >> SRC_SHIFT) as u16, (raw & TAG_MASK) as u32)
+    (
+        (raw >> CTX_SHIFT) as u16,
+        (raw >> SRC_SHIFT) as u16,
+        (raw & TAG_MASK) as u32,
+    )
 }
 
 /// Build the receive-side criteria: exact context, optionally wildcarded

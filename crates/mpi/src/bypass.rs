@@ -111,7 +111,10 @@ pub fn run_point(cfg: BypassConfig) -> BypassPoint {
     let fabric = Fabric::new(FabricConfig::default().with_link(cfg.link));
     let node0 = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
     let node1 = Node::new(fabric.attach(NodeId(1)), NodeConfig::default());
-    let ni_cfg = NiConfig { progress: cfg.progress, ..Default::default() };
+    let ni_cfg = NiConfig {
+        progress: cfg.progress,
+        ..Default::default()
+    };
     let ni0 = node0.create_ni(1, ni_cfg.clone()).unwrap();
     let ni1 = node1.create_ni(1, ni_cfg).unwrap();
     let ranks = vec![ProcessId::new(0, 1), ProcessId::new(1, 1)];
@@ -149,14 +152,22 @@ fn iteration(comm: &Communicator, cfg: &BypassConfig, worker: bool) -> (Duration
 
     // pre-post several non-blocking receives;
     let recvs: Vec<Request> = (0..cfg.batch)
-        .map(|_| comm.irecv(Some(other), Some(7), portals::iobuf(vec![0u8; cfg.msg_size])))
+        .map(|_| {
+            comm.irecv(
+                Some(other),
+                Some(7),
+                portals::iobuf(vec![0u8; cfg.msg_size]),
+            )
+        })
         .collect();
 
     // barrier;
     comm.barrier();
 
     // post a batch of sends;
-    let sends: Vec<Request> = (0..cfg.batch).map(|_| comm.isend(other, 7, &payload)).collect();
+    let sends: Vec<Request> = (0..cfg.batch)
+        .map(|_| comm.isend(other, 7, &payload))
+        .collect();
 
     // work (fixed loop iterations) — only the worker node;
     let w0 = Instant::now();
@@ -194,7 +205,12 @@ fn iteration(comm: &Communicator, cfg: &BypassConfig, worker: bool) -> (Duration
 pub fn run_sweep(base: BypassConfig, work_iteration_steps: &[u64]) -> Vec<BypassPoint> {
     work_iteration_steps
         .iter()
-        .map(|&w| run_point(BypassConfig { work_iterations: w, ..base }))
+        .map(|&w| {
+            run_point(BypassConfig {
+                work_iterations: w,
+                ..base
+            })
+        })
         .collect()
 }
 
@@ -237,7 +253,10 @@ mod tests {
         let p = run_point(small(BypassConfig::portals_style(0), 0));
         // With zero work, everything remains for the wait phase.
         assert!(p.wait > Duration::ZERO);
-        assert!(p.work < Duration::from_millis(1), "no-work interval should be ~zero");
+        assert!(
+            p.work < Duration::from_millis(1),
+            "no-work interval should be ~zero"
+        );
     }
 
     #[test]
@@ -271,7 +290,10 @@ mod tests {
             busy.wait,
             idle.wait
         );
-        assert!(busy.wait > Duration::from_micros(100), "transfer must still take real time");
+        assert!(
+            busy.wait > Duration::from_micros(100),
+            "transfer must still take real time"
+        );
     }
 
     #[test]
@@ -280,7 +302,10 @@ mod tests {
         let iters = calibrate_work(Duration::from_millis(20));
         let no_tests = run_point(small(BypassConfig::gm_style(iters), iters));
         let with_tests = run_point(small(
-            BypassConfig { test_calls_during_work: 3, ..BypassConfig::gm_style(iters) },
+            BypassConfig {
+                test_calls_during_work: 3,
+                ..BypassConfig::gm_style(iters)
+            },
             iters,
         ));
         assert!(

@@ -29,7 +29,10 @@ impl Mpi {
         my_rank: Rank,
         config: MpiConfig,
     ) -> PtlResult<Mpi> {
-        assert!(ranks.len() <= u16::MAX as usize, "ranks must fit in 16 match bits");
+        assert!(
+            ranks.len() <= u16::MAX as usize,
+            "ranks must fit in 16 match bits"
+        );
         assert_eq!(
             ranks.get(my_rank.index()),
             Some(&ni.id()),
@@ -135,7 +138,13 @@ impl Communicator {
 
     fn isend_internal(&self, dest: Rank, tag: Tag, data: &[u8]) -> Request {
         self.engine
-            .isend(self.context, self.my_rank.0 as u16, self.process(dest), tag, data)
+            .isend(
+                self.context,
+                self.my_rank.0 as u16,
+                self.process(dest),
+                tag,
+                data,
+            )
             .expect("isend")
     }
 
@@ -213,7 +222,8 @@ impl Communicator {
     /// `Status::len` reports the full message length, so the caller can size
     /// the receive buffer.
     pub fn iprobe(&self, src: Option<Rank>, tag: Option<Tag>) -> Option<Status> {
-        self.engine.iprobe(self.context, src.map(|r| r.0 as u16), tag)
+        self.engine
+            .iprobe(self.context, src.map(|r| r.0 as u16), tag)
     }
 
     /// Blocking probe (MPI_Probe): wait until a matching message has arrived.
@@ -285,6 +295,12 @@ impl Communicator {
 
 impl std::fmt::Debug for Communicator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Communicator(ctx={}, rank={}/{})", self.context, self.my_rank, self.size())
+        write!(
+            f,
+            "Communicator(ctx={}, rank={}/{})",
+            self.context,
+            self.my_rank,
+            self.size()
+        )
     }
 }

@@ -2,8 +2,7 @@
 
 /// Which wire protocol the layer runs (see the crate docs for how these map
 /// onto the paper's §5.3 comparison).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Protocol {
     /// Portals-style: one matching put per message, any size, delivered
     /// directly into posted buffers by the receive engine.
@@ -17,7 +16,6 @@ pub enum Protocol {
         eager_limit: usize,
     },
 }
-
 
 /// Tuning for one process's MPI engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +50,12 @@ impl Default for MpiConfig {
 impl MpiConfig {
     /// The GM-style baseline configuration used by the Figure 6 experiment.
     pub fn gm_style() -> MpiConfig {
-        MpiConfig { protocol: Protocol::Rendezvous { eager_limit: 16 * 1024 }, ..Default::default() }
+        MpiConfig {
+            protocol: Protocol::Rendezvous {
+                eager_limit: 16 * 1024,
+            },
+            ..Default::default()
+        }
     }
 }
 

@@ -110,10 +110,20 @@ impl MpiEngine {
     /// overflow slabs and control portal.
     pub fn new(ni: NetworkInterface, config: MpiConfig) -> PtlResult<MpiEngine> {
         let eq = ni.eq_alloc(config.eq_capacity)?;
-        let slab_me =
-            ni.me_attach(PT_MSG, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
-        let ctrl_me =
-            ni.me_attach(PT_CTRL, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
+        let slab_me = ni.me_attach(
+            PT_MSG,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            false,
+            MePos::Back,
+        )?;
+        let ctrl_me = ni.me_attach(
+            PT_CTRL,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            false,
+            MePos::Back,
+        )?;
         let engine = MpiEngine {
             ni,
             eq,
@@ -159,14 +169,16 @@ impl MpiEngine {
         let buf = iobuf(vec![0u8; self.config.slab_size]);
         let md = self.ni.md_attach(
             st.slab_me,
-            MdSpec::new(buf.clone()).with_eq(self.eq).with_options(MdOptions {
-                op_put: true,
-                op_get: false,
-                truncate: true,
-                manage_local_offset: true,
-                unlink_on_exhaustion: false,
-                min_free: self.config.slab_min_free,
-            }),
+            MdSpec::new(buf.clone())
+                .with_eq(self.eq)
+                .with_options(MdOptions {
+                    op_put: true,
+                    op_get: false,
+                    truncate: true,
+                    manage_local_offset: true,
+                    unlink_on_exhaustion: false,
+                    min_free: self.config.slab_min_free,
+                }),
         )?;
         st.slab_mds.insert(md, buf);
         Ok(())
@@ -176,14 +188,16 @@ impl MpiEngine {
         let buf = iobuf(vec![0u8; RTS_SIZE * CTRL_SLAB_RECORDS]);
         let md = self.ni.md_attach(
             st.ctrl_me,
-            MdSpec::new(buf.clone()).with_eq(self.eq).with_options(MdOptions {
-                op_put: true,
-                op_get: false,
-                truncate: true,
-                manage_local_offset: true,
-                unlink_on_exhaustion: false,
-                min_free: RTS_SIZE,
-            }),
+            MdSpec::new(buf.clone())
+                .with_eq(self.eq)
+                .with_options(MdOptions {
+                    op_put: true,
+                    op_get: false,
+                    truncate: true,
+                    manage_local_offset: true,
+                    unlink_on_exhaustion: false,
+                    min_free: RTS_SIZE,
+                }),
         )?;
         st.ctrl_mds.insert(md, buf);
         Ok(())
@@ -244,7 +258,15 @@ impl MpiEngine {
             // The RTS needs no completion tracking: put() snapshots the
             // payload synchronously, so the MD can be unlinked immediately.
             let rts_md = self.ni.md_bind(MdSpec::new(iobuf(rts)))?;
-            self.ni.put(rts_md, AckRequest::NoAck, dest, PT_CTRL, COOKIE, match_bits, 0)?;
+            self.ni.put(
+                rts_md,
+                AckRequest::NoAck,
+                dest,
+                PT_CTRL,
+                COOKIE,
+                match_bits,
+                0,
+            )?;
             let _ = self.ni.md_unlink(rts_md);
         } else {
             let md = self.ni.md_bind(
@@ -253,9 +275,13 @@ impl MpiEngine {
                     .with_threshold(Threshold::Count(1)),
             )?;
             st.sends.insert(md, id);
-            self.ni.put(md, AckRequest::Ack, dest, PT_MSG, COOKIE, match_bits, 0)?;
+            self.ni
+                .put(md, AckRequest::Ack, dest, PT_MSG, COOKIE, match_bits, 0)?;
         }
-        Ok(Request { id, kind: ReqKind::Send })
+        Ok(Request {
+            id,
+            kind: ReqKind::Send,
+        })
     }
 
     // ----- receiving ----------------------------------------------------------
@@ -279,7 +305,10 @@ impl MpiEngine {
         // Already arrived? Pick the oldest matching arrival across the eager
         // and rendezvous queues (the stamp preserves wire order between them).
         if self.take_waiting_match(&mut st, id, &criteria, &buf, cap) {
-            return Ok(Request { id, kind: ReqKind::Recv });
+            return Ok(Request {
+                id,
+                kind: ReqKind::Recv,
+            });
         }
 
         match self.config.protocol {
@@ -309,11 +338,18 @@ impl MpiEngine {
                             ..Default::default()
                         }),
                 )?;
-                st.recvs.push(PostedRecv { id, criteria, buf, cap, hw: Some((me, md)) });
+                st.recvs.push(PostedRecv {
+                    id,
+                    criteria,
+                    buf,
+                    cap,
+                    hw: Some((me, md)),
+                });
                 loop {
-                    match self.ni.md_update(md, Some(self.eq), |m| {
-                        m.threshold = Threshold::Count(1)
-                    }) {
+                    match self
+                        .ni
+                        .md_update(md, Some(self.eq), |m| m.threshold = Threshold::Count(1))
+                    {
                         Ok(()) => break,
                         Err(PtlError::NoUpdate) => {
                             // Pending events might include the very message
@@ -330,10 +366,19 @@ impl MpiEngine {
             }
             Protocol::Rendezvous { .. } => {
                 // Library-side matching only.
-                st.recvs.push(PostedRecv { id, criteria, buf, cap, hw: None });
+                st.recvs.push(PostedRecv {
+                    id,
+                    criteria,
+                    buf,
+                    cap,
+                    hw: None,
+                });
             }
         }
-        Ok(Request { id, kind: ReqKind::Recv })
+        Ok(Request {
+            id,
+            kind: ReqKind::Recv,
+        })
     }
 
     /// Search both waiting queues for the oldest arrival matching `criteria`;
@@ -416,10 +461,24 @@ impl MpiEngine {
             .expect("bind pull md");
         st.pulls.insert(
             md,
-            PullInfo { id, src: src_rank, tag, total_len: rts.total_len, cap },
+            PullInfo {
+                id,
+                src: src_rank,
+                tag,
+                total_len: rts.total_len,
+                cap,
+            },
         );
         self.ni
-            .get(md, rts.sender, PT_RDVZ, COOKIE, MatchBits::new(rts.serial), 0, pull_len)
+            .get(
+                md,
+                rts.sender,
+                PT_RDVZ,
+                COOKIE,
+                MatchBits::new(rts.serial),
+                0,
+                pull_len,
+            )
             .expect("rendezvous get");
     }
 
@@ -427,7 +486,12 @@ impl MpiEngine {
     /// message matching `(src, tag)` without consuming it. Only messages that
     /// arrived *unexpected* are visible — which is the situation probe exists
     /// for (deciding how to post the receive).
-    pub fn iprobe(&self, context: bits::Context, src: Option<u16>, tag: Option<Tag>) -> Option<Status> {
+    pub fn iprobe(
+        &self,
+        context: bits::Context,
+        src: Option<u16>,
+        tag: Option<Tag>,
+    ) -> Option<Status> {
         let criteria = bits::recv_criteria(context, src, tag);
         let mut st = self.state.lock();
         self.drain(&mut st);
@@ -456,7 +520,12 @@ impl MpiEngine {
             }
         };
         let (_, src_rank, tag) = bits::decode(bits);
-        Some(Status { source: Rank(src_rank as u32), tag, len: len as usize, truncated: false })
+        Some(Status {
+            source: Rank(src_rank as u32),
+            tag,
+            len: len as usize,
+            truncated: false,
+        })
     }
 
     // ----- completion ----------------------------------------------------------
@@ -493,9 +562,9 @@ impl MpiEngine {
                     self.handle_event(&mut st, ev);
                 }
                 Err(PtlError::Timeout) | Err(PtlError::EqEmpty) => {}
-                Err(PtlError::EqDropped) => panic!(
-                    "MPI event queue overflowed — raise MpiConfig::eq_capacity"
-                ),
+                Err(PtlError::EqDropped) => {
+                    panic!("MPI event queue overflowed — raise MpiConfig::eq_capacity")
+                }
                 Err(e) => panic!("event queue failure: {e}"),
             }
         }
@@ -503,7 +572,8 @@ impl MpiEngine {
 
     /// Block until `req` completes.
     pub fn wait(&self, req: Request) -> Completion {
-        self.wait_timeout(req, Duration::from_secs(300)).expect("MPI wait timed out (5 min)")
+        self.wait_timeout(req, Duration::from_secs(300))
+            .expect("MPI wait timed out (5 min)")
     }
 
     /// Wait for every request, in order.
@@ -540,10 +610,14 @@ impl MpiEngine {
 
     fn take_completion(st: &mut EngState, req: Request) -> Option<Completion> {
         match req.kind {
-            ReqKind::Send => st
-                .send_done
-                .remove(&req.id)
-                .map(|(delivered, requested)| Completion::Send { delivered, requested }),
+            ReqKind::Send => {
+                st.send_done
+                    .remove(&req.id)
+                    .map(|(delivered, requested)| Completion::Send {
+                        delivered,
+                        requested,
+                    })
+            }
             ReqKind::Recv => st.recv_done.remove(&req.id).map(Completion::Recv),
         }
     }
@@ -625,7 +699,9 @@ impl MpiEngine {
     fn handle_put_event(&self, st: &mut EngState, ev: portals::Event) {
         if ev.portal_index == PT_CTRL {
             // A rendezvous announcement.
-            let Some(buf) = st.ctrl_mds.get(&ev.md).cloned() else { return };
+            let Some(buf) = st.ctrl_mds.get(&ev.md).cloned() else {
+                return;
+            };
             debug_assert_eq!(ev.mlength as usize, RTS_SIZE, "malformed RTS record");
             let (serial, total_len) = {
                 let b = buf.lock();
@@ -636,8 +712,13 @@ impl MpiEngine {
             };
             let stamp = st.next_stamp;
             st.next_stamp += 1;
-            let rts =
-                RtsRecord { stamp, bits: ev.match_bits, sender: ev.initiator, serial, total_len };
+            let rts = RtsRecord {
+                stamp,
+                bits: ev.match_bits,
+                sender: ev.initiator,
+                serial,
+                total_len,
+            };
             if let Some(pos) = st.recvs.iter().position(|r| r.criteria.matches(rts.bits)) {
                 let r = st.recvs.remove(pos);
                 if let Some((me, _)) = r.hw {
@@ -659,7 +740,11 @@ impl MpiEngine {
                 mlength: ev.mlength as usize,
                 rlength: ev.rlength as usize,
             };
-            if let Some(pos) = st.recvs.iter().position(|r| r.criteria.matches(arrival.bits)) {
+            if let Some(pos) = st
+                .recvs
+                .iter()
+                .position(|r| r.criteria.matches(arrival.bits))
+            {
                 let r = st.recvs.remove(pos);
                 if let Some((me, _)) = r.hw {
                     // The receive was posted but not yet activated when this
@@ -674,8 +759,10 @@ impl MpiEngine {
             }
         } else {
             // Direct delivery into a posted hardware receive.
-            if let Some(pos) =
-                st.recvs.iter().position(|r| r.hw.map(|(_, md)| md) == Some(ev.md))
+            if let Some(pos) = st
+                .recvs
+                .iter()
+                .position(|r| r.hw.map(|(_, md)| md) == Some(ev.md))
             {
                 let r = st.recvs.remove(pos);
                 let (_, src_rank, tag) = bits::decode(ev.match_bits);

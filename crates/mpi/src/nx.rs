@@ -57,14 +57,22 @@ pub struct Nx {
 }
 
 fn type_to_tag(msg_type: i64) -> Tag {
-    assert!((0..=MAX_TYPE).contains(&msg_type), "NX type out of range: {msg_type}");
+    assert!(
+        (0..=MAX_TYPE).contains(&msg_type),
+        "NX type out of range: {msg_type}"
+    );
     msg_type as Tag
 }
 
 impl Nx {
     /// Wrap a communicator. NX "node numbers" are the communicator's ranks.
     pub fn new(comm: Communicator) -> Nx {
-        Nx { comm, pending: Mutex::new(Vec::new()), next_mid: Mutex::new(0), last_info: Mutex::new(None) }
+        Nx {
+            comm,
+            pending: Mutex::new(Vec::new()),
+            next_mid: Mutex::new(0),
+            last_info: Mutex::new(None),
+        }
     }
 
     /// This node's number (`mynode()`).
@@ -79,7 +87,8 @@ impl Nx {
 
     /// Blocking typed send (`csend`).
     pub fn csend(&self, msg_type: i64, data: &[u8], node: i32) {
-        self.comm.send(Rank(node as u32), type_to_tag(msg_type), data);
+        self.comm
+            .send(Rank(node as u32), type_to_tag(msg_type), data);
     }
 
     /// Blocking typed receive (`crecv`): `typesel` of [`ANY_TYPE`] matches any
@@ -87,14 +96,20 @@ impl Nx {
     pub fn crecv(&self, typesel: i64, max_len: usize) -> NxMessage {
         let tag = (typesel != ANY_TYPE).then(|| type_to_tag(typesel));
         let (data, status) = self.comm.recv(None, tag, max_len);
-        let msg = NxMessage { data, node: status.source.0 as i32, msg_type: status.tag as i64 };
+        let msg = NxMessage {
+            data,
+            node: status.source.0 as i32,
+            msg_type: status.tag as i64,
+        };
         *self.last_info.lock() = Some((msg.data.len(), msg.node, msg.msg_type));
         msg
     }
 
     /// Asynchronous send (`isend`); complete with [`Nx::msgwait`].
     pub fn isend(&self, msg_type: i64, data: &[u8], node: i32) -> Mid {
-        let req = self.comm.isend(Rank(node as u32), type_to_tag(msg_type), data);
+        let req = self
+            .comm
+            .isend(Rank(node as u32), type_to_tag(msg_type), data);
         self.register(Pending::Send(req))
     }
 

@@ -127,7 +127,9 @@ impl Window {
         let ni = self.comm.engine().ni();
         let dst = iobuf(vec![0u8; len]);
         let md = ni.md_bind(
-            MdSpec::new(dst.clone()).with_eq(self.eq).with_threshold(Threshold::Count(1)),
+            MdSpec::new(dst.clone())
+                .with_eq(self.eq)
+                .with_threshold(Threshold::Count(1)),
         )?;
         ni.get(
             md,
@@ -210,7 +212,11 @@ impl Drop for Window {
 
 impl std::fmt::Debug for Window {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Window(id={}, pending_puts={})", self.win_id, self.pending_puts)
+        write!(
+            f,
+            "Window(id={}, pending_puts={})",
+            self.win_id, self.pending_puts
+        )
     }
 }
 

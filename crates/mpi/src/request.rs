@@ -67,14 +67,34 @@ mod tests {
 
     #[test]
     fn completion_status_projection() {
-        let s = Status { source: Rank(1), tag: 2, len: 3, truncated: false };
+        let s = Status {
+            source: Rank(1),
+            tag: 2,
+            len: 3,
+            truncated: false,
+        };
         assert_eq!(Completion::Recv(s).status(), Some(s));
-        assert_eq!(Completion::Send { delivered: 1, requested: 1 }.status(), None);
+        assert_eq!(
+            Completion::Send {
+                delivered: 1,
+                requested: 1
+            }
+            .status(),
+            None
+        );
     }
 
     #[test]
     fn request_kind_projection() {
-        assert!(Request { id: 0, kind: ReqKind::Send }.is_send());
-        assert!(!Request { id: 0, kind: ReqKind::Recv }.is_send());
+        assert!(Request {
+            id: 0,
+            kind: ReqKind::Send
+        }
+        .is_send());
+        assert!(!Request {
+            id: 0,
+            kind: ReqKind::Recv
+        }
+        .is_send());
     }
 }

@@ -1,7 +1,7 @@
 //! MPI-semantics tests across both protocols and both progress models.
 
 use portals::{iobuf, NiConfig, Node, NodeConfig, ProgressModel};
-use portals_mpi::{Communicator, Completion, Mpi, MpiConfig, Protocol};
+use portals_mpi::{Communicator, Completion, Mpi, MpiConfig};
 use portals_net::Fabric;
 use portals_types::{NodeId, ProcessId, Rank};
 use std::time::Duration;
@@ -16,14 +16,21 @@ fn world_run(
 ) {
     let fabric = Fabric::ideal();
     let ranks: Vec<ProcessId> = (0..n).map(|i| ProcessId::new(i as u32, 1)).collect();
-    let nodes: Vec<Node> =
-        (0..n).map(|i| Node::new(fabric.attach(NodeId(i as u32)), NodeConfig::default())).collect();
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| Node::new(fabric.attach(NodeId(i as u32)), NodeConfig::default()))
+        .collect();
     let mpis: Vec<Mpi> = nodes
         .iter()
         .enumerate()
         .map(|(i, node)| {
             let ni = node
-                .create_ni(1, NiConfig { progress, ..Default::default() })
+                .create_ni(
+                    1,
+                    NiConfig {
+                        progress,
+                        ..Default::default()
+                    },
+                )
                 .unwrap();
             Mpi::init(ni, ranks.clone(), Rank(i as u32), mpi_cfg).unwrap()
         })
@@ -225,19 +232,24 @@ fn barrier_synchronizes_all_ranks() {
 
 #[test]
 fn communicator_contexts_isolate_traffic() {
-    world_run(2, ProgressModel::ApplicationBypass, MpiConfig::default(), |comm| {
-        let comm2 = comm.dup();
-        if comm.rank() == Rank(0) {
-            // Same tag on two communicators: must not cross.
-            comm2.send(Rank(1), 5, b"on-comm2");
-            comm.send(Rank(1), 5, b"on-world");
-        } else {
-            let (w, _) = comm.recv(Some(Rank(0)), Some(5), 32);
-            assert_eq!(w, b"on-world");
-            let (d, _) = comm2.recv(Some(Rank(0)), Some(5), 32);
-            assert_eq!(d, b"on-comm2");
-        }
-    });
+    world_run(
+        2,
+        ProgressModel::ApplicationBypass,
+        MpiConfig::default(),
+        |comm| {
+            let comm2 = comm.dup();
+            if comm.rank() == Rank(0) {
+                // Same tag on two communicators: must not cross.
+                comm2.send(Rank(1), 5, b"on-comm2");
+                comm.send(Rank(1), 5, b"on-world");
+            } else {
+                let (w, _) = comm.recv(Some(Rank(0)), Some(5), 32);
+                assert_eq!(w, b"on-world");
+                let (d, _) = comm2.recv(Some(Rank(0)), Some(5), 32);
+                assert_eq!(d, b"on-comm2");
+            }
+        },
+    );
 }
 
 #[test]
@@ -247,8 +259,7 @@ fn sendrecv_exchanges_without_deadlock() {
             let me = comm.rank().0;
             let other = Rank(1 - me);
             let msg = format!("hello from {me}");
-            let (got, st) =
-                comm.sendrecv(other, 1, msg.as_bytes(), Some(other), Some(1), 64);
+            let (got, st) = comm.sendrecv(other, 1, msg.as_bytes(), Some(other), Some(1), 64);
             assert_eq!(got, format!("hello from {}", other.0).as_bytes());
             assert_eq!(st.source, other);
         });
@@ -262,11 +273,14 @@ fn waitall_on_mixed_batch() {
             let other = Rank(1 - comm.rank().0);
             let n = 10;
             let bufs: Vec<_> = (0..n).map(|_| iobuf(vec![0u8; 4096])).collect();
-            let recvs: Vec<_> =
-                bufs.iter().map(|b| comm.irecv(Some(other), Some(1), b.clone())).collect();
+            let recvs: Vec<_> = bufs
+                .iter()
+                .map(|b| comm.irecv(Some(other), Some(1), b.clone()))
+                .collect();
             comm.barrier();
-            let sends: Vec<_> =
-                (0..n).map(|i| comm.isend(other, 1, &vec![i as u8; 4096])).collect();
+            let sends: Vec<_> = (0..n)
+                .map(|i| comm.isend(other, 1, &vec![i as u8; 4096]))
+                .collect();
             let rcomps = comm.wait_all(&recvs);
             let scomps = comm.wait_all(&sends);
             for (i, c) in rcomps.iter().enumerate() {
@@ -275,7 +289,13 @@ fn waitall_on_mixed_batch() {
                 assert_eq!(bufs[i].lock()[0], i as u8, "batch order");
             }
             for c in scomps {
-                assert!(matches!(c, Completion::Send { delivered: 4096, requested: 4096 }));
+                assert!(matches!(
+                    c,
+                    Completion::Send {
+                        delivered: 4096,
+                        requested: 4096
+                    }
+                ));
             }
         });
     }
@@ -283,9 +303,10 @@ fn waitall_on_mixed_batch() {
 
 #[test]
 fn ring_pipeline_many_ranks() {
-    for (progress, cfg) in
-        [(ProgressModel::ApplicationBypass, MpiConfig::default()), (ProgressModel::HostDriven, MpiConfig::gm_style())]
-    {
+    for (progress, cfg) in [
+        (ProgressModel::ApplicationBypass, MpiConfig::default()),
+        (ProgressModel::HostDriven, MpiConfig::gm_style()),
+    ] {
         world_run(6, progress, cfg, |comm| {
             let n = comm.size() as u32;
             let me = comm.rank().0;
@@ -316,19 +337,24 @@ fn ring_pipeline_many_ranks() {
 #[test]
 fn irecv_before_send_gets_direct_delivery() {
     // EagerDirect: a pre-posted receive means zero unexpected buffering.
-    world_run(2, ProgressModel::ApplicationBypass, MpiConfig::default(), |comm| {
-        if comm.rank() == Rank(1) {
-            let buf = iobuf(vec![0u8; 64 * 1024]);
-            let req = comm.irecv(Some(Rank(0)), Some(1), buf.clone());
-            comm.barrier();
-            let st = comm.wait(req).status().unwrap();
-            assert_eq!(st.len, 64 * 1024);
-            assert_eq!(comm.engine().unexpected_pending(), 0);
-        } else {
-            comm.barrier();
-            comm.send(Rank(1), 1, &vec![5u8; 64 * 1024]);
-        }
-    });
+    world_run(
+        2,
+        ProgressModel::ApplicationBypass,
+        MpiConfig::default(),
+        |comm| {
+            if comm.rank() == Rank(1) {
+                let buf = iobuf(vec![0u8; 64 * 1024]);
+                let req = comm.irecv(Some(Rank(0)), Some(1), buf.clone());
+                comm.barrier();
+                let st = comm.wait(req).status().unwrap();
+                assert_eq!(st.len, 64 * 1024);
+                assert_eq!(comm.engine().unexpected_pending(), 0);
+            } else {
+                comm.barrier();
+                comm.send(Rank(1), 1, &vec![5u8; 64 * 1024]);
+            }
+        },
+    );
 }
 
 #[test]
@@ -400,62 +426,77 @@ fn probe_reports_length_then_recv_consumes() {
 
 #[test]
 fn wait_any_returns_first_completion() {
-    world_run(3, ProgressModel::ApplicationBypass, MpiConfig::default(), |comm| {
-        if comm.rank() == Rank(0) {
-            // Two receives; rank 2 answers promptly, rank 1 after a delay.
-            let buf1 = iobuf(vec![0u8; 8]);
-            let buf2 = iobuf(vec![0u8; 8]);
-            let r1 = comm.irecv(Some(Rank(1)), Some(1), buf1);
-            let r2 = comm.irecv(Some(Rank(2)), Some(1), buf2);
-            let (idx, c) = comm.engine().wait_any(&[r1, r2]);
-            assert_eq!(idx, 1, "rank 2's message lands first");
-            assert_eq!(c.status().unwrap().source, Rank(2));
-            let (idx, c) = comm.engine().wait_any(&[r1]);
-            assert_eq!(idx, 0);
-            assert_eq!(c.status().unwrap().source, Rank(1));
-        } else if comm.rank() == Rank(1) {
-            std::thread::sleep(Duration::from_millis(80));
-            comm.send(Rank(0), 1, b"late");
-        } else {
-            comm.send(Rank(0), 1, b"fast");
-        }
-    });
+    world_run(
+        3,
+        ProgressModel::ApplicationBypass,
+        MpiConfig::default(),
+        |comm| {
+            if comm.rank() == Rank(0) {
+                // Two receives; rank 2 answers promptly, rank 1 after a delay.
+                let buf1 = iobuf(vec![0u8; 8]);
+                let buf2 = iobuf(vec![0u8; 8]);
+                let r1 = comm.irecv(Some(Rank(1)), Some(1), buf1);
+                let r2 = comm.irecv(Some(Rank(2)), Some(1), buf2);
+                let (idx, c) = comm.engine().wait_any(&[r1, r2]);
+                assert_eq!(idx, 1, "rank 2's message lands first");
+                assert_eq!(c.status().unwrap().source, Rank(2));
+                let (idx, c) = comm.engine().wait_any(&[r1]);
+                assert_eq!(idx, 0);
+                assert_eq!(c.status().unwrap().source, Rank(1));
+            } else if comm.rank() == Rank(1) {
+                std::thread::sleep(Duration::from_millis(80));
+                comm.send(Rank(0), 1, b"late");
+            } else {
+                comm.send(Rank(0), 1, b"fast");
+            }
+        },
+    );
 }
 
 #[test]
 fn iprobe_wildcards() {
-    world_run(2, ProgressModel::ApplicationBypass, MpiConfig::default(), |comm| {
-        if comm.rank() == Rank(0) {
-            comm.send(Rank(1), 33, b"x");
-        } else {
-            // Wait for it with a fully wild probe.
-            let st = comm.probe(None, None);
-            assert_eq!(st.tag, 33);
-            assert_eq!(st.source, Rank(0));
-            assert!(comm.iprobe(Some(Rank(0)), Some(34)).is_none(), "wrong tag");
-            let _ = comm.recv(None, None, 8);
-        }
-    });
+    world_run(
+        2,
+        ProgressModel::ApplicationBypass,
+        MpiConfig::default(),
+        |comm| {
+            if comm.rank() == Rank(0) {
+                comm.send(Rank(1), 33, b"x");
+            } else {
+                // Wait for it with a fully wild probe.
+                let st = comm.probe(None, None);
+                assert_eq!(st.tag, 33);
+                assert_eq!(st.source, Rank(0));
+                assert!(comm.iprobe(Some(Rank(0)), Some(34)).is_none(), "wrong tag");
+                let _ = comm.recv(None, None, 8);
+            }
+        },
+    );
 }
 
 #[test]
 fn concurrent_pairs_do_not_interfere() {
     // 4 ranks: (0,1) and (2,3) exchange heavy traffic simultaneously.
-    world_run(4, ProgressModel::ApplicationBypass, MpiConfig::default(), |comm| {
-        let me = comm.rank().0;
-        let partner = Rank(me ^ 1);
-        for i in 0..30u32 {
-            let tag = 1;
-            let msg = vec![(me as u8) ^ (i as u8); 2048];
-            if me % 2 == 0 {
-                comm.send(partner, tag, &msg);
-                let (data, _) = comm.recv(Some(partner), Some(tag), 4096);
-                assert_eq!(data[0], (partner.0 as u8) ^ (i as u8));
-            } else {
-                let (data, _) = comm.recv(Some(partner), Some(tag), 4096);
-                assert_eq!(data[0], (partner.0 as u8) ^ (i as u8));
-                comm.send(partner, tag, &msg);
+    world_run(
+        4,
+        ProgressModel::ApplicationBypass,
+        MpiConfig::default(),
+        |comm| {
+            let me = comm.rank().0;
+            let partner = Rank(me ^ 1);
+            for i in 0..30u32 {
+                let tag = 1;
+                let msg = vec![(me as u8) ^ (i as u8); 2048];
+                if me % 2 == 0 {
+                    comm.send(partner, tag, &msg);
+                    let (data, _) = comm.recv(Some(partner), Some(tag), 4096);
+                    assert_eq!(data[0], (partner.0 as u8) ^ (i as u8));
+                } else {
+                    let (data, _) = comm.recv(Some(partner), Some(tag), 4096);
+                    assert_eq!(data[0], (partner.0 as u8) ^ (i as u8));
+                    comm.send(partner, tag, &msg);
+                }
             }
-        }
-    });
+        },
+    );
 }

@@ -12,8 +12,20 @@ fn two_node_world() -> (Mpi, Mpi, Vec<Node>) {
     let ranks = vec![ProcessId::new(0, 1), ProcessId::new(1, 1)];
     let n0 = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
     let n1 = Node::new(fabric.attach(NodeId(1)), NodeConfig::default());
-    let m0 = Mpi::init(n0.create_ni(1, NiConfig::default()).unwrap(), ranks.clone(), Rank(0), MpiConfig::default()).unwrap();
-    let m1 = Mpi::init(n1.create_ni(1, NiConfig::default()).unwrap(), ranks, Rank(1), MpiConfig::default()).unwrap();
+    let m0 = Mpi::init(
+        n0.create_ni(1, NiConfig::default()).unwrap(),
+        ranks.clone(),
+        Rank(0),
+        MpiConfig::default(),
+    )
+    .unwrap();
+    let m1 = Mpi::init(
+        n1.create_ni(1, NiConfig::default()).unwrap(),
+        ranks,
+        Rank(1),
+        MpiConfig::default(),
+    )
+    .unwrap();
     (m0, m1, vec![n0, n1])
 }
 
@@ -45,7 +57,11 @@ fn wildcard_typesel_takes_arrival_order() {
         let nx = Nx::new(m1.world());
         let a = nx.crecv(ANY_TYPE, 64);
         let b = nx.crecv(ANY_TYPE, 64);
-        assert_eq!((a.msg_type, b.msg_type), (5, 6), "arrival order under wildcard");
+        assert_eq!(
+            (a.msg_type, b.msg_type),
+            (5, 6),
+            "arrival order under wildcard"
+        );
     });
     let nx = Nx::new(m0.world());
     nx.csend(5, b"first", 1);

@@ -34,7 +34,7 @@ fn reference(messages: &[Msg], recvs: &[RecvSpec]) -> Vec<u8> {
         let idx = messages
             .iter()
             .enumerate()
-            .position(|(i, m)| !consumed[i] && r.tag.map_or(true, |t| t == m.tag))
+            .position(|(i, m)| !consumed[i] && r.tag.is_none_or(|t| t == m.tag))
             .expect("scenario generator guarantees feasibility");
         consumed[idx] = true;
         out.push(messages[idx].ident);
@@ -52,9 +52,17 @@ fn run_world(
     let ranks = vec![ProcessId::new(0, 1), ProcessId::new(1, 1)];
     let n0 = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
     let n1 = Node::new(fabric.attach(NodeId(1)), NodeConfig::default());
-    let ni_cfg = NiConfig { progress, ..Default::default() };
-    let mpi0 =
-        Mpi::init(n0.create_ni(1, ni_cfg.clone()).unwrap(), ranks.clone(), Rank(0), cfg).unwrap();
+    let ni_cfg = NiConfig {
+        progress,
+        ..Default::default()
+    };
+    let mpi0 = Mpi::init(
+        n0.create_ni(1, ni_cfg.clone()).unwrap(),
+        ranks.clone(),
+        Rank(0),
+        cfg,
+    )
+    .unwrap();
     let mpi1 = Mpi::init(n1.create_ni(1, ni_cfg).unwrap(), ranks, Rank(1), cfg).unwrap();
 
     let sender_msgs = messages.clone();
@@ -63,8 +71,10 @@ fn run_world(
         // Nonblocking sends: a rendezvous send only completes when the
         // receiver pulls, which may happen in any receive order — blocking
         // here would deadlock against out-of-order receive posting.
-        let reqs: Vec<_> =
-            sender_msgs.iter().map(|m| comm.isend(Rank(1), m.tag, &vec![m.ident; m.size])).collect();
+        let reqs: Vec<_> = sender_msgs
+            .iter()
+            .map(|m| comm.isend(Rank(1), m.tag, &vec![m.ident; m.size]))
+            .collect();
         // Stay in the library (serving pulls) until the receiver is done.
         let (done, _) = comm.recv(Some(Rank(1)), Some(101), 4);
         assert_eq!(done, b"done");
@@ -80,7 +90,10 @@ fn run_world(
     for r in &recvs {
         let (data, st) = comm.recv(Some(Rank(0)), r.tag, 64 * 1024);
         assert!(st.len > 0);
-        assert!(data.iter().all(|&b| b == data[0]), "payload must be uniform");
+        assert!(
+            data.iter().all(|&b| b == data[0]),
+            "payload must be uniform"
+        );
         out.push(data[0]);
     }
     comm.send(Rank(0), 101, b"done");
@@ -91,31 +104,38 @@ fn run_world(
 /// Generate a feasible scenario: messages plus receives (exact ones first,
 /// then wildcards) such that every receive can match.
 fn scenario() -> impl Strategy<Value = (Vec<Msg>, Vec<RecvSpec>)> {
-    proptest::collection::vec((0u32..3, prop_oneof![Just(64usize), Just(20_000usize)]), 1..7)
-        .prop_flat_map(|tag_sizes| {
-            let n = tag_sizes.len();
-            (Just(tag_sizes), proptest::collection::vec(any::<bool>(), n))
-        })
-        .prop_map(|(tag_sizes, wilds)| {
-            let messages: Vec<Msg> = tag_sizes
-                .iter()
-                .enumerate()
-                .map(|(i, (tag, size))| Msg { tag: *tag, size: *size, ident: i as u8 + 1 })
-                .collect();
-            // One receive per message: exact (same tag) or wildcard; exact
-            // receives posted first keeps every scenario feasible.
-            let mut exact: Vec<RecvSpec> = Vec::new();
-            let mut wild: Vec<RecvSpec> = Vec::new();
-            for (m, w) in messages.iter().zip(&wilds) {
-                if *w {
-                    wild.push(RecvSpec { tag: None });
-                } else {
-                    exact.push(RecvSpec { tag: Some(m.tag) });
-                }
+    proptest::collection::vec(
+        (0u32..3, prop_oneof![Just(64usize), Just(20_000usize)]),
+        1..7,
+    )
+    .prop_flat_map(|tag_sizes| {
+        let n = tag_sizes.len();
+        (Just(tag_sizes), proptest::collection::vec(any::<bool>(), n))
+    })
+    .prop_map(|(tag_sizes, wilds)| {
+        let messages: Vec<Msg> = tag_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, (tag, size))| Msg {
+                tag: *tag,
+                size: *size,
+                ident: i as u8 + 1,
+            })
+            .collect();
+        // One receive per message: exact (same tag) or wildcard; exact
+        // receives posted first keeps every scenario feasible.
+        let mut exact: Vec<RecvSpec> = Vec::new();
+        let mut wild: Vec<RecvSpec> = Vec::new();
+        for (m, w) in messages.iter().zip(&wilds) {
+            if *w {
+                wild.push(RecvSpec { tag: None });
+            } else {
+                exact.push(RecvSpec { tag: Some(m.tag) });
             }
-            exact.extend(wild);
-            (messages, exact)
-        })
+        }
+        exact.extend(wild);
+        (messages, exact)
+    })
 }
 
 proptest! {

@@ -5,20 +5,25 @@ use portals_mpi::{Communicator, Mpi, MpiConfig, Window};
 use portals_net::Fabric;
 use portals_types::{NodeId, ProcessId, Rank};
 
-fn world_run(
-    n: usize,
-    progress: ProgressModel,
-    f: impl Fn(Communicator) + Send + Sync + 'static,
-) {
+fn world_run(n: usize, progress: ProgressModel, f: impl Fn(Communicator) + Send + Sync + 'static) {
     let fabric = Fabric::ideal();
     let ranks: Vec<ProcessId> = (0..n).map(|i| ProcessId::new(i as u32, 1)).collect();
-    let nodes: Vec<Node> =
-        (0..n).map(|i| Node::new(fabric.attach(NodeId(i as u32)), NodeConfig::default())).collect();
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| Node::new(fabric.attach(NodeId(i as u32)), NodeConfig::default()))
+        .collect();
     let mpis: Vec<Mpi> = nodes
         .iter()
         .enumerate()
         .map(|(i, node)| {
-            let ni = node.create_ni(1, NiConfig { progress, ..Default::default() }).unwrap();
+            let ni = node
+                .create_ni(
+                    1,
+                    NiConfig {
+                        progress,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
             Mpi::init(ni, ranks.clone(), Rank(i as u32), MpiConfig::default()).unwrap()
         })
         .collect();

@@ -14,7 +14,9 @@ pub struct SimClock {
 impl SimClock {
     /// A clock whose epoch is "now".
     pub fn new() -> Self {
-        SimClock { epoch: Instant::now() }
+        SimClock {
+            epoch: Instant::now(),
+        }
     }
 
     /// Time elapsed since the fabric epoch.

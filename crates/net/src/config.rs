@@ -85,7 +85,10 @@ impl FabricConfig {
 
     /// Fault-free fabric with the 2001-era Myrinet-like link model.
     pub fn myrinet_2001() -> Self {
-        FabricConfig { link: LinkModel::myrinet_2001(), ..Default::default() }
+        FabricConfig {
+            link: LinkModel::myrinet_2001(),
+            ..Default::default()
+        }
     }
 
     /// Set the fault plan.
@@ -135,7 +138,10 @@ mod tests {
             per_packet_overhead: Duration::from_micros(10),
         };
         assert_eq!(m.occupancy(0), Duration::from_micros(10));
-        assert_eq!(m.occupancy(1_000_000), Duration::from_secs(1) + Duration::from_micros(10));
+        assert_eq!(
+            m.occupancy(1_000_000),
+            Duration::from_secs(1) + Duration::from_micros(10)
+        );
     }
 
     #[test]
@@ -143,6 +149,9 @@ mod tests {
         let m = LinkModel::myrinet_2001();
         // 1 MB at ~140 MB/s should take ~7ms.
         let t = m.occupancy(1024 * 1024);
-        assert!(t > Duration::from_millis(5) && t < Duration::from_millis(10), "{t:?}");
+        assert!(
+            t > Duration::from_millis(5) && t < Duration::from_millis(10),
+            "{t:?}"
+        );
     }
 }

@@ -78,13 +78,19 @@ impl Shared {
                 let bytes = datagram.payload.len() as u64;
                 if tx.send(datagram).is_ok() {
                     self.stats.packets_delivered.fetch_add(1, Ordering::Relaxed);
-                    self.stats.bytes_delivered.fetch_add(bytes, Ordering::Relaxed);
+                    self.stats
+                        .bytes_delivered
+                        .fetch_add(bytes, Ordering::Relaxed);
                 } else {
-                    self.stats.packets_unroutable.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .packets_unroutable
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
             None => {
-                self.stats.packets_unroutable.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .packets_unroutable
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -92,7 +98,9 @@ impl Shared {
     /// Entry point used by [`Nic::send`].
     pub(crate) fn send(&self, datagram: Datagram) {
         self.stats.packets_sent.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_sent.fetch_add(datagram.payload.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(datagram.payload.len() as u64, Ordering::Relaxed);
 
         if self.is_partitioned(datagram.src, datagram.dst) {
             self.stats.packets_lost.fetch_add(1, Ordering::Relaxed);
@@ -116,7 +124,11 @@ impl Shared {
         }
 
         // Egress serialization: the packet cannot start until the link is free.
-        let busy = wire.egress_busy.get(&datagram.src).copied().unwrap_or(Duration::ZERO);
+        let busy = wire
+            .egress_busy
+            .get(&datagram.src)
+            .copied()
+            .unwrap_or(Duration::ZERO);
         let start = busy.max(now);
         let occupy = link.occupancy(datagram.payload.len());
         wire.egress_busy.insert(datagram.src, start + occupy);
@@ -133,12 +145,22 @@ impl Shared {
 
         let seq = wire.next_seq;
         wire.next_seq += 1;
-        wire.heap.push(Reverse(ScheduledPacket { deliver_at, seq, datagram: datagram.clone() }));
+        wire.heap.push(Reverse(ScheduledPacket {
+            deliver_at,
+            seq,
+            datagram: datagram.clone(),
+        }));
         if duplicate {
-            self.stats.packets_duplicated.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .packets_duplicated
+                .fetch_add(1, Ordering::Relaxed);
             let seq = wire.next_seq;
             wire.next_seq += 1;
-            wire.heap.push(Reverse(ScheduledPacket { deliver_at, seq, datagram }));
+            wire.heap.push(Reverse(ScheduledPacket {
+                deliver_at,
+                seq,
+                datagram,
+            }));
         }
         drop(wire);
         self.wire_cond.notify_one();
@@ -193,7 +215,10 @@ impl Fabric {
             )
         };
 
-        Fabric { shared, scheduler: Mutex::new(scheduler) }
+        Fabric {
+            shared,
+            scheduler: Mutex::new(scheduler),
+        }
     }
 
     /// An ideal fabric: instantaneous, lossless, in-order.
@@ -210,7 +235,12 @@ impl Fabric {
             let prev = routes.insert(nid, tx);
             assert!(prev.is_none(), "node {nid} attached twice");
         }
-        Nic::new(nid, Arc::clone(&self.shared), rx, Arc::new(NicStats::default()))
+        Nic::new(
+            nid,
+            Arc::clone(&self.shared),
+            rx,
+            Arc::new(NicStats::default()),
+        )
     }
 
     /// The fabric clock (shared by all NICs).
@@ -363,16 +393,21 @@ mod tests {
         a.send(NodeId(1), Bytes::from_static(b"x"));
         let _ = b.recv_timeout(Duration::from_secs(5)).unwrap();
         let elapsed = t0.elapsed();
-        assert!(elapsed >= latency, "delivered after {elapsed:?}, expected >= {latency:?}");
+        assert!(
+            elapsed >= latency,
+            "delivered after {elapsed:?}, expected >= {latency:?}"
+        );
     }
 
     #[test]
     fn loss_injection_drops_packets() {
-        let cfg = FabricConfig::default().with_faults(FaultPlan::lossy(1.0)).with_link(LinkModel {
-            latency: Duration::from_micros(1),
-            bandwidth_bytes_per_sec: f64::INFINITY,
-            per_packet_overhead: Duration::ZERO,
-        });
+        let cfg = FabricConfig::default()
+            .with_faults(FaultPlan::lossy(1.0))
+            .with_link(LinkModel {
+                latency: Duration::from_micros(1),
+                bandwidth_bytes_per_sec: f64::INFINITY,
+                per_packet_overhead: Duration::ZERO,
+            });
         let fabric = Fabric::new(cfg);
         let a = fabric.attach(NodeId(0));
         let b = fabric.attach(NodeId(1));
@@ -464,7 +499,10 @@ mod tests {
             b.recv_timeout(Duration::from_secs(5)).unwrap();
         }
         let elapsed = t0.elapsed();
-        assert!(elapsed >= Duration::from_millis(250), "3 MB arrived in {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(250),
+            "3 MB arrived in {elapsed:?}"
+        );
     }
 
     #[test]

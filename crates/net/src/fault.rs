@@ -34,17 +34,26 @@ impl FaultPlan {
 
     /// A lossy plan useful in tests.
     pub fn lossy(p: f64) -> Self {
-        FaultPlan { loss_probability: p, ..Self::NONE }
+        FaultPlan {
+            loss_probability: p,
+            ..Self::NONE
+        }
     }
 
     /// A duplicating plan.
     pub fn duplicating(p: f64) -> Self {
-        FaultPlan { duplicate_probability: p, ..Self::NONE }
+        FaultPlan {
+            duplicate_probability: p,
+            ..Self::NONE
+        }
     }
 
     /// A reordering plan (jitter up to `max`).
     pub fn jittery(max: Duration) -> Self {
-        FaultPlan { max_jitter: max, ..Self::NONE }
+        FaultPlan {
+            max_jitter: max,
+            ..Self::NONE
+        }
     }
 
     /// True if this plan can never perturb traffic.
@@ -75,6 +84,9 @@ mod tests {
         assert_eq!(FaultPlan::lossy(0.5).loss_probability, 0.5);
         assert!(!FaultPlan::lossy(0.5).is_fault_free());
         assert_eq!(FaultPlan::duplicating(0.1).duplicate_probability, 0.1);
-        assert_eq!(FaultPlan::jittery(Duration::from_millis(1)).max_jitter, Duration::from_millis(1));
+        assert_eq!(
+            FaultPlan::jittery(Duration::from_millis(1)).max_jitter,
+            Duration::from_millis(1)
+        );
     }
 }

@@ -22,7 +22,13 @@ pub struct Datagram {
 
 impl fmt::Debug for Datagram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Datagram({} -> {}, {} B)", self.src, self.dst, self.payload.len())
+        write!(
+            f,
+            "Datagram({} -> {}, {} B)",
+            self.src,
+            self.dst,
+            self.payload.len()
+        )
     }
 }
 
@@ -69,7 +75,12 @@ impl Nic {
         inbound: Receiver<Datagram>,
         stats: Arc<NicStats>,
     ) -> Self {
-        Nic { nid, shared, inbound, stats }
+        Nic {
+            nid,
+            shared,
+            inbound,
+            stats,
+        }
     }
 
     /// This NIC's node id.
@@ -82,7 +93,11 @@ impl Nic {
     /// fabric stats) — the wire gives no failure feedback, just like hardware.
     pub fn send(&self, dst: NodeId, payload: Bytes) {
         self.stats.record_send(payload.len());
-        self.shared.send(Datagram { src: self.nid, dst, payload });
+        self.shared.send(Datagram {
+            src: self.nid,
+            dst,
+            payload,
+        });
     }
 
     /// Block until a packet arrives.
@@ -199,8 +214,23 @@ mod tests {
         a.send(NodeId(1), Bytes::from(vec![0u8; 100]));
         let _ = b.recv().unwrap();
         assert_eq!(a.stats().sent.load(std::sync::atomic::Ordering::Relaxed), 1);
-        assert_eq!(a.stats().bytes_sent.load(std::sync::atomic::Ordering::Relaxed), 100);
-        assert_eq!(b.stats().received.load(std::sync::atomic::Ordering::Relaxed), 1);
-        assert_eq!(b.stats().bytes_received.load(std::sync::atomic::Ordering::Relaxed), 100);
+        assert_eq!(
+            a.stats()
+                .bytes_sent
+                .load(std::sync::atomic::Ordering::Relaxed),
+            100
+        );
+        assert_eq!(
+            b.stats()
+                .received
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            b.stats()
+                .bytes_received
+                .load(std::sync::atomic::Ordering::Relaxed),
+            100
+        );
     }
 }

@@ -81,7 +81,8 @@ impl NicStats {
 
     pub(crate) fn record_recv(&self, bytes: usize) {
         self.received.fetch_add(1, Ordering::Relaxed);
-        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 }
 

@@ -1,12 +1,10 @@
 //! The file-service client.
 
 use crate::proto::{
-    FsError, FsOp, FsResult, FsStatus, Reply, Request, FileId, PT_FS_DATA, PT_FS_REP,
-    PT_FS_REQ, REPLY_SIZE,
+    FileId, FsError, FsOp, FsResult, FsStatus, Reply, Request, PT_FS_DATA, PT_FS_REP, PT_FS_REQ,
+    REPLY_SIZE,
 };
-use portals::{
-    iobuf, AckRequest, EqHandle, EventKind, MdSpec, MePos, NetworkInterface, Threshold,
-};
+use portals::{iobuf, AckRequest, EqHandle, EventKind, MdSpec, MePos, NetworkInterface, Threshold};
 use portals_types::{MatchBits, MatchCriteria, ProcessId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -29,7 +27,12 @@ impl FsClient {
     /// Connect (connectionless-ly: just remember the server's address).
     pub fn new(ni: NetworkInterface, server: ProcessId) -> FsResult<FsClient> {
         let eq = ni.eq_alloc(256)?;
-        Ok(FsClient { ni, server, eq, next_reply_bits: AtomicU64::new(0x0F5C_0000_0000_0000) })
+        Ok(FsClient {
+            ni,
+            server,
+            eq,
+            next_reply_bits: AtomicU64::new(0x0F5C_0000_0000_0000),
+        })
     }
 
     /// The underlying interface.
@@ -99,7 +102,14 @@ impl FsClient {
     }
 
     fn named_op(&self, op: FsOp, name: &[u8]) -> FsResult<Reply> {
-        self.rpc(Request { op, file: 0, offset: 0, len: 0, reply_bits: 0, name: name.to_vec() })
+        self.rpc(Request {
+            op,
+            file: 0,
+            offset: 0,
+            len: 0,
+            reply_bits: 0,
+            name: name.to_vec(),
+        })
     }
 
     /// Create (or truncate) a file; returns its id.
@@ -146,9 +156,11 @@ impl FsClient {
             name: Vec::new(),
         })?;
         let dst = iobuf(vec![0u8; len]);
-        let md = self
-            .ni
-            .md_bind(MdSpec::new(dst.clone()).with_eq(self.eq).with_threshold(Threshold::Count(1)))?;
+        let md = self.ni.md_bind(
+            MdSpec::new(dst.clone())
+                .with_eq(self.eq)
+                .with_threshold(Threshold::Count(1)),
+        )?;
         self.ni.get(
             md,
             self.server,
@@ -178,13 +190,11 @@ impl FsClient {
             reply_bits: 0,
             name: Vec::new(),
         })?;
-        let md = self
-            .ni
-            .md_bind(
-                MdSpec::new(iobuf(data.to_vec()))
-                    .with_eq(self.eq)
-                    .with_threshold(Threshold::Count(1)),
-            )?;
+        let md = self.ni.md_bind(
+            MdSpec::new(iobuf(data.to_vec()))
+                .with_eq(self.eq)
+                .with_threshold(Threshold::Count(1)),
+        )?;
         self.ni.put(
             md,
             AckRequest::Ack,

@@ -260,7 +260,13 @@ mod tests {
 
     #[test]
     fn reply_roundtrip() {
-        let r = Reply { status: FsStatus::Ok, file: 3, size: 9000, grant_bits: 55, grant_len: 512 };
+        let r = Reply {
+            status: FsStatus::Ok,
+            file: 3,
+            size: 9000,
+            grant_bits: 55,
+            grant_len: 512,
+        };
         let enc = r.encode();
         assert_eq!(enc.len(), REPLY_SIZE);
         assert_eq!(Reply::decode(&enc).unwrap(), r);

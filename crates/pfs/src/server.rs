@@ -1,8 +1,6 @@
 //! The file server: an in-memory volume served entirely through Portals.
 
-use crate::proto::{
-    FsOp, FsStatus, Reply, Request, FileId, PT_FS_DATA, PT_FS_REQ, REQUEST_SIZE,
-};
+use crate::proto::{FileId, FsOp, FsStatus, Reply, Request, PT_FS_DATA, PT_FS_REQ, REQUEST_SIZE};
 use parking_lot::Mutex;
 use portals::{
     iobuf, AckRequest, EqHandle, EventKind, IoBuf, MdOptions, MdSpec, MePos, NetworkInterface,
@@ -26,7 +24,11 @@ struct Volume {
 
 impl Volume {
     fn new() -> Volume {
-        Volume { names: HashMap::new(), files: HashMap::new(), next_id: 1 }
+        Volume {
+            names: HashMap::new(),
+            files: HashMap::new(),
+            next_id: 1,
+        }
     }
 }
 
@@ -68,8 +70,13 @@ impl FileServer {
     /// Start a server on `ni`.
     pub fn start(ni: NetworkInterface) -> PtlResult<FileServer> {
         let eq = ni.eq_alloc(4096)?;
-        let slab_me =
-            ni.me_attach(PT_FS_REQ, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
+        let slab_me = ni.me_attach(
+            PT_FS_REQ,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            false,
+            MePos::Back,
+        )?;
         let shared = Arc::new(ServerShared {
             ni,
             eq,
@@ -90,7 +97,10 @@ impl FileServer {
                 .spawn(move || serve_loop(shared))
                 .expect("spawn fs server")
         };
-        Ok(FileServer { shared, thread: Some(thread) })
+        Ok(FileServer {
+            shared,
+            thread: Some(thread),
+        })
     }
 
     /// The server's process id (what clients address).
@@ -125,14 +135,16 @@ impl ServerShared {
         let buf = iobuf(vec![0u8; REQUEST_SIZE * REQ_SLAB_RECORDS]);
         let md = self.ni.md_attach(
             self.slab_me,
-            MdSpec::new(buf.clone()).with_eq(self.eq).with_options(MdOptions {
-                op_put: true,
-                op_get: false,
-                truncate: true,
-                manage_local_offset: true,
-                unlink_on_exhaustion: false,
-                min_free: REQUEST_SIZE,
-            }),
+            MdSpec::new(buf.clone())
+                .with_eq(self.eq)
+                .with_options(MdOptions {
+                    op_put: true,
+                    op_get: false,
+                    truncate: true,
+                    manage_local_offset: true,
+                    unlink_on_exhaustion: false,
+                    min_free: REQUEST_SIZE,
+                }),
         )?;
         self.slab_bufs.lock().insert(md, buf);
         Ok(())
@@ -158,12 +170,7 @@ impl ServerShared {
 
     /// Expose `[offset, offset+len)` of `file` for a single one-sided
     /// operation and return the grant bits.
-    fn grant(
-        &self,
-        file: &IoBuf,
-        total_len: usize,
-        reads: bool,
-    ) -> PtlResult<u64> {
+    fn grant(&self, file: &IoBuf, total_len: usize, reads: bool) -> PtlResult<u64> {
         let bits = self.next_grant.fetch_add(1, Ordering::Relaxed);
         let me = self.ni.me_attach(
             PT_FS_DATA,
@@ -196,7 +203,13 @@ impl ServerShared {
             shared.reply(
                 from,
                 req.reply_bits,
-                Reply { status, file: req.file, size: 0, grant_bits: 0, grant_len: 0 },
+                Reply {
+                    status,
+                    file: req.file,
+                    size: 0,
+                    grant_bits: 0,
+                    grant_len: 0,
+                },
             );
         };
         match req.op {
@@ -215,7 +228,13 @@ impl ServerShared {
                 self.reply(
                     from,
                     req.reply_bits,
-                    Reply { status: FsStatus::Ok, file: id, size: 0, grant_bits: 0, grant_len: 0 },
+                    Reply {
+                        status: FsStatus::Ok,
+                        file: id,
+                        size: 0,
+                        grant_bits: 0,
+                        grant_len: 0,
+                    },
                 );
             }
             FsOp::Open | FsOp::Stat => {
@@ -242,26 +261,24 @@ impl ServerShared {
                     None => fail(self, FsStatus::NotFound),
                 }
             }
-            FsOp::Remove => {
-                match vol.names.remove(&req.name) {
-                    Some(id) => {
-                        vol.files.remove(&id);
-                        drop(vol);
-                        self.reply(
-                            from,
-                            req.reply_bits,
-                            Reply {
-                                status: FsStatus::Ok,
-                                file: id,
-                                size: 0,
-                                grant_bits: 0,
-                                grant_len: 0,
-                            },
-                        );
-                    }
-                    None => fail(self, FsStatus::NotFound),
+            FsOp::Remove => match vol.names.remove(&req.name) {
+                Some(id) => {
+                    vol.files.remove(&id);
+                    drop(vol);
+                    self.reply(
+                        from,
+                        req.reply_bits,
+                        Reply {
+                            status: FsStatus::Ok,
+                            file: id,
+                            size: 0,
+                            grant_bits: 0,
+                            grant_len: 0,
+                        },
+                    );
                 }
-            }
+                None => fail(self, FsStatus::NotFound),
+            },
             FsOp::Read => {
                 let Some(file) = vol.files.get(&req.file).cloned() else {
                     fail(self, FsStatus::NotFound);
@@ -332,8 +349,9 @@ fn serve_loop(shared: Arc<ServerShared>) {
     while !shared.stop.load(Ordering::Relaxed) {
         let ev = match shared.ni.eq_poll(shared.eq, Duration::from_millis(20)) {
             Ok(ev) => ev,
-            Err(portals_types::PtlError::Timeout)
-            | Err(portals_types::PtlError::EqEmpty) => continue,
+            Err(portals_types::PtlError::Timeout) | Err(portals_types::PtlError::EqEmpty) => {
+                continue
+            }
             Err(portals_types::PtlError::EqDropped) => {
                 // Overloaded: requests were lost; clients will time out and
                 // retry. Keep serving.
@@ -357,11 +375,10 @@ fn serve_loop(shared: Arc<ServerShared>) {
                     }
                 }
             }
-            EventKind::Unlink
-                if shared.slab_bufs.lock().remove(&ev.md).is_some() => {
-                    let _ = shared.attach_request_slab();
-                }
-                // Grant MDs also unlink here; nothing to do.
+            EventKind::Unlink if shared.slab_bufs.lock().remove(&ev.md).is_some() => {
+                let _ = shared.attach_request_slab();
+            }
+            // Grant MDs also unlink here; nothing to do.
             // Grant traffic (client get/put on PT_FS_DATA) produces no events:
             // grant MDs carry no event queue.
             _ => {}

@@ -55,16 +55,29 @@ impl StripedFile {
     /// Create the component files on every server.
     pub fn create(clients: Vec<FsClient>, name: &[u8], stripe: usize) -> FsResult<StripedFile> {
         assert!(stripe > 0 && !clients.is_empty());
-        let ids = clients.iter().map(|c| c.create(name)).collect::<FsResult<Vec<_>>>()?;
-        Ok(StripedFile { clients, ids, stripe })
+        let ids = clients
+            .iter()
+            .map(|c| c.create(name))
+            .collect::<FsResult<Vec<_>>>()?;
+        Ok(StripedFile {
+            clients,
+            ids,
+            stripe,
+        })
     }
 
     /// Open existing component files on every server.
     pub fn open(clients: Vec<FsClient>, name: &[u8], stripe: usize) -> FsResult<StripedFile> {
         assert!(stripe > 0 && !clients.is_empty());
-        let ids =
-            clients.iter().map(|c| c.open(name).map(|(id, _)| id)).collect::<FsResult<Vec<_>>>()?;
-        Ok(StripedFile { clients, ids, stripe })
+        let ids = clients
+            .iter()
+            .map(|c| c.open(name).map(|(id, _)| id))
+            .collect::<FsResult<Vec<_>>>()?;
+        Ok(StripedFile {
+            clients,
+            ids,
+            stripe,
+        })
     }
 
     /// Number of servers backing this file.
@@ -88,8 +101,11 @@ impl StripedFile {
     pub fn read(&self, offset: u64, len: usize) -> FsResult<Vec<u8>> {
         let mut out = vec![0u8; len];
         for span in spans(offset, len, self.stripe, self.clients.len()) {
-            let piece =
-                self.clients[span.server].read(self.ids[span.server], span.local_offset, span.len)?;
+            let piece = self.clients[span.server].read(
+                self.ids[span.server],
+                span.local_offset,
+                span.len,
+            )?;
             out[span.buf_offset..span.buf_offset + span.len].copy_from_slice(&piece);
         }
         Ok(out)
@@ -103,7 +119,15 @@ mod tests {
     #[test]
     fn spans_within_one_stripe() {
         let s = spans(10, 20, 100, 4);
-        assert_eq!(s, vec![Span { server: 0, local_offset: 10, buf_offset: 0, len: 20 }]);
+        assert_eq!(
+            s,
+            vec![Span {
+                server: 0,
+                local_offset: 10,
+                buf_offset: 0,
+                len: 20
+            }]
+        );
     }
 
     #[test]
@@ -113,18 +137,35 @@ mod tests {
         assert_eq!(
             s,
             vec![
-                Span { server: 0, local_offset: 5, buf_offset: 0, len: 5 }, // unit 0 tail
-                Span { server: 1, local_offset: 0, buf_offset: 5, len: 10 }, // unit 1
-                Span { server: 0, local_offset: 10, buf_offset: 15, len: 5 }, // unit 2 head
+                Span {
+                    server: 0,
+                    local_offset: 5,
+                    buf_offset: 0,
+                    len: 5
+                }, // unit 0 tail
+                Span {
+                    server: 1,
+                    local_offset: 0,
+                    buf_offset: 5,
+                    len: 10
+                }, // unit 1
+                Span {
+                    server: 0,
+                    local_offset: 10,
+                    buf_offset: 15,
+                    len: 5
+                }, // unit 2 head
             ]
         );
     }
 
     #[test]
     fn spans_cover_exactly_the_request() {
-        for (off, len, stripe, servers) in
-            [(0u64, 1000usize, 64usize, 3usize), (777, 3000, 128, 5), (1, 1, 1, 2)]
-        {
+        for (off, len, stripe, servers) in [
+            (0u64, 1000usize, 64usize, 3usize),
+            (777, 3000, 128, 5),
+            (1, 1, 1, 2),
+        ] {
             let s = spans(off, len, stripe, servers);
             let total: usize = s.iter().map(|sp| sp.len).sum();
             assert_eq!(total, len);

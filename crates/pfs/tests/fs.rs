@@ -42,7 +42,13 @@ fn create_write_read_roundtrip() {
     let mid = c.read(id, 5000, 100).unwrap();
     assert_eq!(&mid[..], &payload[5000..5100]);
 
-    assert!(server.stats().read_grants.load(std::sync::atomic::Ordering::Relaxed) >= 2);
+    assert!(
+        server
+            .stats()
+            .read_grants
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 2
+    );
 }
 
 #[test]
@@ -97,8 +103,13 @@ fn concurrent_clients_share_a_file() {
         .enumerate()
         .map(|(i, c)| {
             std::thread::spawn(move || {
-                let fid = if i == 0 { id } else { c.open(b"shared").unwrap().0 };
-                c.write(fid, (i * 1024) as u64, &vec![i as u8 + 1; 1024]).unwrap();
+                let fid = if i == 0 {
+                    id
+                } else {
+                    c.open(b"shared").unwrap().0
+                };
+                c.write(fid, (i * 1024) as u64, &vec![i as u8 + 1; 1024])
+                    .unwrap();
                 c
             })
         })
@@ -108,7 +119,9 @@ fn concurrent_clients_share_a_file() {
     let all = clients[0].read(id, 0, 4096).unwrap();
     for i in 0..4 {
         assert!(
-            all[i * 1024..(i + 1) * 1024].iter().all(|&b| b == i as u8 + 1),
+            all[i * 1024..(i + 1) * 1024]
+                .iter()
+                .all(|&b| b == i as u8 + 1),
             "block {i} intact"
         );
     }
@@ -131,7 +144,9 @@ fn striped_file_across_three_servers() {
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            let ni = client_node.create_ni(i as u32 + 1, NiConfig::default()).unwrap();
+            let ni = client_node
+                .create_ni(i as u32 + 1, NiConfig::default())
+                .unwrap();
             FsClient::new(ni, s.id()).unwrap()
         })
         .collect();

@@ -95,8 +95,14 @@ impl AccessControlList {
     pub fn standard(size: usize) -> AccessControlList {
         assert!(size >= 2, "ACL needs at least the two standard entries");
         let mut entries = vec![AcEntry::Disabled; size];
-        entries[0] = AcEntry::Allow { id: AcMatch::SameApplication, portal: PortalMatch::Any };
-        entries[1] = AcEntry::Allow { id: AcMatch::SystemProcess, portal: PortalMatch::Any };
+        entries[0] = AcEntry::Allow {
+            id: AcMatch::SameApplication,
+            portal: PortalMatch::Any,
+        };
+        entries[1] = AcEntry::Allow {
+            id: AcMatch::SystemProcess,
+            portal: PortalMatch::Any,
+        };
         AccessControlList { entries }
     }
 
@@ -137,7 +143,10 @@ impl AccessControlList {
         portal_index: u32,
         class: &dyn InitiatorClass,
     ) -> Result<(), AclReject> {
-        let entry = self.entries.get(cookie as usize).ok_or(AclReject::InvalidIndex)?;
+        let entry = self
+            .entries
+            .get(cookie as usize)
+            .ok_or(AclReject::InvalidIndex)?;
         match entry {
             AcEntry::Disabled => Err(AclReject::InvalidIndex),
             AcEntry::Allow { id, portal } => {
@@ -177,8 +186,20 @@ mod tests {
     fn standard_layout() {
         let acl = AccessControlList::standard(8);
         assert_eq!(acl.len(), 8);
-        assert!(matches!(acl.get(0), Some(AcEntry::Allow { id: AcMatch::SameApplication, .. })));
-        assert!(matches!(acl.get(1), Some(AcEntry::Allow { id: AcMatch::SystemProcess, .. })));
+        assert!(matches!(
+            acl.get(0),
+            Some(AcEntry::Allow {
+                id: AcMatch::SameApplication,
+                ..
+            })
+        ));
+        assert!(matches!(
+            acl.get(1),
+            Some(AcEntry::Allow {
+                id: AcMatch::SystemProcess,
+                ..
+            })
+        ));
         for i in 2..8 {
             assert_eq!(acl.get(i), Some(AcEntry::Disabled));
         }
@@ -196,7 +217,10 @@ mod tests {
     fn entry_zero_rejects_foreign_processes() {
         let acl = AccessControlList::standard(4);
         let foreign = ProcessId::new(5, 500);
-        assert_eq!(acl.check(0, foreign, 0, &TestClass), Err(AclReject::ProcessMismatch));
+        assert_eq!(
+            acl.check(0, foreign, 0, &TestClass),
+            Err(AclReject::ProcessMismatch)
+        );
     }
 
     #[test]
@@ -205,7 +229,10 @@ mod tests {
         let sys = ProcessId::new(0, 999);
         assert!(acl.check(1, sys, 2, &TestClass).is_ok());
         let app = ProcessId::new(0, 1);
-        assert_eq!(acl.check(1, app, 2, &TestClass), Err(AclReject::ProcessMismatch));
+        assert_eq!(
+            acl.check(1, app, 2, &TestClass),
+            Err(AclReject::ProcessMismatch)
+        );
     }
 
     #[test]
@@ -238,7 +265,10 @@ mod tests {
         ));
         let p = ProcessId::new(7, 7);
         assert!(acl.check(2, p, 3, &TestClass).is_ok());
-        assert_eq!(acl.check(2, p, 4, &TestClass), Err(AclReject::PortalMismatch));
+        assert_eq!(
+            acl.check(2, p, 4, &TestClass),
+            Err(AclReject::PortalMismatch)
+        );
         assert_eq!(
             acl.check(2, ProcessId::new(7, 8), 3, &TestClass),
             Err(AclReject::ProcessMismatch)
@@ -251,7 +281,10 @@ mod tests {
         assert!(acl.set(
             3,
             AcEntry::Allow {
-                id: AcMatch::Process(ProcessId { nid: portals_types::NodeId(4), pid: portals_types::ANY_PID }),
+                id: AcMatch::Process(ProcessId {
+                    nid: portals_types::NodeId(4),
+                    pid: portals_types::ANY_PID
+                }),
                 portal: PortalMatch::Any,
             },
         ));

@@ -1,13 +1,13 @@
 //! Support for the translation microbenchmark (Figures 3–4).
 //!
 //! Exposes just enough of the interface internals to measure the address
-//! translation walk in isolation — match-list length, wildcard density and
-//! match position are the variables the Fig. 3/4 structures imply. Not part
-//! of the public API contract.
+//! translation step in isolation — match-list length, wildcard density and
+//! match position are the variables the Fig. 3/4 structures imply — with the
+//! exact-bits index switchable per call so the walk-vs-index ablation runs in
+//! one binary. Not part of the public API contract.
 
 #![doc(hidden)]
 
-use crate::acl::InitiatorClass;
 use crate::counters::DropReason;
 use crate::engine;
 use crate::md::{iobuf, Md, MdSpec, ReqOp};
@@ -16,25 +16,9 @@ use crate::ni::NiState;
 use crate::table::MePos;
 use portals_types::{MatchBits, MatchCriteria, NiLimits, ProcessId};
 
-struct AllowAll;
-impl InitiatorClass for AllowAll {
-    fn is_same_application(&self, _: ProcessId) -> bool {
-        true
-    }
-    fn is_system(&self, _: ProcessId) -> bool {
-        false
-    }
-}
-
 /// A standalone portal table + match list for driving translation directly.
 pub struct MatchBench {
     state: NiState,
-}
-
-/// The hash-index ablation structure (see [`MatchBench::hash_index`]).
-pub struct HashedIndex {
-    exact: std::collections::HashMap<u64, crate::MeHandle>,
-    tail: Vec<crate::MeHandle>,
 }
 
 impl MatchBench {
@@ -42,7 +26,7 @@ impl MatchBench {
     /// exactly `MatchBits(i)` (or anything, every `wildcard_every`-th entry),
     /// each with one 4 KiB memory descriptor.
     pub fn new(entries: usize, wildcard_every: Option<usize>) -> MatchBench {
-        let mut state = NiState::new(&NiLimits {
+        let state = NiState::new(&NiLimits {
             max_match_entries: entries + 1,
             max_memory_descriptors: entries + 1,
             ..NiLimits::DEFAULT
@@ -52,97 +36,64 @@ impl MatchBench {
                 Some(k) if i % k == k - 1 => MatchCriteria::any(),
                 _ => MatchCriteria::exact(MatchBits::new(i as u64)),
             };
-            let me = state.mes.insert(MatchEntry::new(ProcessId::ANY, criteria, false));
-            state.table.list_mut(0).expect("portal 0").insert(me, MePos::Back);
-            let md = state.mds.insert(Md::from_spec(MdSpec::new(iobuf(vec![0u8; 4096]))));
-            state.mes.get_mut(me).expect("just inserted").md_list.push_back(md);
+            let me = state
+                .mes
+                .insert(MatchEntry::at_portal(0, ProcessId::ANY, criteria, false));
+            assert!(state.table.lock(0).expect("portal 0").insert(
+                me,
+                MePos::Back,
+                ProcessId::ANY,
+                criteria
+            ));
+            let md = state
+                .mds
+                .insert(Md::from_spec(MdSpec::new(iobuf(vec![0u8; 4096]))));
+            state
+                .mes
+                .with_mut(me, |m| m.md_list.push_back(md))
+                .expect("just inserted");
         }
         MatchBench { state }
     }
 
-    /// Run one translation for `bits`; returns true if it matched.
-    #[inline]
-    pub fn translate(&self, bits: u64) -> bool {
+    fn run(&self, bits: u64, use_index: bool) -> Result<engine::Accepted, DropReason> {
+        let list = self.state.table.lock(0).expect("portal 0");
         engine::translate(
+            &list,
             &self.state,
-            &AllowAll,
+            use_index,
             ReqOp::Put,
             ProcessId::new(0, 0),
-            0,
-            0,
             MatchBits::new(bits),
             0,
             64,
         )
-        .is_ok()
     }
 
-    /// Build the hash-index ablation over this match list: exact-match
-    /// entries go into a hash map keyed by their must-match bits, wildcarded
-    /// entries into an ordered tail scanned linearly.
-    ///
-    /// This is the DESIGN.md §6 ablation: MPI posting-order semantics forbid
-    /// replacing the ordered walk wholesale (two entries can overlap, and the
-    /// earlier-posted one must win), but when *every* entry is exact and
-    /// criteria are unique — a common steady state for pre-posted receives —
-    /// a hash index answers in O(1). The bench quantifies what the linear
-    /// walk costs relative to that bound.
-    pub fn hash_index(&self) -> HashedIndex {
-        let mut exact = std::collections::HashMap::new();
-        let mut tail = Vec::new();
-        for me_h in self.state.table.list(0).expect("portal 0").iter() {
-            let me = self.state.mes.get(me_h).expect("live");
-            if me.criteria.is_exact() {
-                exact.entry(me.criteria.must_match.raw()).or_insert(me_h);
-            } else {
-                tail.push(me_h);
-            }
-        }
-        HashedIndex { exact, tail }
-    }
-
-    /// Hash-path translation (ablation counterpart of [`MatchBench::translate`]).
+    /// One reference-walk translation for `bits`; true if it matched.
     #[inline]
-    pub fn translate_hashed(&self, index: &HashedIndex, bits: u64) -> bool {
-        if let Some(me_h) = index.exact.get(&bits) {
-            if let Some(me) = self.state.mes.get(*me_h) {
-                if let Some(md_h) = me.first_md() {
-                    if self.state.mds.contains(md_h) {
-                        return true;
-                    }
-                }
-            }
-        }
-        // Fall back to the ordered wildcard tail.
-        for me_h in &index.tail {
-            if let Some(me) = self.state.mes.get(*me_h) {
-                if me.matches(ProcessId::new(0, 0), MatchBits::new(bits))
-                    && me.first_md().is_some()
-                {
-                    return true;
-                }
-            }
-        }
-        false
+    pub fn translate(&self, bits: u64) -> bool {
+        self.run(bits, false).is_ok()
     }
 
-    /// Run one translation expected to fall off the list.
+    /// One translation through the exact-bits index (the receive-path fast
+    /// path); true if it matched.
+    #[inline]
+    pub fn translate_indexed(&self, bits: u64) -> bool {
+        self.run(bits, true).is_ok()
+    }
+
+    /// Run one reference-walk translation expected to fall off the list.
     #[inline]
     pub fn translate_miss(&self) -> bool {
-        matches!(
-            engine::translate(
-                &self.state,
-                &AllowAll,
-                ReqOp::Put,
-                ProcessId::new(0, 0),
-                0,
-                0,
-                MatchBits::new(u64::MAX),
-                0,
-                64,
-            ),
-            Err(DropReason::NoMatch)
-        )
+        matches!(self.run(u64::MAX, false), Err(DropReason::NoMatch))
+    }
+
+    /// Same expected miss, answered by the index (provable `Miss` when the
+    /// list holds no wildcards).
+    #[inline]
+    pub fn translate_miss_indexed(&self) -> bool {
+        matches!(self.run(u64::MAX, true), Err(DropReason::NoMatch))
     }
 }
 
@@ -159,21 +110,28 @@ mod tests {
     }
 
     #[test]
-    fn hash_index_agrees_with_walk() {
+    fn index_agrees_with_walk() {
         let rig = MatchBench::new(512, None);
-        let idx = rig.hash_index();
-        for probe in [0u64, 5, 255, 511] {
-            assert_eq!(rig.translate(probe), rig.translate_hashed(&idx, probe), "hit {probe}");
+        for probe in [0u64, 5, 255, 511, u64::MAX] {
+            assert_eq!(
+                rig.translate(probe),
+                rig.translate_indexed(probe),
+                "probe {probe}"
+            );
         }
-        assert!(!rig.translate_hashed(&idx, u64::MAX), "miss stays a miss");
+        assert!(rig.translate_miss_indexed(), "miss stays a miss");
     }
 
     #[test]
-    fn hash_index_falls_back_to_wildcard_tail() {
+    fn index_agrees_under_wildcards() {
         let rig = MatchBench::new(100, Some(10));
-        let idx = rig.hash_index();
-        // Bits with no exact entry still match through a wildcard.
-        assert!(rig.translate_hashed(&idx, 0xdead_beef_dead_beef));
+        for probe in [0u64, 9, 42, 99, 0xdead_beef] {
+            assert_eq!(
+                rig.translate(probe),
+                rig.translate_indexed(probe),
+                "probe {probe}"
+            );
+        }
     }
 
     #[test]

@@ -12,15 +12,27 @@
 //! 4. if the list is exhausted the message is discarded and the dropped
 //!    message count incremented.
 //!
-//! Acks and replies "bypass the access control checks and the translation
-//! step": an ack needs only its event queue to still exist; a reply needs its
-//! memory descriptor to exist and its event queue (if any) to have space.
+//! Translation consults the match list's exact-bits index first
+//! ([`MatchList::lookup`]): a provable `Hit` whose descriptor accepts skips
+//! the walk entirely, a provable `Miss` drops with `NoMatch` immediately, and
+//! everything else (or an index disabled via `NiConfig::match_index`) runs
+//! the reference walk. Either way the answer is identical to Fig. 4's —
+//! the index is an accelerator, never an authority.
+//!
+//! The engine holds the target portal's list lock for the whole of a put/get
+//! delivery — translation, data movement, commit and the event push — which
+//! is what makes `PtlMDUpdate`'s test-and-update atomic with respect to
+//! message arrival without any interface-wide lock. Acks and replies "bypass
+//! the access control checks and the translation step" and touch no portal:
+//! an ack needs only its event queue to still exist; a reply needs its memory
+//! descriptor to exist and its event queue (if any) to have space.
 
 use crate::counters::DropReason;
 use crate::event::{Event, EventKind};
 use crate::md::{MdVerdict, ReqOp};
 use crate::ni::{NiClass, NiCore, NiState};
 use crate::node::NodeShared;
+use crate::table::{FastPath, MatchList};
 use crate::{EqHandle, MdHandle, MeHandle};
 use bytes::Bytes;
 use portals_types::{Handle, MatchBits, ProcessId};
@@ -40,49 +52,94 @@ pub(crate) struct Accepted {
     pub offset: u64,
 }
 
-/// Steps 1–3 above, without side effects beyond the walk itself.
-#[allow(clippy::too_many_arguments)] // the request header's field count
-pub(crate) fn translate(
+/// Evaluate one entry's first memory descriptor against the request.
+/// `None`: the entry or descriptor is gone or the descriptor rejected —
+/// translation continues down the list either way.
+fn try_entry(
     state: &NiState,
-    class: &dyn crate::acl::InitiatorClass,
+    me_h: MeHandle,
+    op: ReqOp,
+    offset: u64,
+    rlength: u64,
+) -> Option<Accepted> {
+    let md_h = state.mes.with(me_h, |me| me.first_md())??;
+    match state
+        .mds
+        .with(md_h, |md| md.evaluate(op, rlength, offset))?
+    {
+        MdVerdict::Accept { mlength, offset } => Some(Accepted {
+            me: me_h,
+            md: md_h,
+            mlength,
+            offset,
+        }),
+        MdVerdict::Reject(_) => None,
+    }
+}
+
+/// The Fig. 4 reference walk over an already locked match list.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn walk(
+    list: &MatchList,
+    state: &NiState,
     op: ReqOp,
     initiator: ProcessId,
-    portal_index: u32,
-    cookie: u32,
     match_bits: MatchBits,
     offset: u64,
     rlength: u64,
 ) -> Result<Accepted, DropReason> {
-    let list = state.table.list(portal_index).ok_or(DropReason::InvalidPortalIndex)?;
-    state
-        .acl
-        .check(cookie, initiator, portal_index, class)
-        .map_err(DropReason::from)?;
-
     for me_h in list.iter() {
-        let Some(me) = state.mes.get(me_h) else { continue };
-        if !me.matches(initiator, match_bits) {
+        let matched = state.mes.with(me_h, |me| me.matches(initiator, match_bits));
+        if matched != Some(true) {
             continue;
         }
         // Only the first MD of the list is considered (Fig. 4).
-        let Some(md_h) = me.first_md() else { continue };
-        let Some(md) = state.mds.get(md_h) else { continue };
-        match md.evaluate(op, rlength, offset) {
-            MdVerdict::Accept { mlength, offset } => {
-                return Ok(Accepted { me: me_h, md: md_h, mlength, offset });
-            }
-            MdVerdict::Reject(_) => continue,
+        if let Some(accepted) = try_entry(state, me_h, op, offset, rlength) {
+            return Ok(accepted);
         }
     }
     Err(DropReason::NoMatch)
 }
 
+/// Translation over a locked list: index probe first (when enabled), walk as
+/// the fallback authority.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn translate(
+    list: &MatchList,
+    state: &NiState,
+    use_index: bool,
+    op: ReqOp,
+    initiator: ProcessId,
+    match_bits: MatchBits,
+    offset: u64,
+    rlength: u64,
+) -> Result<Accepted, DropReason> {
+    if use_index {
+        match list.lookup(initiator, match_bits) {
+            FastPath::Hit(me_h) => {
+                // Provably the first criteria-matching entry; its MD can still
+                // reject, in which case the walk resumes from scratch — safe
+                // because `evaluate` is pure, so re-checking rejected entries
+                // reaches the same continuation Fig. 4 would.
+                if let Some(accepted) = try_entry(state, me_h, op, offset, rlength) {
+                    return Ok(accepted);
+                }
+            }
+            FastPath::Miss => return Err(DropReason::NoMatch),
+            FastPath::Ambiguous => {}
+        }
+    }
+    walk(list, state, op, initiator, match_bits, offset, rlength)
+}
+
 /// Post-acceptance bookkeeping: consume threshold, auto-unlink the MD and
-/// possibly its match entry (Fig. 4), and log the operation's event.
+/// possibly its match entry (Fig. 4), and log the operation's event. Runs
+/// under the portal's list lock (`list` is the locked list the entry lives
+/// on).
 #[allow(clippy::too_many_arguments)]
 fn commit_and_log(
     core: &NiCore,
-    state: &mut NiState,
+    list: &mut MatchList,
     accepted: Accepted,
     portal_index: u32,
     kind: EventKind,
@@ -90,13 +147,15 @@ fn commit_and_log(
     match_bits: MatchBits,
     rlength: u64,
 ) {
-    let md = state.mds.get_mut(accepted.md).expect("md accepted above");
-    let unlink_md = md.commit(accepted.mlength, accepted.offset);
-    let eq = md.eq;
+    let state = &core.state;
+    let Some((unlink_md, eq)) = state.mds.with_mut(accepted.md, |md| {
+        (md.commit(accepted.mlength, accepted.offset), md.eq)
+    }) else {
+        return;
+    };
 
     push_event(
         core,
-        state,
         eq,
         Event {
             kind,
@@ -111,12 +170,11 @@ fn commit_and_log(
     );
 
     if unlink_md {
-        let pending = state.mds.get(accepted.md).map(|m| m.pending_ops).unwrap_or(0);
+        let pending = state.mds.with(accepted.md, |m| m.pending_ops).unwrap_or(0);
         if pending == 0 {
             state.mds.remove(accepted.md);
             push_event(
                 core,
-                state,
                 eq,
                 Event {
                     kind: EventKind::Unlink,
@@ -129,25 +187,24 @@ fn commit_and_log(
                     md: accepted.md,
                 },
             );
-            if let Some(me) = state.mes.get_mut(accepted.me) {
+            let now_empty = state.mes.with_mut(accepted.me, |me| {
                 me.remove_md(accepted.md);
-                if me.md_list.is_empty() && me.unlink_when_empty {
-                    state.mes.remove(accepted.me);
-                    if let Some(list) = state.table.list_mut(portal_index) {
-                        list.remove(accepted.me);
-                    }
-                }
+                me.md_list.is_empty() && me.unlink_when_empty
+            });
+            if now_empty == Some(true) {
+                state.mes.remove(accepted.me);
+                list.remove(accepted.me);
             }
         }
     }
 }
 
-fn push_event(core: &NiCore, state: &NiState, eq: Option<EqHandle>, event: Event) {
+fn push_event(core: &NiCore, eq: Option<EqHandle>, event: Event) {
     if let Some(eqh) = eq {
-        if let Some(queue) = state.eqs.get(eqh) {
-            if !queue.push(event) {
-                core.counters.events_overwritten.fetch_add(1, Ordering::Relaxed);
-            }
+        if core.state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
+            core.counters
+                .events_overwritten
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -164,15 +221,29 @@ pub(crate) fn deliver(core: &NiCore, node: &NodeShared, msg: PortalsMessage) {
 
 fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
     let h = put.header;
-    let class = NiClass { node, my_job: core.config.job };
-    let mut state = core.state.lock();
+    let class = NiClass {
+        node,
+        my_job: core.config.job,
+    };
+    let state = &core.state;
+    let Some(mut list) = state.table.lock(h.portal_index) else {
+        core.counters.drop_message(DropReason::InvalidPortalIndex);
+        return;
+    };
+    if let Err(r) = state
+        .acl
+        .read()
+        .check(h.cookie, h.initiator, h.portal_index, &class)
+    {
+        core.counters.drop_message(r.into());
+        return;
+    }
     let accepted = match translate(
-        &state,
-        &class,
+        &list,
+        state,
+        core.config.match_index,
         ReqOp::Put,
         h.initiator,
-        h.portal_index,
-        h.cookie,
         h.match_bits,
         h.offset,
         h.length,
@@ -184,15 +255,16 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
         }
     };
 
-    // Move the data, then commit/unlink/log.
-    {
-        let md = state.mds.get(accepted.md).expect("accepted");
-        md.write(accepted.offset, &put.payload[..accepted.mlength as usize]);
-    }
-    core.counters.requests_accepted.fetch_add(1, Ordering::Relaxed);
+    // Move the data, then commit/unlink/log — all under the portal lock.
+    state.mds.with(accepted.md, |md| {
+        md.write(accepted.offset, &put.payload[..accepted.mlength as usize])
+    });
+    core.counters
+        .requests_accepted
+        .fetch_add(1, Ordering::Relaxed);
     commit_and_log(
         core,
-        &mut state,
+        &mut list,
         accepted,
         h.portal_index,
         EventKind::Put,
@@ -200,7 +272,7 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
         h.match_bits,
         h.length,
     );
-    drop(state);
+    drop(list);
 
     // "the target optionally sends an acknowledgment message" (§4.3): only if
     // the initiator asked and the operation was accepted.
@@ -224,15 +296,29 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
 
 fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
     let h = get.header;
-    let class = NiClass { node, my_job: core.config.job };
-    let mut state = core.state.lock();
+    let class = NiClass {
+        node,
+        my_job: core.config.job,
+    };
+    let state = &core.state;
+    let Some(mut list) = state.table.lock(h.portal_index) else {
+        core.counters.drop_message(DropReason::InvalidPortalIndex);
+        return;
+    };
+    if let Err(r) = state
+        .acl
+        .read()
+        .check(h.cookie, h.initiator, h.portal_index, &class)
+    {
+        core.counters.drop_message(r.into());
+        return;
+    }
     let accepted = match translate(
-        &state,
-        &class,
+        &list,
+        state,
+        core.config.match_index,
         ReqOp::Get,
         h.initiator,
-        h.portal_index,
-        h.cookie,
         h.match_bits,
         h.offset,
         h.length,
@@ -244,14 +330,18 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
         }
     };
 
-    let payload = {
-        let md = state.mds.get(accepted.md).expect("accepted");
-        Bytes::from(md.read(accepted.offset, accepted.mlength))
-    };
-    core.counters.requests_accepted.fetch_add(1, Ordering::Relaxed);
+    let payload = state
+        .mds
+        .with(accepted.md, |md| {
+            Bytes::from(md.read(accepted.offset, accepted.mlength))
+        })
+        .unwrap_or_default();
+    core.counters
+        .requests_accepted
+        .fetch_add(1, Ordering::Relaxed);
     commit_and_log(
         core,
-        &mut state,
+        &mut list,
         accepted,
         h.portal_index,
         EventKind::Get,
@@ -259,7 +349,7 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
         h.match_bits,
         h.length,
     );
-    drop(state);
+    drop(list);
 
     // "the reply is generated whenever the operation succeeds" (§4.7) — it is
     // not optional, unlike the ack.
@@ -284,16 +374,6 @@ fn handle_ack(core: &NiCore, ack: Ack) {
     // §4.8: "Upon receipt of an acknowledgment, the runtime system only needs
     // to confirm that the event queue still exists."
     let h = ack.header;
-    let state = core.state.lock();
-    let eq_handle: EqHandle = Handle::from_raw(h.eq_handle);
-    let Some(queue) = (if h.eq_handle == RAW_HANDLE_NONE {
-        None
-    } else {
-        state.eqs.get(eq_handle)
-    }) else {
-        core.counters.drop_message(DropReason::AckEqMissing);
-        return;
-    };
     let event = Event {
         kind: EventKind::Ack,
         initiator: h.initiator,
@@ -304,9 +384,21 @@ fn handle_ack(core: &NiCore, ack: Ack) {
         offset: h.offset,
         md: Handle::from_raw(h.md_handle),
     };
+    let pushed = if h.eq_handle == RAW_HANDLE_NONE {
+        None
+    } else {
+        let eq_handle: EqHandle = Handle::from_raw(h.eq_handle);
+        core.state.eqs.with(eq_handle, |queue| queue.push(event))
+    };
+    let Some(clean) = pushed else {
+        core.counters.drop_message(DropReason::AckEqMissing);
+        return;
+    };
     core.counters.acks_accepted.fetch_add(1, Ordering::Relaxed);
-    if !queue.push(event) {
-        core.counters.events_overwritten.fetch_add(1, Ordering::Relaxed);
+    if !clean {
+        core.counters
+            .events_overwritten
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -318,35 +410,38 @@ fn handle_reply(core: &NiCore, reply: Reply) {
     // ... Every memory descriptor accepts and truncates incoming reply
     // messages."
     let h = reply.header;
-    let mut state = core.state.lock();
+    let state = &core.state;
     let md_handle: MdHandle = Handle::from_raw(h.md_handle);
-    let Some(md) = state.mds.get(md_handle) else {
+    // Hold the MD's shard lock across the whole reply so the descriptor cannot
+    // be unlinked between the space check and the write.
+    let Some((mut shard, local)) = state.mds.lock_shard_of(md_handle) else {
+        core.counters.drop_message(DropReason::ReplyMdMissing);
+        return;
+    };
+    let Some(md) = shard.get(local) else {
         core.counters.drop_message(DropReason::ReplyMdMissing);
         return;
     };
     let eq = md.eq;
     if let Some(eqh) = eq {
-        if let Some(queue) = state.eqs.get(eqh) {
-            if queue.is_full() {
-                core.counters.drop_message(DropReason::ReplyEqFull);
-                return;
-            }
+        if state.eqs.with(eqh, |queue| queue.is_full()) == Some(true) {
+            core.counters.drop_message(DropReason::ReplyEqFull);
+            return;
         }
     }
     // Accept-and-truncate: land at the region start.
     let mlength = (reply.payload.len() as u64).min(md.len() as u64);
     md.write(0, &reply.payload[..mlength as usize]);
     let unlink = {
-        let md = state.mds.get_mut(md_handle).expect("checked above");
+        let md = shard.get_mut(local).expect("resolved above");
         md.pending_ops = md.pending_ops.saturating_sub(1);
         md.options.unlink_on_exhaustion && !md.threshold.active() && md.pending_ops == 0
     };
-    core.counters.replies_accepted.fetch_add(1, Ordering::Relaxed);
-    push_event(
-        core,
-        &state,
-        eq,
-        Event {
+    core.counters
+        .replies_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    if let Some(eqh) = eq {
+        let event = Event {
             kind: EventKind::Reply,
             initiator: h.initiator,
             portal_index: h.portal_index,
@@ -355,30 +450,60 @@ fn handle_reply(core: &NiCore, reply: Reply) {
             mlength,
             offset: 0,
             md: md_handle,
-        },
-    );
+        };
+        if state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
+            core.counters
+                .events_overwritten
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
     if unlink {
-        state.mds.remove(md_handle);
+        shard.remove(local);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::acl::InitiatorClass;
-    use crate::md::{iobuf, MdOptions, MdSpec, Threshold};
+    use crate::acl::AccessControlList;
+    use crate::md::{iobuf, Md, MdOptions, MdSpec, Threshold};
     use crate::me::MatchEntry;
     use crate::table::MePos;
     use portals_types::{MatchCriteria, NiLimits};
 
-    struct AllowAll;
-    impl InitiatorClass for AllowAll {
-        fn is_same_application(&self, _: ProcessId) -> bool {
-            true
-        }
-        fn is_system(&self, _: ProcessId) -> bool {
-            false
-        }
+    /// Build a state and attach one entry+MD through the same structures the
+    /// API uses (entry metadata must reach the list for the index to work).
+    fn attach(
+        state: &NiState,
+        portal: u32,
+        pos: MePos,
+        source: ProcessId,
+        criteria: MatchCriteria,
+        spec: MdSpec,
+    ) -> (MeHandle, MdHandle) {
+        let me = state
+            .mes
+            .insert(MatchEntry::at_portal(portal, source, criteria, false));
+        assert!(state
+            .table
+            .lock(portal)
+            .unwrap()
+            .insert(me, pos, source, criteria));
+        let mut md = Md::from_spec(spec);
+        md.owner = Some(me);
+        let mdh = state.mds.insert(md);
+        state
+            .mes
+            .with_mut(me, |m| m.md_list.push_back(mdh))
+            .unwrap();
+        (me, mdh)
+    }
+
+    fn open_state() -> NiState {
+        let state = NiState::new(&NiLimits::DEFAULT);
+        // Cookie 0 of the standard ACL admits anyone in the tests' world.
+        *state.acl.write() = AccessControlList::standard(8);
+        state
     }
 
     fn state_with_entry(
@@ -388,55 +513,44 @@ mod tests {
         options: MdOptions,
         threshold: Threshold,
     ) -> (NiState, MeHandle, MdHandle) {
-        let mut state = NiState::new(&NiLimits::DEFAULT);
-        let me = state.mes.insert(MatchEntry::new(source, criteria, false));
-        state.table.list_mut(0).unwrap().insert(me, MePos::Back);
-        let md = state.mds.insert(crate::md::Md::from_spec(
+        let state = open_state();
+        let (me, md) = attach(
+            &state,
+            0,
+            MePos::Back,
+            source,
+            criteria,
             MdSpec::new(iobuf(vec![0u8; md_len]))
                 .with_options(options)
                 .with_threshold(threshold),
-        ));
-        state.mes.get_mut(me).unwrap().md_list.push_back(md);
+        );
         (state, me, md)
     }
 
+    /// Run translation both ways (index on and off) and require agreement —
+    /// every unit test below doubles as a fast-path differential check.
     fn translate_put(
         state: &NiState,
         initiator: ProcessId,
         pt: u32,
-        cookie: u32,
         bits: MatchBits,
         offset: u64,
         len: u64,
     ) -> Result<Accepted, DropReason> {
-        translate(state, &AllowAll, ReqOp::Put, initiator, pt, cookie, bits, offset, len)
-    }
-
-    #[test]
-    fn invalid_portal_index_is_first_check() {
-        let (state, _, _) = state_with_entry(
-            MatchCriteria::any(),
-            ProcessId::ANY,
-            64,
-            MdOptions::default(),
-            Threshold::Infinite,
+        let list = state.table.lock(pt).expect("test portals in range");
+        let fast = translate(&list, state, true, ReqOp::Put, initiator, bits, offset, len);
+        let slow = translate(
+            &list,
+            state,
+            false,
+            ReqOp::Put,
+            initiator,
+            bits,
+            offset,
+            len,
         );
-        let r = translate_put(&state, ProcessId::new(0, 0), 9999, 0, MatchBits::ZERO, 0, 1);
-        assert_eq!(r, Err(DropReason::InvalidPortalIndex));
-    }
-
-    #[test]
-    fn acl_rejection_maps_to_drop_reasons() {
-        let (state, _, _) = state_with_entry(
-            MatchCriteria::any(),
-            ProcessId::ANY,
-            64,
-            MdOptions::default(),
-            Threshold::Infinite,
-        );
-        // Cookie 5 is a disabled entry in the standard layout.
-        let r = translate_put(&state, ProcessId::new(0, 0), 0, 5, MatchBits::ZERO, 0, 1);
-        assert_eq!(r, Err(DropReason::InvalidAcIndex));
+        assert_eq!(fast, slow, "index and walk disagree");
+        fast
     }
 
     #[test]
@@ -448,9 +562,17 @@ mod tests {
             MdOptions::default(),
             Threshold::Infinite,
         );
-        let r = translate_put(&state, ProcessId::new(0, 0), 0, 0, MatchBits::new(7), 4, 10)
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::new(7), 4, 10)
             .expect("accept");
-        assert_eq!(r, Accepted { me, md, mlength: 10, offset: 4 });
+        assert_eq!(
+            r,
+            Accepted {
+                me,
+                md,
+                mlength: 10,
+                offset: 4
+            }
+        );
     }
 
     #[test]
@@ -462,7 +584,7 @@ mod tests {
             MdOptions::default(),
             Threshold::Infinite,
         );
-        let r = translate_put(&state, ProcessId::new(0, 0), 0, 0, MatchBits::new(8), 0, 1);
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::new(8), 0, 1);
         assert_eq!(r, Err(DropReason::NoMatch));
     }
 
@@ -475,9 +597,9 @@ mod tests {
             MdOptions::default(),
             Threshold::Infinite,
         );
-        assert!(translate_put(&state, ProcessId::new(3, 3), 0, 0, MatchBits::ZERO, 0, 1).is_ok());
+        assert!(translate_put(&state, ProcessId::new(3, 3), 0, MatchBits::ZERO, 0, 1).is_ok());
         assert_eq!(
-            translate_put(&state, ProcessId::new(3, 4), 0, 0, MatchBits::ZERO, 0, 1),
+            translate_put(&state, ProcessId::new(3, 4), 0, MatchBits::ZERO, 0, 1),
             Err(DropReason::NoMatch)
         );
     }
@@ -486,29 +608,60 @@ mod tests {
     fn md_rejection_continues_down_the_list() {
         // First entry matches but its MD only accepts gets; second entry
         // accepts puts. Translation must land on the second (Fig. 4).
-        let mut state = NiState::new(&NiLimits::DEFAULT);
-        let me1 = state
-            .mes
-            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
-        let me2 = state
-            .mes
-            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
-        state.table.list_mut(0).unwrap().insert(me1, MePos::Back);
-        state.table.list_mut(0).unwrap().insert(me2, MePos::Back);
-        let md1 = state.mds.insert(crate::md::Md::from_spec(
-            MdSpec::new(iobuf(vec![0u8; 64]))
-                .with_options(MdOptions { op_put: false, ..Default::default() }),
-        ));
-        let md2 = state
-            .mds
-            .insert(crate::md::Md::from_spec(MdSpec::new(iobuf(vec![0u8; 64]))));
-        state.mes.get_mut(me1).unwrap().md_list.push_back(md1);
-        state.mes.get_mut(me2).unwrap().md_list.push_back(md2);
-
-        let r = translate_put(&state, ProcessId::new(0, 0), 0, 0, MatchBits::ZERO, 0, 8)
+        let state = open_state();
+        let (_, _) = attach(
+            &state,
+            0,
+            MePos::Back,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            MdSpec::new(iobuf(vec![0u8; 64])).with_options(MdOptions {
+                op_put: false,
+                ..Default::default()
+            }),
+        );
+        let (me2, md2) = attach(
+            &state,
+            0,
+            MePos::Back,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            MdSpec::new(iobuf(vec![0u8; 64])),
+        );
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::ZERO, 0, 8)
             .expect("accept at second entry");
         assert_eq!(r.me, me2);
         assert_eq!(r.md, md2);
+    }
+
+    #[test]
+    fn indexed_hit_with_rejecting_md_falls_back_to_walk() {
+        // Exact entry for bits 5 whose MD rejects puts, then a wildcard entry
+        // that accepts: the index reports the first as a Hit, the engine must
+        // still land on the wildcard, exactly as the walk would.
+        let state = open_state();
+        let (_, _) = attach(
+            &state,
+            0,
+            MePos::Back,
+            ProcessId::ANY,
+            MatchCriteria::exact(MatchBits::new(5)),
+            MdSpec::new(iobuf(vec![0u8; 64])).with_options(MdOptions {
+                op_put: false,
+                ..Default::default()
+            }),
+        );
+        let (me2, md2) = attach(
+            &state,
+            0,
+            MePos::Back,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            MdSpec::new(iobuf(vec![0u8; 64])),
+        );
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::new(5), 0, 8)
+            .expect("falls through to the wildcard");
+        assert_eq!((r.me, r.md), (me2, md2));
     }
 
     #[test]
@@ -516,44 +669,164 @@ mod tests {
         // Entry's first MD rejects (op disabled); a perfectly good second MD
         // sits behind it — but Fig. 4 says only the first is considered, so
         // translation must fall through to NoMatch.
-        let mut state = NiState::new(&NiLimits::DEFAULT);
-        let me = state
-            .mes
-            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
-        state.table.list_mut(0).unwrap().insert(me, MePos::Back);
-        let bad = state.mds.insert(crate::md::Md::from_spec(
-            MdSpec::new(iobuf(vec![0u8; 64]))
-                .with_options(MdOptions { op_put: false, ..Default::default() }),
-        ));
+        let state = open_state();
+        let (me, _) = attach(
+            &state,
+            0,
+            MePos::Back,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            MdSpec::new(iobuf(vec![0u8; 64])).with_options(MdOptions {
+                op_put: false,
+                ..Default::default()
+            }),
+        );
         let good = state
             .mds
-            .insert(crate::md::Md::from_spec(MdSpec::new(iobuf(vec![0u8; 64]))));
-        state.mes.get_mut(me).unwrap().md_list.push_back(bad);
-        state.mes.get_mut(me).unwrap().md_list.push_back(good);
+            .insert(Md::from_spec(MdSpec::new(iobuf(vec![0u8; 64]))));
+        state
+            .mes
+            .with_mut(me, |m| m.md_list.push_back(good))
+            .unwrap();
 
-        let r = translate_put(&state, ProcessId::new(0, 0), 0, 0, MatchBits::ZERO, 0, 8);
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::ZERO, 0, 8);
         assert_eq!(r, Err(DropReason::NoMatch));
     }
 
     #[test]
     fn empty_md_list_continues_walk() {
-        let mut state = NiState::new(&NiLimits::DEFAULT);
-        let empty = state
-            .mes
-            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
-        state.table.list_mut(0).unwrap().insert(empty, MePos::Back);
-        let (mut s2, me2, md2) = (state, empty, ());
-        let _ = (me2, md2);
-        let real = s2
-            .mes
-            .insert(MatchEntry::new(ProcessId::ANY, MatchCriteria::any(), false));
-        s2.table.list_mut(0).unwrap().insert(real, MePos::Back);
-        let md = s2
-            .mds
-            .insert(crate::md::Md::from_spec(MdSpec::new(iobuf(vec![0u8; 8]))));
-        s2.mes.get_mut(real).unwrap().md_list.push_back(md);
-        let r = translate_put(&s2, ProcessId::new(0, 0), 0, 0, MatchBits::ZERO, 0, 4)
+        let state = open_state();
+        let empty = state.mes.insert(MatchEntry::at_portal(
+            0,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            false,
+        ));
+        assert!(state.table.lock(0).unwrap().insert(
+            empty,
+            MePos::Back,
+            ProcessId::ANY,
+            MatchCriteria::any()
+        ));
+        let (_, md) = attach(
+            &state,
+            0,
+            MePos::Back,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            MdSpec::new(iobuf(vec![0u8; 8])),
+        );
+        let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::ZERO, 0, 4)
             .expect("walks past empty entry");
         assert_eq!(r.md, md);
+    }
+
+    mod differential {
+        //! Satellite: engine-level differential proptest — with MD evaluation
+        //! in the loop, translation with the index enabled must pick the same
+        //! entry (or the same drop) as the reference walk, across wildcard
+        //! orderings, rejecting descriptors and unlink churn.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            /// bits, ignore mask, optional source filter, position seed,
+            /// and whether the entry's MD accepts puts.
+            Insert {
+                bits: u64,
+                ignore: u64,
+                src: Option<(u32, u32)>,
+                pos: u8,
+                op_put: bool,
+            },
+            /// Remove the i-th currently attached entry (mod len).
+            Remove { which: usize },
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (
+                    0u64..12,
+                    prop_oneof![Just(0u64), Just(1u64), Just(u64::MAX)],
+                    (any::<bool>(), 0u32..3, 0u32..3),
+                    any::<u8>(),
+                    any::<bool>()
+                )
+                    .prop_map(|(bits, ignore, (filtered, n, p), pos, op_put)| {
+                        Op::Insert {
+                            bits,
+                            ignore,
+                            src: filtered.then_some((n, p)),
+                            pos,
+                            op_put,
+                        }
+                    }),
+                (any::<usize>(),).prop_map(|(which,)| Op::Remove { which }),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 48, ..Default::default() })]
+
+            #[test]
+            fn indexed_translation_matches_reference_walk(
+                ops in proptest::collection::vec(op_strategy(), 1..32),
+                probes in proptest::collection::vec((0u64..12, 0u32..3, 0u32..3), 1..10),
+            ) {
+                let state = open_state();
+                let mut attached: Vec<MeHandle> = Vec::new();
+
+                for op in ops {
+                    match op {
+                        Op::Insert { bits, ignore, src, pos, op_put } => {
+                            let criteria =
+                                MatchCriteria::with_ignore(MatchBits(bits), MatchBits(ignore));
+                            let source =
+                                src.map_or(ProcessId::ANY, |(n, p)| ProcessId::new(n, p));
+                            let pos = match (pos % 4, attached.len()) {
+                                (_, 0) | (0, _) => MePos::Back,
+                                (1, _) => MePos::Front,
+                                (2, n) => MePos::Before(attached[pos as usize % n]),
+                                (_, n) => MePos::After(attached[pos as usize % n]),
+                            };
+                            let (me, _) = attach(
+                                &state,
+                                0,
+                                pos,
+                                source,
+                                criteria,
+                                MdSpec::new(iobuf(vec![0u8; 32]))
+                                    .with_options(MdOptions { op_put, ..Default::default() }),
+                            );
+                            attached.push(me);
+                        }
+                        Op::Remove { which } => {
+                            if !attached.is_empty() {
+                                let me = attached.remove(which % attached.len());
+                                let mds = state.mes.remove(me).expect("attached").md_list;
+                                state.table.lock(0).unwrap().remove(me);
+                                for md in mds {
+                                    state.mds.remove(md);
+                                }
+                            }
+                        }
+                    }
+                    // Probe after every mutation so intermediate shapes are
+                    // covered; the helper asserts fast == slow internally.
+                    for &(bits, n, p) in &probes {
+                        let _ = translate_put(
+                            &state,
+                            ProcessId::new(n, p),
+                            0,
+                            MatchBits(bits),
+                            0,
+                            8,
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -102,7 +102,9 @@ impl EventQueue {
     /// A second consumer-side reference to the same queue (used by blocking
     /// API calls so they can wait without holding the interface lock).
     pub(crate) fn clone_ref(&self) -> EventQueue {
-        EventQueue { inner: Arc::clone(&self.inner) }
+        EventQueue {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// Capacity in events.
@@ -141,12 +143,16 @@ impl EventQueue {
 
     /// Blocking consume (spec: `PtlEQWait`).
     pub fn wait(&self) -> PtlResult<Event> {
-        self.inner.wait(None).and_then(|o| o.ok_or(PtlError::Timeout))
+        self.inner
+            .wait(None)
+            .and_then(|o| o.ok_or(PtlError::Timeout))
     }
 
     /// Consume with a deadline.
     pub fn poll(&self, timeout: Duration) -> PtlResult<Event> {
-        self.inner.wait(Some(timeout)).and_then(|o| o.ok_or(PtlError::Timeout))
+        self.inner
+            .wait(Some(timeout))
+            .and_then(|o| o.ok_or(PtlError::Timeout))
     }
 }
 

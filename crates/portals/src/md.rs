@@ -44,7 +44,11 @@ impl Segment {
             offset + len,
             buffer.lock().len()
         );
-        Segment { buffer, offset, len }
+        Segment {
+            buffer,
+            offset,
+            len,
+        }
     }
 }
 
@@ -333,6 +337,10 @@ pub struct Md {
     /// Operations in flight that must complete before unlink (a get's MD
     /// "must not be unlinked until the reply is received", §4.7).
     pub pending_ops: u32,
+    /// The match entry this MD is attached to, if any (`md_attach` sets it,
+    /// `md_bind` leaves it `None`). Recorded so unlink can detach from the
+    /// owning entry directly instead of scanning the whole entry table.
+    pub owner: Option<crate::MeHandle>,
 }
 
 impl Md {
@@ -345,6 +353,7 @@ impl Md {
             eq: spec.eq,
             local_offset: 0,
             pending_ops: 0,
+            owner: None,
         }
     }
 
@@ -361,12 +370,22 @@ impl Md {
         if !self.threshold.active() {
             return MdVerdict::Reject(MdReject::Inactive);
         }
-        let offset = if self.options.manage_local_offset { self.local_offset } else { req_offset };
+        let offset = if self.options.manage_local_offset {
+            self.local_offset
+        } else {
+            req_offset
+        };
         let available = (self.region.len() as u64).saturating_sub(offset);
         if rlength <= available {
-            MdVerdict::Accept { mlength: rlength, offset }
+            MdVerdict::Accept {
+                mlength: rlength,
+                offset,
+            }
         } else if self.options.truncate {
-            MdVerdict::Accept { mlength: available, offset }
+            MdVerdict::Accept {
+                mlength: available,
+                offset,
+            }
         } else {
             MdVerdict::Reject(MdReject::TooLong)
         }
@@ -418,28 +437,52 @@ mod tests {
 
     fn md_with(options: MdOptions, threshold: Threshold, len: usize) -> Md {
         Md::from_spec(
-            MdSpec::new(iobuf(vec![0u8; len])).with_options(options).with_threshold(threshold),
+            MdSpec::new(iobuf(vec![0u8; len]))
+                .with_options(options)
+                .with_threshold(threshold),
         )
     }
 
     #[test]
     fn accepts_fitting_put() {
         let md = md_with(MdOptions::default(), Threshold::Infinite, 100);
-        assert_eq!(md.evaluate(ReqOp::Put, 40, 10), MdVerdict::Accept { mlength: 40, offset: 10 });
+        assert_eq!(
+            md.evaluate(ReqOp::Put, 40, 10),
+            MdVerdict::Accept {
+                mlength: 40,
+                offset: 10
+            }
+        );
     }
 
     #[test]
     fn rejects_disabled_op() {
-        let md = md_with(MdOptions { op_put: false, ..Default::default() }, Threshold::Infinite, 100);
-        assert_eq!(md.evaluate(ReqOp::Put, 1, 0), MdVerdict::Reject(MdReject::OpDisabled));
+        let md = md_with(
+            MdOptions {
+                op_put: false,
+                ..Default::default()
+            },
+            Threshold::Infinite,
+            100,
+        );
+        assert_eq!(
+            md.evaluate(ReqOp::Put, 1, 0),
+            MdVerdict::Reject(MdReject::OpDisabled)
+        );
         // Get is still allowed.
-        assert!(matches!(md.evaluate(ReqOp::Get, 1, 0), MdVerdict::Accept { .. }));
+        assert!(matches!(
+            md.evaluate(ReqOp::Get, 1, 0),
+            MdVerdict::Accept { .. }
+        ));
     }
 
     #[test]
     fn rejects_when_inactive() {
         let md = md_with(MdOptions::default(), Threshold::Count(0), 100);
-        assert_eq!(md.evaluate(ReqOp::Put, 1, 0), MdVerdict::Reject(MdReject::Inactive));
+        assert_eq!(
+            md.evaluate(ReqOp::Put, 1, 0),
+            MdVerdict::Reject(MdReject::Inactive)
+        );
     }
 
     #[test]
@@ -447,23 +490,48 @@ mod tests {
         let md = md_with(MdOptions::default(), Threshold::Infinite, 100);
         assert_eq!(
             md.evaluate(ReqOp::Put, 500, 30),
-            MdVerdict::Accept { mlength: 70, offset: 30 }
+            MdVerdict::Accept {
+                mlength: 70,
+                offset: 30
+            }
         );
         // Offset beyond the region truncates to zero bytes.
-        assert_eq!(md.evaluate(ReqOp::Put, 500, 200), MdVerdict::Accept { mlength: 0, offset: 200 });
+        assert_eq!(
+            md.evaluate(ReqOp::Put, 500, 200),
+            MdVerdict::Accept {
+                mlength: 0,
+                offset: 200
+            }
+        );
     }
 
     #[test]
     fn rejects_overlong_without_truncate() {
-        let md = md_with(MdOptions { truncate: false, ..Default::default() }, Threshold::Infinite, 100);
-        assert_eq!(md.evaluate(ReqOp::Put, 101, 0), MdVerdict::Reject(MdReject::TooLong));
-        assert!(matches!(md.evaluate(ReqOp::Put, 100, 0), MdVerdict::Accept { .. }));
+        let md = md_with(
+            MdOptions {
+                truncate: false,
+                ..Default::default()
+            },
+            Threshold::Infinite,
+            100,
+        );
+        assert_eq!(
+            md.evaluate(ReqOp::Put, 101, 0),
+            MdVerdict::Reject(MdReject::TooLong)
+        );
+        assert!(matches!(
+            md.evaluate(ReqOp::Put, 100, 0),
+            MdVerdict::Accept { .. }
+        ));
     }
 
     #[test]
     fn managed_offset_ignores_request_offset_and_advances() {
         let mut md = md_with(
-            MdOptions { manage_local_offset: true, ..Default::default() },
+            MdOptions {
+                manage_local_offset: true,
+                ..Default::default()
+            },
             Threshold::Infinite,
             100,
         );
@@ -483,19 +551,28 @@ mod tests {
     #[test]
     fn threshold_counts_down_and_requests_unlink() {
         let mut md = md_with(
-            MdOptions { unlink_on_exhaustion: true, ..Default::default() },
+            MdOptions {
+                unlink_on_exhaustion: true,
+                ..Default::default()
+            },
             Threshold::Count(2),
             10,
         );
         assert!(!md.commit(1, 0));
         assert!(md.commit(1, 1), "second commit exhausts threshold");
-        assert_eq!(md.evaluate(ReqOp::Put, 1, 0), MdVerdict::Reject(MdReject::Inactive));
+        assert_eq!(
+            md.evaluate(ReqOp::Put, 1, 0),
+            MdVerdict::Reject(MdReject::Inactive)
+        );
     }
 
     #[test]
     fn retain_option_does_not_unlink() {
         let mut md = md_with(MdOptions::default(), Threshold::Count(1), 10);
-        assert!(!md.commit(1, 0), "PTL_RETAIN semantics: exhausted but retained");
+        assert!(
+            !md.commit(1, 0),
+            "PTL_RETAIN semantics: exhausted but retained"
+        );
     }
 
     #[test]
@@ -528,7 +605,11 @@ mod tests {
     #[test]
     fn min_free_requests_unlink_when_space_runs_low() {
         let mut md = md_with(
-            MdOptions { manage_local_offset: true, min_free: 10, ..Default::default() },
+            MdOptions {
+                manage_local_offset: true,
+                min_free: 10,
+                ..Default::default()
+            },
             Threshold::Infinite,
             32,
         );
@@ -547,11 +628,17 @@ mod tests {
     #[test]
     fn min_free_ignored_without_managed_offset() {
         let mut md = md_with(
-            MdOptions { min_free: 1000, ..Default::default() },
+            MdOptions {
+                min_free: 1000,
+                ..Default::default()
+            },
             Threshold::Infinite,
             32,
         );
-        assert!(!md.commit(32, 0), "min_free only applies to managed-offset slabs");
+        assert!(
+            !md.commit(32, 0),
+            "min_free only applies to managed-offset slabs"
+        );
     }
 
     #[test]
@@ -560,7 +647,10 @@ mod tests {
         let b2 = iobuf(vec![0u8; 10]);
         // Region = b1[2..6] ++ b2[0..5]  (4 + 5 = 9 logical bytes)
         let region = Region::Scattered {
-            segments: vec![Segment::new(b1.clone(), 2, 4), Segment::new(b2.clone(), 0, 5)],
+            segments: vec![
+                Segment::new(b1.clone(), 2, 4),
+                Segment::new(b2.clone(), 0, 5),
+            ],
         };
         assert_eq!(region.len(), 9);
         region.write(0, b"abcdefghi");
@@ -578,9 +668,21 @@ mod tests {
         let seg = |n| Segment::new(iobuf(vec![0u8; n]), 0, n);
         let md = Md::from_spec(MdSpec::scattered(vec![seg(4), seg(4), seg(4)]));
         assert_eq!(md.len(), 12);
-        assert_eq!(md.evaluate(ReqOp::Put, 10, 0), MdVerdict::Accept { mlength: 10, offset: 0 });
+        assert_eq!(
+            md.evaluate(ReqOp::Put, 10, 0),
+            MdVerdict::Accept {
+                mlength: 10,
+                offset: 0
+            }
+        );
         // Over-long truncates at the logical total.
-        assert_eq!(md.evaluate(ReqOp::Put, 99, 4), MdVerdict::Accept { mlength: 8, offset: 4 });
+        assert_eq!(
+            md.evaluate(ReqOp::Put, 99, 4),
+            MdVerdict::Accept {
+                mlength: 8,
+                offset: 4
+            }
+        );
     }
 
     #[test]

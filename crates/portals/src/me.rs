@@ -18,6 +18,10 @@ pub struct MatchEntry {
     pub source: ProcessId,
     /// Must-match / don't-care bit patterns.
     pub criteria: MatchCriteria,
+    /// The portal index whose match list this entry is attached to. Recorded
+    /// at attach so unlink can go straight to the owning list's lock instead
+    /// of scanning every portal.
+    pub portal_index: u32,
     /// Ordered memory descriptors; only the front one is ever considered
     /// (Fig. 4).
     pub md_list: VecDeque<MdHandle>,
@@ -30,7 +34,29 @@ pub struct MatchEntry {
 impl MatchEntry {
     /// A new entry with an empty MD list.
     pub fn new(source: ProcessId, criteria: MatchCriteria, unlink_when_empty: bool) -> MatchEntry {
-        MatchEntry { source, criteria, md_list: VecDeque::new(), unlink_when_empty }
+        MatchEntry {
+            source,
+            criteria,
+            portal_index: 0,
+            md_list: VecDeque::new(),
+            unlink_when_empty,
+        }
+    }
+
+    /// Same, attached to a specific portal index.
+    pub fn at_portal(
+        portal_index: u32,
+        source: ProcessId,
+        criteria: MatchCriteria,
+        unlink_when_empty: bool,
+    ) -> MatchEntry {
+        MatchEntry {
+            source,
+            criteria,
+            portal_index,
+            md_list: VecDeque::new(),
+            unlink_when_empty,
+        }
     }
 
     /// The match-criteria half of Fig. 4: does this entry match the incoming
@@ -70,8 +96,14 @@ mod tests {
             false,
         );
         assert!(me.matches(ProcessId::new(3, 1), MatchBits::new(7)));
-        assert!(!me.matches(ProcessId::new(3, 2), MatchBits::new(7)), "wrong source");
-        assert!(!me.matches(ProcessId::new(3, 1), MatchBits::new(8)), "wrong bits");
+        assert!(
+            !me.matches(ProcessId::new(3, 2), MatchBits::new(7)),
+            "wrong source"
+        );
+        assert!(
+            !me.matches(ProcessId::new(3, 1), MatchBits::new(8)),
+            "wrong bits"
+        );
     }
 
     #[test]

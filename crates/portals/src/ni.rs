@@ -14,6 +14,26 @@
 //!   processed only inside API calls on the application's thread. This is the
 //!   GM-style baseline of §5.3, kept protocol-identical so the Figure 6
 //!   comparison isolates exactly the progress question.
+//!
+//! # Locking model
+//!
+//! There is no interface-wide lock. State is split along the natural
+//! boundaries of the receive path (see DESIGN.md, "Locking model and matching
+//! fast path"):
+//!
+//! * each portal index has its own match-list lock ([`PortalTable`]) — the
+//!   unit at which Fig. 4's posting-order semantics must serialize;
+//! * MEs, MDs and EQs live in independently locked sharded arenas
+//!   ([`portals_types::Sharded`]);
+//! * the ACL sits behind a read/write lock (checked on every request, changed
+//!   almost never).
+//!
+//! Lock order, outermost first: portal list → any one arena shard → event
+//! ring. The engine additionally nests MD shard → EQ shard in the reply path;
+//! nothing nests the other way around. API calls that must be atomic with
+//! message delivery on a portal (notably [`NetworkInterface::md_update`], the
+//! MPI receive-posting primitive) take that portal's list lock, which is
+//! exactly the lock the engine holds for the whole of a put/get delivery.
 
 use crate::acl::{AcEntry, AccessControlList, AclReject, InitiatorClass};
 use crate::counters::{DropReason, NiCounters, NiCountersSnapshot};
@@ -25,13 +45,9 @@ use crate::node::NodeShared;
 use crate::table::{MePos, PortalTable};
 use crate::{EqHandle, MdHandle, MeHandle};
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
-use portals_types::{
-    Arena, MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult,
-};
-use portals_wire::{
-    GetRequest, PortalsMessage, PutRequest, RequestHeader, RAW_HANDLE_NONE,
-};
+use parking_lot::{Condvar, Mutex, RwLock};
+use portals_types::{MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult, Sharded};
+use portals_wire::{GetRequest, PortalsMessage, PutRequest, RequestHeader, RAW_HANDLE_NONE};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -47,7 +63,7 @@ pub enum ProgressModel {
 }
 
 /// Per-interface configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NiConfig {
     /// Resource limits.
     pub limits: NiLimits,
@@ -56,6 +72,21 @@ pub struct NiConfig {
     /// Parallel-application (job) id this process belongs to, for the
     /// "same application" ACL entry (§4.5).
     pub job: u32,
+    /// Use the exact-bits match-list index on the receive path (the Fig. 4
+    /// fast path). Off, every translation runs the reference linear walk —
+    /// kept as a runtime ablation so the win is measurable in one binary.
+    pub match_index: bool,
+}
+
+impl Default for NiConfig {
+    fn default() -> NiConfig {
+        NiConfig {
+            limits: NiLimits::default(),
+            progress: ProgressModel::default(),
+            job: 0,
+            match_index: true,
+        }
+    }
 }
 
 /// Whether a put requests an acknowledgment (§4.7: "A process can also signify
@@ -68,25 +99,34 @@ pub enum AckRequest {
     NoAck,
 }
 
-/// Mutable interface state, guarded by one lock (the spec's library critical
-/// section; the real NIC implementation serialized on the LANai similarly).
+/// Mutable interface state. Not one lock: each field carries its own (see the
+/// module docs for the locking model).
 pub(crate) struct NiState {
     pub(crate) table: PortalTable,
-    pub(crate) mes: Arena<MatchEntry>,
-    pub(crate) mds: Arena<Md>,
-    pub(crate) eqs: Arena<EventQueue>,
-    pub(crate) acl: AccessControlList,
+    pub(crate) mes: Sharded<MatchEntry>,
+    pub(crate) mds: Sharded<Md>,
+    pub(crate) eqs: Sharded<EventQueue>,
+    pub(crate) acl: RwLock<AccessControlList>,
 }
 
 impl NiState {
     pub(crate) fn new(limits: &NiLimits) -> NiState {
         NiState {
             table: PortalTable::new(limits.max_portal_table_size),
-            mes: Arena::with_capacity(64),
-            mds: Arena::with_capacity(64),
-            eqs: Arena::with_capacity(8),
-            acl: AccessControlList::standard(limits.max_access_control_entries),
+            mes: Sharded::new(),
+            mds: Sharded::new(),
+            eqs: Sharded::new(),
+            acl: RwLock::new(AccessControlList::standard(
+                limits.max_access_control_entries,
+            )),
         }
+    }
+
+    /// The portal index an MD's delivery path serializes on, if the MD is
+    /// attached to a live match entry. `None` for free-standing (bound) MDs.
+    pub(crate) fn portal_of_md(&self, md: MdHandle) -> Option<u32> {
+        let owner = self.mds.with(md, |m| m.owner)??;
+        self.mes.with(owner, |me| me.portal_index)
     }
 }
 
@@ -94,7 +134,7 @@ impl NiState {
 pub(crate) struct NiCore {
     pub(crate) id: ProcessId,
     pub(crate) config: NiConfig,
-    pub(crate) state: Mutex<NiState>,
+    pub(crate) state: NiState,
     pub(crate) counters: NiCounters,
     /// Host-driven model: raw messages awaiting an API call.
     pub(crate) raw: Mutex<VecDeque<PortalsMessage>>,
@@ -106,7 +146,7 @@ impl NiCore {
     pub(crate) fn new(id: ProcessId, config: NiConfig) -> NiCore {
         NiCore {
             id,
-            state: Mutex::new(NiState::new(&config.limits)),
+            state: NiState::new(&config.limits),
             config,
             counters: NiCounters::default(),
             raw: Mutex::new(VecDeque::new()),
@@ -145,7 +185,10 @@ impl InitiatorClass for NiClass<'_> {
     }
 
     fn is_system(&self, id: ProcessId) -> bool {
-        matches!(self.node.directory.classify(id), portals_types::UserId::System)
+        matches!(
+            self.node.directory.classify(id),
+            portals_types::UserId::System
+        )
     }
 }
 
@@ -195,21 +238,24 @@ impl NetworkInterface {
     /// Allocate an event queue with room for `capacity` pending events
     /// (spec: `PtlEQAlloc`).
     pub fn eq_alloc(&self, capacity: usize) -> PtlResult<EqHandle> {
-        let mut state = self.core.state.lock();
-        if state.eqs.len() >= self.core.config.limits.max_event_queues {
-            return Err(PtlError::NoSpace);
-        }
         if capacity == 0 {
             return Err(PtlError::InvalidArgument);
         }
-        Ok(state.eqs.insert(EventQueue::new(capacity)))
+        if self.core.state.eqs.len() >= self.core.config.limits.max_event_queues {
+            return Err(PtlError::NoSpace);
+        }
+        Ok(self.core.state.eqs.insert(EventQueue::new(capacity)))
     }
 
     /// Free an event queue (spec: `PtlEQFree`). Messages that later name this
     /// queue are dropped per §4.8.
     pub fn eq_free(&self, h: EqHandle) -> PtlResult<()> {
-        let mut state = self.core.state.lock();
-        state.eqs.remove(h).map(|_| ()).ok_or(PtlError::InvalidEq)
+        self.core
+            .state
+            .eqs
+            .remove(h)
+            .map(|_| ())
+            .ok_or(PtlError::InvalidEq)
     }
 
     /// Non-blocking event read (spec: `PtlEQGet`).
@@ -235,8 +281,11 @@ impl NetworkInterface {
     }
 
     fn eq_ref(&self, h: EqHandle) -> PtlResult<EventQueue> {
-        let state = self.core.state.lock();
-        state.eqs.get(h).map(EventQueue::clone_ref).ok_or(PtlError::InvalidEq)
+        self.core
+            .state
+            .eqs
+            .with(h, EventQueue::clone_ref)
+            .ok_or(PtlError::InvalidEq)
     }
 
     fn eq_wait_inner(&self, h: EqHandle, timeout: Option<Duration>) -> PtlResult<Event> {
@@ -281,16 +330,21 @@ impl NetworkInterface {
         unlink_when_empty: bool,
         pos: MePos,
     ) -> PtlResult<MeHandle> {
-        let mut state = self.core.state.lock();
+        let state = &self.core.state;
         if state.mes.len() >= self.core.config.limits.max_match_entries {
             return Err(PtlError::NoSpace);
         }
-        if state.table.list(portal_index).is_none() {
+        let Some(mut list) = state.table.lock(portal_index) else {
             return Err(PtlError::InvalidPortalIndex);
-        }
-        let me = state.mes.insert(MatchEntry::new(source, criteria, unlink_when_empty));
-        let list = state.table.list_mut(portal_index).expect("checked above");
-        if !list.insert(me, pos) {
+        };
+        let me = state.mes.insert(MatchEntry::at_portal(
+            portal_index,
+            source,
+            criteria,
+            unlink_when_empty,
+        ));
+        if !list.insert(me, pos, source, criteria) {
+            drop(list);
             state.mes.remove(me);
             return Err(PtlError::InvalidMe); // anchor handle not in this list
         }
@@ -300,16 +354,22 @@ impl NetworkInterface {
     /// Unlink a match entry and every memory descriptor attached to it
     /// (spec: `PtlMEUnlink`).
     pub fn me_unlink(&self, h: MeHandle) -> PtlResult<()> {
-        let mut state = self.core.state.lock();
+        let state = &self.core.state;
+        let portal_index = state
+            .mes
+            .with(h, |me| me.portal_index)
+            .ok_or(PtlError::InvalidMe)?;
+        let mut list = state
+            .table
+            .lock(portal_index)
+            .expect("attached index in range");
+        // Re-resolve under the portal lock: the engine may have auto-unlinked
+        // the entry between our peek and the lock.
         let me = state.mes.remove(h).ok_or(PtlError::InvalidMe)?;
+        list.remove(h);
+        drop(list);
         for md in me.md_list {
             state.mds.remove(md);
-        }
-        // Remove from whichever portal list holds it.
-        for idx in 0..state.table.size() as u32 {
-            if state.table.list_mut(idx).expect("in range").remove(h) {
-                break;
-            }
         }
         Ok(())
     }
@@ -319,7 +379,7 @@ impl NetworkInterface {
     /// Attach an MD to the back of a match entry's descriptor list
     /// (spec: `PtlMDAttach`).
     pub fn md_attach(&self, me: MeHandle, spec: MdSpec) -> PtlResult<MdHandle> {
-        let mut state = self.core.state.lock();
+        let state = &self.core.state;
         if state.mds.len() >= self.core.config.limits.max_memory_descriptors {
             return Err(PtlError::NoSpace);
         }
@@ -328,18 +388,34 @@ impl NetworkInterface {
                 return Err(PtlError::InvalidEq);
             }
         }
-        if !state.mes.contains(me) {
+        let portal_index = state
+            .mes
+            .with(me, |m| m.portal_index)
+            .ok_or(PtlError::InvalidMe)?;
+        // Hold the portal lock so the attach is atomic with delivery: the
+        // engine never observes the MD inserted but not yet on the entry.
+        let _list = state
+            .table
+            .lock(portal_index)
+            .expect("attached index in range");
+        let mut md = Md::from_spec(spec);
+        md.owner = Some(me);
+        let mdh = state.mds.insert(md);
+        if state
+            .mes
+            .with_mut(me, |m| m.md_list.push_back(mdh))
+            .is_none()
+        {
+            state.mds.remove(mdh); // entry unlinked while we raced in
             return Err(PtlError::InvalidMe);
         }
-        let md = state.mds.insert(Md::from_spec(spec));
-        state.mes.get_mut(me).expect("checked above").md_list.push_back(md);
-        Ok(md)
+        Ok(mdh)
     }
 
     /// Create a free-standing MD for initiator-side operations
     /// (spec: `PtlMDBind`).
     pub fn md_bind(&self, spec: MdSpec) -> PtlResult<MdHandle> {
-        let mut state = self.core.state.lock();
+        let state = &self.core.state;
         if state.mds.len() >= self.core.config.limits.max_memory_descriptors {
             return Err(PtlError::NoSpace);
         }
@@ -355,87 +431,103 @@ impl NetworkInterface {
     /// while a get's reply is outstanding (§4.7: the descriptor "must not be
     /// unlinked until the reply is received").
     pub fn md_unlink(&self, h: MdHandle) -> PtlResult<()> {
-        let mut state = self.core.state.lock();
-        let md = state.mds.get(h).ok_or(PtlError::InvalidMd)?;
+        let state = &self.core.state;
+        // If attached, serialize with delivery on the owning portal so the
+        // engine never works on a half-unlinked descriptor.
+        let portal_index = state.portal_of_md(h);
+        let _list = portal_index.map(|p| state.table.lock(p).expect("attached index in range"));
+        let (mut shard, local) = state.mds.lock_shard_of(h).ok_or(PtlError::InvalidMd)?;
+        let md = shard.get(local).ok_or(PtlError::InvalidMd)?;
         if md.pending_ops > 0 {
             return Err(PtlError::MdInUse);
         }
-        state.mds.remove(h);
-        // Detach from any match entry that references it.
-        let owners: Vec<MeHandle> = state
-            .mes
-            .iter()
-            .filter(|(_, me)| me.md_list.contains(&h))
-            .map(|(meh, _)| meh)
-            .collect();
-        for meh in owners {
-            state.mes.get_mut(meh).expect("listed").remove_md(h);
+        let md = shard.remove(local).expect("resolved above");
+        drop(shard);
+        if let Some(me) = md.owner {
+            state.mes.with_mut(me, |m| m.remove_md(h));
         }
         Ok(())
     }
 
     /// Read bytes out of an MD's region (application-side buffer access).
     pub fn md_read(&self, h: MdHandle, offset: usize, len: usize) -> PtlResult<Vec<u8>> {
-        let state = self.core.state.lock();
-        let md = state.mds.get(h).ok_or(PtlError::InvalidMd)?;
-        if offset + len > md.len() {
-            return Err(PtlError::InvalidArgument);
-        }
-        Ok(md.read(offset as u64, len as u64))
+        self.core
+            .state
+            .mds
+            .with(h, |md| {
+                if offset + len > md.len() {
+                    return Err(PtlError::InvalidArgument);
+                }
+                Ok(md.read(offset as u64, len as u64))
+            })
+            .ok_or(PtlError::InvalidMd)?
     }
 
     /// Write bytes into an MD's region (application-side buffer access).
     pub fn md_write(&self, h: MdHandle, offset: usize, data: &[u8]) -> PtlResult<()> {
-        let state = self.core.state.lock();
-        let md = state.mds.get(h).ok_or(PtlError::InvalidMd)?;
-        if offset + data.len() > md.len() {
-            return Err(PtlError::InvalidArgument);
-        }
-        md.write(offset as u64, data);
-        Ok(())
+        self.core
+            .state
+            .mds
+            .with(h, |md| {
+                if offset + data.len() > md.len() {
+                    return Err(PtlError::InvalidArgument);
+                }
+                md.write(offset as u64, data);
+                Ok(())
+            })
+            .ok_or(PtlError::InvalidMd)?
     }
 
     /// Current managed local offset of an MD (how far an offset-managed
     /// unexpected buffer has filled).
     pub fn md_local_offset(&self, h: MdHandle) -> PtlResult<u64> {
-        let state = self.core.state.lock();
-        state.mds.get(h).map(|md| md.local_offset).ok_or(PtlError::InvalidMd)
+        self.core
+            .state
+            .mds
+            .with(h, |md| md.local_offset)
+            .ok_or(PtlError::InvalidMd)
     }
 
     /// Atomically update an MD, conditional on an event queue being empty
     /// (spec: `PtlMDUpdate`).
     ///
     /// If `test_eq` is supplied and holds *any* unconsumed event, the update is
-    /// refused with [`PtlError::NoUpdate`] and `mutate` is not run. Because the
-    /// receive engine holds the interface lock for the whole of a message's
-    /// processing, the test and the update are atomic with respect to message
-    /// arrival — this is the primitive an MPI implementation uses to close the
-    /// race between posting a receive and an unexpected message landing in the
-    /// overflow slab.
+    /// refused with [`PtlError::NoUpdate`] and `mutate` is not run. For an MD
+    /// attached to a match entry, the test and the update run under that
+    /// entry's portal-list lock — the lock the receive engine holds for the
+    /// whole of a message's processing, including the event push — so the pair
+    /// is atomic with respect to message arrival. This is the primitive an MPI
+    /// implementation uses to close the race between posting a receive and an
+    /// unexpected message landing in the overflow slab.
     pub fn md_update(
         &self,
         h: MdHandle,
         test_eq: Option<EqHandle>,
         mutate: impl FnOnce(&mut Md),
     ) -> PtlResult<()> {
-        let mut state = self.core.state.lock();
+        let state = &self.core.state;
+        if !state.mds.contains(h) {
+            return Err(PtlError::InvalidMd);
+        }
+        let portal_index = state.portal_of_md(h);
+        let _list = portal_index.map(|p| state.table.lock(p).expect("attached index in range"));
         if let Some(eqh) = test_eq {
-            let eq = state.eqs.get(eqh).ok_or(PtlError::InvalidEq)?;
-            if !eq.is_empty() {
+            let empty = state
+                .eqs
+                .with(eqh, EventQueue::is_empty)
+                .ok_or(PtlError::InvalidEq)?;
+            if !empty {
                 return Err(PtlError::NoUpdate);
             }
         }
-        let md = state.mds.get_mut(h).ok_or(PtlError::InvalidMd)?;
-        mutate(md);
-        Ok(())
+        state.mds.with_mut(h, mutate).ok_or(PtlError::InvalidMd)
     }
 
     // ----- access control ---------------------------------------------------
 
     /// Replace an access-control entry (spec: `PtlACEntry`).
     pub fn acl_set(&self, index: usize, entry: AcEntry) -> PtlResult<()> {
-        let mut state = self.core.state.lock();
-        if state.acl.set(index, entry) {
+        if self.core.state.acl.write().set(index, entry) {
             Ok(())
         } else {
             Err(PtlError::InvalidAcIndex)
@@ -462,19 +554,23 @@ impl NetworkInterface {
         if target.has_wildcard() {
             return Err(PtlError::InvalidProcess);
         }
-        let (payload, eq, length) = {
-            let mut state = self.core.state.lock();
-            let mdr = state.mds.get_mut(md).ok_or(PtlError::InvalidMd)?;
-            if !mdr.threshold.active() {
-                return Err(PtlError::InvalidMd);
-            }
-            mdr.threshold = mdr.threshold.decrement();
-            let length = mdr.len() as u64;
-            if length as usize > self.core.config.limits.max_message_size {
-                return Err(PtlError::LimitExceeded);
-            }
-            (Bytes::from(mdr.read(0, length)), mdr.eq, length)
-        };
+        let max = self.core.config.limits.max_message_size;
+        let (payload, eq, length) = self
+            .core
+            .state
+            .mds
+            .with_mut(md, |mdr| {
+                if !mdr.threshold.active() {
+                    return Err(PtlError::InvalidMd);
+                }
+                mdr.threshold = mdr.threshold.decrement();
+                let length = mdr.len() as u64;
+                if length as usize > max {
+                    return Err(PtlError::LimitExceeded);
+                }
+                Ok((Bytes::from(mdr.read(0, length)), mdr.eq, length))
+            })
+            .ok_or(PtlError::InvalidMd)??;
 
         let (ack_md, ack_eq) = match ack {
             AckRequest::Ack => (md.to_raw(), eq.map_or(RAW_HANDLE_NONE, |e| e.to_raw())),
@@ -518,16 +614,19 @@ impl NetworkInterface {
         if length as usize > self.core.config.limits.max_message_size {
             return Err(PtlError::LimitExceeded);
         }
-        let eq = {
-            let mut state = self.core.state.lock();
-            let mdr = state.mds.get_mut(md).ok_or(PtlError::InvalidMd)?;
-            if !mdr.threshold.active() {
-                return Err(PtlError::InvalidMd);
-            }
-            mdr.threshold = mdr.threshold.decrement();
-            mdr.pending_ops += 1;
-            mdr.eq
-        };
+        let eq = self
+            .core
+            .state
+            .mds
+            .with_mut(md, |mdr| {
+                if !mdr.threshold.active() {
+                    return Err(PtlError::InvalidMd);
+                }
+                mdr.threshold = mdr.threshold.decrement();
+                mdr.pending_ops += 1;
+                Ok(mdr.eq)
+            })
+            .ok_or(PtlError::InvalidMd)??;
         let msg = PortalsMessage::Get(GetRequest {
             header: RequestHeader {
                 initiator: self.core.id,
@@ -554,11 +653,9 @@ impl NetworkInterface {
         portal_index: u32,
         length: u64,
     ) -> PtlResult<()> {
-        self.node.endpoint.send(target.nid, msg.encode());
-        self.core
-            .counters
-            .messages_sent
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Log `Sent` *before* handing the message to the network: the reply or
+        // ack for this operation can race back through the dispatcher thread,
+        // and its event must not be able to precede ours on the same queue.
         if let Some(eqh) = eq {
             let event = Event {
                 kind: EventKind::Sent,
@@ -570,16 +667,18 @@ impl NetworkInterface {
                 offset: 0,
                 md,
             };
-            let state = self.core.state.lock();
-            if let Some(queue) = state.eqs.get(eqh) {
-                if !queue.push(event) {
-                    self.core
-                        .counters
-                        .events_overwritten
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
+            if self.core.state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
+                self.core
+                    .counters
+                    .events_overwritten
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         }
+        self.node.endpoint.send(target.nid, msg.encode());
+        self.core
+            .counters
+            .messages_sent
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 
@@ -614,6 +713,10 @@ impl Drop for NetworkInterface {
 
 impl std::fmt::Debug for NetworkInterface {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NetworkInterface({}, {:?})", self.core.id, self.core.config.progress)
+        write!(
+            f,
+            "NetworkInterface({}, {:?})",
+            self.core.id, self.core.config.progress
+        )
     }
 }

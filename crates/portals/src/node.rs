@@ -41,8 +41,7 @@ impl ProcessDirectory for OpenDirectory {
 }
 
 /// Node configuration.
-#[derive(Clone)]
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct NodeConfig {
     /// Transport tuning for the node's endpoint.
     pub transport: TransportConfig,
@@ -51,10 +50,11 @@ pub struct NodeConfig {
     pub directory: Option<Arc<dyn ProcessDirectory>>,
 }
 
-
 impl std::fmt::Debug for NodeConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeConfig").field("transport", &self.transport).finish()
+        f.debug_struct("NodeConfig")
+            .field("transport", &self.transport)
+            .finish()
     }
 }
 
@@ -111,7 +111,10 @@ impl Node {
                 })
                 .expect("spawn node dispatcher")
         };
-        Node { shared, dispatcher: Some(dispatcher) }
+        Node {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
     }
 
     /// This node's id.
@@ -121,7 +124,10 @@ impl Node {
 
     /// Create a network interface for process `pid` on this node.
     pub fn create_ni(&self, pid: u32, config: NiConfig) -> PtlResult<NetworkInterface> {
-        let id = ProcessId { nid: self.shared.nid, pid };
+        let id = ProcessId {
+            nid: self.shared.nid,
+            pid,
+        };
         let core = Arc::new(NiCore::new(id, config));
         let mut nis = self.shared.nis.write();
         if nis.contains_key(&pid) {
@@ -129,7 +135,10 @@ impl Node {
         }
         nis.insert(pid, Arc::clone(&core));
         drop(nis);
-        Ok(NetworkInterface { core, node: Arc::clone(&self.shared) })
+        Ok(NetworkInterface {
+            core,
+            node: Arc::clone(&self.shared),
+        })
     }
 
     /// Messages dropped because no process claimed them (§4.8 first check).

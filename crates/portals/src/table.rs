@@ -6,8 +6,38 @@
 //! rules depend on receives being considered in posting order, with the
 //! overflow (unexpected-message) entries last — so insertion position is part
 //! of the API.
+//!
+//! # Fast path
+//!
+//! The Fig. 4 translation walk is O(list length). Under heavy pre-posting
+//! (thousands of exact-tag receives) that linear walk dominates the receive
+//! path, which is exactly the overhead the paper's building-block argument
+//! says the NI must avoid. [`MatchList`] therefore maintains, alongside the
+//! authoritative posting order:
+//!
+//! * a hash index from exact `must_match` bits to the entries carrying them
+//!   (an entry is *exact* when its ignore mask is zero — its criteria match
+//!   exactly one bit pattern), and
+//! * a *wildcard watermark*: the posting-order rank of the earliest entry
+//!   whose criteria are **not** exact.
+//!
+//! [`MatchList::lookup`] may answer from the index **only** for candidates
+//! that precede the watermark: an exact entry with different bits provably
+//! cannot match the incoming bits, so skipping over it is equivalent to the
+//! walk rejecting it, while any non-exact entry *might* match anything and
+//! must be evaluated in posting order. The three-way [`FastPath`] answer keeps
+//! the reference walk as the semantic authority: `Hit` and `Miss` are only
+//! returned when provably identical to the walk's outcome; everything else is
+//! `Ambiguous` and falls back to the walk.
+//!
+//! Posting order itself is held as a sorted list of `u64` *ranks* assigned
+//! with large gaps, plus a handle→rank map, so `PTL_INS_BEFORE`/`AFTER`
+//! anchor lookups are O(log n) instead of the former O(n) scan (ranks are
+//! renumbered in the rare case a gap is exhausted).
 
 use crate::MeHandle;
+use portals_types::{MatchBits, MatchCriteria, ProcessId};
+use std::collections::{BTreeSet, HashMap};
 
 /// Where to insert a match entry relative to the existing list (spec:
 /// `PTL_INS_BEFORE` / `PTL_INS_AFTER` on `PtlMEAttach`/`PtlMEInsert`).
@@ -23,59 +53,200 @@ pub enum MePos {
     After(MeHandle),
 }
 
-/// One portal's ordered match list.
+/// Outcome of an indexed [`MatchList::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastPath {
+    /// Provably the first entry the Fig. 4 walk would accept on criteria and
+    /// source. (Its memory descriptor may still reject; that case falls back
+    /// to the walk.)
+    Hit(MeHandle),
+    /// Provably no entry in the list matches: no indexed candidate accepts the
+    /// initiator and the list contains no non-exact entries at all.
+    Miss,
+    /// The index cannot decide (a non-exact entry precedes every candidate);
+    /// the caller must run the reference walk.
+    Ambiguous,
+}
+
+/// Rank gap left between adjacent entries so Before/After inserts bisect
+/// instead of renumbering.
+const RANK_GAP: u64 = 1 << 32;
+/// Rank of the first entry inserted into an empty list (mid-range, leaving
+/// room to grow in both directions).
+const RANK_ORIGIN: u64 = 1 << 62;
+
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    rank: u64,
+    criteria: MatchCriteria,
+}
+
+/// One portal's ordered match list with the exact-bits index layered on top.
 #[derive(Debug, Default)]
 pub struct MatchList {
-    entries: Vec<MeHandle>,
+    /// Authoritative posting order: `(rank, handle)` sorted by rank.
+    entries: Vec<(u64, MeHandle)>,
+    /// Per-entry rank and matching metadata (criteria are fixed at attach).
+    meta: HashMap<MeHandle, EntryMeta>,
+    /// Exact-criteria entries bucketed by their `must_match` bits, each bucket
+    /// sorted by rank.
+    index: HashMap<u64, Vec<(u64, MeHandle, ProcessId)>>,
+    /// Ranks of entries whose criteria are not exact. The minimum is the
+    /// wildcard watermark.
+    non_exact: BTreeSet<u64>,
 }
 
 impl MatchList {
-    /// Insert `me` at `pos`. Returns false if an anchor handle isn't present.
-    pub fn insert(&mut self, me: MeHandle, pos: MePos) -> bool {
-        match pos {
-            MePos::Front => {
-                self.entries.insert(0, me);
-                true
-            }
-            MePos::Back => {
-                self.entries.push(me);
-                true
-            }
-            MePos::Before(anchor) => match self.position(anchor) {
-                Some(i) => {
-                    self.entries.insert(i, me);
-                    true
-                }
-                None => false,
-            },
-            MePos::After(anchor) => match self.position(anchor) {
-                Some(i) => {
-                    self.entries.insert(i + 1, me);
-                    true
-                }
-                None => false,
-            },
+    /// Insert `me` at `pos` with the matching metadata the fast path indexes.
+    /// Criteria and source are immutable for the lifetime of the attachment.
+    /// Returns false if an anchor handle isn't present.
+    pub fn insert(
+        &mut self,
+        me: MeHandle,
+        pos: MePos,
+        source: ProcessId,
+        criteria: MatchCriteria,
+    ) -> bool {
+        debug_assert!(!self.meta.contains_key(&me), "handle inserted twice");
+        let rank = match self.rank_for(pos) {
+            Some(rank) => rank,
+            None => return false,
+        };
+        let at = self.entries.partition_point(|&(r, _)| r < rank);
+        self.entries.insert(at, (rank, me));
+        self.meta.insert(me, EntryMeta { rank, criteria });
+        if criteria.is_exact() {
+            let bucket = self.index.entry(criteria.must_match.raw()).or_default();
+            let at = bucket.partition_point(|&(r, _, _)| r < rank);
+            bucket.insert(at, (rank, me, source));
+        } else {
+            self.non_exact.insert(rank);
         }
+        true
+    }
+
+    /// Pick a free rank realizing `pos`, renumbering if the local gap is
+    /// exhausted. `None` only when an anchor handle isn't present.
+    fn rank_for(&mut self, pos: MePos) -> Option<u64> {
+        if self.entries.is_empty() {
+            return match pos {
+                MePos::Front | MePos::Back => Some(RANK_ORIGIN),
+                MePos::Before(_) | MePos::After(_) => None,
+            };
+        }
+        // Resolve to exclusive bounds (lo, hi) the new rank must fall between;
+        // None = unbounded on that side.
+        let bounds = |list: &MatchList| -> Option<(Option<u64>, Option<u64>)> {
+            match pos {
+                MePos::Front => Some((None, Some(list.entries[0].0))),
+                MePos::Back => Some((Some(list.entries[list.entries.len() - 1].0), None)),
+                MePos::Before(anchor) => {
+                    let at = list.position(anchor)?;
+                    let lo = at.checked_sub(1).map(|i| list.entries[i].0);
+                    Some((lo, Some(list.entries[at].0)))
+                }
+                MePos::After(anchor) => {
+                    let at = list.position(anchor)?;
+                    let hi = list.entries.get(at + 1).map(|&(r, _)| r);
+                    Some((Some(list.entries[at].0), hi))
+                }
+            }
+        };
+        let pick = |lo: Option<u64>, hi: Option<u64>| -> Option<u64> {
+            match (lo, hi) {
+                (None, Some(hi)) => (hi > 0).then(|| hi - (hi - hi / 2).min(RANK_GAP)),
+                (Some(lo), None) => lo.checked_add(RANK_GAP).or_else(|| {
+                    let mid = lo + (u64::MAX - lo) / 2;
+                    (mid > lo).then_some(mid)
+                }),
+                (Some(lo), Some(hi)) => (hi - lo > 1).then(|| lo + (hi - lo) / 2),
+                (None, None) => unreachable!("empty list handled above"),
+            }
+        };
+        let (lo, hi) = bounds(self)?;
+        if let Some(rank) = pick(lo, hi) {
+            return Some(rank);
+        }
+        self.renumber();
+        let (lo, hi) = bounds(self)?;
+        Some(pick(lo, hi).expect("gap available after renumber"))
+    }
+
+    /// Reassign all ranks with uniform [`RANK_GAP`] spacing, preserving order.
+    fn renumber(&mut self) {
+        let mut translation: HashMap<u64, u64> = HashMap::with_capacity(self.entries.len());
+        for (i, (rank, me)) in self.entries.iter_mut().enumerate() {
+            let fresh = (i as u64 + 1) * RANK_GAP;
+            translation.insert(*rank, fresh);
+            *rank = fresh;
+            self.meta.get_mut(me).expect("entry without meta").rank = fresh;
+        }
+        for bucket in self.index.values_mut() {
+            for (rank, _, _) in bucket.iter_mut() {
+                *rank = translation[rank];
+            }
+        }
+        self.non_exact = self.non_exact.iter().map(|r| translation[r]).collect();
     }
 
     /// Remove `me`; true if it was present.
     pub fn remove(&mut self, me: MeHandle) -> bool {
-        match self.position(me) {
-            Some(i) => {
-                self.entries.remove(i);
-                true
+        let Some(meta) = self.meta.remove(&me) else {
+            return false;
+        };
+        let at = self.entries.partition_point(|&(r, _)| r < meta.rank);
+        debug_assert_eq!(self.entries[at], (meta.rank, me));
+        self.entries.remove(at);
+        if meta.criteria.is_exact() {
+            let bits = meta.criteria.must_match.raw();
+            let bucket = self
+                .index
+                .get_mut(&bits)
+                .expect("exact entry without bucket");
+            let at = bucket.partition_point(|&(r, _, _)| r < meta.rank);
+            debug_assert_eq!(bucket[at].1, me);
+            bucket.remove(at);
+            if bucket.is_empty() {
+                self.index.remove(&bits);
             }
-            None => false,
+        } else {
+            self.non_exact.remove(&meta.rank);
         }
+        true
     }
 
     fn position(&self, me: MeHandle) -> Option<usize> {
-        self.entries.iter().position(|h| *h == me)
+        let rank = self.meta.get(&me)?.rank;
+        let at = self.entries.partition_point(|&(r, _)| r < rank);
+        debug_assert_eq!(self.entries[at].1, me);
+        Some(at)
+    }
+
+    /// Answer a translation probe from the index alone, without touching any
+    /// match entry. See the module docs for the proof obligations of each
+    /// variant.
+    pub fn lookup(&self, initiator: ProcessId, bits: MatchBits) -> FastPath {
+        let watermark = self.non_exact.first().copied().unwrap_or(u64::MAX);
+        if let Some(bucket) = self.index.get(&bits.raw()) {
+            for &(rank, me, source) in bucket {
+                if rank >= watermark {
+                    break;
+                }
+                if source.matches(initiator) {
+                    return FastPath::Hit(me);
+                }
+            }
+        }
+        if watermark == u64::MAX {
+            FastPath::Miss
+        } else {
+            FastPath::Ambiguous
+        }
     }
 
     /// Walk order.
     pub fn iter(&self) -> impl Iterator<Item = MeHandle> + '_ {
-        self.entries.iter().copied()
+        self.entries.iter().map(|&(_, me)| me)
     }
 
     /// Number of entries.
@@ -89,16 +260,23 @@ impl MatchList {
     }
 }
 
-/// The whole table: a fixed number of portal indices, each with a match list.
+/// The whole table: a fixed number of portal indices, each with its own lock.
+///
+/// Per-portal locking is the shard boundary of the receive path: delivery into
+/// portal 3 and an `me_attach` on portal 5 proceed concurrently, while
+/// operations on the *same* portal serialize, which is what keeps the Fig. 4
+/// walk's posting-order semantics intact without a global interface lock.
 #[derive(Debug)]
 pub struct PortalTable {
-    lists: Vec<MatchList>,
+    lists: Vec<parking_lot::Mutex<MatchList>>,
 }
 
 impl PortalTable {
     /// A table with `size` portal indices.
     pub fn new(size: usize) -> PortalTable {
-        PortalTable { lists: (0..size).map(|_| MatchList::default()).collect() }
+        PortalTable {
+            lists: (0..size).map(|_| Default::default()).collect(),
+        }
     }
 
     /// Number of portal indices.
@@ -106,15 +284,17 @@ impl PortalTable {
         self.lists.len()
     }
 
-    /// The match list at `index`, or None if out of range ("the Portal index
-    /// supplied in the request is not valid", §4.8).
-    pub fn list(&self, index: u32) -> Option<&MatchList> {
-        self.lists.get(index as usize)
+    /// Lock the match list at `index`, or None if out of range ("the Portal
+    /// index supplied in the request is not valid", §4.8).
+    pub fn lock(&self, index: u32) -> Option<parking_lot::MutexGuard<'_, MatchList>> {
+        self.lists.get(index as usize).map(|m| m.lock())
     }
 
-    /// Mutable access.
-    pub fn list_mut(&mut self, index: u32) -> Option<&mut MatchList> {
-        self.lists.get_mut(index as usize)
+    /// Lock *every* portal's list, in index order (the canonical lock order —
+    /// required by callers such as `md_update` that need a moment of quiescence
+    /// across the whole receive path).
+    pub fn lock_all(&self) -> Vec<parking_lot::MutexGuard<'_, MatchList>> {
+        self.lists.iter().map(|m| m.lock()).collect()
     }
 }
 
@@ -127,12 +307,23 @@ mod tests {
         Handle::from_raw(n)
     }
 
+    const ANY_SRC: ProcessId = ProcessId::ANY;
+
+    fn exact(n: u64) -> MatchCriteria {
+        MatchCriteria::exact(MatchBits(n))
+    }
+
+    /// Insert with wildcard criteria (not indexable).
+    fn put_any(list: &mut MatchList, me: MeHandle, pos: MePos) -> bool {
+        list.insert(me, pos, ANY_SRC, MatchCriteria::any())
+    }
+
     #[test]
     fn front_back_ordering() {
         let mut list = MatchList::default();
-        list.insert(h(1), MePos::Back);
-        list.insert(h(2), MePos::Back);
-        list.insert(h(0), MePos::Front);
+        put_any(&mut list, h(1), MePos::Back);
+        put_any(&mut list, h(2), MePos::Back);
+        put_any(&mut list, h(0), MePos::Front);
         let order: Vec<_> = list.iter().collect();
         assert_eq!(order, vec![h(0), h(1), h(2)]);
     }
@@ -140,10 +331,10 @@ mod tests {
     #[test]
     fn before_after_anchors() {
         let mut list = MatchList::default();
-        list.insert(h(1), MePos::Back);
-        list.insert(h(3), MePos::Back);
-        assert!(list.insert(h(2), MePos::Before(h(3))));
-        assert!(list.insert(h(4), MePos::After(h(3))));
+        put_any(&mut list, h(1), MePos::Back);
+        put_any(&mut list, h(3), MePos::Back);
+        assert!(put_any(&mut list, h(2), MePos::Before(h(3))));
+        assert!(put_any(&mut list, h(4), MePos::After(h(3))));
         let order: Vec<_> = list.iter().collect();
         assert_eq!(order, vec![h(1), h(2), h(3), h(4)]);
     }
@@ -151,8 +342,8 @@ mod tests {
     #[test]
     fn missing_anchor_fails() {
         let mut list = MatchList::default();
-        assert!(!list.insert(h(1), MePos::Before(h(99))));
-        assert!(!list.insert(h(1), MePos::After(h(99))));
+        assert!(!put_any(&mut list, h(1), MePos::Before(h(99))));
+        assert!(!put_any(&mut list, h(1), MePos::After(h(99))));
         assert!(list.is_empty());
     }
 
@@ -160,7 +351,7 @@ mod tests {
     fn remove_preserves_order() {
         let mut list = MatchList::default();
         for i in 0..4 {
-            list.insert(h(i), MePos::Back);
+            put_any(&mut list, h(i), MePos::Back);
         }
         assert!(list.remove(h(2)));
         assert!(!list.remove(h(2)));
@@ -169,11 +360,264 @@ mod tests {
     }
 
     #[test]
+    fn repeated_front_inserts_keep_order() {
+        // Exhausts the downward gap and forces renumbering.
+        let mut list = MatchList::default();
+        for i in 0..200 {
+            assert!(list.insert(h(i), MePos::Front, ANY_SRC, exact(i)));
+        }
+        let order: Vec<_> = list.iter().collect();
+        let expect: Vec<_> = (0..200).rev().map(h).collect();
+        assert_eq!(order, expect);
+        // The index stays coherent across renumbering.
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(150)),
+            FastPath::Hit(h(150))
+        );
+    }
+
+    #[test]
+    fn repeated_bisection_inserts_keep_order() {
+        // Insert always immediately after the first entry: bisects the same
+        // gap until it collapses, forcing renumbering mid-list.
+        let mut list = MatchList::default();
+        put_any(&mut list, h(0), MePos::Back);
+        put_any(&mut list, h(1000), MePos::Back);
+        for i in 1..100 {
+            assert!(put_any(&mut list, h(i), MePos::After(h(0))));
+        }
+        let order: Vec<_> = list.iter().collect();
+        let mut expect = vec![h(0)];
+        expect.extend((1..100).rev().map(h));
+        expect.push(h(1000));
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn lookup_hits_exact_entry() {
+        let mut list = MatchList::default();
+        for i in 0..64 {
+            list.insert(h(i), MePos::Back, ANY_SRC, exact(i));
+        }
+        assert_eq!(
+            list.lookup(ProcessId::new(1, 1), MatchBits(63)),
+            FastPath::Hit(h(63))
+        );
+        assert_eq!(
+            list.lookup(ProcessId::new(1, 1), MatchBits(999)),
+            FastPath::Miss
+        );
+    }
+
+    #[test]
+    fn wildcard_before_exact_forces_walk() {
+        let mut list = MatchList::default();
+        put_any(&mut list, h(100), MePos::Back); // wildcard first
+        list.insert(h(1), MePos::Back, ANY_SRC, exact(1));
+        // The exact entry is behind the watermark: the wildcard might match
+        // first, so the index must not answer.
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(1)),
+            FastPath::Ambiguous
+        );
+        // A miss is not provable either while a wildcard is present.
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(999)),
+            FastPath::Ambiguous
+        );
+    }
+
+    #[test]
+    fn exact_before_wildcard_still_hits() {
+        let mut list = MatchList::default();
+        list.insert(h(1), MePos::Back, ANY_SRC, exact(1));
+        put_any(&mut list, h(100), MePos::Back);
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(1)),
+            FastPath::Hit(h(1))
+        );
+        // Unknown bits could still match the trailing wildcard.
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(2)),
+            FastPath::Ambiguous
+        );
+    }
+
+    #[test]
+    fn removing_wildcard_lifts_watermark() {
+        let mut list = MatchList::default();
+        put_any(&mut list, h(100), MePos::Back);
+        list.insert(h(1), MePos::Back, ANY_SRC, exact(1));
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(1)),
+            FastPath::Ambiguous
+        );
+        list.remove(h(100));
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(1)),
+            FastPath::Hit(h(1))
+        );
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(2)),
+            FastPath::Miss
+        );
+    }
+
+    #[test]
+    fn source_filter_skips_candidate_within_fast_path() {
+        let mut list = MatchList::default();
+        // Two entries with the same bits, different source filters.
+        list.insert(h(1), MePos::Back, ProcessId::new(7, 7), exact(5));
+        list.insert(h(2), MePos::Back, ANY_SRC, exact(5));
+        // Initiator (7,7) matches the first; anyone else falls through to the
+        // second — both still provable from the index.
+        assert_eq!(
+            list.lookup(ProcessId::new(7, 7), MatchBits(5)),
+            FastPath::Hit(h(1))
+        );
+        assert_eq!(
+            list.lookup(ProcessId::new(3, 3), MatchBits(5)),
+            FastPath::Hit(h(2))
+        );
+        list.remove(h(2));
+        assert_eq!(
+            list.lookup(ProcessId::new(3, 3), MatchBits(5)),
+            FastPath::Miss
+        );
+    }
+
+    #[test]
+    fn nonzero_ignore_mask_is_not_exact() {
+        let mut list = MatchList::default();
+        // Ignores the low bit: matches 6 and 7; must not be indexed as exact.
+        list.insert(
+            h(1),
+            MePos::Back,
+            ANY_SRC,
+            MatchCriteria::with_ignore(MatchBits(6), MatchBits(1)),
+        );
+        assert_eq!(
+            list.lookup(ProcessId::new(0, 0), MatchBits(7)),
+            FastPath::Ambiguous
+        );
+    }
+
+    #[test]
     fn table_bounds() {
-        let mut table = PortalTable::new(4);
+        let table = PortalTable::new(4);
         assert_eq!(table.size(), 4);
-        assert!(table.list(3).is_some());
-        assert!(table.list(4).is_none());
-        assert!(table.list_mut(0).is_some());
+        assert!(table.lock(3).is_some());
+        assert!(table.lock(4).is_none());
+        assert_eq!(table.lock_all().len(), 4);
+    }
+
+    mod differential {
+        //! Satellite: the fast path must agree with the reference linear walk
+        //! on every list shape reachable through the public API, including
+        //! wildcard-before-exact orders and unlink/re-insert churn.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Reference model: the Fig. 4 walk over the list in posting order,
+        /// deciding purely on criteria + source (MD evaluation excluded — the
+        /// list-level contract).
+        fn reference_walk(
+            list: &MatchList,
+            crit: &HashMap<MeHandle, (ProcessId, MatchCriteria)>,
+            initiator: ProcessId,
+            bits: MatchBits,
+        ) -> Option<MeHandle> {
+            list.iter().find(|me| {
+                let (source, criteria) = crit[me];
+                source.matches(initiator) && criteria.matches(bits)
+            })
+        }
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            /// (bits, ignore mask present?, source filter, position seed)
+            Insert {
+                bits: u64,
+                ignore: u64,
+                src: Option<(u32, u32)>,
+                pos: u8,
+            },
+            /// Remove the i-th currently attached entry (mod len).
+            Remove { which: usize },
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (
+                    0u64..16,
+                    prop_oneof![Just(0u64), Just(1u64), Just(u64::MAX)],
+                    (any::<bool>(), 0u32..3, 0u32..3),
+                    any::<u8>()
+                )
+                    .prop_map(|(bits, ignore, (filtered, n, p), pos)| Op::Insert {
+                        bits,
+                        ignore,
+                        src: filtered.then_some((n, p)),
+                        pos,
+                    }),
+                (any::<usize>(),).prop_map(|(which,)| Op::Remove { which }),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+            #[test]
+            fn fast_path_agrees_with_reference_walk(
+                ops in proptest::collection::vec(op_strategy(), 1..40),
+                probes in proptest::collection::vec((0u64..16, 0u32..3, 0u32..3), 1..12),
+            ) {
+                let mut list = MatchList::default();
+                let mut crit: HashMap<MeHandle, (ProcessId, MatchCriteria)> = HashMap::new();
+                let mut attached: Vec<MeHandle> = Vec::new();
+                let mut next = 0u64;
+
+                for op in ops {
+                    match op {
+                        Op::Insert { bits, ignore, src, pos } => {
+                            next += 1;
+                            let me = h(next);
+                            let criteria =
+                                MatchCriteria::with_ignore(MatchBits(bits), MatchBits(ignore));
+                            let source = src
+                                .map_or(ProcessId::ANY, |(n, p)| ProcessId::new(n, p));
+                            let pos = match (pos % 4, attached.len()) {
+                                (_, 0) | (0, _) => MePos::Back,
+                                (1, _) => MePos::Front,
+                                (2, n) => MePos::Before(attached[pos as usize % n]),
+                                (_, n) => MePos::After(attached[pos as usize % n]),
+                            };
+                            prop_assert!(list.insert(me, pos, source, criteria));
+                            crit.insert(me, (source, criteria));
+                            attached.push(me);
+                        }
+                        Op::Remove { which } => {
+                            if !attached.is_empty() {
+                                let me = attached.remove(which % attached.len());
+                                prop_assert!(list.remove(me));
+                                crit.remove(&me);
+                            }
+                        }
+                    }
+                    // Probe after *every* mutation so intermediate shapes
+                    // (wildcard-before-exact, post-unlink holes) are covered.
+                    for &(bits, n, p) in &probes {
+                        let initiator = ProcessId::new(n, p);
+                        let expect = reference_walk(&list, &crit, initiator, MatchBits(bits));
+                        match list.lookup(initiator, MatchBits(bits)) {
+                            FastPath::Hit(me) => prop_assert_eq!(Some(me), expect),
+                            FastPath::Miss => prop_assert_eq!(None, expect),
+                            FastPath::Ambiguous => {} // walk decides; nothing claimed
+                        }
+                    }
+                }
+            }
+        }
     }
 }

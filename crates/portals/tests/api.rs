@@ -30,11 +30,20 @@ fn listen(
     portal: u32,
     criteria: MatchCriteria,
     len: usize,
-) -> (portals::MeHandle, portals::MdHandle, portals::EqHandle, portals::IoBuf) {
+) -> (
+    portals::MeHandle,
+    portals::MdHandle,
+    portals::EqHandle,
+    portals::IoBuf,
+) {
     let eq = ni.eq_alloc(64).unwrap();
-    let me = ni.me_attach(portal, ProcessId::ANY, criteria, false, MePos::Back).unwrap();
+    let me = ni
+        .me_attach(portal, ProcessId::ANY, criteria, false, MePos::Back)
+        .unwrap();
     let buf = iobuf(vec![0u8; len]);
-    let md = ni.md_attach(me, MdSpec::new(buf.clone()).with_eq(eq)).unwrap();
+    let md = ni
+        .md_attach(me, MdSpec::new(buf.clone()).with_eq(eq))
+        .unwrap();
     (me, md, eq, buf)
 }
 
@@ -49,7 +58,16 @@ fn put_moves_data_and_logs_event() {
 
     let src = iobuf(b"zero copy delivery".to_vec());
     let md = a.md_bind(MdSpec::new(src)).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 3, 0, MatchBits::new(0xbeef), 0).unwrap();
+    a.put(
+        md,
+        AckRequest::NoAck,
+        b.id(),
+        3,
+        0,
+        MatchBits::new(0xbeef),
+        0,
+    )
+    .unwrap();
 
     let ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
@@ -72,8 +90,11 @@ fn put_with_ack_round_trips() {
     let (_, _, _beq, _) = listen(&b, 0, MatchCriteria::any(), 64);
 
     let aeq = a.eq_alloc(8).unwrap();
-    let md = a.md_bind(MdSpec::new(iobuf(vec![7u8; 48])).with_eq(aeq)).unwrap();
-    a.put(md, AckRequest::Ack, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(iobuf(vec![7u8; 48])).with_eq(aeq))
+        .unwrap();
+    a.put(md, AckRequest::Ack, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
 
     // Initiator sees Sent then Ack.
     let sent = a.eq_poll(aeq, TIMEOUT).unwrap();
@@ -81,7 +102,11 @@ fn put_with_ack_round_trips() {
     let ack = a.eq_poll(aeq, TIMEOUT).unwrap();
     assert_eq!(ack.kind, EventKind::Ack);
     assert_eq!(ack.mlength, 48, "ack reports the manipulated length");
-    assert_eq!(ack.initiator, b.id(), "ack comes from the target (ids swapped)");
+    assert_eq!(
+        ack.initiator,
+        b.id(),
+        "ack comes from the target (ids swapped)"
+    );
     assert_eq!(a.counters().acks_accepted, 1);
 }
 
@@ -96,8 +121,11 @@ fn ack_reports_truncated_length() {
     let (_, _, beq, _) = listen(&b, 0, MatchCriteria::any(), 10);
 
     let aeq = a.eq_alloc(8).unwrap();
-    let md = a.md_bind(MdSpec::new(iobuf(vec![1u8; 100])).with_eq(aeq)).unwrap();
-    a.put(md, AckRequest::Ack, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(iobuf(vec![1u8; 100])).with_eq(aeq))
+        .unwrap();
+    a.put(md, AckRequest::Ack, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
 
     let ev = b.eq_poll(beq, TIMEOUT).unwrap();
     assert_eq!(ev.rlength, 100);
@@ -169,7 +197,9 @@ fn md_in_use_while_get_pending_then_unlinkable() {
     let (_, _, _, _) = listen(&b, 0, MatchCriteria::any(), 64);
 
     let aeq = a.eq_alloc(8).unwrap();
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 16])).with_eq(aeq)).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(iobuf(vec![0u8; 16])).with_eq(aeq))
+        .unwrap();
     a.get(md, b.id(), 0, 0, MatchBits::ZERO, 0, 16).unwrap();
     // The reply may already have arrived on a fast fabric; only assert the
     // in-use error if the reply is still outstanding.
@@ -191,7 +221,8 @@ fn no_matching_entry_drops_with_no_match() {
     let (_, _, _, _) = listen(&b, 0, MatchCriteria::exact(MatchBits::new(1)), 64);
 
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::new(2), 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::new(2), 0)
+        .unwrap();
 
     wait_for(|| b.counters().dropped(DropReason::NoMatch) == 1);
     assert_eq!(b.counters().requests_accepted, 0);
@@ -205,7 +236,8 @@ fn invalid_portal_index_drops() {
     let b = default_ni(&nb);
 
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 9999, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 9999, 0, MatchBits::ZERO, 0)
+        .unwrap();
     wait_for(|| b.counters().dropped(DropReason::InvalidPortalIndex) == 1);
 }
 
@@ -219,7 +251,8 @@ fn bad_cookie_drops_with_invalid_ac_index() {
 
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
     // Cookie 7 is a disabled entry in the standard ACL.
-    a.put(md, AckRequest::NoAck, b.id(), 0, 7, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 7, MatchBits::ZERO, 0)
+        .unwrap();
     wait_for(|| b.counters().dropped(DropReason::InvalidAcIndex) == 1);
 }
 
@@ -232,18 +265,26 @@ fn acl_entry_restricts_by_process_and_portal() {
     let (_, _, eq, _) = listen(&b, 2, MatchCriteria::any(), 64);
 
     // Entry 3: only process (0,1) may use portal 2.
-    b.acl_set(3, AcEntry::Allow { id: AcMatch::Process(a.id()), portal: PortalMatch::Index(2) })
-        .unwrap();
+    b.acl_set(
+        3,
+        AcEntry::Allow {
+            id: AcMatch::Process(a.id()),
+            portal: PortalMatch::Index(2),
+        },
+    )
+    .unwrap();
 
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
     // Allowed: right process, right portal.
-    a.put(md, AckRequest::NoAck, b.id(), 2, 3, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 2, 3, MatchBits::ZERO, 0)
+        .unwrap();
     let ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
 
     // Wrong portal for this cookie: AclPortalMismatch.
     let (_, _, _, _) = listen(&b, 4, MatchCriteria::any(), 64);
-    a.put(md, AckRequest::NoAck, b.id(), 4, 3, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 4, 3, MatchBits::ZERO, 0)
+        .unwrap();
     wait_for(|| b.counters().dropped(DropReason::AclPortalMismatch) == 1);
 }
 
@@ -258,11 +299,15 @@ fn acl_process_mismatch_counts() {
     // Entry 2 admits only a process that is not `a`.
     b.acl_set(
         2,
-        AcEntry::Allow { id: AcMatch::Process(ProcessId::new(9, 9)), portal: PortalMatch::Any },
+        AcEntry::Allow {
+            id: AcMatch::Process(ProcessId::new(9, 9)),
+            portal: PortalMatch::Any,
+        },
     )
     .unwrap();
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 2, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 2, MatchBits::ZERO, 0)
+        .unwrap();
     wait_for(|| b.counters().dropped(DropReason::AclProcessMismatch) == 1);
 }
 
@@ -279,30 +324,77 @@ fn job_directory_separates_applications() {
         }
     }
     let fabric = Fabric::ideal();
-    let cfg = NodeConfig { directory: Some(Arc::new(Dir)), ..Default::default() };
+    let cfg = NodeConfig {
+        directory: Some(Arc::new(Dir)),
+        ..Default::default()
+    };
     let na = Node::new(fabric.attach(NodeId(0)), cfg.clone());
     let nb = Node::new(fabric.attach(NodeId(1)), cfg);
 
     // Target is pid 1 → job 1.
-    let target = nb.create_ni(1, NiConfig { job: 1, ..Default::default() }).unwrap();
+    let target = nb
+        .create_ni(
+            1,
+            NiConfig {
+                job: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
     let (_, _, eq, _) = listen(&target, 0, MatchCriteria::any(), 64);
 
     // Same-job peer (pid 1 on node 0) is admitted by ACL entry 0.
-    let peer = na.create_ni(1, NiConfig { job: 1, ..Default::default() }).unwrap();
+    let peer = na
+        .create_ni(
+            1,
+            NiConfig {
+                job: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
     let md = peer.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
-    peer.put(md, AckRequest::NoAck, target.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    peer.put(md, AckRequest::NoAck, target.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
     assert_eq!(target.eq_poll(eq, TIMEOUT).unwrap().kind, EventKind::Put);
 
     // Foreign-job process (pid 2 → job 2) is rejected on entry 0.
-    let foreign = na.create_ni(2, NiConfig { job: 2, ..Default::default() }).unwrap();
+    let foreign = na
+        .create_ni(
+            2,
+            NiConfig {
+                job: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
     let md2 = foreign.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
-    foreign.put(md2, AckRequest::NoAck, target.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    foreign
+        .put(
+            md2,
+            AckRequest::NoAck,
+            target.id(),
+            0,
+            0,
+            MatchBits::ZERO,
+            0,
+        )
+        .unwrap();
     wait_for(|| target.counters().dropped(DropReason::AclProcessMismatch) == 1);
 
     // But the system process (pid 42) is admitted via entry 1.
     let sys = na.create_ni(42, NiConfig::default()).unwrap();
     let md3 = sys.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
-    sys.put(md3, AckRequest::NoAck, target.id(), 0, 1, MatchBits::ZERO, 0).unwrap();
+    sys.put(
+        md3,
+        AckRequest::NoAck,
+        target.id(),
+        0,
+        1,
+        MatchBits::ZERO,
+        0,
+    )
+    .unwrap();
     assert_eq!(target.eq_poll(eq, TIMEOUT).unwrap().kind, EventKind::Put);
 }
 
@@ -314,7 +406,16 @@ fn message_to_unknown_pid_counts_at_node() {
     let _b = default_ni(&nb);
 
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
-    a.put(md, AckRequest::NoAck, ProcessId::new(1, 77), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(
+        md,
+        AckRequest::NoAck,
+        ProcessId::new(1, 77),
+        0,
+        0,
+        MatchBits::ZERO,
+        0,
+    )
+    .unwrap();
     wait_for(|| nb.dropped_no_process() == 1);
 }
 
@@ -338,12 +439,16 @@ fn threshold_unlink_consumes_entry_once() {
             MdSpec::new(buf.clone())
                 .with_eq(eq)
                 .with_threshold(Threshold::Count(1))
-                .with_options(MdOptions { unlink_on_exhaustion: true, ..Default::default() }),
+                .with_options(MdOptions {
+                    unlink_on_exhaustion: true,
+                    ..Default::default()
+                }),
         )
         .unwrap();
 
     let md = a.md_bind(MdSpec::new(iobuf(b"first".to_vec()))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
 
     let put_ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(put_ev.kind, EventKind::Put);
@@ -352,9 +457,14 @@ fn threshold_unlink_consumes_entry_once() {
 
     // Second put finds no entry: NoMatch.
     let md2 = a.md_bind(MdSpec::new(iobuf(b"second".to_vec()))).unwrap();
-    a.put(md2, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md2, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
     wait_for(|| b.counters().dropped(DropReason::NoMatch) == 1);
-    assert_eq!(&buf.lock()[..5], b"first", "second message must not overwrite");
+    assert_eq!(
+        &buf.lock()[..5],
+        b"first",
+        "second message must not overwrite"
+    );
 }
 
 #[test]
@@ -366,16 +476,22 @@ fn match_list_order_respected_end_to_end() {
 
     // Two wildcard entries; the front one must win.
     let eq = b.eq_alloc(8).unwrap();
-    let me_back = b.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back).unwrap();
+    let me_back = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
     let back_buf = iobuf(vec![0u8; 64]);
-    b.md_attach(me_back, MdSpec::new(back_buf.clone()).with_eq(eq)).unwrap();
-    let me_front =
-        b.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Front).unwrap();
+    b.md_attach(me_back, MdSpec::new(back_buf.clone()).with_eq(eq))
+        .unwrap();
+    let me_front = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Front)
+        .unwrap();
     let front_buf = iobuf(vec![0u8; 64]);
-    b.md_attach(me_front, MdSpec::new(front_buf.clone()).with_eq(eq)).unwrap();
+    b.md_attach(me_front, MdSpec::new(front_buf.clone()).with_eq(eq))
+        .unwrap();
 
     let md = a.md_bind(MdSpec::new(iobuf(b"winner".to_vec()))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
     let _ = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(&front_buf.lock()[..6], b"winner");
     assert_eq!(&back_buf.lock()[..6], &[0u8; 6]);
@@ -387,18 +503,29 @@ fn host_driven_makes_no_progress_without_calls() {
     let (na, nb) = two_nodes(&fabric);
     let a = default_ni(&na);
     let b = nb
-        .create_ni(1, NiConfig { progress: ProgressModel::HostDriven, ..Default::default() })
+        .create_ni(
+            1,
+            NiConfig {
+                progress: ProgressModel::HostDriven,
+                ..Default::default()
+            },
+        )
         .unwrap();
 
     let (_, _, eq, buf) = listen(&b, 0, MatchCriteria::any(), 64);
 
     let md = a.md_bind(MdSpec::new(iobuf(b"parked".to_vec()))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
 
     // Give the fabric ample time: the message must sit raw, unprocessed.
     wait_for(|| b.raw_pending() == 1);
     std::thread::sleep(Duration::from_millis(50));
-    assert_eq!(b.counters().requests_accepted, 0, "no progress without an API call");
+    assert_eq!(
+        b.counters().requests_accepted,
+        0,
+        "no progress without an API call"
+    );
     assert_eq!(&buf.lock()[..6], &[0u8; 6]);
 
     // One API call processes it.
@@ -417,7 +544,8 @@ fn application_bypass_progresses_without_calls() {
     let (_, _, _, buf) = listen(&b, 0, MatchCriteria::any(), 64);
 
     let md = a.md_bind(MdSpec::new(iobuf(b"flows!".to_vec()))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
 
     // No API calls on b: data must still land.
     wait_for(|| b.counters().requests_accepted == 1);
@@ -433,7 +561,8 @@ fn loopback_put_to_self() {
 
     let (_, _, eq, buf) = listen(&a, 0, MatchCriteria::any(), 64);
     let md = a.md_bind(MdSpec::new(iobuf(b"self".to_vec()))).unwrap();
-    a.put(md, AckRequest::NoAck, a.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, a.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
     let ev = a.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
     assert_eq!(&buf.lock()[..4], b"self");
@@ -451,7 +580,16 @@ fn multiple_processes_per_node_demux() {
     let (_, _, eq2, buf2) = listen(&b2, 0, MatchCriteria::any(), 64);
 
     let md = a.md_bind(MdSpec::new(iobuf(b"to-pid-2".to_vec()))).unwrap();
-    a.put(md, AckRequest::NoAck, ProcessId::new(1, 2), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(
+        md,
+        AckRequest::NoAck,
+        ProcessId::new(1, 2),
+        0,
+        0,
+        MatchBits::ZERO,
+        0,
+    )
+    .unwrap();
     let ev = b2.eq_poll(eq2, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
     assert_eq!(&buf2.lock()[..8], b"to-pid-2");
@@ -467,20 +605,25 @@ fn managed_offset_packs_messages_back_to_back() {
     let b = default_ni(&nb);
 
     let eq = b.eq_alloc(8).unwrap();
-    let me = b.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back).unwrap();
+    let me = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
     let slab = iobuf(vec![0u8; 64]);
     b.md_attach(
         me,
-        MdSpec::new(slab.clone()).with_eq(eq).with_options(MdOptions {
-            manage_local_offset: true,
-            ..Default::default()
-        }),
+        MdSpec::new(slab.clone())
+            .with_eq(eq)
+            .with_options(MdOptions {
+                manage_local_offset: true,
+                ..Default::default()
+            }),
     )
     .unwrap();
 
     for chunk in [b"aaaa".as_slice(), b"bb", b"cccccc"] {
         let md = a.md_bind(MdSpec::new(iobuf(chunk.to_vec()))).unwrap();
-        a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+        a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+            .unwrap();
     }
     let offs: Vec<(u64, u64)> = (0..3)
         .map(|_| {
@@ -510,11 +653,16 @@ fn works_over_lossy_timed_fabric() {
     let (_, _, eq, buf) = listen(&b, 0, MatchCriteria::any(), 100_000);
     let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
     let md = a.md_bind(MdSpec::new(iobuf(payload.clone()))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
 
     let ev = b.eq_poll(eq, Duration::from_secs(30)).unwrap();
     assert_eq!(ev.mlength as usize, payload.len());
-    assert_eq!(&buf.lock()[..], &payload[..], "payload intact despite 20% loss");
+    assert_eq!(
+        &buf.lock()[..],
+        &payload[..],
+        "payload intact despite 20% loss"
+    );
 }
 
 #[test]
@@ -524,9 +672,18 @@ fn handle_misuse_is_rejected() {
     let a = default_ni(&na);
 
     // Unknown handles.
-    assert_eq!(a.eq_get(portals_types::Handle::NONE), Err(PtlError::InvalidEq));
-    assert_eq!(a.md_unlink(portals_types::Handle::NONE), Err(PtlError::InvalidMd));
-    assert_eq!(a.me_unlink(portals_types::Handle::NONE), Err(PtlError::InvalidMe));
+    assert_eq!(
+        a.eq_get(portals_types::Handle::NONE),
+        Err(PtlError::InvalidEq)
+    );
+    assert_eq!(
+        a.md_unlink(portals_types::Handle::NONE),
+        Err(PtlError::InvalidMd)
+    );
+    assert_eq!(
+        a.me_unlink(portals_types::Handle::NONE),
+        Err(PtlError::InvalidMe)
+    );
 
     // me_attach to a bad portal.
     let r = a.me_attach(
@@ -540,7 +697,15 @@ fn handle_misuse_is_rejected() {
 
     // Put to a wildcard target.
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
-    let r = a.put(md, AckRequest::NoAck, ProcessId::ANY, 0, 0, MatchBits::ZERO, 0);
+    let r = a.put(
+        md,
+        AckRequest::NoAck,
+        ProcessId::ANY,
+        0,
+        0,
+        MatchBits::ZERO,
+        0,
+    );
     assert_eq!(r.err(), Some(PtlError::InvalidProcess));
 
     // Duplicate pid on the node.
@@ -552,7 +717,13 @@ fn limits_exhaustion_returns_no_space() {
     let fabric = Fabric::ideal();
     let na = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
     let a = na
-        .create_ni(1, NiConfig { limits: portals_types::NiLimits::TINY, ..Default::default() })
+        .create_ni(
+            1,
+            NiConfig {
+                limits: portals_types::NiLimits::TINY,
+                ..Default::default()
+            },
+        )
         .unwrap();
 
     // Exhaust event queues (TINY allows 2).
@@ -562,7 +733,8 @@ fn limits_exhaustion_returns_no_space() {
 
     // Exhaust match entries (TINY allows 8).
     for _ in 0..8 {
-        a.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back).unwrap();
+        a.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+            .unwrap();
     }
     let r = a.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back);
     assert_eq!(r.err(), Some(PtlError::NoSpace));
@@ -578,7 +750,9 @@ fn reply_eq_full_drops_reply() {
 
     // EQ of capacity 1; the Sent event fills it before the reply arrives.
     let aeq = a.eq_alloc(1).unwrap();
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 16])).with_eq(aeq)).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(iobuf(vec![0u8; 16])).with_eq(aeq))
+        .unwrap();
     a.get(md, b.id(), 0, 0, MatchBits::ZERO, 0, 16).unwrap();
 
     wait_for(|| a.counters().dropped(DropReason::ReplyEqFull) == 1);
@@ -594,21 +768,26 @@ fn md_update_is_refused_while_events_pend() {
     let (_, target_md, eq, _) = listen(&b, 0, MatchCriteria::any(), 64);
 
     // Nothing pending: update succeeds.
-    b.md_update(target_md, Some(eq), |md| md.threshold = Threshold::Count(5)).unwrap();
+    b.md_update(target_md, Some(eq), |md| md.threshold = Threshold::Count(5))
+        .unwrap();
 
     // Land a put; its event makes the conditional update refuse.
     let md = a.md_bind(MdSpec::new(iobuf(vec![1u8; 4]))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
     wait_for(|| b.eq_len(eq).unwrap() == 1);
     assert_eq!(
-        b.md_update(target_md, Some(eq), |md| md.threshold = Threshold::Count(9)).err(),
+        b.md_update(target_md, Some(eq), |md| md.threshold = Threshold::Count(9))
+            .err(),
         Some(PtlError::NoUpdate)
     );
     // Unconditional update still works; consuming the event re-enables the
     // conditional form.
-    b.md_update(target_md, None, |md| md.local_offset = 0).unwrap();
+    b.md_update(target_md, None, |md| md.local_offset = 0)
+        .unwrap();
     let _ = b.eq_get(eq).unwrap();
-    b.md_update(target_md, Some(eq), |md| md.threshold = Threshold::Count(9)).unwrap();
+    b.md_update(target_md, Some(eq), |md| md.threshold = Threshold::Count(9))
+        .unwrap();
 }
 
 #[test]
@@ -621,7 +800,9 @@ fn min_free_slab_rotation_end_to_end() {
     // A 64-byte slab that rotates when fewer than 32 bytes remain, with a
     // second slab behind it on the same match entry.
     let eq = b.eq_alloc(16).unwrap();
-    let me = b.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back).unwrap();
+    let me = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
     let slab_opts = MdOptions {
         manage_local_offset: true,
         min_free: 32,
@@ -629,21 +810,40 @@ fn min_free_slab_rotation_end_to_end() {
     };
     let slab1 = iobuf(vec![0u8; 64]);
     let slab2 = iobuf(vec![0u8; 64]);
-    b.md_attach(me, MdSpec::new(slab1.clone()).with_eq(eq).with_options(slab_opts)).unwrap();
-    b.md_attach(me, MdSpec::new(slab2.clone()).with_eq(eq).with_options(slab_opts)).unwrap();
+    b.md_attach(
+        me,
+        MdSpec::new(slab1.clone())
+            .with_eq(eq)
+            .with_options(slab_opts),
+    )
+    .unwrap();
+    b.md_attach(
+        me,
+        MdSpec::new(slab2.clone())
+            .with_eq(eq)
+            .with_options(slab_opts),
+    )
+    .unwrap();
 
     // 40 bytes into slab1 → 24 remain < 32 → slab1 unlinks; next message goes
     // to slab2.
     for payload in [vec![b'x'; 40], vec![b'y'; 20]] {
         let md = a.md_bind(MdSpec::new(iobuf(payload))).unwrap();
-        a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+        a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+            .unwrap();
     }
     let first = b.eq_poll(eq, TIMEOUT).unwrap();
-    assert_eq!((first.kind, first.mlength, first.offset), (EventKind::Put, 40, 0));
+    assert_eq!(
+        (first.kind, first.mlength, first.offset),
+        (EventKind::Put, 40, 0)
+    );
     let unlink = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(unlink.kind, EventKind::Unlink);
     let second = b.eq_poll(eq, TIMEOUT).unwrap();
-    assert_eq!((second.kind, second.mlength, second.offset), (EventKind::Put, 20, 0));
+    assert_eq!(
+        (second.kind, second.mlength, second.offset),
+        (EventKind::Put, 20, 0)
+    );
     assert_eq!(&slab1.lock()[..40], &vec![b'x'; 40][..]);
     assert_eq!(&slab2.lock()[..20], &vec![b'y'; 20][..]);
 }
@@ -653,17 +853,33 @@ fn max_message_size_enforced_at_initiator() {
     let fabric = Fabric::ideal();
     let na = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
     let a = na
-        .create_ni(1, NiConfig { limits: portals_types::NiLimits::TINY, ..Default::default() })
+        .create_ni(
+            1,
+            NiConfig {
+                limits: portals_types::NiLimits::TINY,
+                ..Default::default()
+            },
+        )
         .unwrap();
     // TINY allows 4 KiB; an 8 KiB put/get must be refused locally.
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8192]))).unwrap();
     assert_eq!(
-        a.put(md, AckRequest::NoAck, ProcessId::new(0, 1), 0, 0, MatchBits::ZERO, 0).err(),
+        a.put(
+            md,
+            AckRequest::NoAck,
+            ProcessId::new(0, 1),
+            0,
+            0,
+            MatchBits::ZERO,
+            0
+        )
+        .err(),
         Some(PtlError::LimitExceeded)
     );
     let md2 = a.md_bind(MdSpec::new(iobuf(vec![0u8; 16]))).unwrap();
     assert_eq!(
-        a.get(md2, ProcessId::new(0, 1), 0, 0, MatchBits::ZERO, 0, 8192).err(),
+        a.get(md2, ProcessId::new(0, 1), 0, 0, MatchBits::ZERO, 0, 8192)
+            .err(),
         Some(PtlError::LimitExceeded)
     );
 }
@@ -679,16 +895,18 @@ fn scattered_md_receives_put_across_segments() {
     // Target region = three separate 8-byte buffers (e.g. strided rows).
     let rows: Vec<portals::IoBuf> = (0..3).map(|_| iobuf(vec![0u8; 8])).collect();
     let eq = b.eq_alloc(8).unwrap();
-    let me = b.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back).unwrap();
+    let me = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
     b.md_attach(
         me,
-        MdSpec::scattered(rows.iter().map(|r| Segment::new(r.clone(), 0, 8)).collect())
-            .with_eq(eq),
+        MdSpec::scattered(rows.iter().map(|r| Segment::new(r.clone(), 0, 8)).collect()).with_eq(eq),
     )
     .unwrap();
 
     let md = a.md_bind(MdSpec::new(iobuf((0u8..20).collect()))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 2).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 2)
+        .unwrap();
     let ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!((ev.mlength, ev.offset), (20, 2));
     // Offset 2 → bytes 0..6 land in row0[2..8], 6..14 in row1, 14..20 in row2[..6].
@@ -707,13 +925,12 @@ fn get_gathers_from_scattered_source() {
 
     let left = iobuf(b"gather".to_vec());
     let right = iobuf(b"scatter".to_vec());
-    let me = b.me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back).unwrap();
+    let me = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
     b.md_attach(
         me,
-        MdSpec::scattered(vec![
-            Segment::new(left, 0, 6),
-            Segment::new(right, 0, 7),
-        ]),
+        MdSpec::scattered(vec![Segment::new(left, 0, 6), Segment::new(right, 0, 7)]),
     )
     .unwrap();
 
@@ -731,7 +948,10 @@ fn get_gathers_from_scattered_source() {
 fn wait_for(cond: impl Fn() -> bool) {
     let deadline = std::time::Instant::now() + TIMEOUT;
     while !cond() {
-        assert!(std::time::Instant::now() < deadline, "condition not reached in time");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "condition not reached in time"
+        );
         std::thread::sleep(Duration::from_millis(1));
     }
 }

@@ -83,7 +83,11 @@ pub struct Collectives {
 impl Collectives {
     /// Bind to a communicator with default algorithms.
     pub fn new(comm: Communicator) -> Collectives {
-        Collectives { comm, allreduce_algo: Default::default(), allgather_algo: Default::default() }
+        Collectives {
+            comm,
+            allreduce_algo: Default::default(),
+            allgather_algo: Default::default(),
+        }
     }
 
     /// The underlying communicator.
@@ -112,9 +116,14 @@ impl Collectives {
 
     fn recv_from(&self, from: usize, tag: u32, cap: usize) -> Vec<u8> {
         let buf = iobuf(vec![0u8; cap]);
-        let req = self.comm.irecv_reserved(Rank(from as u32), tag, buf.clone());
+        let req = self
+            .comm
+            .irecv_reserved(Rank(from as u32), tag, buf.clone());
         let st = self.comm.wait(req).status().expect("collective recv");
-        assert!(!st.truncated, "collective message truncated: peers disagree on sizes");
+        assert!(
+            !st.truncated,
+            "collective message truncated: peers disagree on sizes"
+        );
         let out = buf.lock()[..st.len].to_vec();
         out
     }
@@ -230,7 +239,9 @@ impl Collectives {
             let partner = me ^ mask;
             // Exchange simultaneously: post the receive, send, wait both.
             let buf = iobuf(vec![0u8; data.len() * 8]);
-            let rreq = self.comm.irecv_reserved(Rank(partner as u32), TAG_ALLRED_STEP, buf.clone());
+            let rreq = self
+                .comm
+                .irecv_reserved(Rank(partner as u32), TAG_ALLRED_STEP, buf.clone());
             let sreq = self.isend_to(partner, TAG_ALLRED_STEP, &encode_f64(data));
             let st = self.comm.wait(rreq).status().expect("allreduce step");
             self.comm.wait(sreq);
@@ -306,7 +317,9 @@ impl Collectives {
             let send_block = (me + n - step) % n;
             let recv_block = (me + n - step - 1) % n;
             let buf = iobuf(vec![0u8; mine.len()]);
-            let rreq = self.comm.irecv_reserved(Rank(left as u32), TAG_ALLGATHER, buf.clone());
+            let rreq = self
+                .comm
+                .irecv_reserved(Rank(left as u32), TAG_ALLGATHER, buf.clone());
             let sreq = self.isend_to(right, TAG_ALLGATHER, &out[send_block]);
             let st = self.comm.wait(rreq).status().expect("allgather ring");
             self.comm.wait(sreq);
@@ -324,10 +337,18 @@ impl Collectives {
         let bufs: Vec<_> = (0..n).map(|_| iobuf(vec![0u8; mine.len()])).collect();
         let rreqs: Vec<(usize, Request)> = (0..n)
             .filter(|&r| r != me)
-            .map(|r| (r, self.comm.irecv_reserved(Rank(r as u32), TAG_ALLGATHER, bufs[r].clone())))
+            .map(|r| {
+                (
+                    r,
+                    self.comm
+                        .irecv_reserved(Rank(r as u32), TAG_ALLGATHER, bufs[r].clone()),
+                )
+            })
             .collect();
-        let sreqs: Vec<Request> =
-            (0..n).filter(|&r| r != me).map(|r| self.isend_to(r, TAG_ALLGATHER, mine)).collect();
+        let sreqs: Vec<Request> = (0..n)
+            .filter(|&r| r != me)
+            .map(|r| self.isend_to(r, TAG_ALLGATHER, mine))
+            .collect();
         for (r, req) in rreqs {
             let st = self.comm.wait(req).status().expect("allgather linear");
             out[r] = bufs[r].lock()[..st.len].to_vec();
@@ -349,7 +370,13 @@ impl Collectives {
         let bufs: Vec<_> = (0..n).map(|_| iobuf(vec![0u8; cap])).collect();
         let rreqs: Vec<(usize, Request)> = (0..n)
             .filter(|&r| r != me)
-            .map(|r| (r, self.comm.irecv_reserved(Rank(r as u32), TAG_ALLTOALL, bufs[r].clone())))
+            .map(|r| {
+                (
+                    r,
+                    self.comm
+                        .irecv_reserved(Rank(r as u32), TAG_ALLTOALL, bufs[r].clone()),
+                )
+            })
             .collect();
         let sreqs: Vec<Request> = (0..n)
             .filter(|&r| r != me)
@@ -379,7 +406,10 @@ pub fn encode_f64(data: &[f64]) -> Vec<u8> {
 /// Unpack little-endian f64s.
 pub fn decode_f64(bytes: &[u8]) -> Vec<f64> {
     assert_eq!(bytes.len() % 8, 0, "f64 payload must be 8-byte aligned");
-    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("chunk"))).collect()
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk")))
+        .collect()
 }
 
 #[cfg(test)]

@@ -104,10 +104,19 @@ impl Control {
         let u64_at = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("slice"));
         match buf[0] {
             1 => Some(Control::Register { nid: u32_at(8) }),
-            2 => Some(Control::StartJob { job: u32_at(8), nranks: u32_at(12) }),
-            3 => Some(Control::Started { job: u32_at(8), nid: u32_at(12) }),
+            2 => Some(Control::StartJob {
+                job: u32_at(8),
+                nranks: u32_at(12),
+            }),
+            3 => Some(Control::Started {
+                job: u32_at(8),
+                nid: u32_at(12),
+            }),
             4 => Some(Control::KillJob { job: u32_at(8) }),
-            5 => Some(Control::Heartbeat { nid: u32_at(8), seq: u64_at(16) }),
+            5 => Some(Control::Heartbeat {
+                nid: u32_at(8),
+                seq: u64_at(16),
+            }),
             _ => None,
         }
     }
@@ -123,22 +132,34 @@ fn attach_slab(
     let buf = iobuf(vec![0u8; RECORD_SIZE * SLAB_RECORDS]);
     let md = ni.md_attach(
         me,
-        MdSpec::new(buf.clone()).with_eq(eq).with_options(MdOptions {
-            op_put: true,
-            op_get: false,
-            truncate: true,
-            manage_local_offset: true,
-            unlink_on_exhaustion: false,
-            min_free: RECORD_SIZE,
-        }),
+        MdSpec::new(buf.clone())
+            .with_eq(eq)
+            .with_options(MdOptions {
+                op_put: true,
+                op_get: false,
+                truncate: true,
+                manage_local_offset: true,
+                unlink_on_exhaustion: false,
+                min_free: RECORD_SIZE,
+            }),
     )?;
     slabs.lock().insert(md, buf);
     Ok(())
 }
 
 fn send_record(ni: &NetworkInterface, to: ProcessId, portal: u32, record: Control) {
-    let md = ni.md_bind(MdSpec::new(iobuf(record.encode()))).expect("bind control md");
-    let _ = ni.put(md, AckRequest::NoAck, to, portal, 1 /* system ACL entry */, MatchBits::ZERO, 0);
+    let md = ni
+        .md_bind(MdSpec::new(iobuf(record.encode())))
+        .expect("bind control md");
+    let _ = ni.put(
+        md,
+        AckRequest::NoAck,
+        to,
+        portal,
+        1, /* system ACL entry */
+        MatchBits::ZERO,
+        0,
+    );
     let _ = ni.md_unlink(md);
 }
 
@@ -174,8 +195,13 @@ impl Launcher {
     /// Start a launcher on `ni` (a system process).
     pub fn start(ni: NetworkInterface, heartbeat_timeout: Duration) -> PtlResult<Launcher> {
         let eq = ni.eq_alloc(4096)?;
-        let slab_me =
-            ni.me_attach(PT_LAUNCHER, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
+        let slab_me = ni.me_attach(
+            PT_LAUNCHER,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            false,
+            MePos::Back,
+        )?;
         let inner = Arc::new(LauncherInner {
             ni,
             eq,
@@ -194,7 +220,10 @@ impl Launcher {
                 .spawn(move || launcher_loop(inner))
                 .expect("spawn launcher")
         };
-        Ok(Launcher { inner, thread: Some(thread) })
+        Ok(Launcher {
+            inner,
+            thread: Some(thread),
+        })
     }
 
     /// The launcher's process id (managers address this).
@@ -204,7 +233,12 @@ impl Launcher {
 
     /// Nodes currently registered, with their states.
     pub fn nodes(&self) -> Vec<(u32, NodeState)> {
-        self.inner.managers.lock().iter().map(|(nid, (_, _, st))| (*nid, *st)).collect()
+        self.inner
+            .managers
+            .lock()
+            .iter()
+            .map(|(nid, (_, _, st))| (*nid, *st))
+            .collect()
     }
 
     /// Nodes that acknowledged the start of `job`.
@@ -222,7 +256,12 @@ impl Launcher {
     pub fn start_job(&self, job: u32, nranks: u32) {
         let managers = self.inner.managers.lock();
         for (pid, _, _) in managers.values() {
-            send_record(&self.inner.ni, *pid, PT_MANAGER, Control::StartJob { job, nranks });
+            send_record(
+                &self.inner.ni,
+                *pid,
+                PT_MANAGER,
+                Control::StartJob { job, nranks },
+            );
         }
     }
 
@@ -248,7 +287,9 @@ fn launcher_loop(inner: Arc<LauncherInner>) {
     while !inner.stop.load(Ordering::Relaxed) {
         match inner.ni.eq_poll(inner.eq, Duration::from_millis(10)) {
             Ok(ev) if ev.kind == EventKind::Put => {
-                let Some(buf) = inner.slabs.lock().get(&ev.md).cloned() else { continue };
+                let Some(buf) = inner.slabs.lock().get(&ev.md).cloned() else {
+                    continue;
+                };
                 let record = {
                     let b = buf.lock();
                     let at = ev.offset as usize;
@@ -273,10 +314,11 @@ fn launcher_loop(inner: Arc<LauncherInner>) {
                     _ => {}
                 }
             }
-            Ok(ev) if ev.kind == EventKind::Unlink
-                && inner.slabs.lock().remove(&ev.md).is_some() => {
-                    let _ = attach_slab(&inner.ni, inner.slab_me, inner.eq, &inner.slabs);
-                }
+            Ok(ev)
+                if ev.kind == EventKind::Unlink && inner.slabs.lock().remove(&ev.md).is_some() =>
+            {
+                let _ = attach_slab(&inner.ni, inner.slab_me, inner.eq, &inner.slabs);
+            }
             _ => {}
         }
         // Failure detection sweep.
@@ -317,8 +359,13 @@ impl ProcessManager {
     ) -> PtlResult<ProcessManager> {
         let nid = ni.id().nid.0;
         let eq = ni.eq_alloc(1024)?;
-        let slab_me =
-            ni.me_attach(PT_MANAGER, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)?;
+        let slab_me = ni.me_attach(
+            PT_MANAGER,
+            ProcessId::ANY,
+            MatchCriteria::any(),
+            false,
+            MePos::Back,
+        )?;
         let inner = Arc::new(ManagerInner {
             ni,
             eq,
@@ -339,7 +386,10 @@ impl ProcessManager {
                 .spawn(move || manager_loop(inner))
                 .expect("spawn manager")
         };
-        Ok(ProcessManager { inner, thread: Some(thread) })
+        Ok(ProcessManager {
+            inner,
+            thread: Some(thread),
+        })
     }
 
     /// Jobs this manager currently considers running.
@@ -367,13 +417,18 @@ fn manager_loop(inner: Arc<ManagerInner>) {
                 &inner.ni,
                 inner.launcher,
                 PT_LAUNCHER,
-                Control::Heartbeat { nid: inner.nid, seq },
+                Control::Heartbeat {
+                    nid: inner.nid,
+                    seq,
+                },
             );
             last_beat = Instant::now();
         }
         match inner.ni.eq_poll(inner.eq, inner.heartbeat_every / 4) {
             Ok(ev) if ev.kind == EventKind::Put => {
-                let Some(buf) = inner.slabs.lock().get(&ev.md).cloned() else { continue };
+                let Some(buf) = inner.slabs.lock().get(&ev.md).cloned() else {
+                    continue;
+                };
                 let record = {
                     let b = buf.lock();
                     let at = ev.offset as usize;
@@ -386,7 +441,10 @@ fn manager_loop(inner: Arc<ManagerInner>) {
                             &inner.ni,
                             inner.launcher,
                             PT_LAUNCHER,
-                            Control::Started { job, nid: inner.nid },
+                            Control::Started {
+                                job,
+                                nid: inner.nid,
+                            },
                         );
                     }
                     Some(Control::KillJob { job }) => {
@@ -395,10 +453,11 @@ fn manager_loop(inner: Arc<ManagerInner>) {
                     _ => {}
                 }
             }
-            Ok(ev) if ev.kind == EventKind::Unlink
-                && inner.slabs.lock().remove(&ev.md).is_some() => {
-                    let _ = attach_slab(&inner.ni, inner.slab_me, inner.eq, &inner.slabs);
-                }
+            Ok(ev)
+                if ev.kind == EventKind::Unlink && inner.slabs.lock().remove(&ev.md).is_some() =>
+            {
+                let _ = attach_slab(&inner.ni, inner.slab_me, inner.eq, &inner.slabs);
+            }
             _ => {}
         }
     }
@@ -412,7 +471,10 @@ mod tests {
     fn control_records_roundtrip() {
         for c in [
             Control::Register { nid: 7 },
-            Control::StartJob { job: 3, nranks: 128 },
+            Control::StartJob {
+                job: 3,
+                nranks: 128,
+            },
             Control::Started { job: 3, nid: 7 },
             Control::KillJob { job: 3 },
             Control::Heartbeat { nid: 7, seq: 99 },

@@ -65,7 +65,11 @@ impl Default for JobDirectory {
 
 impl ProcessDirectory for JobDirectory {
     fn classify(&self, id: ProcessId) -> UserId {
-        self.entries.read().get(&id).copied().unwrap_or(self.default)
+        self.entries
+            .read()
+            .get(&id)
+            .copied()
+            .unwrap_or(self.default)
     }
 }
 
@@ -83,7 +87,10 @@ mod tests {
         assert_eq!(dir.classify(p1), UserId::Application(7));
         assert_eq!(dir.classify(p2), UserId::System);
         // Unknown processes match no real job.
-        assert_eq!(dir.classify(ProcessId::new(9, 9)), UserId::Application(u32::MAX));
+        assert_eq!(
+            dir.classify(ProcessId::new(9, 9)),
+            UserId::Application(u32::MAX)
+        );
     }
 
     #[test]

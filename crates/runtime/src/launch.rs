@@ -151,14 +151,21 @@ impl Job {
                         },
                     )
                     .expect("create ni");
-                let mpi = Mpi::init(ni, ranks.clone(), Rank(r as u32), config.mpi)
-                    .expect("mpi init");
+                let mpi =
+                    Mpi::init(ni, ranks.clone(), Rank(r as u32), config.mpi).expect("mpi init");
                 let comm = mpi.world();
                 ProcessEnv { comm, mpi, node }
             })
             .collect();
 
-        (Job { fabric, nodes, directory }, envs)
+        (
+            Job {
+                fabric,
+                nodes,
+                directory,
+            },
+            envs,
+        )
     }
 
     /// The job's fabric (for stats or fault injection mid-run).
@@ -205,7 +212,10 @@ mod tests {
 
     #[test]
     fn multiple_processes_per_node() {
-        let cfg = JobConfig { procs_per_node: 2, ..Default::default() };
+        let cfg = JobConfig {
+            procs_per_node: 2,
+            ..Default::default()
+        };
         Job::launch(4, cfg, |env| {
             // Ranks 0,1 share node 0; 2,3 share node 1.
             let me = env.comm.rank().0;

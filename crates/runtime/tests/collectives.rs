@@ -46,7 +46,10 @@ fn reduce_sums_at_root() {
 
 #[test]
 fn allreduce_both_algorithms_agree() {
-    for algo in [AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::ReduceBroadcast] {
+    for algo in [
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::ReduceBroadcast,
+    ] {
         for n in sizes() {
             Job::launch(n, JobConfig::default(), move |env| {
                 let mut coll = Collectives::new(env.comm.clone());
@@ -129,8 +132,9 @@ fn alltoall_personalizes_exchange() {
             let coll = Collectives::new(env.comm.clone());
             let me = env.rank().0 as u8;
             // Part for rank r encodes (me, r).
-            let parts: Vec<Vec<u8>> =
-                (0..env.size()).map(|r| vec![me, r as u8, me ^ r as u8]).collect();
+            let parts: Vec<Vec<u8>> = (0..env.size())
+                .map(|r| vec![me, r as u8, me ^ r as u8])
+                .collect();
             let out = coll.alltoall(&parts);
             for (r, part) in out.iter().enumerate() {
                 assert_eq!(part, &vec![r as u8, me, r as u8 ^ me], "from rank {r}");
@@ -159,7 +163,10 @@ fn consecutive_collectives_do_not_cross_talk() {
 #[test]
 fn collectives_work_host_driven() {
     use portals::ProgressModel;
-    let cfg = JobConfig { progress: ProgressModel::HostDriven, ..Default::default() };
+    let cfg = JobConfig {
+        progress: ProgressModel::HostDriven,
+        ..Default::default()
+    };
     Job::launch(3, cfg, |env| {
         let coll = Collectives::new(env.comm.clone());
         let mut v = vec![1.0f64; 4];

@@ -32,7 +32,10 @@ fn control_world(nmanagers: usize) -> (Launcher, Vec<ProcessManager>, Vec<Node>,
     let mk_node = |nid: u32| {
         Node::new(
             fabric.attach(NodeId(nid)),
-            NodeConfig { directory: Some(directory.clone()), ..Default::default() },
+            NodeConfig {
+                directory: Some(directory.clone()),
+                ..Default::default()
+            },
         )
     };
     let launcher_node = mk_node(0);
@@ -65,7 +68,10 @@ fn managers_register_and_beacon() {
     wait_until("all managers registered", || launcher.nodes().len() == 3);
     std::thread::sleep(Duration::from_millis(150));
     assert!(
-        launcher.nodes().iter().all(|(_, st)| *st == NodeState::Alive),
+        launcher
+            .nodes()
+            .iter()
+            .all(|(_, st)| *st == NodeState::Alive),
         "steady heartbeats keep every node alive: {:?}",
         launcher.nodes()
     );
@@ -93,7 +99,10 @@ fn dead_node_is_detected_by_missed_heartbeats() {
     // Cut node 2 off; its beacons stop arriving.
     fabric.partition(NodeId(2), NodeId(0));
     wait_until("node 2 suspected", || {
-        launcher.nodes().iter().any(|(nid, st)| *nid == 2 && *st == NodeState::Suspect)
+        launcher
+            .nodes()
+            .iter()
+            .any(|(nid, st)| *nid == 2 && *st == NodeState::Suspect)
     });
     // Node 1 stays alive through it.
     assert!(launcher
@@ -103,6 +112,9 @@ fn dead_node_is_detected_by_missed_heartbeats() {
     // Healing the partition revives node 2 on the next beacon.
     fabric.heal(NodeId(2), NodeId(0));
     wait_until("node 2 recovered", || {
-        launcher.nodes().iter().any(|(nid, st)| *nid == 2 && *st == NodeState::Alive)
+        launcher
+            .nodes()
+            .iter()
+            .any(|(nid, st)| *nid == 2 && *st == NodeState::Alive)
     });
 }

@@ -17,6 +17,12 @@ pub struct TransportConfig {
     /// *stalled* in the stats (retransmission continues regardless; see the
     /// crate docs for why the transport never gives up).
     pub stall_retries: u32,
+    /// Maximum inbound datagrams the worker drains per wakeup. Within one
+    /// batch at most one cumulative ACK is sent per source (the later
+    /// cumulative subsumes the earlier). `1` disables both batching and
+    /// coalescing — the pre-batching per-packet-ack behaviour, kept as a
+    /// runtime ablation.
+    pub recv_batch: usize,
 }
 
 impl TransportConfig {
@@ -36,6 +42,7 @@ impl Default for TransportConfig {
             window: 64,
             rto_base: Duration::from_millis(20),
             stall_retries: 10,
+            recv_batch: 64,
         }
     }
 }
@@ -46,7 +53,10 @@ mod tests {
 
     #[test]
     fn backoff_doubles_and_caps() {
-        let cfg = TransportConfig { rto_base: Duration::from_millis(10), ..Default::default() };
+        let cfg = TransportConfig {
+            rto_base: Duration::from_millis(10),
+            ..Default::default()
+        };
         assert_eq!(cfg.rto_after(0), Duration::from_millis(10));
         assert_eq!(cfg.rto_after(1), Duration::from_millis(20));
         assert_eq!(cfg.rto_after(3), Duration::from_millis(80));

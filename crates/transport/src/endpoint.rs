@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn large_message_fragments_and_reassembles() {
         let fabric = Fabric::ideal();
-        let cfg = TransportConfig { mtu: 1024, ..Default::default() };
+        let cfg = TransportConfig {
+            mtu: 1024,
+            ..Default::default()
+        };
         let (a, b) = pair(&fabric, cfg);
         let payload: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
         a.send(NodeId(1), Bytes::from(payload.clone()));
@@ -225,8 +228,14 @@ mod tests {
             b.send(NodeId(0), Bytes::from(vec![100 + i]));
         }
         for i in 0..50u8 {
-            assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap().payload[0], i);
-            assert_eq!(a.recv_timeout(Duration::from_secs(5)).unwrap().payload[0], 100 + i);
+            assert_eq!(
+                b.recv_timeout(Duration::from_secs(5)).unwrap().payload[0],
+                i
+            );
+            assert_eq!(
+                a.recv_timeout(Duration::from_secs(5)).unwrap().payload[0],
+                100 + i
+            );
         }
     }
 
@@ -252,10 +261,15 @@ mod tests {
             a.send(NodeId(1), Bytes::from(payload.clone()));
         }
         for _ in 0..5 {
-            let m = b.recv_timeout(Duration::from_secs(30)).expect("lossy delivery");
+            let m = b
+                .recv_timeout(Duration::from_secs(30))
+                .expect("lossy delivery");
             assert_eq!(&m.payload[..], &payload[..]);
         }
-        assert!(a.stats().retransmissions > 0, "loss must have forced retransmissions");
+        assert!(
+            a.stats().retransmissions > 0,
+            "loss must have forced retransmissions"
+        );
     }
 
     #[test]
@@ -283,7 +297,9 @@ mod tests {
             a.send(NodeId(1), Bytes::from(vec![i as u8; 700]));
         }
         for i in 0..50u32 {
-            let m = b.recv_timeout(Duration::from_secs(30)).expect("delivery under faults");
+            let m = b
+                .recv_timeout(Duration::from_secs(30))
+                .expect("delivery under faults");
             assert_eq!(m.payload[0], i as u8, "messages must stay ordered");
             assert_eq!(m.payload.len(), 700);
         }
@@ -297,13 +313,18 @@ mod tests {
             per_packet_overhead: Duration::ZERO,
         });
         let fabric = Fabric::new(cfg);
-        let tcfg = TransportConfig { rto_base: Duration::from_millis(5), ..Default::default() };
+        let tcfg = TransportConfig {
+            rto_base: Duration::from_millis(5),
+            ..Default::default()
+        };
         let (a, b) = pair(&fabric, tcfg);
         fabric.partition(NodeId(0), NodeId(1));
         a.send(NodeId(1), Bytes::from_static(b"delayed"));
         assert!(b.recv_timeout(Duration::from_millis(50)).is_none());
         fabric.heal(NodeId(0), NodeId(1));
-        let m = b.recv_timeout(Duration::from_secs(10)).expect("delivery after heal");
+        let m = b
+            .recv_timeout(Duration::from_secs(10))
+            .expect("delivery after heal");
         assert_eq!(&m.payload[..], b"delayed");
     }
 
@@ -327,10 +348,16 @@ mod tests {
     fn window_backpressure_does_not_deadlock() {
         // Window of 2 with many fragments: pending queue must drain via acks.
         let fabric = Fabric::ideal();
-        let tcfg = TransportConfig { mtu: 64, window: 2, ..Default::default() };
+        let tcfg = TransportConfig {
+            mtu: 64,
+            window: 2,
+            ..Default::default()
+        };
         let (a, b) = pair(&fabric, tcfg);
         a.send(NodeId(1), Bytes::from(vec![9u8; 64 * 50]));
-        let m = b.recv_timeout(Duration::from_secs(10)).expect("windowed message");
+        let m = b
+            .recv_timeout(Duration::from_secs(10))
+            .expect("windowed message");
         assert_eq!(m.payload.len(), 64 * 50);
     }
 
@@ -370,9 +397,63 @@ mod tests {
         a.send(NodeId(1), Bytes::from_static(b"patient"));
         std::thread::sleep(Duration::from_millis(30)); // well past the stall
         fabric.heal(NodeId(0), NodeId(1));
-        let m = b.recv_timeout(Duration::from_secs(10)).expect("post-stall delivery");
+        let m = b
+            .recv_timeout(Duration::from_secs(10))
+            .expect("post-stall delivery");
         assert_eq!(&m.payload[..], b"patient");
         assert!(a.flush(Duration::from_secs(5)));
+    }
+
+    /// Pre-load the receiver's inbound channel with `frags` fragments (one
+    /// message) before its worker thread exists, then start the endpoint and
+    /// return its stats after delivery. Deterministic: the first wakeup sees
+    /// the whole burst already queued.
+    fn burst_then_start_receiver(cfg: TransportConfig, frags: u64) -> TransportStatsSnapshot {
+        let fabric = Fabric::ideal();
+        let rx_nic = fabric.attach(NodeId(1));
+        let a = Endpoint::new(fabric.attach(NodeId(0)), cfg);
+        a.send(NodeId(1), Bytes::from(vec![5u8; cfg.mtu * frags as usize]));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while fabric.stats().packets_delivered < frags {
+            assert!(std::time::Instant::now() < deadline, "burst never queued");
+            std::thread::yield_now();
+        }
+        let b = Endpoint::new(rx_nic, cfg);
+        let m = b
+            .recv_timeout(Duration::from_secs(5))
+            .expect("burst message");
+        assert_eq!(m.payload.len(), cfg.mtu * frags as usize);
+        assert!(a.flush(Duration::from_secs(5)));
+        b.stats()
+    }
+
+    #[test]
+    fn batched_receiver_coalesces_acks() {
+        let cfg = TransportConfig {
+            mtu: 64,
+            window: 128,
+            recv_batch: 64,
+            ..Default::default()
+        };
+        let sb = burst_then_start_receiver(cfg, 64);
+        // One wakeup drains the entire 64-fragment burst: one cumulative ACK
+        // covers it, the other 63 are subsumed.
+        assert_eq!(sb.acks_sent, 1);
+        assert_eq!(sb.acks_coalesced, 63);
+    }
+
+    #[test]
+    fn recv_batch_one_acks_every_packet() {
+        // The ablation config: per-packet acks, no coalescing.
+        let cfg = TransportConfig {
+            mtu: 64,
+            window: 128,
+            recv_batch: 1,
+            ..Default::default()
+        };
+        let sb = burst_then_start_receiver(cfg, 64);
+        assert_eq!(sb.acks_sent, 64);
+        assert_eq!(sb.acks_coalesced, 0);
     }
 
     #[test]

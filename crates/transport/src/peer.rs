@@ -98,13 +98,23 @@ impl SenderPeer {
     fn admit(&mut self, cfg: &TransportConfig, now: Instant) -> Vec<Bytes> {
         let mut out = Vec::new();
         while self.in_flight.len() < cfg.window {
-            let Some(frag) = self.pending.pop_front() else { break };
+            let Some(frag) = self.pending.pop_front() else {
+                break;
+            };
             let seq = self.next_seq;
             self.next_seq += 1;
-            let encoded =
-                Packet::data(seq, frag.msg_id, frag.frag_index, frag.frag_count, frag.body)
-                    .encode();
-            self.in_flight.push_back(InFlight { seq, encoded: encoded.clone() });
+            let encoded = Packet::data(
+                seq,
+                frag.msg_id,
+                frag.frag_index,
+                frag.frag_count,
+                frag.body,
+            )
+            .encode();
+            self.in_flight.push_back(InFlight {
+                seq,
+                encoded: encoded.clone(),
+            });
             out.push(encoded);
         }
         if !out.is_empty() && self.deadline.is_none() {
@@ -144,7 +154,10 @@ impl SenderPeer {
     pub fn on_timeout(&mut self, cfg: &TransportConfig, now: Instant) -> TimeoutResult {
         if self.in_flight.is_empty() {
             self.deadline = None;
-            return TimeoutResult { resend: Vec::new(), newly_stalled: false };
+            return TimeoutResult {
+                resend: Vec::new(),
+                newly_stalled: false,
+            };
         }
         self.retries = self.retries.saturating_add(1);
         self.deadline = Some(now + cfg.rto_after(self.retries));
@@ -230,7 +243,13 @@ impl ReceiverPeer {
     /// duplicates suppressed; both still elicit an ack so the sender can
     /// resynchronize.
     pub fn on_data(&mut self, header: PacketHeader, body: Bytes) -> RxResult {
-        let PacketHeader::Data { seq, msg_id, frag_index, frag_count } = header else {
+        let PacketHeader::Data {
+            seq,
+            msg_id,
+            frag_index,
+            frag_count,
+        } = header
+        else {
             panic!("on_data called with an ACK header");
         };
         if seq < self.expected {
@@ -253,7 +272,12 @@ impl ReceiverPeer {
 
         // In-order fragment: feed reassembly.
         let delivered = self.accept_fragment(msg_id, frag_index, frag_count, body);
-        RxResult { delivered, ack: self.cumulative(), duplicate: false, out_of_order: false }
+        RxResult {
+            delivered,
+            ack: self.cumulative(),
+            duplicate: false,
+            out_of_order: false,
+        }
     }
 
     fn accept_fragment(
@@ -267,7 +291,11 @@ impl ReceiverPeer {
             // A new message begins; any stale partial is abandoned (cannot
             // happen with a correct sender, but defends against one that was
             // restarted mid-message).
-            self.partial = Some(Partial { msg_id, frag_count, parts: Vec::new() });
+            self.partial = Some(Partial {
+                msg_id,
+                frag_count,
+                parts: Vec::new(),
+            });
         }
         let partial = self.partial.as_mut()?;
         if partial.msg_id != msg_id || frag_index as usize != partial.parts.len() {
@@ -310,6 +338,7 @@ mod tests {
             window: 3,
             rto_base: Duration::from_millis(10),
             stall_retries: 2,
+            recv_batch: 64,
         }
     }
 
@@ -329,7 +358,12 @@ mod tests {
         assert_eq!(pkts.len(), 1);
         assert_eq!(
             pkts[0].header,
-            PacketHeader::Data { seq: 0, msg_id: 0, frag_index: 0, frag_count: 1 }
+            PacketHeader::Data {
+                seq: 0,
+                msg_id: 0,
+                frag_index: 0,
+                frag_count: 1
+            }
         );
         assert_eq!(&pkts[0].body[..], b"hi");
     }
@@ -342,7 +376,12 @@ mod tests {
         let p = Packet::decode(&pkts[0]).unwrap();
         assert_eq!(
             p.header,
-            PacketHeader::Data { seq: 0, msg_id: 0, frag_index: 0, frag_count: 1 }
+            PacketHeader::Data {
+                seq: 0,
+                msg_id: 0,
+                frag_index: 0,
+                frag_count: 1
+            }
         );
         assert!(p.body.is_empty());
     }
@@ -375,7 +414,12 @@ mod tests {
         assert_eq!(released.len(), 1);
         assert_eq!(
             released[0].header,
-            PacketHeader::Data { seq: 3, msg_id: 1, frag_index: 0, frag_count: 1 }
+            PacketHeader::Data {
+                seq: 3,
+                msg_id: 1,
+                frag_index: 0,
+                frag_count: 1
+            }
         );
         assert_eq!(tx.outstanding(), 2); // seq 2 and 3 unacked
     }
@@ -419,7 +463,7 @@ mod tests {
         assert!(r2.newly_stalled); // stall_retries == 2
         let r3 = tx.on_timeout(&c, t);
         assert!(!r3.newly_stalled); // only reported once
-        // Progress resets the stall counter.
+                                    // Progress resets the stall counter.
         tx.on_ack(0, &c, t);
         assert_eq!(tx.retries(), 0);
     }
@@ -436,7 +480,12 @@ mod tests {
     fn receiver_delivers_in_order_single_fragment() {
         let mut rx = ReceiverPeer::new();
         let r = rx.on_data(
-            PacketHeader::Data { seq: 0, msg_id: 0, frag_index: 0, frag_count: 1 },
+            PacketHeader::Data {
+                seq: 0,
+                msg_id: 0,
+                frag_index: 0,
+                frag_count: 1,
+            },
             Bytes::from_static(b"hello"),
         );
         assert_eq!(r.delivered.as_deref(), Some(&b"hello"[..]));
@@ -448,12 +497,22 @@ mod tests {
     fn receiver_reassembles_fragments() {
         let mut rx = ReceiverPeer::new();
         let r0 = rx.on_data(
-            PacketHeader::Data { seq: 0, msg_id: 0, frag_index: 0, frag_count: 2 },
+            PacketHeader::Data {
+                seq: 0,
+                msg_id: 0,
+                frag_index: 0,
+                frag_count: 2,
+            },
             Bytes::from_static(b"hel"),
         );
         assert!(r0.delivered.is_none());
         let r1 = rx.on_data(
-            PacketHeader::Data { seq: 1, msg_id: 0, frag_index: 1, frag_count: 2 },
+            PacketHeader::Data {
+                seq: 1,
+                msg_id: 0,
+                frag_index: 1,
+                frag_count: 2,
+            },
             Bytes::from_static(b"lo"),
         );
         assert_eq!(r1.delivered.as_deref(), Some(&b"hello"[..]));
@@ -464,7 +523,12 @@ mod tests {
     fn receiver_drops_out_of_order_and_reacks() {
         let mut rx = ReceiverPeer::new();
         let r = rx.on_data(
-            PacketHeader::Data { seq: 5, msg_id: 0, frag_index: 0, frag_count: 1 },
+            PacketHeader::Data {
+                seq: 5,
+                msg_id: 0,
+                frag_index: 0,
+                frag_count: 1,
+            },
             Bytes::from_static(b"x"),
         );
         assert!(r.delivered.is_none());
@@ -475,7 +539,12 @@ mod tests {
     #[test]
     fn receiver_suppresses_duplicates() {
         let mut rx = ReceiverPeer::new();
-        let h = PacketHeader::Data { seq: 0, msg_id: 0, frag_index: 0, frag_count: 1 };
+        let h = PacketHeader::Data {
+            seq: 0,
+            msg_id: 0,
+            frag_index: 0,
+            frag_count: 1,
+        };
         let first = rx.on_data(h, Bytes::from_static(b"x"));
         assert!(first.delivered.is_some());
         let dup = rx.on_data(h, Bytes::from_static(b"x"));
@@ -534,6 +603,7 @@ mod tests {
                 window: 4,
                 rto_base: Duration::from_millis(1),
                 stall_retries: 100,
+                recv_batch: 64,
             };
             let t = Instant::now();
             let mut tx = SenderPeer::new();

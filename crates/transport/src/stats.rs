@@ -19,6 +19,9 @@ pub struct TransportStats {
     pub out_of_order_dropped: AtomicU64,
     /// ACK packets sent.
     pub acks_sent: AtomicU64,
+    /// ACKs that were *not* sent because a later cumulative ACK to the same
+    /// source in the same receive batch subsumed them.
+    pub acks_coalesced: AtomicU64,
     /// ACK packets received.
     pub acks_received: AtomicU64,
     /// Undecodable packets discarded.
@@ -42,6 +45,7 @@ impl TransportStats {
             duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
             out_of_order_dropped: self.out_of_order_dropped.load(Ordering::Relaxed),
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            acks_coalesced: self.acks_coalesced.load(Ordering::Relaxed),
             acks_received: self.acks_received.load(Ordering::Relaxed),
             garbage_dropped: self.garbage_dropped.load(Ordering::Relaxed),
             peers_stalled: self.peers_stalled.load(Ordering::Relaxed),
@@ -60,6 +64,7 @@ pub struct TransportStatsSnapshot {
     pub duplicates_dropped: u64,
     pub out_of_order_dropped: u64,
     pub acks_sent: u64,
+    pub acks_coalesced: u64,
     pub acks_received: u64,
     pub garbage_dropped: u64,
     pub peers_stalled: u64,

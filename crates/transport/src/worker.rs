@@ -1,5 +1,21 @@
 //! The endpoint worker: one thread that owns all per-peer protocol state and
 //! multiplexes NIC receive, send commands and retransmission timers.
+//!
+//! Two receive-path optimisations live here:
+//!
+//! * **Batched drain.** One select wakeup drains up to
+//!   [`TransportConfig::recv_batch`] inbound datagrams before touching the
+//!   channel's blocking path again, amortising the wakeup over the burst.
+//! * **Coalesced acks.** Within one batch the worker sends at most one
+//!   cumulative ACK per source. Cumulative acknowledgments are monotone per
+//!   (src, dst) stream, so the last value observed in the batch subsumes every
+//!   earlier one; suppressed sends are counted in
+//!   [`TransportStats::acks_coalesced`].
+//!
+//! Retransmission deadlines are tracked in a min-heap keyed by `(Instant,
+//! NodeId)` with lazy invalidation: entries are validated against the peer's
+//! current deadline when they surface, so arming is an O(log n) push and the
+//! idle-loop cost no longer scans every sender peer.
 
 use crate::config::TransportConfig;
 use crate::endpoint::IncomingMessage;
@@ -9,7 +25,8 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use portals_net::{Datagram, Nic};
 use portals_wire::{Packet, PacketHeader};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::AtomicUsize;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -32,6 +49,10 @@ pub(crate) struct Worker {
     outstanding: Arc<AtomicUsize>,
     tx_peers: HashMap<NodeId, SenderPeer>,
     rx_peers: HashMap<NodeId, ReceiverPeer>,
+    /// Min-heap of retransmission deadlines. Entries are hints, not truth: a
+    /// peer's deadline moves every time it sends or is acked, and stale
+    /// entries are discarded (or corrected) when they reach the top.
+    timers: BinaryHeap<Reverse<(Instant, NodeId)>>,
 }
 
 impl Worker {
@@ -52,6 +73,7 @@ impl Worker {
             outstanding,
             tx_peers: HashMap::new(),
             rx_peers: HashMap::new(),
+            timers: BinaryHeap::new(),
         }
     }
 
@@ -61,7 +83,7 @@ impl Worker {
             let timeout = self.next_deadline_in();
             crossbeam::channel::select! {
                 recv(inbound) -> dgram => match dgram {
-                    Ok(d) => self.on_datagram(d),
+                    Ok(d) => self.on_inbound(d, &inbound),
                     Err(_) => return, // fabric gone
                 },
                 recv(self.commands) -> cmd => match cmd {
@@ -73,17 +95,38 @@ impl Worker {
         }
     }
 
+    /// Record `nid`'s current deadline (if any) in the timer heap.
+    fn arm_timer(&mut self, nid: NodeId) {
+        if let Some(when) = self.tx_peers.get(&nid).and_then(SenderPeer::deadline) {
+            self.timers.push(Reverse((when, nid)));
+        }
+    }
+
     /// Time until the nearest retransmission deadline (bounded so shutdown and
     /// races with just-armed timers are handled promptly).
-    fn next_deadline_in(&self) -> Duration {
+    ///
+    /// Pops stale heap entries as they surface. Terminates: each iteration
+    /// either returns, shrinks the heap, or replaces a stale entry with the
+    /// peer's exact deadline — which, deadlines being fixed within one call,
+    /// cannot be stale again.
+    fn next_deadline_in(&mut self) -> Duration {
+        const CAP: Duration = Duration::from_millis(100);
         let now = Instant::now();
-        self.tx_peers
-            .values()
-            .filter_map(SenderPeer::deadline)
-            .map(|d| d.saturating_duration_since(now))
-            .min()
-            .unwrap_or(Duration::from_millis(100))
-            .min(Duration::from_millis(100))
+        while let Some(&Reverse((when, nid))) = self.timers.peek() {
+            match self.tx_peers.get(&nid).and_then(SenderPeer::deadline) {
+                Some(actual) if actual == when => {
+                    return when.saturating_duration_since(now).min(CAP);
+                }
+                Some(actual) => {
+                    self.timers.pop();
+                    self.timers.push(Reverse((actual, nid)));
+                }
+                None => {
+                    self.timers.pop();
+                }
+            }
+        }
+        CAP
     }
 
     fn on_send(&mut self, dst: NodeId, msg: Bytes) {
@@ -92,20 +135,41 @@ impl Worker {
         let peer = self.tx_peers.entry(dst).or_default();
         let before = peer.outstanding();
         let packets = peer.enqueue_message(msg, &self.cfg, now);
-        self.outstanding.fetch_add(peer.outstanding() - before, Ordering::Relaxed);
+        self.outstanding
+            .fetch_add(peer.outstanding() - before, Ordering::Relaxed);
         self.send_data(dst, packets);
+        self.arm_timer(dst);
     }
 
     fn send_data(&self, dst: NodeId, packets: Vec<Bytes>) {
-        self.stats.add(&self.stats.data_packets_sent, packets.len() as u64);
+        self.stats
+            .add(&self.stats.data_packets_sent, packets.len() as u64);
         for p in packets {
             self.nic.send(dst, p);
         }
     }
 
-    fn on_datagram(&mut self, dgram: Datagram) {
+    /// Drain up to `recv_batch` datagrams for one wakeup, then flush one
+    /// cumulative ACK per source seen in the batch. `recv_batch = 1` degrades
+    /// to the per-packet-ack behaviour exactly.
+    fn on_inbound(&mut self, first: Datagram, inbound: &Receiver<Datagram>) {
+        let mut pending_acks: Vec<(NodeId, u64)> = Vec::new();
+        self.process_datagram(first, &mut pending_acks);
+        for _ in 1..self.cfg.recv_batch.max(1) {
+            match inbound.try_recv() {
+                Ok(d) => self.process_datagram(d, &mut pending_acks),
+                Err(_) => break,
+            }
+        }
+        for (src, cumulative) in pending_acks {
+            self.stats.add(&self.stats.acks_sent, 1);
+            self.nic.send(src, Packet::ack(cumulative).encode());
+        }
+    }
+
+    fn process_datagram(&mut self, dgram: Datagram, pending_acks: &mut Vec<(NodeId, u64)>) {
         let src = dgram.src;
-        let packet = match Packet::decode(&dgram.payload) {
+        let packet = match Packet::decode_bytes(&dgram.payload) {
             Ok(p) => p,
             Err(_) => {
                 self.stats.add(&self.stats.garbage_dropped, 1);
@@ -120,8 +184,10 @@ impl Worker {
                     let before = peer.outstanding();
                     let released = peer.on_ack(cumulative, &self.cfg, now);
                     let after = peer.outstanding();
-                    self.outstanding.fetch_sub(before - after, Ordering::Relaxed);
+                    self.outstanding
+                        .fetch_sub(before - after, Ordering::Relaxed);
                     self.send_data(src, released);
+                    self.arm_timer(src);
                 }
             }
             header @ PacketHeader::Data { .. } => {
@@ -139,28 +205,45 @@ impl Worker {
                     // being torn down.
                     let _ = self.delivered.send(IncomingMessage { src, payload: msg });
                 }
-                self.stats.add(&self.stats.acks_sent, 1);
-                self.nic.send(src, Packet::ack(result.ack).encode());
+                match pending_acks.iter_mut().find(|(nid, _)| *nid == src) {
+                    Some(slot) => {
+                        // The stream's cumulative ack is monotone, so the later
+                        // value subsumes the one already queued.
+                        slot.1 = result.ack;
+                        self.stats.add(&self.stats.acks_coalesced, 1);
+                    }
+                    None => pending_acks.push((src, result.ack)),
+                }
             }
         }
     }
 
     fn fire_timers(&mut self) {
         let now = Instant::now();
-        let due: Vec<NodeId> = self
-            .tx_peers
-            .iter()
-            .filter(|(_, p)| p.deadline().is_some_and(|d| d <= now))
-            .map(|(nid, _)| *nid)
-            .collect();
-        for nid in due {
-            let peer = self.tx_peers.get_mut(&nid).expect("just listed");
-            let result = peer.on_timeout(&self.cfg, now);
-            if result.newly_stalled {
-                self.stats.add(&self.stats.peers_stalled, 1);
+        while let Some(&Reverse((when, nid))) = self.timers.peek() {
+            if when > now {
+                break;
             }
-            self.stats.add(&self.stats.retransmissions, result.resend.len() as u64);
-            self.send_data(nid, result.resend);
+            self.timers.pop();
+            let Some(peer) = self.tx_peers.get_mut(&nid) else {
+                continue;
+            };
+            match peer.deadline() {
+                Some(actual) if actual <= now => {
+                    let result = peer.on_timeout(&self.cfg, now);
+                    if result.newly_stalled {
+                        self.stats.add(&self.stats.peers_stalled, 1);
+                    }
+                    self.stats
+                        .add(&self.stats.retransmissions, result.resend.len() as u64);
+                    self.send_data(nid, result.resend);
+                    self.arm_timer(nid);
+                }
+                // The entry was stale; re-file it under the peer's real
+                // deadline so the timer still fires.
+                Some(actual) => self.timers.push(Reverse((actual, nid))),
+                None => {}
+            }
         }
     }
 }

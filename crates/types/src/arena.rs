@@ -27,8 +27,11 @@ pub struct Handle<T> {
 impl<T> Handle<T> {
     /// A handle value that no arena will ever issue; used as the wire encoding of
     /// "no ack requested" / "no event queue".
-    pub const NONE: Handle<T> =
-        Handle { index: u32::MAX, generation: u32::MAX, _marker: PhantomData };
+    pub const NONE: Handle<T> = Handle {
+        index: u32::MAX,
+        generation: u32::MAX,
+        _marker: PhantomData,
+    };
 
     /// True if this is the sentinel [`Handle::NONE`].
     #[inline]
@@ -47,13 +50,35 @@ impl<T> Handle<T> {
     /// Unpack a wire value produced by [`Handle::to_raw`].
     #[inline]
     pub fn from_raw(raw: u64) -> Self {
-        Handle { index: raw as u32, generation: (raw >> 32) as u32, _marker: PhantomData }
+        Handle {
+            index: raw as u32,
+            generation: (raw >> 32) as u32,
+            _marker: PhantomData,
+        }
     }
 
     /// Slot index (diagnostics only).
     #[inline]
     pub fn slot(self) -> u32 {
         self.index
+    }
+
+    /// Generation counter this handle was issued with.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Build a handle from an explicit `(index, generation)` pair. Used by
+    /// [`crate::shard::Sharded`] to renumber slot indices across shards; the
+    /// result only resolves in the arena that issued the generation.
+    #[inline]
+    pub fn from_parts(index: u32, generation: u32) -> Self {
+        Handle {
+            index,
+            generation,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -88,8 +113,14 @@ impl<T> fmt::Debug for Handle<T> {
 }
 
 enum Slot<T> {
-    Occupied { generation: u32, value: T },
-    Vacant { generation: u32, next_free: Option<u32> },
+    Occupied {
+        generation: u32,
+        value: T,
+    },
+    Vacant {
+        generation: u32,
+        next_free: Option<u32>,
+    },
 }
 
 /// A generational slot arena.
@@ -105,12 +136,20 @@ pub struct Arena<T> {
 impl<T> Arena<T> {
     /// An empty arena.
     pub fn new() -> Self {
-        Arena { slots: Vec::new(), free_head: None, len: 0 }
+        Arena {
+            slots: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
     }
 
     /// An empty arena with room for `cap` objects before reallocating.
     pub fn with_capacity(cap: usize) -> Self {
-        Arena { slots: Vec::with_capacity(cap), free_head: None, len: 0 }
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free_head: None,
+            len: 0,
+        }
     }
 
     /// Number of live objects.
@@ -132,20 +171,34 @@ impl<T> Arena<T> {
             Some(index) => {
                 let slot = &mut self.slots[index as usize];
                 let generation = match *slot {
-                    Slot::Vacant { generation, next_free } => {
+                    Slot::Vacant {
+                        generation,
+                        next_free,
+                    } => {
                         self.free_head = next_free;
                         generation
                     }
                     Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
                 };
                 *slot = Slot::Occupied { generation, value };
-                Handle { index, generation, _marker: PhantomData }
+                Handle {
+                    index,
+                    generation,
+                    _marker: PhantomData,
+                }
             }
             None => {
                 let index = self.slots.len() as u32;
                 assert!(index < u32::MAX, "arena exhausted");
-                self.slots.push(Slot::Occupied { generation: 0, value });
-                Handle { index, generation: 0, _marker: PhantomData }
+                self.slots.push(Slot::Occupied {
+                    generation: 0,
+                    value,
+                });
+                Handle {
+                    index,
+                    generation: 0,
+                    _marker: PhantomData,
+                }
             }
         }
     }
@@ -186,7 +239,10 @@ impl<T> Arena<T> {
                 let next_gen = generation.wrapping_add(1);
                 let old = std::mem::replace(
                     slot,
-                    Slot::Vacant { generation: next_gen, next_free: self.free_head },
+                    Slot::Vacant {
+                        generation: next_gen,
+                        next_free: self.free_head,
+                    },
                 );
                 self.free_head = Some(handle.index);
                 self.len -= 1;
@@ -201,13 +257,20 @@ impl<T> Arena<T> {
 
     /// Iterate over `(handle, &value)` pairs of live objects.
     pub fn iter(&self) -> impl Iterator<Item = (Handle<T>, &T)> {
-        self.slots.iter().enumerate().filter_map(|(i, slot)| match slot {
-            Slot::Occupied { generation, value } => Some((
-                Handle { index: i as u32, generation: *generation, _marker: PhantomData },
-                value,
-            )),
-            Slot::Vacant { .. } => None,
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Slot::Occupied { generation, value } => Some((
+                    Handle {
+                        index: i as u32,
+                        generation: *generation,
+                        _marker: PhantomData,
+                    },
+                    value,
+                )),
+                Slot::Vacant { .. } => None,
+            })
     }
 
     /// Iterate over handles of live objects (avoids borrowing values).
@@ -284,7 +347,10 @@ mod tests {
         let h2 = Handle::<u8>::from_raw(h.to_raw());
         assert_eq!(h, h2);
         assert_eq!(arena.get(h2), Some(&42));
-        assert_eq!(Handle::<u8>::from_raw(Handle::<u8>::NONE.to_raw()), Handle::NONE);
+        assert_eq!(
+            Handle::<u8>::from_raw(Handle::<u8>::NONE.to_raw()),
+            Handle::NONE
+        );
     }
 
     #[test]

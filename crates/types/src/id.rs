@@ -64,12 +64,18 @@ pub struct ProcessId {
 
 impl ProcessId {
     /// Wildcard process id: any process on any node.
-    pub const ANY: ProcessId = ProcessId { nid: NodeId::ANY, pid: ANY_PID };
+    pub const ANY: ProcessId = ProcessId {
+        nid: NodeId::ANY,
+        pid: ANY_PID,
+    };
 
     /// Construct from raw parts.
     #[inline]
     pub const fn new(nid: u32, pid: u32) -> Self {
-        ProcessId { nid: NodeId(nid), pid }
+        ProcessId {
+            nid: NodeId(nid),
+            pid,
+        }
     }
 
     /// True if both components are wildcards.
@@ -151,12 +157,18 @@ mod tests {
 
     #[test]
     fn process_id_wildcards_are_per_component() {
-        let any_pid_on_node3 = ProcessId { nid: NodeId(3), pid: ANY_PID };
+        let any_pid_on_node3 = ProcessId {
+            nid: NodeId(3),
+            pid: ANY_PID,
+        };
         assert!(any_pid_on_node3.matches(ProcessId::new(3, 0)));
         assert!(any_pid_on_node3.matches(ProcessId::new(3, 99)));
         assert!(!any_pid_on_node3.matches(ProcessId::new(4, 0)));
 
-        let pid2_any_node = ProcessId { nid: NodeId::ANY, pid: 2 };
+        let pid2_any_node = ProcessId {
+            nid: NodeId::ANY,
+            pid: 2,
+        };
         assert!(pid2_any_node.matches(ProcessId::new(0, 2)));
         assert!(pid2_any_node.matches(ProcessId::new(9, 2)));
         assert!(!pid2_any_node.matches(ProcessId::new(9, 3)));

@@ -17,9 +17,11 @@ pub mod error;
 pub mod id;
 pub mod limits;
 pub mod matchbits;
+pub mod shard;
 
 pub use arena::{Arena, Handle};
 pub use error::{PtlError, PtlResult};
 pub use id::{NodeId, ProcessId, Rank, UserId, ANY_NID, ANY_PID};
 pub use limits::NiLimits;
 pub use matchbits::{MatchBits, MatchCriteria};
+pub use shard::Sharded;

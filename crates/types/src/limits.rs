@@ -65,6 +65,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn tiny_is_smaller_than_default() {
         assert!(NiLimits::TINY.max_match_entries < NiLimits::DEFAULT.max_match_entries);
         assert!(NiLimits::TINY.max_message_size < NiLimits::DEFAULT.max_message_size);

@@ -104,13 +104,19 @@ impl MatchCriteria {
     /// Criteria that require an exact 64-bit equality.
     #[inline]
     pub const fn exact(bits: MatchBits) -> Self {
-        MatchCriteria { must_match: bits, ignore: MatchBits::ZERO }
+        MatchCriteria {
+            must_match: bits,
+            ignore: MatchBits::ZERO,
+        }
     }
 
     /// Criteria that match *any* incoming bits.
     #[inline]
     pub const fn any() -> Self {
-        MatchCriteria { must_match: MatchBits::ZERO, ignore: MatchBits::ONES }
+        MatchCriteria {
+            must_match: MatchBits::ZERO,
+            ignore: MatchBits::ONES,
+        }
     }
 
     /// Criteria with an explicit ignore mask.

@@ -69,7 +69,10 @@ mod tests {
         let ack = sample();
         let mut buf = BytesMut::new();
         ack.encode_body(&mut buf);
-        assert!(matches!(Ack::decode_body(&buf[..8]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Ack::decode_body(&buf[..8]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

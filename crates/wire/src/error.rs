@@ -36,7 +36,10 @@ impl fmt::Display for WireError {
             WireError::UnknownOperation(b) => write!(f, "unknown operation code {b:#04x}"),
             WireError::UnknownPacketKind(b) => write!(f, "unknown packet kind {b:#04x}"),
             WireError::LengthMismatch { declared, actual } => {
-                write!(f, "length mismatch: header declares {declared}, buffer has {actual}")
+                write!(
+                    f,
+                    "length mismatch: header declares {declared}, buffer has {actual}"
+                )
             }
             WireError::BadMagic => f.write_str("bad magic/version"),
         }

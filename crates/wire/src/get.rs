@@ -73,10 +73,14 @@ mod tests {
         let get = sample();
         let mut buf = BytesMut::new();
         get.encode_body(&mut buf);
-        assert!(matches!(GetRequest::decode_body(&buf[..20]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            GetRequest::decode_body(&buf[..20]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn get_is_smaller_than_put_header() {
         // Table 3 has one fewer handle field than our put request (no event
         // queue handle on gets, per §4.7).

@@ -26,12 +26,18 @@ pub(crate) fn put_process_id(buf: &mut impl BufMut, id: ProcessId) {
 pub(crate) fn get_process_id(buf: &mut impl Buf) -> ProcessId {
     let nid = buf.get_u32_le();
     let pid = buf.get_u32_le();
-    ProcessId { nid: NodeId(nid), pid }
+    ProcessId {
+        nid: NodeId(nid),
+        pid,
+    }
 }
 
 pub(crate) fn check_len(buf: &[u8], needed: usize) -> Result<(), WireError> {
     if buf.len() < needed {
-        Err(WireError::Truncated { needed, available: buf.len() })
+        Err(WireError::Truncated {
+            needed,
+            available: buf.len(),
+        })
     } else {
         Ok(())
     }
@@ -79,7 +85,15 @@ impl RequestHeader {
         let match_bits = MatchBits::new(buf.get_u64_le());
         let offset = buf.get_u64_le();
         let length = buf.get_u64_le();
-        RequestHeader { initiator, target, portal_index, cookie, match_bits, offset, length }
+        RequestHeader {
+            initiator,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            offset,
+            length,
+        }
     }
 }
 

@@ -92,7 +92,10 @@ impl PortalsMessage {
     /// Parse a buffer produced by [`PortalsMessage::encode`].
     pub fn decode(buf: &[u8]) -> Result<PortalsMessage, WireError> {
         if buf.len() < Self::ENVELOPE_SIZE {
-            return Err(WireError::Truncated { needed: Self::ENVELOPE_SIZE, available: buf.len() });
+            return Err(WireError::Truncated {
+                needed: Self::ENVELOPE_SIZE,
+                available: buf.len(),
+            });
         }
         if buf[0] != MAGIC {
             return Err(WireError::BadMagic);
@@ -150,8 +153,13 @@ mod tests {
                 ack_eq: 2,
                 payload: Bytes::from_static(b"abc"),
             }),
-            PortalsMessage::Ack(Ack { header: resp_header(3, 3) }),
-            PortalsMessage::Get(GetRequest { header: req_header(100), reply_md: 6 }),
+            PortalsMessage::Ack(Ack {
+                header: resp_header(3, 3),
+            }),
+            PortalsMessage::Get(GetRequest {
+                header: req_header(100),
+                reply_md: 6,
+            }),
             PortalsMessage::Reply(Reply {
                 header: resp_header(4, 4),
                 payload: Bytes::from_static(b"wxyz"),
@@ -167,7 +175,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let m = PortalsMessage::Get(GetRequest { header: req_header(0), reply_md: 0 });
+        let m = PortalsMessage::Get(GetRequest {
+            header: req_header(0),
+            reply_md: 0,
+        });
         let mut encoded = m.encode().to_vec();
         encoded[0] ^= 0xff;
         assert_eq!(PortalsMessage::decode(&encoded), Err(WireError::BadMagic));
@@ -175,12 +186,18 @@ mod tests {
 
     #[test]
     fn empty_buffer_rejected() {
-        assert!(matches!(PortalsMessage::decode(&[]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            PortalsMessage::decode(&[]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn wire_target_and_initiator() {
-        let m = PortalsMessage::Get(GetRequest { header: req_header(0), reply_md: 0 });
+        let m = PortalsMessage::Get(GetRequest {
+            header: req_header(0),
+            reply_md: 0,
+        });
         assert_eq!(m.wire_target(), ProcessId::new(1, 0));
         assert_eq!(m.wire_initiator(), ProcessId::new(0, 0));
     }

@@ -56,16 +56,26 @@ mod tests {
 
     #[test]
     fn byte_roundtrip() {
-        for op in [Operation::PutRequest, Operation::Ack, Operation::GetRequest, Operation::Reply]
-        {
+        for op in [
+            Operation::PutRequest,
+            Operation::Ack,
+            Operation::GetRequest,
+            Operation::Reply,
+        ] {
             assert_eq!(Operation::from_byte(op.to_byte()).unwrap(), op);
         }
     }
 
     #[test]
     fn unknown_bytes_rejected() {
-        assert_eq!(Operation::from_byte(0x00), Err(WireError::UnknownOperation(0)));
-        assert_eq!(Operation::from_byte(0xff), Err(WireError::UnknownOperation(0xff)));
+        assert_eq!(
+            Operation::from_byte(0x00),
+            Err(WireError::UnknownOperation(0))
+        );
+        assert_eq!(
+            Operation::from_byte(0xff),
+            Err(WireError::UnknownOperation(0xff))
+        );
     }
 
     #[test]

@@ -70,18 +70,34 @@ impl Packet {
 
     /// Build a DATA packet.
     pub fn data(seq: u64, msg_id: u64, frag_index: u32, frag_count: u32, body: Bytes) -> Packet {
-        Packet { header: PacketHeader::Data { seq, msg_id, frag_index, frag_count }, body }
+        Packet {
+            header: PacketHeader::Data {
+                seq,
+                msg_id,
+                frag_index,
+                frag_count,
+            },
+            body,
+        }
     }
 
     /// Build an ACK packet.
     pub fn ack(cumulative: u64) -> Packet {
-        Packet { header: PacketHeader::Ack { cumulative }, body: Bytes::new() }
+        Packet {
+            header: PacketHeader::Ack { cumulative },
+            body: Bytes::new(),
+        }
     }
 
     /// Serialize.
     pub fn encode(&self) -> Bytes {
         match self.header {
-            PacketHeader::Data { seq, msg_id, frag_index, frag_count } => {
+            PacketHeader::Data {
+                seq,
+                msg_id,
+                frag_index,
+                frag_count,
+            } => {
                 let mut buf = BytesMut::with_capacity(Self::DATA_HEADER_SIZE + self.body.len());
                 buf.put_u8(PacketKind::Data as u8);
                 buf.put_u64_le(seq);
@@ -100,10 +116,14 @@ impl Packet {
         }
     }
 
-    /// Parse.
-    pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
+    /// Parse the header alone; returns it with the offset at which the body
+    /// (if any) starts.
+    fn decode_header(buf: &[u8]) -> Result<(PacketHeader, usize), WireError> {
         if buf.is_empty() {
-            return Err(WireError::Truncated { needed: 1, available: 0 });
+            return Err(WireError::Truncated {
+                needed: 1,
+                available: 0,
+            });
         }
         let kind = PacketKind::from_byte(buf[0])?;
         let mut cursor = &buf[1..];
@@ -119,17 +139,54 @@ impl Packet {
                 let msg_id = cursor.get_u64_le();
                 let frag_index = cursor.get_u32_le();
                 let frag_count = cursor.get_u32_le();
-                let body = Bytes::copy_from_slice(cursor);
-                Ok(Packet { header: PacketHeader::Data { seq, msg_id, frag_index, frag_count }, body })
+                Ok((
+                    PacketHeader::Data {
+                        seq,
+                        msg_id,
+                        frag_index,
+                        frag_count,
+                    },
+                    Self::DATA_HEADER_SIZE,
+                ))
             }
             PacketKind::Ack => {
                 if buf.len() < Self::ACK_SIZE {
-                    return Err(WireError::Truncated { needed: Self::ACK_SIZE, available: buf.len() });
+                    return Err(WireError::Truncated {
+                        needed: Self::ACK_SIZE,
+                        available: buf.len(),
+                    });
                 }
-                let cumulative = cursor.get_u64_le();
-                Ok(Packet::ack(cumulative))
+                Ok((
+                    PacketHeader::Ack {
+                        cumulative: cursor.get_u64_le(),
+                    },
+                    Self::ACK_SIZE,
+                ))
             }
         }
+    }
+
+    /// Parse, copying the body out of the borrowed buffer.
+    pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
+        let (header, body_at) = Self::decode_header(buf)?;
+        let body = match header {
+            PacketHeader::Data { .. } => Bytes::copy_from_slice(&buf[body_at..]),
+            PacketHeader::Ack { .. } => Bytes::new(),
+        };
+        Ok(Packet { header, body })
+    }
+
+    /// Parse a datagram already held as [`Bytes`] without copying: the body is
+    /// an O(1) slice sharing the datagram's backing storage. This is the
+    /// receive path's variant — one allocation per fragment saved, which at
+    /// small MTUs is most of the per-packet work.
+    pub fn decode_bytes(buf: &Bytes) -> Result<Packet, WireError> {
+        let (header, body_at) = Self::decode_header(buf)?;
+        let body = match header {
+            PacketHeader::Data { .. } => buf.slice(body_at..),
+            PacketHeader::Ack { .. } => Bytes::new(),
+        };
+        Ok(Packet { header, body })
     }
 }
 
@@ -155,15 +212,50 @@ mod tests {
 
     #[test]
     fn empty_and_unknown_rejected() {
-        assert!(matches!(Packet::decode(&[]), Err(WireError::Truncated { .. })));
-        assert!(matches!(Packet::decode(&[0x99, 0, 0]), Err(WireError::UnknownPacketKind(0x99))));
+        assert!(matches!(
+            Packet::decode(&[]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Packet::decode(&[0x99, 0, 0]),
+            Err(WireError::UnknownPacketKind(0x99))
+        ));
     }
 
     #[test]
     fn truncated_data_header_rejected() {
         let p = Packet::data(1, 1, 0, 1, Bytes::new());
         let encoded = p.encode();
-        assert!(matches!(Packet::decode(&encoded[..10]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Packet::decode(&encoded[..10]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_bytes_is_zero_copy_and_agrees() {
+        let p = Packet::data(9, 2, 0, 1, Bytes::from_static(b"payload bytes"));
+        let encoded = p.encode();
+        let by_slice = Packet::decode_bytes(&encoded).unwrap();
+        assert_eq!(by_slice, Packet::decode(&encoded).unwrap());
+        // The body is a view into the datagram, not a copy.
+        let body_ptr = by_slice.body.as_ref().as_ptr();
+        let datagram_ptr = encoded.as_ref()[Packet::DATA_HEADER_SIZE..].as_ptr();
+        assert_eq!(body_ptr, datagram_ptr);
+    }
+
+    #[test]
+    fn decode_bytes_rejects_what_decode_rejects() {
+        for bad in [
+            Bytes::new(),
+            Bytes::from_static(&[0x99, 0, 0]),
+            Bytes::from_static(&[0x10, 1, 2]),
+        ] {
+            assert_eq!(
+                Packet::decode_bytes(&bad).is_err(),
+                Packet::decode(&bad).is_err(),
+            );
+        }
     }
 
     proptest! {

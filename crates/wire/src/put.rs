@@ -53,10 +53,18 @@ impl PutRequest {
         let ack_eq = cursor.get_u64_le();
         let declared = header.length as usize;
         if cursor.remaining() != declared {
-            return Err(WireError::LengthMismatch { declared, actual: cursor.remaining() });
+            return Err(WireError::LengthMismatch {
+                declared,
+                actual: cursor.remaining(),
+            });
         }
         let payload = Bytes::copy_from_slice(cursor);
-        Ok(PutRequest { header, ack_md, ack_eq, payload })
+        Ok(PutRequest {
+            header,
+            ack_md,
+            ack_eq,
+            payload,
+        })
     }
 }
 
@@ -110,7 +118,10 @@ mod tests {
         let truncated = &buf[..buf.len() - 4];
         assert!(matches!(
             PutRequest::decode_body(truncated),
-            Err(WireError::LengthMismatch { declared: 16, actual: 12 })
+            Err(WireError::LengthMismatch {
+                declared: 16,
+                actual: 12
+            })
         ));
     }
 

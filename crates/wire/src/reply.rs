@@ -33,7 +33,10 @@ impl Reply {
         let header = ResponseHeader::decode(&mut cursor);
         let declared = header.manipulated_length as usize;
         if cursor.remaining() != declared {
-            return Err(WireError::LengthMismatch { declared, actual: cursor.remaining() });
+            return Err(WireError::LengthMismatch {
+                declared,
+                actual: cursor.remaining(),
+            });
         }
         let payload = Bytes::copy_from_slice(cursor);
         Ok(Reply { header, payload })
@@ -88,7 +91,10 @@ mod tests {
         reply.encode_body(&mut buf);
         assert!(matches!(
             Reply::decode_body(&buf),
-            Err(WireError::LengthMismatch { declared: 16, actual: 32 })
+            Err(WireError::LengthMismatch {
+                declared: 16,
+                actual: 32
+            })
         ));
     }
 }

@@ -11,7 +11,10 @@ use portals_mpi::bypass::{calibrate_work, run_point, BypassConfig};
 use std::time::Duration;
 
 fn main() {
-    let max_ms: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let max_ms: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     let steps = 9usize;
     let iters_per_ms = calibrate_work(Duration::from_millis(1));
 

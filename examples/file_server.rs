@@ -20,7 +20,7 @@ use portals::{
 };
 use portals_net::Fabric;
 use portals_runtime::JobDirectory;
-use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId, ANY_PID, PtlError};
+use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId, PtlError, ANY_PID};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -37,13 +37,19 @@ fn main() {
     // Node 0 hosts the file server (a system process); nodes 1-2 host clients.
     let server_node = Node::new(
         fabric.attach(NodeId(0)),
-        NodeConfig { directory: Some(directory.clone()), ..Default::default() },
+        NodeConfig {
+            directory: Some(directory.clone()),
+            ..Default::default()
+        },
     );
     let client_nodes: Vec<Node> = (1..3)
         .map(|n| {
             Node::new(
                 fabric.attach(NodeId(n)),
-                NodeConfig { directory: Some(directory.clone()), ..Default::default() },
+                NodeConfig {
+                    directory: Some(directory.clone()),
+                    ..Default::default()
+                },
             )
         })
         .collect();
@@ -59,7 +65,10 @@ fn main() {
         .acl_set(
             AC_CLIENTS as usize,
             AcEntry::Allow {
-                id: AcMatch::Process(ProcessId { nid: portals_types::ANY_NID, pid: ANY_PID }),
+                id: AcMatch::Process(ProcessId {
+                    nid: portals_types::ANY_NID,
+                    pid: ANY_PID,
+                }),
                 portal: PortalMatch::Any,
             },
         )
@@ -68,7 +77,13 @@ fn main() {
     // The "file": 4 KiB of content exposed read-only (gets only).
     let file_contents: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
     let file_me = server
-        .me_attach(PT_FILE, ProcessId::ANY, MatchCriteria::exact(MatchBits::new(FILE_BITS)), false, MePos::Back)
+        .me_attach(
+            PT_FILE,
+            ProcessId::ANY,
+            MatchCriteria::exact(MatchBits::new(FILE_BITS)),
+            false,
+            MePos::Back,
+        )
         .unwrap();
     server
         .md_attach(
@@ -85,18 +100,26 @@ fn main() {
     // server watches.
     let log_eq = server.eq_alloc(64).unwrap();
     let log_me = server
-        .me_attach(PT_LOG, ProcessId::ANY, MatchCriteria::exact(MatchBits::new(LOG_BITS)), false, MePos::Back)
+        .me_attach(
+            PT_LOG,
+            ProcessId::ANY,
+            MatchCriteria::exact(MatchBits::new(LOG_BITS)),
+            false,
+            MePos::Back,
+        )
         .unwrap();
     let log_buf = iobuf(vec![0u8; 4096]);
     server
         .md_attach(
             log_me,
-            MdSpec::new(log_buf.clone()).with_eq(log_eq).with_options(MdOptions {
-                op_put: true,
-                op_get: false,
-                manage_local_offset: true,
-                ..Default::default()
-            }),
+            MdSpec::new(log_buf.clone())
+                .with_eq(log_eq)
+                .with_options(MdOptions {
+                    op_put: true,
+                    op_get: false,
+                    manage_local_offset: true,
+                    ..Default::default()
+                }),
         )
         .unwrap();
 
@@ -106,7 +129,15 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, node)| {
-            let ni = node.create_ni(1, NiConfig { job: 1, ..Default::default() }).unwrap();
+            let ni = node
+                .create_ni(
+                    1,
+                    NiConfig {
+                        job: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
             let expect = file_contents.clone();
             let id = i as u32 + 1;
             std::thread::spawn(move || {
@@ -114,8 +145,16 @@ fn main() {
                 // Read bytes [100, 600) of the remote file with a get.
                 let window = iobuf(vec![0u8; 500]);
                 let md = ni.md_bind(MdSpec::new(window.clone()).with_eq(eq)).unwrap();
-                ni.get(md, server_id, PT_FILE, AC_CLIENTS, MatchBits::new(FILE_BITS), 100, 500)
-                    .unwrap();
+                ni.get(
+                    md,
+                    server_id,
+                    PT_FILE,
+                    AC_CLIENTS,
+                    MatchBits::new(FILE_BITS),
+                    100,
+                    500,
+                )
+                .unwrap();
                 loop {
                     let ev = ni.eq_wait(eq).unwrap();
                     if ev.kind == portals::EventKind::Reply {
@@ -128,14 +167,32 @@ fn main() {
                 // Append a record to the server's log.
                 let record = format!("client {id} read 500 bytes");
                 let rmd = ni.md_bind(MdSpec::new(iobuf(record.into_bytes()))).unwrap();
-                ni.put(rmd, AckRequest::NoAck, server_id, PT_LOG, AC_CLIENTS, MatchBits::new(LOG_BITS), 0)
-                    .unwrap();
+                ni.put(
+                    rmd,
+                    AckRequest::NoAck,
+                    server_id,
+                    PT_LOG,
+                    AC_CLIENTS,
+                    MatchBits::new(LOG_BITS),
+                    0,
+                )
+                .unwrap();
 
                 // A write to the read-only file must be dropped (no match,
                 // because the MD rejects puts).
-                let bad = ni.md_bind(MdSpec::new(iobuf(b"vandalism".to_vec()))).unwrap();
-                ni.put(bad, AckRequest::NoAck, server_id, PT_FILE, AC_CLIENTS, MatchBits::new(FILE_BITS), 0)
+                let bad = ni
+                    .md_bind(MdSpec::new(iobuf(b"vandalism".to_vec())))
                     .unwrap();
+                ni.put(
+                    bad,
+                    AckRequest::NoAck,
+                    server_id,
+                    PT_FILE,
+                    AC_CLIENTS,
+                    MatchBits::new(FILE_BITS),
+                    0,
+                )
+                .unwrap();
                 id
             })
         })
@@ -161,7 +218,10 @@ fn main() {
     // The vandalism attempts were dropped and counted (§4.8).
     let wait_deadline = std::time::Instant::now() + Duration::from_secs(5);
     while server.counters().dropped(portals::DropReason::NoMatch) < 2 {
-        assert!(std::time::Instant::now() < wait_deadline, "drops not recorded");
+        assert!(
+            std::time::Instant::now() < wait_deadline,
+            "drops not recorded"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     assert_eq!(server.counters().dropped(portals::DropReason::NoMatch), 2);

@@ -94,9 +94,13 @@ fn main() {
         };
         let inject = |grid: &mut [f64], edge: usize, data: &[f64]| match edge {
             0 => (1..=TILE).zip(data).for_each(|(y, v)| grid[y * w] = *v),
-            1 => (1..=TILE).zip(data).for_each(|(y, v)| grid[y * w + TILE + 1] = *v),
+            1 => (1..=TILE)
+                .zip(data)
+                .for_each(|(y, v)| grid[y * w + TILE + 1] = *v),
             2 => (1..=TILE).zip(data).for_each(|(x, v)| grid[x] = *v),
-            3 => (1..=TILE).zip(data).for_each(|(x, v)| grid[(TILE + 1) * w + x] = *v),
+            3 => (1..=TILE)
+                .zip(data)
+                .for_each(|(x, v)| grid[(TILE + 1) * w + x] = *v),
             _ => unreachable!(),
         };
 

@@ -47,7 +47,11 @@ fn main() {
         coll.barrier();
 
         // Broadcast a config blob from rank 3.
-        let mut blob = if me == 3 { b"configuration!".to_vec() } else { vec![0u8; 14] };
+        let mut blob = if me == 3 {
+            b"configuration!".to_vec()
+        } else {
+            vec![0u8; 14]
+        };
         coll.bcast(3, &mut blob);
         assert_eq!(blob, b"configuration!");
 

@@ -27,8 +27,10 @@ fn main() {
     let mut server_nodes = Vec::new();
     let servers: Vec<FileServer> = (0..SERVERS)
         .map(|i| {
-            let node =
-                Node::new(job.fabric().attach(NodeId(100 + i as u32)), NodeConfig::default());
+            let node = Node::new(
+                job.fabric().attach(NodeId(100 + i as u32)),
+                NodeConfig::default(),
+            );
             let s = FileServer::start(node.create_ni(1, NiConfig::default()).unwrap()).unwrap();
             server_nodes.push(node);
             s
@@ -94,10 +96,16 @@ fn main() {
 
     for h in handles {
         let rank = h.join().expect("rank thread");
-        println!("rank {rank}: checkpoint verified ({SLICE} bytes written, {} read)", RANKS * SLICE);
+        println!(
+            "rank {rank}: checkpoint verified ({SLICE} bytes written, {} read)",
+            RANKS * SLICE
+        );
     }
     for (i, s) in servers.iter().enumerate() {
-        let reqs = s.stats().requests.load(std::sync::atomic::Ordering::Relaxed);
+        let reqs = s
+            .stats()
+            .requests
+            .load(std::sync::atomic::Ordering::Relaxed);
         let size = s.file_size(b"checkpoint").unwrap_or(0);
         println!("server {i}: {reqs} requests served, component size {size} bytes");
     }

@@ -44,7 +44,16 @@ fn main() {
             let md = b.md_bind(MdSpec::new(iobuf(vec![0xb0u8; size]))).unwrap();
             for _ in 0..WARMUP + ITERS {
                 b.eq_wait(eq).unwrap();
-                b.put(md, AckRequest::NoAck, a_id, 0, 0, MatchBits::new(size as u64), 0).unwrap();
+                b.put(
+                    md,
+                    AckRequest::NoAck,
+                    a_id,
+                    0,
+                    0,
+                    MatchBits::new(size as u64),
+                    0,
+                )
+                .unwrap();
             }
             b.me_unlink(me).unwrap();
             b.md_unlink(md).unwrap();
@@ -69,12 +78,30 @@ fn main() {
         let md = a.md_bind(MdSpec::new(iobuf(vec![0xa0u8; size]))).unwrap();
 
         for _ in 0..WARMUP {
-            a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::new(size as u64), 0).unwrap();
+            a.put(
+                md,
+                AckRequest::NoAck,
+                b_id,
+                0,
+                0,
+                MatchBits::new(size as u64),
+                0,
+            )
+            .unwrap();
             a.eq_wait(eq).unwrap();
         }
         let t0 = Instant::now();
         for _ in 0..ITERS {
-            a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::new(size as u64), 0).unwrap();
+            a.put(
+                md,
+                AckRequest::NoAck,
+                b_id,
+                0,
+                0,
+                MatchBits::new(size as u64),
+                0,
+            )
+            .unwrap();
             a.eq_wait(eq).unwrap();
         }
         let elapsed = t0.elapsed();

@@ -25,17 +25,35 @@ fn main() {
     // region, logging to an event queue.
     let eq = target.eq_alloc(16).unwrap();
     let me = target
-        .me_attach(4, ProcessId::ANY, MatchCriteria::exact(MatchBits::new(42)), false, MePos::Back)
+        .me_attach(
+            4,
+            ProcessId::ANY,
+            MatchCriteria::exact(MatchBits::new(42)),
+            false,
+            MePos::Back,
+        )
         .unwrap();
     let region = iobuf(vec![0u8; 1024]);
-    target.md_attach(me, MdSpec::new(region.clone()).with_eq(eq)).unwrap();
+    target
+        .md_attach(me, MdSpec::new(region.clone()).with_eq(eq))
+        .unwrap();
 
     // Initiator: bind the message and put it, asking for an acknowledgment.
     let init_eq = initiator.eq_alloc(16).unwrap();
     let payload = b"hello from the Portals 3.0 reproduction".to_vec();
-    let md = initiator.md_bind(MdSpec::new(iobuf(payload.clone())).with_eq(init_eq)).unwrap();
+    let md = initiator
+        .md_bind(MdSpec::new(iobuf(payload.clone())).with_eq(init_eq))
+        .unwrap();
     initiator
-        .put(md, AckRequest::Ack, target.id(), 4, 0, MatchBits::new(42), 0)
+        .put(
+            md,
+            AckRequest::Ack,
+            target.id(),
+            4,
+            0,
+            MatchBits::new(42),
+            0,
+        )
         .unwrap();
 
     // Target side: the put event appears with no action by the target process.
@@ -53,7 +71,10 @@ fn main() {
     // Initiator side: Sent, then the acknowledgment with the manipulated length.
     let sent = initiator.eq_wait(init_eq).unwrap();
     let ack = initiator.eq_wait(init_eq).unwrap();
-    println!("initiator: {:?} then {:?} (delivered {} bytes)", sent.kind, ack.kind, ack.mlength);
+    println!(
+        "initiator: {:?} then {:?} (delivered {} bytes)",
+        sent.kind, ack.kind, ack.mlength
+    );
     assert_eq!(ack.kind, EventKind::Ack);
     assert_eq!(ack.mlength as usize, payload.len());
 

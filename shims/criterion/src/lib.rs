@@ -1,0 +1,341 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same surface API (groups, `bench_with_input`, `iter`/`iter_custom`,
+//! throughput annotation) over a much simpler harness: calibrate iterations
+//! to a target sample duration, take N samples, report the median. No plots,
+//! no statistics beyond min/median, plain-text output — made to produce
+//! stable relative numbers quickly in CI, not publication-grade confidence
+//! intervals.
+//!
+//! Environment knobs: `CRITERION_SAMPLE_MS` (per-sample budget, default 10),
+//! `CRITERION_QUICK=1` (3 samples, 2 ms budget — CI smoke mode). A positional
+//! command-line argument filters benchmarks by substring, like the original.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; changes reporting only.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+struct Settings {
+    sample_budget: Duration,
+    samples: usize,
+    filter: Option<String>,
+}
+
+impl Settings {
+    fn from_env() -> Settings {
+        let quick = std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let sample_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if quick { 2 } else { 10 });
+        let samples = if quick { 3 } else { 7 };
+        // First free-standing CLI arg (after the binary name, skipping flags
+        // cargo-bench passes through) acts as a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Settings {
+            sample_budget: Duration::from_millis(sample_ms),
+            samples,
+            filter,
+        }
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Present for API compatibility; configuration comes from the
+    /// environment in this shim.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&self.settings, &id.id, None, |b| f(b));
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&self.criterion.settings, &full, self.throughput, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&self.criterion.settings, &full, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; records one sample per call to
+/// `iter`/`iter_custom`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    settings: &Settings,
+    full_id: &str,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    if let Some(filter) = &settings.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Calibrate: double the iteration count until one sample meets the
+    // budget (or a generous cap is hit for extremely slow routines).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= settings.sample_budget || iters >= 1 << 24 {
+            break;
+        }
+        // Jump close to the budget once we have any signal at all.
+        if !b.elapsed.is_zero() {
+            let scale = settings.sample_budget.as_secs_f64() / b.elapsed.as_secs_f64();
+            let next = ((iters as f64) * scale.clamp(1.2, 100.0)).ceil() as u64;
+            iters = next.clamp(iters + 1, 1 << 24);
+        } else {
+            iters = iters.saturating_mul(8);
+        }
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(settings.samples);
+    for _ in 0..settings.samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let best = per_iter[0];
+
+    let mut line = format!(
+        "{:<44} time: {:>12}/iter  (best {:>12}, {} iters/sample)",
+        full_id,
+        fmt_time(median),
+        fmt_time(best),
+        iters
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Bytes(n) => (n as f64, "B"),
+            Throughput::Elements(n) => (n as f64, "elem"),
+        };
+        if median > 0.0 {
+            line.push_str(&format!("  thrpt: {}", fmt_rate(amount / median, unit)));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if unit == "B" {
+        if per_sec >= 1024.0 * 1024.0 * 1024.0 {
+            format!("{:.2} GiB/s", per_sec / (1024.0 * 1024.0 * 1024.0))
+        } else if per_sec >= 1024.0 * 1024.0 {
+            format!("{:.2} MiB/s", per_sec / (1024.0 * 1024.0))
+        } else {
+            format!("{:.2} KiB/s", per_sec / 1024.0)
+        }
+    } else {
+        format!("{per_sec:.0} {unit}/s")
+    }
+}
+
+/// `criterion_group!(name, target1, target2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_reporting_run() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        g.bench_function("custom", |b| b.iter_custom(Duration::from_nanos));
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("rtt", 64).id, "rtt/64");
+        assert_eq!(BenchmarkId::from_parameter("5%").id, "5%");
+    }
+}

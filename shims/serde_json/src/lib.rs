@@ -1,0 +1,169 @@
+//! Offline stand-in for `serde_json`: renders the shim-serde [`Value`] tree
+//! as JSON text. Only the producing half is implemented — the workspace never
+//! parses JSON back.
+
+use serde::{Serialize, Value};
+use std::fmt::Write;
+
+/// Serialization error. The value-tree model cannot actually fail, but the
+/// signature matches the published crate so call sites `unwrap()` as before.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Like serde_json, integral floats keep a trailing ".0".
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_object() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("pingpong".into())),
+            (
+                "sizes".into(),
+                Value::Array(vec![Value::U64(0), Value::U64(64)]),
+            ),
+            ("ok".into(), Value::Bool(true)),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&W(v)).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"pingpong\",\n  \"sizes\": [\n    0,\n    64\n  ],\n  \"ok\": true\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_and_floats() {
+        struct W;
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                Value::Object(vec![
+                    ("s".into(), Value::String("a\"b\\c\nd".into())),
+                    ("f".into(), Value::F64(1.5)),
+                    ("i".into(), Value::F64(2.0)),
+                    ("inf".into(), Value::F64(f64::INFINITY)),
+                ])
+            }
+        }
+        let s = to_string(&W).unwrap();
+        assert_eq!(
+            s,
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"f\":1.5,\"i\":2.0,\"inf\":null}"
+        );
+    }
+}

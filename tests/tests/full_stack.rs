@@ -76,9 +76,13 @@ fn partition_heals_without_losing_mpi_messages() {
         MpiConfig::default(),
     )
     .unwrap();
-    let mpi1 =
-        Mpi::init(n1.create_ni(1, NiConfig::default()).unwrap(), ranks, Rank(1), MpiConfig::default())
-            .unwrap();
+    let mpi1 = Mpi::init(
+        n1.create_ni(1, NiConfig::default()).unwrap(),
+        ranks,
+        Rank(1),
+        MpiConfig::default(),
+    )
+    .unwrap();
 
     let receiver = std::thread::spawn(move || {
         let comm = mpi1.world();
@@ -107,7 +111,11 @@ fn partition_heals_without_losing_mpi_messages() {
         let _ = req;
     }
     let got = receiver.join().unwrap();
-    assert_eq!(got, (0..20).collect::<Vec<u8>>(), "ordered, complete despite partition");
+    assert_eq!(
+        got,
+        (0..20).collect::<Vec<u8>>(),
+        "ordered, complete despite partition"
+    );
 }
 
 #[test]
@@ -119,11 +127,17 @@ fn two_jobs_are_isolated_by_access_control() {
     let directory = Arc::new(JobDirectory::new());
     let node0 = Node::new(
         fabric.attach(NodeId(0)),
-        NodeConfig { directory: Some(directory.clone()), ..Default::default() },
+        NodeConfig {
+            directory: Some(directory.clone()),
+            ..Default::default()
+        },
     );
     let node1 = Node::new(
         fabric.attach(NodeId(1)),
-        NodeConfig { directory: Some(directory.clone()), ..Default::default() },
+        NodeConfig {
+            directory: Some(directory.clone()),
+            ..Default::default()
+        },
     );
 
     // Job 1: pid 1 on both nodes. Job 2: pid 2 on node 0.
@@ -131,9 +145,33 @@ fn two_jobs_are_isolated_by_access_control() {
     directory.register(ProcessId::new(1, 1), 1);
     directory.register(ProcessId::new(0, 2), 2);
 
-    let a = node0.create_ni(1, NiConfig { job: 1, ..Default::default() }).unwrap();
-    let b = node1.create_ni(1, NiConfig { job: 1, ..Default::default() }).unwrap();
-    let intruder = node0.create_ni(2, NiConfig { job: 2, ..Default::default() }).unwrap();
+    let a = node0
+        .create_ni(
+            1,
+            NiConfig {
+                job: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let b = node1
+        .create_ni(
+            1,
+            NiConfig {
+                job: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let intruder = node0
+        .create_ni(
+            2,
+            NiConfig {
+                job: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
 
     use portals::{iobuf, AckRequest, MdSpec, MePos};
     use portals_types::{MatchBits, MatchCriteria};
@@ -142,18 +180,31 @@ fn two_jobs_are_isolated_by_access_control() {
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
     let buf = iobuf(vec![0u8; 64]);
-    b.md_attach(me, MdSpec::new(buf.clone()).with_eq(eq)).unwrap();
+    b.md_attach(me, MdSpec::new(buf.clone()).with_eq(eq))
+        .unwrap();
 
     // Same-job traffic flows.
     let md = a.md_bind(MdSpec::new(iobuf(b"legit".to_vec()))).unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
-    assert_eq!(b.eq_poll(eq, Duration::from_secs(5)).unwrap().kind, portals::EventKind::Put);
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
+    assert_eq!(
+        b.eq_poll(eq, Duration::from_secs(5)).unwrap().kind,
+        portals::EventKind::Put
+    );
 
     // Cross-job traffic is rejected by the receiver's ACL.
-    let md2 = intruder.md_bind(MdSpec::new(iobuf(b"snoop".to_vec()))).unwrap();
-    intruder.put(md2, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0).unwrap();
+    let md2 = intruder
+        .md_bind(MdSpec::new(iobuf(b"snoop".to_vec())))
+        .unwrap();
+    intruder
+        .put(md2, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
+        .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while b.counters().dropped(portals::DropReason::AclProcessMismatch) == 0 {
+    while b
+        .counters()
+        .dropped(portals::DropReason::AclProcessMismatch)
+        == 0
+    {
         assert!(std::time::Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(1));
     }
@@ -213,7 +264,10 @@ fn host_driven_full_job_matches_bypass_results() {
     let run = |progress| {
         Job::launch(
             3,
-            JobConfig { progress, ..Default::default() },
+            JobConfig {
+                progress,
+                ..Default::default()
+            },
             |env| {
                 let coll = Collectives::new(env.comm.clone());
                 let mut v = vec![env.rank().0 as f64 + 1.0; 16];
@@ -242,21 +296,40 @@ fn dropped_message_counters_are_complete() {
     let b = n1.create_ni(1, NiConfig::default()).unwrap();
 
     let me = b
-        .me_attach(0, ProcessId::ANY, MatchCriteria::exact(MatchBits::new(1)), false, MePos::Back)
+        .me_attach(
+            0,
+            ProcessId::ANY,
+            MatchCriteria::exact(MatchBits::new(1)),
+            false,
+            MePos::Back,
+        )
         .unwrap();
     b.md_attach(me, MdSpec::new(iobuf(vec![0u8; 16]))).unwrap();
 
     let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
     // Invalid portal.
-    a.put(md, AckRequest::NoAck, b.id(), 999, 0, MatchBits::new(1), 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 999, 0, MatchBits::new(1), 0)
+        .unwrap();
     // Invalid cookie.
-    a.put(md, AckRequest::NoAck, b.id(), 0, 50, MatchBits::new(1), 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 50, MatchBits::new(1), 0)
+        .unwrap();
     // Disabled ACL entry.
-    a.put(md, AckRequest::NoAck, b.id(), 0, 3, MatchBits::new(1), 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 3, MatchBits::new(1), 0)
+        .unwrap();
     // No matching bits.
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::new(2), 0).unwrap();
+    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::new(2), 0)
+        .unwrap();
     // Unknown pid on the node.
-    a.put(md, AckRequest::NoAck, ProcessId::new(1, 9), 0, 0, MatchBits::new(1), 0).unwrap();
+    a.put(
+        md,
+        AckRequest::NoAck,
+        ProcessId::new(1, 9),
+        0,
+        0,
+        MatchBits::new(1),
+        0,
+    )
+    .unwrap();
 
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     let done = |b: &portals::NetworkInterface, n1: &Node| {
