@@ -6,12 +6,17 @@
 //!   queue handle; see `portals-wire` docs).
 //! * Figure 1/2: measured one-way put and round-trip get times across sizes.
 //! * Figures 3/4: translation walk cost vs match-list length.
+//! * §4.8 appendix: the per-reason message-rejection breakdown from the NI
+//!   counters, exercised by a batch of deliberately malformed requests.
 //!
 //! Run: `cargo run --release -p portals-bench --bin tables`
 
 use bytes::Bytes;
 use portals::bench_support::MatchBench;
-use portals::{iobuf, AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig};
+use portals::{
+    iobuf, AcEntry, AcMatch, AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig,
+    PortalMatch,
+};
 use portals_bench::PutGetRig;
 use portals_net::{Fabric, FabricConfig};
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
@@ -26,6 +31,7 @@ fn main() {
     fig1_put_timing();
     fig2_get_timing();
     fig34_translation();
+    sec48_drop_reasons();
 }
 
 fn tables_1_to_4() {
@@ -210,4 +216,77 @@ fn fig34_translation() {
         println!("{len:>10} {hit:>16.1} {hit_idx:>16.1} {miss:>16.1} {miss_idx:>16.1}");
     }
     println!("\n(walk grows linearly with search depth; the exact-bits index is flat)");
+}
+
+fn sec48_drop_reasons() {
+    println!("\n== Sec 4.8: message rejection, per-reason breakdown ==\n");
+    let fabric = Fabric::new(FabricConfig::ideal());
+    let na = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
+    let nb = Node::new(fabric.attach(NodeId(1)), NodeConfig::default());
+    let initiator = na.create_ni(1, NiConfig::default()).unwrap();
+    let target = nb.create_ni(1, NiConfig::default()).unwrap();
+    let limits = target.limits();
+
+    // Portal 0 accepts only match bits 42; ACL entry 2 opens portal 5 alone.
+    let me = target
+        .me_attach(
+            0,
+            ProcessId::ANY,
+            MatchCriteria::exact(MatchBits::new(42)),
+            false,
+            MePos::Back,
+        )
+        .unwrap();
+    target
+        .md_attach(me, MdSpec::new(iobuf(vec![0u8; 64])))
+        .unwrap();
+    target
+        .acl_set(
+            2,
+            AcEntry::Allow {
+                id: AcMatch::SameApplication,
+                portal: PortalMatch::Index(5),
+            },
+        )
+        .unwrap();
+
+    let md = initiator
+        .md_bind(MdSpec::new(iobuf(vec![7u8; 64])))
+        .unwrap();
+    let bits = MatchBits::new(42);
+    let tid = target.id();
+    // One doomed request per reason the initiator can provoke from here.
+    let bad_portal = limits.max_portal_table_size as u32;
+    let bad_cookie = limits.max_access_control_entries as u32;
+    initiator
+        .put(md, AckRequest::NoAck, tid, bad_portal, 0, bits, 0)
+        .unwrap();
+    initiator
+        .put(md, AckRequest::NoAck, tid, 0, bad_cookie, bits, 0)
+        .unwrap();
+    initiator
+        .put(md, AckRequest::NoAck, tid, 0, 2, bits, 0) // cookie 2 opens portal 5, not 0
+        .unwrap();
+    initiator
+        .put(md, AckRequest::NoAck, tid, 0, 0, MatchBits::new(41), 0)
+        .unwrap();
+
+    // Bypass-mode delivery is asynchronous; wait for all four rejections.
+    let deadline = Instant::now() + std::time::Duration::from_secs(5);
+    while target.counters().dropped_total() < 4 {
+        assert!(Instant::now() < deadline, "drops not observed in time");
+        std::thread::yield_now();
+    }
+    let snapshot = target.counters();
+    println!("{:>6} reason", "drops");
+    for (reason, count) in snapshot.dropped_by_reason() {
+        if count > 0 {
+            println!("{count:>6} {reason}");
+        }
+    }
+    println!(
+        "{:>6} total (requests accepted: {})",
+        snapshot.dropped_total(),
+        snapshot.requests_accepted
+    );
 }

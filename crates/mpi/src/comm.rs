@@ -1,6 +1,6 @@
 //! Communicators: the user-facing MPI surface.
 
-use crate::bits::{Context, Tag, MAX_USER_TAG};
+use crate::bits::{check_user_tag, validate_reserved_layout, Context, Tag, TagError, MAX_USER_TAG};
 use crate::config::MpiConfig;
 use crate::engine::MpiEngine;
 use crate::request::{Completion, Request, Status};
@@ -33,6 +33,11 @@ impl Mpi {
             ranks.len() <= u16::MAX as usize,
             "ranks must fit in 16 match bits"
         );
+        // Reserved-tag hygiene: the barrier/collective band above
+        // MAX_USER_TAG must hold together for this world size.
+        if let Err(e) = validate_reserved_layout(ranks.len()) {
+            panic!("reserved tag layout: {e}");
+        }
         assert_eq!(
             ranks.get(my_rank.index()),
             Some(&ni.id()),
@@ -127,13 +132,22 @@ impl Communicator {
     }
 
     fn check_tag(tag: Tag) {
-        assert!(tag < MAX_USER_TAG, "tags >= {MAX_USER_TAG} are reserved");
+        if let Err(e) = check_user_tag(tag) {
+            panic!("{e}");
+        }
     }
 
     /// Nonblocking send (MPI_Isend).
     pub fn isend(&self, dest: Rank, tag: Tag, data: &[u8]) -> Request {
         Self::check_tag(tag);
         self.isend_internal(dest, tag, data)
+    }
+
+    /// [`Communicator::isend`] that reports a reserved tag as a typed error
+    /// instead of panicking.
+    pub fn try_isend(&self, dest: Rank, tag: Tag, data: &[u8]) -> Result<Request, TagError> {
+        check_user_tag(tag)?;
+        Ok(self.isend_internal(dest, tag, data))
     }
 
     fn isend_internal(&self, dest: Rank, tag: Tag, data: &[u8]) -> Request {
@@ -155,6 +169,20 @@ impl Communicator {
             Self::check_tag(t);
         }
         self.irecv_internal(src, tag, buf)
+    }
+
+    /// [`Communicator::irecv`] that reports a reserved tag as a typed error
+    /// instead of panicking.
+    pub fn try_irecv(
+        &self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: IoBuf,
+    ) -> Result<Request, TagError> {
+        if let Some(t) = tag {
+            check_user_tag(t)?;
+        }
+        Ok(self.irecv_internal(src, tag, buf))
     }
 
     fn irecv_internal(&self, src: Option<Rank>, tag: Option<Tag>, buf: IoBuf) -> Request {
@@ -283,6 +311,9 @@ impl Communicator {
     pub fn dup(&self) -> Communicator {
         let context = self.next_context.fetch_add(1, Ordering::SeqCst);
         assert!(context != u16::MAX, "context space exhausted");
+        if let Err(e) = validate_reserved_layout(self.size()) {
+            panic!("reserved tag layout: {e}");
+        }
         Communicator {
             engine: Arc::clone(&self.engine),
             ranks: Arc::clone(&self.ranks),

@@ -1,7 +1,7 @@
 //! A remote file service over raw Portals — the I/O-protocol substrate.
 //!
 //! §2 of the paper: "the only way to communicate with a process on a compute
-//! node is via Portals, [so] they had to support not only application message
+//! node is via Portals, \[so\] they had to support not only application message
 //! passing, but also I/O protocols to a remote filesystem". This crate
 //! rebuilds that substrate in the Portals idiom:
 //!

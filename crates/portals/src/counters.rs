@@ -56,6 +56,26 @@ impl DropReason {
             DropReason::ReplyEqFull => 7,
         }
     }
+
+    /// Stable human-readable name, for reports and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::InvalidPortalIndex => "invalid portal index",
+            DropReason::InvalidAcIndex => "invalid AC index",
+            DropReason::AclProcessMismatch => "ACL process mismatch",
+            DropReason::AclPortalMismatch => "ACL portal mismatch",
+            DropReason::NoMatch => "no matching entry",
+            DropReason::AckEqMissing => "ack event queue missing",
+            DropReason::ReplyMdMissing => "reply descriptor missing",
+            DropReason::ReplyEqFull => "reply event queue full",
+        }
+    }
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Per-interface counters.
@@ -72,6 +92,10 @@ pub struct NiCounters {
     pub messages_sent: AtomicU64,
     /// Events lost to event-queue circular overwrite.
     pub events_overwritten: AtomicU64,
+    /// Triggered operations launched successfully when their threshold fired.
+    pub triggered_fired: AtomicU64,
+    /// Triggered operations whose launch failed at fire time.
+    pub triggered_failed: AtomicU64,
 }
 
 impl NiCounters {
@@ -103,6 +127,8 @@ impl NiCounters {
             replies_accepted: self.replies_accepted.load(Ordering::Relaxed),
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             events_overwritten: self.events_overwritten.load(Ordering::Relaxed),
+            triggered_fired: self.triggered_fired.load(Ordering::Relaxed),
+            triggered_failed: self.triggered_failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,6 +147,10 @@ pub struct NiCountersSnapshot {
     pub messages_sent: u64,
     /// Events lost to event-queue circular overwrite.
     pub events_overwritten: u64,
+    /// Triggered operations launched successfully when their threshold fired.
+    pub triggered_fired: u64,
+    /// Triggered operations whose launch failed at fire time.
+    pub triggered_failed: u64,
 }
 
 impl NiCountersSnapshot {
@@ -132,6 +162,15 @@ impl NiCountersSnapshot {
     /// Dropped messages for one reason.
     pub fn dropped(&self, reason: DropReason) -> u64 {
         self.drops[reason.index()]
+    }
+
+    /// The full per-reason breakdown, in [`DropReason::ALL`] order.
+    pub fn dropped_by_reason(&self) -> [(DropReason, u64); 8] {
+        let mut out = [(DropReason::InvalidPortalIndex, 0u64); 8];
+        for (slot, reason) in out.iter_mut().zip(DropReason::ALL) {
+            *slot = (reason, self.dropped(reason));
+        }
+        out
     }
 }
 

@@ -214,8 +214,8 @@ pub(crate) fn deliver(core: &NiCore, node: &NodeShared, msg: PortalsMessage) {
     match msg {
         PortalsMessage::Put(put) => handle_put(core, node, put),
         PortalsMessage::Get(get) => handle_get(core, node, get),
-        PortalsMessage::Ack(ack) => handle_ack(core, ack),
-        PortalsMessage::Reply(reply) => handle_reply(core, reply),
+        PortalsMessage::Ack(ack) => handle_ack(core, node, ack),
+        PortalsMessage::Reply(reply) => handle_reply(core, node, reply),
     }
 }
 
@@ -255,9 +255,12 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
         }
     };
 
+    // Capture the accepted MD's counting event before commit can auto-unlink
+    // the descriptor; the increment itself runs after every lock is dropped.
+    let ct = state.mds.with(accepted.md, |md| md.ct).flatten();
     // Move the data, then commit/unlink/log — all under the portal lock.
     state.mds.with(accepted.md, |md| {
-        md.write(accepted.offset, &put.payload[..accepted.mlength as usize])
+        md.deliver(accepted.offset, &put.payload[..accepted.mlength as usize])
     });
     core.counters
         .requests_accepted
@@ -291,6 +294,12 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
             },
         });
         node.endpoint.send(h.initiator.nid, ack.encode());
+    }
+
+    // Put delivered: count it and fire whatever the schedule parked on it —
+    // still engine context, zero host involvement.
+    if let Some(ct) = ct {
+        crate::triggered::ct_increment(core, node, ct, 1);
     }
 }
 
@@ -330,6 +339,7 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
         }
     };
 
+    let ct = state.mds.with(accepted.md, |md| md.ct).flatten();
     let payload = state
         .mds
         .with(accepted.md, |md| {
@@ -368,9 +378,15 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
         payload,
     });
     node.endpoint.send(h.initiator.nid, reply.encode());
+
+    // Get served from this descriptor: bump its counter after the reply is on
+    // the wire and every lock is dropped.
+    if let Some(ct) = ct {
+        crate::triggered::ct_increment(core, node, ct, 1);
+    }
 }
 
-fn handle_ack(core: &NiCore, ack: Ack) {
+fn handle_ack(core: &NiCore, node: &NodeShared, ack: Ack) {
     // §4.8: "Upon receipt of an acknowledgment, the runtime system only needs
     // to confirm that the event queue still exists."
     let h = ack.header;
@@ -390,19 +406,26 @@ fn handle_ack(core: &NiCore, ack: Ack) {
         let eq_handle: EqHandle = Handle::from_raw(h.eq_handle);
         core.state.eqs.with(eq_handle, |queue| queue.push(event))
     };
-    let Some(clean) = pushed else {
+    // A counting event on the source MD consumes the ack even when no event
+    // queue does — a triggered schedule has no EQ at all, only counters.
+    let mdh: MdHandle = Handle::from_raw(h.md_handle);
+    let ct = core.state.mds.with(mdh, |md| md.ct).flatten();
+    if pushed.is_none() && ct.is_none() {
         core.counters.drop_message(DropReason::AckEqMissing);
         return;
-    };
+    }
     core.counters.acks_accepted.fetch_add(1, Ordering::Relaxed);
-    if !clean {
+    if pushed == Some(false) {
         core.counters
             .events_overwritten
             .fetch_add(1, Ordering::Relaxed);
     }
+    if let Some(ct) = ct {
+        crate::triggered::ct_increment(core, node, ct, 1);
+    }
 }
 
-fn handle_reply(core: &NiCore, reply: Reply) {
+fn handle_reply(core: &NiCore, node: &NodeShared, reply: Reply) {
     // §4.8: "Each reply message includes a handle for a memory descriptor. If
     // this descriptor exists, it is used to receive the message. A reply
     // message will be dropped if the memory descriptor ... doesn't exist or if
@@ -423,6 +446,7 @@ fn handle_reply(core: &NiCore, reply: Reply) {
         return;
     };
     let eq = md.eq;
+    let ct = md.ct;
     if let Some(eqh) = eq {
         if state.eqs.with(eqh, |queue| queue.is_full()) == Some(true) {
             core.counters.drop_message(DropReason::ReplyEqFull);
@@ -459,6 +483,12 @@ fn handle_reply(core: &NiCore, reply: Reply) {
     }
     if unlink {
         shard.remove(local);
+    }
+    // Reply landed: release the MD shard before firing, so a trigger's own
+    // do_put/do_get can re-enter the arena without self-deadlock.
+    drop(shard);
+    if let Some(ct) = ct {
+        crate::triggered::ct_increment(core, node, ct, 1);
     }
 }
 

@@ -70,6 +70,7 @@
 pub mod acl;
 pub mod bench_support;
 pub mod counters;
+pub mod ct;
 pub mod engine;
 pub mod event;
 pub mod md;
@@ -77,15 +78,18 @@ pub mod me;
 pub mod ni;
 pub mod node;
 pub mod table;
+pub mod triggered;
 
 pub use acl::{AcEntry, AcMatch, AccessControlList, PortalMatch};
 pub use counters::{DropReason, NiCounters, NiCountersSnapshot};
+pub use ct::{CountingEvent, CtValue};
 pub use event::{Event, EventKind, EventQueue};
-pub use md::{iobuf, IoBuf, Md, MdOptions, MdSpec, Region, Segment, Threshold};
+pub use md::{iobuf, CombineOp, IoBuf, Md, MdOptions, MdSpec, Region, Segment, Threshold};
 pub use me::MatchEntry;
 pub use ni::{AckRequest, NetworkInterface, NiConfig, ProgressModel};
 pub use node::{Node, NodeConfig, ProcessDirectory};
 pub use table::MePos;
+pub use triggered::TriggeredOp;
 
 /// Handle to a memory descriptor.
 pub type MdHandle = portals_types::Handle<md::Md>;
@@ -93,3 +97,5 @@ pub type MdHandle = portals_types::Handle<md::Md>;
 pub type MeHandle = portals_types::Handle<me::MatchEntry>;
 /// Handle to an event queue.
 pub type EqHandle = portals_types::Handle<event::EventQueue>;
+/// Handle to a counting event.
+pub type CtHandle = portals_types::Handle<ct::CountingEvent>;

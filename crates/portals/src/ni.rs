@@ -37,13 +37,15 @@
 
 use crate::acl::{AcEntry, AccessControlList, AclReject, InitiatorClass};
 use crate::counters::{DropReason, NiCounters, NiCountersSnapshot};
+use crate::ct::{CountingEvent, CtValue};
 use crate::engine;
 use crate::event::{Event, EventKind, EventQueue};
 use crate::md::{Md, MdSpec};
 use crate::me::MatchEntry;
 use crate::node::NodeShared;
 use crate::table::{MePos, PortalTable};
-use crate::{EqHandle, MdHandle, MeHandle};
+use crate::triggered::{self, TriggeredOp};
+use crate::{CtHandle, EqHandle, MdHandle, MeHandle};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 use portals_types::{MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult, Sharded};
@@ -106,6 +108,7 @@ pub(crate) struct NiState {
     pub(crate) mes: Sharded<MatchEntry>,
     pub(crate) mds: Sharded<Md>,
     pub(crate) eqs: Sharded<EventQueue>,
+    pub(crate) cts: Sharded<CountingEvent>,
     pub(crate) acl: RwLock<AccessControlList>,
 }
 
@@ -116,6 +119,7 @@ impl NiState {
             mes: Sharded::new(),
             mds: Sharded::new(),
             eqs: Sharded::new(),
+            cts: Sharded::new(),
             acl: RwLock::new(AccessControlList::standard(
                 limits.max_access_control_entries,
             )),
@@ -388,6 +392,11 @@ impl NetworkInterface {
                 return Err(PtlError::InvalidEq);
             }
         }
+        if let Some(ct) = spec.ct {
+            if !state.cts.contains(ct) {
+                return Err(PtlError::InvalidCt);
+            }
+        }
         let portal_index = state
             .mes
             .with(me, |m| m.portal_index)
@@ -422,6 +431,11 @@ impl NetworkInterface {
         if let Some(eq) = spec.eq {
             if !state.eqs.contains(eq) {
                 return Err(PtlError::InvalidEq);
+            }
+        }
+        if let Some(ct) = spec.ct {
+            if !state.cts.contains(ct) {
+                return Err(PtlError::InvalidCt);
             }
         }
         Ok(state.mds.insert(Md::from_spec(spec)))
@@ -551,46 +565,17 @@ impl NetworkInterface {
         match_bits: MatchBits,
         remote_offset: u64,
     ) -> PtlResult<()> {
-        if target.has_wildcard() {
-            return Err(PtlError::InvalidProcess);
-        }
-        let max = self.core.config.limits.max_message_size;
-        let (payload, eq, length) = self
-            .core
-            .state
-            .mds
-            .with_mut(md, |mdr| {
-                if !mdr.threshold.active() {
-                    return Err(PtlError::InvalidMd);
-                }
-                mdr.threshold = mdr.threshold.decrement();
-                let length = mdr.len() as u64;
-                if length as usize > max {
-                    return Err(PtlError::LimitExceeded);
-                }
-                Ok((Bytes::from(mdr.read(0, length)), mdr.eq, length))
-            })
-            .ok_or(PtlError::InvalidMd)??;
-
-        let (ack_md, ack_eq) = match ack {
-            AckRequest::Ack => (md.to_raw(), eq.map_or(RAW_HANDLE_NONE, |e| e.to_raw())),
-            AckRequest::NoAck => (RAW_HANDLE_NONE, RAW_HANDLE_NONE),
-        };
-        let msg = PortalsMessage::Put(PutRequest {
-            header: RequestHeader {
-                initiator: self.core.id,
-                target,
-                portal_index,
-                cookie,
-                match_bits,
-                offset: remote_offset,
-                length,
-            },
-            ack_md,
-            ack_eq,
-            payload,
-        });
-        self.transmit(target, msg, md, eq, match_bits, portal_index, length)
+        do_put(
+            &self.core,
+            &self.node,
+            md,
+            ack,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            remote_offset,
+        )
     }
 
     /// Initiate a get (read): ask `(target, portal_index)` for `length` bytes
@@ -608,77 +593,232 @@ impl NetworkInterface {
         remote_offset: u64,
         length: u64,
     ) -> PtlResult<()> {
+        do_get(
+            &self.core,
+            &self.node,
+            md,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            remote_offset,
+            length,
+        )
+    }
+
+    // ----- counting events & triggered operations ---------------------------
+
+    /// Allocate a counting event (spec lineage: `PtlCTAlloc`).
+    pub fn ct_alloc(&self) -> PtlResult<CtHandle> {
+        if self.core.state.cts.len() >= self.core.config.limits.max_counting_events {
+            return Err(PtlError::NoSpace);
+        }
+        Ok(self.core.state.cts.insert(CountingEvent::new()))
+    }
+
+    /// Free a counting event (spec lineage: `PtlCTFree`). Blocked waiters
+    /// wake with [`PtlError::InvalidCt`]; parked triggers are discarded.
+    pub fn ct_free(&self, h: CtHandle) -> PtlResult<()> {
+        let ct = self.core.state.cts.remove(h).ok_or(PtlError::InvalidCt)?;
+        ct.free_wake();
+        Ok(())
+    }
+
+    /// Current counter value (spec lineage: `PtlCTGet`).
+    pub fn ct_get(&self, h: CtHandle) -> PtlResult<CtValue> {
+        self.core
+            .state
+            .cts
+            .with(h, CountingEvent::get)
+            .ok_or(PtlError::InvalidCt)
+    }
+
+    /// Block until `success + failure >= test` (spec lineage: `PtlCTWait`).
+    /// Returning at `test` additionally guarantees every trigger with
+    /// threshold ≤ the observed success count has fired (see [`crate::ct`]).
+    pub fn ct_wait(&self, h: CtHandle, test: u64) -> PtlResult<CtValue> {
+        self.ct_wait_inner(h, test, None)
+    }
+
+    /// [`NetworkInterface::ct_wait`] with a deadline (spec lineage:
+    /// `PtlCTPoll`).
+    pub fn ct_poll(&self, h: CtHandle, test: u64, timeout: Duration) -> PtlResult<CtValue> {
+        self.ct_wait_inner(h, test, Some(timeout))
+    }
+
+    fn ct_wait_inner(
+        &self,
+        h: CtHandle,
+        test: u64,
+        timeout: Option<Duration>,
+    ) -> PtlResult<CtValue> {
+        let ct = self
+            .core
+            .state
+            .cts
+            .get_clone(h)
+            .ok_or(PtlError::InvalidCt)?;
+        match self.core.config.progress {
+            ProgressModel::ApplicationBypass => ct.wait(test, timeout),
+            ProgressModel::HostDriven => {
+                // Progress happens only inside this call (same pattern as
+                // `eq_wait_inner`): pump, test, nap on raw arrival.
+                let deadline = timeout.map(|t| Instant::now() + t);
+                loop {
+                    self.progress();
+                    if let Some(v) = ct.try_check(test)? {
+                        return Ok(v);
+                    }
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return Err(PtlError::Timeout);
+                        }
+                    }
+                    self.core.wait_raw(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Overwrite a counter's value (spec lineage: `PtlCTSet`). A forward jump
+    /// fires any triggers it makes due, in the calling thread.
+    pub fn ct_set(&self, h: CtHandle, value: CtValue) -> PtlResult<()> {
+        let ct = self
+            .core
+            .state
+            .cts
+            .get_clone(h)
+            .ok_or(PtlError::InvalidCt)?;
+        let due = ct.set_and_take(value);
+        if !due.is_empty() {
+            for op in due {
+                triggered::fire(&self.core, &self.node, op);
+            }
+            ct.fire_done();
+        }
+        Ok(())
+    }
+
+    /// Host-side success increment (spec lineage: `PtlCTInc`); fires any
+    /// triggers that become due, in the calling thread.
+    pub fn ct_inc(&self, h: CtHandle, increment: u64) -> PtlResult<()> {
+        if triggered::ct_increment(&self.core, &self.node, h, increment) {
+            Ok(())
+        } else {
+            Err(PtlError::InvalidCt)
+        }
+    }
+
+    /// Host-side failure increment. Failures satisfy `ct_wait`/`ct_poll`
+    /// thresholds (so blocked waiters can observe errors) but never fire
+    /// triggers.
+    pub fn ct_inc_failure(&self, h: CtHandle, increment: u64) -> PtlResult<()> {
+        let ct = self
+            .core
+            .state
+            .cts
+            .get_clone(h)
+            .ok_or(PtlError::InvalidCt)?;
+        ct.add_failure(increment);
+        Ok(())
+    }
+
+    /// Queue a put against `trig_ct`: it launches — in engine context — the
+    /// moment the counter's success count reaches `threshold` (spec lineage:
+    /// `PtlTriggeredPut`). The source bytes are read at fire time. If the
+    /// threshold is already met the put fires immediately in this thread.
+    #[allow(clippy::too_many_arguments)] // mirrors PtlTriggeredPut's arity
+    pub fn triggered_put(
+        &self,
+        md: MdHandle,
+        ack: AckRequest,
+        target: ProcessId,
+        portal_index: u32,
+        cookie: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
+        trig_ct: CtHandle,
+        threshold: u64,
+    ) -> PtlResult<()> {
         if target.has_wildcard() {
             return Err(PtlError::InvalidProcess);
         }
-        if length as usize > self.core.config.limits.max_message_size {
-            return Err(PtlError::LimitExceeded);
-        }
-        let eq = self
-            .core
-            .state
-            .mds
-            .with_mut(md, |mdr| {
-                if !mdr.threshold.active() {
-                    return Err(PtlError::InvalidMd);
-                }
-                mdr.threshold = mdr.threshold.decrement();
-                mdr.pending_ops += 1;
-                Ok(mdr.eq)
-            })
-            .ok_or(PtlError::InvalidMd)??;
-        let msg = PortalsMessage::Get(GetRequest {
-            header: RequestHeader {
-                initiator: self.core.id,
+        self.register_trigger(
+            trig_ct,
+            threshold,
+            TriggeredOp::Put {
+                md,
+                ack,
                 target,
                 portal_index,
                 cookie,
                 match_bits,
-                offset: remote_offset,
-                length,
+                remote_offset,
             },
-            reply_md: md.to_raw(),
-        });
-        self.transmit(target, msg, md, eq, match_bits, portal_index, length)
+        )
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn transmit(
+    /// Queue a get against `trig_ct` (spec lineage: `PtlTriggeredGet`); same
+    /// firing contract as [`NetworkInterface::triggered_put`].
+    #[allow(clippy::too_many_arguments)] // mirrors PtlTriggeredGet's arity
+    pub fn triggered_get(
         &self,
-        target: ProcessId,
-        msg: PortalsMessage,
         md: MdHandle,
-        eq: Option<EqHandle>,
-        match_bits: MatchBits,
+        target: ProcessId,
         portal_index: u32,
+        cookie: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
         length: u64,
+        trig_ct: CtHandle,
+        threshold: u64,
     ) -> PtlResult<()> {
-        // Log `Sent` *before* handing the message to the network: the reply or
-        // ack for this operation can race back through the dispatcher thread,
-        // and its event must not be able to precede ours on the same queue.
-        if let Some(eqh) = eq {
-            let event = Event {
-                kind: EventKind::Sent,
-                initiator: self.core.id,
-                portal_index,
-                match_bits,
-                rlength: length,
-                mlength: length,
-                offset: 0,
-                md,
-            };
-            if self.core.state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
-                self.core
-                    .counters
-                    .events_overwritten
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            }
+        if target.has_wildcard() {
+            return Err(PtlError::InvalidProcess);
         }
-        self.node.endpoint.send(target.nid, msg.encode());
-        self.core
-            .counters
-            .messages_sent
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.register_trigger(
+            trig_ct,
+            threshold,
+            TriggeredOp::Get {
+                md,
+                target,
+                portal_index,
+                cookie,
+                match_bits,
+                remote_offset,
+                length,
+            },
+        )
+    }
+
+    /// Queue an increment of `ct` against `trig_ct` (spec lineage:
+    /// `PtlTriggeredCTInc`) — the primitive for chaining counters.
+    pub fn triggered_ct_inc(
+        &self,
+        ct: CtHandle,
+        increment: u64,
+        trig_ct: CtHandle,
+        threshold: u64,
+    ) -> PtlResult<()> {
+        self.register_trigger(trig_ct, threshold, TriggeredOp::CtInc { ct, increment })
+    }
+
+    fn register_trigger(
+        &self,
+        trig_ct: CtHandle,
+        threshold: u64,
+        op: TriggeredOp,
+    ) -> PtlResult<()> {
+        let ct = self
+            .core
+            .state
+            .cts
+            .get_clone(trig_ct)
+            .ok_or(PtlError::InvalidCt)?;
+        if let Some(op) = ct.register(threshold, op)? {
+            triggered::fire(&self.core, &self.node, op);
+            ct.fire_done();
+        }
         Ok(())
     }
 
@@ -703,6 +843,167 @@ impl NetworkInterface {
     pub fn raw_pending(&self) -> usize {
         self.core.raw.lock().len()
     }
+}
+
+/// The body of [`NetworkInterface::put`], shared with engine-context firing
+/// of triggered puts (which hold only a `NiCore`, not the interface).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn do_put(
+    core: &NiCore,
+    node: &NodeShared,
+    md: MdHandle,
+    ack: AckRequest,
+    target: ProcessId,
+    portal_index: u32,
+    cookie: u32,
+    match_bits: MatchBits,
+    remote_offset: u64,
+) -> PtlResult<()> {
+    if target.has_wildcard() {
+        return Err(PtlError::InvalidProcess);
+    }
+    let max = core.config.limits.max_message_size;
+    let (payload, eq, length) = core
+        .state
+        .mds
+        .with_mut(md, |mdr| {
+            if !mdr.threshold.active() {
+                return Err(PtlError::InvalidMd);
+            }
+            mdr.threshold = mdr.threshold.decrement();
+            let length = mdr.len() as u64;
+            if length as usize > max {
+                return Err(PtlError::LimitExceeded);
+            }
+            Ok((Bytes::from(mdr.read(0, length)), mdr.eq, length))
+        })
+        .ok_or(PtlError::InvalidMd)??;
+
+    let (ack_md, ack_eq) = match ack {
+        AckRequest::Ack => (md.to_raw(), eq.map_or(RAW_HANDLE_NONE, |e| e.to_raw())),
+        AckRequest::NoAck => (RAW_HANDLE_NONE, RAW_HANDLE_NONE),
+    };
+    let msg = PortalsMessage::Put(PutRequest {
+        header: RequestHeader {
+            initiator: core.id,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            offset: remote_offset,
+            length,
+        },
+        ack_md,
+        ack_eq,
+        payload,
+    });
+    transmit(
+        core,
+        node,
+        target,
+        msg,
+        md,
+        eq,
+        match_bits,
+        portal_index,
+        length,
+    )
+}
+
+/// The body of [`NetworkInterface::get`], shared with engine-context firing
+/// of triggered gets.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn do_get(
+    core: &NiCore,
+    node: &NodeShared,
+    md: MdHandle,
+    target: ProcessId,
+    portal_index: u32,
+    cookie: u32,
+    match_bits: MatchBits,
+    remote_offset: u64,
+    length: u64,
+) -> PtlResult<()> {
+    if target.has_wildcard() {
+        return Err(PtlError::InvalidProcess);
+    }
+    if length as usize > core.config.limits.max_message_size {
+        return Err(PtlError::LimitExceeded);
+    }
+    let eq = core
+        .state
+        .mds
+        .with_mut(md, |mdr| {
+            if !mdr.threshold.active() {
+                return Err(PtlError::InvalidMd);
+            }
+            mdr.threshold = mdr.threshold.decrement();
+            mdr.pending_ops += 1;
+            Ok(mdr.eq)
+        })
+        .ok_or(PtlError::InvalidMd)??;
+    let msg = PortalsMessage::Get(GetRequest {
+        header: RequestHeader {
+            initiator: core.id,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            offset: remote_offset,
+            length,
+        },
+        reply_md: md.to_raw(),
+    });
+    transmit(
+        core,
+        node,
+        target,
+        msg,
+        md,
+        eq,
+        match_bits,
+        portal_index,
+        length,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn transmit(
+    core: &NiCore,
+    node: &NodeShared,
+    target: ProcessId,
+    msg: PortalsMessage,
+    md: MdHandle,
+    eq: Option<EqHandle>,
+    match_bits: MatchBits,
+    portal_index: u32,
+    length: u64,
+) -> PtlResult<()> {
+    // Log `Sent` *before* handing the message to the network: the reply or
+    // ack for this operation can race back through the dispatcher thread,
+    // and its event must not be able to precede ours on the same queue.
+    if let Some(eqh) = eq {
+        let event = Event {
+            kind: EventKind::Sent,
+            initiator: core.id,
+            portal_index,
+            match_bits,
+            rlength: length,
+            mlength: length,
+            offset: 0,
+            md,
+        };
+        if core.state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
+            core.counters
+                .events_overwritten
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    node.endpoint.send(target.nid, msg.encode());
+    core.counters
+        .messages_sent
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    Ok(())
 }
 
 impl Drop for NetworkInterface {

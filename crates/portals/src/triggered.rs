@@ -1,0 +1,147 @@
+//! Triggered operations: data movement fired by counting events.
+//!
+//! A triggered put/get is an ordinary initiator operation whose *launch* is
+//! deferred until a [`crate::ct::CountingEvent`] reaches a threshold. The
+//! schedule is entirely **initiator-local** — nothing new crosses the wire;
+//! the four §4.6 message types are untouched — which keeps the paper's
+//! "minimal state in the interface" property: the remote side sees plain puts
+//! and gets.
+//!
+//! Firing context: the §4.8 delivery paths call `ct_increment` from the
+//! engine — the dispatcher thread under application bypass — so a chain
+//! `recv → counter → triggered put` runs with zero host involvement, which is
+//! the §5.1 bypass claim extended from single messages to whole collective
+//! schedules. Host-side registrations whose threshold is already met fire in
+//! the registering thread instead.
+//!
+//! Lock discipline: ops are extracted from the counter under its lock but
+//! fired *after* it is released, and the engine drops the portal-list lock
+//! before incrementing; firing re-enters the normal `do_put`/`do_get` path
+//! and may take arena shard locks and send on the endpoint, none of which
+//! nest inside a counter or portal lock. A `CtInc` trigger may recurse into
+//! another counter; chains terminate because counters are monotone and each
+//! heap only shrinks while firing.
+
+use crate::ni::{self, AckRequest, NiCore};
+use crate::node::NodeShared;
+use crate::{CtHandle, MdHandle};
+use portals_types::{MatchBits, ProcessId};
+use std::sync::atomic::Ordering;
+
+/// An operation parked on a counting event until its threshold is reached.
+#[derive(Debug, Clone)]
+pub enum TriggeredOp {
+    /// A put, identical in meaning to [`crate::NetworkInterface::put`]. The
+    /// source descriptor's bytes are snapshotted at *fire* time, not at
+    /// registration.
+    Put {
+        /// Source memory descriptor.
+        md: MdHandle,
+        /// Ack request flag.
+        ack: AckRequest,
+        /// Target process.
+        target: ProcessId,
+        /// Target portal index.
+        portal_index: u32,
+        /// Access-control cookie.
+        cookie: u32,
+        /// Match bits for the target's translation.
+        match_bits: MatchBits,
+        /// Offset within the target region.
+        remote_offset: u64,
+    },
+    /// A get, identical in meaning to [`crate::NetworkInterface::get`].
+    Get {
+        /// Reply destination descriptor.
+        md: MdHandle,
+        /// Target process.
+        target: ProcessId,
+        /// Target portal index.
+        portal_index: u32,
+        /// Access-control cookie.
+        cookie: u32,
+        /// Match bits for the target's translation.
+        match_bits: MatchBits,
+        /// Offset within the target region.
+        remote_offset: u64,
+        /// Bytes requested.
+        length: u64,
+    },
+    /// Increment another counting event — the chaining primitive.
+    CtInc {
+        /// Counter to bump.
+        ct: CtHandle,
+        /// Success increment.
+        increment: u64,
+    },
+}
+
+/// Launch one extracted trigger. Never called holding a counter or portal
+/// lock (see module docs).
+pub(crate) fn fire(core: &NiCore, node: &NodeShared, op: TriggeredOp) {
+    let result = match op {
+        TriggeredOp::Put {
+            md,
+            ack,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            remote_offset,
+        } => ni::do_put(
+            core,
+            node,
+            md,
+            ack,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            remote_offset,
+        ),
+        TriggeredOp::Get {
+            md,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            remote_offset,
+            length,
+        } => ni::do_get(
+            core,
+            node,
+            md,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            remote_offset,
+            length,
+        ),
+        TriggeredOp::CtInc { ct, increment } => {
+            ct_increment(core, node, ct, increment);
+            Ok(())
+        }
+    };
+    let counter = match result {
+        Ok(()) => &core.counters.triggered_fired,
+        Err(_) => &core.counters.triggered_failed,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count `n` successes on `h` and fire every trigger that becomes due, in
+/// (threshold, registration) order. Returns false if the handle is stale.
+pub(crate) fn ct_increment(core: &NiCore, node: &NodeShared, h: CtHandle, n: u64) -> bool {
+    let Some(ct) = core.state.cts.get_clone(h) else {
+        return false;
+    };
+    let due = ct.add_and_take(n);
+    if !due.is_empty() {
+        for op in due {
+            fire(core, node, op);
+        }
+        ct.fire_done();
+    }
+    true
+}

@@ -13,10 +13,24 @@
 //! * alltoall — fully posted nonblocking exchange;
 //! * barrier — the communicator's dissemination barrier.
 
-use portals::iobuf;
-use portals_mpi::bits::MAX_USER_TAG;
+use parking_lot::Mutex;
+use portals::{
+    iobuf, AckRequest, CombineOp, CtHandle, IoBuf, MdHandle, MdOptions, MdSpec, MePos, Threshold,
+};
+use portals_mpi::bits::{Context, MAX_USER_TAG};
 use portals_mpi::{Communicator, Request};
-use portals_types::Rank;
+use portals_types::{MatchBits, MatchCriteria, ProcessId, Rank};
+
+// Collective tags live in the band `[MAX_USER_TAG + COLL_TAG_BASE_OFFSET,
+// MAX_USER_TAG + COLL_TAG_BASE_OFFSET + COLL_TAG_SPAN)` granted by the MPI
+// layer; `validate_reserved_layout` (checked at communicator construction)
+// keeps barrier rounds below it. Drifting outside the band is a compile error.
+const _: () = assert!(
+    0x108 >= portals_mpi::bits::COLL_TAG_BASE_OFFSET
+        && 0x100 == portals_mpi::bits::COLL_TAG_BASE_OFFSET
+        && 0x108 < portals_mpi::bits::COLL_TAG_BASE_OFFSET + portals_mpi::bits::COLL_TAG_SPAN,
+    "collective tags outside the reserved band granted by the MPI layer"
+);
 
 const TAG_BCAST: u32 = MAX_USER_TAG + 0x100;
 const TAG_REDUCE: u32 = MAX_USER_TAG + 0x101;
@@ -49,6 +63,17 @@ impl ReduceOp {
             ReduceOp::Max => into.iter_mut().zip(other).for_each(|(a, b)| *a = a.max(*b)),
         }
     }
+
+    /// The equivalent engine-side combining operator. Lane-for-lane identical
+    /// to [`ReduceOp::combine`] with the existing value on the left — the
+    /// property the offloaded/host-driven differential test relies on.
+    fn combine_op(self) -> CombineOp {
+        match self {
+            ReduceOp::Sum => CombineOp::Sum,
+            ReduceOp::Min => CombineOp::Min,
+            ReduceOp::Max => CombineOp::Max,
+        }
+    }
 }
 
 /// Allreduce algorithm choice (ablation target).
@@ -71,6 +96,17 @@ pub enum AllgatherAlgo {
     Linear,
 }
 
+/// Ablation switch for counter-offloaded collectives (§5.1 extended from
+/// single messages to whole schedules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriggeredConfig {
+    /// Route `barrier`/`bcast`/`allreduce` through pre-posted triggered
+    /// schedules on the Portals interface instead of host send/recv loops.
+    /// The host pre-posts the full schedule, then blocks on one terminal
+    /// counting event; everything in between runs in engine context.
+    pub offload: bool,
+}
+
 /// The collective library bound to one communicator.
 pub struct Collectives {
     comm: Communicator,
@@ -78,15 +114,46 @@ pub struct Collectives {
     pub allreduce_algo: AllreduceAlgo,
     /// Allgather algorithm.
     pub allgather_algo: AllgatherAlgo,
+    /// Present iff offloaded collectives are enabled.
+    offload: Option<Mutex<OffloadState>>,
 }
 
 impl Collectives {
     /// Bind to a communicator with default algorithms.
     pub fn new(comm: Communicator) -> Collectives {
+        Collectives::with_triggered(comm, TriggeredConfig::default())
+    }
+
+    /// Bind to a communicator, optionally enabling offloaded collectives.
+    ///
+    /// With `config.offload` set this pre-posts the first barrier slot and
+    /// runs one host barrier so every rank's slot exists before any round
+    /// message can be sent; construction is therefore collective.
+    pub fn with_triggered(comm: Communicator, config: TriggeredConfig) -> Collectives {
+        let offload = config.offload.then(|| {
+            let mut st = OffloadState {
+                next_seq: 0,
+                next_barrier: None,
+                zero_md: comm
+                    .engine()
+                    .ni()
+                    .md_bind(MdSpec::new(iobuf(Vec::new())))
+                    .expect("bind zero-length barrier source"),
+                active: false,
+            };
+            if comm.size() > 1 {
+                let seq = st.alloc_seq();
+                st.next_barrier = Some(post_barrier_slot(&comm, seq));
+                // Everyone's slot 0 must exist before anyone's round-0 put.
+                comm.barrier();
+            }
+            Mutex::new(st)
+        });
         Collectives {
             comm,
             allreduce_algo: Default::default(),
             allgather_algo: Default::default(),
+            offload,
         }
     }
 
@@ -132,12 +199,26 @@ impl Collectives {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
-        self.comm.barrier();
+        if self.offload.is_some() {
+            let p = self.start_barrier();
+            self.finish_barrier(p);
+        } else {
+            self.comm.barrier();
+        }
     }
 
     /// Binomial-tree broadcast: `data` must be the same length on every rank;
     /// after the call every rank holds the root's bytes.
     pub fn bcast(&self, root: usize, data: &mut [u8]) {
+        if self.offload.is_some() {
+            let p = self.start_bcast(root, data);
+            self.finish_bcast(p, data);
+            return;
+        }
+        self.bcast_host(root, data);
+    }
+
+    fn bcast_host(&self, root: usize, data: &mut [u8]) {
         let n = self.n();
         if n == 1 {
             return;
@@ -197,6 +278,11 @@ impl Collectives {
     /// Allreduce: every rank ends with the element-wise reduction of all
     /// ranks' `data`.
     pub fn allreduce(&self, data: &mut [f64], op: ReduceOp) {
+        if self.offload.is_some() {
+            let p = self.start_allreduce(data, op);
+            self.finish_allreduce(p, data);
+            return;
+        }
         match self.allreduce_algo {
             AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(data, op),
             AllreduceAlgo::ReduceBroadcast => {
@@ -391,6 +477,599 @@ impl Collectives {
             self.comm.wait(req);
         }
         out
+    }
+}
+
+// -- offloaded (triggered) collectives --------------------------------------
+//
+// The host's only jobs are to pre-post the schedule (match entries with
+// counting events, plus triggered puts parked on those counters) and to block
+// on ONE terminal counter. Every intermediate step — combine, forward,
+// hand-back — fires in engine context the moment its input counter crosses
+// threshold. Collective traffic lives on its own portal (`PT_COLL`) with
+// per-invocation match bits, invisible to the MPI portals 0–2.
+
+/// Portal reserved for offloaded collective schedules (MPI owns 0–2).
+const PT_COLL: u32 = 3;
+/// ACL entry 0: "same application, any portal".
+const COLL_COOKIE: u32 = 0;
+
+const KIND_BCAST: u64 = 2;
+const KIND_FOLD: u64 = 3;
+const KIND_FINAL: u64 = 4;
+/// Allreduce stage `j` uses kind `KIND_STAGE + j`.
+const KIND_STAGE: u64 = 16;
+/// Barrier round `r` uses kind `KIND_BARRIER + r`. Rounds must be
+/// distinguishable — a round-`r` message may only satisfy the round-`r`
+/// receive, or the dissemination proof (completion ⟹ every rank entered)
+/// collapses and parked data sends can race ahead of a rank that has not
+/// posted its landing entries yet.
+const KIND_BARRIER: u64 = 64;
+
+/// `[kind:8 | context:16 | seq:32]` — disjoint per communicator + invocation.
+fn coll_bits(kind: u64, ctx: Context, seq: u32) -> MatchBits {
+    MatchBits(kind << 48 | (ctx as u64) << 32 | seq as u64)
+}
+
+/// ⌈log₂ n⌉ for n ≥ 2: dissemination-barrier round count.
+fn ceil_log2(n: usize) -> u32 {
+    debug_assert!(n >= 2);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// The pre-posted receive side of one barrier invocation: one match entry and
+/// counter per dissemination round, plus a chained conjunction counter per
+/// round.
+///
+/// The conjunction chain is what makes the dissemination proof hold: classic
+/// dissemination sends round `r` only after receiving *all* rounds `0..r` —
+/// parking it on round `r−1` alone lets a rank fire ahead of its earlier
+/// rounds, and then fence completion no longer proves every rank entered.
+/// `dones[r−1]` reaches 2 exactly when rounds `0..=r` have all arrived
+/// (one chained increment from `recvs[r]`, one from the previous link).
+struct BarrierSlot {
+    seq: u32,
+    /// `recvs[r]` counts the (single) round-`r` message; target 1.
+    recvs: Vec<CtHandle>,
+    /// `dones[r−1]` = "rounds `0..=r` all received" for r ≥ 1; target 2.
+    dones: Vec<CtHandle>,
+}
+
+impl BarrierSlot {
+    /// The counter + threshold whose completion proves every rank entered
+    /// this invocation.
+    fn terminal(&self) -> (CtHandle, u64) {
+        match self.dones.last() {
+            Some(&d) => (d, 2),
+            None => (self.recvs[0], 1),
+        }
+    }
+}
+
+struct OffloadState {
+    /// Invocation sequence, identical on every rank because collective calls
+    /// are ordered identically on every rank.
+    next_seq: u32,
+    /// Slot for the *next* barrier invocation, posted one ahead: completing
+    /// barrier `i` proves every rank entered `i`, hence every rank posted
+    /// `i+1` — so an early round-0 put for `i+1` always finds its entry.
+    next_barrier: Option<BarrierSlot>,
+    /// Persistent zero-length source for barrier round puts.
+    zero_md: MdHandle,
+    /// One outstanding offloaded collective at a time.
+    active: bool,
+}
+
+impl OffloadState {
+    fn alloc_seq(&mut self) -> u32 {
+        let s = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        s
+    }
+}
+
+/// Post the receive side of barrier invocation `seq`: ⌈log₂ n⌉ wildcard-free
+/// match entries, one per dissemination round, each with a zero-length MD
+/// counting its single round message and self-unlinking afterwards.
+fn post_barrier_slot(comm: &Communicator, seq: u32) -> BarrierSlot {
+    let ni = comm.engine().ni();
+    let rounds = ceil_log2(comm.size()) as u64;
+    let recvs: Vec<CtHandle> = (0..rounds)
+        .map(|r| {
+            let ct = ni.ct_alloc().expect("allocate barrier counter");
+            let me = ni
+                .me_attach(
+                    PT_COLL,
+                    ProcessId::ANY,
+                    MatchCriteria::exact(coll_bits(KIND_BARRIER + r, comm.context(), seq)),
+                    true,
+                    MePos::Back,
+                )
+                .expect("attach barrier entry");
+            ni.md_attach(
+                me,
+                MdSpec::new(iobuf(Vec::new()))
+                    .with_ct(ct)
+                    .with_threshold(Threshold::Count(1))
+                    .with_options(MdOptions {
+                        unlink_on_exhaustion: true,
+                        ..Default::default()
+                    }),
+            )
+            .expect("attach barrier descriptor");
+            ct
+        })
+        .collect();
+    // Conjunction chain: dones[r−1] gets one increment when round r arrives
+    // and one when the previous link completes, so it reaches 2 exactly when
+    // rounds 0..=r have all been received.
+    let mut dones = Vec::new();
+    let mut prev = (recvs[0], 1u64);
+    for &recv in &recvs[1..] {
+        let d = ni.ct_alloc().expect("allocate barrier chain counter");
+        ni.triggered_ct_inc(d, 1, recv, 1)
+            .expect("chain round receive");
+        ni.triggered_ct_inc(d, 1, prev.0, prev.1)
+            .expect("chain previous link");
+        dones.push(d);
+        prev = (d, 2);
+    }
+    BarrierSlot { seq, recvs, dones }
+}
+
+/// A pre-posted offloaded collective: everything between [`Collectives`]
+/// `start_*` and `finish_*` runs without host involvement.
+pub struct PendingColl {
+    /// Counters to wait on at finish; `waits[0]` is the terminal one.
+    waits: Vec<(CtHandle, u64)>,
+    /// Buffer holding this rank's result, if the user slice must be filled.
+    result: Option<IoBuf>,
+    /// Initiator-side bind MDs to unlink at finish.
+    binds: Vec<MdHandle>,
+    /// Non-terminal counters to free at finish.
+    cts: Vec<CtHandle>,
+}
+
+impl PendingColl {
+    /// The terminal counter and its threshold — reaching it means the whole
+    /// schedule ran. `None` for the single-rank no-op.
+    pub fn terminal(&self) -> Option<(CtHandle, u64)> {
+        self.waits.first().copied()
+    }
+
+    fn noop() -> PendingColl {
+        PendingColl {
+            waits: Vec::new(),
+            result: None,
+            binds: Vec::new(),
+            cts: Vec::new(),
+        }
+    }
+}
+
+impl Collectives {
+    /// True when this library routes barrier/bcast/allreduce through
+    /// triggered schedules.
+    pub fn offloaded(&self) -> bool {
+        self.offload.is_some()
+    }
+
+    fn offload_state(&self) -> parking_lot::MutexGuard<'_, OffloadState> {
+        let mut st = self
+            .offload
+            .as_ref()
+            .expect("offloaded collectives not enabled")
+            .lock();
+        assert!(!st.active, "one offloaded collective at a time");
+        st.active = true;
+        st
+    }
+
+    /// Enter the pre-posted barrier invocation: post the *next* slot, park
+    /// each round-`r` send (r ≥ 1) on the "rounds 0..r−1 all received" chain
+    /// link, send round 0 directly. Returns the wait list for this
+    /// invocation's counters — terminal first. Every entry must be waited
+    /// before the counters are freed: freeing one early would discard a
+    /// parked round send or chain increment that a peer still depends on.
+    fn enter_fence(&self, st: &mut OffloadState) -> Vec<(CtHandle, u64)> {
+        let n = self.n();
+        let me = self.me();
+        let ni = self.comm.engine().ni();
+        let rounds = ceil_log2(n) as u64;
+        let slot = st.next_barrier.take().expect("barrier slot pre-posted");
+        let next_seq = st.alloc_seq();
+        st.next_barrier = Some(post_barrier_slot(&self.comm, next_seq));
+        let mut prev = (slot.recvs[0], 1u64);
+        for r in 1..rounds {
+            let peer = Rank(((me + (1usize << r)) % n) as u32);
+            ni.triggered_put(
+                st.zero_md,
+                AckRequest::NoAck,
+                self.comm.process(peer),
+                PT_COLL,
+                COLL_COOKIE,
+                coll_bits(KIND_BARRIER + r, self.comm.context(), slot.seq),
+                0,
+                prev.0,
+                prev.1,
+            )
+            .expect("park barrier round");
+            prev = (slot.dones[(r - 1) as usize], 2);
+        }
+        let peer0 = Rank(((me + 1) % n) as u32);
+        ni.put(
+            st.zero_md,
+            AckRequest::NoAck,
+            self.comm.process(peer0),
+            PT_COLL,
+            COLL_COOKIE,
+            coll_bits(KIND_BARRIER, self.comm.context(), slot.seq),
+            0,
+        )
+        .expect("send barrier round 0");
+        let mut waits: Vec<(CtHandle, u64)> = slot.recvs.iter().map(|&c| (c, 1)).collect();
+        waits.extend(slot.dones.iter().map(|&d| (d, 2)));
+        // Move the terminal link to the front (it is the last entry when the
+        // chain is non-empty, and already first for the single-round fence).
+        if !slot.dones.is_empty() {
+            let last = waits.len() - 1;
+            waits.swap(0, last);
+        }
+        waits
+    }
+
+    /// Pre-post an offloaded barrier. The returned schedule is complete once
+    /// the terminal counter reaches ⌈log₂ n⌉ — no host progress needed in
+    /// between.
+    pub fn start_barrier(&self) -> PendingColl {
+        let mut st = self.offload_state();
+        if self.n() == 1 {
+            return PendingColl::noop();
+        }
+        let waits = self.enter_fence(&mut st);
+        PendingColl {
+            waits,
+            result: None,
+            binds: Vec::new(),
+            cts: Vec::new(),
+        }
+    }
+
+    /// Pre-post an offloaded binomial broadcast of `data` from `root`.
+    ///
+    /// Non-root ranks post a combining-free landing entry counting one put and
+    /// park their forwarding puts at threshold 1 on it; the root parks its
+    /// child puts on the fence counter — so the data wave starts only after
+    /// every rank has posted, and propagates entirely in engine context.
+    pub fn start_bcast(&self, root: usize, data: &[u8]) -> PendingColl {
+        let mut st = self.offload_state();
+        let n = self.n();
+        if n == 1 {
+            return PendingColl::noop();
+        }
+        let me = self.me();
+        let ni = self.comm.engine().ni();
+        let ctx = self.comm.context();
+        let seq = st.alloc_seq();
+        // Terminal counter of the fence this invocation is about to enter:
+        // completing it proves every rank has posted its landing entries.
+        let (fence_ct, fence_thr) = st
+            .next_barrier
+            .as_ref()
+            .expect("slot pre-posted")
+            .terminal();
+        let bits = coll_bits(KIND_BCAST, ctx, seq);
+        let vrank = (me + n - root) % n;
+
+        // Root: `buf` carries the payload. Non-root: it is the landing area.
+        let buf = iobuf(data.to_vec());
+        let send_md = ni
+            .md_bind(MdSpec::new(buf.clone()))
+            .expect("bind bcast buffer");
+        let mut waits = Vec::new();
+        if vrank != 0 {
+            let ct = ni.ct_alloc().expect("allocate bcast counter");
+            let meh = ni
+                .me_attach(
+                    PT_COLL,
+                    ProcessId::ANY,
+                    MatchCriteria::exact(bits),
+                    true,
+                    MePos::Back,
+                )
+                .expect("attach bcast entry");
+            ni.md_attach(
+                meh,
+                MdSpec::new(buf.clone())
+                    .with_ct(ct)
+                    .with_threshold(Threshold::Count(1))
+                    .with_options(MdOptions {
+                        unlink_on_exhaustion: true,
+                        ..Default::default()
+                    }),
+            )
+            .expect("attach bcast descriptor");
+            waits.push((ct, 1));
+        }
+        let (trig_ct, threshold) = if vrank == 0 {
+            (fence_ct, fence_thr)
+        } else {
+            (waits[0].0, 1)
+        };
+        // Same child set and order as the host binomial tree: masks below the
+        // receive mask, largest (deepest subtree) first.
+        let mut mask = 1usize;
+        while mask < n && vrank & mask == 0 {
+            mask <<= 1;
+        }
+        let mut m = mask >> 1;
+        while m > 0 {
+            if vrank & m == 0 && vrank + m < n {
+                let child = Rank((((vrank + m) + root) % n) as u32);
+                ni.triggered_put(
+                    send_md,
+                    AckRequest::NoAck,
+                    self.comm.process(child),
+                    PT_COLL,
+                    COLL_COOKIE,
+                    bits,
+                    0,
+                    trig_ct,
+                    threshold,
+                )
+                .expect("park bcast forward");
+            }
+            m >>= 1;
+        }
+        waits.extend(self.enter_fence(&mut st));
+        PendingColl {
+            waits,
+            result: (vrank != 0).then_some(buf),
+            binds: vec![send_md],
+            cts: Vec::new(),
+        }
+    }
+
+    /// Pre-post an offloaded recursive-doubling allreduce over `data`.
+    ///
+    /// Identity-initialized *combining* descriptors (one per stage) fold the
+    /// two per-stage contributions in the engine; each rank's stage-`j` sends
+    /// — one to the stage partner, one loopback to itself — are parked on the
+    /// stage-`j−1` counter. Non-power-of-two sizes use the standard fold-in:
+    /// extras hand their vector to a core partner up front (parked on the
+    /// fence) and receive the final result back.
+    pub fn start_allreduce(&self, data: &[f64], op: ReduceOp) -> PendingColl {
+        let mut st = self.offload_state();
+        let n = self.n();
+        if n == 1 {
+            return PendingColl::noop();
+        }
+        let me = self.me();
+        let ni = self.comm.engine().ni();
+        let ctx = self.comm.context();
+        let seq = st.alloc_seq();
+        // Terminal counter of the fence this invocation is about to enter:
+        // completing it proves every rank has posted its landing entries.
+        let (fence_ct, fence_thr) = st
+            .next_barrier
+            .as_ref()
+            .expect("slot pre-posted")
+            .terminal();
+        let p = n.next_power_of_two() >> if n.is_power_of_two() { 0 } else { 1 };
+        let extra = n - p;
+        let cop = op.combine_op();
+        let unlink = MdOptions {
+            unlink_on_exhaustion: true,
+            ..Default::default()
+        };
+
+        let mut waits = Vec::new();
+        let mut binds = Vec::new();
+        let mut cts = Vec::new();
+        let result;
+
+        if me < p {
+            let stages = ceil_log2(p) as u64; // p ≥ 2 whenever n ≥ 2
+                                              // Fold buffer: starts as this rank's own contribution; an extra's
+                                              // vector (if any) combines into it.
+            let fold_buf = iobuf(encode_f64(data));
+            let fold_bind = ni
+                .md_bind(MdSpec::new(fold_buf.clone()))
+                .expect("bind fold buffer");
+            binds.push(fold_bind);
+            let c0 = (me < extra).then(|| {
+                let ct = ni.ct_alloc().expect("allocate fold counter");
+                let meh = ni
+                    .me_attach(
+                        PT_COLL,
+                        ProcessId::ANY,
+                        MatchCriteria::exact(coll_bits(KIND_FOLD, ctx, seq)),
+                        true,
+                        MePos::Back,
+                    )
+                    .expect("attach fold entry");
+                ni.md_attach(
+                    meh,
+                    MdSpec::new(fold_buf.clone())
+                        .with_ct(ct)
+                        .with_combine(cop)
+                        .with_threshold(Threshold::Count(1))
+                        .with_options(unlink),
+                )
+                .expect("attach fold descriptor");
+                ct
+            });
+            // Per-stage identity-initialized combining buffers.
+            let mut stage_bufs = Vec::new();
+            let mut stage_cts = Vec::new();
+            for j in 1..=stages {
+                let buf = iobuf(encode_f64(&vec![cop.identity(); data.len()]));
+                let ct = ni.ct_alloc().expect("allocate stage counter");
+                let meh = ni
+                    .me_attach(
+                        PT_COLL,
+                        ProcessId::ANY,
+                        MatchCriteria::exact(coll_bits(KIND_STAGE + j, ctx, seq)),
+                        true,
+                        MePos::Back,
+                    )
+                    .expect("attach stage entry");
+                ni.md_attach(
+                    meh,
+                    MdSpec::new(buf.clone())
+                        .with_ct(ct)
+                        .with_combine(cop)
+                        .with_threshold(Threshold::Count(2))
+                        .with_options(unlink),
+                )
+                .expect("attach stage descriptor");
+                stage_bufs.push(buf);
+                stage_cts.push(ct);
+            }
+            // Park the sends: stage j ships the previous stage's result to the
+            // partner and (loopback) to this rank's own stage-j entry.
+            let mut prev_bind = fold_bind;
+            let (mut trig, mut thr) = match c0 {
+                Some(c) => (c, 1),
+                None => (fence_ct, fence_thr),
+            };
+            for j in 1..=stages {
+                let partner = me ^ (1usize << (j - 1));
+                let bits_j = coll_bits(KIND_STAGE + j, ctx, seq);
+                for dest in [partner, me] {
+                    ni.triggered_put(
+                        prev_bind,
+                        AckRequest::NoAck,
+                        self.comm.process(Rank(dest as u32)),
+                        PT_COLL,
+                        COLL_COOKIE,
+                        bits_j,
+                        0,
+                        trig,
+                        thr,
+                    )
+                    .expect("park stage send");
+                }
+                let bind = ni
+                    .md_bind(MdSpec::new(stage_bufs[(j - 1) as usize].clone()))
+                    .expect("bind stage buffer");
+                binds.push(bind);
+                prev_bind = bind;
+                trig = stage_cts[(j - 1) as usize];
+                thr = 2;
+            }
+            // Hand the finished vector back to the folded-in extra.
+            if me < extra {
+                ni.triggered_put(
+                    prev_bind,
+                    AckRequest::NoAck,
+                    self.comm.process(Rank((me + p) as u32)),
+                    PT_COLL,
+                    COLL_COOKIE,
+                    coll_bits(KIND_FINAL, ctx, seq),
+                    0,
+                    trig,
+                    thr,
+                )
+                .expect("park final hand-back");
+            }
+            waits.push((trig, thr)); // == (stage R counter, 2)
+            cts.extend(c0);
+            cts.extend(&stage_cts[..stage_cts.len() - 1]);
+            result = stage_bufs.pop();
+        } else {
+            // Extra rank: ship the input to the core partner once every rank
+            // has posted (fence), receive the final result.
+            let input_bind = ni
+                .md_bind(MdSpec::new(iobuf(encode_f64(data))))
+                .expect("bind extra input");
+            binds.push(input_bind);
+            let final_buf = iobuf(vec![0u8; data.len() * 8]);
+            let cf = ni.ct_alloc().expect("allocate final counter");
+            let meh = ni
+                .me_attach(
+                    PT_COLL,
+                    ProcessId::ANY,
+                    MatchCriteria::exact(coll_bits(KIND_FINAL, ctx, seq)),
+                    true,
+                    MePos::Back,
+                )
+                .expect("attach final entry");
+            ni.md_attach(
+                meh,
+                MdSpec::new(final_buf.clone())
+                    .with_ct(cf)
+                    .with_threshold(Threshold::Count(1))
+                    .with_options(unlink),
+            )
+            .expect("attach final descriptor");
+            ni.triggered_put(
+                input_bind,
+                AckRequest::NoAck,
+                self.comm.process(Rank((me - p) as u32)),
+                PT_COLL,
+                COLL_COOKIE,
+                coll_bits(KIND_FOLD, ctx, seq),
+                0,
+                fence_ct,
+                fence_thr,
+            )
+            .expect("park extra fold-in");
+            waits.push((cf, 1));
+            result = Some(final_buf);
+        }
+        waits.extend(self.enter_fence(&mut st));
+        PendingColl {
+            waits,
+            result,
+            binds,
+            cts,
+        }
+    }
+
+    /// Complete an offloaded barrier.
+    pub fn finish_barrier(&self, p: PendingColl) {
+        self.finish_common(p);
+    }
+
+    /// Complete an offloaded broadcast into `data` (same slice length as
+    /// `start_bcast` was given).
+    pub fn finish_bcast(&self, p: PendingColl, data: &mut [u8]) {
+        if let Some(buf) = self.finish_common(p) {
+            data.copy_from_slice(&buf.lock()[..data.len()]);
+        }
+    }
+
+    /// Complete an offloaded allreduce into `data`.
+    pub fn finish_allreduce(&self, p: PendingColl, data: &mut [f64]) {
+        if let Some(buf) = self.finish_common(p) {
+            data.copy_from_slice(&decode_f64(&buf.lock()));
+        }
+    }
+
+    /// Wait every counter (the terminal one first, then the fence — which
+    /// must also complete before its round sends may be reclaimed), then
+    /// release the schedule's resources.
+    fn finish_common(&self, p: PendingColl) -> Option<IoBuf> {
+        let ni = self.comm.engine().ni();
+        for &(ct, target) in &p.waits {
+            ni.ct_wait(ct, target).expect("offloaded collective wait");
+        }
+        for md in p.binds {
+            let _ = ni.md_unlink(md);
+        }
+        for (ct, _) in p.waits {
+            let _ = ni.ct_free(ct);
+        }
+        for ct in p.cts {
+            let _ = ni.ct_free(ct);
+        }
+        self.offload
+            .as_ref()
+            .expect("offloaded collectives not enabled")
+            .lock()
+            .active = false;
+        p.result
     }
 }
 

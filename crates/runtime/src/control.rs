@@ -64,7 +64,7 @@ pub enum Control {
 }
 
 impl Control {
-    /// Serialize to [`RECORD_SIZE`] bytes.
+    /// Serialize to `RECORD_SIZE` (32) bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = vec![0u8; RECORD_SIZE];
         match *self {

@@ -25,7 +25,7 @@ pub mod control;
 pub mod directory;
 pub mod launch;
 
-pub use coll::{AllgatherAlgo, AllreduceAlgo, Collectives, ReduceOp};
+pub use coll::{AllgatherAlgo, AllreduceAlgo, Collectives, PendingColl, ReduceOp, TriggeredConfig};
 pub use control::{Control, Launcher, NodeState, ProcessManager};
 pub use directory::JobDirectory;
 pub use launch::{Job, JobConfig, ProcessEnv};

@@ -28,6 +28,9 @@ pub enum PtlError {
     InvalidMe,
     /// A stale or never-valid event-queue handle (`PTL_INV_EQ`).
     InvalidEq,
+    /// A stale or never-valid counting-event handle (`PTL_INV_CT`; triggered-ops
+    /// extension — counting events postdate the 3.0 spec).
+    InvalidCt,
     /// A bad network-interface handle (`PTL_INV_NI`).
     InvalidNi,
     /// Portal table index out of range (`PTL_INV_PTINDEX`).
@@ -64,6 +67,7 @@ impl PtlError {
             PtlError::InvalidMd => "PTL_INV_MD",
             PtlError::InvalidMe => "PTL_INV_ME",
             PtlError::InvalidEq => "PTL_INV_EQ",
+            PtlError::InvalidCt => "PTL_INV_CT",
             PtlError::InvalidNi => "PTL_INV_NI",
             PtlError::InvalidPortalIndex => "PTL_INV_PTINDEX",
             PtlError::InvalidAcIndex => "PTL_AC_INV_INDEX",

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A node identifier (`nid`). On Cplant™ this named a physical box on the Myrinet
-/// fabric; here it names a simulated node attached to a [`portals-net`] fabric.
+/// fabric; here it names a simulated node attached to a `portals-net` fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 

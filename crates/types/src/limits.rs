@@ -21,6 +21,8 @@ pub struct NiLimits {
     pub max_access_control_entries: usize,
     /// Largest payload a single put/get may move (bytes).
     pub max_message_size: usize,
+    /// Maximum simultaneously-allocated counting events.
+    pub max_counting_events: usize,
 }
 
 impl NiLimits {
@@ -33,6 +35,7 @@ impl NiLimits {
         max_event_queues: 256,
         max_access_control_entries: 64,
         max_message_size: 16 * 1024 * 1024,
+        max_counting_events: 1024,
     };
 
     /// Tiny limits for exhaustion tests.
@@ -43,6 +46,7 @@ impl NiLimits {
         max_event_queues: 2,
         max_access_control_entries: 4,
         max_message_size: 4096,
+        max_counting_events: 2,
     };
 }
 

@@ -147,7 +147,7 @@ impl<T> Sharded<T> {
 
     /// Lock one shard directly (advanced; used when a caller must hold the
     /// object's lock across several operations). The handle's object, if live,
-    /// is at [`Sharded::local_of`] within the returned guard.
+    /// is at the returned shard-local handle within the returned guard.
     pub fn lock_shard_of(
         &self,
         handle: Handle<T>,

@@ -1,7 +1,7 @@
 //! An I/O-protocol style file server over raw Portals.
 //!
 //! §2 of the paper: "the only way to communicate with a process on a compute
-//! node is via Portals, [so] they had to support not only application message
+//! node is via Portals, \[so\] they had to support not only application message
 //! passing, but also I/O protocols to a remote filesystem". This example
 //! sketches that usage: a *system* process serves an in-memory "file" and
 //! compute processes read it with one-sided **gets** (no server-side code runs

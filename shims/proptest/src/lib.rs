@@ -269,7 +269,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`fn@vec`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

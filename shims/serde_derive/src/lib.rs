@@ -3,7 +3,7 @@
 //! Hand-rolled `TokenStream` parsing (no `syn`/`quote` in this container).
 //! Supports exactly what the workspace derives on: non-generic structs with
 //! named fields, tuple structs, and enums with unit variants. The generated
-//! `Serialize` impl renders the shim-serde [`Value`] tree; `Deserialize` is a
+//! `Serialize` impl renders the shim-serde `Value` tree; `Deserialize` is a
 //! marker impl.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
