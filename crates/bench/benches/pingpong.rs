@@ -3,19 +3,29 @@
 //! NIC implementation in progress.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use portals::{iobuf, AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig};
+use portals::{AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
 use portals_net::{Fabric, FabricConfig};
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
 
 fn bench_pingpong(c: &mut Criterion) {
     let mut g = c.benchmark_group("sec3_pingpong");
     g.sample_size(30);
-    for size in [0usize, 64, 4096] {
+    for (size, region_buffers) in [
+        (0usize, true),
+        (64, true),
+        (4096, true),
+        // Ablation: the same RTT with flat-copy buffers at every hop.
+        (4096, false),
+    ] {
+        let ni_cfg = NiConfig {
+            region_buffers,
+            ..Default::default()
+        };
         let fabric = Fabric::new(FabricConfig::ideal());
         let na = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
         let nb = Node::new(fabric.attach(NodeId(1)), NodeConfig::default());
-        let a = na.create_ni(1, NiConfig::default()).unwrap();
-        let b = nb.create_ni(1, NiConfig::default()).unwrap();
+        let a = na.create_ni(1, ni_cfg.clone()).unwrap();
+        let b = nb.create_ni(1, ni_cfg).unwrap();
         let (a_id, b_id) = (a.id(), b.id());
 
         let setup = |ni: &portals::NetworkInterface| {
@@ -23,7 +33,7 @@ fn bench_pingpong(c: &mut Criterion) {
             let me = ni
                 .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
                 .unwrap();
-            ni.md_attach(me, MdSpec::new(iobuf(vec![0u8; size.max(1)])).with_eq(eq))
+            ni.md_attach(me, MdSpec::new(Region::zeroed(size.max(1))).with_eq(eq))
                 .unwrap();
             eq
         };
@@ -34,7 +44,7 @@ fn bench_pingpong(c: &mut Criterion) {
         let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop2 = stop.clone();
         let ponger = std::thread::spawn(move || {
-            let md = b.md_bind(MdSpec::new(iobuf(vec![0u8; size]))).unwrap();
+            let md = b.md_bind(MdSpec::new(Region::zeroed(size))).unwrap();
             while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
                 match b.eq_poll(eq_b, std::time::Duration::from_millis(10)) {
                     Ok(_) => b
@@ -45,8 +55,9 @@ fn bench_pingpong(c: &mut Criterion) {
             }
         });
 
-        let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; size]))).unwrap();
-        g.bench_with_input(BenchmarkId::new("rtt", size), &size, |bch, _| {
+        let md = a.md_bind(MdSpec::new(Region::zeroed(size))).unwrap();
+        let label = if region_buffers { "rtt" } else { "rtt_flat" };
+        g.bench_with_input(BenchmarkId::new(label, size), &size, |bch, _| {
             bch.iter(|| {
                 a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::ZERO, 0)
                     .unwrap();

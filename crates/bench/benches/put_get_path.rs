@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use portals::MePos;
-use portals::{iobuf, AckRequest, EventKind, MdSpec, NiConfig, Node, NodeConfig};
+use portals::{AckRequest, EventKind, MdSpec, NiConfig, Node, NodeConfig, Region};
 use portals_bench::PutGetRig;
 use portals_net::{Fabric, FabricConfig};
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
@@ -17,15 +17,26 @@ fn bench_fig1_put(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_put_path");
     g.sample_size(30);
     for size in [0usize, 1024, 50 * 1024, 256 * 1024] {
-        let rig = PutGetRig::new(FabricConfig::ideal(), size.max(1));
-        let md = rig
-            .initiator
-            .md_bind(MdSpec::new(iobuf(vec![1u8; size])))
-            .unwrap();
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("no_ack", size), &size, |b, _| {
-            b.iter(|| rig.put_once(md, AckRequest::NoAck))
-        });
+        // region_buffers on (the zero-copy path) vs off (flat-copy baseline).
+        for flag in [true, false] {
+            let rig = PutGetRig::with_ni_config(
+                FabricConfig::ideal(),
+                size.max(1),
+                NiConfig {
+                    region_buffers: flag,
+                    ..Default::default()
+                },
+            );
+            let md = rig
+                .initiator
+                .md_bind(MdSpec::new(Region::from_vec(vec![1u8; size])))
+                .unwrap();
+            g.throughput(Throughput::Bytes(size as u64));
+            let label = if flag { "no_ack" } else { "no_ack_flat" };
+            g.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
+                b.iter(|| rig.put_once(md, AckRequest::NoAck))
+            });
+        }
     }
     // With acknowledgment: wait for the Ack event at the initiator too.
     for size in [0usize, 50 * 1024] {
@@ -33,7 +44,7 @@ fn bench_fig1_put(c: &mut Criterion) {
         let ieq = rig.initiator.eq_alloc(1024).unwrap();
         let md = rig
             .initiator
-            .md_bind(MdSpec::new(iobuf(vec![1u8; size])).with_eq(ieq))
+            .md_bind(MdSpec::new(Region::from_vec(vec![1u8; size])).with_eq(ieq))
             .unwrap();
         g.bench_with_input(BenchmarkId::new("with_ack", size), &size, |b, _| {
             b.iter(|| {
@@ -64,10 +75,10 @@ fn bench_fig2_get(c: &mut Criterion) {
             .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
             .unwrap();
         target
-            .md_attach(me, MdSpec::new(iobuf(vec![9u8; size])))
+            .md_attach(me, MdSpec::new(Region::from_vec(vec![9u8; size])))
             .unwrap();
         let ieq = initiator.eq_alloc(1024).unwrap();
-        let dst = iobuf(vec![0u8; size]);
+        let dst = Region::zeroed(size);
         let md = initiator.md_bind(MdSpec::new(dst).with_eq(ieq)).unwrap();
         let target_id = target.id();
 

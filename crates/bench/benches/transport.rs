@@ -125,11 +125,49 @@ fn bench_recv_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Buffer-model ablation at the transport layer: handing the endpoint a
+/// refcounted payload view (what the zero-copy portals path does) vs copying
+/// the message into a fresh flat buffer on every send (the old
+/// `Arc<Mutex<Vec<u8>>>` model's behaviour).
+fn bench_buffer_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_buffer_model");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(MSG as u64));
+    let tcfg = TransportConfig {
+        mtu: 16 * 1024,
+        ..Default::default()
+    };
+    for (label, copy_per_send) in [("region_view", false), ("flat_copy", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &tcfg, |b, &tcfg| {
+            b.iter_custom(|iters| {
+                let fabric = Fabric::new(FabricConfig::ideal());
+                let a = Endpoint::new(fabric.attach(NodeId(0)), tcfg);
+                let b = Endpoint::new(fabric.attach(NodeId(1)), tcfg);
+                let payload = Bytes::from(vec![0x5au8; MSG]);
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    if copy_per_send {
+                        a.send(NodeId(1), Bytes::from(payload.to_vec()));
+                    } else {
+                        a.send(NodeId(1), payload.clone());
+                    }
+                }
+                for _ in 0..iters {
+                    b.recv_timeout(Duration::from_secs(60)).expect("delivery");
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_mtu,
     bench_window,
     bench_loss,
-    bench_recv_batch
+    bench_recv_batch,
+    bench_buffer_model
 );
 criterion_main!(benches);

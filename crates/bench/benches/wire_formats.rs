@@ -46,7 +46,7 @@ fn bench_table1_put(c: &mut Criterion) {
             header: req_header(size as u64),
             ack_md: 7,
             ack_eq: 8,
-            payload: Bytes::from(vec![0xab; size]),
+            payload: Bytes::from(vec![0xab; size]).into(),
         });
         let encoded = msg.encode();
         g.throughput(Throughput::Bytes(encoded.len() as u64));
@@ -92,7 +92,7 @@ fn bench_table4_reply(c: &mut Criterion) {
     for size in [0usize, 4096, 50 * 1024] {
         let msg = PortalsMessage::Reply(Reply {
             header: resp_header(size as u64),
-            payload: Bytes::from(vec![0xcd; size]),
+            payload: Bytes::from(vec![0xcd; size]).into(),
         });
         let encoded = msg.encode();
         g.throughput(Throughput::Bytes(encoded.len() as u64));

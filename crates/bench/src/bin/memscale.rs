@@ -41,7 +41,7 @@ fn main() {
             // Everyone exchanges with everyone (tiny messages).
             let reqs: Vec<_> = (0..comm.size())
                 .filter(|&r| r != me)
-                .map(|r| comm.irecv(Some(Rank(r as u32)), Some(1), portals::iobuf(vec![0u8; 64])))
+                .map(|r| comm.irecv(Some(Rank(r as u32)), Some(1), portals::Region::zeroed(64)))
                 .collect();
             comm.barrier();
             for r in 0..comm.size() {

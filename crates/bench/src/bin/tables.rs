@@ -14,8 +14,8 @@
 use bytes::Bytes;
 use portals::bench_support::MatchBench;
 use portals::{
-    iobuf, AcEntry, AcMatch, AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig,
-    PortalMatch,
+    AcEntry, AcMatch, AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig,
+    PortalMatch, Region,
 };
 use portals_bench::PutGetRig;
 use portals_net::{Fabric, FabricConfig};
@@ -32,6 +32,7 @@ fn main() {
     fig2_get_timing();
     fig34_translation();
     sec48_drop_reasons();
+    zero_copy_ablation();
 }
 
 fn tables_1_to_4() {
@@ -64,7 +65,7 @@ fn tables_1_to_4() {
         },
         ack_md: 7,
         ack_eq: 8,
-        payload: Bytes::from(vec![0u8; 50 * 1024]),
+        payload: Bytes::from(vec![0u8; 50 * 1024]).into(),
     };
     println!(
         "Table 1 — put request ({} header bytes + payload):",
@@ -118,7 +119,7 @@ fn fig1_put_timing() {
         let rig = PutGetRig::new(FabricConfig::ideal(), size.max(1));
         let md = rig
             .initiator
-            .md_bind(MdSpec::new(iobuf(vec![1u8; size])))
+            .md_bind(MdSpec::new(Region::from_vec(vec![1u8; size])))
             .unwrap();
         let iters = 300;
         for _ in 0..30 {
@@ -133,7 +134,7 @@ fn fig1_put_timing() {
         let ieq = rig.initiator.eq_alloc(1024).unwrap();
         let md2 = rig
             .initiator
-            .md_bind(MdSpec::new(iobuf(vec![1u8; size])).with_eq(ieq))
+            .md_bind(MdSpec::new(Region::from_vec(vec![1u8; size])).with_eq(ieq))
             .unwrap();
         let t0 = Instant::now();
         for _ in 0..iters {
@@ -163,11 +164,11 @@ fn fig2_get_timing() {
             .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
             .unwrap();
         target
-            .md_attach(me, MdSpec::new(iobuf(vec![9u8; size])))
+            .md_attach(me, MdSpec::new(Region::from_vec(vec![9u8; size])))
             .unwrap();
         let ieq = initiator.eq_alloc(1024).unwrap();
         let md = initiator
-            .md_bind(MdSpec::new(iobuf(vec![0u8; size])).with_eq(ieq))
+            .md_bind(MdSpec::new(Region::zeroed(size)).with_eq(ieq))
             .unwrap();
         let iters = 300;
         let pull = || {
@@ -238,7 +239,7 @@ fn sec48_drop_reasons() {
         )
         .unwrap();
     target
-        .md_attach(me, MdSpec::new(iobuf(vec![0u8; 64])))
+        .md_attach(me, MdSpec::new(Region::zeroed(64)))
         .unwrap();
     target
         .acl_set(
@@ -251,7 +252,7 @@ fn sec48_drop_reasons() {
         .unwrap();
 
     let md = initiator
-        .md_bind(MdSpec::new(iobuf(vec![7u8; 64])))
+        .md_bind(MdSpec::new(Region::from_vec(vec![7u8; 64])))
         .unwrap();
     let bits = MatchBits::new(42);
     let tid = target.id();
@@ -289,4 +290,63 @@ fn sec48_drop_reasons() {
         snapshot.dropped_total(),
         snapshot.requests_accepted
     );
+    println!(
+        "copies/message at target: {:.2} ({} copies / {} messages)",
+        snapshot.copies_per_message(),
+        snapshot.payload_copies,
+        snapshot.payload_messages
+    );
+    let ts = na.transport_stats();
+    println!(
+        "transport resend_bytes: {} (of {} data packets sent)",
+        ts.resend_bytes, ts.data_packets_sent
+    );
+}
+
+/// The buffer-model ablation: identical put workload with refcounted region
+/// buffers on (zero-copy gather path) and off (flat `Vec` copies at every
+/// hop), reporting payload copies per message and the one-way put time.
+fn zero_copy_ablation() {
+    println!("\n== Zero-copy ablation: copies per message, region_buffers on/off ==\n");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>14}",
+        "size(B)", "flag", "copies", "copies/msg", "put (us)"
+    );
+    for size in [1024usize, 64 * 1024, 256 * 1024] {
+        for flag in [true, false] {
+            let rig = PutGetRig::with_ni_config(
+                FabricConfig::ideal(),
+                size,
+                NiConfig {
+                    region_buffers: flag,
+                    ..Default::default()
+                },
+            );
+            let md = rig
+                .initiator
+                .md_bind(MdSpec::new(Region::from_vec(vec![1u8; size])))
+                .unwrap();
+            let iters = 200;
+            for _ in 0..20 {
+                rig.put_once(md, AckRequest::NoAck);
+            }
+            let base_i = rig.initiator.counters();
+            let base_t = rig.target.counters();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                rig.put_once(md, AckRequest::NoAck);
+            }
+            let us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+            let ci = rig.initiator.counters();
+            let ct = rig.target.counters();
+            let copies = (ci.payload_copies - base_i.payload_copies)
+                + (ct.payload_copies - base_t.payload_copies);
+            let messages = ct.payload_messages - base_t.payload_messages;
+            println!(
+                "{size:>10} {:>8} {copies:>12} {:>12.2} {us:>14.2}",
+                if flag { "on" } else { "off" },
+                copies as f64 / messages as f64
+            );
+        }
+    }
 }

@@ -152,13 +152,7 @@ fn iteration(comm: &Communicator, cfg: &BypassConfig, worker: bool) -> (Duration
 
     // pre-post several non-blocking receives;
     let recvs: Vec<Request> = (0..cfg.batch)
-        .map(|_| {
-            comm.irecv(
-                Some(other),
-                Some(7),
-                portals::iobuf(vec![0u8; cfg.msg_size]),
-            )
-        })
+        .map(|_| comm.irecv(Some(other), Some(7), portals::Region::zeroed(cfg.msg_size)))
         .collect();
 
     // barrier;

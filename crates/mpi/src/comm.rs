@@ -4,7 +4,7 @@ use crate::bits::{check_user_tag, validate_reserved_layout, Context, Tag, TagErr
 use crate::config::MpiConfig;
 use crate::engine::MpiEngine;
 use crate::request::{Completion, Request, Status};
-use portals::{IoBuf, NetworkInterface};
+use portals::{NetworkInterface, Region};
 use portals_types::{ProcessId, PtlResult, Rank};
 use std::sync::atomic::{AtomicU16, Ordering};
 use std::sync::Arc;
@@ -162,9 +162,29 @@ impl Communicator {
             .expect("isend")
     }
 
+    /// Nonblocking zero-copy send of a caller-owned region (no MPI_ analogue;
+    /// the region is bound directly to the send MD, so no snapshot copy is
+    /// taken). The caller must not mutate the region until completion.
+    pub fn isend_region(&self, dest: Rank, tag: Tag, data: Region) -> Request {
+        Self::check_tag(tag);
+        self.isend_region_internal(dest, tag, data)
+    }
+
+    fn isend_region_internal(&self, dest: Rank, tag: Tag, data: Region) -> Request {
+        self.engine
+            .isend_region(
+                self.context,
+                self.my_rank.0 as u16,
+                self.process(dest),
+                tag,
+                data,
+            )
+            .expect("isend_region")
+    }
+
     /// Nonblocking receive into a shared buffer (MPI_Irecv). `src`/`tag` of
     /// `None` are `MPI_ANY_SOURCE`/`MPI_ANY_TAG`.
-    pub fn irecv(&self, src: Option<Rank>, tag: Option<Tag>, buf: IoBuf) -> Request {
+    pub fn irecv(&self, src: Option<Rank>, tag: Option<Tag>, buf: Region) -> Request {
         if let Some(t) = tag {
             Self::check_tag(t);
         }
@@ -177,7 +197,7 @@ impl Communicator {
         &self,
         src: Option<Rank>,
         tag: Option<Tag>,
-        buf: IoBuf,
+        buf: Region,
     ) -> Result<Request, TagError> {
         if let Some(t) = tag {
             check_user_tag(t)?;
@@ -185,8 +205,8 @@ impl Communicator {
         Ok(self.irecv_internal(src, tag, buf))
     }
 
-    fn irecv_internal(&self, src: Option<Rank>, tag: Option<Tag>, buf: IoBuf) -> Request {
-        let cap = buf.lock().len();
+    fn irecv_internal(&self, src: Option<Rank>, tag: Option<Tag>, buf: Region) -> Request {
+        let cap = buf.len();
         self.engine
             .irecv(self.context, src.map(|r| r.0 as u16), tag, buf, cap)
             .expect("irecv")
@@ -201,14 +221,14 @@ impl Communicator {
     /// Blocking receive of up to `max_len` bytes (MPI_Recv). Returns the
     /// received bytes and status.
     pub fn recv(&self, src: Option<Rank>, tag: Option<Tag>, max_len: usize) -> (Vec<u8>, Status) {
-        let buf = portals::iobuf(vec![0u8; max_len]);
+        let buf = Region::zeroed(max_len);
         let req = self.irecv(src, tag, buf.clone());
         let status = self
             .engine
             .wait(req)
             .status()
             .expect("recv request completes with a status");
-        let data = buf.lock()[..status.len].to_vec();
+        let data = buf.read_vec(0, status.len);
         (data, status)
     }
 
@@ -237,12 +257,12 @@ impl Communicator {
         recv_tag: Option<Tag>,
         max_len: usize,
     ) -> (Vec<u8>, Status) {
-        let buf = portals::iobuf(vec![0u8; max_len]);
+        let buf = Region::zeroed(max_len);
         let rreq = self.irecv(src, recv_tag, buf.clone());
         let sreq = self.isend(dest, send_tag, data);
         let status = self.engine.wait(rreq).status().expect("recv status");
         self.engine.wait(sreq);
-        let data = buf.lock()[..status.len].to_vec();
+        let data = buf.read_vec(0, status.len);
         (data, status)
     }
 
@@ -274,9 +294,17 @@ impl Communicator {
         self.isend_internal(dest, tag, data)
     }
 
+    /// Nonblocking zero-copy send of a caller-owned region on a reserved
+    /// (internal) tag.
+    #[doc(hidden)]
+    pub fn isend_region_reserved(&self, dest: Rank, tag: Tag, data: Region) -> Request {
+        debug_assert!(tag >= MAX_USER_TAG);
+        self.isend_region_internal(dest, tag, data)
+    }
+
     /// Nonblocking receive on a reserved (internal) tag.
     #[doc(hidden)]
-    pub fn irecv_reserved(&self, src: Rank, tag: Tag, buf: IoBuf) -> Request {
+    pub fn irecv_reserved(&self, src: Rank, tag: Tag, buf: Region) -> Request {
         debug_assert!(tag >= MAX_USER_TAG);
         self.irecv_internal(Some(src), Some(tag), buf)
     }
@@ -295,7 +323,7 @@ impl Communicator {
             let to = Rank(((me + dist) % n) as u32);
             let from = Rank(((me + n - dist) % n) as u32);
             let tag = MAX_USER_TAG + round;
-            let buf = portals::iobuf(Vec::new());
+            let buf = Region::zeroed(0);
             let rreq = self.irecv_internal(Some(from), Some(tag), buf);
             let sreq = self.isend_internal(to, tag, &[]);
             self.engine.wait(rreq);

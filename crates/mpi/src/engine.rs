@@ -25,8 +25,8 @@ use crate::config::{MpiConfig, Protocol};
 use crate::request::{Completion, ReqKind, Request, Status};
 use parking_lot::Mutex;
 use portals::{
-    iobuf, AckRequest, EqHandle, EventKind, IoBuf, MdHandle, MdOptions, MdSpec, MeHandle, MePos,
-    NetworkInterface, Threshold,
+    AckRequest, EqHandle, EventKind, MdHandle, MdOptions, MdSpec, MeHandle, MePos,
+    NetworkInterface, Region, Threshold,
 };
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlError, PtlResult, Rank};
 use std::collections::{HashMap, VecDeque};
@@ -46,7 +46,7 @@ const CTRL_SLAB_RECORDS: usize = 4096;
 struct PostedRecv {
     id: u64,
     criteria: MatchCriteria,
-    buf: IoBuf,
+    buf: Region,
     cap: usize,
     /// `Some` when a hardware match entry backs this receive (EagerDirect).
     hw: Option<(MeHandle, MdHandle)>,
@@ -56,7 +56,7 @@ struct PostedRecv {
 struct Arrival {
     stamp: u64,
     bits: MatchBits,
-    buf: IoBuf,
+    buf: Region,
     offset: usize,
     mlength: usize,
     rlength: usize,
@@ -92,9 +92,9 @@ struct EngState {
     unexpected: VecDeque<Arrival>,
     rts_waiting: VecDeque<RtsRecord>,
     slab_me: MeHandle,
-    slab_mds: HashMap<MdHandle, IoBuf>,
+    slab_mds: HashMap<MdHandle, Region>,
     ctrl_me: MeHandle,
-    ctrl_mds: HashMap<MdHandle, IoBuf>,
+    ctrl_mds: HashMap<MdHandle, Region>,
 }
 
 /// The per-process MPI engine (see module docs).
@@ -166,7 +166,7 @@ impl MpiEngine {
     }
 
     fn attach_slab(&self, st: &mut EngState) -> PtlResult<()> {
-        let buf = iobuf(vec![0u8; self.config.slab_size]);
+        let buf = Region::zeroed(self.config.slab_size);
         let md = self.ni.md_attach(
             st.slab_me,
             MdSpec::new(buf.clone())
@@ -185,7 +185,7 @@ impl MpiEngine {
     }
 
     fn attach_ctrl_slab(&self, st: &mut EngState) -> PtlResult<()> {
-        let buf = iobuf(vec![0u8; RTS_SIZE * CTRL_SLAB_RECORDS]);
+        let buf = Region::zeroed(RTS_SIZE * CTRL_SLAB_RECORDS);
         let md = self.ni.md_attach(
             st.ctrl_me,
             MdSpec::new(buf.clone())
@@ -206,8 +206,9 @@ impl MpiEngine {
     // ----- sending -----------------------------------------------------------
 
     /// Nonblocking send of `data` to `dest` with the given context/rank/tag
-    /// triple. The data is snapshotted (the caller's slice need not outlive
-    /// the request).
+    /// triple. The data is snapshotted into a fresh [`Region`] (the caller's
+    /// slice need not outlive the request) — the one API-boundary copy. Use
+    /// [`MpiEngine::isend_region`] to send a caller-owned region with no copy.
     pub fn isend(
         &self,
         context: bits::Context,
@@ -215,6 +216,21 @@ impl MpiEngine {
         dest: ProcessId,
         tag: Tag,
         data: &[u8],
+    ) -> PtlResult<Request> {
+        self.isend_region(context, my_rank, dest, tag, Region::copy_from_slice(data))
+    }
+
+    /// Nonblocking send of a caller-owned region. Zero-copy: the MD is bound
+    /// directly over `data`, so the bytes travel from this region to the
+    /// target without an intermediate snapshot. The caller must not mutate
+    /// the region until the request completes.
+    pub fn isend_region(
+        &self,
+        context: bits::Context,
+        my_rank: u16,
+        dest: ProcessId,
+        tag: Tag,
+        data: Region,
     ) -> PtlResult<Request> {
         let match_bits = bits::encode(context, my_rank, tag);
         let mut st = self.state.lock();
@@ -239,7 +255,7 @@ impl MpiEngine {
             )?;
             let md = self.ni.md_attach(
                 me,
-                MdSpec::new(iobuf(data.to_vec()))
+                MdSpec::new(data.clone())
                     .with_eq(self.eq)
                     .with_threshold(Threshold::Count(1))
                     .with_options(MdOptions {
@@ -257,7 +273,7 @@ impl MpiEngine {
             rts.extend_from_slice(&(data.len() as u64).to_le_bytes());
             // The RTS needs no completion tracking: put() snapshots the
             // payload synchronously, so the MD can be unlinked immediately.
-            let rts_md = self.ni.md_bind(MdSpec::new(iobuf(rts)))?;
+            let rts_md = self.ni.md_bind(MdSpec::new(Region::from_vec(rts)))?;
             self.ni.put(
                 rts_md,
                 AckRequest::NoAck,
@@ -270,7 +286,7 @@ impl MpiEngine {
             let _ = self.ni.md_unlink(rts_md);
         } else {
             let md = self.ni.md_bind(
-                MdSpec::new(iobuf(data.to_vec()))
+                MdSpec::new(data)
                     .with_eq(self.eq)
                     .with_threshold(Threshold::Count(1)),
             )?;
@@ -293,7 +309,7 @@ impl MpiEngine {
         context: bits::Context,
         src: Option<u16>,
         tag: Option<Tag>,
-        buf: IoBuf,
+        buf: Region,
         cap: usize,
     ) -> PtlResult<Request> {
         let criteria = bits::recv_criteria(context, src, tag);
@@ -388,7 +404,7 @@ impl MpiEngine {
         st: &mut EngState,
         id: u64,
         criteria: &MatchCriteria,
-        buf: &IoBuf,
+        buf: &Region,
         cap: usize,
     ) -> bool {
         let eager_pos = st
@@ -427,12 +443,10 @@ impl MpiEngine {
     }
 
     /// Copy a slab arrival into the receive buffer and complete the request.
-    fn complete_eager(&self, st: &mut EngState, id: u64, buf: &IoBuf, cap: usize, a: Arrival) {
+    fn complete_eager(&self, st: &mut EngState, id: u64, buf: &Region, cap: usize, a: Arrival) {
         let n = a.mlength.min(cap);
         if n > 0 {
-            let src = a.buf.lock();
-            let mut dst = buf.lock();
-            dst[..n].copy_from_slice(&src[a.offset..a.offset + n]);
+            buf.write(0, &a.buf.slice(a.offset, n));
         }
         let (_, src_rank, tag) = bits::decode(a.bits);
         st.recv_done.insert(
@@ -442,12 +456,13 @@ impl MpiEngine {
                 tag,
                 len: n,
                 truncated: a.rlength > n,
+                full_len: a.rlength,
             },
         );
     }
 
     /// Issue the rendezvous get for a matched announcement.
-    fn start_pull(&self, st: &mut EngState, id: u64, buf: IoBuf, cap: usize, rts: RtsRecord) {
+    fn start_pull(&self, st: &mut EngState, id: u64, buf: Region, cap: usize, rts: RtsRecord) {
         let pull_len = rts.total_len.min(cap as u64);
         let (_, src_rank, tag) = bits::decode(rts.bits);
         let md = self
@@ -525,6 +540,7 @@ impl MpiEngine {
             tag,
             len: len as usize,
             truncated: false,
+            full_len: len as usize,
         })
     }
 
@@ -677,6 +693,7 @@ impl MpiEngine {
                             tag: pull.tag,
                             len: ev.mlength as usize,
                             truncated: pull.total_len as usize > pull.cap,
+                            full_len: pull.total_len as usize,
                         },
                     );
                     let _ = self.ni.md_unlink(ev.md);
@@ -704,10 +721,9 @@ impl MpiEngine {
             };
             debug_assert_eq!(ev.mlength as usize, RTS_SIZE, "malformed RTS record");
             let (serial, total_len) = {
-                let b = buf.lock();
-                let at = ev.offset as usize;
-                let serial = u64::from_le_bytes(b[at..at + 8].try_into().expect("slice"));
-                let total = u64::from_le_bytes(b[at + 8..at + 16].try_into().expect("slice"));
+                let b = buf.slice(ev.offset as usize, RTS_SIZE);
+                let serial = u64::from_le_bytes(b[0..8].try_into().expect("slice"));
+                let total = u64::from_le_bytes(b[8..16].try_into().expect("slice"));
                 (serial, total)
             };
             let stamp = st.next_stamp;
@@ -773,6 +789,7 @@ impl MpiEngine {
                         tag,
                         len: ev.mlength as usize,
                         truncated: ev.rlength > ev.mlength,
+                        full_len: ev.rlength as usize,
                     },
                 );
             }

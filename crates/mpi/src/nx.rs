@@ -17,7 +17,7 @@ use crate::bits::Tag;
 use crate::comm::Communicator;
 use crate::request::Request;
 use parking_lot::Mutex;
-use portals::{iobuf, IoBuf};
+use portals::Region;
 use portals_types::Rank;
 
 /// Highest NX type value (types map into the user tag space).
@@ -44,7 +44,7 @@ pub struct Mid(u64);
 
 enum Pending {
     Send(Request),
-    Recv { req: Request, buf: IoBuf },
+    Recv { req: Request, buf: Region },
 }
 
 /// An NX endpoint over a communicator.
@@ -116,7 +116,7 @@ impl Nx {
     /// Asynchronous receive (`irecv`); the data is retrieved by `msgwait`.
     pub fn irecv(&self, typesel: i64, max_len: usize) -> Mid {
         let tag = (typesel != ANY_TYPE).then(|| type_to_tag(typesel));
-        let buf = iobuf(vec![0u8; max_len]);
+        let buf = Region::zeroed(max_len);
         let req = self.comm.irecv(None, tag, buf.clone());
         self.register(Pending::Recv { req, buf })
     }
@@ -146,7 +146,7 @@ impl Nx {
             }
             Pending::Recv { req, buf } => {
                 let status = self.comm.wait(req).status().expect("recv status");
-                let data = buf.lock()[..status.len].to_vec();
+                let data = buf.read_vec(0, status.len);
                 let msg = NxMessage {
                     data,
                     node: status.source.0 as i32,

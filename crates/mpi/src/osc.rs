@@ -18,7 +18,7 @@
 use crate::comm::Communicator;
 use crate::request::Request;
 use portals::{
-    iobuf, AckRequest, EqHandle, EventKind, IoBuf, MdHandle, MdOptions, MdSpec, MeHandle, MePos,
+    AckRequest, EqHandle, EventKind, MdHandle, MdOptions, MdSpec, MeHandle, MePos, Region,
     Threshold,
 };
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlError, PtlResult, Rank};
@@ -46,7 +46,7 @@ pub struct Window {
     win_id: u32,
     eq: EqHandle,
     me: MeHandle,
-    local: IoBuf,
+    local: Region,
     /// Outstanding puts not yet acknowledged.
     pending_puts: usize,
     /// Gets in flight (md → destination buffer length check).
@@ -55,7 +55,7 @@ pub struct Window {
 
 impl Window {
     /// Collectively create a window exposing `local` on this rank.
-    pub fn create(comm: &Communicator, win_id: u32, local: IoBuf) -> PtlResult<Window> {
+    pub fn create(comm: &Communicator, win_id: u32, local: Region) -> PtlResult<Window> {
         let ni = comm.engine().ni();
         let eq = ni.eq_alloc(1024)?;
         let me = ni.me_attach(
@@ -95,7 +95,7 @@ impl Window {
     }
 
     /// This rank's exposed region.
-    pub fn local(&self) -> &IoBuf {
+    pub fn local(&self) -> &Region {
         &self.local
     }
 
@@ -104,7 +104,7 @@ impl Window {
     pub fn put(&mut self, target: Rank, offset: u64, data: &[u8]) -> PtlResult<()> {
         let ni = self.comm.engine().ni();
         let md = ni.md_bind(
-            MdSpec::new(iobuf(data.to_vec()))
+            MdSpec::new(Region::copy_from_slice(data))
                 .with_eq(self.eq)
                 .with_threshold(Threshold::Count(1)),
         )?;
@@ -125,7 +125,7 @@ impl Window {
     /// `offset`.
     pub fn get(&mut self, target: Rank, offset: u64, len: usize) -> PtlResult<Vec<u8>> {
         let ni = self.comm.engine().ni();
-        let dst = iobuf(vec![0u8; len]);
+        let dst = Region::zeroed(len);
         let md = ni.md_bind(
             MdSpec::new(dst.clone())
                 .with_eq(self.eq)
@@ -151,7 +151,7 @@ impl Window {
             }
             self.pump(Duration::from_millis(1))?;
         }
-        let out = dst.lock().clone();
+        let out = dst.read_vec(0, dst.len());
         Ok(out)
     }
 

@@ -35,6 +35,8 @@ pub struct Status {
     /// True if the incoming message was longer than the buffer
     /// (MPI's `MPI_ERR_TRUNCATE` condition, reported rather than fatal).
     pub truncated: bool,
+    /// Bytes the sender actually sent (equals `len` unless `truncated`).
+    pub full_len: usize,
 }
 
 /// What a completed request produced.
@@ -72,6 +74,7 @@ mod tests {
             tag: 2,
             len: 3,
             truncated: false,
+            full_len: 3,
         };
         assert_eq!(Completion::Recv(s).status(), Some(s));
         assert_eq!(

@@ -1,6 +1,6 @@
 //! MPI-semantics tests across both protocols and both progress models.
 
-use portals::{iobuf, NiConfig, Node, NodeConfig, ProgressModel};
+use portals::{NiConfig, Node, NodeConfig, ProgressModel, Region};
 use portals_mpi::{Communicator, Completion, Mpi, MpiConfig};
 use portals_net::Fabric;
 use portals_types::{NodeId, ProcessId, Rank};
@@ -272,7 +272,7 @@ fn waitall_on_mixed_batch() {
         world_run(2, progress, cfg, |comm| {
             let other = Rank(1 - comm.rank().0);
             let n = 10;
-            let bufs: Vec<_> = (0..n).map(|_| iobuf(vec![0u8; 4096])).collect();
+            let bufs: Vec<_> = (0..n).map(|_| Region::zeroed(4096)).collect();
             let recvs: Vec<_> = bufs
                 .iter()
                 .map(|b| comm.irecv(Some(other), Some(1), b.clone()))
@@ -286,7 +286,7 @@ fn waitall_on_mixed_batch() {
             for (i, c) in rcomps.iter().enumerate() {
                 let st = c.status().expect("recv status");
                 assert_eq!(st.len, 4096);
-                assert_eq!(bufs[i].lock()[0], i as u8, "batch order");
+                assert_eq!(bufs[i].read_vec(0, 1)[0], i as u8, "batch order");
             }
             for c in scomps {
                 assert!(matches!(
@@ -343,7 +343,7 @@ fn irecv_before_send_gets_direct_delivery() {
         MpiConfig::default(),
         |comm| {
             if comm.rank() == Rank(1) {
-                let buf = iobuf(vec![0u8; 64 * 1024]);
+                let buf = Region::zeroed(64 * 1024);
                 let req = comm.irecv(Some(Rank(0)), Some(1), buf.clone());
                 comm.barrier();
                 let st = comm.wait(req).status().unwrap();
@@ -433,8 +433,8 @@ fn wait_any_returns_first_completion() {
         |comm| {
             if comm.rank() == Rank(0) {
                 // Two receives; rank 2 answers promptly, rank 1 after a delay.
-                let buf1 = iobuf(vec![0u8; 8]);
-                let buf2 = iobuf(vec![0u8; 8]);
+                let buf1 = Region::zeroed(8);
+                let buf2 = Region::zeroed(8);
                 let r1 = comm.irecv(Some(Rank(1)), Some(1), buf1);
                 let r2 = comm.irecv(Some(Rank(2)), Some(1), buf2);
                 let (idx, c) = comm.engine().wait_any(&[r1, r2]);

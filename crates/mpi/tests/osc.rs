@@ -1,6 +1,6 @@
 //! One-sided window semantics (the MPI-2 preliminary implementation, §2/§4.4).
 
-use portals::{iobuf, NiConfig, Node, NodeConfig, ProgressModel};
+use portals::{NiConfig, Node, NodeConfig, ProgressModel, Region};
 use portals_mpi::{Communicator, Mpi, MpiConfig, Window};
 use portals_net::Fabric;
 use portals_types::{NodeId, ProcessId, Rank};
@@ -44,7 +44,7 @@ fn world_run(n: usize, progress: ProgressModel, f: impl Fn(Communicator) + Send 
 #[test]
 fn put_lands_without_target_code() {
     world_run(2, ProgressModel::ApplicationBypass, |comm| {
-        let local = iobuf(vec![0u8; 256]);
+        let local = Region::zeroed(256);
         let mut win = Window::create(&comm, 1, local.clone()).unwrap();
         if comm.rank() == Rank(0) {
             win.put(Rank(1), 16, b"one-sided write").unwrap();
@@ -52,7 +52,7 @@ fn put_lands_without_target_code() {
         } else {
             // The target does nothing but fence.
             win.fence().unwrap();
-            assert_eq!(&local.lock()[16..31], b"one-sided write");
+            assert_eq!(&local.read_vec(16, 15)[..], b"one-sided write");
         }
     });
 }
@@ -60,7 +60,7 @@ fn put_lands_without_target_code() {
 #[test]
 fn get_reads_remote_window() {
     world_run(2, ProgressModel::ApplicationBypass, |comm| {
-        let local = iobuf(vec![comm.rank().0 as u8 + 10; 128]);
+        let local = Region::from_vec(vec![comm.rank().0 as u8 + 10; 128]);
         let mut win = Window::create(&comm, 2, local).unwrap();
         let other = Rank(1 - comm.rank().0);
         let data = win.get(other, 32, 64).unwrap();
@@ -74,7 +74,7 @@ fn fence_orders_epochs() {
     // Epoch 1: everyone writes its rank to slot `rank` of rank 0's window.
     // Epoch 2: everyone reads the full array back from rank 0.
     world_run(4, ProgressModel::ApplicationBypass, |comm| {
-        let local = iobuf(vec![0xffu8; 4]);
+        let local = Region::from_vec(vec![0xffu8; 4]);
         let mut win = Window::create(&comm, 3, local).unwrap();
         let me = comm.rank().0;
         win.put(Rank(0), me as u64, &[me as u8]).unwrap();
@@ -88,8 +88,8 @@ fn fence_orders_epochs() {
 #[test]
 fn multiple_windows_are_isolated() {
     world_run(2, ProgressModel::ApplicationBypass, |comm| {
-        let buf_a = iobuf(vec![0u8; 64]);
-        let buf_b = iobuf(vec![0u8; 64]);
+        let buf_a = Region::zeroed(64);
+        let buf_b = Region::zeroed(64);
         let mut win_a = Window::create(&comm, 10, buf_a.clone()).unwrap();
         let mut win_b = Window::create(&comm, 11, buf_b.clone()).unwrap();
         if comm.rank() == Rank(0) {
@@ -99,8 +99,8 @@ fn multiple_windows_are_isolated() {
         win_a.fence().unwrap();
         win_b.fence().unwrap();
         if comm.rank() == Rank(1) {
-            assert_eq!(&buf_a.lock()[..4], b"AAAA");
-            assert_eq!(&buf_b.lock()[..4], b"BBBB");
+            assert_eq!(&buf_a.read_vec(0, 4)[..], b"AAAA");
+            assert_eq!(&buf_b.read_vec(0, 4)[..], b"BBBB");
         }
     });
 }
@@ -108,7 +108,7 @@ fn multiple_windows_are_isolated() {
 #[test]
 fn windows_coexist_with_two_sided_traffic() {
     world_run(2, ProgressModel::ApplicationBypass, |comm| {
-        let local = iobuf(vec![0u8; 64]);
+        let local = Region::zeroed(64);
         let mut win = Window::create(&comm, 7, local.clone()).unwrap();
         if comm.rank() == Rank(0) {
             win.put(Rank(1), 0, b"window").unwrap();
@@ -118,7 +118,7 @@ fn windows_coexist_with_two_sided_traffic() {
             let (msg, _) = comm.recv(Some(Rank(0)), Some(1), 32);
             assert_eq!(msg, b"two-sided");
             win.fence().unwrap();
-            assert_eq!(&local.lock()[..6], b"window");
+            assert_eq!(&local.read_vec(0, 6)[..], b"window");
         }
     });
 }
@@ -128,14 +128,14 @@ fn host_driven_target_serves_in_fence() {
     // Under a host-driven interface the one-sided put is only processed when
     // the target enters the library — its fence. The data still lands.
     world_run(2, ProgressModel::HostDriven, |comm| {
-        let local = iobuf(vec![0u8; 32]);
+        let local = Region::zeroed(32);
         let mut win = Window::create(&comm, 9, local.clone()).unwrap();
         if comm.rank() == Rank(0) {
             win.put(Rank(1), 0, b"deferred").unwrap();
             win.fence().unwrap();
         } else {
             win.fence().unwrap();
-            assert_eq!(&local.lock()[..8], b"deferred");
+            assert_eq!(&local.read_vec(0, 8)[..], b"deferred");
         }
     });
 }
@@ -143,7 +143,7 @@ fn host_driven_target_serves_in_fence() {
 #[test]
 fn out_of_range_access_is_rejected_not_corrupting() {
     world_run(2, ProgressModel::ApplicationBypass, |comm| {
-        let local = iobuf(vec![0u8; 16]);
+        let local = Region::zeroed(16);
         let mut win = Window::create(&comm, 12, local.clone()).unwrap();
         if comm.rank() == Rank(0) {
             // 32 bytes into a 16-byte window: the target MD (truncate
@@ -155,7 +155,10 @@ fn out_of_range_access_is_rejected_not_corrupting() {
         } else {
             comm.barrier();
             std::thread::sleep(std::time::Duration::from_millis(30));
-            assert!(local.lock().iter().all(|&b| b == 0), "no partial write");
+            assert!(
+                local.read_vec(0, local.len()).iter().all(|&b| b == 0),
+                "no partial write"
+            );
             let drops = comm.engine().ni().counters().dropped_total();
             assert!(drops >= 1, "the oversized put must be counted as dropped");
             comm.barrier();

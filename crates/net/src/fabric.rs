@@ -355,7 +355,7 @@ mod tests {
         for i in 0..100u8 {
             let d = b.recv().unwrap();
             assert_eq!(d.src, NodeId(0));
-            assert_eq!(d.payload[0], i);
+            assert_eq!(d.payload.to_bytes()[0], i);
         }
     }
 
@@ -374,7 +374,7 @@ mod tests {
         }
         for i in 0..50u8 {
             let d = b.recv_timeout(Duration::from_secs(5)).unwrap();
-            assert_eq!(d.payload[0], i);
+            assert_eq!(d.payload.to_bytes()[0], i);
         }
     }
 
@@ -524,7 +524,7 @@ mod tests {
             }
             let mut got = Vec::new();
             while let Ok(d) = b.recv_timeout(Duration::from_millis(100)) {
-                got.push(d.payload[0]);
+                got.push(d.payload.to_bytes()[0]);
             }
             got
         };

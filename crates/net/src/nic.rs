@@ -2,8 +2,8 @@
 
 use crate::fabric::Shared;
 use crate::stats::NicStats;
-use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use portals_types::Gather;
 use portals_types::NodeId;
 use std::fmt;
 use std::sync::Arc;
@@ -16,8 +16,9 @@ pub struct Datagram {
     pub src: NodeId,
     /// Destination node.
     pub dst: NodeId,
-    /// Payload bytes (cheaply cloneable).
-    pub payload: Bytes,
+    /// Payload bytes: a gather of cheaply clonable segments, so forwarding a
+    /// datagram never copies the data it carries.
+    pub payload: Gather,
 }
 
 impl fmt::Debug for Datagram {
@@ -91,7 +92,8 @@ impl Nic {
 
     /// Send a packet to `dst`. Sends to unattached nodes vanish (counted in
     /// fabric stats) — the wire gives no failure feedback, just like hardware.
-    pub fn send(&self, dst: NodeId, payload: Bytes) {
+    pub fn send(&self, dst: NodeId, payload: impl Into<Gather>) {
+        let payload = payload.into();
         self.stats.record_send(payload.len());
         self.shared.send(Datagram {
             src: self.nid,
@@ -173,11 +175,11 @@ mod tests {
     fn loopback_send_recv() {
         let fabric = Fabric::ideal();
         let a = fabric.attach(NodeId(0));
-        a.send(NodeId(0), Bytes::from_static(b"self"));
+        a.send(NodeId(0), Gather::copy_from_slice(b"self"));
         let d = a.recv().unwrap();
         assert_eq!(d.src, NodeId(0));
         assert_eq!(d.dst, NodeId(0));
-        assert_eq!(&d.payload[..], b"self");
+        assert_eq!(d.payload.to_vec(), b"self");
     }
 
     #[test]
@@ -201,7 +203,7 @@ mod tests {
         let a = fabric.attach(NodeId(0));
         let b = fabric.attach(NodeId(1));
         for _ in 0..3 {
-            a.send(NodeId(1), Bytes::from_static(b"x"));
+            a.send(NodeId(1), Gather::copy_from_slice(b"x"));
         }
         assert_eq!(b.pending(), 3);
     }
@@ -211,7 +213,7 @@ mod tests {
         let fabric = Fabric::ideal();
         let a = fabric.attach(NodeId(0));
         let b = fabric.attach(NodeId(1));
-        a.send(NodeId(1), Bytes::from(vec![0u8; 100]));
+        a.send(NodeId(1), Gather::from_vec(vec![0u8; 100]));
         let _ = b.recv().unwrap();
         assert_eq!(a.stats().sent.load(std::sync::atomic::Ordering::Relaxed), 1);
         assert_eq!(

@@ -4,7 +4,9 @@ use crate::proto::{
     FileId, FsError, FsOp, FsResult, FsStatus, Reply, Request, PT_FS_DATA, PT_FS_REP, PT_FS_REQ,
     REPLY_SIZE,
 };
-use portals::{iobuf, AckRequest, EqHandle, EventKind, MdSpec, MePos, NetworkInterface, Threshold};
+use portals::{
+    AckRequest, EqHandle, EventKind, MdSpec, MePos, NetworkInterface, Region, Threshold,
+};
 use portals_types::{MatchBits, MatchCriteria, ProcessId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -53,7 +55,7 @@ impl FsClient {
             true,
             MePos::Back,
         )?;
-        let reply_buf = iobuf(vec![0u8; REPLY_SIZE]);
+        let reply_buf = Region::zeroed(REPLY_SIZE);
         self.ni.md_attach(
             me,
             MdSpec::new(reply_buf.clone())
@@ -65,7 +67,9 @@ impl FsClient {
                 }),
         )?;
 
-        let req_md = self.ni.md_bind(MdSpec::new(iobuf(req.encode())))?;
+        let req_md = self
+            .ni
+            .md_bind(MdSpec::new(Region::from_vec(req.encode())))?;
         self.ni.put(
             req_md,
             AckRequest::NoAck,
@@ -85,7 +89,7 @@ impl FsClient {
                 .ok_or(FsError::Timeout)?;
             match self.ni.eq_poll(self.eq, remaining) {
                 Ok(ev) if ev.kind == EventKind::Put && ev.match_bits == MatchBits::new(bits) => {
-                    let bytes = reply_buf.lock().clone();
+                    let bytes = reply_buf.read_vec(0, REPLY_SIZE);
                     let reply = Reply::decode(&bytes)?;
                     return match reply.status {
                         FsStatus::Ok => Ok(reply),
@@ -155,7 +159,7 @@ impl FsClient {
             reply_bits: 0,
             name: Vec::new(),
         })?;
-        let dst = iobuf(vec![0u8; len]);
+        let dst = Region::zeroed(len);
         let md = self.ni.md_bind(
             MdSpec::new(dst.clone())
                 .with_eq(self.eq)
@@ -172,8 +176,7 @@ impl FsClient {
         )?;
         self.wait_md_event(md, EventKind::Reply)?;
         let _ = self.ni.md_unlink(md);
-        let out = dst.lock().clone();
-        Ok(out)
+        Ok(dst.read_vec(0, len))
     }
 
     /// Write `data` at `offset`: request a grant, then put the bytes directly
@@ -191,7 +194,7 @@ impl FsClient {
             name: Vec::new(),
         })?;
         let md = self.ni.md_bind(
-            MdSpec::new(iobuf(data.to_vec()))
+            MdSpec::new(Region::copy_from_slice(data))
                 .with_eq(self.eq)
                 .with_threshold(Threshold::Count(1)),
         )?;

@@ -3,8 +3,7 @@
 use crate::proto::{FileId, FsOp, FsStatus, Reply, Request, PT_FS_DATA, PT_FS_REQ, REQUEST_SIZE};
 use parking_lot::Mutex;
 use portals::{
-    iobuf, AckRequest, EqHandle, EventKind, IoBuf, MdOptions, MdSpec, MePos, NetworkInterface,
-    Threshold,
+    AckRequest, EqHandle, EventKind, MdOptions, MdSpec, MePos, NetworkInterface, Region, Threshold,
 };
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlResult};
 use std::collections::HashMap;
@@ -18,7 +17,7 @@ const REQ_SLAB_RECORDS: usize = 1024;
 
 struct Volume {
     names: HashMap<Vec<u8>, FileId>,
-    files: HashMap<FileId, IoBuf>,
+    files: HashMap<FileId, Region>,
     next_id: FileId,
 }
 
@@ -59,7 +58,11 @@ struct ServerShared {
     ni: NetworkInterface,
     eq: EqHandle,
     volume: Mutex<Volume>,
-    slab_bufs: Mutex<HashMap<portals::MdHandle, IoBuf>>,
+    slab_bufs: Mutex<HashMap<portals::MdHandle, Region>>,
+    /// Outstanding write grants: grant MD -> (file, region granted into).
+    /// If the file's region is replaced (growth) while a put is in flight,
+    /// the landed bytes are copied forward when the put's event arrives.
+    pending_writes: Mutex<HashMap<portals::MdHandle, (FileId, Region)>>,
     slab_me: portals::MeHandle,
     next_grant: AtomicU64,
     stats: FsServerStats,
@@ -82,6 +85,7 @@ impl FileServer {
             eq,
             volume: Mutex::new(Volume::new()),
             slab_bufs: Mutex::new(HashMap::new()),
+            pending_writes: Mutex::new(HashMap::new()),
             slab_me,
             next_grant: AtomicU64::new(1),
             stats: FsServerStats::default(),
@@ -117,7 +121,7 @@ impl FileServer {
     pub fn file_size(&self, name: &[u8]) -> Option<usize> {
         let vol = self.shared.volume.lock();
         let id = vol.names.get(name)?;
-        vol.files.get(id).map(|buf| buf.lock().len())
+        vol.files.get(id).map(|buf| buf.len())
     }
 }
 
@@ -132,7 +136,7 @@ impl Drop for FileServer {
 
 impl ServerShared {
     fn attach_request_slab(&self) -> PtlResult<()> {
-        let buf = iobuf(vec![0u8; REQUEST_SIZE * REQ_SLAB_RECORDS]);
+        let buf = Region::zeroed(REQUEST_SIZE * REQ_SLAB_RECORDS);
         let md = self.ni.md_attach(
             self.slab_me,
             MdSpec::new(buf.clone())
@@ -153,7 +157,7 @@ impl ServerShared {
     fn reply(&self, to: ProcessId, bits: u64, reply: Reply) {
         let md = self
             .ni
-            .md_bind(MdSpec::new(iobuf(reply.encode())))
+            .md_bind(MdSpec::new(Region::from_vec(reply.encode())))
             .expect("bind reply md");
         // put() snapshots the payload synchronously; unlink immediately.
         let _ = self.ni.put(
@@ -170,7 +174,13 @@ impl ServerShared {
 
     /// Expose `[offset, offset+len)` of `file` for a single one-sided
     /// operation and return the grant bits.
-    fn grant(&self, file: &IoBuf, total_len: usize, reads: bool) -> PtlResult<u64> {
+    fn grant(
+        &self,
+        file_id: FileId,
+        file: &Region,
+        total_len: usize,
+        reads: bool,
+    ) -> PtlResult<u64> {
         let bits = self.next_grant.fetch_add(1, Ordering::Relaxed);
         let me = self.ni.me_attach(
             PT_FS_DATA,
@@ -179,19 +189,27 @@ impl ServerShared {
             true, // unlink the entry once its one-shot MD is consumed
             MePos::Back,
         )?;
-        self.ni.md_attach(
-            me,
-            MdSpec::new(file.clone())
-                .with_length(total_len)
-                .with_threshold(Threshold::Count(1))
-                .with_options(MdOptions {
-                    op_put: !reads,
-                    op_get: reads,
-                    truncate: false, // grants are sized exactly
-                    unlink_on_exhaustion: true,
-                    ..Default::default()
-                }),
-        )?;
+        let mut spec = MdSpec::new(file.clone())
+            .with_length(total_len)
+            .with_threshold(Threshold::Count(1))
+            .with_options(MdOptions {
+                op_put: !reads,
+                op_get: reads,
+                truncate: false, // grants are sized exactly
+                unlink_on_exhaustion: true,
+                ..Default::default()
+            });
+        if !reads {
+            // Write grants report arrival so the serve loop can detect a
+            // granted-then-grown file and replay the bytes (see serve_loop).
+            spec = spec.with_eq(self.eq);
+        }
+        let md = self.ni.md_attach(me, spec)?;
+        if !reads {
+            self.pending_writes
+                .lock()
+                .insert(md, (file_id, file.clone()));
+        }
         Ok(bits)
     }
 
@@ -223,7 +241,7 @@ impl ServerShared {
                         id
                     }
                 };
-                vol.files.insert(id, iobuf(Vec::new()));
+                vol.files.insert(id, Region::zeroed(0));
                 drop(vol);
                 self.reply(
                     from,
@@ -243,7 +261,7 @@ impl ServerShared {
                 } else {
                     Some(req.file)
                 };
-                match found.and_then(|id| vol.files.get(&id).map(|f| (id, f.lock().len()))) {
+                match found.and_then(|id| vol.files.get(&id).map(|f| (id, f.len()))) {
                     Some((id, size)) => {
                         drop(vol);
                         self.reply(
@@ -284,7 +302,7 @@ impl ServerShared {
                     fail(self, FsStatus::NotFound);
                     return;
                 };
-                let size = file.lock().len() as u64;
+                let size = file.len() as u64;
                 if req.offset + req.len > size {
                     fail(self, FsStatus::OutOfRange);
                     return;
@@ -292,7 +310,7 @@ impl ServerShared {
                 drop(vol);
                 // Expose the file once; the client gets [offset, offset+len)
                 // by passing the offset in its get.
-                match self.grant(&file, size as usize, /* reads = */ true) {
+                match self.grant(req.file, &file, size as usize, /* reads = */ true) {
                     Ok(bits) => {
                         self.stats.read_grants.fetch_add(1, Ordering::Relaxed);
                         self.reply(
@@ -311,19 +329,20 @@ impl ServerShared {
                 }
             }
             FsOp::Write => {
-                let Some(file) = vol.files.get(&req.file).cloned() else {
+                let Some(mut file) = vol.files.get(&req.file).cloned() else {
                     fail(self, FsStatus::NotFound);
                     return;
                 };
                 let needed = (req.offset + req.len) as usize;
-                {
-                    let mut f = file.lock();
-                    if f.len() < needed {
-                        f.resize(needed, 0);
-                    }
+                if file.len() < needed {
+                    // Regions are fixed-length: growth is a new allocation
+                    // carrying the old contents. Outstanding read grants keep
+                    // the old region alive (and consistent) via its refcount.
+                    file = file.resized(needed);
+                    vol.files.insert(req.file, file.clone());
                 }
                 drop(vol);
-                match self.grant(&file, needed, /* reads = */ false) {
+                match self.grant(req.file, &file, needed, /* reads = */ false) {
                     Ok(bits) => {
                         self.stats.write_grants.fetch_add(1, Ordering::Relaxed);
                         self.reply(
@@ -360,14 +379,30 @@ fn serve_loop(shared: Arc<ServerShared>) {
             Err(_) => return,
         };
         match ev.kind {
+            EventKind::Put if ev.portal_index == PT_FS_DATA => {
+                // A write grant's put landed. If the file's region was
+                // replaced (another write grew it) after this grant was
+                // issued, the bytes landed in the superseded allocation:
+                // copy the written range forward into the current region.
+                let entry = shared.pending_writes.lock().remove(&ev.md);
+                if let Some((file_id, granted)) = entry {
+                    let vol = shared.volume.lock();
+                    if let Some(current) = vol.files.get(&file_id) {
+                        if !current.same_allocation(&granted) {
+                            let at = ev.offset as usize;
+                            let n = (ev.mlength as usize).min(granted.len().saturating_sub(at));
+                            let n = n.min(current.len().saturating_sub(at));
+                            if n > 0 {
+                                current.write(at, &granted.slice(at, n));
+                            }
+                        }
+                    }
+                }
+            }
             EventKind::Put if ev.portal_index == PT_FS_REQ => {
                 let buf = shared.slab_bufs.lock().get(&ev.md).cloned();
                 let Some(buf) = buf else { continue };
-                let record = {
-                    let b = buf.lock();
-                    let at = ev.offset as usize;
-                    b[at..at + (ev.mlength as usize).min(REQUEST_SIZE)].to_vec()
-                };
+                let record = buf.slice(ev.offset as usize, (ev.mlength as usize).min(REQUEST_SIZE));
                 match Request::decode(&record) {
                     Ok(req) => shared.handle_request(ev.initiator, req),
                     Err(_) => {
@@ -377,6 +412,10 @@ fn serve_loop(shared: Arc<ServerShared>) {
             }
             EventKind::Unlink if shared.slab_bufs.lock().remove(&ev.md).is_some() => {
                 let _ = shared.attach_request_slab();
+            }
+            EventKind::Unlink => {
+                // A consumed write grant's one-shot MD going away.
+                shared.pending_writes.lock().remove(&ev.md);
             }
             // Grant MDs also unlink here; nothing to do.
             // Grant traffic (client get/put on PT_FS_DATA) produces no events:

@@ -10,11 +10,11 @@
 
 use crate::counters::DropReason;
 use crate::engine;
-use crate::md::{iobuf, Md, MdSpec, ReqOp};
+use crate::md::{Md, MdSpec, ReqOp};
 use crate::me::MatchEntry;
 use crate::ni::NiState;
 use crate::table::MePos;
-use portals_types::{MatchBits, MatchCriteria, NiLimits, ProcessId};
+use portals_types::{MatchBits, MatchCriteria, NiLimits, ProcessId, Region};
 
 /// A standalone portal table + match list for driving translation directly.
 pub struct MatchBench {
@@ -47,7 +47,7 @@ impl MatchBench {
             ));
             let md = state
                 .mds
-                .insert(Md::from_spec(MdSpec::new(iobuf(vec![0u8; 4096]))));
+                .insert(Md::from_spec(MdSpec::new(Region::zeroed(4096))));
             state
                 .mes
                 .with_mut(me, |m| m.md_list.push_back(md))

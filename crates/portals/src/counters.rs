@@ -96,6 +96,13 @@ pub struct NiCounters {
     pub triggered_fired: AtomicU64,
     /// Triggered operations whose launch failed at fire time.
     pub triggered_failed: AtomicU64,
+    /// Times a non-empty payload was physically copied anywhere on the data
+    /// path (MD read-out, wire encode, receive coalesce, delivery into the
+    /// target region). With region buffers on, only the final delivery copies.
+    pub payload_copies: AtomicU64,
+    /// Payload-bearing messages delivered (puts landed, replies landed) — the
+    /// denominator for copies-per-message.
+    pub payload_messages: AtomicU64,
 }
 
 impl NiCounters {
@@ -129,6 +136,8 @@ impl NiCounters {
             events_overwritten: self.events_overwritten.load(Ordering::Relaxed),
             triggered_fired: self.triggered_fired.load(Ordering::Relaxed),
             triggered_failed: self.triggered_failed.load(Ordering::Relaxed),
+            payload_copies: self.payload_copies.load(Ordering::Relaxed),
+            payload_messages: self.payload_messages.load(Ordering::Relaxed),
         }
     }
 }
@@ -151,6 +160,10 @@ pub struct NiCountersSnapshot {
     pub triggered_fired: u64,
     /// Triggered operations whose launch failed at fire time.
     pub triggered_failed: u64,
+    /// Times a non-empty payload was physically copied on the data path.
+    pub payload_copies: u64,
+    /// Payload-bearing messages delivered.
+    pub payload_messages: u64,
 }
 
 impl NiCountersSnapshot {
@@ -162,6 +175,16 @@ impl NiCountersSnapshot {
     /// Dropped messages for one reason.
     pub fn dropped(&self, reason: DropReason) -> u64 {
         self.drops[reason.index()]
+    }
+
+    /// Average payload copies per delivered payload-bearing message — the
+    /// headline zero-copy metric (0.0 before any payload has been delivered).
+    pub fn copies_per_message(&self) -> f64 {
+        if self.payload_messages == 0 {
+            0.0
+        } else {
+            self.payload_copies as f64 / self.payload_messages as f64
+        }
     }
 
     /// The full per-reason breakdown, in [`DropReason::ALL`] order.

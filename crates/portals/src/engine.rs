@@ -30,12 +30,11 @@
 use crate::counters::DropReason;
 use crate::event::{Event, EventKind};
 use crate::md::{MdVerdict, ReqOp};
-use crate::ni::{NiClass, NiCore, NiState};
+use crate::ni::{send_message, NiClass, NiCore, NiState};
 use crate::node::NodeShared;
 use crate::table::{FastPath, MatchList};
 use crate::{EqHandle, MdHandle, MeHandle};
-use bytes::Bytes;
-use portals_types::{Handle, MatchBits, ProcessId};
+use portals_types::{Gather, Handle, MatchBits, ProcessId};
 use portals_wire::{
     Ack, GetRequest, PortalsMessage, PutRequest, Reply, ResponseHeader, RAW_HANDLE_NONE,
 };
@@ -259,9 +258,18 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
     // the descriptor; the increment itself runs after every lock is dropped.
     let ct = state.mds.with(accepted.md, |md| md.ct).flatten();
     // Move the data, then commit/unlink/log — all under the portal lock.
-    state.mds.with(accepted.md, |md| {
-        md.deliver(accepted.offset, &put.payload[..accepted.mlength as usize])
-    });
+    // With region buffers this scatters the wire chunks straight into the
+    // target MD's region — the one unavoidable payload copy of a put.
+    let data = put.payload.slice(0, accepted.mlength as usize);
+    state
+        .mds
+        .with(accepted.md, |md| md.deliver_gather(accepted.offset, &data));
+    if accepted.mlength > 0 {
+        core.counters.payload_copies.fetch_add(1, Ordering::Relaxed);
+    }
+    core.counters
+        .payload_messages
+        .fetch_add(1, Ordering::Relaxed);
     core.counters
         .requests_accepted
         .fetch_add(1, Ordering::Relaxed);
@@ -293,7 +301,7 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
                 manipulated_length: accepted.mlength,
             },
         });
-        node.endpoint.send(h.initiator.nid, ack.encode());
+        send_message(core, node, h.initiator.nid, &ack);
     }
 
     // Put delivered: count it and fire whatever the schedule parked on it —
@@ -343,7 +351,15 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
     let payload = state
         .mds
         .with(accepted.md, |md| {
-            Bytes::from(md.read(accepted.offset, accepted.mlength))
+            if core.config.region_buffers {
+                md.payload_gather(accepted.offset, accepted.mlength)
+            } else {
+                // Baseline: read the served bytes out into a flat buffer.
+                if accepted.mlength > 0 {
+                    core.counters.payload_copies.fetch_add(1, Ordering::Relaxed);
+                }
+                Gather::from_vec(md.read(accepted.offset, accepted.mlength))
+            }
         })
         .unwrap_or_default();
     core.counters
@@ -377,7 +393,7 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
         },
         payload,
     });
-    node.endpoint.send(h.initiator.nid, reply.encode());
+    send_message(core, node, h.initiator.nid, &reply);
 
     // Get served from this descriptor: bump its counter after the reply is on
     // the wire and every lock is dropped.
@@ -453,9 +469,16 @@ fn handle_reply(core: &NiCore, node: &NodeShared, reply: Reply) {
             return;
         }
     }
-    // Accept-and-truncate: land at the region start.
+    // Accept-and-truncate: land at the region start, scattering the wire
+    // chunks directly into the descriptor's region.
     let mlength = (reply.payload.len() as u64).min(md.len() as u64);
-    md.write(0, &reply.payload[..mlength as usize]);
+    md.write_gather(0, &reply.payload.slice(0, mlength as usize));
+    if mlength > 0 {
+        core.counters.payload_copies.fetch_add(1, Ordering::Relaxed);
+    }
+    core.counters
+        .payload_messages
+        .fetch_add(1, Ordering::Relaxed);
     let unlink = {
         let md = shard.get_mut(local).expect("resolved above");
         md.pending_ops = md.pending_ops.saturating_sub(1);
@@ -496,9 +519,10 @@ fn handle_reply(core: &NiCore, node: &NodeShared, reply: Reply) {
 mod tests {
     use super::*;
     use crate::acl::AccessControlList;
-    use crate::md::{iobuf, Md, MdOptions, MdSpec, Threshold};
+    use crate::md::{Md, MdOptions, MdSpec, Threshold};
     use crate::me::MatchEntry;
     use crate::table::MePos;
+    use portals_types::Region;
     use portals_types::{MatchCriteria, NiLimits};
 
     /// Build a state and attach one entry+MD through the same structures the
@@ -550,7 +574,7 @@ mod tests {
             MePos::Back,
             source,
             criteria,
-            MdSpec::new(iobuf(vec![0u8; md_len]))
+            MdSpec::new(Region::from_vec(vec![0u8; md_len]))
                 .with_options(options)
                 .with_threshold(threshold),
         );
@@ -645,7 +669,7 @@ mod tests {
             MePos::Back,
             ProcessId::ANY,
             MatchCriteria::any(),
-            MdSpec::new(iobuf(vec![0u8; 64])).with_options(MdOptions {
+            MdSpec::new(Region::from_vec(vec![0u8; 64])).with_options(MdOptions {
                 op_put: false,
                 ..Default::default()
             }),
@@ -656,7 +680,7 @@ mod tests {
             MePos::Back,
             ProcessId::ANY,
             MatchCriteria::any(),
-            MdSpec::new(iobuf(vec![0u8; 64])),
+            MdSpec::new(Region::from_vec(vec![0u8; 64])),
         );
         let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::ZERO, 0, 8)
             .expect("accept at second entry");
@@ -676,7 +700,7 @@ mod tests {
             MePos::Back,
             ProcessId::ANY,
             MatchCriteria::exact(MatchBits::new(5)),
-            MdSpec::new(iobuf(vec![0u8; 64])).with_options(MdOptions {
+            MdSpec::new(Region::from_vec(vec![0u8; 64])).with_options(MdOptions {
                 op_put: false,
                 ..Default::default()
             }),
@@ -687,7 +711,7 @@ mod tests {
             MePos::Back,
             ProcessId::ANY,
             MatchCriteria::any(),
-            MdSpec::new(iobuf(vec![0u8; 64])),
+            MdSpec::new(Region::from_vec(vec![0u8; 64])),
         );
         let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::new(5), 0, 8)
             .expect("falls through to the wildcard");
@@ -706,14 +730,14 @@ mod tests {
             MePos::Back,
             ProcessId::ANY,
             MatchCriteria::any(),
-            MdSpec::new(iobuf(vec![0u8; 64])).with_options(MdOptions {
+            MdSpec::new(Region::from_vec(vec![0u8; 64])).with_options(MdOptions {
                 op_put: false,
                 ..Default::default()
             }),
         );
         let good = state
             .mds
-            .insert(Md::from_spec(MdSpec::new(iobuf(vec![0u8; 64]))));
+            .insert(Md::from_spec(MdSpec::new(Region::from_vec(vec![0u8; 64]))));
         state
             .mes
             .with_mut(me, |m| m.md_list.push_back(good))
@@ -744,7 +768,7 @@ mod tests {
             MePos::Back,
             ProcessId::ANY,
             MatchCriteria::any(),
-            MdSpec::new(iobuf(vec![0u8; 8])),
+            MdSpec::new(Region::from_vec(vec![0u8; 8])),
         );
         let r = translate_put(&state, ProcessId::new(0, 0), 0, MatchBits::ZERO, 0, 4)
             .expect("walks past empty entry");
@@ -827,7 +851,7 @@ mod tests {
                                 pos,
                                 source,
                                 criteria,
-                                MdSpec::new(iobuf(vec![0u8; 32]))
+                                MdSpec::new(Region::from_vec(vec![0u8; 32]))
                                     .with_options(MdOptions { op_put, ..Default::default() }),
                             );
                             attached.push(me);

@@ -35,7 +35,7 @@
 //! # Quick start
 //!
 //! ```
-//! use portals::{Node, NiConfig, MdSpec, iobuf, AckRequest, MePos};
+//! use portals::{Node, NiConfig, MdSpec, Region, AckRequest, MePos};
 //! use portals_net::{Fabric, FabricConfig};
 //! use portals_types::{MatchCriteria, MatchBits, NodeId, ProcessId};
 //!
@@ -50,11 +50,11 @@
 //! let me = target
 //!     .me_attach(4, ProcessId::ANY, MatchCriteria::exact(MatchBits::new(42)), false, MePos::Back)
 //!     .unwrap();
-//! let buf = iobuf(vec![0u8; 1024]);
+//! let buf = Region::zeroed(1024);
 //! target.md_attach(me, MdSpec::new(buf.clone()).with_eq(eq)).unwrap();
 //!
 //! // Initiator: bind the outgoing buffer and put.
-//! let src = iobuf(b"hello, portals".to_vec());
+//! let src = Region::from_vec(b"hello, portals".to_vec());
 //! let md = sender.md_bind(MdSpec::new(src)).unwrap();
 //! sender
 //!     .put(md, AckRequest::NoAck, ProcessId::new(1, 1), 4, 0, MatchBits::new(42), 0)
@@ -62,7 +62,7 @@
 //!
 //! let ev = target.eq_wait(eq).unwrap();
 //! assert_eq!(ev.mlength, 14);
-//! assert_eq!(&buf.lock()[..14], b"hello, portals");
+//! assert_eq!(buf.read_vec(0, 14), b"hello, portals");
 //! ```
 
 #![warn(missing_docs)]
@@ -84,10 +84,11 @@ pub use acl::{AcEntry, AcMatch, AccessControlList, PortalMatch};
 pub use counters::{DropReason, NiCounters, NiCountersSnapshot};
 pub use ct::{CountingEvent, CtValue};
 pub use event::{Event, EventKind, EventQueue};
-pub use md::{iobuf, CombineOp, IoBuf, Md, MdOptions, MdSpec, Region, Segment, Threshold};
+pub use md::{CombineOp, Md, MdMemory, MdOptions, MdSpec, MdVerdict, ReqOp, Segment, Threshold};
 pub use me::MatchEntry;
 pub use ni::{AckRequest, NetworkInterface, NiConfig, ProgressModel};
 pub use node::{Node, NodeConfig, ProcessDirectory};
+pub use portals_types::{Gather, Region};
 pub use table::MePos;
 pub use triggered::TriggeredOp;
 

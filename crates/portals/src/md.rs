@@ -8,8 +8,7 @@
 //! and the unit that auto-unlinks once consumed (Fig. 4).
 
 use crate::{CtHandle, EqHandle};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use portals_types::{Gather, Region};
 
 /// Element-wise combine applied by [`Md::deliver`] when the descriptor is a
 /// *combining* MD: incoming put payloads are folded into the region as
@@ -50,41 +49,35 @@ impl CombineOp {
     }
 }
 
-/// User-visible memory region: the paper requires "all buffers used in the
-/// transmission of messages are maintained in user-space" (§4.1). The
-/// application allocates the buffer and keeps a reference; the NIC engine
-/// writes/reads it through the shared lock — our safe-Rust stand-in for DMA
-/// into pinned user pages.
-pub type IoBuf = Arc<Mutex<Vec<u8>>>;
-
-/// Wrap a byte vector as a shareable I/O buffer.
-pub fn iobuf(bytes: Vec<u8>) -> IoBuf {
-    Arc::new(Mutex::new(bytes))
-}
-
 /// One piece of a scattered memory region.
+///
+/// The backing store is a refcounted [`Region`]: the paper requires "all
+/// buffers used in the transmission of messages are maintained in user-space"
+/// (§4.1), so the application allocates the region and keeps a handle while
+/// the NIC engine reads and writes it in place — our safe-Rust stand-in for
+/// DMA into pinned user pages.
 #[derive(Debug, Clone)]
 pub struct Segment {
-    /// Backing buffer.
-    pub buffer: IoBuf,
-    /// Start within the buffer.
+    /// Backing region.
+    pub region: Region,
+    /// Start within the region.
     pub offset: usize,
-    /// Bytes of the buffer this segment covers.
+    /// Bytes of the region this segment covers.
     pub len: usize,
 }
 
 impl Segment {
-    /// A segment covering `buffer[offset..offset+len]`. Panics if the range
-    /// exceeds the buffer (a program structure error, caught at build time).
-    pub fn new(buffer: IoBuf, offset: usize, len: usize) -> Segment {
+    /// A segment covering `region[offset..offset+len]`. Panics if the range
+    /// exceeds the region (a program structure error, caught at build time).
+    pub fn new(region: Region, offset: usize, len: usize) -> Segment {
         assert!(
-            offset + len <= buffer.lock().len(),
+            offset + len <= region.len(),
             "segment [{offset}, {}) exceeds buffer of {} bytes",
             offset + len,
-            buffer.lock().len()
+            region.len()
         );
         Segment {
-            buffer,
+            region,
             offset,
             len,
         }
@@ -100,12 +93,12 @@ impl Segment {
 /// get gathers from them, and region offsets address the *logical*
 /// concatenation.
 #[derive(Debug, Clone)]
-pub enum Region {
-    /// A single buffer, first `length` bytes.
+pub enum MdMemory {
+    /// A single region, first `length` bytes.
     Contiguous {
-        /// Backing buffer.
-        buffer: IoBuf,
-        /// Region length.
+        /// Backing region.
+        region: Region,
+        /// Descriptor length (may cover a prefix of the region).
         length: usize,
     },
     /// An ordered gather/scatter list.
@@ -115,12 +108,12 @@ pub enum Region {
     },
 }
 
-impl Region {
+impl MdMemory {
     /// Total logical length.
     pub fn len(&self) -> usize {
         match self {
-            Region::Contiguous { length, .. } => *length,
-            Region::Scattered { segments } => segments.iter().map(|s| s.len).sum(),
+            MdMemory::Contiguous { length, .. } => *length,
+            MdMemory::Scattered { segments } => segments.iter().map(|s| s.len).sum(),
         }
     }
 
@@ -135,11 +128,10 @@ impl Region {
             return;
         }
         match self {
-            Region::Contiguous { buffer, .. } => {
-                let start = offset as usize;
-                buffer.lock()[start..start + data.len()].copy_from_slice(data);
+            MdMemory::Contiguous { region, .. } => {
+                region.write(offset as usize, data);
             }
-            Region::Scattered { segments } => {
+            MdMemory::Scattered { segments } => {
                 let mut remaining = data;
                 let mut logical = offset as usize;
                 for seg in segments {
@@ -151,8 +143,7 @@ impl Region {
                         continue;
                     }
                     let n = remaining.len().min(seg.len - logical);
-                    let start = seg.offset + logical;
-                    seg.buffer.lock()[start..start + n].copy_from_slice(&remaining[..n]);
+                    seg.region.write(seg.offset + logical, &remaining[..n]);
                     remaining = &remaining[n..];
                     logical = 0;
                 }
@@ -161,14 +152,26 @@ impl Region {
         }
     }
 
-    /// Read `mlength` bytes at logical `offset`. Caller has validated bounds.
+    /// Scatter a [`Gather`]'s chunks into the region at logical `offset`,
+    /// chunk by chunk — the wire segments are never coalesced first. This is
+    /// the single unavoidable payload copy of the receive path: the move from
+    /// the NIC's datagram buffers into the application's memory.
+    pub fn write_gather(&self, offset: u64, data: &Gather) {
+        let mut at = offset;
+        for seg in data.segments() {
+            self.write(at, seg);
+            at += seg.len() as u64;
+        }
+    }
+
+    /// Read `mlength` bytes at logical `offset` into a fresh `Vec` (the
+    /// ablation-baseline copy path). Caller has validated bounds.
     pub fn read(&self, offset: u64, mlength: u64) -> Vec<u8> {
         match self {
-            Region::Contiguous { buffer, .. } => {
-                let start = offset as usize;
-                buffer.lock()[start..start + mlength as usize].to_vec()
+            MdMemory::Contiguous { region, .. } => {
+                region.read_vec(offset as usize, mlength as usize)
             }
-            Region::Scattered { segments } => {
+            MdMemory::Scattered { segments } => {
                 let mut out = Vec::with_capacity(mlength as usize);
                 let mut logical = offset as usize;
                 let mut want = mlength as usize;
@@ -181,12 +184,43 @@ impl Region {
                         continue;
                     }
                     let n = want.min(seg.len - logical);
-                    let start = seg.offset + logical;
-                    out.extend_from_slice(&seg.buffer.lock()[start..start + n]);
+                    out.extend_from_slice(&seg.region.read_vec(seg.offset + logical, n));
                     want -= n;
                     logical = 0;
                 }
                 debug_assert_eq!(want, 0, "read past scattered region");
+                out
+            }
+        }
+    }
+
+    /// Zero-copy gather of `[offset, offset + mlength)`: one region view for
+    /// a contiguous descriptor, one view per overlapped segment for a
+    /// scattered one — iovecs are never coalesced. Caller has validated
+    /// bounds.
+    pub fn gather(&self, offset: u64, mlength: u64) -> Gather {
+        match self {
+            MdMemory::Contiguous { region, .. } => {
+                Gather::from_bytes(region.slice(offset as usize, mlength as usize))
+            }
+            MdMemory::Scattered { segments } => {
+                let mut out = Gather::new();
+                let mut logical = offset as usize;
+                let mut want = mlength as usize;
+                for seg in segments {
+                    if want == 0 {
+                        break;
+                    }
+                    if logical >= seg.len {
+                        logical -= seg.len;
+                        continue;
+                    }
+                    let n = want.min(seg.len - logical);
+                    out.push(seg.region.slice(seg.offset + logical, n));
+                    want -= n;
+                    logical = 0;
+                }
+                debug_assert_eq!(want, 0, "gather past scattered region");
                 out
             }
         }
@@ -263,7 +297,7 @@ impl Default for MdOptions {
 #[derive(Debug, Clone)]
 pub struct MdSpec {
     /// The memory this descriptor names.
-    pub region: Region,
+    pub region: MdMemory,
     /// Behaviour flags.
     pub options: MdOptions,
     /// Operation budget.
@@ -277,12 +311,12 @@ pub struct MdSpec {
 }
 
 impl MdSpec {
-    /// Spec covering the whole buffer, default options, infinite threshold,
+    /// Spec covering the whole region, default options, infinite threshold,
     /// no event queue.
-    pub fn new(buffer: IoBuf) -> MdSpec {
-        let length = buffer.lock().len();
+    pub fn new(region: Region) -> MdSpec {
+        let length = region.len();
         MdSpec {
-            region: Region::Contiguous { buffer, length },
+            region: MdMemory::Contiguous { region, length },
             options: MdOptions::default(),
             threshold: Threshold::Infinite,
             eq: None,
@@ -294,7 +328,7 @@ impl MdSpec {
     /// Spec over a gather/scatter segment list (§7 future-work extension).
     pub fn scattered(segments: Vec<Segment>) -> MdSpec {
         MdSpec {
-            region: Region::Scattered { segments },
+            region: MdMemory::Scattered { segments },
             options: MdOptions::default(),
             threshold: Threshold::Infinite,
             eq: None,
@@ -339,8 +373,8 @@ impl MdSpec {
     /// Restrict the region length (contiguous regions only).
     pub fn with_length(mut self, length: usize) -> MdSpec {
         match &mut self.region {
-            Region::Contiguous { length: l, .. } => *l = length,
-            Region::Scattered { .. } => {
+            MdMemory::Contiguous { length: l, .. } => *l = length,
+            MdMemory::Scattered { .. } => {
                 panic!("with_length applies to contiguous regions; size segments instead")
             }
         }
@@ -387,7 +421,7 @@ pub enum ReqOp {
 #[derive(Debug)]
 pub struct Md {
     /// The memory region (shared with the application).
-    pub region: Region,
+    pub region: MdMemory,
     /// Behaviour flags.
     pub options: MdOptions,
     /// Remaining operation budget.
@@ -522,6 +556,31 @@ impl Md {
     pub fn read(&self, offset: u64, mlength: u64) -> Vec<u8> {
         self.region.read(offset, mlength)
     }
+
+    /// Zero-copy gather of `[offset, offset + mlength)` — region views, one
+    /// per scattered segment, never coalesced. The initiator-side source of
+    /// puts and the target-side source of get replies.
+    pub fn payload_gather(&self, offset: u64, mlength: u64) -> Gather {
+        self.region.gather(offset, mlength)
+    }
+
+    /// Scatter wire chunks straight into the region (plain overwrite, the
+    /// reply path — "every memory descriptor accepts and truncates incoming
+    /// reply messages").
+    pub fn write_gather(&self, offset: u64, data: &Gather) {
+        self.region.write_gather(offset, data);
+    }
+
+    /// Land an incoming put held as a [`Gather`]: chunks scatter straight
+    /// into the region; a combining descriptor flattens first, since its
+    /// read-modify-write needs the whole contribution in one piece.
+    pub fn deliver_gather(&self, offset: u64, data: &Gather) {
+        if self.combine.is_some() {
+            self.deliver(offset, &data.to_vec());
+        } else {
+            self.region.write_gather(offset, data);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -530,7 +589,7 @@ mod tests {
 
     fn md_with(options: MdOptions, threshold: Threshold, len: usize) -> Md {
         Md::from_spec(
-            MdSpec::new(iobuf(vec![0u8; len]))
+            MdSpec::new(Region::from_vec(vec![0u8; len]))
                 .with_options(options)
                 .with_threshold(threshold),
         )
@@ -685,7 +744,7 @@ mod tests {
 
     #[test]
     fn spec_builder_defaults() {
-        let buf = iobuf(vec![1, 2, 3]);
+        let buf = Region::from_vec(vec![1, 2, 3]);
         let spec = MdSpec::new(buf);
         assert_eq!(spec.region.len(), 3);
         assert_eq!(spec.threshold, Threshold::Infinite);
@@ -736,10 +795,10 @@ mod tests {
 
     #[test]
     fn scattered_region_concatenates_segments() {
-        let b1 = iobuf(vec![0u8; 10]);
-        let b2 = iobuf(vec![0u8; 10]);
+        let b1 = Region::from_vec(vec![0u8; 10]);
+        let b2 = Region::from_vec(vec![0u8; 10]);
         // Region = b1[2..6] ++ b2[0..5]  (4 + 5 = 9 logical bytes)
-        let region = Region::Scattered {
+        let region = MdMemory::Scattered {
             segments: vec![
                 Segment::new(b1.clone(), 2, 4),
                 Segment::new(b2.clone(), 0, 5),
@@ -747,8 +806,8 @@ mod tests {
         };
         assert_eq!(region.len(), 9);
         region.write(0, b"abcdefghi");
-        assert_eq!(&b1.lock()[2..6], b"abcd");
-        assert_eq!(&b2.lock()[..5], b"efghi");
+        assert_eq!(b1.read_vec(2, 4), b"abcd");
+        assert_eq!(b2.read_vec(0, 5), b"efghi");
         assert_eq!(region.read(0, 9), b"abcdefghi");
         // Offset reads/writes straddle the boundary.
         assert_eq!(region.read(3, 3), b"def");
@@ -758,7 +817,7 @@ mod tests {
 
     #[test]
     fn scattered_md_accepts_and_truncates_like_contiguous() {
-        let seg = |n| Segment::new(iobuf(vec![0u8; n]), 0, n);
+        let seg = |n| Segment::new(Region::from_vec(vec![0u8; n]), 0, n);
         let md = Md::from_spec(MdSpec::scattered(vec![seg(4), seg(4), seg(4)]));
         assert_eq!(md.len(), 12);
         assert_eq!(
@@ -780,34 +839,36 @@ mod tests {
 
     #[test]
     fn scattered_write_read_roundtrip_through_md() {
-        let b1 = iobuf(vec![0u8; 6]);
-        let b2 = iobuf(vec![0u8; 6]);
+        let b1 = Region::from_vec(vec![0u8; 6]);
+        let b2 = Region::from_vec(vec![0u8; 6]);
         let md = Md::from_spec(MdSpec::scattered(vec![
             Segment::new(b1.clone(), 0, 6),
             Segment::new(b2.clone(), 3, 3),
         ]));
         md.write(4, b"12345");
         assert_eq!(md.read(4, 5), b"12345");
-        assert_eq!(&b1.lock()[4..6], b"12");
-        assert_eq!(&b2.lock()[3..6], b"345");
+        assert_eq!(b1.read_vec(4, 2), b"12");
+        assert_eq!(b2.read_vec(3, 3), b"345");
     }
 
     #[test]
     #[should_panic(expected = "exceeds buffer")]
     fn oversized_segment_rejected() {
-        let _ = Segment::new(iobuf(vec![0u8; 4]), 2, 3);
+        let _ = Segment::new(Region::from_vec(vec![0u8; 4]), 2, 3);
     }
 
     #[test]
     #[should_panic(expected = "contiguous regions")]
     fn with_length_rejected_on_scattered() {
-        let seg = Segment::new(iobuf(vec![0u8; 4]), 0, 4);
+        let seg = Segment::new(Region::from_vec(vec![0u8; 4]), 0, 4);
         let _ = MdSpec::scattered(vec![seg]).with_length(2);
     }
 
     #[test]
     fn combining_md_folds_lanes_and_overwrites_tail() {
-        let md = Md::from_spec(MdSpec::new(iobuf(vec![0u8; 19])).with_combine(CombineOp::Sum));
+        let md = Md::from_spec(
+            MdSpec::new(Region::from_vec(vec![0u8; 19])).with_combine(CombineOp::Sum),
+        );
         // Initialize two lanes to the Sum identity explicitly (already 0.0).
         md.deliver(0, &{
             let mut d = Vec::new();

@@ -46,9 +46,10 @@ use crate::node::NodeShared;
 use crate::table::{MePos, PortalTable};
 use crate::triggered::{self, TriggeredOp};
 use crate::{CtHandle, EqHandle, MdHandle, MeHandle};
-use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
-use portals_types::{MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult, Sharded};
+use portals_types::{
+    Gather, MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult, Sharded,
+};
 use portals_wire::{GetRequest, PortalsMessage, PutRequest, RequestHeader, RAW_HANDLE_NONE};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -78,6 +79,12 @@ pub struct NiConfig {
     /// fast path). Off, every translation runs the reference linear walk —
     /// kept as a runtime ablation so the win is measurable in one binary.
     pub match_index: bool,
+    /// Move payloads as refcounted region views end-to-end (gathered wire
+    /// encode, zero-copy receive slicing, scatter directly into the target
+    /// MD). Off, every hop copies the payload — the `Vec`-buffer baseline,
+    /// kept as a runtime ablation so the copy count is measurable in one
+    /// binary via [`NiCountersSnapshot::copies_per_message`].
+    pub region_buffers: bool,
 }
 
 impl Default for NiConfig {
@@ -87,6 +94,7 @@ impl Default for NiConfig {
             progress: ProgressModel::default(),
             job: 0,
             match_index: true,
+            region_buffers: true,
         }
     }
 }
@@ -875,7 +883,18 @@ pub(crate) fn do_put(
             if length as usize > max {
                 return Err(PtlError::LimitExceeded);
             }
-            Ok((Bytes::from(mdr.read(0, length)), mdr.eq, length))
+            let payload = if core.config.region_buffers {
+                mdr.payload_gather(0, length)
+            } else {
+                // Baseline: read the MD out into a fresh flat buffer.
+                if length > 0 {
+                    core.counters
+                        .payload_copies
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Gather::from_vec(mdr.read(0, length))
+            };
+            Ok((payload, mdr.eq, length))
         })
         .ok_or(PtlError::InvalidMd)??;
 
@@ -999,11 +1018,33 @@ fn transmit(
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
-    node.endpoint.send(target.nid, msg.encode());
+    send_message(core, node, target.nid, &msg);
     core.counters
         .messages_sent
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     Ok(())
+}
+
+/// Put a Portals message on the wire under the interface's buffer model:
+/// region buffers gather the payload's views behind a fresh header segment
+/// (no payload bytes move); the baseline flattens the whole message into one
+/// contiguous allocation and counts the copy.
+pub(crate) fn send_message(
+    core: &NiCore,
+    node: &NodeShared,
+    dst: portals_types::NodeId,
+    msg: &PortalsMessage,
+) {
+    if core.config.region_buffers {
+        node.endpoint.send(dst, msg.encode_gather());
+    } else {
+        if msg.payload_len() > 0 {
+            core.counters
+                .payload_copies
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        node.endpoint.send(dst, msg.encode());
+    }
 }
 
 impl Drop for NetworkInterface {

@@ -15,7 +15,7 @@ use crate::engine;
 use crate::ni::{NetworkInterface, NiConfig, NiCore};
 use parking_lot::RwLock;
 use portals_transport::{Endpoint, TransportConfig};
-use portals_types::{NodeId, ProcessId, PtlError, PtlResult, UserId};
+use portals_types::{Gather, NodeId, ProcessId, PtlError, PtlResult, UserId};
 use portals_wire::PortalsMessage;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -179,8 +179,12 @@ impl std::fmt::Debug for Node {
 }
 
 /// One message's §4.8 journey, starting from the node-level checks.
-fn dispatch(shared: &NodeShared, payload: &[u8]) {
-    let msg = match PortalsMessage::decode(payload) {
+///
+/// The reassembled transport message arrives as a [`Gather`] of datagram
+/// views; decoding peeks the fixed headers into a stack buffer and leaves the
+/// payload as zero-copy sub-slices of those views.
+fn dispatch(shared: &NodeShared, payload: &Gather) {
+    let msg = match PortalsMessage::decode_gather(payload) {
         Ok(m) => m,
         Err(_) => {
             shared.dropped_garbage.fetch_add(1, Ordering::Relaxed);
@@ -197,9 +201,42 @@ fn dispatch(shared: &NodeShared, payload: &[u8]) {
         None => {
             shared.dropped_no_process.fetch_add(1, Ordering::Relaxed);
         }
-        Some(core) => match core.config.progress {
-            crate::ProgressModel::ApplicationBypass => engine::deliver(&core, shared, msg),
-            crate::ProgressModel::HostDriven => core.enqueue_raw(msg),
-        },
+        Some(core) => {
+            // Baseline buffer model: coalesce the payload into one fresh
+            // allocation before the engine sees it, as a copying receive
+            // path would, and count the copy.
+            let msg = if core.config.region_buffers {
+                msg
+            } else {
+                flatten_payload(&core, msg)
+            };
+            match core.config.progress {
+                crate::ProgressModel::ApplicationBypass => engine::deliver(&core, shared, msg),
+                crate::ProgressModel::HostDriven => core.enqueue_raw(msg),
+            }
+        }
+    }
+}
+
+/// Replace a message's payload views with one contiguous copy (the ablation
+/// baseline's receive-side coalesce), counting the copy it performs.
+fn flatten_payload(core: &NiCore, msg: PortalsMessage) -> PortalsMessage {
+    fn flatten(core: &NiCore, g: Gather) -> Gather {
+        if g.is_empty() {
+            return g;
+        }
+        core.counters.payload_copies.fetch_add(1, Ordering::Relaxed);
+        Gather::from_vec(g.to_vec())
+    }
+    match msg {
+        PortalsMessage::Put(mut m) => {
+            m.payload = flatten(core, m.payload);
+            PortalsMessage::Put(m)
+        }
+        PortalsMessage::Reply(mut m) => {
+            m.payload = flatten(core, m.payload);
+            PortalsMessage::Reply(m)
+        }
+        other => other,
     }
 }

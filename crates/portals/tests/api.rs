@@ -3,12 +3,12 @@
 //! observed end to end.
 
 use portals::{
-    iobuf, AcEntry, AcMatch, AckRequest, DropReason, EventKind, MdOptions, MdSpec, MePos,
+    AcEntry, AcMatch, AckRequest, DropReason, EventKind, MdOptions, MdSpec, MePos,
     NetworkInterface, NiConfig, Node, NodeConfig, PortalMatch, ProcessDirectory, ProgressModel,
     Threshold,
 };
 use portals_net::{Fabric, FabricConfig, FaultPlan, LinkModel};
-use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId, PtlError, UserId};
+use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId, PtlError, Region, UserId};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -34,13 +34,13 @@ fn listen(
     portals::MeHandle,
     portals::MdHandle,
     portals::EqHandle,
-    portals::IoBuf,
+    portals::Region,
 ) {
     let eq = ni.eq_alloc(64).unwrap();
     let me = ni
         .me_attach(portal, ProcessId::ANY, criteria, false, MePos::Back)
         .unwrap();
-    let buf = iobuf(vec![0u8; len]);
+    let buf = Region::from_vec(vec![0u8; len]);
     let md = ni
         .md_attach(me, MdSpec::new(buf.clone()).with_eq(eq))
         .unwrap();
@@ -56,7 +56,7 @@ fn put_moves_data_and_logs_event() {
 
     let (_, _, eq, buf) = listen(&b, 3, MatchCriteria::exact(MatchBits::new(0xbeef)), 256);
 
-    let src = iobuf(b"zero copy delivery".to_vec());
+    let src = Region::from_vec(b"zero copy delivery".to_vec());
     let md = a.md_bind(MdSpec::new(src)).unwrap();
     a.put(
         md,
@@ -76,7 +76,7 @@ fn put_moves_data_and_logs_event() {
     assert_eq!(ev.match_bits, MatchBits::new(0xbeef));
     assert_eq!(ev.rlength, 18);
     assert_eq!(ev.mlength, 18);
-    assert_eq!(&buf.lock()[..18], b"zero copy delivery");
+    assert_eq!(buf.read_vec(0, 18), b"zero copy delivery");
     assert_eq!(b.counters().requests_accepted, 1);
 }
 
@@ -91,7 +91,7 @@ fn put_with_ack_round_trips() {
 
     let aeq = a.eq_alloc(8).unwrap();
     let md = a
-        .md_bind(MdSpec::new(iobuf(vec![7u8; 48])).with_eq(aeq))
+        .md_bind(MdSpec::new(Region::from_vec(vec![7u8; 48])).with_eq(aeq))
         .unwrap();
     a.put(md, AckRequest::Ack, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
@@ -122,7 +122,7 @@ fn ack_reports_truncated_length() {
 
     let aeq = a.eq_alloc(8).unwrap();
     let md = a
-        .md_bind(MdSpec::new(iobuf(vec![1u8; 100])).with_eq(aeq))
+        .md_bind(MdSpec::new(Region::from_vec(vec![1u8; 100])).with_eq(aeq))
         .unwrap();
     a.put(md, AckRequest::Ack, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
@@ -146,10 +146,10 @@ fn get_reads_remote_memory() {
     let b = default_ni(&nb);
 
     let (_, _, beq, bbuf) = listen(&b, 5, MatchCriteria::exact(MatchBits::new(1)), 64);
-    bbuf.lock()[..8].copy_from_slice(b"readable");
+    bbuf.write(0, b"readable");
 
     let aeq = a.eq_alloc(8).unwrap();
-    let dst = iobuf(vec![0u8; 8]);
+    let dst = Region::from_vec(vec![0u8; 8]);
     let md = a.md_bind(MdSpec::new(dst.clone()).with_eq(aeq)).unwrap();
     a.get(md, b.id(), 5, 0, MatchBits::new(1), 0, 8).unwrap();
 
@@ -157,7 +157,7 @@ fn get_reads_remote_memory() {
     let reply = a.eq_poll(aeq, TIMEOUT).unwrap();
     assert_eq!(reply.kind, EventKind::Reply);
     assert_eq!(reply.mlength, 8);
-    assert_eq!(&dst.lock()[..], b"readable");
+    assert_eq!(dst.read_vec(0, dst.len()), b"readable");
 
     // The target logged a Get event.
     let gev = b.eq_poll(beq, TIMEOUT).unwrap();
@@ -173,19 +173,21 @@ fn get_with_offset_reads_middle_of_region() {
     let b = default_ni(&nb);
 
     let (_, _, _, bbuf) = listen(&b, 0, MatchCriteria::any(), 32);
-    for (i, byte) in bbuf.lock().iter_mut().enumerate() {
-        *byte = i as u8;
-    }
+    bbuf.rmw(0, bbuf.len(), |w| {
+        for (i, byte) in w.iter_mut().enumerate() {
+            *byte = i as u8;
+        }
+    });
 
     let aeq = a.eq_alloc(8).unwrap();
-    let dst = iobuf(vec![0u8; 4]);
+    let dst = Region::from_vec(vec![0u8; 4]);
     let md = a.md_bind(MdSpec::new(dst.clone()).with_eq(aeq)).unwrap();
     a.get(md, b.id(), 0, 0, MatchBits::ZERO, 10, 4).unwrap();
 
     let _sent = a.eq_poll(aeq, TIMEOUT).unwrap();
     let reply = a.eq_poll(aeq, TIMEOUT).unwrap();
     assert_eq!(reply.kind, EventKind::Reply);
-    assert_eq!(&dst.lock()[..], &[10, 11, 12, 13]);
+    assert_eq!(dst.read_vec(0, dst.len()), &[10, 11, 12, 13]);
 }
 
 #[test]
@@ -198,7 +200,7 @@ fn md_in_use_while_get_pending_then_unlinkable() {
 
     let aeq = a.eq_alloc(8).unwrap();
     let md = a
-        .md_bind(MdSpec::new(iobuf(vec![0u8; 16])).with_eq(aeq))
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 16])).with_eq(aeq))
         .unwrap();
     a.get(md, b.id(), 0, 0, MatchBits::ZERO, 0, 16).unwrap();
     // The reply may already have arrived on a fast fabric; only assert the
@@ -220,7 +222,9 @@ fn no_matching_entry_drops_with_no_match() {
 
     let (_, _, _, _) = listen(&b, 0, MatchCriteria::exact(MatchBits::new(1)), 64);
 
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::new(2), 0)
         .unwrap();
 
@@ -235,7 +239,9 @@ fn invalid_portal_index_drops() {
     let a = default_ni(&na);
     let b = default_ni(&nb);
 
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 9999, 0, MatchBits::ZERO, 0)
         .unwrap();
     wait_for(|| b.counters().dropped(DropReason::InvalidPortalIndex) == 1);
@@ -249,7 +255,9 @@ fn bad_cookie_drops_with_invalid_ac_index() {
     let b = default_ni(&nb);
     let (_, _, _, _) = listen(&b, 0, MatchCriteria::any(), 64);
 
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
+        .unwrap();
     // Cookie 7 is a disabled entry in the standard ACL.
     a.put(md, AckRequest::NoAck, b.id(), 0, 7, MatchBits::ZERO, 0)
         .unwrap();
@@ -274,7 +282,9 @@ fn acl_entry_restricts_by_process_and_portal() {
     )
     .unwrap();
 
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
+        .unwrap();
     // Allowed: right process, right portal.
     a.put(md, AckRequest::NoAck, b.id(), 2, 3, MatchBits::ZERO, 0)
         .unwrap();
@@ -305,7 +315,9 @@ fn acl_process_mismatch_counts() {
         },
     )
     .unwrap();
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 2, MatchBits::ZERO, 0)
         .unwrap();
     wait_for(|| b.counters().dropped(DropReason::AclProcessMismatch) == 1);
@@ -353,7 +365,9 @@ fn job_directory_separates_applications() {
             },
         )
         .unwrap();
-    let md = peer.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
+    let md = peer
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 4])))
+        .unwrap();
     peer.put(md, AckRequest::NoAck, target.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
     assert_eq!(target.eq_poll(eq, TIMEOUT).unwrap().kind, EventKind::Put);
@@ -368,7 +382,9 @@ fn job_directory_separates_applications() {
             },
         )
         .unwrap();
-    let md2 = foreign.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
+    let md2 = foreign
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 4])))
+        .unwrap();
     foreign
         .put(
             md2,
@@ -384,7 +400,9 @@ fn job_directory_separates_applications() {
 
     // But the system process (pid 42) is admitted via entry 1.
     let sys = na.create_ni(42, NiConfig::default()).unwrap();
-    let md3 = sys.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
+    let md3 = sys
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 4])))
+        .unwrap();
     sys.put(
         md3,
         AckRequest::NoAck,
@@ -405,7 +423,9 @@ fn message_to_unknown_pid_counts_at_node() {
     let a = default_ni(&na);
     let _b = default_ni(&nb);
 
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
+        .unwrap();
     a.put(
         md,
         AckRequest::NoAck,
@@ -432,7 +452,7 @@ fn threshold_unlink_consumes_entry_once() {
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), true, MePos::Back)
         .unwrap();
-    let buf = iobuf(vec![0u8; 64]);
+    let buf = Region::from_vec(vec![0u8; 64]);
     let _md = b
         .md_attach(
             me,
@@ -446,7 +466,9 @@ fn threshold_unlink_consumes_entry_once() {
         )
         .unwrap();
 
-    let md = a.md_bind(MdSpec::new(iobuf(b"first".to_vec()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(b"first".to_vec())))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
 
@@ -456,12 +478,14 @@ fn threshold_unlink_consumes_entry_once() {
     assert_eq!(unlink_ev.kind, EventKind::Unlink);
 
     // Second put finds no entry: NoMatch.
-    let md2 = a.md_bind(MdSpec::new(iobuf(b"second".to_vec()))).unwrap();
+    let md2 = a
+        .md_bind(MdSpec::new(Region::from_vec(b"second".to_vec())))
+        .unwrap();
     a.put(md2, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
     wait_for(|| b.counters().dropped(DropReason::NoMatch) == 1);
     assert_eq!(
-        &buf.lock()[..5],
+        buf.read_vec(0, 5),
         b"first",
         "second message must not overwrite"
     );
@@ -479,22 +503,24 @@ fn match_list_order_respected_end_to_end() {
     let me_back = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let back_buf = iobuf(vec![0u8; 64]);
+    let back_buf = Region::from_vec(vec![0u8; 64]);
     b.md_attach(me_back, MdSpec::new(back_buf.clone()).with_eq(eq))
         .unwrap();
     let me_front = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Front)
         .unwrap();
-    let front_buf = iobuf(vec![0u8; 64]);
+    let front_buf = Region::from_vec(vec![0u8; 64]);
     b.md_attach(me_front, MdSpec::new(front_buf.clone()).with_eq(eq))
         .unwrap();
 
-    let md = a.md_bind(MdSpec::new(iobuf(b"winner".to_vec()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(b"winner".to_vec())))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
     let _ = b.eq_poll(eq, TIMEOUT).unwrap();
-    assert_eq!(&front_buf.lock()[..6], b"winner");
-    assert_eq!(&back_buf.lock()[..6], &[0u8; 6]);
+    assert_eq!(front_buf.read_vec(0, 6), b"winner");
+    assert_eq!(back_buf.read_vec(0, 6), &[0u8; 6]);
 }
 
 #[test]
@@ -514,7 +540,9 @@ fn host_driven_makes_no_progress_without_calls() {
 
     let (_, _, eq, buf) = listen(&b, 0, MatchCriteria::any(), 64);
 
-    let md = a.md_bind(MdSpec::new(iobuf(b"parked".to_vec()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(b"parked".to_vec())))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
 
@@ -526,12 +554,12 @@ fn host_driven_makes_no_progress_without_calls() {
         0,
         "no progress without an API call"
     );
-    assert_eq!(&buf.lock()[..6], &[0u8; 6]);
+    assert_eq!(buf.read_vec(0, 6), &[0u8; 6]);
 
     // One API call processes it.
     let ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
-    assert_eq!(&buf.lock()[..6], b"parked");
+    assert_eq!(buf.read_vec(0, 6), b"parked");
 }
 
 #[test]
@@ -543,13 +571,15 @@ fn application_bypass_progresses_without_calls() {
 
     let (_, _, _, buf) = listen(&b, 0, MatchCriteria::any(), 64);
 
-    let md = a.md_bind(MdSpec::new(iobuf(b"flows!".to_vec()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(b"flows!".to_vec())))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
 
     // No API calls on b: data must still land.
     wait_for(|| b.counters().requests_accepted == 1);
-    assert_eq!(&buf.lock()[..6], b"flows!");
+    assert_eq!(buf.read_vec(0, 6), b"flows!");
     assert_eq!(b.raw_pending(), 0);
 }
 
@@ -560,12 +590,14 @@ fn loopback_put_to_self() {
     let a = default_ni(&na);
 
     let (_, _, eq, buf) = listen(&a, 0, MatchCriteria::any(), 64);
-    let md = a.md_bind(MdSpec::new(iobuf(b"self".to_vec()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(b"self".to_vec())))
+        .unwrap();
     a.put(md, AckRequest::NoAck, a.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
     let ev = a.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
-    assert_eq!(&buf.lock()[..4], b"self");
+    assert_eq!(buf.read_vec(0, 4), b"self");
 }
 
 #[test]
@@ -579,7 +611,9 @@ fn multiple_processes_per_node_demux() {
     let (_, _, eq1, buf1) = listen(&b1, 0, MatchCriteria::any(), 64);
     let (_, _, eq2, buf2) = listen(&b2, 0, MatchCriteria::any(), 64);
 
-    let md = a.md_bind(MdSpec::new(iobuf(b"to-pid-2".to_vec()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(b"to-pid-2".to_vec())))
+        .unwrap();
     a.put(
         md,
         AckRequest::NoAck,
@@ -592,9 +626,9 @@ fn multiple_processes_per_node_demux() {
     .unwrap();
     let ev = b2.eq_poll(eq2, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
-    assert_eq!(&buf2.lock()[..8], b"to-pid-2");
+    assert_eq!(buf2.read_vec(0, 8), b"to-pid-2");
     assert!(b1.eq_get(eq1).is_err(), "pid 1 must see nothing");
-    assert_eq!(&buf1.lock()[..8], &[0u8; 8]);
+    assert_eq!(buf1.read_vec(0, 8), &[0u8; 8]);
 }
 
 #[test]
@@ -608,7 +642,7 @@ fn managed_offset_packs_messages_back_to_back() {
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let slab = iobuf(vec![0u8; 64]);
+    let slab = Region::from_vec(vec![0u8; 64]);
     b.md_attach(
         me,
         MdSpec::new(slab.clone())
@@ -621,7 +655,9 @@ fn managed_offset_packs_messages_back_to_back() {
     .unwrap();
 
     for chunk in [b"aaaa".as_slice(), b"bb", b"cccccc"] {
-        let md = a.md_bind(MdSpec::new(iobuf(chunk.to_vec()))).unwrap();
+        let md = a
+            .md_bind(MdSpec::new(Region::from_vec(chunk.to_vec())))
+            .unwrap();
         a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
             .unwrap();
     }
@@ -632,7 +668,7 @@ fn managed_offset_packs_messages_back_to_back() {
         })
         .collect();
     assert_eq!(offs, vec![(0, 4), (4, 2), (6, 6)]);
-    assert_eq!(&slab.lock()[..12], b"aaaabbcccccc");
+    assert_eq!(slab.read_vec(0, 12), b"aaaabbcccccc");
 }
 
 #[test]
@@ -652,14 +688,16 @@ fn works_over_lossy_timed_fabric() {
 
     let (_, _, eq, buf) = listen(&b, 0, MatchCriteria::any(), 100_000);
     let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
-    let md = a.md_bind(MdSpec::new(iobuf(payload.clone()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(payload.clone())))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
 
     let ev = b.eq_poll(eq, Duration::from_secs(30)).unwrap();
     assert_eq!(ev.mlength as usize, payload.len());
     assert_eq!(
-        &buf.lock()[..],
+        buf.read_vec(0, buf.len()),
         &payload[..],
         "payload intact despite 20% loss"
     );
@@ -696,7 +734,9 @@ fn handle_misuse_is_rejected() {
     assert_eq!(r.err(), Some(PtlError::InvalidPortalIndex));
 
     // Put to a wildcard target.
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 4])))
+        .unwrap();
     let r = a.put(
         md,
         AckRequest::NoAck,
@@ -751,7 +791,7 @@ fn reply_eq_full_drops_reply() {
     // EQ of capacity 1; the Sent event fills it before the reply arrives.
     let aeq = a.eq_alloc(1).unwrap();
     let md = a
-        .md_bind(MdSpec::new(iobuf(vec![0u8; 16])).with_eq(aeq))
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 16])).with_eq(aeq))
         .unwrap();
     a.get(md, b.id(), 0, 0, MatchBits::ZERO, 0, 16).unwrap();
 
@@ -772,7 +812,9 @@ fn md_update_is_refused_while_events_pend() {
         .unwrap();
 
     // Land a put; its event makes the conditional update refuse.
-    let md = a.md_bind(MdSpec::new(iobuf(vec![1u8; 4]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![1u8; 4])))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
     wait_for(|| b.eq_len(eq).unwrap() == 1);
@@ -808,8 +850,8 @@ fn min_free_slab_rotation_end_to_end() {
         min_free: 32,
         ..Default::default()
     };
-    let slab1 = iobuf(vec![0u8; 64]);
-    let slab2 = iobuf(vec![0u8; 64]);
+    let slab1 = Region::from_vec(vec![0u8; 64]);
+    let slab2 = Region::from_vec(vec![0u8; 64]);
     b.md_attach(
         me,
         MdSpec::new(slab1.clone())
@@ -828,7 +870,7 @@ fn min_free_slab_rotation_end_to_end() {
     // 40 bytes into slab1 → 24 remain < 32 → slab1 unlinks; next message goes
     // to slab2.
     for payload in [vec![b'x'; 40], vec![b'y'; 20]] {
-        let md = a.md_bind(MdSpec::new(iobuf(payload))).unwrap();
+        let md = a.md_bind(MdSpec::new(Region::from_vec(payload))).unwrap();
         a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
             .unwrap();
     }
@@ -844,8 +886,8 @@ fn min_free_slab_rotation_end_to_end() {
         (second.kind, second.mlength, second.offset),
         (EventKind::Put, 20, 0)
     );
-    assert_eq!(&slab1.lock()[..40], &vec![b'x'; 40][..]);
-    assert_eq!(&slab2.lock()[..20], &vec![b'y'; 20][..]);
+    assert_eq!(slab1.read_vec(0, 40), &vec![b'x'; 40][..]);
+    assert_eq!(slab2.read_vec(0, 20), &vec![b'y'; 20][..]);
 }
 
 #[test]
@@ -862,7 +904,9 @@ fn max_message_size_enforced_at_initiator() {
         )
         .unwrap();
     // TINY allows 4 KiB; an 8 KiB put/get must be refused locally.
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 8192]))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8192])))
+        .unwrap();
     assert_eq!(
         a.put(
             md,
@@ -876,7 +920,9 @@ fn max_message_size_enforced_at_initiator() {
         .err(),
         Some(PtlError::LimitExceeded)
     );
-    let md2 = a.md_bind(MdSpec::new(iobuf(vec![0u8; 16]))).unwrap();
+    let md2 = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 16])))
+        .unwrap();
     assert_eq!(
         a.get(md2, ProcessId::new(0, 1), 0, 0, MatchBits::ZERO, 0, 8192)
             .err(),
@@ -893,7 +939,7 @@ fn scattered_md_receives_put_across_segments() {
     let b = default_ni(&nb);
 
     // Target region = three separate 8-byte buffers (e.g. strided rows).
-    let rows: Vec<portals::IoBuf> = (0..3).map(|_| iobuf(vec![0u8; 8])).collect();
+    let rows: Vec<portals::Region> = (0..3).map(|_| Region::from_vec(vec![0u8; 8])).collect();
     let eq = b.eq_alloc(8).unwrap();
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
@@ -904,15 +950,20 @@ fn scattered_md_receives_put_across_segments() {
     )
     .unwrap();
 
-    let md = a.md_bind(MdSpec::new(iobuf((0u8..20).collect()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec((0u8..20).collect())))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 2)
         .unwrap();
     let ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!((ev.mlength, ev.offset), (20, 2));
     // Offset 2 → bytes 0..6 land in row0[2..8], 6..14 in row1, 14..20 in row2[..6].
-    assert_eq!(&rows[0].lock()[2..], &[0, 1, 2, 3, 4, 5]);
-    assert_eq!(&rows[1].lock()[..], &[6, 7, 8, 9, 10, 11, 12, 13]);
-    assert_eq!(&rows[2].lock()[..6], &[14, 15, 16, 17, 18, 19]);
+    assert_eq!(rows[0].read_vec(2, rows[0].len() - 2), &[0, 1, 2, 3, 4, 5]);
+    assert_eq!(
+        rows[1].read_vec(0, rows[1].len()),
+        &[6, 7, 8, 9, 10, 11, 12, 13]
+    );
+    assert_eq!(rows[2].read_vec(0, 6), &[14, 15, 16, 17, 18, 19]);
 }
 
 #[test]
@@ -923,8 +974,8 @@ fn get_gathers_from_scattered_source() {
     let a = default_ni(&na);
     let b = default_ni(&nb);
 
-    let left = iobuf(b"gather".to_vec());
-    let right = iobuf(b"scatter".to_vec());
+    let left = Region::from_vec(b"gather".to_vec());
+    let right = Region::from_vec(b"scatter".to_vec());
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
@@ -935,13 +986,13 @@ fn get_gathers_from_scattered_source() {
     .unwrap();
 
     let aeq = a.eq_alloc(8).unwrap();
-    let dst = iobuf(vec![0u8; 13]);
+    let dst = Region::from_vec(vec![0u8; 13]);
     let md = a.md_bind(MdSpec::new(dst.clone()).with_eq(aeq)).unwrap();
     a.get(md, b.id(), 0, 0, MatchBits::ZERO, 0, 13).unwrap();
     let _sent = a.eq_poll(aeq, TIMEOUT).unwrap();
     let reply = a.eq_poll(aeq, TIMEOUT).unwrap();
     assert_eq!(reply.kind, EventKind::Reply);
-    assert_eq!(&dst.lock()[..], b"gatherscatter");
+    assert_eq!(dst.read_vec(0, dst.len()), b"gatherscatter");
 }
 
 /// Spin with a deadline on an eventually-true condition.

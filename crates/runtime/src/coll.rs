@@ -15,7 +15,7 @@
 
 use parking_lot::Mutex;
 use portals::{
-    iobuf, AckRequest, CombineOp, CtHandle, IoBuf, MdHandle, MdOptions, MdSpec, MePos, Threshold,
+    AckRequest, CombineOp, CtHandle, MdHandle, MdOptions, MdSpec, MePos, Region, Threshold,
 };
 use portals_mpi::bits::{Context, MAX_USER_TAG};
 use portals_mpi::{Communicator, Request};
@@ -26,9 +26,9 @@ use portals_types::{MatchBits, MatchCriteria, ProcessId, Rank};
 // layer; `validate_reserved_layout` (checked at communicator construction)
 // keeps barrier rounds below it. Drifting outside the band is a compile error.
 const _: () = assert!(
-    0x108 >= portals_mpi::bits::COLL_TAG_BASE_OFFSET
+    0x10a >= portals_mpi::bits::COLL_TAG_BASE_OFFSET
         && 0x100 == portals_mpi::bits::COLL_TAG_BASE_OFFSET
-        && 0x108 < portals_mpi::bits::COLL_TAG_BASE_OFFSET + portals_mpi::bits::COLL_TAG_SPAN,
+        && 0x10a < portals_mpi::bits::COLL_TAG_BASE_OFFSET + portals_mpi::bits::COLL_TAG_SPAN,
     "collective tags outside the reserved band granted by the MPI layer"
 );
 
@@ -41,6 +41,36 @@ const TAG_GATHER: u32 = MAX_USER_TAG + 0x105;
 const TAG_SCATTER: u32 = MAX_USER_TAG + 0x106;
 const TAG_ALLGATHER: u32 = MAX_USER_TAG + 0x107;
 const TAG_ALLTOALL: u32 = MAX_USER_TAG + 0x108;
+/// Clear-to-send for size-announced transfers (gather/scatter).
+const TAG_XFER_CTS: u32 = MAX_USER_TAG + 0x109;
+/// Payload of a size-announced transfer.
+const TAG_XFER_DATA: u32 = MAX_USER_TAG + 0x10a;
+
+/// A collective that could not complete correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollError {
+    /// A peer's message did not fit the receive buffer sized for it — the
+    /// ranks disagree about the collective's geometry.
+    Truncated {
+        /// Bytes the receive buffer was sized for.
+        expected: usize,
+        /// Bytes the peer actually sent.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollError::Truncated { expected, got } => write!(
+                f,
+                "collective message truncated: expected {expected} bytes, peer sent {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollError {}
 
 /// Element-wise reduction operator over `f64` vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,7 +167,7 @@ impl Collectives {
                 zero_md: comm
                     .engine()
                     .ni()
-                    .md_bind(MdSpec::new(iobuf(Vec::new())))
+                    .md_bind(MdSpec::new(Region::zeroed(0)))
                     .expect("bind zero-length barrier source"),
                 active: false,
             };
@@ -181,18 +211,68 @@ impl Collectives {
         self.comm.isend_reserved(Rank(to as u32), tag, data)
     }
 
+    fn send_region_to(&self, to: usize, tag: u32, data: Region) {
+        let req = self.comm.isend_region_reserved(Rank(to as u32), tag, data);
+        self.comm.wait(req);
+    }
+
+    fn isend_region_to(&self, to: usize, tag: u32, data: Region) -> Request {
+        self.comm.isend_region_reserved(Rank(to as u32), tag, data)
+    }
+
     fn recv_from(&self, from: usize, tag: u32, cap: usize) -> Vec<u8> {
-        let buf = iobuf(vec![0u8; cap]);
+        self.try_recv_from(from, tag, cap)
+            .expect("collective message truncated: peers disagree on sizes")
+    }
+
+    fn try_recv_from(&self, from: usize, tag: u32, cap: usize) -> Result<Vec<u8>, CollError> {
+        let buf = Region::zeroed(cap);
         let req = self
             .comm
             .irecv_reserved(Rank(from as u32), tag, buf.clone());
         let st = self.comm.wait(req).status().expect("collective recv");
-        assert!(
-            !st.truncated,
-            "collective message truncated: peers disagree on sizes"
-        );
-        let out = buf.lock()[..st.len].to_vec();
-        out
+        if st.truncated {
+            return Err(CollError::Truncated {
+                expected: cap,
+                got: st.full_len,
+            });
+        }
+        Ok(buf.read_vec(0, st.len))
+    }
+
+    /// Send `data` preceded by a size announcement: the receiver posts an
+    /// exactly-sized receive MD and clears the payload to fly only once that
+    /// landing zone exists. Works for any length up to the interface limit —
+    /// unlike a plain eager send, the payload can never be truncated by an
+    /// overflow slab or a guessed receive cap.
+    fn send_sized(&self, to: usize, tag: u32, data: &[u8]) {
+        self.send_to(to, tag, &(data.len() as u64).to_le_bytes());
+        let cts = self.recv_from(to, TAG_XFER_CTS, 0);
+        debug_assert!(cts.is_empty());
+        self.send_to(to, TAG_XFER_DATA, data);
+    }
+
+    /// Receive one [`Collectives::send_sized`] transfer: read the announced
+    /// length, post a receive MD of exactly that size, then send clear-to-send.
+    fn recv_sized(&self, from: usize, tag: u32) -> Result<Vec<u8>, CollError> {
+        let hdr = self.try_recv_from(from, tag, 8)?;
+        let len = u64::from_le_bytes(hdr.try_into().map_err(|_| CollError::Truncated {
+            expected: 8,
+            got: 0,
+        })?) as usize;
+        let buf = Region::zeroed(len);
+        let req = self
+            .comm
+            .irecv_reserved(Rank(from as u32), TAG_XFER_DATA, buf.clone());
+        self.send_to(from, TAG_XFER_CTS, &[]);
+        let st = self.comm.wait(req).status().expect("sized transfer recv");
+        if st.truncated || st.len != len {
+            return Err(CollError::Truncated {
+                expected: len,
+                got: st.full_len,
+            });
+        }
+        Ok(buf.read_vec(0, st.len))
     }
 
     // -- collectives --------------------------------------------------------
@@ -266,7 +346,7 @@ impl Collectives {
                 }
             } else {
                 let parent = ((vrank & !mask) + root) % n;
-                self.send_to(parent, TAG_REDUCE, &encode_f64(&acc));
+                self.send_region_to(parent, TAG_REDUCE, Region::from_vec(encode_f64(&acc)));
                 return None;
             }
             mask <<= 1;
@@ -310,7 +390,7 @@ impl Collectives {
 
         if me >= p {
             // Extra rank: fold into (me - p), then receive the final result.
-            self.send_to(me - p, TAG_ALLRED_PRE, &encode_f64(data));
+            self.send_region_to(me - p, TAG_ALLRED_PRE, Region::from_vec(encode_f64(data)));
             let result = self.recv_from(me - p, TAG_ALLRED_POST, data.len() * 8);
             data.copy_from_slice(&decode_f64(&result));
             return;
@@ -324,29 +404,32 @@ impl Collectives {
         while mask < p {
             let partner = me ^ mask;
             // Exchange simultaneously: post the receive, send, wait both.
-            let buf = iobuf(vec![0u8; data.len() * 8]);
+            let buf = Region::zeroed(data.len() * 8);
             let rreq = self
                 .comm
                 .irecv_reserved(Rank(partner as u32), TAG_ALLRED_STEP, buf.clone());
-            let sreq = self.isend_to(partner, TAG_ALLRED_STEP, &encode_f64(data));
+            let sreq =
+                self.isend_region_to(partner, TAG_ALLRED_STEP, Region::from_vec(encode_f64(data)));
             let st = self.comm.wait(rreq).status().expect("allreduce step");
             self.comm.wait(sreq);
             assert_eq!(st.len, data.len() * 8);
-            op.combine(data, &decode_f64(&buf.lock()));
+            op.combine(data, &decode_f64(&buf.read_vec(0, buf.len())));
             mask <<= 1;
         }
         if me < extra {
-            self.send_to(me + p, TAG_ALLRED_POST, &encode_f64(data));
+            self.send_region_to(me + p, TAG_ALLRED_POST, Region::from_vec(encode_f64(data)));
         }
     }
 
-    /// Gather every rank's bytes at `root` (rank-ordered); `None` elsewhere.
-    pub fn gather(&self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+    /// Gather every rank's bytes at `root` (rank-ordered); `Ok(None)`
+    /// elsewhere. Each receive is sized from the arrival envelope, so parts
+    /// of any length work — there is no built-in cap.
+    pub fn gather(&self, root: usize, mine: &[u8]) -> Result<Option<Vec<Vec<u8>>>, CollError> {
         let n = self.n();
         let me = self.me();
         if me != root {
-            self.send_to(root, TAG_GATHER, mine);
-            return None;
+            self.send_sized(root, TAG_GATHER, mine);
+            return Ok(None);
         }
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         out[me] = mine.to_vec();
@@ -354,29 +437,27 @@ impl Collectives {
         // by source).
         for (r, slot) in out.iter_mut().enumerate() {
             if r != me {
-                *slot = self.recv_from(r, TAG_GATHER, 16 * 1024 * 1024);
+                *slot = self.recv_sized(r, TAG_GATHER)?;
             }
         }
-        Some(out)
+        Ok(Some(out))
     }
 
     /// Scatter `parts[i]` from `root` to rank `i`; returns this rank's part.
-    pub fn scatter(&self, root: usize, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
+    /// The receive is sized from the arrival envelope, so parts of any length
+    /// work — there is no built-in cap.
+    pub fn scatter(&self, root: usize, parts: Option<&[Vec<u8>]>) -> Result<Vec<u8>, CollError> {
         let n = self.n();
         let me = self.me();
         if me == root {
             let parts = parts.expect("root must supply parts");
             assert_eq!(parts.len(), n, "one part per rank");
-            let reqs: Vec<Request> = (0..n)
-                .filter(|&r| r != me)
-                .map(|r| self.isend_to(r, TAG_SCATTER, &parts[r]))
-                .collect();
-            for req in reqs {
-                self.comm.wait(req);
+            for r in (0..n).filter(|&r| r != me) {
+                self.send_sized(r, TAG_SCATTER, &parts[r]);
             }
-            parts[me].clone()
+            Ok(parts[me].clone())
         } else {
-            self.recv_from(root, TAG_SCATTER, 16 * 1024 * 1024)
+            self.recv_sized(root, TAG_SCATTER)
         }
     }
 
@@ -402,7 +483,7 @@ impl Collectives {
         for step in 0..n - 1 {
             let send_block = (me + n - step) % n;
             let recv_block = (me + n - step - 1) % n;
-            let buf = iobuf(vec![0u8; mine.len()]);
+            let buf = Region::zeroed(mine.len());
             let rreq = self
                 .comm
                 .irecv_reserved(Rank(left as u32), TAG_ALLGATHER, buf.clone());
@@ -410,7 +491,7 @@ impl Collectives {
             let st = self.comm.wait(rreq).status().expect("allgather ring");
             self.comm.wait(sreq);
             assert_eq!(st.len, mine.len(), "allgather blocks must be equal-sized");
-            out[recv_block] = buf.lock()[..st.len].to_vec();
+            out[recv_block] = buf.read_vec(0, st.len);
         }
         out
     }
@@ -420,7 +501,7 @@ impl Collectives {
         let me = self.me();
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         out[me] = mine.to_vec();
-        let bufs: Vec<_> = (0..n).map(|_| iobuf(vec![0u8; mine.len()])).collect();
+        let bufs: Vec<_> = (0..n).map(|_| Region::zeroed(mine.len())).collect();
         let rreqs: Vec<(usize, Request)> = (0..n)
             .filter(|&r| r != me)
             .map(|r| {
@@ -437,7 +518,7 @@ impl Collectives {
             .collect();
         for (r, req) in rreqs {
             let st = self.comm.wait(req).status().expect("allgather linear");
-            out[r] = bufs[r].lock()[..st.len].to_vec();
+            out[r] = bufs[r].read_vec(0, st.len);
         }
         for req in sreqs {
             self.comm.wait(req);
@@ -453,7 +534,7 @@ impl Collectives {
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         out[me] = parts[me].clone();
         let cap = parts.iter().map(Vec::len).max().unwrap_or(0).max(1);
-        let bufs: Vec<_> = (0..n).map(|_| iobuf(vec![0u8; cap])).collect();
+        let bufs: Vec<_> = (0..n).map(|_| Region::zeroed(cap)).collect();
         let rreqs: Vec<(usize, Request)> = (0..n)
             .filter(|&r| r != me)
             .map(|r| {
@@ -471,7 +552,7 @@ impl Collectives {
         for (r, req) in rreqs {
             let st = self.comm.wait(req).status().expect("alltoall");
             assert!(!st.truncated, "alltoall part exceeded the agreed maximum");
-            out[r] = bufs[r].lock()[..st.len].to_vec();
+            out[r] = bufs[r].read_vec(0, st.len);
         }
         for req in sreqs {
             self.comm.wait(req);
@@ -588,7 +669,7 @@ fn post_barrier_slot(comm: &Communicator, seq: u32) -> BarrierSlot {
                 .expect("attach barrier entry");
             ni.md_attach(
                 me,
-                MdSpec::new(iobuf(Vec::new()))
+                MdSpec::new(Region::zeroed(0))
                     .with_ct(ct)
                     .with_threshold(Threshold::Count(1))
                     .with_options(MdOptions {
@@ -623,7 +704,7 @@ pub struct PendingColl {
     /// Counters to wait on at finish; `waits[0]` is the terminal one.
     waits: Vec<(CtHandle, u64)>,
     /// Buffer holding this rank's result, if the user slice must be filled.
-    result: Option<IoBuf>,
+    result: Option<Region>,
     /// Initiator-side bind MDs to unlink at finish.
     binds: Vec<MdHandle>,
     /// Non-terminal counters to free at finish.
@@ -762,7 +843,7 @@ impl Collectives {
         let vrank = (me + n - root) % n;
 
         // Root: `buf` carries the payload. Non-root: it is the landing area.
-        let buf = iobuf(data.to_vec());
+        let buf = Region::copy_from_slice(data);
         let send_md = ni
             .md_bind(MdSpec::new(buf.clone()))
             .expect("bind bcast buffer");
@@ -872,7 +953,7 @@ impl Collectives {
             let stages = ceil_log2(p) as u64; // p ≥ 2 whenever n ≥ 2
                                               // Fold buffer: starts as this rank's own contribution; an extra's
                                               // vector (if any) combines into it.
-            let fold_buf = iobuf(encode_f64(data));
+            let fold_buf = Region::from_vec(encode_f64(data));
             let fold_bind = ni
                 .md_bind(MdSpec::new(fold_buf.clone()))
                 .expect("bind fold buffer");
@@ -903,7 +984,7 @@ impl Collectives {
             let mut stage_bufs = Vec::new();
             let mut stage_cts = Vec::new();
             for j in 1..=stages {
-                let buf = iobuf(encode_f64(&vec![cop.identity(); data.len()]));
+                let buf = Region::from_vec(encode_f64(&vec![cop.identity(); data.len()]));
                 let ct = ni.ct_alloc().expect("allocate stage counter");
                 let meh = ni
                     .me_attach(
@@ -981,10 +1062,10 @@ impl Collectives {
             // Extra rank: ship the input to the core partner once every rank
             // has posted (fence), receive the final result.
             let input_bind = ni
-                .md_bind(MdSpec::new(iobuf(encode_f64(data))))
+                .md_bind(MdSpec::new(Region::from_vec(encode_f64(data))))
                 .expect("bind extra input");
             binds.push(input_bind);
-            let final_buf = iobuf(vec![0u8; data.len() * 8]);
+            let final_buf = Region::zeroed(data.len() * 8);
             let cf = ni.ct_alloc().expect("allocate final counter");
             let meh = ni
                 .me_attach(
@@ -1036,21 +1117,21 @@ impl Collectives {
     /// `start_bcast` was given).
     pub fn finish_bcast(&self, p: PendingColl, data: &mut [u8]) {
         if let Some(buf) = self.finish_common(p) {
-            data.copy_from_slice(&buf.lock()[..data.len()]);
+            data.copy_from_slice(&buf.read_vec(0, data.len()));
         }
     }
 
     /// Complete an offloaded allreduce into `data`.
     pub fn finish_allreduce(&self, p: PendingColl, data: &mut [f64]) {
         if let Some(buf) = self.finish_common(p) {
-            data.copy_from_slice(&decode_f64(&buf.lock()));
+            data.copy_from_slice(&decode_f64(&buf.read_vec(0, buf.len())));
         }
     }
 
     /// Wait every counter (the terminal one first, then the fence — which
     /// must also complete before its round sends may be reclaimed), then
     /// release the schedule's resources.
-    fn finish_common(&self, p: PendingColl) -> Option<IoBuf> {
+    fn finish_common(&self, p: PendingColl) -> Option<Region> {
         let ni = self.comm.engine().ni();
         for &(ct, target) in &p.waits {
             ni.ct_wait(ct, target).expect("offloaded collective wait");

@@ -10,7 +10,7 @@
 
 use parking_lot::Mutex;
 use portals::{
-    iobuf, AckRequest, EqHandle, EventKind, IoBuf, MdOptions, MdSpec, MePos, NetworkInterface,
+    AckRequest, EqHandle, EventKind, MdOptions, MdSpec, MePos, NetworkInterface, Region,
 };
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlResult};
 use std::collections::HashMap;
@@ -127,9 +127,9 @@ fn attach_slab(
     ni: &NetworkInterface,
     me: portals::MeHandle,
     eq: EqHandle,
-    slabs: &Mutex<HashMap<portals::MdHandle, IoBuf>>,
+    slabs: &Mutex<HashMap<portals::MdHandle, Region>>,
 ) -> PtlResult<()> {
-    let buf = iobuf(vec![0u8; RECORD_SIZE * SLAB_RECORDS]);
+    let buf = Region::zeroed(RECORD_SIZE * SLAB_RECORDS);
     let md = ni.md_attach(
         me,
         MdSpec::new(buf.clone())
@@ -149,7 +149,7 @@ fn attach_slab(
 
 fn send_record(ni: &NetworkInterface, to: ProcessId, portal: u32, record: Control) {
     let md = ni
-        .md_bind(MdSpec::new(iobuf(record.encode())))
+        .md_bind(MdSpec::new(Region::from_vec(record.encode())))
         .expect("bind control md");
     let _ = ni.put(
         md,
@@ -175,7 +175,7 @@ pub enum NodeState {
 struct LauncherInner {
     ni: NetworkInterface,
     eq: EqHandle,
-    slabs: Mutex<HashMap<portals::MdHandle, IoBuf>>,
+    slabs: Mutex<HashMap<portals::MdHandle, Region>>,
     slab_me: portals::MeHandle,
     managers: Mutex<HashMap<u32, (ProcessId, Instant, NodeState)>>,
     started: Mutex<Vec<(u32, u32)>>, // (job, nid)
@@ -291,9 +291,8 @@ fn launcher_loop(inner: Arc<LauncherInner>) {
                     continue;
                 };
                 let record = {
-                    let b = buf.lock();
-                    let at = ev.offset as usize;
-                    Control::decode(&b[at..at + (ev.mlength as usize).min(RECORD_SIZE)])
+                    let b = buf.slice(ev.offset as usize, (ev.mlength as usize).min(RECORD_SIZE));
+                    Control::decode(&b)
                 };
                 match record {
                     Some(Control::Register { nid }) => {
@@ -334,7 +333,7 @@ fn launcher_loop(inner: Arc<LauncherInner>) {
 struct ManagerInner {
     ni: NetworkInterface,
     eq: EqHandle,
-    slabs: Mutex<HashMap<portals::MdHandle, IoBuf>>,
+    slabs: Mutex<HashMap<portals::MdHandle, Region>>,
     slab_me: portals::MeHandle,
     launcher: ProcessId,
     nid: u32,
@@ -430,9 +429,8 @@ fn manager_loop(inner: Arc<ManagerInner>) {
                     continue;
                 };
                 let record = {
-                    let b = buf.lock();
-                    let at = ev.offset as usize;
-                    Control::decode(&b[at..at + (ev.mlength as usize).min(RECORD_SIZE)])
+                    let b = buf.slice(ev.offset as usize, (ev.mlength as usize).min(RECORD_SIZE));
+                    Control::decode(&b)
                 };
                 match record {
                     Some(Control::StartJob { job, nranks }) => {

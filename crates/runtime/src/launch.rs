@@ -21,6 +21,8 @@ pub struct JobConfig {
     pub procs_per_node: usize,
     /// Job id registered in the directory.
     pub job_id: u32,
+    /// Portals resource limits for every interface.
+    pub limits: portals_types::NiLimits,
 }
 
 impl Default for JobConfig {
@@ -31,6 +33,7 @@ impl Default for JobConfig {
             mpi: MpiConfig::default(),
             procs_per_node: 1,
             job_id: 1,
+            limits: portals_types::NiLimits::DEFAULT,
         }
     }
 }
@@ -147,6 +150,7 @@ impl Job {
                         NiConfig {
                             progress: config.progress,
                             job: config.job_id,
+                            limits: config.limits,
                             ..Default::default()
                         },
                     )

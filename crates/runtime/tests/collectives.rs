@@ -79,7 +79,7 @@ fn gather_collects_in_rank_order() {
         Job::launch(n, JobConfig::default(), move |env| {
             let coll = Collectives::new(env.comm.clone());
             let mine = vec![env.rank().0 as u8 + 1; (env.rank().0 as usize + 1) * 3];
-            let out = coll.gather(0, &mine);
+            let out = coll.gather(0, &mine).expect("gather");
             if env.rank().0 == 0 {
                 let out = out.unwrap();
                 assert_eq!(out.len(), env.size());
@@ -100,11 +100,41 @@ fn scatter_distributes_parts() {
             let coll = Collectives::new(env.comm.clone());
             let parts: Option<Vec<Vec<u8>>> = (env.rank().0 == 0)
                 .then(|| (0..env.size()).map(|r| vec![r as u8; r + 2]).collect());
-            let mine = coll.scatter(0, parts.as_deref());
+            let mine = coll.scatter(0, parts.as_deref()).expect("scatter");
             let me = env.rank().0 as usize;
             assert_eq!(mine, vec![me as u8; me + 2]);
         });
     }
+}
+
+/// The receive side sizes its MD from the arrival envelope, so parts larger
+/// than any built-in guess work: 17 MiB exceeds the 16 MiB cap the scatter
+/// path used to hard-code.
+#[test]
+fn scatter_and_gather_have_no_size_cap() {
+    let config = JobConfig {
+        limits: portals_types::NiLimits {
+            max_message_size: 32 * 1024 * 1024,
+            ..portals_types::NiLimits::DEFAULT
+        },
+        ..JobConfig::default()
+    };
+    Job::launch(2, config, move |env| {
+        let coll = Collectives::new(env.comm.clone());
+        let big = 17 * 1024 * 1024;
+        let parts: Option<Vec<Vec<u8>>> =
+            (env.rank().0 == 0).then(|| vec![vec![1u8; 4], vec![0xa5u8; big]]);
+        let mine = coll.scatter(0, parts.as_deref()).expect("scatter");
+        if env.rank().0 == 1 {
+            assert_eq!(mine.len(), big);
+            assert!(mine.iter().all(|&b| b == 0xa5));
+        }
+        let out = coll.gather(0, &mine).expect("gather");
+        if env.rank().0 == 0 {
+            let out = out.unwrap();
+            assert_eq!(out[1].len(), big, "round-trips through gather uncapped");
+        }
+    });
 }
 
 #[test]

@@ -3,10 +3,9 @@
 use crate::config::TransportConfig;
 use crate::stats::{TransportStats, TransportStatsSnapshot};
 use crate::worker::{Command, Worker};
-use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use portals_net::Nic;
-use portals_types::NodeId;
+use portals_types::{Gather, NodeId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,8 +16,9 @@ use std::time::Duration;
 pub struct IncomingMessage {
     /// The sending node.
     pub src: NodeId,
-    /// The message bytes.
-    pub payload: Bytes,
+    /// The message bytes, as the zero-copy gather the receive path
+    /// reassembled (segments are views into the received datagrams).
+    pub payload: Gather,
 }
 
 /// A reliable, ordered, connectionless endpoint bound to one NIC.
@@ -32,16 +32,15 @@ pub struct IncomingMessage {
 /// ```
 /// use portals_transport::{Endpoint, TransportConfig};
 /// use portals_net::Fabric;
-/// use portals_types::NodeId;
-/// use bytes::Bytes;
+/// use portals_types::{Gather, NodeId};
 ///
 /// let fabric = Fabric::ideal();
 /// let a = Endpoint::with_defaults(fabric.attach(NodeId(0)));
 /// let b = Endpoint::with_defaults(fabric.attach(NodeId(1)));
-/// a.send(NodeId(1), Bytes::from_static(b"no connection setup required"));
+/// a.send(NodeId(1), Gather::copy_from_slice(b"no connection setup required"));
 /// let msg = b.recv().expect("delivered");
 /// assert_eq!(msg.src, NodeId(0));
-/// assert_eq!(&msg.payload[..], b"no connection setup required");
+/// assert_eq!(msg.payload, &b"no connection setup required"[..]);
 /// ```
 pub struct Endpoint {
     nid: NodeId,
@@ -94,9 +93,15 @@ impl Endpoint {
     }
 
     /// Queue `msg` for reliable, ordered delivery to `dst`. Never blocks.
-    pub fn send(&self, dst: NodeId, msg: Bytes) {
+    ///
+    /// Accepts anything convertible to a [`Gather`] — a `Gather` of region
+    /// views travels to the wire without its payload ever being copied.
+    pub fn send(&self, dst: NodeId, msg: impl Into<Gather>) {
         // A send after shutdown is a no-op; the worker is gone.
-        let _ = self.commands.send(Command::Send { dst, msg });
+        let _ = self.commands.send(Command::Send {
+            dst,
+            msg: msg.into(),
+        });
     }
 
     /// Block until a message arrives.
@@ -164,6 +169,8 @@ impl Drop for Endpoint {
 mod tests {
     use super::*;
     use portals_net::{Fabric, FabricConfig, FaultPlan, LinkModel};
+    use portals_types::Gather;
+    use portals_wire::Packet;
     use std::time::Duration;
 
     fn pair(fabric: &Fabric, cfg: TransportConfig) -> (Endpoint, Endpoint) {
@@ -176,17 +183,17 @@ mod tests {
     fn basic_send_recv() {
         let fabric = Fabric::ideal();
         let (a, b) = pair(&fabric, TransportConfig::default());
-        a.send(NodeId(1), Bytes::from_static(b"hello"));
+        a.send(NodeId(1), Gather::copy_from_slice(b"hello"));
         let m = b.recv_timeout(Duration::from_secs(5)).expect("message");
         assert_eq!(m.src, NodeId(0));
-        assert_eq!(&m.payload[..], b"hello");
+        assert_eq!(m.payload, &b"hello"[..]);
     }
 
     #[test]
     fn zero_length_message() {
         let fabric = Fabric::ideal();
         let (a, b) = pair(&fabric, TransportConfig::default());
-        a.send(NodeId(1), Bytes::new());
+        a.send(NodeId(1), Gather::new());
         let m = b.recv_timeout(Duration::from_secs(5)).expect("message");
         assert!(m.payload.is_empty());
     }
@@ -200,9 +207,9 @@ mod tests {
         };
         let (a, b) = pair(&fabric, cfg);
         let payload: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
-        a.send(NodeId(1), Bytes::from(payload.clone()));
+        a.send(NodeId(1), Gather::from_vec(payload.clone()));
         let m = b.recv_timeout(Duration::from_secs(10)).expect("message");
-        assert_eq!(&m.payload[..], &payload[..]);
+        assert_eq!(m.payload, &payload[..]);
         assert!(a.stats().data_packets_sent >= 98, "expected ~98 fragments");
     }
 
@@ -211,11 +218,14 @@ mod tests {
         let fabric = Fabric::ideal();
         let (a, b) = pair(&fabric, TransportConfig::default());
         for i in 0..500u32 {
-            a.send(NodeId(1), Bytes::from(i.to_le_bytes().to_vec()));
+            a.send(NodeId(1), Gather::from_vec(i.to_le_bytes().to_vec()));
         }
         for i in 0..500u32 {
             let m = b.recv_timeout(Duration::from_secs(5)).expect("message");
-            assert_eq!(u32::from_le_bytes(m.payload[..].try_into().unwrap()), i);
+            assert_eq!(
+                u32::from_le_bytes(m.payload.to_vec()[..].try_into().unwrap()),
+                i
+            );
         }
     }
 
@@ -224,16 +234,22 @@ mod tests {
         let fabric = Fabric::ideal();
         let (a, b) = pair(&fabric, TransportConfig::default());
         for i in 0..50u8 {
-            a.send(NodeId(1), Bytes::from(vec![i]));
-            b.send(NodeId(0), Bytes::from(vec![100 + i]));
+            a.send(NodeId(1), Gather::from_vec(vec![i]));
+            b.send(NodeId(0), Gather::from_vec(vec![100 + i]));
         }
         for i in 0..50u8 {
             assert_eq!(
-                b.recv_timeout(Duration::from_secs(5)).unwrap().payload[0],
+                b.recv_timeout(Duration::from_secs(5))
+                    .unwrap()
+                    .payload
+                    .to_bytes()[0],
                 i
             );
             assert_eq!(
-                a.recv_timeout(Duration::from_secs(5)).unwrap().payload[0],
+                a.recv_timeout(Duration::from_secs(5))
+                    .unwrap()
+                    .payload
+                    .to_bytes()[0],
                 100 + i
             );
         }
@@ -258,17 +274,21 @@ mod tests {
         let (a, b) = pair(&fabric, tcfg);
         let payload: Vec<u8> = (0..20_000u32).map(|i| (i * 7) as u8).collect();
         for _ in 0..5 {
-            a.send(NodeId(1), Bytes::from(payload.clone()));
+            a.send(NodeId(1), Gather::from_vec(payload.clone()));
         }
         for _ in 0..5 {
             let m = b
                 .recv_timeout(Duration::from_secs(30))
                 .expect("lossy delivery");
-            assert_eq!(&m.payload[..], &payload[..]);
+            assert_eq!(m.payload, &payload[..]);
         }
         assert!(
             a.stats().retransmissions > 0,
             "loss must have forced retransmissions"
+        );
+        assert!(
+            a.stats().resend_bytes > 0,
+            "retransmissions must account the wire bytes they resent"
         );
     }
 
@@ -294,13 +314,17 @@ mod tests {
         };
         let (a, b) = pair(&fabric, tcfg);
         for i in 0..50u32 {
-            a.send(NodeId(1), Bytes::from(vec![i as u8; 700]));
+            a.send(NodeId(1), Gather::from_vec(vec![i as u8; 700]));
         }
         for i in 0..50u32 {
             let m = b
                 .recv_timeout(Duration::from_secs(30))
                 .expect("delivery under faults");
-            assert_eq!(m.payload[0], i as u8, "messages must stay ordered");
+            assert_eq!(
+                m.payload.to_bytes()[0],
+                i as u8,
+                "messages must stay ordered"
+            );
             assert_eq!(m.payload.len(), 700);
         }
     }
@@ -319,13 +343,13 @@ mod tests {
         };
         let (a, b) = pair(&fabric, tcfg);
         fabric.partition(NodeId(0), NodeId(1));
-        a.send(NodeId(1), Bytes::from_static(b"delayed"));
+        a.send(NodeId(1), Gather::copy_from_slice(b"delayed"));
         assert!(b.recv_timeout(Duration::from_millis(50)).is_none());
         fabric.heal(NodeId(0), NodeId(1));
         let m = b
             .recv_timeout(Duration::from_secs(10))
             .expect("delivery after heal");
-        assert_eq!(&m.payload[..], b"delayed");
+        assert_eq!(m.payload, &b"delayed"[..]);
     }
 
     #[test]
@@ -333,7 +357,7 @@ mod tests {
         let fabric = Fabric::ideal();
         let (a, b) = pair(&fabric, TransportConfig::default());
         for _ in 0..20 {
-            a.send(NodeId(1), Bytes::from(vec![0u8; 10_000]));
+            a.send(NodeId(1), Gather::from_vec(vec![0u8; 10_000]));
         }
         assert!(a.flush(Duration::from_secs(10)), "flush timed out");
         assert_eq!(a.outstanding(), 0);
@@ -354,7 +378,7 @@ mod tests {
             ..Default::default()
         };
         let (a, b) = pair(&fabric, tcfg);
-        a.send(NodeId(1), Bytes::from(vec![9u8; 64 * 50]));
+        a.send(NodeId(1), Gather::from_vec(vec![9u8; 64 * 50]));
         let m = b
             .recv_timeout(Duration::from_secs(10))
             .expect("windowed message");
@@ -372,7 +396,7 @@ mod tests {
         let a = Endpoint::new(fabric.attach(NodeId(0)), tcfg);
         let _b = Endpoint::new(fabric.attach(NodeId(1)), tcfg);
         fabric.partition(NodeId(0), NodeId(1));
-        a.send(NodeId(1), Bytes::from_static(b"into the void"));
+        a.send(NodeId(1), Gather::copy_from_slice(b"into the void"));
         // The transport keeps retrying but flags the stall.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while a.stats().peers_stalled == 0 {
@@ -380,7 +404,13 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert!(a.outstanding() > 0, "message still queued");
-        assert!(a.stats().retransmissions >= 3);
+        let stats = a.stats();
+        assert!(stats.retransmissions >= 3);
+        // Every retransmission resent the whole (header + 13-byte body) packet.
+        assert_eq!(
+            stats.resend_bytes,
+            stats.retransmissions * (Packet::DATA_HEADER_SIZE + 13) as u64
+        );
     }
 
     #[test]
@@ -394,13 +424,13 @@ mod tests {
         let a = Endpoint::new(fabric.attach(NodeId(0)), tcfg);
         let b = Endpoint::new(fabric.attach(NodeId(1)), tcfg);
         fabric.partition(NodeId(0), NodeId(1));
-        a.send(NodeId(1), Bytes::from_static(b"patient"));
+        a.send(NodeId(1), Gather::copy_from_slice(b"patient"));
         std::thread::sleep(Duration::from_millis(30)); // well past the stall
         fabric.heal(NodeId(0), NodeId(1));
         let m = b
             .recv_timeout(Duration::from_secs(10))
             .expect("post-stall delivery");
-        assert_eq!(&m.payload[..], b"patient");
+        assert_eq!(m.payload, &b"patient"[..]);
         assert!(a.flush(Duration::from_secs(5)));
     }
 
@@ -412,7 +442,10 @@ mod tests {
         let fabric = Fabric::ideal();
         let rx_nic = fabric.attach(NodeId(1));
         let a = Endpoint::new(fabric.attach(NodeId(0)), cfg);
-        a.send(NodeId(1), Bytes::from(vec![5u8; cfg.mtu * frags as usize]));
+        a.send(
+            NodeId(1),
+            Gather::from_vec(vec![5u8; cfg.mtu * frags as usize]),
+        );
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while fabric.stats().packets_delivered < frags {
             assert!(std::time::Instant::now() < deadline, "burst never queued");
@@ -460,7 +493,7 @@ mod tests {
     fn stats_reflect_traffic() {
         let fabric = Fabric::ideal();
         let (a, b) = pair(&fabric, TransportConfig::default());
-        a.send(NodeId(1), Bytes::from_static(b"x"));
+        a.send(NodeId(1), Gather::copy_from_slice(b"x"));
         let _ = b.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(a.flush(Duration::from_secs(5)));
         let sa = a.stats();

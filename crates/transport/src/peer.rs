@@ -7,7 +7,7 @@
 //! reordering and duplication without any threads or clocks.
 
 use crate::config::TransportConfig;
-use bytes::Bytes;
+use portals_types::Gather;
 use portals_wire::{Packet, PacketHeader};
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -22,14 +22,16 @@ struct PendingFrag {
     msg_id: u64,
     frag_index: u32,
     frag_count: u32,
-    body: Bytes,
+    body: Gather,
 }
 
-/// A packet in flight: kept encoded for cheap retransmission.
+/// A packet in flight: kept encoded for retransmission. The encoded image is
+/// a [`Gather`] of refcounted segments, so keeping it (and re-sending it on
+/// every timer fire) copies handles, never payload bytes.
 #[derive(Debug, Clone)]
 struct InFlight {
     seq: u64,
-    encoded: Bytes,
+    encoded: Gather,
 }
 
 /// Sender-side state for one destination.
@@ -50,8 +52,9 @@ pub struct SenderPeer {
 /// What a timeout produced.
 #[derive(Debug, PartialEq, Eq)]
 pub struct TimeoutResult {
-    /// Packets to retransmit (the whole window — go-back-N).
-    pub resend: Vec<Bytes>,
+    /// Packets to retransmit (the whole window — go-back-N). Handle copies of
+    /// the in-flight encodings, not fresh buffers.
+    pub resend: Vec<Gather>,
     /// True the first time `retries` crosses the stall threshold.
     pub newly_stalled: bool,
 }
@@ -74,10 +77,10 @@ impl SenderPeer {
     /// that fit in the window right now.
     pub fn enqueue_message(
         &mut self,
-        msg: Bytes,
+        msg: Gather,
         cfg: &TransportConfig,
         now: Instant,
-    ) -> Vec<Bytes> {
+    ) -> Vec<Gather> {
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         let frag_count = frag_count_for(msg.len(), cfg.mtu);
@@ -88,14 +91,14 @@ impl SenderPeer {
                 msg_id,
                 frag_index: i,
                 frag_count,
-                body: msg.slice(start..end),
+                body: msg.slice(start, end - start),
             });
         }
         self.admit(cfg, now)
     }
 
     /// Move pending fragments into the window while space remains.
-    fn admit(&mut self, cfg: &TransportConfig, now: Instant) -> Vec<Bytes> {
+    fn admit(&mut self, cfg: &TransportConfig, now: Instant) -> Vec<Gather> {
         let mut out = Vec::new();
         while self.in_flight.len() < cfg.window {
             let Some(frag) = self.pending.pop_front() else {
@@ -124,7 +127,7 @@ impl SenderPeer {
     }
 
     /// Process a cumulative acknowledgment; returns newly admitted packets.
-    pub fn on_ack(&mut self, cumulative: u64, cfg: &TransportConfig, now: Instant) -> Vec<Bytes> {
+    pub fn on_ack(&mut self, cumulative: u64, cfg: &TransportConfig, now: Instant) -> Vec<Gather> {
         if cumulative == ACK_NONE {
             return Vec::new(); // "nothing received" keep-alive
         }
@@ -205,14 +208,16 @@ fn frag_count_for(len: usize, mtu: usize) -> u32 {
 struct Partial {
     msg_id: u64,
     frag_count: u32,
-    parts: Vec<Bytes>,
+    parts: Vec<Gather>,
 }
 
 /// What [`ReceiverPeer::on_data`] produced.
 #[derive(Debug, PartialEq, Eq)]
 pub struct RxResult {
-    /// A fully reassembled message, if this fragment completed one.
-    pub delivered: Option<Bytes>,
+    /// A fully reassembled message, if this fragment completed one. The
+    /// fragments' gathers are concatenated, not coalesced: the bytes stay in
+    /// the datagrams the NIC delivered.
+    pub delivered: Option<Gather>,
     /// Cumulative ack to send back ([`ACK_NONE`] if nothing in-order yet).
     pub ack: u64,
     /// The packet was a duplicate (seq below the in-order horizon).
@@ -242,7 +247,7 @@ impl ReceiverPeer {
     /// Process a DATA packet. Out-of-order packets are dropped (go-back-N) and
     /// duplicates suppressed; both still elicit an ack so the sender can
     /// resynchronize.
-    pub fn on_data(&mut self, header: PacketHeader, body: Bytes) -> RxResult {
+    pub fn on_data(&mut self, header: PacketHeader, body: Gather) -> RxResult {
         let PacketHeader::Data {
             seq,
             msg_id,
@@ -285,8 +290,8 @@ impl ReceiverPeer {
         msg_id: u64,
         frag_index: u32,
         frag_count: u32,
-        body: Bytes,
-    ) -> Option<Bytes> {
+        body: Gather,
+    ) -> Option<Gather> {
         if frag_index == 0 {
             // A new message begins; any stale partial is abandoned (cannot
             // happen with a correct sender, but defends against one that was
@@ -313,16 +318,13 @@ impl ReceiverPeer {
     }
 }
 
-fn assemble(parts: Vec<Bytes>) -> Bytes {
-    if parts.len() == 1 {
-        return parts.into_iter().next().expect("len checked");
-    }
-    let total: usize = parts.iter().map(Bytes::len).sum();
-    let mut buf = Vec::with_capacity(total);
+/// Concatenate the fragments' gathers — O(total segments), zero payload copies.
+fn assemble(parts: Vec<Gather>) -> Gather {
+    let mut out = Gather::new();
     for p in parts {
-        buf.extend_from_slice(&p);
+        out.append(p);
     }
-    Bytes::from(buf)
+    out
 }
 
 #[cfg(test)]
@@ -346,14 +348,20 @@ mod tests {
         Instant::now()
     }
 
-    fn decode(pkts: &[Bytes]) -> Vec<Packet> {
-        pkts.iter().map(|b| Packet::decode(b).unwrap()).collect()
+    fn g(b: &[u8]) -> Gather {
+        Gather::copy_from_slice(b)
+    }
+
+    fn decode(pkts: &[Gather]) -> Vec<Packet> {
+        pkts.iter()
+            .map(|b| Packet::decode_gather(b).unwrap())
+            .collect()
     }
 
     #[test]
     fn small_message_is_one_fragment() {
         let mut tx = SenderPeer::new();
-        let pkts = tx.enqueue_message(Bytes::from_static(b"hi"), &cfg(), now());
+        let pkts = tx.enqueue_message(g(b"hi"), &cfg(), now());
         let pkts = decode(&pkts);
         assert_eq!(pkts.len(), 1);
         assert_eq!(
@@ -365,15 +373,15 @@ mod tests {
                 frag_count: 1
             }
         );
-        assert_eq!(&pkts[0].body[..], b"hi");
+        assert_eq!(pkts[0].body, &b"hi"[..]);
     }
 
     #[test]
     fn zero_length_message_still_sends_a_packet() {
         let mut tx = SenderPeer::new();
-        let pkts = tx.enqueue_message(Bytes::new(), &cfg(), now());
+        let pkts = tx.enqueue_message(Gather::new(), &cfg(), now());
         assert_eq!(pkts.len(), 1);
-        let p = Packet::decode(&pkts[0]).unwrap();
+        let p = Packet::decode_gather(&pkts[0]).unwrap();
         assert_eq!(
             p.header,
             PacketHeader::Data {
@@ -390,14 +398,14 @@ mod tests {
     fn fragmentation_respects_mtu_and_window() {
         let mut tx = SenderPeer::new();
         // 10 bytes at MTU 4 → 3 fragments; window 3 admits all immediately.
-        let pkts = tx.enqueue_message(Bytes::from_static(b"0123456789"), &cfg(), now());
+        let pkts = tx.enqueue_message(g(b"0123456789"), &cfg(), now());
         let pkts = decode(&pkts);
         assert_eq!(pkts.len(), 3);
-        assert_eq!(&pkts[0].body[..], b"0123");
-        assert_eq!(&pkts[1].body[..], b"4567");
-        assert_eq!(&pkts[2].body[..], b"89");
+        assert_eq!(pkts[0].body, &b"0123"[..]);
+        assert_eq!(pkts[1].body, &b"4567"[..]);
+        assert_eq!(pkts[2].body, &b"89"[..]);
         // A second message must wait for window space.
-        let more = tx.enqueue_message(Bytes::from_static(b"xx"), &cfg(), now());
+        let more = tx.enqueue_message(g(b"xx"), &cfg(), now());
         assert!(more.is_empty());
         assert_eq!(tx.outstanding(), 4);
     }
@@ -407,8 +415,8 @@ mod tests {
         let mut tx = SenderPeer::new();
         let t = now();
         let c = cfg();
-        tx.enqueue_message(Bytes::from_static(b"0123456789"), &c, t); // seq 0..3 in flight
-        tx.enqueue_message(Bytes::from_static(b"ab"), &c, t); // pending
+        tx.enqueue_message(g(b"0123456789"), &c, t); // seq 0..3 in flight
+        tx.enqueue_message(g(b"ab"), &c, t); // pending
         let released = tx.on_ack(1, &c, t); // acks seq 0,1
         let released = decode(&released);
         assert_eq!(released.len(), 1);
@@ -428,7 +436,7 @@ mod tests {
     fn ack_none_is_a_noop() {
         let mut tx = SenderPeer::new();
         let t = now();
-        tx.enqueue_message(Bytes::from_static(b"hi"), &cfg(), t);
+        tx.enqueue_message(g(b"hi"), &cfg(), t);
         let before = tx.outstanding();
         assert!(tx.on_ack(ACK_NONE, &cfg(), t).is_empty());
         assert_eq!(tx.outstanding(), before);
@@ -439,7 +447,7 @@ mod tests {
         let mut tx = SenderPeer::new();
         let t = now();
         let c = cfg();
-        tx.enqueue_message(Bytes::from_static(b"0123456789"), &c, t);
+        tx.enqueue_message(g(b"0123456789"), &c, t);
         tx.on_ack(2, &c, t); // everything acked
         assert_eq!(tx.outstanding(), 0);
         assert!(tx.deadline().is_none());
@@ -453,7 +461,7 @@ mod tests {
         let mut tx = SenderPeer::new();
         let t = now();
         let c = cfg();
-        tx.enqueue_message(Bytes::from_static(b"0123456789"), &c, t);
+        tx.enqueue_message(g(b"0123456789"), &c, t);
         let r1 = tx.on_timeout(&c, t);
         assert_eq!(r1.resend.len(), 3);
         assert!(!r1.newly_stalled);
@@ -477,6 +485,24 @@ mod tests {
     }
 
     #[test]
+    fn timeout_resend_is_handle_copies_not_fresh_buffers() {
+        let mut tx = SenderPeer::new();
+        let t = now();
+        let c = cfg();
+        let sent = tx.enqueue_message(g(b"0123456789"), &c, t);
+        let r = tx.on_timeout(&c, t);
+        assert_eq!(r.resend.len(), sent.len());
+        for (orig, re) in sent.iter().zip(&r.resend) {
+            assert_eq!(orig.to_vec(), re.to_vec());
+            // Same segments, same backing storage: a resend costs handles only.
+            assert_eq!(orig.segment_count(), re.segment_count());
+            for (a, b) in orig.segments().iter().zip(re.segments()) {
+                assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+            }
+        }
+    }
+
+    #[test]
     fn receiver_delivers_in_order_single_fragment() {
         let mut rx = ReceiverPeer::new();
         let r = rx.on_data(
@@ -486,9 +512,9 @@ mod tests {
                 frag_index: 0,
                 frag_count: 1,
             },
-            Bytes::from_static(b"hello"),
+            g(b"hello"),
         );
-        assert_eq!(r.delivered.as_deref(), Some(&b"hello"[..]));
+        assert_eq!(r.delivered.map(|d| d.to_vec()), Some(b"hello".to_vec()));
         assert_eq!(r.ack, 0);
         assert!(!r.duplicate && !r.out_of_order);
     }
@@ -503,7 +529,7 @@ mod tests {
                 frag_index: 0,
                 frag_count: 2,
             },
-            Bytes::from_static(b"hel"),
+            g(b"hel"),
         );
         assert!(r0.delivered.is_none());
         let r1 = rx.on_data(
@@ -513,9 +539,9 @@ mod tests {
                 frag_index: 1,
                 frag_count: 2,
             },
-            Bytes::from_static(b"lo"),
+            g(b"lo"),
         );
-        assert_eq!(r1.delivered.as_deref(), Some(&b"hello"[..]));
+        assert_eq!(r1.delivered.map(|d| d.to_vec()), Some(b"hello".to_vec()));
         assert_eq!(r1.ack, 1);
     }
 
@@ -529,7 +555,7 @@ mod tests {
                 frag_index: 0,
                 frag_count: 1,
             },
-            Bytes::from_static(b"x"),
+            g(b"x"),
         );
         assert!(r.delivered.is_none());
         assert!(r.out_of_order);
@@ -545,9 +571,9 @@ mod tests {
             frag_index: 0,
             frag_count: 1,
         };
-        let first = rx.on_data(h, Bytes::from_static(b"x"));
+        let first = rx.on_data(h, g(b"x"));
         assert!(first.delivered.is_some());
-        let dup = rx.on_data(h, Bytes::from_static(b"x"));
+        let dup = rx.on_data(h, g(b"x"));
         assert!(dup.delivered.is_none());
         assert!(dup.duplicate);
         assert_eq!(dup.ack, 0); // re-ack so the sender resyncs
@@ -561,7 +587,7 @@ mod tests {
         let t = now();
         let mut tx = SenderPeer::new();
         let mut rx = ReceiverPeer::new();
-        let pkts = tx.enqueue_message(Bytes::from_static(b"0123456789"), &c, t);
+        let pkts = tx.enqueue_message(g(b"0123456789"), &c, t);
         let pkts = decode(&pkts);
 
         // Deliver fragment 0 only.
@@ -585,7 +611,7 @@ mod tests {
             }
             tx.on_ack(r.ack, &c, t);
         }
-        assert_eq!(delivered.as_deref(), Some(&b"0123456789"[..]));
+        assert_eq!(delivered.map(|d| d.to_vec()), Some(b"0123456789".to_vec()));
         assert_eq!(tx.outstanding(), 0);
     }
 
@@ -608,10 +634,10 @@ mod tests {
             let t = Instant::now();
             let mut tx = SenderPeer::new();
             let mut rx = ReceiverPeer::new();
-            let mut wire: VecDeque<Bytes> = VecDeque::new();
-            let mut received: Vec<Bytes> = Vec::new();
+            let mut wire: VecDeque<Gather> = VecDeque::new();
+            let mut received: Vec<Vec<u8>> = Vec::new();
             for m in &messages {
-                wire.extend(tx.enqueue_message(Bytes::from(m.clone()), &c, t));
+                wire.extend(tx.enqueue_message(Gather::from_vec(m.clone()), &c, t));
             }
             let mut loss = loss_pattern.iter().cycle();
             // Cap drops per sequence number so adversarial cyclic patterns
@@ -622,7 +648,7 @@ mod tests {
                 steps += 1;
                 prop_assert!(steps < 100_000, "transport failed to converge");
                 if let Some(encoded) = wire.pop_front() {
-                    let p = Packet::decode(&encoded).unwrap();
+                    let p = Packet::decode_gather(&encoded).unwrap();
                     let seq = match p.header {
                         PacketHeader::Data { seq, .. } => seq,
                         PacketHeader::Ack { .. } => unreachable!("acks bypass the wire here"),
@@ -634,7 +660,7 @@ mod tests {
                     }
                     let r = rx.on_data(p.header, p.body);
                     if let Some(d) = r.delivered {
-                        received.push(d);
+                        received.push(d.to_vec());
                     }
                     wire.extend(tx.on_ack(r.ack, &c, t));
                 } else {
@@ -642,8 +668,7 @@ mod tests {
                     wire.extend(tx.on_timeout(&c, t).resend);
                 }
             }
-            let expect: Vec<Bytes> = messages.into_iter().map(Bytes::from).collect();
-            prop_assert_eq!(received, expect);
+            prop_assert_eq!(received, messages);
         }
     }
 }

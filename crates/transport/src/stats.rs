@@ -13,6 +13,10 @@ pub struct TransportStats {
     pub data_packets_sent: AtomicU64,
     /// DATA packets retransmitted.
     pub retransmissions: AtomicU64,
+    /// Wire bytes of retransmitted DATA packets. Retransmission re-sends the
+    /// in-flight *handles* (no payload is re-encoded or copied); this counts
+    /// the bytes those handles put back on the wire.
+    pub resend_bytes: AtomicU64,
     /// Duplicate DATA packets suppressed.
     pub duplicates_dropped: AtomicU64,
     /// Out-of-order DATA packets dropped (go-back-N).
@@ -42,6 +46,7 @@ impl TransportStats {
             messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
             data_packets_sent: self.data_packets_sent.load(Ordering::Relaxed),
             retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            resend_bytes: self.resend_bytes.load(Ordering::Relaxed),
             duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
             out_of_order_dropped: self.out_of_order_dropped.load(Ordering::Relaxed),
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
@@ -61,6 +66,7 @@ pub struct TransportStatsSnapshot {
     pub messages_delivered: u64,
     pub data_packets_sent: u64,
     pub retransmissions: u64,
+    pub resend_bytes: u64,
     pub duplicates_dropped: u64,
     pub out_of_order_dropped: u64,
     pub acks_sent: u64,

@@ -21,7 +21,6 @@ use crate::config::TransportConfig;
 use crate::endpoint::IncomingMessage;
 use crate::peer::{ReceiverPeer, SenderPeer};
 use crate::stats::TransportStats;
-use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use portals_net::{Datagram, Nic};
 use portals_wire::{Packet, PacketHeader};
@@ -32,11 +31,11 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use portals_types::NodeId;
+use portals_types::{Gather, NodeId};
 
 /// Commands from the public API to the worker.
 pub(crate) enum Command {
-    Send { dst: NodeId, msg: Bytes },
+    Send { dst: NodeId, msg: Gather },
     Shutdown,
 }
 
@@ -129,7 +128,7 @@ impl Worker {
         CAP
     }
 
-    fn on_send(&mut self, dst: NodeId, msg: Bytes) {
+    fn on_send(&mut self, dst: NodeId, msg: Gather) {
         self.stats.add(&self.stats.messages_sent, 1);
         let now = Instant::now();
         let peer = self.tx_peers.entry(dst).or_default();
@@ -141,7 +140,7 @@ impl Worker {
         self.arm_timer(dst);
     }
 
-    fn send_data(&self, dst: NodeId, packets: Vec<Bytes>) {
+    fn send_data(&self, dst: NodeId, packets: Vec<Gather>) {
         self.stats
             .add(&self.stats.data_packets_sent, packets.len() as u64);
         for p in packets {
@@ -169,7 +168,7 @@ impl Worker {
 
     fn process_datagram(&mut self, dgram: Datagram, pending_acks: &mut Vec<(NodeId, u64)>) {
         let src = dgram.src;
-        let packet = match Packet::decode_bytes(&dgram.payload) {
+        let packet = match Packet::decode_gather(&dgram.payload) {
             Ok(p) => p,
             Err(_) => {
                 self.stats.add(&self.stats.garbage_dropped, 1);
@@ -236,6 +235,8 @@ impl Worker {
                     }
                     self.stats
                         .add(&self.stats.retransmissions, result.resend.len() as u64);
+                    let bytes: u64 = result.resend.iter().map(|p| p.len() as u64).sum();
+                    self.stats.add(&self.stats.resend_bytes, bytes);
                     self.send_data(nid, result.resend);
                     self.arm_timer(nid);
                 }

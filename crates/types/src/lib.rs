@@ -14,14 +14,18 @@
 
 pub mod arena;
 pub mod error;
+pub mod gather;
 pub mod id;
 pub mod limits;
 pub mod matchbits;
+pub mod region;
 pub mod shard;
 
 pub use arena::{Arena, Handle};
 pub use error::{PtlError, PtlResult};
+pub use gather::Gather;
 pub use id::{NodeId, ProcessId, Rank, UserId, ANY_NID, ANY_PID};
 pub use limits::NiLimits;
 pub use matchbits::{MatchBits, MatchCriteria};
+pub use region::Region;
 pub use shard::Sharded;

@@ -10,7 +10,7 @@ use crate::op::Operation;
 use crate::put::PutRequest;
 use crate::reply::Reply;
 use bytes::{Bytes, BytesMut};
-use portals_types::ProcessId;
+use portals_types::{Gather, ProcessId};
 
 /// Magic byte identifying Portals 3.0 traffic ('P' ^ 0x30).
 const MAGIC: u8 = b'P' ^ 0x30;
@@ -65,7 +65,9 @@ impl PortalsMessage {
         }
     }
 
-    /// Serialize to a fresh buffer.
+    /// Serialize to one fresh contiguous buffer, copying any payload. This is
+    /// the ablation-baseline path; the data path proper uses
+    /// [`PortalsMessage::encode_gather`].
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
         buf.extend_from_slice(&[MAGIC, self.operation().to_byte()]);
@@ -78,6 +80,46 @@ impl PortalsMessage {
         buf.freeze()
     }
 
+    /// Serialize via vectored gather: one fresh segment holds the envelope and
+    /// fixed-size header, followed by the payload's own segments shared
+    /// without copying. Byte-identical to [`PortalsMessage::encode`].
+    pub fn encode_gather(&self) -> Gather {
+        let mut hdr = BytesMut::with_capacity(self.encoded_len() - self.payload_len());
+        hdr.extend_from_slice(&[MAGIC, self.operation().to_byte()]);
+        let payload = match self {
+            PortalsMessage::Put(m) => {
+                m.encode_header(&mut hdr);
+                Some(&m.payload)
+            }
+            PortalsMessage::Ack(m) => {
+                m.encode_body(&mut hdr);
+                None
+            }
+            PortalsMessage::Get(m) => {
+                m.encode_body(&mut hdr);
+                None
+            }
+            PortalsMessage::Reply(m) => {
+                m.header.encode(&mut hdr);
+                Some(&m.payload)
+            }
+        };
+        let mut out = Gather::from_bytes(hdr.freeze());
+        if let Some(p) = payload {
+            out.append(p.clone());
+        }
+        out
+    }
+
+    /// Payload bytes this message carries (0 for ack/get).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            PortalsMessage::Put(m) => m.payload.len(),
+            PortalsMessage::Reply(m) => m.payload.len(),
+            PortalsMessage::Ack(_) | PortalsMessage::Get(_) => 0,
+        }
+    }
+
     /// Exact size [`PortalsMessage::encode`] will produce.
     pub fn encoded_len(&self) -> usize {
         Self::ENVELOPE_SIZE
@@ -87,6 +129,67 @@ impl PortalsMessage {
                 PortalsMessage::Get(_) => GetRequest::WIRE_SIZE,
                 PortalsMessage::Reply(m) => Reply::WIRE_HEADER_SIZE + m.payload.len(),
             }
+    }
+
+    /// Parse a message held as a [`Gather`] without coalescing it.
+    ///
+    /// The envelope and fixed-size header are peeked into a stack buffer; a
+    /// put or reply payload becomes a zero-copy sub-gather of `buf`, so the
+    /// payload bytes stay wherever the transport received them.
+    pub fn decode_gather(buf: &Gather) -> Result<PortalsMessage, WireError> {
+        // Large enough for the envelope plus the largest fixed-size header.
+        const MAX_FIXED: usize = PortalsMessage::ENVELOPE_SIZE + 80;
+        let mut hdr = [0u8; MAX_FIXED];
+        let filled = buf.peek(&mut hdr);
+        let head = &hdr[..filled];
+        if filled < Self::ENVELOPE_SIZE {
+            return Err(WireError::Truncated {
+                needed: Self::ENVELOPE_SIZE,
+                available: filled,
+            });
+        }
+        if head[0] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let op = Operation::from_byte(head[1])?;
+        let body = &head[Self::ENVELOPE_SIZE..];
+        let payload_at = |fixed: usize| Self::ENVELOPE_SIZE + fixed;
+        Ok(match op {
+            Operation::PutRequest => {
+                let (header, ack_md, ack_eq) = PutRequest::decode_fields(body)?;
+                let at = payload_at(PutRequest::WIRE_HEADER_SIZE);
+                let declared = header.length as usize;
+                if buf.len() - at != declared {
+                    return Err(WireError::LengthMismatch {
+                        declared,
+                        actual: buf.len() - at,
+                    });
+                }
+                PortalsMessage::Put(PutRequest {
+                    header,
+                    ack_md,
+                    ack_eq,
+                    payload: buf.slice(at, declared),
+                })
+            }
+            Operation::Ack => PortalsMessage::Ack(Ack::decode_body(body)?),
+            Operation::GetRequest => PortalsMessage::Get(GetRequest::decode_body(body)?),
+            Operation::Reply => {
+                let header = Reply::decode_fields(body)?;
+                let at = payload_at(Reply::WIRE_HEADER_SIZE);
+                let declared = header.manipulated_length as usize;
+                if buf.len() - at != declared {
+                    return Err(WireError::LengthMismatch {
+                        declared,
+                        actual: buf.len() - at,
+                    });
+                }
+                PortalsMessage::Reply(Reply {
+                    header,
+                    payload: buf.slice(at, declared),
+                })
+            }
+        })
     }
 
     /// Parse a buffer produced by [`PortalsMessage::encode`].
@@ -144,14 +247,13 @@ mod tests {
         }
     }
 
-    #[test]
-    fn all_four_types_roundtrip() {
-        let messages = vec![
+    fn sample_messages() -> Vec<PortalsMessage> {
+        vec![
             PortalsMessage::Put(PutRequest {
                 header: req_header(3),
                 ack_md: 1,
                 ack_eq: 2,
-                payload: Bytes::from_static(b"abc"),
+                payload: Gather::copy_from_slice(b"abc"),
             }),
             PortalsMessage::Ack(Ack {
                 header: resp_header(3, 3),
@@ -162,15 +264,61 @@ mod tests {
             }),
             PortalsMessage::Reply(Reply {
                 header: resp_header(4, 4),
-                payload: Bytes::from_static(b"wxyz"),
+                payload: Gather::copy_from_slice(b"wxyz"),
             }),
-        ];
-        for m in messages {
+        ]
+    }
+
+    #[test]
+    fn all_four_types_roundtrip() {
+        for m in sample_messages() {
             let encoded = m.encode();
             assert_eq!(encoded.len(), m.encoded_len());
             let decoded = PortalsMessage::decode(&encoded).unwrap();
             assert_eq!(decoded, m);
         }
+    }
+
+    #[test]
+    fn gather_encoding_matches_contiguous() {
+        for m in sample_messages() {
+            let gathered = m.encode_gather();
+            assert_eq!(gathered.to_vec(), m.encode().to_vec());
+            assert_eq!(PortalsMessage::decode_gather(&gathered).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn gather_paths_do_not_copy_the_payload() {
+        let payload = Gather::copy_from_slice(b"stay right where you are");
+        let payload_ptr = payload.segments()[0].as_ref().as_ptr();
+        let m = PortalsMessage::Put(PutRequest {
+            header: req_header(payload.len() as u64),
+            ack_md: 1,
+            ack_eq: 2,
+            payload,
+        });
+        let encoded = m.encode_gather();
+        assert_eq!(encoded.segments()[1].as_ref().as_ptr(), payload_ptr);
+        let decoded = PortalsMessage::decode_gather(&encoded).unwrap();
+        let PortalsMessage::Put(put) = decoded else {
+            panic!("wrong type");
+        };
+        assert_eq!(put.payload.segments()[0].as_ref().as_ptr(), payload_ptr);
+    }
+
+    #[test]
+    fn decode_gather_rejects_length_mismatch() {
+        let m = PortalsMessage::Put(PutRequest {
+            header: req_header(10), // header claims 10 bytes
+            ack_md: 1,
+            ack_eq: 2,
+            payload: Gather::copy_from_slice(b"only7by"),
+        });
+        assert!(matches!(
+            PortalsMessage::decode_gather(&m.encode_gather()),
+            Err(WireError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -209,15 +357,20 @@ mod tests {
                 header: req_header(payload.len() as u64),
                 ack_md: RAW_HANDLE_NONE,
                 ack_eq: RAW_HANDLE_NONE,
-                payload: Bytes::from(payload),
+                payload: Gather::from_vec(payload),
             });
             let decoded = PortalsMessage::decode(&m.encode()).unwrap();
-            prop_assert_eq!(decoded, m);
+            prop_assert_eq!(decoded, m.clone());
+            // The gather paths agree with the contiguous ones byte-for-byte.
+            let gathered = m.encode_gather();
+            prop_assert_eq!(gathered.to_vec(), m.encode().to_vec());
+            prop_assert_eq!(PortalsMessage::decode_gather(&gathered).unwrap(), m);
         }
 
         #[test]
         fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
             let _ = PortalsMessage::decode(&bytes); // must not panic
+            let _ = PortalsMessage::decode_gather(&Gather::copy_from_slice(&bytes));
         }
 
         #[test]
@@ -227,6 +380,9 @@ mod tests {
             let mut buf = vec![MAGIC, op];
             buf.extend_from_slice(&body);
             let _ = PortalsMessage::decode(&buf);
+            let decoded_flat = PortalsMessage::decode(&buf).is_ok();
+            let decoded_gather = PortalsMessage::decode_gather(&Gather::from_vec(buf)).is_ok();
+            prop_assert_eq!(decoded_flat, decoded_gather);
         }
     }
 }

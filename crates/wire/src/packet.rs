@@ -8,6 +8,7 @@
 
 use crate::error::WireError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use portals_types::Gather;
 
 /// Packet type discriminator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,12 +55,17 @@ pub enum PacketHeader {
 }
 
 /// A full transport packet: header + (for DATA) fragment bytes.
+///
+/// The body is a [`Gather`]: a DATA packet built from a message fragment keeps
+/// the fragment's region views as-is, and [`Packet::encode`] emits the header
+/// as one small segment ahead of them — the payload is never copied to build
+/// the wire image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// The header.
     pub header: PacketHeader,
     /// Fragment payload (empty for ACK packets).
-    pub body: Bytes,
+    pub body: Gather,
 }
 
 impl Packet {
@@ -69,7 +75,7 @@ impl Packet {
     pub const ACK_SIZE: usize = 1 + 8;
 
     /// Build a DATA packet.
-    pub fn data(seq: u64, msg_id: u64, frag_index: u32, frag_count: u32, body: Bytes) -> Packet {
+    pub fn data(seq: u64, msg_id: u64, frag_index: u32, frag_count: u32, body: Gather) -> Packet {
         Packet {
             header: PacketHeader::Data {
                 seq,
@@ -85,12 +91,13 @@ impl Packet {
     pub fn ack(cumulative: u64) -> Packet {
         Packet {
             header: PacketHeader::Ack { cumulative },
-            body: Bytes::new(),
+            body: Gather::new(),
         }
     }
 
-    /// Serialize.
-    pub fn encode(&self) -> Bytes {
+    /// Serialize via vectored gather: one fresh header segment followed by the
+    /// body's own segments, shared rather than copied.
+    pub fn encode(&self) -> Gather {
         match self.header {
             PacketHeader::Data {
                 seq,
@@ -98,21 +105,30 @@ impl Packet {
                 frag_index,
                 frag_count,
             } => {
-                let mut buf = BytesMut::with_capacity(Self::DATA_HEADER_SIZE + self.body.len());
+                let mut buf = BytesMut::with_capacity(Self::DATA_HEADER_SIZE);
                 buf.put_u8(PacketKind::Data as u8);
                 buf.put_u64_le(seq);
                 buf.put_u64_le(msg_id);
                 buf.put_u32_le(frag_index);
                 buf.put_u32_le(frag_count);
-                buf.extend_from_slice(&self.body);
-                buf.freeze()
+                let mut out = Gather::from_bytes(buf.freeze());
+                out.append(self.body.clone());
+                out
             }
             PacketHeader::Ack { cumulative } => {
                 let mut buf = BytesMut::with_capacity(Self::ACK_SIZE);
                 buf.put_u8(PacketKind::Ack as u8);
                 buf.put_u64_le(cumulative);
-                buf.freeze()
+                Gather::from_bytes(buf.freeze())
             }
+        }
+    }
+
+    /// Exact number of bytes [`Packet::encode`] produces.
+    pub fn encoded_len(&self) -> usize {
+        match self.header {
+            PacketHeader::Data { .. } => Self::DATA_HEADER_SIZE + self.body.len(),
+            PacketHeader::Ack { .. } => Self::ACK_SIZE,
         }
     }
 
@@ -170,21 +186,34 @@ impl Packet {
     pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
         let (header, body_at) = Self::decode_header(buf)?;
         let body = match header {
-            PacketHeader::Data { .. } => Bytes::copy_from_slice(&buf[body_at..]),
-            PacketHeader::Ack { .. } => Bytes::new(),
+            PacketHeader::Data { .. } => Gather::copy_from_slice(&buf[body_at..]),
+            PacketHeader::Ack { .. } => Gather::new(),
         };
         Ok(Packet { header, body })
     }
 
     /// Parse a datagram already held as [`Bytes`] without copying: the body is
-    /// an O(1) slice sharing the datagram's backing storage. This is the
-    /// receive path's variant — one allocation per fragment saved, which at
-    /// small MTUs is most of the per-packet work.
+    /// an O(1) slice sharing the datagram's backing storage.
     pub fn decode_bytes(buf: &Bytes) -> Result<Packet, WireError> {
         let (header, body_at) = Self::decode_header(buf)?;
         let body = match header {
-            PacketHeader::Data { .. } => buf.slice(body_at..),
-            PacketHeader::Ack { .. } => Bytes::new(),
+            PacketHeader::Data { .. } => Gather::from_bytes(buf.slice(body_at..)),
+            PacketHeader::Ack { .. } => Gather::new(),
+        };
+        Ok(Packet { header, body })
+    }
+
+    /// Parse a datagram held as a [`Gather`] without coalescing it: the header
+    /// is peeked into a stack buffer and the body is a zero-copy sub-gather.
+    /// This is the receive path's variant — the fragment bytes stay in the
+    /// segments the NIC handed over.
+    pub fn decode_gather(buf: &Gather) -> Result<Packet, WireError> {
+        let mut hdr = [0u8; Self::DATA_HEADER_SIZE];
+        let filled = buf.peek(&mut hdr);
+        let (header, body_at) = Self::decode_header(&hdr[..filled])?;
+        let body = match header {
+            PacketHeader::Data { .. } => buf.slice(body_at, buf.len() - body_at),
+            PacketHeader::Ack { .. } => Gather::new(),
         };
         Ok(Packet { header, body })
     }
@@ -197,8 +226,10 @@ mod tests {
 
     #[test]
     fn data_roundtrip() {
-        let p = Packet::data(7, 3, 1, 4, Bytes::from_static(b"frag"));
-        let decoded = Packet::decode(&p.encode()).unwrap();
+        let p = Packet::data(7, 3, 1, 4, Gather::copy_from_slice(b"frag"));
+        let encoded = p.encode();
+        assert_eq!(encoded.len(), p.encoded_len());
+        let decoded = Packet::decode(&encoded.to_vec()).unwrap();
         assert_eq!(decoded, p);
     }
 
@@ -207,7 +238,7 @@ mod tests {
         let p = Packet::ack(41);
         let encoded = p.encode();
         assert_eq!(encoded.len(), Packet::ACK_SIZE);
-        assert_eq!(Packet::decode(&encoded).unwrap(), p);
+        assert_eq!(Packet::decode(&encoded.to_vec()).unwrap(), p);
     }
 
     #[test]
@@ -224,8 +255,8 @@ mod tests {
 
     #[test]
     fn truncated_data_header_rejected() {
-        let p = Packet::data(1, 1, 0, 1, Bytes::new());
-        let encoded = p.encode();
+        let p = Packet::data(1, 1, 0, 1, Gather::new());
+        let encoded = p.encode().to_vec();
         assert!(matches!(
             Packet::decode(&encoded[..10]),
             Err(WireError::Truncated { .. })
@@ -233,19 +264,46 @@ mod tests {
     }
 
     #[test]
-    fn decode_bytes_is_zero_copy_and_agrees() {
-        let p = Packet::data(9, 2, 0, 1, Bytes::from_static(b"payload bytes"));
+    fn encode_does_not_copy_the_body() {
+        let body = Gather::copy_from_slice(b"payload bytes that must not move");
+        let body_ptr = body.segments()[0].as_ref().as_ptr();
+        let p = Packet::data(9, 2, 0, 1, body);
         let encoded = p.encode();
+        // Segment 0 is the fresh header; segment 1 is the body, shared.
+        assert_eq!(encoded.segment_count(), 2);
+        assert_eq!(encoded.segments()[1].as_ref().as_ptr(), body_ptr);
+    }
+
+    #[test]
+    fn decode_bytes_is_zero_copy_and_agrees() {
+        let p = Packet::data(9, 2, 0, 1, Gather::copy_from_slice(b"payload bytes"));
+        let encoded = p.encode().to_bytes();
         let by_slice = Packet::decode_bytes(&encoded).unwrap();
         assert_eq!(by_slice, Packet::decode(&encoded).unwrap());
         // The body is a view into the datagram, not a copy.
-        let body_ptr = by_slice.body.as_ref().as_ptr();
+        let body_ptr = by_slice.body.segments()[0].as_ref().as_ptr();
         let datagram_ptr = encoded.as_ref()[Packet::DATA_HEADER_SIZE..].as_ptr();
         assert_eq!(body_ptr, datagram_ptr);
     }
 
     #[test]
-    fn decode_bytes_rejects_what_decode_rejects() {
+    fn decode_gather_is_zero_copy_and_agrees() {
+        let body = Gather::copy_from_slice(b"payload bytes held in a region");
+        let body_ptr = body.segments()[0].as_ref().as_ptr();
+        let p = Packet::data(3, 8, 1, 2, body);
+        let encoded = p.encode();
+        let decoded = Packet::decode_gather(&encoded).unwrap();
+        assert_eq!(decoded, p);
+        // The decoded body still points at the original payload segment.
+        assert_eq!(decoded.body.segments()[0].as_ref().as_ptr(), body_ptr);
+        assert_eq!(
+            Packet::decode_gather(&Packet::ack(5).encode()).unwrap(),
+            Packet::ack(5)
+        );
+    }
+
+    #[test]
+    fn decode_variants_reject_what_decode_rejects() {
         for bad in [
             Bytes::new(),
             Bytes::from_static(&[0x99, 0, 0]),
@@ -253,6 +311,10 @@ mod tests {
         ] {
             assert_eq!(
                 Packet::decode_bytes(&bad).is_err(),
+                Packet::decode(&bad).is_err(),
+            );
+            assert_eq!(
+                Packet::decode_gather(&Gather::from_bytes(bad.clone())).is_err(),
                 Packet::decode(&bad).is_err(),
             );
         }
@@ -265,13 +327,16 @@ mod tests {
             frag_index in any::<u32>(), frag_count in any::<u32>(),
             body in proptest::collection::vec(any::<u8>(), 0..1024)
         ) {
-            let p = Packet::data(seq, msg_id, frag_index, frag_count, Bytes::from(body));
-            prop_assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+            let p = Packet::data(seq, msg_id, frag_index, frag_count, Gather::from_vec(body));
+            let encoded = p.encode();
+            prop_assert_eq!(Packet::decode(&encoded.to_vec()).unwrap(), p.clone());
+            prop_assert_eq!(Packet::decode_gather(&encoded).unwrap(), p);
         }
 
         #[test]
         fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = Packet::decode(&bytes);
+            let _ = Packet::decode_gather(&Gather::copy_from_slice(&bytes));
         }
     }
 }

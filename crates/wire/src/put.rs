@@ -2,7 +2,8 @@
 
 use crate::error::WireError;
 use crate::header::{check_len, RawHandle, RequestHeader, RAW_HANDLE_NONE};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
+use portals_types::Gather;
 
 /// A put request: "the initiator sends a put request message containing the
 /// data to the target" (§4.3).
@@ -23,8 +24,9 @@ pub struct PutRequest {
     pub ack_md: RawHandle,
     /// The initiator's event-queue handle for the ack event (§4.8).
     pub ack_eq: RawHandle,
-    /// The payload (Table 1 row 10).
-    pub payload: Bytes,
+    /// The payload (Table 1 row 10) — a gather of region views, so building
+    /// and fragmenting the request never copies the data.
+    pub payload: Gather,
 }
 
 impl PutRequest {
@@ -38,27 +40,42 @@ impl PutRequest {
         self.ack_md != RAW_HANDLE_NONE
     }
 
-    pub(crate) fn encode_body(&self, buf: &mut BytesMut) {
+    /// Write the fixed-size portion (envelope excluded) into `buf`.
+    pub(crate) fn encode_header(&self, buf: &mut BytesMut) {
         self.header.encode(buf);
         buf.put_u64_le(self.ack_md);
         buf.put_u64_le(self.ack_eq);
-        buf.extend_from_slice(&self.payload);
     }
 
-    pub(crate) fn decode_body(buf: &[u8]) -> Result<PutRequest, WireError> {
+    pub(crate) fn encode_body(&self, buf: &mut BytesMut) {
+        self.encode_header(buf);
+        for seg in self.payload.segments() {
+            buf.extend_from_slice(seg);
+        }
+    }
+
+    pub(crate) fn decode_fields(
+        buf: &[u8],
+    ) -> Result<(RequestHeader, RawHandle, RawHandle), WireError> {
         check_len(buf, Self::WIRE_HEADER_SIZE)?;
         let mut cursor = buf;
         let header = RequestHeader::decode(&mut cursor);
         let ack_md = cursor.get_u64_le();
         let ack_eq = cursor.get_u64_le();
+        Ok((header, ack_md, ack_eq))
+    }
+
+    pub(crate) fn decode_body(buf: &[u8]) -> Result<PutRequest, WireError> {
+        let (header, ack_md, ack_eq) = Self::decode_fields(buf)?;
+        let rest = &buf[Self::WIRE_HEADER_SIZE..];
         let declared = header.length as usize;
-        if cursor.remaining() != declared {
+        if rest.len() != declared {
             return Err(WireError::LengthMismatch {
                 declared,
-                actual: cursor.remaining(),
+                actual: rest.len(),
             });
         }
-        let payload = Bytes::copy_from_slice(cursor);
+        let payload = Gather::copy_from_slice(rest);
         Ok(PutRequest {
             header,
             ack_md,
@@ -86,7 +103,7 @@ mod tests {
             },
             ack_md: 9,
             ack_eq: 10,
-            payload: Bytes::from(vec![7u8; payload_len]),
+            payload: Gather::from_vec(vec![7u8; payload_len]),
         }
     }
 

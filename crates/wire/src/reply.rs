@@ -2,7 +2,8 @@
 
 use crate::error::WireError;
 use crate::header::{check_len, ResponseHeader};
-use bytes::{Buf, Bytes, BytesMut};
+use bytes::BytesMut;
+use portals_types::Gather;
 
 /// A reply carrying a get's data back to its initiator.
 ///
@@ -14,8 +15,9 @@ pub struct Reply {
     /// Echoed-and-swapped fields; `manipulated_length` is the byte count
     /// actually read from the target's memory region.
     pub header: ResponseHeader,
-    /// The data read from the target (length == `manipulated_length`).
-    pub payload: Bytes,
+    /// The data read from the target (length == `manipulated_length`), as a
+    /// gather of region views.
+    pub payload: Gather,
 }
 
 impl Reply {
@@ -24,21 +26,28 @@ impl Reply {
 
     pub(crate) fn encode_body(&self, buf: &mut BytesMut) {
         self.header.encode(buf);
-        buf.extend_from_slice(&self.payload);
+        for seg in self.payload.segments() {
+            buf.extend_from_slice(seg);
+        }
+    }
+
+    pub(crate) fn decode_fields(buf: &[u8]) -> Result<ResponseHeader, WireError> {
+        check_len(buf, Self::WIRE_HEADER_SIZE)?;
+        let mut cursor = buf;
+        Ok(ResponseHeader::decode(&mut cursor))
     }
 
     pub(crate) fn decode_body(buf: &[u8]) -> Result<Reply, WireError> {
-        check_len(buf, Self::WIRE_HEADER_SIZE)?;
-        let mut cursor = buf;
-        let header = ResponseHeader::decode(&mut cursor);
+        let header = Self::decode_fields(buf)?;
+        let rest = &buf[Self::WIRE_HEADER_SIZE..];
         let declared = header.manipulated_length as usize;
-        if cursor.remaining() != declared {
+        if rest.len() != declared {
             return Err(WireError::LengthMismatch {
                 declared,
-                actual: cursor.remaining(),
+                actual: rest.len(),
             });
         }
-        let payload = Bytes::copy_from_slice(cursor);
+        let payload = Gather::copy_from_slice(rest);
         Ok(Reply { header, payload })
     }
 }
@@ -62,7 +71,7 @@ mod tests {
                 requested_length: len as u64,
                 manipulated_length: len as u64,
             },
-            payload: Bytes::from(vec![3u8; len]),
+            payload: Gather::from_vec(vec![3u8; len]),
         }
     }
 

@@ -15,8 +15,8 @@
 //! Run: `cargo run -p portals-examples --bin file_server`
 
 use portals::{
-    iobuf, AcEntry, AcMatch, AckRequest, MdOptions, MdSpec, MePos, NiConfig, Node, NodeConfig,
-    PortalMatch,
+    AcEntry, AcMatch, AckRequest, MdOptions, MdSpec, MePos, NiConfig, Node, NodeConfig,
+    PortalMatch, Region,
 };
 use portals_net::Fabric;
 use portals_runtime::JobDirectory;
@@ -88,7 +88,7 @@ fn main() {
     server
         .md_attach(
             file_me,
-            MdSpec::new(iobuf(file_contents.clone())).with_options(MdOptions {
+            MdSpec::new(Region::from_vec(file_contents.clone())).with_options(MdOptions {
                 op_put: false, // read-only!
                 op_get: true,
                 ..Default::default()
@@ -108,7 +108,7 @@ fn main() {
             MePos::Back,
         )
         .unwrap();
-    let log_buf = iobuf(vec![0u8; 4096]);
+    let log_buf = Region::zeroed(4096);
     server
         .md_attach(
             log_me,
@@ -143,7 +143,7 @@ fn main() {
             std::thread::spawn(move || {
                 let eq = ni.eq_alloc(16).unwrap();
                 // Read bytes [100, 600) of the remote file with a get.
-                let window = iobuf(vec![0u8; 500]);
+                let window = Region::zeroed(500);
                 let md = ni.md_bind(MdSpec::new(window.clone()).with_eq(eq)).unwrap();
                 ni.get(
                     md,
@@ -162,11 +162,17 @@ fn main() {
                         break;
                     }
                 }
-                assert_eq!(&window.lock()[..], &expect[100..600], "client {id} read");
+                assert_eq!(
+                    &window.read_vec(0, window.len())[..],
+                    &expect[100..600],
+                    "client {id} read"
+                );
 
                 // Append a record to the server's log.
                 let record = format!("client {id} read 500 bytes");
-                let rmd = ni.md_bind(MdSpec::new(iobuf(record.into_bytes()))).unwrap();
+                let rmd = ni
+                    .md_bind(MdSpec::new(Region::from_vec(record.into_bytes())))
+                    .unwrap();
                 ni.put(
                     rmd,
                     AckRequest::NoAck,
@@ -181,7 +187,7 @@ fn main() {
                 // A write to the read-only file must be dropped (no match,
                 // because the MD rejects puts).
                 let bad = ni
-                    .md_bind(MdSpec::new(iobuf(b"vandalism".to_vec())))
+                    .md_bind(MdSpec::new(Region::from_vec(b"vandalism".to_vec())))
                     .unwrap();
                 ni.put(
                     bad,
@@ -203,9 +209,8 @@ fn main() {
     while appended < 2 {
         let ev = server.eq_poll(log_eq, Duration::from_secs(10)).unwrap();
         let text = {
-            let buf = log_buf.lock();
-            String::from_utf8_lossy(&buf[ev.offset as usize..(ev.offset + ev.mlength) as usize])
-                .into_owned()
+            let buf = log_buf.read_vec(ev.offset as usize, ev.mlength as usize);
+            String::from_utf8_lossy(&buf).into_owned()
         };
         println!("server log <- {} (from {})", text, ev.initiator);
         appended += 1;

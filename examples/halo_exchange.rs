@@ -108,10 +108,10 @@ fn main() {
         for _iter in 0..ITERS {
             // Exchange halos: the tag encodes which of MY edges the data is
             // for, so wildcarding is never needed.
-            let recvs: Vec<(usize, portals_mpi::Request, portals::IoBuf)> = links
+            let recvs: Vec<(usize, portals_mpi::Request, portals::Region)> = links
                 .iter()
                 .map(|&(nb, edge)| {
-                    let buf = portals::iobuf(vec![0u8; TILE * 8]);
+                    let buf = portals::Region::zeroed(TILE * 8);
                     let tag = TAG_EDGE_BASE + edge as u32;
                     (edge, comm.irecv_reserved(nb, tag, buf.clone()), buf)
                 })
@@ -126,7 +126,7 @@ fn main() {
                 .collect();
             for (inc, req, buf) in recvs {
                 let st = comm.wait(req).status().expect("edge recv");
-                let data = portals_runtime::coll::decode_f64(&buf.lock()[..st.len]);
+                let data = portals_runtime::coll::decode_f64(&buf.read_vec(0, st.len));
                 inject(&mut grid, inc, &data);
             }
             for req in sends {

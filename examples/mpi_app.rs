@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release -p portals-examples --bin mpi_app`
 
-use portals::iobuf;
+use portals::Region;
 use portals_runtime::{AllreduceAlgo, Collectives, Job, JobConfig, ReduceOp};
 use portals_types::Rank;
 
@@ -22,12 +22,12 @@ fn main() {
         let prev = Rank((me + size - 1) % size);
         let mut token = me as u64;
         for _lap in 0..2 {
-            let buf = iobuf(vec![0u8; 8]);
+            let buf = Region::zeroed(8);
             let r = comm.irecv(Some(prev), Some(1), buf.clone());
             comm.send(next, 1, &token.to_le_bytes());
             let st = comm.wait(r).status().unwrap();
             assert_eq!(st.len, 8);
-            token = u64::from_le_bytes(buf.lock()[..8].try_into().unwrap()).wrapping_add(1);
+            token = u64::from_le_bytes(buf.read_vec(0, 8).try_into().unwrap()).wrapping_add(1);
         }
 
         // --- wildcard receive: rank 0 collects a hello from everyone ------

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p portals-examples --bin pingpong`
 
-use portals::{iobuf, AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig};
+use portals::{AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
 use portals_net::{Fabric, FabricConfig};
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
 use std::time::Instant;
@@ -39,9 +39,11 @@ fn main() {
                     MePos::Back,
                 )
                 .unwrap();
-            let inbox = iobuf(vec![0u8; size]);
+            let inbox = Region::zeroed(size);
             b.md_attach(me, MdSpec::new(inbox).with_eq(eq)).unwrap();
-            let md = b.md_bind(MdSpec::new(iobuf(vec![0xb0u8; size]))).unwrap();
+            let md = b
+                .md_bind(MdSpec::new(Region::from_vec(vec![0xb0u8; size])))
+                .unwrap();
             for _ in 0..WARMUP + ITERS {
                 b.eq_wait(eq).unwrap();
                 b.put(
@@ -73,9 +75,11 @@ fn main() {
                 MePos::Back,
             )
             .unwrap();
-        let inbox = iobuf(vec![0u8; size]);
+        let inbox = Region::zeroed(size);
         a.md_attach(me, MdSpec::new(inbox).with_eq(eq)).unwrap();
-        let md = a.md_bind(MdSpec::new(iobuf(vec![0xa0u8; size]))).unwrap();
+        let md = a
+            .md_bind(MdSpec::new(Region::from_vec(vec![0xa0u8; size])))
+            .unwrap();
 
         for _ in 0..WARMUP {
             a.put(

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run -p portals-examples --bin quickstart`
 
-use portals::{iobuf, AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig};
+use portals::{AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
 use portals_net::Fabric;
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
 
@@ -33,7 +33,7 @@ fn main() {
             MePos::Back,
         )
         .unwrap();
-    let region = iobuf(vec![0u8; 1024]);
+    let region = Region::zeroed(1024);
     target
         .md_attach(me, MdSpec::new(region.clone()).with_eq(eq))
         .unwrap();
@@ -42,7 +42,7 @@ fn main() {
     let init_eq = initiator.eq_alloc(16).unwrap();
     let payload = b"hello from the Portals 3.0 reproduction".to_vec();
     let md = initiator
-        .md_bind(MdSpec::new(iobuf(payload.clone())).with_eq(init_eq))
+        .md_bind(MdSpec::new(Region::from_vec(payload.clone())).with_eq(init_eq))
         .unwrap();
     initiator
         .put(
@@ -65,7 +65,7 @@ fn main() {
     );
     println!(
         "target buffer now holds: {:?}",
-        String::from_utf8_lossy(&region.lock()[..ev.mlength as usize])
+        String::from_utf8_lossy(&region.read_vec(0, ev.mlength as usize))
     );
 
     // Initiator side: Sent, then the acknowledgment with the manipulated length.

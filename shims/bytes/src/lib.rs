@@ -12,15 +12,54 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage for a [`Bytes`] window.
+///
+/// `Slab` is the ordinary case: an owned, immutable allocation. `Raw` lets an
+/// external allocator (e.g. a refcounted buffer region) expose a window over
+/// memory it owns without copying it into a fresh `Arc<[u8]>`; the `owner`
+/// keeps that memory alive for as long as any view exists.
+#[derive(Clone)]
+enum Storage {
+    Slab(Arc<[u8]>),
+    Raw {
+        ptr: *const u8,
+        len: usize,
+        _owner: Arc<dyn std::any::Any + Send + Sync>,
+    },
+}
+
+impl Storage {
+    fn as_full_slice(&self) -> &[u8] {
+        match self {
+            Storage::Slab(data) => data,
+            // SAFETY: `from_raw_owner`'s contract guarantees `ptr` is valid
+            // for `len` bytes for as long as `_owner` is alive, and `_owner`
+            // lives at least as long as `self`.
+            Storage::Raw { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+// SAFETY: `Slab` is `Send + Sync` already; `Raw` carries a pointer into memory
+// owned by a `Send + Sync` owner, and the shim only ever reads through it.
+unsafe impl Send for Storage {}
+unsafe impl Sync for Storage {}
+
 /// A cheaply clonable, immutable view into a shared byte allocation.
 ///
 /// `clone()` and [`Bytes::slice`] are O(1): both produce a new window over the
 /// same `Arc`'d storage without copying payload bytes.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Storage,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
@@ -43,9 +82,37 @@ impl Bytes {
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            data: Storage::Slab(Arc::from(v.into_boxed_slice())),
             start: 0,
             end,
+        }
+    }
+
+    /// Zero-copy view over memory owned by `owner`.
+    ///
+    /// This is the hook external refcounted allocators use to hand out
+    /// `Bytes`-typed windows without copying into a fresh slab: the view holds
+    /// a strong reference to `owner`, so the memory outlives every view.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be valid for reads of `len` bytes for as long as `owner` is
+    /// alive. If the owner permits concurrent writers to the range, the caller
+    /// takes responsibility for that data race being benign (readers may
+    /// observe torn bytes but never touch unowned memory).
+    pub unsafe fn from_raw_owner(
+        ptr: *const u8,
+        len: usize,
+        owner: Arc<dyn std::any::Any + Send + Sync>,
+    ) -> Bytes {
+        Bytes {
+            data: Storage::Raw {
+                ptr,
+                len,
+                _owner: owner,
+            },
+            start: 0,
+            end: len,
         }
     }
 
@@ -78,14 +145,14 @@ impl Bytes {
         );
         assert!(end <= len, "range end out of bounds: {end} > {len}");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + begin,
             end: self.start + end,
         }
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_full_slice()[self.start..self.end]
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
@@ -435,10 +502,30 @@ mod tests {
         let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
         let s = b.slice(1..4);
         assert_eq!(&s[..], &[2, 3, 4]);
-        assert!(Arc::ptr_eq(&b.data, &s.data));
+        assert_eq!(
+            unsafe { b.as_slice().as_ptr().add(1) },
+            s.as_slice().as_ptr()
+        );
         let s2 = s.slice(1..);
         assert_eq!(&s2[..], &[3, 4]);
-        assert!(Arc::ptr_eq(&b.data, &s2.data));
+        assert_eq!(
+            unsafe { b.as_slice().as_ptr().add(2) },
+            s2.as_slice().as_ptr()
+        );
+    }
+
+    #[test]
+    fn raw_owner_view_reads_owner_memory() {
+        let owner: Arc<Vec<u8>> = Arc::new(vec![10u8, 20, 30, 40]);
+        let ptr = owner.as_ptr();
+        let b = unsafe { Bytes::from_raw_owner(ptr, owner.len(), owner.clone()) };
+        assert_eq!(&b[..], &[10, 20, 30, 40]);
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[20, 30]);
+        assert_eq!(s.as_slice().as_ptr(), unsafe { ptr.add(1) });
+        // Dropping the local handle must not invalidate the view.
+        drop(owner);
+        assert_eq!(&s[..], &[20, 30]);
     }
 
     #[test]

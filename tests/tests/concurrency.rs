@@ -7,7 +7,7 @@
 //! once — none lost, none duplicated — no matter how consumers and the
 //! dispatcher interleave.
 
-use portals::{iobuf, AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig};
+use portals::{AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
 use portals_net::Fabric;
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
 use std::collections::BTreeSet;
@@ -34,11 +34,11 @@ fn concurrent_pollers_never_lose_or_duplicate_events() {
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let sink = iobuf(vec![0u8; PUTS * SLOT as usize]);
+    let sink = Region::zeroed(PUTS * SLOT as usize);
     b.md_attach(me, MdSpec::new(sink).with_eq(eq)).unwrap();
 
     let md = a
-        .md_bind(MdSpec::new(iobuf(vec![0xabu8; SLOT as usize])))
+        .md_bind(MdSpec::new(Region::from_vec(vec![0xabu8; SLOT as usize])))
         .unwrap();
 
     let consumed = AtomicUsize::new(0);
@@ -112,11 +112,11 @@ fn me_churn_on_one_portal_does_not_disturb_another() {
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let sink = iobuf(vec![0u8; PUTS * SLOT as usize]);
+    let sink = Region::zeroed(PUTS * SLOT as usize);
     b.md_attach(me, MdSpec::new(sink).with_eq(eq)).unwrap();
 
     let md = a
-        .md_bind(MdSpec::new(iobuf(vec![0x5au8; SLOT as usize])))
+        .md_bind(MdSpec::new(Region::from_vec(vec![0x5au8; SLOT as usize])))
         .unwrap();
     let done = AtomicUsize::new(0);
 
@@ -134,7 +134,7 @@ fn me_churn_on_one_portal_does_not_disturb_another() {
                         MePos::Front,
                     )
                     .unwrap();
-                b.md_attach(tmp, MdSpec::new(iobuf(vec![0u8; 8]))).unwrap();
+                b.md_attach(tmp, MdSpec::new(Region::zeroed(8))).unwrap();
                 b.me_unlink(tmp).unwrap();
                 cycles += 1;
             }

@@ -173,18 +173,20 @@ fn two_jobs_are_isolated_by_access_control() {
         )
         .unwrap();
 
-    use portals::{iobuf, AckRequest, MdSpec, MePos};
+    use portals::{AckRequest, MdSpec, MePos, Region};
     use portals_types::{MatchBits, MatchCriteria};
     let eq = b.eq_alloc(8).unwrap();
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let buf = iobuf(vec![0u8; 64]);
+    let buf = Region::zeroed(64);
     b.md_attach(me, MdSpec::new(buf.clone()).with_eq(eq))
         .unwrap();
 
     // Same-job traffic flows.
-    let md = a.md_bind(MdSpec::new(iobuf(b"legit".to_vec()))).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(b"legit".to_vec())))
+        .unwrap();
     a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
         .unwrap();
     assert_eq!(
@@ -194,7 +196,7 @@ fn two_jobs_are_isolated_by_access_control() {
 
     // Cross-job traffic is rejected by the receiver's ACL.
     let md2 = intruder
-        .md_bind(MdSpec::new(iobuf(b"snoop".to_vec())))
+        .md_bind(MdSpec::new(Region::from_vec(b"snoop".to_vec())))
         .unwrap();
     intruder
         .put(md2, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
@@ -208,7 +210,11 @@ fn two_jobs_are_isolated_by_access_control() {
         assert!(std::time::Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(1));
     }
-    assert_eq!(&buf.lock()[..5], b"legit", "intruder data never landed");
+    assert_eq!(
+        &buf.read_vec(0, 5)[..],
+        b"legit",
+        "intruder data never landed"
+    );
 }
 
 #[test]
@@ -286,7 +292,7 @@ fn host_driven_full_job_matches_bypass_results() {
 fn dropped_message_counters_are_complete() {
     let _serial = serial();
     // Fire one message at each §4.8 drop reason and check the breakdown.
-    use portals::{iobuf, AckRequest, DropReason, MdSpec, MePos};
+    use portals::{AckRequest, DropReason, MdSpec, MePos, Region};
     use portals_types::{MatchBits, MatchCriteria};
 
     let fabric = Fabric::ideal();
@@ -304,9 +310,9 @@ fn dropped_message_counters_are_complete() {
             MePos::Back,
         )
         .unwrap();
-    b.md_attach(me, MdSpec::new(iobuf(vec![0u8; 16]))).unwrap();
+    b.md_attach(me, MdSpec::new(Region::zeroed(16))).unwrap();
 
-    let md = a.md_bind(MdSpec::new(iobuf(vec![0u8; 4]))).unwrap();
+    let md = a.md_bind(MdSpec::new(Region::zeroed(4))).unwrap();
     // Invalid portal.
     a.put(md, AckRequest::NoAck, b.id(), 999, 0, MatchBits::new(1), 0)
         .unwrap();

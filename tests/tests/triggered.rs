@@ -10,7 +10,7 @@
 //! * trigger-fire racing `ct_free` never deadlocks, panics, or fires after
 //!   the free (threaded stress, same shape as `concurrency.rs`).
 
-use portals::{iobuf, AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig};
+use portals::{AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
 use portals_net::Fabric;
 use portals_runtime::{Collectives, Job, JobConfig, ReduceOp, TriggeredConfig};
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId, PtlError};
@@ -32,14 +32,14 @@ fn all_four_delivery_paths_count() {
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let sink = iobuf(b"get me if you can".to_vec());
+    let sink = Region::from_vec(b"get me if you can".to_vec());
     b.md_attach(me, MdSpec::new(sink).with_ct(target_ct))
         .unwrap();
 
     // Get: the reply lands in an MD with its own counter. (Runs before the
     // put below, which overwrites the front of the shared target buffer.)
     let get_ct = a.ct_alloc().unwrap();
-    let dst = iobuf(vec![0u8; 32]);
+    let dst = Region::zeroed(32);
     let get_md = a.md_bind(MdSpec::new(dst.clone()).with_ct(get_ct)).unwrap();
     a.get(get_md, ProcessId::new(1, 1), 0, 0, MatchBits::new(0), 0, 17)
         .unwrap();
@@ -47,12 +47,12 @@ fn all_four_delivery_paths_count() {
     assert_eq!(b.ct_wait(target_ct, 1).unwrap().success, 1);
     // …reply landed at the initiator.
     assert_eq!(a.ct_wait(get_ct, 1).unwrap().success, 1);
-    assert_eq!(&dst.lock()[..17], b"get me if you can");
+    assert_eq!(&dst.read_vec(0, 17)[..], b"get me if you can");
 
     // Initiator put MD with a counter and no event queue: the ack must be
     // consumed by the counter alone.
     let put_ct = a.ct_alloc().unwrap();
-    let src = iobuf(b"hello".to_vec());
+    let src = Region::from_vec(b"hello".to_vec());
     let put_md = a.md_bind(MdSpec::new(src).with_ct(put_ct)).unwrap();
     a.put(
         put_md,
@@ -92,7 +92,7 @@ fn recv_counter_trigger_put_chain_runs_in_engine_context() {
     let me = nis[2]
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let c_buf = iobuf(vec![0u8; 8]);
+    let c_buf = Region::zeroed(8);
     nis[2]
         .md_attach(me, MdSpec::new(c_buf.clone()).with_ct(c_ct))
         .unwrap();
@@ -103,7 +103,7 @@ fn recv_counter_trigger_put_chain_runs_in_engine_context() {
     let me = nis[1]
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let relay_buf = iobuf(vec![0u8; 8]);
+    let relay_buf = Region::zeroed(8);
     nis[1]
         .md_attach(me, MdSpec::new(relay_buf.clone()).with_ct(relay_ct))
         .unwrap();
@@ -123,7 +123,7 @@ fn recv_counter_trigger_put_chain_runs_in_engine_context() {
         .unwrap();
 
     // Kick the chain from node 0.
-    let src = iobuf(b"relayed!".to_vec());
+    let src = Region::from_vec(b"relayed!".to_vec());
     let md = nis[0].md_bind(MdSpec::new(src)).unwrap();
     nis[0]
         .put(
@@ -138,7 +138,7 @@ fn recv_counter_trigger_put_chain_runs_in_engine_context() {
         .unwrap();
 
     assert_eq!(nis[2].ct_wait(c_ct, 1).unwrap().success, 1);
-    assert_eq!(&*c_buf.lock(), b"relayed!");
+    assert_eq!(&c_buf.read_vec(0, 8)[..], b"relayed!");
     assert_eq!(nis[1].counters().triggered_fired, 1);
 }
 
@@ -287,10 +287,10 @@ fn trigger_fire_races_counter_free() {
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
         .unwrap();
-    let sink = iobuf(vec![0u8; 64]);
+    let sink = Region::zeroed(64);
     b.md_attach(me, MdSpec::new(sink).with_ct(hot)).unwrap();
 
-    let src = iobuf(vec![7u8; 8]);
+    let src = Region::from_vec(vec![7u8; 8]);
     let md = a.md_bind(MdSpec::new(src)).unwrap();
     let done = AtomicBool::new(false);
     let deadline = Instant::now() + Duration::from_secs(30);
