@@ -28,6 +28,7 @@ use portals::{
     AckRequest, EqHandle, EventKind, MdHandle, MdOptions, MdSpec, MeHandle, MePos,
     NetworkInterface, Region, Threshold,
 };
+use portals_obs::{Layer, Stage, TraceEvent};
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlError, PtlResult, Rank};
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -106,6 +107,16 @@ pub struct MpiEngine {
 }
 
 impl MpiEngine {
+    /// One MPI-layer lifecycle trace event (no-op when tracing is disabled).
+    fn trace(&self, stage: Stage, bytes: u64, detail: &'static str) {
+        self.ni.obs().tracer.emit(|| {
+            TraceEvent::new(Layer::Mpi, stage)
+                .node(self.ni.id().nid.0)
+                .bytes(bytes)
+                .detail(detail)
+        });
+    }
+
     /// Build an engine on a network interface, setting up the message portal,
     /// overflow slabs and control portal.
     pub fn new(ni: NetworkInterface, config: MpiConfig) -> PtlResult<MpiEngine> {
@@ -241,6 +252,11 @@ impl MpiEngine {
             Protocol::Rendezvous { eager_limit } => data.len() >= eager_limit,
             Protocol::EagerDirect => false,
         };
+        self.trace(
+            Stage::Submit,
+            data.len() as u64,
+            if rendezvous { "rendezvous" } else { "eager" },
+        );
 
         if rendezvous {
             // Expose the payload for the receiver's get, then announce it.
@@ -459,6 +475,7 @@ impl MpiEngine {
                 full_len: a.rlength,
             },
         );
+        self.trace(Stage::Deliver, n as u64, "eager_slab");
     }
 
     /// Issue the rendezvous get for a matched announcement.
@@ -696,6 +713,7 @@ impl MpiEngine {
                             full_len: pull.total_len as usize,
                         },
                     );
+                    self.trace(Stage::Deliver, ev.mlength, "rendezvous");
                     let _ = self.ni.md_unlink(ev.md);
                 }
             }
@@ -792,6 +810,7 @@ impl MpiEngine {
                         full_len: ev.rlength as usize,
                     },
                 );
+                self.trace(Stage::Deliver, ev.mlength, "eager_direct");
             }
         }
     }

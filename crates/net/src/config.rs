@@ -1,6 +1,7 @@
 //! Fabric configuration: the link model and fault plan.
 
 use crate::fault::FaultPlan;
+use portals_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -75,6 +76,9 @@ pub struct FabricConfig {
     pub faults: FaultPlan,
     /// Seed for the fault-injection RNG, so failures reproduce.
     pub seed: u64,
+    /// Observability handle: the fabric registers its `fabric.*` counters in
+    /// `obs.registry` and emits wire/drop trace events through `obs.tracer`.
+    pub obs: Obs,
 }
 
 impl FabricConfig {
@@ -106,6 +110,12 @@ impl FabricConfig {
     /// Set the link model.
     pub fn with_link(mut self, link: LinkModel) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Set the observability handle.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 }

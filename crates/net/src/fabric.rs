@@ -6,6 +6,7 @@ use crate::nic::{Datagram, Nic};
 use crate::stats::{FabricStats, FabricStatsSnapshot, NicStats};
 use crossbeam::channel::Sender;
 use parking_lot::{Condvar, Mutex, RwLock};
+use portals_obs::{Layer, Stage, TraceEvent, NONE_U64};
 use portals_types::NodeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -20,6 +21,8 @@ use std::time::Duration;
 struct ScheduledPacket {
     deliver_at: Duration,
     seq: u64,
+    /// True when this copy was created by fault-injected duplication.
+    dup: bool,
     datagram: Datagram,
 }
 
@@ -71,44 +74,77 @@ impl Shared {
         p.contains(&(src, dst))
     }
 
-    fn deliver(&self, datagram: Datagram) {
+    /// Hand a packet to the destination NIC's inbound queue. `seq` is the
+    /// wire sequence number ([`NONE_U64`] on the bypass path, which never
+    /// schedules) and `dup` marks fault-injected copies.
+    fn deliver(&self, datagram: Datagram, seq: u64, dup: bool) {
+        let tracer = &self.config.obs.tracer;
+        let (src, dst) = (datagram.src.0, datagram.dst.0);
         let routes = self.routes.read();
         match routes.get(&datagram.dst) {
             Some(tx) => {
                 let bytes = datagram.payload.len() as u64;
                 if tx.send(datagram).is_ok() {
-                    self.stats.packets_delivered.fetch_add(1, Ordering::Relaxed);
-                    self.stats
-                        .bytes_delivered
-                        .fetch_add(bytes, Ordering::Relaxed);
+                    self.stats.packets_delivered.inc();
+                    self.stats.bytes_delivered.add(bytes);
+                    // A bypassed wire has no arrival ordering to record (the
+                    // seq is the NONE sentinel): the WireDeliver stage only
+                    // exists when a modelled wire actually carried the packet.
+                    if seq != NONE_U64 {
+                        tracer.emit(|| {
+                            TraceEvent::new(Layer::Fabric, Stage::WireDeliver)
+                                .node(dst)
+                                .peer(src)
+                                .seq(seq)
+                                .bytes(bytes)
+                                .detail(if dup { "dup" } else { "" })
+                        });
+                    }
                 } else {
-                    self.stats
-                        .packets_unroutable
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.stats.packets_unroutable.inc();
+                    tracer.emit(|| {
+                        TraceEvent::new(Layer::Fabric, Stage::Drop)
+                            .node(dst)
+                            .peer(src)
+                            .seq(seq)
+                            .detail("unroutable")
+                    });
                 }
             }
             None => {
-                self.stats
-                    .packets_unroutable
-                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.packets_unroutable.inc();
+                tracer.emit(|| {
+                    TraceEvent::new(Layer::Fabric, Stage::Drop)
+                        .node(dst)
+                        .peer(src)
+                        .seq(seq)
+                        .detail("unroutable")
+                });
             }
         }
     }
 
     /// Entry point used by [`Nic::send`].
     pub(crate) fn send(&self, datagram: Datagram) {
-        self.stats.packets_sent.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_sent
-            .fetch_add(datagram.payload.len() as u64, Ordering::Relaxed);
+        let tracer = &self.config.obs.tracer;
+        let (src, dst) = (datagram.src.0, datagram.dst.0);
+        let bytes = datagram.payload.len() as u64;
+        self.stats.packets_sent.inc();
+        self.stats.bytes_sent.add(bytes);
 
         if self.is_partitioned(datagram.src, datagram.dst) {
-            self.stats.packets_lost.fetch_add(1, Ordering::Relaxed);
+            self.stats.packets_lost.inc();
+            tracer.emit(|| {
+                TraceEvent::new(Layer::Fabric, Stage::Drop)
+                    .node(src)
+                    .peer(dst)
+                    .detail("partitioned")
+            });
             return;
         }
 
         if self.bypass_wire {
-            self.deliver(datagram);
+            self.deliver(datagram, NONE_U64, false);
             return;
         }
 
@@ -119,7 +155,14 @@ impl Shared {
 
         // Fault: loss.
         if faults.loss_probability > 0.0 && wire.rng.gen::<f64>() < faults.loss_probability {
-            self.stats.packets_lost.fetch_add(1, Ordering::Relaxed);
+            self.stats.packets_lost.inc();
+            tracer.emit(|| {
+                TraceEvent::new(Layer::Fabric, Stage::Drop)
+                    .node(src)
+                    .peer(dst)
+                    .bytes(bytes)
+                    .detail("wire_loss")
+            });
             return;
         }
 
@@ -132,33 +175,55 @@ impl Shared {
         let start = busy.max(now);
         let occupy = link.occupancy(datagram.payload.len());
         wire.egress_busy.insert(datagram.src, start + occupy);
-        let mut deliver_at = start + occupy + link.latency;
+        // Jitter is sampled per wire *copy*, below, from this common base —
+        // a fault-injected duplicate takes an independent draw, so a lucky
+        // duplicate can arrive before (and reorder ahead of) the original.
+        let base_deliver_at = start + occupy + link.latency;
+        let jittered = |wire: &mut WireState| {
+            if faults.max_jitter > Duration::ZERO {
+                let j = wire.rng.gen_range(0.0..faults.max_jitter.as_secs_f64());
+                base_deliver_at + Duration::from_secs_f64(j)
+            } else {
+                base_deliver_at
+            }
+        };
 
-        // Fault: jitter (may reorder).
-        if faults.max_jitter > Duration::ZERO {
-            let j = wire.rng.gen_range(0.0..faults.max_jitter.as_secs_f64());
-            deliver_at += Duration::from_secs_f64(j);
-        }
-
+        let deliver_at = jittered(&mut wire);
         let duplicate = faults.duplicate_probability > 0.0
             && wire.rng.gen::<f64>() < faults.duplicate_probability;
 
         let seq = wire.next_seq;
         wire.next_seq += 1;
+        tracer.emit(|| {
+            TraceEvent::new(Layer::Fabric, Stage::Wire)
+                .node(src)
+                .peer(dst)
+                .seq(seq)
+                .bytes(bytes)
+        });
         wire.heap.push(Reverse(ScheduledPacket {
             deliver_at,
             seq,
+            dup: false,
             datagram: datagram.clone(),
         }));
         if duplicate {
-            self.stats
-                .packets_duplicated
-                .fetch_add(1, Ordering::Relaxed);
+            self.stats.packets_duplicated.inc();
+            let dup_deliver_at = jittered(&mut wire);
             let seq = wire.next_seq;
             wire.next_seq += 1;
+            tracer.emit(|| {
+                TraceEvent::new(Layer::Fabric, Stage::Wire)
+                    .node(src)
+                    .peer(dst)
+                    .seq(seq)
+                    .bytes(bytes)
+                    .detail("dup")
+            });
             wire.heap.push(Reverse(ScheduledPacket {
-                deliver_at,
+                deliver_at: dup_deliver_at,
                 seq,
+                dup: true,
                 datagram,
             }));
         }
@@ -187,7 +252,7 @@ impl Fabric {
             && config.link.bandwidth_bytes_per_sec.is_infinite();
         let shared = Arc::new(Shared {
             clock: SimClock::new(),
-            stats: FabricStats::default(),
+            stats: FabricStats::new(&config.obs.registry),
             routes: RwLock::new(HashMap::new()),
             partitions: RwLock::new(HashSet::new()),
             wire: Mutex::new(WireState {
@@ -315,7 +380,7 @@ fn wire_scheduler(shared: Arc<Shared>) {
                 // within channel callbacks in future revisions, and delivery can
                 // block on an unbounded channel only during allocation anyway.
                 drop(wire);
-                shared.deliver(pkt.datagram);
+                shared.deliver(pkt.datagram, pkt.seq, pkt.dup);
                 wire = shared.wire.lock();
             }
             Some(Reverse(pkt)) => {
@@ -436,6 +501,74 @@ mod tests {
         assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
         assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
         assert_eq!(fabric.stats().packets_duplicated, 1);
+    }
+
+    #[test]
+    fn jittered_duplicate_can_precede_original() {
+        // Regression: jitter used to be sampled once, before the duplicate
+        // decision, so both wire copies shared one delivery time and the
+        // duplicate's larger wire seq always sorted it second — a duplicate
+        // could never reorder ahead of its original. Each copy now takes an
+        // independent jitter draw, so over enough trials some duplicate must
+        // win the race.
+        let (obs, ring) = portals_obs::Obs::with_ring(8192);
+        let cfg = FabricConfig::default()
+            .with_faults(FaultPlan {
+                duplicate_probability: 1.0,
+                max_jitter: Duration::from_micros(500),
+                ..FaultPlan::NONE
+            })
+            .with_seed(7)
+            .with_obs(obs)
+            .with_link(LinkModel {
+                latency: Duration::from_micros(1),
+                bandwidth_bytes_per_sec: f64::INFINITY,
+                per_packet_overhead: Duration::ZERO,
+            });
+        let fabric = Fabric::new(cfg);
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        const N: usize = 100;
+        for i in 0..N {
+            a.send(NodeId(1), Bytes::from(vec![i as u8]));
+        }
+        // Every packet is duplicated, so 2N deliveries.
+        for _ in 0..2 * N {
+            b.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(fabric.stats().packets_duplicated as usize, N);
+
+        // WireDeliver events are emitted in delivery order. With dup
+        // probability 1.0 the original of send k has wire seq 2k and its
+        // duplicate has 2k+1; the duplicate reordered ahead iff seq 2k+1 was
+        // delivered before seq 2k. The trace write trails the channel send,
+        // so give the scheduler thread a moment to finish recording.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let deliveries: Vec<u64> = loop {
+            let d: Vec<u64> = ring
+                .events()
+                .iter()
+                .filter(|e| e.stage == portals_obs::Stage::WireDeliver)
+                .map(|e| e.seq)
+                .collect();
+            if d.len() >= 2 * N || std::time::Instant::now() > deadline {
+                break d;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(deliveries.len(), 2 * N);
+        let mut dup_first = 0;
+        for k in 0..N as u64 {
+            let orig_pos = deliveries.iter().position(|&s| s == 2 * k).unwrap();
+            let dup_pos = deliveries.iter().position(|&s| s == 2 * k + 1).unwrap();
+            if dup_pos < orig_pos {
+                dup_first += 1;
+            }
+        }
+        assert!(
+            dup_first > 0,
+            "no duplicate ever arrived before its original across {N} sends"
+        );
     }
 
     #[test]

@@ -4,40 +4,68 @@
 //! interface is incremented"; that counter lives in the Portals layer, but the
 //! fabric keeps its own wire-level counters so tests can distinguish *injected*
 //! loss (here) from *protocol* drops (there).
+//!
+//! The counters are [`portals_obs`] series registered under `fabric.*`, so a
+//! registry shared through [`crate::FabricConfig::with_obs`] sees the same
+//! numbers the snapshot API returns — the snapshot structs are thin views.
 
+use portals_obs::{Counter, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Wire-level counters for the whole fabric.
-#[derive(Debug, Default)]
+///
+/// Registered as `fabric.*` counter series; [`Default`] registers into a
+/// throwaway registry for standalone use.
+#[derive(Debug)]
 pub struct FabricStats {
     /// Packets handed to the fabric by senders.
-    pub packets_sent: AtomicU64,
+    pub packets_sent: Counter,
     /// Packets delivered to a NIC's inbound queue.
-    pub packets_delivered: AtomicU64,
-    /// Packets destroyed by injected loss.
-    pub packets_lost: AtomicU64,
+    pub packets_delivered: Counter,
+    /// Packets destroyed by injected loss (or a severed link).
+    pub packets_lost: Counter,
     /// Extra copies created by injected duplication.
-    pub packets_duplicated: AtomicU64,
+    pub packets_duplicated: Counter,
     /// Packets addressed to a node with no attached NIC.
-    pub packets_unroutable: AtomicU64,
+    pub packets_unroutable: Counter,
     /// Payload bytes handed to the fabric.
-    pub bytes_sent: AtomicU64,
+    pub bytes_sent: Counter,
     /// Payload bytes delivered.
-    pub bytes_delivered: AtomicU64,
+    pub bytes_delivered: Counter,
 }
 
 impl FabricStats {
+    /// Register the `fabric.*` series in `registry` (joining existing series
+    /// if another fabric already registered them).
+    pub fn new(registry: &Registry) -> FabricStats {
+        FabricStats {
+            packets_sent: registry.counter("fabric.packets_sent", &[]),
+            packets_delivered: registry.counter("fabric.packets_delivered", &[]),
+            packets_lost: registry.counter("fabric.packets_lost", &[]),
+            packets_duplicated: registry.counter("fabric.packets_duplicated", &[]),
+            packets_unroutable: registry.counter("fabric.packets_unroutable", &[]),
+            bytes_sent: registry.counter("fabric.bytes_sent", &[]),
+            bytes_delivered: registry.counter("fabric.bytes_delivered", &[]),
+        }
+    }
+
     /// Snapshot all counters.
     pub fn snapshot(&self) -> FabricStatsSnapshot {
         FabricStatsSnapshot {
-            packets_sent: self.packets_sent.load(Ordering::Relaxed),
-            packets_delivered: self.packets_delivered.load(Ordering::Relaxed),
-            packets_lost: self.packets_lost.load(Ordering::Relaxed),
-            packets_duplicated: self.packets_duplicated.load(Ordering::Relaxed),
-            packets_unroutable: self.packets_unroutable.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            bytes_delivered: self.bytes_delivered.load(Ordering::Relaxed),
+            packets_sent: self.packets_sent.get(),
+            packets_delivered: self.packets_delivered.get(),
+            packets_lost: self.packets_lost.get(),
+            packets_duplicated: self.packets_duplicated.get(),
+            packets_unroutable: self.packets_unroutable.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_delivered: self.bytes_delivered.get(),
         }
+    }
+}
+
+impl Default for FabricStats {
+    fn default() -> Self {
+        FabricStats::new(&Registry::default())
     }
 }
 
@@ -93,12 +121,22 @@ mod tests {
     #[test]
     fn snapshot_reflects_counters() {
         let s = FabricStats::default();
-        s.packets_sent.store(3, Ordering::Relaxed);
-        s.bytes_sent.store(300, Ordering::Relaxed);
+        s.packets_sent.add(3);
+        s.bytes_sent.add(300);
         let snap = s.snapshot();
         assert_eq!(snap.packets_sent, 3);
         assert_eq!(snap.bytes_sent, 300);
         assert_eq!(snap.packets_lost, 0);
+    }
+
+    #[test]
+    fn series_are_visible_through_a_shared_registry() {
+        let registry = Registry::new();
+        let s = FabricStats::new(&registry);
+        s.packets_sent.add(5);
+        s.packets_lost.add(2);
+        assert_eq!(registry.sum_counters("fabric.packets_sent"), 5);
+        assert_eq!(registry.sum_counters("fabric.packets_lost"), 2);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Throwaway: raw cost of one traced emit into a striped ring.
+use portals_obs::{Layer, Obs, Stage, TraceEvent};
+use std::time::Instant;
+
+fn main() {
+    const N: u64 = 2_000_000;
+    for cap in [1 << 10, 1 << 14, 1 << 17, 1 << 19, 1 << 21] {
+        let (obs, _ring) = Obs::with_ring(cap);
+        for _ in 0..100_000 {
+            obs.tracer
+                .emit(|| TraceEvent::new(Layer::Fabric, Stage::Wire).node(1).seq(3));
+        }
+        let t0 = Instant::now();
+        for i in 0..N {
+            obs.tracer
+                .emit(|| TraceEvent::new(Layer::Fabric, Stage::Wire).node(1).seq(i));
+        }
+        println!(
+            "cap {cap:>8}: {:.1} ns/event",
+            t0.elapsed().as_nanos() as f64 / N as f64
+        );
+    }
+    let (obs, ring) = Obs::with_ring(1 << 21);
+    for _ in 0..100_000 {
+        obs.tracer
+            .emit(|| TraceEvent::new(Layer::Fabric, Stage::Wire).node(1).seq(3));
+    }
+    let t0 = Instant::now();
+    for i in 0..N {
+        obs.tracer
+            .emit(|| TraceEvent::new(Layer::Fabric, Stage::Wire).node(1).seq(i));
+    }
+    let dt = t0.elapsed();
+    println!(
+        "emit: {:.1} ns/event (ring len {})",
+        dt.as_nanos() as f64 / N as f64,
+        ring.len()
+    );
+
+    let off = Obs::default();
+    let t0 = Instant::now();
+    for i in 0..N {
+        off.tracer
+            .emit(|| TraceEvent::new(Layer::Fabric, Stage::Wire).node(1).seq(i));
+    }
+    let dt = t0.elapsed();
+    println!(
+        "disabled emit: {:.2} ns/event",
+        dt.as_nanos() as f64 / N as f64
+    );
+
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..N {
+        acc = acc.wrapping_add(Instant::now().elapsed().as_nanos() as u64);
+    }
+    println!(
+        "clock pair: {:.1} ns ({acc})",
+        t0.elapsed().as_nanos() as f64 / N as f64
+    );
+
+    #[cfg(target_arch = "x86_64")]
+    {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..N {
+            acc = acc.wrapping_add(unsafe { core::arch::x86_64::_rdtsc() });
+        }
+        println!(
+            "raw rdtsc: {:.1} ns ({acc})",
+            t0.elapsed().as_nanos() as f64 / N as f64
+        );
+    }
+
+    let m = parking_lot::Mutex::new(std::collections::VecDeque::<u64>::with_capacity(4096));
+    let t0 = Instant::now();
+    for i in 0..N {
+        let mut g = m.lock();
+        if g.len() == 4096 {
+            g.pop_front();
+        }
+        g.push_back(i);
+    }
+    println!(
+        "lock+push: {:.1} ns",
+        t0.elapsed().as_nanos() as f64 / N as f64
+    );
+}

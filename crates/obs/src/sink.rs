@@ -1,0 +1,349 @@
+//! Trace sinks: where emitted [`TraceEvent`]s go.
+//!
+//! Two implementations cover the two consumption patterns. [`RingSink`] keeps
+//! the last N events in memory for post-hoc invariant checking (the soak
+//! harness reads it back after a run, and dumps it to JSON lines when an
+//! invariant fails). [`JsonlSink`] streams every event to a writer as one JSON
+//! object per line.
+//!
+//! The JSON is formatted by hand: the workspace's offline `serde_json` shim is
+//! a serializer for its own `Value` type only, and the `serde` derive shim has
+//! no generics, so a `TraceEvent` cannot go through them. The format is
+//! stable: one object per line, keys in a fixed order, sentinel ("none")
+//! fields omitted.
+
+use crate::trace::{TraceEvent, NONE_U32, NONE_U64};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Process-wide allocator of per-thread stripe indices, so each emitting
+/// thread consistently lands on one stripe of every sharded sink.
+static NEXT_THREAD_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn thread_stripe() -> usize {
+    THREAD_STRIPE.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_THREAD_STRIPE.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+            v
+        }
+    })
+}
+
+/// Destination for emitted events. Implementations must tolerate concurrent
+/// `record` calls from every instrumented thread.
+pub trait TraceSink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// Above this total capacity the ring shards into [`RING_STRIPES`] per-thread
+/// stripes; below it, one stripe keeps strict global FIFO semantics.
+const STRIPING_THRESHOLD: usize = 16 * 1024;
+/// Stripe count for large rings (power of two, for mask indexing).
+const RING_STRIPES: usize = 16;
+
+/// One stripe, padded to its own cache lines so neighbouring stripes never
+/// false-share under concurrent emission.
+#[repr(align(128))]
+struct Stripe(Mutex<VecDeque<TraceEvent>>);
+
+/// A bounded in-memory ring of the most recent events.
+///
+/// When full, the oldest event is evicted and `dropped()` counts it — the soak
+/// invariant checker requires `dropped() == 0`, i.e. a ring sized for the
+/// whole run.
+///
+/// Rings of `STRIPING_THRESHOLD` (16 Ki) events or more split their capacity across
+/// per-thread stripes so concurrent emitters don't serialize on one lock;
+/// [`RingSink::events`] merges the stripes back into timestamp order. Eviction
+/// is then per-stripe: one hot thread can wrap its stripe while others sit
+/// empty, which only matters to callers who let the ring fill — sized-for-the-
+/// run rings (`dropped() == 0`) see no difference.
+pub struct RingSink {
+    stripes: Box<[Stripe]>,
+    stripe_capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Arc<RingSink> {
+        let capacity = capacity.max(1);
+        let nstripes = if capacity >= STRIPING_THRESHOLD {
+            RING_STRIPES
+        } else {
+            1
+        };
+        let stripe_capacity = (capacity / nstripes).max(1);
+        let stripes = (0..nstripes)
+            .map(|_| {
+                Stripe(Mutex::new(VecDeque::with_capacity(
+                    stripe_capacity.min(4096),
+                )))
+            })
+            .collect();
+        Arc::new(RingSink {
+            stripes,
+            stripe_capacity,
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Copy out the buffered events, oldest first (merged across stripes by
+    /// emit timestamp).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.0.lock().iter().copied().collect::<Vec<_>>())
+            .collect();
+        if self.stripes.len() > 1 {
+            all.sort_by_key(|e| e.t_ns);
+        }
+        all
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.0.lock().len()).sum()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.0.lock().is_empty())
+    }
+
+    /// Events evicted because their stripe was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discard all buffered events (the drop count stays).
+    pub fn clear(&self) {
+        for s in self.stripes.iter() {
+            s.0.lock().clear();
+        }
+    }
+
+    /// Write the buffered events to `w` as JSON lines, oldest first.
+    pub fn dump_jsonl(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        for ev in self.events() {
+            writeln!(w, "{}", event_to_json(&ev))?;
+        }
+        Ok(())
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let idx = thread_stripe() & (self.stripes.len() - 1);
+        let mut events = self.stripes[idx].0.lock();
+        if events.len() == self.stripe_capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(*event);
+    }
+}
+
+impl std::fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RingSink(len={}, cap={}x{}, dropped={})",
+            self.len(),
+            self.stripes.len(),
+            self.stripe_capacity,
+            self.dropped()
+        )
+    }
+}
+
+/// Streams every event to a writer as one JSON object per line.
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wrap `writer`; each recorded event becomes one line.
+    pub fn new(writer: Box<dyn Write + Send>) -> Arc<JsonlSink> {
+        Arc::new(JsonlSink {
+            writer: Mutex::new(writer),
+        })
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().flush()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let line = event_to_json(event);
+        let mut w = self.writer.lock();
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JsonlSink")
+    }
+}
+
+/// Format one event as a single-line JSON object. Keys appear in a fixed
+/// order; fields holding the "none" sentinel (and an empty `detail`) are
+/// omitted. `detail` values are static identifiers and never need escaping.
+pub fn event_to_json(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(128);
+    s.push_str("{\"t_ns\":");
+    s.push_str(&ev.t_ns.to_string());
+    s.push_str(",\"layer\":\"");
+    s.push_str(ev.layer.name());
+    s.push_str("\",\"stage\":\"");
+    s.push_str(ev.stage.name());
+    s.push('"');
+    if ev.node != NONE_U32 {
+        s.push_str(",\"node\":");
+        s.push_str(&ev.node.to_string());
+    }
+    if ev.peer != NONE_U32 {
+        s.push_str(",\"peer\":");
+        s.push_str(&ev.peer.to_string());
+    }
+    if ev.msg_id != NONE_U64 {
+        s.push_str(",\"msg_id\":");
+        s.push_str(&ev.msg_id.to_string());
+    }
+    if ev.seq != NONE_U64 {
+        s.push_str(",\"seq\":");
+        s.push_str(&ev.seq.to_string());
+    }
+    if ev.bytes != 0 {
+        s.push_str(",\"bytes\":");
+        s.push_str(&ev.bytes.to_string());
+    }
+    if !ev.detail.is_empty() {
+        s.push_str(",\"detail\":\"");
+        s.push_str(ev.detail);
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Layer, Stage};
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = RingSink::new(2);
+        for seq in 0..3u64 {
+            ring.record(&TraceEvent::new(Layer::Fabric, Stage::Wire).seq(seq));
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 1);
+        assert_eq!(evs[1].seq, 2);
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn striped_ring_merges_events_in_timestamp_order() {
+        let ring = RingSink::new(STRIPING_THRESHOLD);
+        assert_eq!(ring.stripes.len(), RING_STRIPES);
+        // Interleave recordings from several threads; every event must come
+        // back, ordered by its stamp regardless of which stripe held it.
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let mut ev = TraceEvent::new(Layer::Fabric, Stage::Wire).seq(t * 100 + i);
+                        // Interleaved stamps across threads, so the merge has
+                        // real reordering to do.
+                        ev.t_ns = i * 4 + t;
+                        ring.record(&ev);
+                    }
+                });
+            }
+        });
+        let evs = ring.events();
+        assert_eq!(evs.len(), 200);
+        assert_eq!(ring.len(), 200);
+        assert!(evs.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert_eq!(ring.dropped(), 0);
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn json_omits_sentinels() {
+        let ev = TraceEvent::new(Layer::Transport, Stage::Drop)
+            .node(3)
+            .detail("garbage");
+        let json = event_to_json(&ev);
+        assert_eq!(
+            json,
+            "{\"t_ns\":0,\"layer\":\"transport\",\"stage\":\"drop\",\"node\":3,\"detail\":\"garbage\"}"
+        );
+        assert!(!json.contains("msg_id"));
+        assert!(!json.contains("peer"));
+    }
+
+    #[test]
+    fn json_includes_set_fields() {
+        let ev = TraceEvent::new(Layer::Portals, Stage::Deliver)
+            .node(1)
+            .peer(2)
+            .msg_id(10)
+            .seq(4)
+            .bytes(512);
+        let json = event_to_json(&ev);
+        assert!(json.contains("\"msg_id\":10"));
+        assert!(json.contains("\"seq\":4"));
+        assert!(json.contains("\"bytes\":512"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = Arc::new(Mutex::new(buf));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(SharedWriter(shared.clone())));
+        sink.record(&TraceEvent::new(Layer::Mpi, Stage::Submit).node(0));
+        sink.record(&TraceEvent::new(Layer::Mpi, Stage::Deliver).node(1));
+        let text = String::from_utf8(shared.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"stage\":\"submit\""));
+        assert!(lines[1].contains("\"stage\":\"deliver\""));
+    }
+}

@@ -7,6 +7,7 @@ use crate::proto::{
 use portals::{
     AckRequest, EqHandle, EventKind, MdSpec, MePos, NetworkInterface, Region, Threshold,
 };
+use portals_obs::{Layer, Stage, TraceEvent};
 use portals_types::{MatchBits, MatchCriteria, ProcessId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -40,6 +41,18 @@ impl FsClient {
     /// The underlying interface.
     pub fn ni(&self) -> &NetworkInterface {
         &self.ni
+    }
+
+    /// One file-service lifecycle trace event (no-op when tracing is
+    /// disabled).
+    fn trace(&self, stage: Stage, bytes: u64, detail: &'static str) {
+        self.ni.obs().tracer.emit(|| {
+            TraceEvent::new(Layer::Pfs, stage)
+                .node(self.ni.id().nid.0)
+                .peer(self.server.nid.0)
+                .bytes(bytes)
+                .detail(detail)
+        });
     }
 
     /// One request/reply exchange.
@@ -151,6 +164,7 @@ impl FsClient {
         if len == 0 {
             return Ok(Vec::new());
         }
+        self.trace(Stage::Submit, len as u64, "read");
         let grant = self.rpc(Request {
             op: FsOp::Read,
             file,
@@ -176,6 +190,7 @@ impl FsClient {
         )?;
         self.wait_md_event(md, EventKind::Reply)?;
         let _ = self.ni.md_unlink(md);
+        self.trace(Stage::Deliver, grant.grant_len, "read");
         Ok(dst.read_vec(0, len))
     }
 
@@ -185,6 +200,7 @@ impl FsClient {
         if data.is_empty() {
             return Ok(());
         }
+        self.trace(Stage::Submit, data.len() as u64, "write");
         let grant = self.rpc(Request {
             op: FsOp::Write,
             file,
@@ -209,6 +225,7 @@ impl FsClient {
         )?;
         self.wait_md_event(md, EventKind::Ack)?;
         let _ = self.ni.md_unlink(md);
+        self.trace(Stage::Deliver, data.len() as u64, "write");
         Ok(())
     }
 

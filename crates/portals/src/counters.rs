@@ -4,8 +4,12 @@
 //! ends the same way: "the incoming message is discarded and the dropped
 //! message count for the interface is incremented." We keep the total *and* a
 //! per-reason breakdown so tests can assert the exact §4.8 path taken.
+//!
+//! The counters are [`portals_obs`] series named `portals.*`, labeled with the
+//! owning interface id (and, for drops, the reason slug), so one registry
+//! snapshot attributes every drop in a job to its layer and cause.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use portals_obs::{Counter, Registry};
 
 /// The complete §4.8 drop-reason list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +74,20 @@ impl DropReason {
             DropReason::ReplyEqFull => "reply event queue full",
         }
     }
+
+    /// Stable machine-readable slug, for metric labels and trace details.
+    pub fn slug(self) -> &'static str {
+        match self {
+            DropReason::InvalidPortalIndex => "invalid_pt_index",
+            DropReason::InvalidAcIndex => "invalid_ac_index",
+            DropReason::AclProcessMismatch => "acl_process_mismatch",
+            DropReason::AclPortalMismatch => "acl_portal_mismatch",
+            DropReason::NoMatch => "no_match",
+            DropReason::AckEqMissing => "ack_eq_missing",
+            DropReason::ReplyMdMissing => "reply_md_missing",
+            DropReason::ReplyEqFull => "reply_eq_full",
+        }
+    }
 }
 
 impl std::fmt::Display for DropReason {
@@ -79,66 +97,117 @@ impl std::fmt::Display for DropReason {
 }
 
 /// Per-interface counters.
-#[derive(Debug, Default)]
+///
+/// Registered as `portals.*` series labeled `{node, pid}` (drops additionally
+/// carry `{reason}`); [`Default`] registers into a throwaway registry for
+/// standalone use.
+#[derive(Debug)]
 pub struct NiCounters {
-    drops: [AtomicU64; 8],
+    drops: [Counter; 8],
     /// Put/get requests successfully translated and performed.
-    pub requests_accepted: AtomicU64,
+    pub requests_accepted: Counter,
     /// Acks successfully logged.
-    pub acks_accepted: AtomicU64,
+    pub acks_accepted: Counter,
     /// Replies successfully received.
-    pub replies_accepted: AtomicU64,
+    pub replies_accepted: Counter,
     /// Messages this interface sent.
-    pub messages_sent: AtomicU64,
+    pub messages_sent: Counter,
     /// Events lost to event-queue circular overwrite.
-    pub events_overwritten: AtomicU64,
+    pub events_overwritten: Counter,
     /// Triggered operations launched successfully when their threshold fired.
-    pub triggered_fired: AtomicU64,
+    pub triggered_fired: Counter,
     /// Triggered operations whose launch failed at fire time.
-    pub triggered_failed: AtomicU64,
+    pub triggered_failed: Counter,
     /// Times a non-empty payload was physically copied anywhere on the data
     /// path (MD read-out, wire encode, receive coalesce, delivery into the
     /// target region). With region buffers on, only the final delivery copies.
-    pub payload_copies: AtomicU64,
+    pub payload_copies: Counter,
     /// Payload-bearing messages delivered (puts landed, replies landed) — the
     /// denominator for copies-per-message.
-    pub payload_messages: AtomicU64,
+    pub payload_messages: Counter,
+    /// Payload bytes landed in a memory descriptor's region (put deliveries
+    /// at the target, reply landings at the initiator).
+    pub delivered_bytes: Counter,
+    /// Payload bytes whose owning memory descriptor logged the matching
+    /// completion (put commits at the target, replies landed at the
+    /// initiator). The soak harness checks
+    /// `Σ delivered_bytes == Σ completed_bytes` after quiesce.
+    pub completed_bytes: Counter,
 }
 
 impl NiCounters {
+    /// Register the `portals.*` series for interface `(nid, pid)` in
+    /// `registry`.
+    pub fn new(registry: &Registry, nid: u32, pid: u32) -> NiCounters {
+        let labels = [("node", nid.to_string()), ("pid", pid.to_string())];
+        let c = |name| registry.counter(name, &labels);
+        let drops = DropReason::ALL.map(|reason| {
+            registry.counter(
+                "portals.dropped",
+                &[
+                    ("node", nid.to_string()),
+                    ("pid", pid.to_string()),
+                    ("reason", reason.slug().to_string()),
+                ],
+            )
+        });
+        NiCounters {
+            drops,
+            requests_accepted: c("portals.requests_accepted"),
+            acks_accepted: c("portals.acks_accepted"),
+            replies_accepted: c("portals.replies_accepted"),
+            messages_sent: c("portals.messages_sent"),
+            events_overwritten: c("portals.events_overwritten"),
+            triggered_fired: c("portals.triggered_fired"),
+            triggered_failed: c("portals.triggered_failed"),
+            payload_copies: c("portals.payload_copies"),
+            payload_messages: c("portals.payload_messages"),
+            delivered_bytes: c("portals.delivered_bytes"),
+            completed_bytes: c("portals.completed_bytes"),
+        }
+    }
+
     /// Record a drop.
     pub fn drop_message(&self, reason: DropReason) {
-        self.drops[reason.index()].fetch_add(1, Ordering::Relaxed);
+        self.drops[reason.index()].inc();
     }
 
     /// The paper's "dropped message count for the interface".
     pub fn dropped_total(&self) -> u64 {
-        self.drops.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.drops.iter().map(Counter::get).sum()
     }
 
     /// Count for one reason.
     pub fn dropped(&self, reason: DropReason) -> u64 {
-        self.drops[reason.index()].load(Ordering::Relaxed)
+        self.drops[reason.index()].get()
     }
 
     /// Plain-data snapshot.
     pub fn snapshot(&self) -> NiCountersSnapshot {
         let mut drops = [0u64; 8];
         for (i, c) in self.drops.iter().enumerate() {
-            drops[i] = c.load(Ordering::Relaxed);
+            drops[i] = c.get();
         }
         NiCountersSnapshot {
             drops,
-            requests_accepted: self.requests_accepted.load(Ordering::Relaxed),
-            acks_accepted: self.acks_accepted.load(Ordering::Relaxed),
-            replies_accepted: self.replies_accepted.load(Ordering::Relaxed),
-            messages_sent: self.messages_sent.load(Ordering::Relaxed),
-            events_overwritten: self.events_overwritten.load(Ordering::Relaxed),
-            triggered_fired: self.triggered_fired.load(Ordering::Relaxed),
-            triggered_failed: self.triggered_failed.load(Ordering::Relaxed),
-            payload_copies: self.payload_copies.load(Ordering::Relaxed),
-            payload_messages: self.payload_messages.load(Ordering::Relaxed),
+            requests_accepted: self.requests_accepted.get(),
+            acks_accepted: self.acks_accepted.get(),
+            replies_accepted: self.replies_accepted.get(),
+            messages_sent: self.messages_sent.get(),
+            events_overwritten: self.events_overwritten.get(),
+            triggered_fired: self.triggered_fired.get(),
+            triggered_failed: self.triggered_failed.get(),
+            payload_copies: self.payload_copies.get(),
+            payload_messages: self.payload_messages.get(),
+            delivered_bytes: self.delivered_bytes.get(),
+            completed_bytes: self.completed_bytes.get(),
         }
+    }
+}
+
+impl Default for NiCounters {
+    fn default() -> Self {
+        NiCounters::new(&Registry::default(), u32::MAX, u32::MAX)
     }
 }
 
@@ -164,6 +233,10 @@ pub struct NiCountersSnapshot {
     pub payload_copies: u64,
     /// Payload-bearing messages delivered.
     pub payload_messages: u64,
+    /// Payload bytes landed in a memory descriptor's region.
+    pub delivered_bytes: u64,
+    /// Payload bytes whose owning descriptor logged the matching completion.
+    pub completed_bytes: u64,
 }
 
 impl NiCountersSnapshot {
@@ -219,7 +292,7 @@ mod tests {
         for reason in DropReason::ALL {
             c.drop_message(reason);
         }
-        c.requests_accepted.fetch_add(5, Ordering::Relaxed);
+        c.requests_accepted.add(5);
         let snap = c.snapshot();
         assert_eq!(snap.dropped_total(), 8);
         for reason in DropReason::ALL {
@@ -235,5 +308,22 @@ mod tests {
             assert!(seen.insert(r.index()));
         }
         assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn drops_attribute_per_reason_through_the_registry() {
+        let registry = Registry::new();
+        let c = NiCounters::new(&registry, 0, 3);
+        c.drop_message(DropReason::NoMatch);
+        c.drop_message(DropReason::NoMatch);
+        c.drop_message(DropReason::AckEqMissing);
+        assert_eq!(registry.sum_counters("portals.dropped"), 3);
+        let per_reason: u64 = registry
+            .snapshot()
+            .iter()
+            .filter(|s| s.name == "portals.dropped" && s.label("reason") == Some("no_match"))
+            .filter_map(|s| s.as_counter())
+            .sum();
+        assert_eq!(per_reason, 2);
     }
 }

@@ -34,11 +34,11 @@ use crate::ni::{send_message, NiClass, NiCore, NiState};
 use crate::node::NodeShared;
 use crate::table::{FastPath, MatchList};
 use crate::{EqHandle, MdHandle, MeHandle};
+use portals_obs::{Layer, Stage, TraceEvent};
 use portals_types::{Gather, Handle, MatchBits, ProcessId};
 use portals_wire::{
     Ack, GetRequest, PortalsMessage, PutRequest, Reply, ResponseHeader, RAW_HANDLE_NONE,
 };
-use std::sync::atomic::Ordering;
 
 /// A successful Fig. 4 translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,10 +131,24 @@ pub(crate) fn translate(
     walk(list, state, op, initiator, match_bits, offset, rlength)
 }
 
+/// Record a §4.8 drop: bump the per-reason counter and emit the lifecycle
+/// trace event, so every discarded message is attributed exactly once in both
+/// views.
+fn drop_msg(core: &NiCore, reason: DropReason) {
+    core.counters.drop_message(reason);
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Drop)
+            .node(core.id.nid.0)
+            .detail(reason.slug())
+    });
+}
+
 /// Post-acceptance bookkeeping: consume threshold, auto-unlink the MD and
 /// possibly its match entry (Fig. 4), and log the operation's event. Runs
 /// under the portal's list lock (`list` is the locked list the entry lives
-/// on).
+/// on). Returns whether the commit landed — `false` only if the descriptor
+/// vanished between acceptance and commit, in which case nothing was logged
+/// and the caller must not count the operation as completed.
 #[allow(clippy::too_many_arguments)]
 fn commit_and_log(
     core: &NiCore,
@@ -145,12 +159,12 @@ fn commit_and_log(
     initiator: ProcessId,
     match_bits: MatchBits,
     rlength: u64,
-) {
+) -> bool {
     let state = &core.state;
     let Some((unlink_md, eq)) = state.mds.with_mut(accepted.md, |md| {
         (md.commit(accepted.mlength, accepted.offset), md.eq)
     }) else {
-        return;
+        return false;
     };
 
     push_event(
@@ -196,15 +210,20 @@ fn commit_and_log(
             }
         }
     }
+    true
 }
 
 fn push_event(core: &NiCore, eq: Option<EqHandle>, event: Event) {
     if let Some(eqh) = eq {
         if core.state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
-            core.counters
-                .events_overwritten
-                .fetch_add(1, Ordering::Relaxed);
+            core.counters.events_overwritten.inc();
         }
+        core.obs.tracer.emit(|| {
+            TraceEvent::new(Layer::Portals, Stage::Event)
+                .node(core.id.nid.0)
+                .bytes(event.mlength)
+                .detail(event.kind.name())
+        });
     }
 }
 
@@ -226,7 +245,7 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
     };
     let state = &core.state;
     let Some(mut list) = state.table.lock(h.portal_index) else {
-        core.counters.drop_message(DropReason::InvalidPortalIndex);
+        drop_msg(core, DropReason::InvalidPortalIndex);
         return;
     };
     if let Err(r) = state
@@ -234,7 +253,7 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
         .read()
         .check(h.cookie, h.initiator, h.portal_index, &class)
     {
-        core.counters.drop_message(r.into());
+        drop_msg(core, r.into());
         return;
     }
     let accepted = match translate(
@@ -249,10 +268,17 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
     ) {
         Ok(a) => a,
         Err(reason) => {
-            core.counters.drop_message(reason);
+            drop_msg(core, reason);
             return;
         }
     };
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Match)
+            .node(core.id.nid.0)
+            .peer(h.initiator.nid.0)
+            .bytes(accepted.mlength)
+            .detail("put")
+    });
 
     // Capture the accepted MD's counting event before commit can auto-unlink
     // the descriptor; the increment itself runs after every lock is dropped.
@@ -265,15 +291,19 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
         .mds
         .with(accepted.md, |md| md.deliver_gather(accepted.offset, &data));
     if accepted.mlength > 0 {
-        core.counters.payload_copies.fetch_add(1, Ordering::Relaxed);
+        core.counters.payload_copies.inc();
     }
-    core.counters
-        .payload_messages
-        .fetch_add(1, Ordering::Relaxed);
-    core.counters
-        .requests_accepted
-        .fetch_add(1, Ordering::Relaxed);
-    commit_and_log(
+    core.counters.payload_messages.inc();
+    core.counters.delivered_bytes.add(accepted.mlength);
+    core.counters.requests_accepted.inc();
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Deliver)
+            .node(core.id.nid.0)
+            .peer(h.initiator.nid.0)
+            .bytes(accepted.mlength)
+            .detail("put")
+    });
+    if commit_and_log(
         core,
         &mut list,
         accepted,
@@ -282,7 +312,9 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
         h.initiator,
         h.match_bits,
         h.length,
-    );
+    ) {
+        core.counters.completed_bytes.add(accepted.mlength);
+    }
     drop(list);
 
     // "the target optionally sends an acknowledgment message" (§4.3): only if
@@ -319,7 +351,7 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
     };
     let state = &core.state;
     let Some(mut list) = state.table.lock(h.portal_index) else {
-        core.counters.drop_message(DropReason::InvalidPortalIndex);
+        drop_msg(core, DropReason::InvalidPortalIndex);
         return;
     };
     if let Err(r) = state
@@ -327,7 +359,7 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
         .read()
         .check(h.cookie, h.initiator, h.portal_index, &class)
     {
-        core.counters.drop_message(r.into());
+        drop_msg(core, r.into());
         return;
     }
     let accepted = match translate(
@@ -342,10 +374,17 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
     ) {
         Ok(a) => a,
         Err(reason) => {
-            core.counters.drop_message(reason);
+            drop_msg(core, reason);
             return;
         }
     };
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Match)
+            .node(core.id.nid.0)
+            .peer(h.initiator.nid.0)
+            .bytes(accepted.mlength)
+            .detail("get")
+    });
 
     let ct = state.mds.with(accepted.md, |md| md.ct).flatten();
     let payload = state
@@ -356,15 +395,15 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
             } else {
                 // Baseline: read the served bytes out into a flat buffer.
                 if accepted.mlength > 0 {
-                    core.counters.payload_copies.fetch_add(1, Ordering::Relaxed);
+                    core.counters.payload_copies.inc();
                 }
                 Gather::from_vec(md.read(accepted.offset, accepted.mlength))
             }
         })
         .unwrap_or_default();
-    core.counters
-        .requests_accepted
-        .fetch_add(1, Ordering::Relaxed);
+    core.counters.requests_accepted.inc();
+    // A get moves no bytes into this process's memory: the reply's landing at
+    // the initiator is where delivered/completed bytes are accounted.
     commit_and_log(
         core,
         &mut list,
@@ -427,15 +466,19 @@ fn handle_ack(core: &NiCore, node: &NodeShared, ack: Ack) {
     let mdh: MdHandle = Handle::from_raw(h.md_handle);
     let ct = core.state.mds.with(mdh, |md| md.ct).flatten();
     if pushed.is_none() && ct.is_none() {
-        core.counters.drop_message(DropReason::AckEqMissing);
+        drop_msg(core, DropReason::AckEqMissing);
         return;
     }
-    core.counters.acks_accepted.fetch_add(1, Ordering::Relaxed);
+    core.counters.acks_accepted.inc();
     if pushed == Some(false) {
-        core.counters
-            .events_overwritten
-            .fetch_add(1, Ordering::Relaxed);
+        core.counters.events_overwritten.inc();
     }
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Deliver)
+            .node(core.id.nid.0)
+            .peer(h.initiator.nid.0)
+            .detail("ack")
+    });
     if let Some(ct) = ct {
         crate::triggered::ct_increment(core, node, ct, 1);
     }
@@ -454,18 +497,18 @@ fn handle_reply(core: &NiCore, node: &NodeShared, reply: Reply) {
     // Hold the MD's shard lock across the whole reply so the descriptor cannot
     // be unlinked between the space check and the write.
     let Some((mut shard, local)) = state.mds.lock_shard_of(md_handle) else {
-        core.counters.drop_message(DropReason::ReplyMdMissing);
+        drop_msg(core, DropReason::ReplyMdMissing);
         return;
     };
     let Some(md) = shard.get(local) else {
-        core.counters.drop_message(DropReason::ReplyMdMissing);
+        drop_msg(core, DropReason::ReplyMdMissing);
         return;
     };
     let eq = md.eq;
     let ct = md.ct;
     if let Some(eqh) = eq {
         if state.eqs.with(eqh, |queue| queue.is_full()) == Some(true) {
-            core.counters.drop_message(DropReason::ReplyEqFull);
+            drop_msg(core, DropReason::ReplyEqFull);
             return;
         }
     }
@@ -474,19 +517,26 @@ fn handle_reply(core: &NiCore, node: &NodeShared, reply: Reply) {
     let mlength = (reply.payload.len() as u64).min(md.len() as u64);
     md.write_gather(0, &reply.payload.slice(0, mlength as usize));
     if mlength > 0 {
-        core.counters.payload_copies.fetch_add(1, Ordering::Relaxed);
+        core.counters.payload_copies.inc();
     }
-    core.counters
-        .payload_messages
-        .fetch_add(1, Ordering::Relaxed);
+    core.counters.payload_messages.inc();
+    // The reply's landing is both the delivery and the initiating get's
+    // completion, so both byte counters advance here.
+    core.counters.delivered_bytes.add(mlength);
+    core.counters.completed_bytes.add(mlength);
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Deliver)
+            .node(core.id.nid.0)
+            .peer(h.initiator.nid.0)
+            .bytes(mlength)
+            .detail("reply")
+    });
     let unlink = {
         let md = shard.get_mut(local).expect("resolved above");
         md.pending_ops = md.pending_ops.saturating_sub(1);
         md.options.unlink_on_exhaustion && !md.threshold.active() && md.pending_ops == 0
     };
-    core.counters
-        .replies_accepted
-        .fetch_add(1, Ordering::Relaxed);
+    core.counters.replies_accepted.inc();
     if let Some(eqh) = eq {
         let event = Event {
             kind: EventKind::Reply,
@@ -499,9 +549,7 @@ fn handle_reply(core: &NiCore, node: &NodeShared, reply: Reply) {
             md: md_handle,
         };
         if state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
-            core.counters
-                .events_overwritten
-                .fetch_add(1, Ordering::Relaxed);
+            core.counters.events_overwritten.inc();
         }
     }
     if unlink {

@@ -37,6 +37,20 @@ pub enum EventKind {
     Unlink,
 }
 
+impl EventKind {
+    /// Stable lowercase name, for lifecycle traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Put => "put",
+            EventKind::Get => "get",
+            EventKind::Reply => "reply",
+            EventKind::Ack => "ack",
+            EventKind::Sent => "sent",
+            EventKind::Unlink => "unlink",
+        }
+    }
+}
+
 /// One event record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {

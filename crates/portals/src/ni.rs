@@ -47,6 +47,7 @@ use crate::table::{MePos, PortalTable};
 use crate::triggered::{self, TriggeredOp};
 use crate::{CtHandle, EqHandle, MdHandle, MeHandle};
 use parking_lot::{Condvar, Mutex, RwLock};
+use portals_obs::{Layer, Obs, Stage, TraceEvent};
 use portals_types::{
     Gather, MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult, Sharded,
 };
@@ -148,6 +149,9 @@ pub(crate) struct NiCore {
     pub(crate) config: NiConfig,
     pub(crate) state: NiState,
     pub(crate) counters: NiCounters,
+    /// The node's observability handle: the interface's counters register in
+    /// its registry and the engine's lifecycle traces flow to its sinks.
+    pub(crate) obs: Obs,
     /// Host-driven model: raw messages awaiting an API call.
     pub(crate) raw: Mutex<VecDeque<PortalsMessage>>,
     /// Signalled on raw arrival so blocked API calls wake to make progress.
@@ -155,12 +159,13 @@ pub(crate) struct NiCore {
 }
 
 impl NiCore {
-    pub(crate) fn new(id: ProcessId, config: NiConfig) -> NiCore {
+    pub(crate) fn new(id: ProcessId, config: NiConfig, obs: Obs) -> NiCore {
         NiCore {
             id,
             state: NiState::new(&config.limits),
             config,
-            counters: NiCounters::default(),
+            counters: NiCounters::new(&obs.registry, id.nid.0, id.pid),
+            obs,
             raw: Mutex::new(VecDeque::new()),
             raw_cond: Condvar::new(),
         }
@@ -243,6 +248,13 @@ impl NetworkInterface {
     /// Interface counters, including the §4.8 dropped-message counts.
     pub fn counters(&self) -> NiCountersSnapshot {
         self.core.counters.snapshot()
+    }
+
+    /// The observability handle this interface reports into (the node's, so
+    /// higher layers — MPI, the parallel file system — can emit their own
+    /// lifecycle traces and metrics alongside the engine's).
+    pub fn obs(&self) -> &Obs {
+        &self.core.obs
     }
 
     // ----- event queues ---------------------------------------------------
@@ -888,9 +900,7 @@ pub(crate) fn do_put(
             } else {
                 // Baseline: read the MD out into a fresh flat buffer.
                 if length > 0 {
-                    core.counters
-                        .payload_copies
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    core.counters.payload_copies.inc();
                 }
                 Gather::from_vec(mdr.read(0, length))
             };
@@ -1013,15 +1023,11 @@ fn transmit(
             md,
         };
         if core.state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
-            core.counters
-                .events_overwritten
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            core.counters.events_overwritten.inc();
         }
     }
     send_message(core, node, target.nid, &msg);
-    core.counters
-        .messages_sent
-        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    core.counters.messages_sent.inc();
     Ok(())
 }
 
@@ -1035,13 +1041,18 @@ pub(crate) fn send_message(
     dst: portals_types::NodeId,
     msg: &PortalsMessage,
 ) {
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Submit)
+            .node(core.id.nid.0)
+            .peer(dst.0)
+            .bytes(msg.payload_len() as u64)
+            .detail(msg.kind_name())
+    });
     if core.config.region_buffers {
         node.endpoint.send(dst, msg.encode_gather());
     } else {
         if msg.payload_len() > 0 {
-            core.counters
-                .payload_copies
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            core.counters.payload_copies.inc();
         }
         node.endpoint.send(dst, msg.encode());
     }

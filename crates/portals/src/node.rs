@@ -14,11 +14,12 @@
 use crate::engine;
 use crate::ni::{NetworkInterface, NiConfig, NiCore};
 use parking_lot::RwLock;
+use portals_obs::{Counter, Layer, Obs, Stage, TraceEvent};
 use portals_transport::{Endpoint, TransportConfig};
 use portals_types::{Gather, NodeId, ProcessId, PtlError, PtlResult, UserId};
 use portals_wire::PortalsMessage;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -48,6 +49,11 @@ pub struct NodeConfig {
     /// Process classifier for ACL checks; defaults to "everyone is
     /// application 0".
     pub directory: Option<Arc<dyn ProcessDirectory>>,
+    /// Observability handle: the node's transport, dispatcher and every
+    /// interface created on it register metrics in its registry and emit
+    /// lifecycle traces to its sinks. The default is a private registry with
+    /// tracing disabled.
+    pub obs: Obs,
 }
 
 impl std::fmt::Debug for NodeConfig {
@@ -63,10 +69,11 @@ pub(crate) struct NodeShared {
     pub(crate) endpoint: Endpoint,
     pub(crate) nis: RwLock<HashMap<u32, Arc<NiCore>>>,
     pub(crate) directory: Arc<dyn ProcessDirectory>,
+    pub(crate) obs: Obs,
     /// §4.8 first-check failures: traffic for pids with no interface.
-    pub(crate) dropped_no_process: AtomicU64,
+    pub(crate) dropped_no_process: Counter,
     /// Misrouted or undecodable traffic.
-    pub(crate) dropped_garbage: AtomicU64,
+    pub(crate) dropped_garbage: Counter,
     pub(crate) alive: AtomicBool,
 }
 
@@ -85,14 +92,22 @@ impl Node {
     /// Bring up a node on an attached NIC.
     pub fn new(nic: portals_net::Nic, config: NodeConfig) -> Node {
         let nid = nic.nid();
-        let endpoint = Endpoint::new(nic, config.transport);
+        let endpoint = Endpoint::with_obs(nic, config.transport, config.obs.clone());
+        let node_labels = [("node", nid.0.to_string())];
         let shared = Arc::new(NodeShared {
             nid,
             endpoint,
             nis: RwLock::new(HashMap::new()),
             directory: config.directory.unwrap_or_else(|| Arc::new(OpenDirectory)),
-            dropped_no_process: AtomicU64::new(0),
-            dropped_garbage: AtomicU64::new(0),
+            dropped_no_process: config
+                .obs
+                .registry
+                .counter("portals.node_dropped_no_process", &node_labels),
+            dropped_garbage: config
+                .obs
+                .registry
+                .counter("portals.node_dropped_garbage", &node_labels),
+            obs: config.obs,
             alive: AtomicBool::new(true),
         });
         let dispatcher = {
@@ -128,7 +143,7 @@ impl Node {
             nid: self.shared.nid,
             pid,
         };
-        let core = Arc::new(NiCore::new(id, config));
+        let core = Arc::new(NiCore::new(id, config, self.shared.obs.clone()));
         let mut nis = self.shared.nis.write();
         if nis.contains_key(&pid) {
             return Err(PtlError::InvalidProcess);
@@ -143,12 +158,17 @@ impl Node {
 
     /// Messages dropped because no process claimed them (§4.8 first check).
     pub fn dropped_no_process(&self) -> u64 {
-        self.shared.dropped_no_process.load(Ordering::Relaxed)
+        self.shared.dropped_no_process.get()
     }
 
     /// Messages dropped as undecodable or misrouted.
     pub fn dropped_garbage(&self) -> u64 {
-        self.shared.dropped_garbage.load(Ordering::Relaxed)
+        self.shared.dropped_garbage.get()
+    }
+
+    /// The node's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
     }
 
     /// Transport statistics for this node's endpoint.
@@ -187,19 +207,22 @@ fn dispatch(shared: &NodeShared, payload: &Gather) {
     let msg = match PortalsMessage::decode_gather(payload) {
         Ok(m) => m,
         Err(_) => {
-            shared.dropped_garbage.fetch_add(1, Ordering::Relaxed);
+            shared.dropped_garbage.inc();
+            node_drop_trace(shared, "garbage");
             return;
         }
     };
     let target = msg.wire_target();
     if target.nid != shared.nid {
-        shared.dropped_garbage.fetch_add(1, Ordering::Relaxed);
+        shared.dropped_garbage.inc();
+        node_drop_trace(shared, "misrouted");
         return;
     }
     let core = shared.nis.read().get(&target.pid).cloned();
     match core {
         None => {
-            shared.dropped_no_process.fetch_add(1, Ordering::Relaxed);
+            shared.dropped_no_process.inc();
+            node_drop_trace(shared, "no_process");
         }
         Some(core) => {
             // Baseline buffer model: coalesce the payload into one fresh
@@ -218,6 +241,16 @@ fn dispatch(shared: &NodeShared, payload: &Gather) {
     }
 }
 
+/// A node-level drop (before any interface was identified) in the trace
+/// stream.
+fn node_drop_trace(shared: &NodeShared, why: &'static str) {
+    shared.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Drop)
+            .node(shared.nid.0)
+            .detail(why)
+    });
+}
+
 /// Replace a message's payload views with one contiguous copy (the ablation
 /// baseline's receive-side coalesce), counting the copy it performs.
 fn flatten_payload(core: &NiCore, msg: PortalsMessage) -> PortalsMessage {
@@ -225,7 +258,7 @@ fn flatten_payload(core: &NiCore, msg: PortalsMessage) -> PortalsMessage {
         if g.is_empty() {
             return g;
         }
-        core.counters.payload_copies.fetch_add(1, Ordering::Relaxed);
+        core.counters.payload_copies.inc();
         Gather::from_vec(g.to_vec())
     }
     match msg {

@@ -25,8 +25,8 @@
 use crate::ni::{self, AckRequest, NiCore};
 use crate::node::NodeShared;
 use crate::{CtHandle, MdHandle};
+use portals_obs::{Layer, Stage, TraceEvent};
 use portals_types::{MatchBits, ProcessId};
-use std::sync::atomic::Ordering;
 
 /// An operation parked on a counting event until its threshold is reached.
 #[derive(Debug, Clone)]
@@ -127,7 +127,7 @@ pub(crate) fn fire(core: &NiCore, node: &NodeShared, op: TriggeredOp) {
         Ok(()) => &core.counters.triggered_fired,
         Err(_) => &core.counters.triggered_failed,
     };
-    counter.fetch_add(1, Ordering::Relaxed);
+    counter.inc();
 }
 
 /// Count `n` successes on `h` and fire every trigger that becomes due, in
@@ -137,6 +137,12 @@ pub(crate) fn ct_increment(core: &NiCore, node: &NodeShared, h: CtHandle, n: u64
         return false;
     };
     let due = ct.add_and_take(n);
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Ct)
+            .node(core.id.nid.0)
+            .bytes(n)
+            .detail(if due.is_empty() { "" } else { "fired" })
+    });
     if !due.is_empty() {
         for op in due {
             fire(core, node, op);

@@ -4,6 +4,8 @@ use crate::directory::JobDirectory;
 use portals::{NiConfig, Node, NodeConfig, ProgressModel};
 use portals_mpi::{Communicator, Mpi, MpiConfig};
 use portals_net::{Fabric, FabricConfig};
+use portals_obs::Obs;
+use portals_transport::TransportConfig;
 use portals_types::{NodeId, ProcessId, Rank};
 use std::sync::Arc;
 
@@ -12,6 +14,8 @@ use std::sync::Arc;
 pub struct JobConfig {
     /// Fabric configuration (link model, faults, seed).
     pub fabric: FabricConfig,
+    /// Transport tuning for every node's endpoint.
+    pub transport: TransportConfig,
     /// Progress model for every interface.
     pub progress: ProgressModel,
     /// MPI layer configuration.
@@ -23,17 +27,24 @@ pub struct JobConfig {
     pub job_id: u32,
     /// Portals resource limits for every interface.
     pub limits: portals_types::NiLimits,
+    /// Job-wide observability handle: every layer — fabric, transports,
+    /// nodes, interfaces — registers its metrics in this one registry and
+    /// emits lifecycle traces to its sinks, so invariants can be checked by
+    /// summing series across the whole world.
+    pub obs: Obs,
 }
 
 impl Default for JobConfig {
     fn default() -> Self {
         JobConfig {
             fabric: FabricConfig::ideal(),
+            transport: TransportConfig::default(),
             progress: ProgressModel::ApplicationBypass,
             mpi: MpiConfig::default(),
             procs_per_node: 1,
             job_id: 1,
             limits: portals_types::NiLimits::DEFAULT,
+            obs: Obs::default(),
         }
     }
 }
@@ -111,7 +122,9 @@ impl Job {
     pub fn build(nprocs: usize, config: JobConfig) -> (Job, Vec<ProcessEnv>) {
         assert!(nprocs > 0, "a job needs at least one process");
         assert!(config.procs_per_node > 0);
-        let fabric = Arc::new(Fabric::new(config.fabric.clone()));
+        let fabric = Arc::new(Fabric::new(
+            config.fabric.clone().with_obs(config.obs.clone()),
+        ));
         let directory = Arc::new(JobDirectory::new());
         let nnodes = nprocs.div_ceil(config.procs_per_node);
 
@@ -132,8 +145,9 @@ impl Job {
                 Arc::new(Node::new(
                     fabric.attach(NodeId(n as u32)),
                     NodeConfig {
+                        transport: config.transport,
                         directory: Some(directory.clone() as Arc<dyn portals::ProcessDirectory>),
-                        ..Default::default()
+                        obs: config.obs.clone(),
                     },
                 ))
             })

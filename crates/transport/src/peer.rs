@@ -47,6 +47,10 @@ pub struct SenderPeer {
     deadline: Option<Instant>,
     /// Consecutive timeouts without forward progress.
     retries: u32,
+    /// True while the peer is past the stall threshold and has not yet made
+    /// progress. Cleared (and reported via [`AckOutcome::recovered`]) by the
+    /// first ack that advances the window.
+    stalled: bool,
 }
 
 /// What a timeout produced.
@@ -57,6 +61,16 @@ pub struct TimeoutResult {
     pub resend: Vec<Gather>,
     /// True the first time `retries` crosses the stall threshold.
     pub newly_stalled: bool,
+}
+
+/// What an ack produced.
+#[derive(Debug, PartialEq, Eq)]
+pub struct AckOutcome {
+    /// Packets newly admitted to the window by the ack's progress.
+    pub released: Vec<Gather>,
+    /// True when this ack is the first forward progress after the peer had
+    /// been reported stalled — the worker un-marks the peer in its stats.
+    pub recovered: bool,
 }
 
 impl SenderPeer {
@@ -70,6 +84,7 @@ impl SenderPeer {
             next_msg_id: 0,
             deadline: None,
             retries: 0,
+            stalled: false,
         }
     }
 
@@ -126,10 +141,19 @@ impl SenderPeer {
         out
     }
 
-    /// Process a cumulative acknowledgment; returns newly admitted packets.
-    pub fn on_ack(&mut self, cumulative: u64, cfg: &TransportConfig, now: Instant) -> Vec<Gather> {
+    /// Process a cumulative acknowledgment.
+    ///
+    /// *Any* cumulative progress — even one fragment of a large window —
+    /// resets the retry counter and clears a stall: go-back-N retransmits the
+    /// whole window, so partial acks are the normal shape of recovery and
+    /// must not leave the peer counted as stalled.
+    pub fn on_ack(&mut self, cumulative: u64, cfg: &TransportConfig, now: Instant) -> AckOutcome {
         if cumulative == ACK_NONE {
-            return Vec::new(); // "nothing received" keep-alive
+            // "nothing received" keep-alive
+            return AckOutcome {
+                released: Vec::new(),
+                recovered: false,
+            };
         }
         let mut progressed = false;
         while let Some(front) = self.in_flight.front() {
@@ -141,15 +165,20 @@ impl SenderPeer {
                 break;
             }
         }
+        let mut recovered = false;
         if progressed {
             self.retries = 0;
+            recovered = std::mem::take(&mut self.stalled);
             self.deadline = if self.in_flight.is_empty() {
                 None
             } else {
                 Some(now + cfg.rto_after(0))
             };
         }
-        self.admit(cfg, now)
+        AckOutcome {
+            released: self.admit(cfg, now),
+            recovered,
+        }
     }
 
     /// The retransmission timer fired: resend the whole window (go-back-N) and
@@ -164,9 +193,13 @@ impl SenderPeer {
         }
         self.retries = self.retries.saturating_add(1);
         self.deadline = Some(now + cfg.rto_after(self.retries));
+        let newly_stalled = self.retries == cfg.stall_retries && !self.stalled;
+        if newly_stalled {
+            self.stalled = true;
+        }
         TimeoutResult {
             resend: self.in_flight.iter().map(|p| p.encoded.clone()).collect(),
-            newly_stalled: self.retries == cfg.stall_retries,
+            newly_stalled,
         }
     }
 
@@ -186,6 +219,18 @@ impl SenderPeer {
     #[inline]
     pub fn retries(&self) -> u32 {
         self.retries
+    }
+
+    /// True while the peer is past the stall threshold without progress.
+    #[inline]
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// The message id the next [`SenderPeer::enqueue_message`] will assign.
+    #[inline]
+    pub fn next_msg_id(&self) -> u64 {
+        self.next_msg_id
     }
 }
 
@@ -417,7 +462,7 @@ mod tests {
         let c = cfg();
         tx.enqueue_message(g(b"0123456789"), &c, t); // seq 0..3 in flight
         tx.enqueue_message(g(b"ab"), &c, t); // pending
-        let released = tx.on_ack(1, &c, t); // acks seq 0,1
+        let released = tx.on_ack(1, &c, t).released; // acks seq 0,1
         let released = decode(&released);
         assert_eq!(released.len(), 1);
         assert_eq!(
@@ -438,7 +483,7 @@ mod tests {
         let t = now();
         tx.enqueue_message(g(b"hi"), &cfg(), t);
         let before = tx.outstanding();
-        assert!(tx.on_ack(ACK_NONE, &cfg(), t).is_empty());
+        assert!(tx.on_ack(ACK_NONE, &cfg(), t).released.is_empty());
         assert_eq!(tx.outstanding(), before);
     }
 
@@ -452,7 +497,7 @@ mod tests {
         assert_eq!(tx.outstanding(), 0);
         assert!(tx.deadline().is_none());
         // A late duplicate ack for seq 0 must not break anything.
-        assert!(tx.on_ack(0, &c, t).is_empty());
+        assert!(tx.on_ack(0, &c, t).released.is_empty());
         assert_eq!(tx.outstanding(), 0);
     }
 
@@ -474,6 +519,55 @@ mod tests {
                                     // Progress resets the stall counter.
         tx.on_ack(0, &c, t);
         assert_eq!(tx.retries(), 0);
+    }
+
+    #[test]
+    fn partial_ack_progress_resets_retries_and_clears_stall() {
+        // Regression (stall accounting): recovery must be recognized on ANY
+        // cumulative progress, not only when the window fully drains —
+        // go-back-N recovery normally acks the window one retransmission
+        // round at a time.
+        let mut tx = SenderPeer::new();
+        let t = now();
+        let c = cfg();
+        tx.enqueue_message(g(b"0123456789"), &c, t); // seq 0..3, window holds 3
+
+        // Time out past the stall threshold.
+        assert!(!tx.on_timeout(&c, t).newly_stalled);
+        assert!(tx.on_timeout(&c, t).newly_stalled);
+        assert!(tx.is_stalled());
+        assert_eq!(tx.retries(), 2);
+
+        // Partial progress: ack only seq 0, window still has seq 1,2 unacked.
+        let out = tx.on_ack(0, &c, t);
+        assert!(out.recovered, "first progress after a stall must recover");
+        assert!(!tx.is_stalled());
+        assert_eq!(tx.retries(), 0);
+        assert!(tx.outstanding() > 0, "window must not be fully drained");
+
+        // Further progress is not a second recovery.
+        assert!(!tx.on_ack(1, &c, t).recovered);
+
+        // A second stall cycle reports stall and recovery exactly once each.
+        tx.on_timeout(&c, t);
+        assert!(tx.on_timeout(&c, t).newly_stalled);
+        assert!(!tx.on_timeout(&c, t).newly_stalled);
+        assert!(tx.on_ack(3, &c, t).recovered);
+        assert!(!tx.is_stalled());
+    }
+
+    #[test]
+    fn ack_without_progress_does_not_recover_a_stalled_peer() {
+        let mut tx = SenderPeer::new();
+        let t = now();
+        let c = cfg();
+        tx.enqueue_message(g(b"0123456789"), &c, t);
+        tx.on_timeout(&c, t);
+        assert!(tx.on_timeout(&c, t).newly_stalled);
+        // Keep-alive and stale acks carry no progress: still stalled.
+        assert!(!tx.on_ack(ACK_NONE, &c, t).recovered);
+        assert!(tx.is_stalled());
+        assert_eq!(tx.retries(), 2);
     }
 
     #[test]
@@ -662,7 +756,7 @@ mod tests {
                     if let Some(d) = r.delivered {
                         received.push(d.to_vec());
                     }
-                    wire.extend(tx.on_ack(r.ack, &c, t));
+                    wire.extend(tx.on_ack(r.ack, &c, t).released);
                 } else {
                     // Wire empty: fire the retransmission timer.
                     wire.extend(tx.on_timeout(&c, t).resend);

@@ -1,60 +1,109 @@
 //! Transport-level counters.
+//!
+//! The counters are [`portals_obs`] series named `transport.*` and labeled
+//! with the endpoint's node id, so a registry shared across endpoints can sum
+//! one series over the whole job (`registry.sum_counters("transport.…")`) —
+//! the reconciliation primitive the soak harness's invariants are built on.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use portals_obs::{Counter, Gauge, Registry};
 
 /// Counters maintained by an endpoint's worker.
-#[derive(Debug, Default)]
+///
+/// Registered as `transport.*` series labeled `{node}`; [`Default`] registers
+/// into a throwaway registry for standalone use.
+#[derive(Debug)]
 pub struct TransportStats {
     /// Messages accepted for sending.
-    pub messages_sent: AtomicU64,
+    pub messages_sent: Counter,
     /// Messages fully reassembled and delivered upward.
-    pub messages_delivered: AtomicU64,
+    pub messages_delivered: Counter,
     /// DATA packets put on the wire (including retransmissions).
-    pub data_packets_sent: AtomicU64,
+    pub data_packets_sent: Counter,
+    /// In-order DATA packets accepted by the receiver (fed to reassembly).
+    pub data_packets_accepted: Counter,
     /// DATA packets retransmitted.
-    pub retransmissions: AtomicU64,
+    pub retransmissions: Counter,
     /// Wire bytes of retransmitted DATA packets. Retransmission re-sends the
     /// in-flight *handles* (no payload is re-encoded or copied); this counts
     /// the bytes those handles put back on the wire.
-    pub resend_bytes: AtomicU64,
+    pub resend_bytes: Counter,
     /// Duplicate DATA packets suppressed.
-    pub duplicates_dropped: AtomicU64,
+    pub duplicates_dropped: Counter,
     /// Out-of-order DATA packets dropped (go-back-N).
-    pub out_of_order_dropped: AtomicU64,
+    pub out_of_order_dropped: Counter,
     /// ACK packets sent.
-    pub acks_sent: AtomicU64,
+    pub acks_sent: Counter,
     /// ACKs that were *not* sent because a later cumulative ACK to the same
     /// source in the same receive batch subsumed them.
-    pub acks_coalesced: AtomicU64,
+    pub acks_coalesced: Counter,
     /// ACK packets received.
-    pub acks_received: AtomicU64,
+    pub acks_received: Counter,
     /// Undecodable packets discarded.
-    pub garbage_dropped: AtomicU64,
+    pub garbage_dropped: Counter,
     /// Times a peer crossed the stall threshold.
-    pub peers_stalled: AtomicU64,
+    pub peers_stalled: Counter,
+    /// Times a stalled peer made progress again. Every stall that ends is
+    /// matched by exactly one recovery, so `peers_stalled - peers_recovered`
+    /// is the number of peers stalled right now (also kept directly in
+    /// [`TransportStats::stalled_now`]).
+    pub peers_recovered: Counter,
+    /// Peers currently past the stall threshold without progress.
+    pub stalled_now: Gauge,
 }
 
 impl TransportStats {
-    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// Register the `transport.*` series for node `nid` in `registry`.
+    pub fn new(registry: &Registry, nid: u32) -> TransportStats {
+        let labels = [("node", nid.to_string())];
+        let c = |name| registry.counter(name, &labels);
+        TransportStats {
+            messages_sent: c("transport.messages_sent"),
+            messages_delivered: c("transport.messages_delivered"),
+            data_packets_sent: c("transport.data_packets_sent"),
+            data_packets_accepted: c("transport.data_packets_accepted"),
+            retransmissions: c("transport.retransmissions"),
+            resend_bytes: c("transport.resend_bytes"),
+            duplicates_dropped: c("transport.duplicates_dropped"),
+            out_of_order_dropped: c("transport.out_of_order_dropped"),
+            acks_sent: c("transport.acks_sent"),
+            acks_coalesced: c("transport.acks_coalesced"),
+            acks_received: c("transport.acks_received"),
+            garbage_dropped: c("transport.garbage_dropped"),
+            peers_stalled: c("transport.peers_stalled"),
+            peers_recovered: c("transport.peers_recovered"),
+            stalled_now: registry.gauge("transport.stalled_now", &labels),
+        }
+    }
+
+    pub(crate) fn add(&self, counter: &Counter, n: u64) {
+        counter.add(n);
     }
 
     /// Snapshot into plain data.
     pub fn snapshot(&self) -> TransportStatsSnapshot {
         TransportStatsSnapshot {
-            messages_sent: self.messages_sent.load(Ordering::Relaxed),
-            messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
-            data_packets_sent: self.data_packets_sent.load(Ordering::Relaxed),
-            retransmissions: self.retransmissions.load(Ordering::Relaxed),
-            resend_bytes: self.resend_bytes.load(Ordering::Relaxed),
-            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
-            out_of_order_dropped: self.out_of_order_dropped.load(Ordering::Relaxed),
-            acks_sent: self.acks_sent.load(Ordering::Relaxed),
-            acks_coalesced: self.acks_coalesced.load(Ordering::Relaxed),
-            acks_received: self.acks_received.load(Ordering::Relaxed),
-            garbage_dropped: self.garbage_dropped.load(Ordering::Relaxed),
-            peers_stalled: self.peers_stalled.load(Ordering::Relaxed),
+            messages_sent: self.messages_sent.get(),
+            messages_delivered: self.messages_delivered.get(),
+            data_packets_sent: self.data_packets_sent.get(),
+            data_packets_accepted: self.data_packets_accepted.get(),
+            retransmissions: self.retransmissions.get(),
+            resend_bytes: self.resend_bytes.get(),
+            duplicates_dropped: self.duplicates_dropped.get(),
+            out_of_order_dropped: self.out_of_order_dropped.get(),
+            acks_sent: self.acks_sent.get(),
+            acks_coalesced: self.acks_coalesced.get(),
+            acks_received: self.acks_received.get(),
+            garbage_dropped: self.garbage_dropped.get(),
+            peers_stalled: self.peers_stalled.get(),
+            peers_recovered: self.peers_recovered.get(),
+            peers_stalled_now: self.stalled_now.get(),
         }
+    }
+}
+
+impl Default for TransportStats {
+    fn default() -> Self {
+        TransportStats::new(&Registry::default(), u32::MAX)
     }
 }
 
@@ -65,6 +114,7 @@ pub struct TransportStatsSnapshot {
     pub messages_sent: u64,
     pub messages_delivered: u64,
     pub data_packets_sent: u64,
+    pub data_packets_accepted: u64,
     pub retransmissions: u64,
     pub resend_bytes: u64,
     pub duplicates_dropped: u64,
@@ -74,6 +124,8 @@ pub struct TransportStatsSnapshot {
     pub acks_received: u64,
     pub garbage_dropped: u64,
     pub peers_stalled: u64,
+    pub peers_recovered: u64,
+    pub peers_stalled_now: i64,
 }
 
 #[cfg(test)]
@@ -85,9 +137,21 @@ mod tests {
         let s = TransportStats::default();
         s.add(&s.messages_sent, 2);
         s.add(&s.retransmissions, 5);
+        s.stalled_now.inc();
         let snap = s.snapshot();
         assert_eq!(snap.messages_sent, 2);
         assert_eq!(snap.retransmissions, 5);
         assert_eq!(snap.acks_sent, 0);
+        assert_eq!(snap.peers_stalled_now, 1);
+    }
+
+    #[test]
+    fn series_sum_across_nodes_through_one_registry() {
+        let registry = Registry::new();
+        let a = TransportStats::new(&registry, 0);
+        let b = TransportStats::new(&registry, 1);
+        a.messages_sent.add(3);
+        b.messages_sent.add(4);
+        assert_eq!(registry.sum_counters("transport.messages_sent"), 7);
     }
 }

@@ -12,6 +12,15 @@
 //!   earlier one; suppressed sends are counted in
 //!   [`TransportStats::acks_coalesced`].
 //!
+//!   Coalescing is safe against the go-back-N drop path (`seq > expected`
+//!   dropped, later retransmitted): the receiver's cumulative ack is *monotone
+//!   nondecreasing* — `expected` only advances when the exactly-expected
+//!   sequence arrives, and a dropped out-of-order packet leaves it untouched.
+//!   A batch that drops fragment `k` and then sees fragments `k+1..k+n` emits
+//!   the same cumulative value (`k-1`) for all of them, so the coalesced ack
+//!   can never claim a dropped-then-retransmitted fragment. The endpoint-level
+//!   proptest in `tests/faults.rs` locks this in under jitter + loss.
+//!
 //! Retransmission deadlines are tracked in a min-heap keyed by `(Instant,
 //! NodeId)` with lazy invalidation: entries are validated against the peer's
 //! current deadline when they surface, so arming is an O(log n) push and the
@@ -23,6 +32,7 @@ use crate::peer::{ReceiverPeer, SenderPeer};
 use crate::stats::TransportStats;
 use crossbeam::channel::{Receiver, Sender};
 use portals_net::{Datagram, Nic};
+use portals_obs::{Counter, Layer, Obs, Stage, TraceEvent};
 use portals_wire::{Packet, PacketHeader};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -41,13 +51,19 @@ pub(crate) enum Command {
 
 pub(crate) struct Worker {
     nic: Nic,
+    nid: NodeId,
     cfg: TransportConfig,
+    obs: Obs,
     commands: Receiver<Command>,
     delivered: Sender<IncomingMessage>,
     stats: Arc<TransportStats>,
     outstanding: Arc<AtomicUsize>,
     tx_peers: HashMap<NodeId, SenderPeer>,
     rx_peers: HashMap<NodeId, ReceiverPeer>,
+    /// Per-destination retransmission counters
+    /// (`transport.peer_retransmissions{node, peer}`), created lazily on the
+    /// first retransmission to that peer.
+    peer_retx: HashMap<NodeId, Counter>,
     /// Min-heap of retransmission deadlines. Entries are hints, not truth: a
     /// peer's deadline moves every time it sends or is acked, and stale
     /// entries are discarded (or corrected) when they reach the top.
@@ -58,20 +74,25 @@ impl Worker {
     pub(crate) fn new(
         nic: Nic,
         cfg: TransportConfig,
+        obs: Obs,
         commands: Receiver<Command>,
         delivered: Sender<IncomingMessage>,
         stats: Arc<TransportStats>,
         outstanding: Arc<AtomicUsize>,
     ) -> Worker {
+        let nid = nic.nid();
         Worker {
             nic,
+            nid,
             cfg,
+            obs,
             commands,
             delivered,
             stats,
             outstanding,
             tx_peers: HashMap::new(),
             rx_peers: HashMap::new(),
+            peer_retx: HashMap::new(),
             timers: BinaryHeap::new(),
         }
     }
@@ -132,18 +153,45 @@ impl Worker {
         self.stats.add(&self.stats.messages_sent, 1);
         let now = Instant::now();
         let peer = self.tx_peers.entry(dst).or_default();
+        let msg_id = peer.next_msg_id();
+        let msg_len = msg.len() as u64;
+        self.obs.tracer.emit(|| {
+            TraceEvent::new(Layer::Transport, Stage::Submit)
+                .node(self.nid.0)
+                .peer(dst.0)
+                .msg_id(msg_id)
+                .bytes(msg_len)
+        });
         let before = peer.outstanding();
         let packets = peer.enqueue_message(msg, &self.cfg, now);
         self.outstanding
             .fetch_add(peer.outstanding() - before, Ordering::Relaxed);
-        self.send_data(dst, packets);
+        self.send_data(dst, packets, Stage::Fragment);
         self.arm_timer(dst);
     }
 
-    fn send_data(&self, dst: NodeId, packets: Vec<Gather>) {
+    /// Put `packets` on the wire, counting them and (when tracing) emitting
+    /// one `stage` event per packet. Header decoding for the trace is gated on
+    /// the tracer being enabled — the decode is a zero-copy header peek, and
+    /// the disabled path pays only the branch.
+    fn send_data(&self, dst: NodeId, packets: Vec<Gather>, stage: Stage) {
         self.stats
             .add(&self.stats.data_packets_sent, packets.len() as u64);
         for p in packets {
+            if self.obs.tracer.enabled() {
+                if let Ok(pkt) = Packet::decode_gather(&p) {
+                    if let PacketHeader::Data { seq, msg_id, .. } = pkt.header {
+                        self.obs.tracer.emit(|| {
+                            TraceEvent::new(Layer::Transport, stage)
+                                .node(self.nid.0)
+                                .peer(dst.0)
+                                .msg_id(msg_id)
+                                .seq(seq)
+                                .bytes(pkt.body.len() as u64)
+                        });
+                    }
+                }
+            }
             self.nic.send(dst, p);
         }
     }
@@ -172,34 +220,95 @@ impl Worker {
             Ok(p) => p,
             Err(_) => {
                 self.stats.add(&self.stats.garbage_dropped, 1);
+                self.obs.tracer.emit(|| {
+                    TraceEvent::new(Layer::Transport, Stage::Drop)
+                        .node(self.nid.0)
+                        .peer(src.0)
+                        .detail("garbage")
+                });
                 return;
             }
         };
         match packet.header {
             PacketHeader::Ack { cumulative } => {
                 self.stats.add(&self.stats.acks_received, 1);
+                self.obs.tracer.emit(|| {
+                    TraceEvent::new(Layer::Transport, Stage::Rx)
+                        .node(self.nid.0)
+                        .peer(src.0)
+                        .seq(cumulative)
+                        .detail("ack")
+                });
                 let now = Instant::now();
                 if let Some(peer) = self.tx_peers.get_mut(&src) {
                     let before = peer.outstanding();
-                    let released = peer.on_ack(cumulative, &self.cfg, now);
+                    let outcome = peer.on_ack(cumulative, &self.cfg, now);
                     let after = peer.outstanding();
                     self.outstanding
                         .fetch_sub(before - after, Ordering::Relaxed);
-                    self.send_data(src, released);
+                    if outcome.recovered {
+                        self.stats.add(&self.stats.peers_recovered, 1);
+                        self.stats.stalled_now.dec();
+                        self.obs.tracer.emit(|| {
+                            TraceEvent::new(Layer::Transport, Stage::Resume)
+                                .node(self.nid.0)
+                                .peer(src.0)
+                                .seq(cumulative)
+                        });
+                    }
+                    self.send_data(src, outcome.released, Stage::Fragment);
                     self.arm_timer(src);
                 }
             }
             header @ PacketHeader::Data { .. } => {
+                let (seq, msg_id) = match header {
+                    PacketHeader::Data { seq, msg_id, .. } => (seq, msg_id),
+                    PacketHeader::Ack { .. } => unreachable!("matched Data"),
+                };
+                let body_len = packet.body.len() as u64;
+                self.obs.tracer.emit(|| {
+                    TraceEvent::new(Layer::Transport, Stage::Rx)
+                        .node(self.nid.0)
+                        .peer(src.0)
+                        .msg_id(msg_id)
+                        .seq(seq)
+                        .bytes(body_len)
+                });
                 let peer = self.rx_peers.entry(src).or_default();
                 let result = peer.on_data(header, packet.body);
                 if result.duplicate {
                     self.stats.add(&self.stats.duplicates_dropped, 1);
-                }
-                if result.out_of_order {
+                    self.obs.tracer.emit(|| {
+                        TraceEvent::new(Layer::Transport, Stage::Drop)
+                            .node(self.nid.0)
+                            .peer(src.0)
+                            .msg_id(msg_id)
+                            .seq(seq)
+                            .detail("duplicate")
+                    });
+                } else if result.out_of_order {
                     self.stats.add(&self.stats.out_of_order_dropped, 1);
+                    self.obs.tracer.emit(|| {
+                        TraceEvent::new(Layer::Transport, Stage::Drop)
+                            .node(self.nid.0)
+                            .peer(src.0)
+                            .msg_id(msg_id)
+                            .seq(seq)
+                            .detail("out_of_order")
+                    });
+                } else {
+                    self.stats.add(&self.stats.data_packets_accepted, 1);
                 }
                 if let Some(msg) = result.delivered {
                     self.stats.add(&self.stats.messages_delivered, 1);
+                    let msg_len = msg.len() as u64;
+                    self.obs.tracer.emit(|| {
+                        TraceEvent::new(Layer::Transport, Stage::Deliver)
+                            .node(self.nid.0)
+                            .peer(src.0)
+                            .msg_id(msg_id)
+                            .bytes(msg_len)
+                    });
                     // Receiver side is unbounded; drop only if the endpoint is
                     // being torn down.
                     let _ = self.delivered.send(IncomingMessage { src, payload: msg });
@@ -232,12 +341,30 @@ impl Worker {
                     let result = peer.on_timeout(&self.cfg, now);
                     if result.newly_stalled {
                         self.stats.add(&self.stats.peers_stalled, 1);
+                        self.stats.stalled_now.inc();
+                        self.obs.tracer.emit(|| {
+                            TraceEvent::new(Layer::Transport, Stage::Stall)
+                                .node(self.nid.0)
+                                .peer(nid.0)
+                        });
                     }
-                    self.stats
-                        .add(&self.stats.retransmissions, result.resend.len() as u64);
+                    let n = result.resend.len() as u64;
+                    self.stats.add(&self.stats.retransmissions, n);
+                    if n > 0 {
+                        let me = self.nid.0;
+                        self.peer_retx
+                            .entry(nid)
+                            .or_insert_with(|| {
+                                self.obs.registry.counter(
+                                    "transport.peer_retransmissions",
+                                    &[("node", me.to_string()), ("peer", nid.0.to_string())],
+                                )
+                            })
+                            .add(n);
+                    }
                     let bytes: u64 = result.resend.iter().map(|p| p.len() as u64).sum();
                     self.stats.add(&self.stats.resend_bytes, bytes);
-                    self.send_data(nid, result.resend);
+                    self.send_data(nid, result.resend, Stage::Retransmit);
                     self.arm_timer(nid);
                 }
                 // The entry was stale; re-file it under the peer's real

@@ -20,6 +20,7 @@ pub mod limits;
 pub mod matchbits;
 pub mod region;
 pub mod shard;
+pub mod stripe;
 
 pub use arena::{Arena, Handle};
 pub use error::{PtlError, PtlResult};

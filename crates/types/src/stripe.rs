@@ -1,0 +1,63 @@
+//! Thread-to-stripe assignment for striped concurrent structures.
+//!
+//! Several layers keep per-thread-striped state to avoid cache-line
+//! ping-pong on hot counters (the observability registry's counters, and any
+//! future striped allocator). They all need the same primitive: a cheap,
+//! stable mapping from the current thread to a small stripe index. This
+//! module provides it once so every striped structure agrees on the
+//! assignment and a thread touches the same stripe everywhere.
+//!
+//! Threads are numbered round-robin at first use (a single relaxed
+//! fetch-add), and the number is cached in a thread-local, so the steady-state
+//! cost of [`thread_stripe`] is one TLS read and a mask/modulo.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Monotone thread counter; assigned once per thread at first use.
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_INDEX: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's stable index (0, 1, 2, ... in order of first call).
+#[inline]
+pub fn thread_index() -> usize {
+    THREAD_INDEX.with(|i| *i)
+}
+
+/// Map the current thread onto one of `nstripes` stripes.
+///
+/// Distinct threads spread round-robin across stripes; one thread always gets
+/// the same stripe for the same `nstripes`. `nstripes` must be non-zero.
+#[inline]
+pub fn thread_stripe(nstripes: usize) -> usize {
+    debug_assert!(nstripes > 0);
+    thread_index() % nstripes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_stable_within_a_thread() {
+        let a = thread_index();
+        let b = thread_index();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stripe_is_in_range() {
+        for n in 1..10 {
+            assert!(thread_stripe(n) < n);
+        }
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_indices() {
+        let mine = thread_index();
+        let theirs = std::thread::spawn(thread_index).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+}

@@ -42,6 +42,17 @@ impl PortalsMessage {
         }
     }
 
+    /// Stable lowercase name of the operation, for lifecycle traces and
+    /// reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PortalsMessage::Put(_) => "put",
+            PortalsMessage::Ack(_) => "ack",
+            PortalsMessage::Get(_) => "get",
+            PortalsMessage::Reply(_) => "reply",
+        }
+    }
+
     /// The process this message must be delivered to. This is how the runtime
     /// on the receiving node demultiplexes traffic among its processes (§4.8:
     /// "the runtime system first checks that the target process identified in
