@@ -3,9 +3,9 @@
 //! NIC implementation in progress.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use portals::{AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
+use portals::{MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
 use portals_net::{Fabric, FabricConfig};
-use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
+use portals_types::{MatchCriteria, NodeId, ProcessId};
 
 fn bench_pingpong(c: &mut Criterion) {
     let mut g = c.benchmark_group("sec3_pingpong");
@@ -47,9 +47,7 @@ fn bench_pingpong(c: &mut Criterion) {
             let md = b.md_bind(MdSpec::new(Region::zeroed(size))).unwrap();
             while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
                 match b.eq_poll(eq_b, std::time::Duration::from_millis(10)) {
-                    Ok(_) => b
-                        .put(md, AckRequest::NoAck, a_id, 0, 0, MatchBits::ZERO, 0)
-                        .unwrap(),
+                    Ok(_) => b.put_op(md).target(a_id, 0).submit().unwrap(),
                     Err(_) => continue,
                 }
             }
@@ -59,8 +57,7 @@ fn bench_pingpong(c: &mut Criterion) {
         let label = if region_buffers { "rtt" } else { "rtt_flat" };
         g.bench_with_input(BenchmarkId::new(label, size), &size, |bch, _| {
             bch.iter(|| {
-                a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::ZERO, 0)
-                    .unwrap();
+                a.put_op(md).target(b_id, 0).submit().unwrap();
                 a.eq_wait(eq_a).unwrap();
             })
         });

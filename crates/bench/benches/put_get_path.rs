@@ -11,7 +11,7 @@ use portals::MePos;
 use portals::{AckRequest, EventKind, MdSpec, NiConfig, Node, NodeConfig, Region};
 use portals_bench::PutGetRig;
 use portals_net::{Fabric, FabricConfig};
-use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
+use portals_types::{MatchCriteria, NodeId, ProcessId};
 
 fn bench_fig1_put(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_put_path");
@@ -86,7 +86,10 @@ fn bench_fig2_get(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("get", size), &size, |b, &s| {
             b.iter(|| {
                 initiator
-                    .get(md, target_id, 0, 0, MatchBits::ZERO, 0, s as u64)
+                    .get_op(md)
+                    .target(target_id, 0)
+                    .length(s as u64)
+                    .submit()
                     .unwrap();
                 loop {
                     let ev = initiator.eq_wait(ieq).unwrap();

@@ -20,13 +20,13 @@
 //! Run: `cargo run --release -p portals-bench --bin soak [-- --quick]
 //!       [--overhead] [--trace-out PATH]`
 
-use portals::{AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
+use portals::{EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
 use portals_mpi::{MpiConfig, Protocol};
 use portals_net::{FabricConfig, FaultPlan, LinkModel};
 use portals_obs::{Layer, MetricValue, Obs, Registry, RingSink, Stage};
 use portals_pfs::{FileServer, FsClient};
 use portals_runtime::{Collectives, Job, JobConfig, ProcessEnv, ReduceOp, TriggeredConfig};
-use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId, Rank};
+use portals_types::{MatchCriteria, NodeId, ProcessId, Rank};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,6 +58,67 @@ fn cells() -> Vec<(&'static str, FaultPlan)> {
                 max_jitter: Duration::from_micros(50),
             },
         ),
+    ]
+}
+
+/// Overload-cell shape: which flow-control machinery is on, what faults ride
+/// along, and therefore what the audit must (or must not) see.
+#[derive(Clone, Copy)]
+struct OverloadCell {
+    name: &'static str,
+    /// Portal-table flow control (the tentpole flag; off = §4.8 ablation).
+    flow_control: bool,
+    /// Override the transport's starting credit balance (`Some(0)` models the
+    /// zero-credit start, forcing the probe/grant path before any data moves).
+    initial_credits: Option<u64>,
+    faults: FaultPlan,
+}
+
+/// Bytes per overloading eager message.
+const OVERLOAD_MSG: usize = 1024;
+/// Unexpected-slab geometry for the overload cells: small on purpose, so the
+/// flood oversubscribes the receiver by [`OVERSUBSCRIPTION`]× in well under a
+/// second of wall clock.
+const OVERLOAD_SLAB: usize = 64 * 1024;
+const OVERLOAD_SLAB_COUNT: usize = 2;
+/// The acceptance criterion's oversubscription factor: the flood is 4× what
+/// the receiver's attached slabs can hold.
+const OVERSUBSCRIPTION: usize = 4;
+
+fn overload_cells() -> Vec<OverloadCell> {
+    vec![
+        // The headline cell: 4× oversubscribed receiver, flow control on —
+        // the PT must disable, nack, and resume with zero end-to-end loss.
+        OverloadCell {
+            name: "overload4x",
+            flow_control: true,
+            initial_credits: None,
+            faults: FaultPlan::NONE,
+        },
+        // Ablation: same flood with the flag off must preserve the paper's
+        // §4.8 drop-and-count behavior (messages lost, counted, no disable).
+        OverloadCell {
+            name: "overload4x_off",
+            flow_control: false,
+            initial_credits: None,
+            faults: FaultPlan::NONE,
+        },
+        // Zero-credit start: every sender must win credits through the
+        // probe/grant path before its first byte moves.
+        OverloadCell {
+            name: "zerocredit",
+            flow_control: true,
+            initial_credits: Some(0),
+            faults: FaultPlan::NONE,
+        },
+        // Resume-under-fault: the disable/nack/resume cycle must still lose
+        // nothing when the fabric is dropping 5% of packets underneath it.
+        OverloadCell {
+            name: "resume_fault",
+            flow_control: true,
+            initial_credits: None,
+            faults: FaultPlan::lossy(0.05),
+        },
     ]
 }
 
@@ -94,31 +155,43 @@ fn main() {
         "cell", "seed", "ms", "packets", "lost", "dup", "retrans", "stalls", "submits", "verdict"
     );
     let mut failures = 0usize;
+    let mut report = |name: &str, seed: u64, outcome: Result<RunReport, Vec<String>>| match outcome
+    {
+        Ok(r) => println!(
+            "{:<12} {:>6} {:>8} {:>8} {:>6} {:>6} {:>8} {:>7} {:>8} {:>9}",
+            name,
+            seed,
+            r.wall_ms,
+            r.packets_sent,
+            r.packets_lost,
+            r.packets_duplicated,
+            r.retransmissions,
+            r.stalls,
+            r.submits,
+            "ok"
+        ),
+        Err(why) => {
+            failures += 1;
+            println!("{name:<12} {seed:>6} {:>62}", "FAILED");
+            for line in why {
+                println!("    invariant violated: {line}");
+            }
+            println!("    trace ring dumped to {trace_out}");
+        }
+    };
     for (name, faults) in &matrix {
         for &seed in seeds {
-            match run_cell(name, *faults, seed, &trace_out) {
-                Ok(r) => println!(
-                    "{:<12} {:>6} {:>8} {:>8} {:>6} {:>6} {:>8} {:>7} {:>8} {:>9}",
-                    name,
-                    seed,
-                    r.wall_ms,
-                    r.packets_sent,
-                    r.packets_lost,
-                    r.packets_duplicated,
-                    r.retransmissions,
-                    r.stalls,
-                    r.submits,
-                    "ok"
-                ),
-                Err(why) => {
-                    failures += 1;
-                    println!("{name:<12} {seed:>6} {:>62}", "FAILED");
-                    for line in why {
-                        println!("    invariant violated: {line}");
-                    }
-                    println!("    trace ring dumped to {trace_out}");
-                }
-            }
+            report(name, seed, run_cell(name, *faults, seed, &trace_out));
+        }
+    }
+    // Overload cells: quick mode keeps the headline cell and its ablation.
+    let overload: Vec<OverloadCell> = overload_cells()
+        .into_iter()
+        .filter(|c| !quick || matches!(c.name, "overload4x" | "overload4x_off"))
+        .collect();
+    for cell in &overload {
+        for &seed in seeds {
+            report(cell.name, seed, run_overload_cell(*cell, seed, &trace_out));
         }
     }
     if failures > 0 {
@@ -224,7 +297,7 @@ fn run_cell(
     let registry = &obs.registry;
     let deadline = Instant::now() + Duration::from_secs(15);
     let mut last = fingerprint(registry, &ring);
-    let mut why = audit(name, faults, registry, &ring);
+    let mut why = audit(name, faults, true, registry, &ring);
     loop {
         std::thread::sleep(Duration::from_millis(40));
         let now = fingerprint(registry, &ring);
@@ -232,7 +305,7 @@ fn run_cell(
             break;
         }
         last = now;
-        why = audit(name, faults, registry, &ring);
+        why = audit(name, faults, true, registry, &ring);
         if Instant::now() > deadline {
             break;
         }
@@ -332,8 +405,244 @@ fn workload(env: &ProcessEnv, server: ProcessId) {
     comm.barrier();
 }
 
+/// One overload cell: flood rank 0 with [`OVERSUBSCRIPTION`]× more unexpected
+/// eager traffic than its slabs hold while it deliberately lags, then audit.
+///
+/// With flow control on, the receiving portal must disable, nack the excess,
+/// and — once the receiver drains — resume with **zero end-to-end loss** (the
+/// receiver content-checks every message). With it off, the same flood must
+/// reproduce the paper's §4.8 drop-and-count behavior: excess messages are
+/// lost and attributed, nothing disables, nothing is nacked.
+fn run_overload_cell(
+    cell: OverloadCell,
+    seed: u64,
+    trace_out: &str,
+) -> Result<RunReport, Vec<String>> {
+    let (obs, ring) = Obs::with_ring(RING_CAPACITY);
+    let mut transport = portals_transport::TransportConfig {
+        rto_base: Duration::from_millis(5),
+        ..Default::default()
+    };
+    if let Some(credits) = cell.initial_credits {
+        transport.initial_credits = credits;
+    }
+    let cfg = JobConfig {
+        fabric: FabricConfig::default()
+            .with_link(LinkModel {
+                latency: Duration::from_micros(5),
+                bandwidth_bytes_per_sec: f64::INFINITY,
+                per_packet_overhead: Duration::ZERO,
+            })
+            .with_faults(cell.faults)
+            .with_seed(seed),
+        transport,
+        mpi: MpiConfig {
+            protocol: Protocol::Rendezvous { eager_limit: 2048 },
+            slab_size: OVERLOAD_SLAB,
+            slab_count: OVERLOAD_SLAB_COUNT,
+            // Must cover the largest unexpected message (the eager limit).
+            slab_min_free: 2048,
+            ..Default::default()
+        },
+        flow_control: cell.flow_control,
+        obs: obs.clone(),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let (job, envs) = Job::build(RANKS, cfg);
+
+    let per_sender =
+        OVERSUBSCRIPTION * OVERLOAD_SLAB * OVERLOAD_SLAB_COUNT / OVERLOAD_MSG / (RANKS - 1);
+    // An OS-level barrier (not an MPI one — the portal under test may be
+    // disabled) separating "every sender has submitted its whole flood" from
+    // "the receiver starts draining".
+    let gate = Arc::new(std::sync::Barrier::new(RANKS));
+    let handles: Vec<_> = envs
+        .into_iter()
+        .map(|env| {
+            let gate = gate.clone();
+            let flow_on = cell.flow_control;
+            std::thread::Builder::new()
+                .name(format!("overload-rank-{}", env.comm.rank().0))
+                .spawn(move || {
+                    if env.comm.rank() == Rank(0) {
+                        overload_receiver(&env, per_sender, flow_on, &gate)
+                    } else {
+                        overload_sender(&env, per_sender, flow_on, &gate)
+                    }
+                })
+                .expect("spawn overload rank")
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("overload rank panicked");
+    }
+
+    for node in job.nodes() {
+        node.flush_transport(Duration::from_secs(10));
+    }
+    let registry = &obs.registry;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut last = fingerprint(registry, &ring);
+    let mut why = audit_overload(cell, registry, &ring);
+    loop {
+        std::thread::sleep(Duration::from_millis(40));
+        let now = fingerprint(registry, &ring);
+        if now == last && why.is_empty() {
+            break;
+        }
+        last = now;
+        why = audit_overload(cell, registry, &ring);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    let wall_ms = started.elapsed().as_millis();
+
+    if !why.is_empty() {
+        if let Ok(mut f) = std::fs::File::create(trace_out) {
+            let _ = ring.dump_jsonl(&mut f);
+        }
+        drop(job);
+        return Err(why);
+    }
+    let report = RunReport {
+        wall_ms,
+        packets_sent: registry.sum_counters("fabric.packets_sent"),
+        packets_lost: registry.sum_counters("fabric.packets_lost"),
+        packets_duplicated: registry.sum_counters("fabric.packets_duplicated"),
+        retransmissions: registry.sum_counters("transport.retransmissions"),
+        stalls: registry.sum_counters("transport.peers_stalled"),
+        submits: count_portals(&ring, Stage::Submit, None),
+    };
+    drop(job);
+    Ok(report)
+}
+
+/// Flood rank 0, then (flow on) wait for every send to complete — nacked
+/// sends only finish after the receiver's portal resumes, so completion here
+/// *is* the no-loss guarantee from the sender's side.
+fn overload_sender(env: &ProcessEnv, per_sender: usize, flow_on: bool, gate: &std::sync::Barrier) {
+    let comm = &env.comm;
+    let me = comm.rank().0 as usize;
+    let reqs: Vec<_> = (0..per_sender)
+        .map(|i| {
+            let payload = vec![(me * 13 + i) as u8; OVERLOAD_MSG];
+            comm.isend(Rank(0), (500 + i) as u32, &payload)
+        })
+        .collect();
+    gate.wait();
+    if flow_on {
+        for r in reqs {
+            comm.wait(r);
+        }
+        comm.barrier();
+    }
+    // Flow off: the dropped tail of the flood can never complete — leaving
+    // those sends outstanding is exactly the legacy drop-and-count contract.
+}
+
+/// Lag deliberately while the flood oversubscribes the slabs, then drain.
+fn overload_receiver(
+    env: &ProcessEnv,
+    per_sender: usize,
+    flow_on: bool,
+    gate: &std::sync::Barrier,
+) {
+    let comm = &env.comm;
+    let n = comm.size();
+    gate.wait();
+    // Everything is submitted; sleep long enough for the whole flood to land
+    // or drop (and, flow on, for the nack/retry cycle to spin) before the
+    // first drain replenishes anything.
+    std::thread::sleep(Duration::from_millis(20));
+    if flow_on {
+        // Zero end-to-end loss: every flooded message arrives, content intact.
+        for i in 0..per_sender {
+            for s in 1..n {
+                let (data, _) = comm.recv(
+                    Some(Rank(s as u32)),
+                    Some((500 + i) as u32),
+                    2 * OVERLOAD_MSG,
+                );
+                let expect = (s * 13 + i) as u8;
+                assert!(
+                    data.len() == OVERLOAD_MSG && data.iter().all(|&b| b == expect),
+                    "overload: lost or corrupted message {i} from rank {s}"
+                );
+            }
+        }
+        comm.barrier();
+    } else {
+        // Ablation: under drop-and-count no *particular* message is
+        // guaranteed through — which peers win slab space is seed-dependent.
+        // The one deterministic survivor: the first message delivered at all
+        // is some peer's head-of-stream (per-peer FIFO), and it lands in a
+        // still-empty slab. Receive it from ANY source and check its content
+        // against whoever sent it; the shed tail is asserted by the audit's
+        // drop attribution. No MPI barrier — the portal stayed in
+        // drop-and-count mode the whole time, so collective traffic through
+        // it could itself be shed.
+        let (data, status) = comm.recv(None, Some(500), 2 * OVERLOAD_MSG);
+        let expect = (status.source.0 as usize * 13) as u8;
+        assert!(
+            data.len() == OVERLOAD_MSG && data.iter().all(|&b| b == expect),
+            "overload ablation: surviving head message corrupted (from rank {})",
+            status.source.0
+        );
+    }
+}
+
+/// The standard invariants plus the overload cell's flow-control expectations.
+fn audit_overload(cell: OverloadCell, reg: &Registry, ring: &RingSink) -> Vec<String> {
+    let mut bad = audit(cell.name, cell.faults, false, reg, ring);
+    let resumes = ring
+        .events()
+        .iter()
+        .filter(|e| e.layer == Layer::Mpi && e.detail == "flowctrl_resume")
+        .count();
+    let nacked = count_portals(ring, Stage::Drop, Some("pt_disabled"));
+    let unmatched = count_portals(ring, Stage::Drop, Some("no_match"));
+    if cell.flow_control {
+        if resumes == 0 {
+            bad.push(format!(
+                "{}: flow control never tripped — the {OVERSUBSCRIPTION}x flood \
+                 should disable and resume the portal",
+                cell.name
+            ));
+        }
+    } else {
+        if resumes != 0 || nacked != 0 {
+            bad.push(format!(
+                "{}: flow-control machinery ran with the flag off \
+                 (resumes {resumes}, nacks {nacked})",
+                cell.name
+            ));
+        }
+        if unmatched == 0 {
+            bad.push(format!(
+                "{}: ablation flood produced no drop-and-count drops",
+                cell.name
+            ));
+        }
+    }
+    if cell.initial_credits == Some(0) && reg.sum_counters("flow.probes_sent") == 0 {
+        bad.push(format!(
+            "{}: zero-credit start sent no credit probes",
+            cell.name
+        ));
+    }
+    bad
+}
+
 /// All cross-layer invariants; returns one line per violation.
-fn audit(cell: &str, faults: FaultPlan, reg: &Registry, ring: &RingSink) -> Vec<String> {
+fn audit(
+    cell: &str,
+    faults: FaultPlan,
+    strict_clean: bool,
+    reg: &Registry,
+    ring: &RingSink,
+) -> Vec<String> {
     let mut bad = Vec::new();
     let mut check = |ok: bool, msg: String| {
         if !ok {
@@ -361,18 +670,27 @@ fn audit(cell: &str, faults: FaultPlan, reg: &Registry, ring: &RingSink) -> Vec<
         format!("unroutable packets on a fully attached fabric: {unroutable}"),
     );
 
-    // Wire reconciliation: fabric packets are exactly the transports' DATA and
-    // ACK packets, and every delivery was classified once on receive.
-    let (data_sent, acks_sent) = (c("transport.data_packets_sent"), c("transport.acks_sent"));
+    // Wire reconciliation: fabric packets are exactly the transports' DATA,
+    // ACK and credit-PROBE packets, and every delivery was classified once on
+    // receive.
+    let (data_sent, acks_sent, probes_sent) = (
+        c("transport.data_packets_sent"),
+        c("transport.acks_sent"),
+        c("flow.probes_sent"),
+    );
     check(
-        sent == data_sent + acks_sent,
-        format!("wire send reconciliation: fabric {sent} != data {data_sent} + acks {acks_sent}"),
+        sent == data_sent + acks_sent + probes_sent,
+        format!(
+            "wire send reconciliation: fabric {sent} != \
+             data {data_sent} + acks {acks_sent} + probes {probes_sent}"
+        ),
     );
     let rx_classified = c("transport.acks_received")
         + c("transport.data_packets_accepted")
         + c("transport.duplicates_dropped")
         + c("transport.out_of_order_dropped")
-        + c("transport.garbage_dropped");
+        + c("transport.garbage_dropped")
+        + c("flow.probes_received");
     check(
         delivered == rx_classified,
         format!("wire receive reconciliation: delivered {delivered} != classified {rx_classified}"),
@@ -410,6 +728,18 @@ fn audit(cell: &str, faults: FaultPlan, reg: &Registry, ring: &RingSink) -> Vec<
         format!("peers still stalled after quiesce: {now}"),
     );
 
+    // Credit bookkeeping: every credit stall resumed, nobody left blocked.
+    let (cstalls, cresumes) = (c("flow.credit_stalls"), c("flow.credit_resumes"));
+    check(
+        cstalls == cresumes,
+        format!("credit stalls {cstalls} != credit resumes {cresumes}"),
+    );
+    let blocked = sum_gauges(reg, "flow.credit_blocked_now");
+    check(
+        blocked == 0,
+        format!("peers still credit-blocked after quiesce: {blocked}"),
+    );
+
     // Portals byte conservation: delivered bytes all committed.
     let (db, cb) = (c("portals.delivered_bytes"), c("portals.completed_bytes"));
     check(
@@ -439,15 +769,22 @@ fn audit(cell: &str, faults: FaultPlan, reg: &Registry, ring: &RingSink) -> Vec<
         ),
     );
 
-    // Fault-plan-conditional checks.
+    // Fault-plan-conditional checks. Fabric-level series are deterministic —
+    // only injected faults can move them. The transport timing series are
+    // additionally checked only when the workload keeps receivers responsive
+    // (`strict_clean`): a deliberately lagging receiver can race a short RTO
+    // into spurious retransmissions on a perfectly clean fabric, and the
+    // duplicate-suppression counters then absorb the copies.
     if faults.is_fault_free() {
-        for series in [
-            "fabric.packets_lost",
-            "fabric.packets_duplicated",
-            "transport.retransmissions",
-            "transport.duplicates_dropped",
-            "transport.peers_stalled",
-        ] {
+        let mut series = vec!["fabric.packets_lost", "fabric.packets_duplicated"];
+        if strict_clean {
+            series.extend([
+                "transport.retransmissions",
+                "transport.duplicates_dropped",
+                "transport.peers_stalled",
+            ]);
+        }
+        for series in series {
             let v = c(series);
             check(v == 0, format!("{cell}: {series} = {v} on a clean fabric"));
         }
@@ -588,9 +925,9 @@ fn pingpong_paired_us(
         let md = b.md_bind(MdSpec::new(Region::zeroed(1))).unwrap();
         while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
             match b.eq_poll(eq_b, Duration::from_millis(10)) {
-                Ok(ev) if ev.kind == EventKind::Put => b
-                    .put(md, AckRequest::NoAck, a_id, 0, 0, MatchBits::ZERO, 0)
-                    .unwrap(),
+                Ok(ev) if ev.kind == EventKind::Put => {
+                    b.put_op(md).target(a_id, 0).submit().unwrap()
+                }
                 _ => continue,
             }
         }
@@ -600,8 +937,7 @@ fn pingpong_paired_us(
     let rtt = |n: usize| {
         let t0 = Instant::now();
         for _ in 0..n {
-            a.put(md, AckRequest::NoAck, b_id, 0, 0, MatchBits::ZERO, 0)
-                .unwrap();
+            a.put_op(md).target(b_id, 0).submit().unwrap();
             loop {
                 if a.eq_wait(eq_a).unwrap().kind == EventKind::Put {
                     break;

@@ -175,7 +175,10 @@ fn fig2_get_timing() {
         let iters = 300;
         let pull = || {
             initiator
-                .get(md, target.id(), 0, 0, MatchBits::ZERO, 0, size as u64)
+                .get_op(md)
+                .target(target.id(), 0)
+                .length(size as u64)
+                .submit()
                 .unwrap();
             loop {
                 if initiator.eq_wait(ieq).unwrap().kind == EventKind::Reply {
@@ -262,16 +265,30 @@ fn sec48_drop_reasons() {
     let bad_portal = limits.max_portal_table_size as u32;
     let bad_cookie = limits.max_access_control_entries as u32;
     initiator
-        .put(md, AckRequest::NoAck, tid, bad_portal, 0, bits, 0)
+        .put_op(md)
+        .target(tid, bad_portal)
+        .bits(bits)
+        .submit()
         .unwrap();
     initiator
-        .put(md, AckRequest::NoAck, tid, 0, bad_cookie, bits, 0)
+        .put_op(md)
+        .target(tid, 0)
+        .bits(bits)
+        .cookie(bad_cookie)
+        .submit()
         .unwrap();
     initiator
-        .put(md, AckRequest::NoAck, tid, 0, 2, bits, 0) // cookie 2 opens portal 5, not 0
+        .put_op(md)
+        .target(tid, 0)
+        .bits(bits)
+        .cookie(2)
+        .submit() // cookie 2 opens portal 5, not 0
         .unwrap();
     initiator
-        .put(md, AckRequest::NoAck, tid, 0, 0, MatchBits::new(41), 0)
+        .put_op(md)
+        .target(tid, 0)
+        .bits(MatchBits::new(41))
+        .submit()
         .unwrap();
 
     // Bypass-mode delivery is asynchronous; wait for all four rejections.
@@ -365,29 +382,19 @@ fn drop_attribution() {
         .md_bind(MdSpec::new(Region::from_vec(vec![3u8; 128])))
         .unwrap();
     for _ in 0..PUTS {
-        a.put(
-            md,
-            AckRequest::NoAck,
-            ProcessId::new(1, 1),
-            0,
-            0,
-            MatchBits::new(1),
-            0,
-        )
-        .unwrap();
+        a.put_op(md)
+            .target(ProcessId::new(1, 1), 0)
+            .bits(MatchBits::new(1))
+            .submit()
+            .unwrap();
     }
     // The deliberate §4.8 rejections: wrong match bits.
     for _ in 0..DOOMED {
-        a.put(
-            md,
-            AckRequest::NoAck,
-            ProcessId::new(1, 1),
-            0,
-            0,
-            MatchBits::new(9),
-            0,
-        )
-        .unwrap();
+        a.put_op(md)
+            .target(ProcessId::new(1, 1), 0)
+            .bits(MatchBits::new(9))
+            .submit()
+            .unwrap();
     }
 
     b.ct_wait(ct, PUTS as u64).unwrap();

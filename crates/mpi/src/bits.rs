@@ -13,57 +13,14 @@ use portals_types::{MatchBits, MatchCriteria};
 
 /// Communicator context id (16 bits).
 pub type Context = u16;
-/// MPI tag (user tags must stay below [`MAX_USER_TAG`]).
-pub type Tag = u32;
-
-/// Tags at or above this value are reserved for internal protocols
-/// (barrier rounds, collective plumbing).
-pub const MAX_USER_TAG: Tag = 1 << 30;
-
-/// First reserved offset granted to the collective library; barrier rounds
-/// occupy reserved offsets *below* this.
-pub const COLL_TAG_BASE_OFFSET: Tag = 0x100;
+/// The tag-space layout (`Tag`, `MAX_USER_TAG`, `COLL_TAG_BASE_OFFSET`) and
+/// the [`TagError`] it bounds are defined in `portals_types::error` (so the
+/// layered `ErrorKind` can wrap the error) and re-exported from this, their
+/// owning crate.
+pub use portals_types::{Tag, TagError, COLL_TAG_BASE_OFFSET, MAX_USER_TAG};
 /// Number of reserved offsets granted to the collective library, starting at
 /// [`COLL_TAG_BASE_OFFSET`].
 pub const COLL_TAG_SPAN: Tag = 0x10;
-
-/// A tag was structurally unusable — the typed alternative to silently
-/// matching (or colliding with) internal-protocol traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TagError {
-    /// A user operation named a tag in the reserved range.
-    ReservedTag {
-        /// The offending tag.
-        tag: Tag,
-    },
-    /// This world size needs more barrier-round tags than the reserved band
-    /// below [`COLL_TAG_BASE_OFFSET`] provides: rounds would collide with
-    /// collective-library tags.
-    ReservedOverflow {
-        /// World size that overflows the layout.
-        nranks: usize,
-    },
-}
-
-impl std::fmt::Display for TagError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TagError::ReservedTag { tag } => {
-                write!(
-                    f,
-                    "tag {tag} is reserved (user tags must be < {MAX_USER_TAG})"
-                )
-            }
-            TagError::ReservedOverflow { nranks } => write!(
-                f,
-                "{nranks} ranks need ≥ {COLL_TAG_BASE_OFFSET} barrier-round tags, \
-                 colliding with collective tags"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for TagError {}
 
 /// Reject user tags that would match internal-protocol traffic.
 #[inline]

@@ -63,6 +63,17 @@ struct Arrival {
     rlength: usize,
 }
 
+/// An in-flight put tracked for completion and, under flow control, re-issue
+/// when the target nacks it (its portal was flow-disabled).
+struct SendInfo {
+    /// The user request this put completes, or `None` for an RTS record —
+    /// its ack only confirms the announcement is buffered at the target.
+    id: Option<u64>,
+    dest: ProcessId,
+    match_bits: MatchBits,
+    portal: u32,
+}
+
 /// A rendezvous announcement waiting for its receive.
 struct RtsRecord {
     stamp: u64,
@@ -85,7 +96,7 @@ struct EngState {
     next_req: u64,
     next_serial: u64,
     next_stamp: u64,
-    sends: HashMap<MdHandle, u64>,
+    sends: HashMap<MdHandle, SendInfo>,
     send_done: HashMap<u64, (u64, u64)>,
     recvs: Vec<PostedRecv>,
     recv_done: HashMap<u64, Status>,
@@ -121,6 +132,13 @@ impl MpiEngine {
     /// overflow slabs and control portal.
     pub fn new(ni: NetworkInterface, config: MpiConfig) -> PtlResult<MpiEngine> {
         let eq = ni.eq_alloc(config.eq_capacity)?;
+        // Opt the two put-target portals into flow control: when slabs run
+        // out, senders are nacked and this engine gets a FlowCtrl event to
+        // re-post and resume, instead of messages silently dropping.
+        if ni.flow_control() {
+            ni.pt_flow_ctrl(PT_MSG, Some(eq))?;
+            ni.pt_flow_ctrl(PT_CTRL, Some(eq))?;
+        }
         let slab_me = ni.me_attach(
             PT_MSG,
             ProcessId::ANY,
@@ -282,33 +300,78 @@ impl MpiEngine {
                         ..Default::default()
                     }),
             )?;
-            st.sends.insert(md, id);
+            st.sends.insert(
+                md,
+                SendInfo {
+                    id: Some(id),
+                    dest,
+                    match_bits,
+                    portal: PT_RDVZ,
+                },
+            );
 
             let mut rts = Vec::with_capacity(RTS_SIZE);
             rts.extend_from_slice(&serial.to_le_bytes());
             rts.extend_from_slice(&(data.len() as u64).to_le_bytes());
-            // The RTS needs no completion tracking: put() snapshots the
-            // payload synchronously, so the MD can be unlinked immediately.
-            let rts_md = self.ni.md_bind(MdSpec::new(Region::from_vec(rts)))?;
-            self.ni.put(
-                rts_md,
-                AckRequest::NoAck,
-                dest,
-                PT_CTRL,
-                COOKIE,
-                match_bits,
-                0,
-            )?;
-            let _ = self.ni.md_unlink(rts_md);
+            if self.ni.flow_control() {
+                // The announcement must survive a flow-disabled control
+                // portal: request an ack so a nack can trigger re-issue, and
+                // keep the MD linked until the target confirms buffering.
+                let rts_md = self.ni.md_bind(
+                    MdSpec::new(Region::from_vec(rts))
+                        .with_eq(self.eq)
+                        .with_threshold(Threshold::Count(1)),
+                )?;
+                st.sends.insert(
+                    rts_md,
+                    SendInfo {
+                        id: None,
+                        dest,
+                        match_bits,
+                        portal: PT_CTRL,
+                    },
+                );
+                self.ni
+                    .put_op(rts_md)
+                    .target(dest, PT_CTRL)
+                    .bits(match_bits)
+                    .ack(AckRequest::Ack)
+                    .cookie(COOKIE)
+                    .submit()?;
+            } else {
+                // The RTS needs no completion tracking: put() snapshots the
+                // payload synchronously, so the MD can be unlinked immediately.
+                let rts_md = self.ni.md_bind(MdSpec::new(Region::from_vec(rts)))?;
+                self.ni
+                    .put_op(rts_md)
+                    .target(dest, PT_CTRL)
+                    .bits(match_bits)
+                    .cookie(COOKIE)
+                    .submit()?;
+                let _ = self.ni.md_unlink(rts_md);
+            }
         } else {
             let md = self.ni.md_bind(
                 MdSpec::new(data)
                     .with_eq(self.eq)
                     .with_threshold(Threshold::Count(1)),
             )?;
-            st.sends.insert(md, id);
+            st.sends.insert(
+                md,
+                SendInfo {
+                    id: Some(id),
+                    dest,
+                    match_bits,
+                    portal: PT_MSG,
+                },
+            );
             self.ni
-                .put(md, AckRequest::Ack, dest, PT_MSG, COOKIE, match_bits, 0)?;
+                .put_op(md)
+                .target(dest, PT_MSG)
+                .bits(match_bits)
+                .ack(AckRequest::Ack)
+                .cookie(COOKIE)
+                .submit()?;
         }
         Ok(Request {
             id,
@@ -502,15 +565,12 @@ impl MpiEngine {
             },
         );
         self.ni
-            .get(
-                md,
-                rts.sender,
-                PT_RDVZ,
-                COOKIE,
-                MatchBits::new(rts.serial),
-                0,
-                pull_len,
-            )
+            .get_op(md)
+            .target(rts.sender, PT_RDVZ)
+            .bits(MatchBits::new(rts.serial))
+            .cookie(COOKIE)
+            .length(pull_len)
+            .submit()
             .expect("rendezvous get");
     }
 
@@ -596,7 +656,8 @@ impl MpiEngine {
                 }
                 Err(PtlError::Timeout) | Err(PtlError::EqEmpty) => {}
                 Err(PtlError::EqDropped) => {
-                    panic!("MPI event queue overflowed — raise MpiConfig::eq_capacity")
+                    let mut st = self.state.lock();
+                    self.recover_dropped_events(&mut st);
                 }
                 Err(e) => panic!("event queue failure: {e}"),
             }
@@ -675,28 +736,53 @@ impl MpiEngine {
             match self.ni.eq_get(self.eq) {
                 Ok(ev) => self.handle_event(st, ev),
                 Err(PtlError::EqEmpty) => break,
-                Err(PtlError::EqDropped) => {
-                    panic!("MPI event queue overflowed — raise MpiConfig::eq_capacity")
-                }
+                Err(PtlError::EqDropped) => self.recover_dropped_events(st),
                 Err(e) => panic!("event queue failure: {e}"),
             }
         }
+    }
+
+    /// The MPI event queue lapped its consumer and unread events are gone.
+    /// Without flow control that is unrecoverable (a lost Put event is a lost
+    /// message) and the old behaviour — panic — stands. With flow control the
+    /// data path cannot have overwritten (the engine trips the portal before
+    /// pushing into a near-full queue), so the lost events are bookkeeping;
+    /// re-arm the resources they would have replenished and keep going.
+    fn recover_dropped_events(&self, st: &mut EngState) {
+        if !self.ni.flow_control() {
+            panic!("MPI event queue overflowed — raise MpiConfig::eq_capacity");
+        }
+        self.trace(Stage::Event, 0, "eq_dropped_recover");
+        self.attach_slab(st).expect("replenish slab after eq drop");
+        self.attach_ctrl_slab(st)
+            .expect("replenish control slab after eq drop");
+        let _ = self.ni.pt_enable(PT_MSG);
+        let _ = self.ni.pt_enable(PT_CTRL);
     }
 
     fn handle_event(&self, st: &mut EngState, ev: portals::Event) {
         match ev.kind {
             EventKind::Sent => {}
             EventKind::Ack => {
-                // Eager send completion: the target reports what it accepted.
-                if let Some(id) = st.sends.remove(&ev.md) {
-                    st.send_done.insert(id, (ev.mlength, ev.rlength));
+                if ev.mlength == portals::NACK_MLENGTH {
+                    // The target's portal is flow-disabled: nothing was
+                    // delivered, the message is still ours — re-issue.
+                    self.retry_send(st, ev.md);
+                } else if let Some(info) = st.sends.remove(&ev.md) {
+                    // Eager send (or RTS announcement) completion: the target
+                    // reports what it accepted.
+                    if let Some(id) = info.id {
+                        st.send_done.insert(id, (ev.mlength, ev.rlength));
+                    }
                     let _ = self.ni.md_unlink(ev.md);
                 }
             }
             EventKind::Get => {
                 // Rendezvous send completion: the receiver pulled the payload.
-                if let Some(id) = st.sends.remove(&ev.md) {
-                    st.send_done.insert(id, (ev.mlength, ev.rlength));
+                if let Some(info) = st.sends.remove(&ev.md) {
+                    if let Some(id) = info.id {
+                        st.send_done.insert(id, (ev.mlength, ev.rlength));
+                    }
                     // Exposed MD unlinks itself (threshold 1 + unlink flag).
                 }
             }
@@ -728,7 +814,46 @@ impl MpiEngine {
                     self.attach_ctrl_slab(st).expect("replenish control slab");
                 }
             }
+            EventKind::FlowCtrl => {
+                // A portal tripped: senders are being nacked and will retry.
+                // Re-post the exhausted resource, then resume. Each trip adds
+                // one slab of headroom, so sustained oversubscription grows
+                // buffering until the receiver keeps up.
+                self.trace(Stage::Event, 0, "flowctrl_resume");
+                match ev.portal_index {
+                    PT_MSG => self.attach_slab(st).expect("replenish slab after trip"),
+                    PT_CTRL => self
+                        .attach_ctrl_slab(st)
+                        .expect("replenish control slab after trip"),
+                    _ => {}
+                }
+                let _ = self.ni.pt_enable(ev.portal_index);
+            }
         }
+    }
+
+    /// Re-issue a nacked put. The nack guarantees the target delivered
+    /// nothing, so the MD still holds the complete message: restore its
+    /// single-use threshold and put again. The cycle repeats until the target
+    /// re-enables its portal and acks for real; the transport's credit window
+    /// paces the retries.
+    fn retry_send(&self, st: &mut EngState, md: MdHandle) {
+        let Some(info) = st.sends.get(&md) else {
+            return;
+        };
+        let (dest, bits, portal) = (info.dest, info.match_bits, info.portal);
+        self.trace(Stage::Retransmit, 0, "nack_retry");
+        let _ = self
+            .ni
+            .md_update(md, None, |m| m.threshold = Threshold::Count(1));
+        self.ni
+            .put_op(md)
+            .target(dest, portal)
+            .bits(bits)
+            .ack(AckRequest::Ack)
+            .cookie(COOKIE)
+            .submit()
+            .expect("nack retry re-put");
     }
 
     fn handle_put_event(&self, st: &mut EngState, ev: portals::Event) {

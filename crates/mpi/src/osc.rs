@@ -108,15 +108,13 @@ impl Window {
                 .with_eq(self.eq)
                 .with_threshold(Threshold::Count(1)),
         )?;
-        ni.put(
-            md,
-            AckRequest::Ack,
-            self.comm.process(target),
-            PT_OSC,
-            COOKIE,
-            window_bits(self.win_id),
-            offset,
-        )?;
+        ni.put_op(md)
+            .target(self.comm.process(target), PT_OSC)
+            .bits(window_bits(self.win_id))
+            .ack(AckRequest::Ack)
+            .cookie(COOKIE)
+            .offset(offset)
+            .submit()?;
         self.pending_puts += 1;
         Ok(())
     }
@@ -131,15 +129,13 @@ impl Window {
                 .with_eq(self.eq)
                 .with_threshold(Threshold::Count(1)),
         )?;
-        ni.get(
-            md,
-            self.comm.process(target),
-            PT_OSC,
-            COOKIE,
-            window_bits(self.win_id),
-            offset,
-            len as u64,
-        )?;
+        ni.get_op(md)
+            .target(self.comm.process(target), PT_OSC)
+            .bits(window_bits(self.win_id))
+            .cookie(COOKIE)
+            .offset(offset)
+            .length(len as u64)
+            .submit()?;
         self.pending_gets.insert(md, len);
 
         // Drain until this get's reply arrives (other completions are

@@ -33,28 +33,9 @@ impl fmt::Debug for Datagram {
     }
 }
 
-/// Errors from the receive calls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RecvError {
-    /// `try_recv` found nothing pending.
-    Empty,
-    /// `recv_timeout` expired.
-    Timeout,
-    /// The fabric has shut down.
-    Disconnected,
-}
-
-impl fmt::Display for RecvError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RecvError::Empty => f.write_str("no packet pending"),
-            RecvError::Timeout => f.write_str("receive timed out"),
-            RecvError::Disconnected => f.write_str("fabric shut down"),
-        }
-    }
-}
-
-impl std::error::Error for RecvError {}
+/// Errors from the receive calls. Defined in `portals_types::error` (so the
+/// layered `ErrorKind` can wrap it) and re-exported from its owning crate.
+pub use portals_types::RecvError;
 
 /// A network interface attached to a fabric.
 ///

@@ -83,15 +83,12 @@ impl FsClient {
         let req_md = self
             .ni
             .md_bind(MdSpec::new(Region::from_vec(req.encode())))?;
-        self.ni.put(
-            req_md,
-            AckRequest::NoAck,
-            self.server,
-            PT_FS_REQ,
-            0,
-            MatchBits::new(bits), // informational; the slab matches anything
-            0,
-        )?;
+        self.ni
+            .put_op(req_md)
+            .target(self.server, PT_FS_REQ)
+            // informational; the slab matches anything
+            .bits(MatchBits::new(bits))
+            .submit()?;
         let _ = self.ni.md_unlink(req_md);
 
         // Wait for the reply record.
@@ -179,15 +176,13 @@ impl FsClient {
                 .with_eq(self.eq)
                 .with_threshold(Threshold::Count(1)),
         )?;
-        self.ni.get(
-            md,
-            self.server,
-            PT_FS_DATA,
-            0,
-            MatchBits::new(grant.grant_bits),
-            offset,
-            grant.grant_len,
-        )?;
+        self.ni
+            .get_op(md)
+            .target(self.server, PT_FS_DATA)
+            .bits(MatchBits::new(grant.grant_bits))
+            .offset(offset)
+            .length(grant.grant_len)
+            .submit()?;
         self.wait_md_event(md, EventKind::Reply)?;
         let _ = self.ni.md_unlink(md);
         self.trace(Stage::Deliver, grant.grant_len, "read");
@@ -214,15 +209,13 @@ impl FsClient {
                 .with_eq(self.eq)
                 .with_threshold(Threshold::Count(1)),
         )?;
-        self.ni.put(
-            md,
-            AckRequest::Ack,
-            self.server,
-            PT_FS_DATA,
-            0,
-            MatchBits::new(grant.grant_bits),
-            offset,
-        )?;
+        self.ni
+            .put_op(md)
+            .target(self.server, PT_FS_DATA)
+            .bits(MatchBits::new(grant.grant_bits))
+            .ack(AckRequest::Ack)
+            .offset(offset)
+            .submit()?;
         self.wait_md_event(md, EventKind::Ack)?;
         let _ = self.ni.md_unlink(md);
         self.trace(Stage::Deliver, data.len() as u64, "write");

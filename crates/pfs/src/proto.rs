@@ -4,8 +4,6 @@
 //! (file contents) never appears in a record — it flows through one-sided
 //! grants (see the crate docs).
 
-use std::fmt;
-
 /// Portal indices used by the service (chosen clear of the MPI layer's 0–3).
 pub const PT_FS_REQ: u32 = 7;
 /// Client-side reply portal.
@@ -185,43 +183,10 @@ impl Reply {
     }
 }
 
-/// Client-visible errors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FsError {
-    /// No such file.
-    NotFound,
-    /// Access outside the file.
-    OutOfRange,
-    /// Server rejected the request.
-    Rejected,
-    /// Undecodable record.
-    Malformed,
-    /// No reply within the deadline.
-    Timeout,
-    /// Portals-level failure.
-    Portals(portals_types::PtlError),
-}
-
-impl fmt::Display for FsError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FsError::NotFound => f.write_str("file not found"),
-            FsError::OutOfRange => f.write_str("access out of range"),
-            FsError::Rejected => f.write_str("request rejected"),
-            FsError::Malformed => f.write_str("malformed record"),
-            FsError::Timeout => f.write_str("file server timed out"),
-            FsError::Portals(e) => write!(f, "portals error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for FsError {}
-
-impl From<portals_types::PtlError> for FsError {
-    fn from(e: portals_types::PtlError) -> FsError {
-        FsError::Portals(e)
-    }
-}
+/// Client-visible errors. Defined in `portals_types::error` (so the layered
+/// `ErrorKind` can wrap it, and so `From<PtlError>` lives beside both types)
+/// and re-exported from its owning crate.
+pub use portals_types::FsError;
 
 /// Result alias.
 pub type FsResult<T> = Result<T, FsError>;

@@ -2,9 +2,7 @@
 
 use crate::proto::{FileId, FsOp, FsStatus, Reply, Request, PT_FS_DATA, PT_FS_REQ, REQUEST_SIZE};
 use parking_lot::Mutex;
-use portals::{
-    AckRequest, EqHandle, EventKind, MdOptions, MdSpec, MePos, NetworkInterface, Region, Threshold,
-};
+use portals::{EqHandle, EventKind, MdOptions, MdSpec, MePos, NetworkInterface, Region, Threshold};
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -160,15 +158,12 @@ impl ServerShared {
             .md_bind(MdSpec::new(Region::from_vec(reply.encode())))
             .expect("bind reply md");
         // put() snapshots the payload synchronously; unlink immediately.
-        let _ = self.ni.put(
-            md,
-            AckRequest::NoAck,
-            to,
-            crate::proto::PT_FS_REP,
-            0,
-            MatchBits::new(bits),
-            0,
-        );
+        let _ = self
+            .ni
+            .put_op(md)
+            .target(to, crate::proto::PT_FS_REP)
+            .bits(MatchBits::new(bits))
+            .submit();
         let _ = self.ni.md_unlink(md);
     }
 

@@ -1,0 +1,198 @@
+//! Builders for the data-movement verbs.
+//!
+//! `PtlPut` and `PtlGet` are 7/8-argument calls; at that arity every call
+//! site is a positional-argument puzzle (swap `cookie` and `portal_index` and
+//! nothing but the ACL notices). [`PutBuilder`] and [`GetBuilder`] name each
+//! argument and default the optional ones, so a put reads as what it is:
+//!
+//! ```
+//! # use portals::{Node, NiConfig, MdSpec, Region, AckRequest, MePos};
+//! # use portals_net::Fabric;
+//! # use portals_types::{MatchCriteria, MatchBits, NodeId, ProcessId};
+//! # let fabric = Fabric::ideal();
+//! # let sender_node = Node::new(fabric.attach(NodeId(0)), Default::default());
+//! # let target_node = Node::new(fabric.attach(NodeId(1)), Default::default());
+//! # let sender = sender_node.create_ni(1, NiConfig::default()).unwrap();
+//! # let target = target_node.create_ni(1, NiConfig::default()).unwrap();
+//! # let eq = target.eq_alloc(16).unwrap();
+//! # let me = target
+//! #     .me_attach(4, ProcessId::ANY, MatchCriteria::exact(MatchBits::new(42)), false, MePos::Back)
+//! #     .unwrap();
+//! # let buf = Region::zeroed(1024);
+//! # target.md_attach(me, MdSpec::new(buf.clone()).with_eq(eq)).unwrap();
+//! # let src = Region::from_vec(b"hello".to_vec());
+//! # let md = sender.md_bind(MdSpec::new(src)).unwrap();
+//! sender
+//!     .put_op(md)
+//!     .target(ProcessId::new(1, 1), 4)
+//!     .bits(MatchBits::new(42))
+//!     .submit()
+//!     .unwrap();
+//! # target.eq_wait(eq).unwrap();
+//! ```
+//!
+//! The builders are thin: [`PutBuilder::submit`]/[`GetBuilder::submit`] call
+//! the same internal paths the legacy arity calls did, so behaviour (events,
+//! counters, error codes) is identical. The target — and, for gets, the
+//! length — has no safe default and must be set before `submit`, which
+//! returns [`PtlError::InvalidArgument`] otherwise.
+
+use crate::ni::{do_get, do_put, AckRequest, NetworkInterface};
+use crate::MdHandle;
+use portals_types::{MatchBits, ProcessId, PtlError, PtlResult};
+
+/// A put under construction (see [`NetworkInterface::put_op`]).
+///
+/// Defaults: no ack, cookie 0 (the "same application" ACL entry), match bits
+/// zero, remote offset 0.
+#[must_use = "a put builder does nothing until .submit()"]
+pub struct PutBuilder<'a> {
+    ni: &'a NetworkInterface,
+    md: MdHandle,
+    ack: AckRequest,
+    target: Option<(ProcessId, u32)>,
+    cookie: u32,
+    match_bits: MatchBits,
+    remote_offset: u64,
+}
+
+impl<'a> PutBuilder<'a> {
+    pub(crate) fn new(ni: &'a NetworkInterface, md: MdHandle) -> PutBuilder<'a> {
+        PutBuilder {
+            ni,
+            md,
+            ack: AckRequest::NoAck,
+            target: None,
+            cookie: 0,
+            match_bits: MatchBits::ZERO,
+            remote_offset: 0,
+        }
+    }
+
+    /// The destination process and portal index. Required.
+    pub fn target(mut self, target: ProcessId, portal_index: u32) -> Self {
+        self.target = Some((target, portal_index));
+        self
+    }
+
+    /// Match bits the target's match list is probed with. Default zero.
+    pub fn bits(mut self, match_bits: MatchBits) -> Self {
+        self.match_bits = match_bits;
+        self
+    }
+
+    /// Request (or decline) a delivery acknowledgment. Default no ack.
+    pub fn ack(mut self, ack: AckRequest) -> Self {
+        self.ack = ack;
+        self
+    }
+
+    /// ACL cookie (§4.5). Default 0, the "same application" entry.
+    pub fn cookie(mut self, cookie: u32) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Offset within the target's memory region. Default 0 (ignored when the
+    /// target descriptor manages its own local offset).
+    pub fn offset(mut self, remote_offset: u64) -> Self {
+        self.remote_offset = remote_offset;
+        self
+    }
+
+    /// Initiate the put (spec: `PtlPut`). Logs a `Sent` event to the MD's
+    /// queue, and later an `Ack` event if an ack was requested and the target
+    /// accepted.
+    pub fn submit(self) -> PtlResult<()> {
+        let (target, portal_index) = self.target.ok_or(PtlError::InvalidArgument)?;
+        do_put(
+            &self.ni.core,
+            &self.ni.node,
+            self.md,
+            self.ack,
+            target,
+            portal_index,
+            self.cookie,
+            self.match_bits,
+            self.remote_offset,
+        )
+    }
+}
+
+/// A get under construction (see [`NetworkInterface::get_op`]).
+///
+/// Defaults: cookie 0, match bits zero, remote offset 0. The target and the
+/// length are required.
+#[must_use = "a get builder does nothing until .submit()"]
+pub struct GetBuilder<'a> {
+    ni: &'a NetworkInterface,
+    md: MdHandle,
+    target: Option<(ProcessId, u32)>,
+    cookie: u32,
+    match_bits: MatchBits,
+    remote_offset: u64,
+    length: Option<u64>,
+}
+
+impl<'a> GetBuilder<'a> {
+    pub(crate) fn new(ni: &'a NetworkInterface, md: MdHandle) -> GetBuilder<'a> {
+        GetBuilder {
+            ni,
+            md,
+            target: None,
+            cookie: 0,
+            match_bits: MatchBits::ZERO,
+            remote_offset: 0,
+            length: None,
+        }
+    }
+
+    /// The process and portal index to read from. Required.
+    pub fn target(mut self, target: ProcessId, portal_index: u32) -> Self {
+        self.target = Some((target, portal_index));
+        self
+    }
+
+    /// Match bits the target's match list is probed with. Default zero.
+    pub fn bits(mut self, match_bits: MatchBits) -> Self {
+        self.match_bits = match_bits;
+        self
+    }
+
+    /// ACL cookie (§4.5). Default 0, the "same application" entry.
+    pub fn cookie(mut self, cookie: u32) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Offset within the target's memory region to read from. Default 0.
+    pub fn offset(mut self, remote_offset: u64) -> Self {
+        self.remote_offset = remote_offset;
+        self
+    }
+
+    /// Number of bytes to read. Required (the target may truncate).
+    pub fn length(mut self, length: u64) -> Self {
+        self.length = Some(length);
+        self
+    }
+
+    /// Initiate the get (spec: `PtlGet`); the reply lands at the start of
+    /// this MD's region. The MD stays pinned ([`PtlError::MdInUse`]) until
+    /// the reply arrives.
+    pub fn submit(self) -> PtlResult<()> {
+        let (target, portal_index) = self.target.ok_or(PtlError::InvalidArgument)?;
+        let length = self.length.ok_or(PtlError::InvalidArgument)?;
+        do_get(
+            &self.ni.core,
+            &self.ni.node,
+            self.md,
+            target,
+            portal_index,
+            self.cookie,
+            self.match_bits,
+            self.remote_offset,
+            length,
+        )
+    }
+}

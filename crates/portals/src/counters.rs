@@ -33,11 +33,15 @@ pub enum DropReason {
     ReplyMdMissing,
     /// Reply whose event queue "has no space and is not null".
     ReplyEqFull,
+    /// Request addressed to a portal index that flow control has disabled
+    /// (extension: Portals 4 lineage, `PTL_EVENT_PT_DISABLED`). Under flow
+    /// control the initiator is nacked instead of silently losing the message.
+    PtDisabled,
 }
 
 impl DropReason {
     /// All reasons, for iteration in reports.
-    pub const ALL: [DropReason; 8] = [
+    pub const ALL: [DropReason; 9] = [
         DropReason::InvalidPortalIndex,
         DropReason::InvalidAcIndex,
         DropReason::AclProcessMismatch,
@@ -46,6 +50,7 @@ impl DropReason {
         DropReason::AckEqMissing,
         DropReason::ReplyMdMissing,
         DropReason::ReplyEqFull,
+        DropReason::PtDisabled,
     ];
 
     fn index(self) -> usize {
@@ -58,6 +63,7 @@ impl DropReason {
             DropReason::AckEqMissing => 5,
             DropReason::ReplyMdMissing => 6,
             DropReason::ReplyEqFull => 7,
+            DropReason::PtDisabled => 8,
         }
     }
 
@@ -72,6 +78,7 @@ impl DropReason {
             DropReason::AckEqMissing => "ack event queue missing",
             DropReason::ReplyMdMissing => "reply descriptor missing",
             DropReason::ReplyEqFull => "reply event queue full",
+            DropReason::PtDisabled => "portal disabled by flow control",
         }
     }
 
@@ -86,6 +93,7 @@ impl DropReason {
             DropReason::AckEqMissing => "ack_eq_missing",
             DropReason::ReplyMdMissing => "reply_md_missing",
             DropReason::ReplyEqFull => "reply_eq_full",
+            DropReason::PtDisabled => "pt_disabled",
         }
     }
 }
@@ -103,7 +111,7 @@ impl std::fmt::Display for DropReason {
 /// standalone use.
 #[derive(Debug)]
 pub struct NiCounters {
-    drops: [Counter; 8],
+    drops: [Counter; 9],
     /// Put/get requests successfully translated and performed.
     pub requests_accepted: Counter,
     /// Acks successfully logged.
@@ -184,7 +192,7 @@ impl NiCounters {
 
     /// Plain-data snapshot.
     pub fn snapshot(&self) -> NiCountersSnapshot {
-        let mut drops = [0u64; 8];
+        let mut drops = [0u64; 9];
         for (i, c) in self.drops.iter().enumerate() {
             drops[i] = c.get();
         }
@@ -214,7 +222,7 @@ impl Default for NiCounters {
 /// Plain-data snapshot of [`NiCounters`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NiCountersSnapshot {
-    drops: [u64; 8],
+    drops: [u64; 9],
     /// Put/get requests successfully translated and performed.
     pub requests_accepted: u64,
     /// Acks successfully logged.
@@ -261,8 +269,8 @@ impl NiCountersSnapshot {
     }
 
     /// The full per-reason breakdown, in [`DropReason::ALL`] order.
-    pub fn dropped_by_reason(&self) -> [(DropReason, u64); 8] {
-        let mut out = [(DropReason::InvalidPortalIndex, 0u64); 8];
+    pub fn dropped_by_reason(&self) -> [(DropReason, u64); 9] {
+        let mut out = [(DropReason::InvalidPortalIndex, 0u64); 9];
         for (slot, reason) in out.iter_mut().zip(DropReason::ALL) {
             *slot = (reason, self.dropped(reason));
         }
@@ -294,7 +302,7 @@ mod tests {
         }
         c.requests_accepted.add(5);
         let snap = c.snapshot();
-        assert_eq!(snap.dropped_total(), 8);
+        assert_eq!(snap.dropped_total(), 9);
         for reason in DropReason::ALL {
             assert_eq!(snap.dropped(reason), 1);
         }
@@ -307,7 +315,7 @@ mod tests {
         for r in DropReason::ALL {
             assert!(seen.insert(r.index()));
         }
-        assert_eq!(seen.len(), 8);
+        assert_eq!(seen.len(), 9);
     }
 
     #[test]

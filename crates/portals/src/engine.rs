@@ -30,14 +30,15 @@
 use crate::counters::DropReason;
 use crate::event::{Event, EventKind};
 use crate::md::{MdVerdict, ReqOp};
-use crate::ni::{send_message, NiClass, NiCore, NiState};
+use crate::ni::{send_message, NiClass, NiCore, NiState, NACK_MLENGTH};
 use crate::node::NodeShared;
 use crate::table::{FastPath, MatchList};
 use crate::{EqHandle, MdHandle, MeHandle};
 use portals_obs::{Layer, Stage, TraceEvent};
 use portals_types::{Gather, Handle, MatchBits, ProcessId};
 use portals_wire::{
-    Ack, GetRequest, PortalsMessage, PutRequest, Reply, ResponseHeader, RAW_HANDLE_NONE,
+    Ack, GetRequest, PortalsMessage, PutRequest, Reply, RequestHeader, ResponseHeader,
+    RAW_HANDLE_NONE,
 };
 
 /// A successful Fig. 4 translation.
@@ -227,6 +228,56 @@ fn push_event(core: &NiCore, eq: Option<EqHandle>, event: Event) {
     }
 }
 
+/// Latch `portal_index` disabled (exactly once per trip, however many
+/// deliveries race) and tell the owner by pushing [`EventKind::FlowCtrl`] to
+/// the portal's registered flow event queue. Called with the portal's list
+/// lock held, which is what serializes the trip against `pt_disable`'s
+/// quiescence guarantee.
+fn trip_flow_control(core: &NiCore, h: &RequestHeader) {
+    if core.state.table.try_disable(h.portal_index) {
+        let flow_eq = core.state.table.flow_eq(h.portal_index);
+        push_event(
+            core,
+            flow_eq,
+            Event {
+                kind: EventKind::FlowCtrl,
+                initiator: h.initiator,
+                portal_index: h.portal_index,
+                match_bits: h.match_bits,
+                rlength: h.length,
+                mlength: 0,
+                offset: 0,
+                md: Handle::NONE,
+            },
+        );
+    }
+}
+
+/// Drop a put addressed to a flow-disabled portal and, if the initiator asked
+/// for an ack, answer with a *nack* (`manipulated_length == NACK_MLENGTH`) so
+/// the sender re-issues instead of losing the message. Call with the portal's
+/// list lock already released.
+fn nack_put(core: &NiCore, node: &NodeShared, put: &PutRequest) {
+    drop_msg(core, DropReason::PtDisabled);
+    if put.wants_ack() {
+        let h = put.header;
+        let nack = PortalsMessage::Ack(Ack {
+            header: ResponseHeader {
+                initiator: h.target, // swapped (§4.7)
+                target: h.initiator,
+                portal_index: h.portal_index,
+                match_bits: h.match_bits,
+                offset: 0,
+                md_handle: put.ack_md,
+                eq_handle: put.ack_eq,
+                requested_length: h.length,
+                manipulated_length: NACK_MLENGTH,
+            },
+        });
+        send_message(core, node, h.initiator.nid, &nack);
+    }
+}
+
 /// Entry point: apply §4.8 to one incoming message for `core`.
 pub(crate) fn deliver(core: &NiCore, node: &NodeShared, msg: PortalsMessage) {
     match msg {
@@ -248,6 +299,14 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
         drop_msg(core, DropReason::InvalidPortalIndex);
         return;
     };
+    // Flow control is armed for this delivery when the interface switch is on
+    // *and* the owner registered a flow EQ for the portal (opt-in per index).
+    let flow_armed = core.config.flow_control && state.table.flow_eq(h.portal_index).is_some();
+    if !state.table.is_enabled(h.portal_index) {
+        drop(list);
+        nack_put(core, node, &put);
+        return;
+    }
     if let Err(r) = state
         .acl
         .read()
@@ -268,10 +327,33 @@ fn handle_put(core: &NiCore, node: &NodeShared, put: PutRequest) {
     ) {
         Ok(a) => a,
         Err(reason) => {
-            drop_msg(core, reason);
+            // An exhausted match list on a flow-controlled portal is the
+            // resource-exhaustion signal (the MPI layer's unexpected-message
+            // blocks ran out): trip instead of silently dropping.
+            if flow_armed && reason == DropReason::NoMatch {
+                trip_flow_control(core, &h);
+                drop(list);
+                nack_put(core, node, &put);
+            } else {
+                drop_msg(core, reason);
+            }
             return;
         }
     };
+    // §4.8 validates before delivery side effects: if the accepted MD's event
+    // queue cannot take this put's event (plus one slot of headroom so the
+    // consumer still sees completions while tripping), disable the portal
+    // *before* any data moves, so nothing is half-delivered.
+    if flow_armed {
+        let md_eq = state.mds.with(accepted.md, |md| md.eq).flatten();
+        let room = md_eq.map(|eqh| state.eqs.with(eqh, |q| q.has_room_for(2)));
+        if room == Some(Some(false)) {
+            trip_flow_control(core, &h);
+            drop(list);
+            nack_put(core, node, &put);
+            return;
+        }
+    }
     core.obs.tracer.emit(|| {
         TraceEvent::new(Layer::Portals, Stage::Match)
             .node(core.id.nid.0)
@@ -354,6 +436,14 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
         drop_msg(core, DropReason::InvalidPortalIndex);
         return;
     };
+    // A get to a flow-disabled portal is dropped like any other §4.8 drop of
+    // a get (no payload to lose, no nack channel on the reply path). The MPI
+    // layer only flow-controls its put-target portals, so this path is never
+    // taken end-to-end there.
+    if !state.table.is_enabled(h.portal_index) {
+        drop_msg(core, DropReason::PtDisabled);
+        return;
+    }
     if let Err(r) = state
         .acl
         .read()
@@ -508,6 +598,18 @@ fn handle_reply(core: &NiCore, node: &NodeShared, reply: Reply) {
     let ct = md.ct;
     if let Some(eqh) = eq {
         if state.eqs.with(eqh, |queue| queue.is_full()) == Some(true) {
+            // The reply is lost but the get it answers is over: settle the
+            // descriptor's pending-operation pin (and any deferred unlink)
+            // exactly as the success path would, or the MD stays pinned
+            // forever and every later `md_unlink` reports `MdInUse`.
+            let unlink = {
+                let md = shard.get_mut(local).expect("resolved above");
+                md.pending_ops = md.pending_ops.saturating_sub(1);
+                md.options.unlink_on_exhaustion && !md.threshold.active() && md.pending_ops == 0
+            };
+            if unlink {
+                shard.remove(local);
+            }
             drop_msg(core, DropReason::ReplyEqFull);
             return;
         }

@@ -35,6 +35,11 @@ pub enum EventKind {
     /// Portals 3.0 signalled this implicitly; later revisions added the event,
     /// and the MPI layer uses it to recycle unexpected-message blocks.)
     Unlink,
+    /// Flow control disabled a portal table entry after resource exhaustion
+    /// (extension: Portals 4 lineage, `PTL_EVENT_PT_DISABLED`). Delivered to
+    /// the flow-control event queue registered for the portal index; the owner
+    /// must drain, re-post resources, and call `pt_enable` to resume.
+    FlowCtrl,
 }
 
 impl EventKind {
@@ -47,6 +52,7 @@ impl EventKind {
             EventKind::Ack => "ack",
             EventKind::Sent => "sent",
             EventKind::Unlink => "unlink",
+            EventKind::FlowCtrl => "flowctrl",
         }
     }
 }
@@ -142,6 +148,16 @@ impl EventQueue {
     pub fn is_full(&self) -> bool {
         let ring = self.inner.ring.lock();
         ring.write - ring.read >= ring.slots.len() as u64
+    }
+
+    /// True if `n` more pushes would all land without overwriting an unread
+    /// event. Flow control uses this *before* moving data (§4.8 validates
+    /// before delivery side effects) so a full queue trips the portal instead
+    /// of silently losing events.
+    pub fn has_room_for(&self, n: usize) -> bool {
+        let ring = self.inner.ring.lock();
+        let used = ring.write - ring.read;
+        used + n as u64 <= ring.slots.len() as u64
     }
 
     /// Producer push. Never blocks; overwrites the oldest unread event when
@@ -297,6 +313,22 @@ mod tests {
         assert!(eq.is_full());
         eq.try_get().unwrap();
         assert!(!eq.is_full());
+    }
+
+    #[test]
+    fn has_room_for_counts_free_slots() {
+        let eq = EventQueue::new(3);
+        assert!(eq.has_room_for(3));
+        assert!(!eq.has_room_for(4));
+        eq.push(ev(0));
+        assert!(eq.has_room_for(2));
+        assert!(!eq.has_room_for(3));
+        eq.push(ev(1));
+        eq.push(ev(2));
+        assert!(eq.has_room_for(0));
+        assert!(!eq.has_room_for(1));
+        eq.try_get().unwrap();
+        assert!(eq.has_room_for(1));
     }
 
     #[test]

@@ -34,6 +34,10 @@
 //!
 //! # Quick start
 //!
+//! Applications should import through [`prelude`] — the one sanctioned
+//! surface covering construction, builders, specs, events, handles, and the
+//! layered [`ErrorKind`]:
+//!
 //! ```
 //! use portals::{Node, NiConfig, MdSpec, Region, AckRequest, MePos};
 //! use portals_net::{Fabric, FabricConfig};
@@ -57,7 +61,11 @@
 //! let src = Region::from_vec(b"hello, portals".to_vec());
 //! let md = sender.md_bind(MdSpec::new(src)).unwrap();
 //! sender
-//!     .put(md, AckRequest::NoAck, ProcessId::new(1, 1), 4, 0, MatchBits::new(42), 0)
+//!     .put_op(md)
+//!     .target(ProcessId::new(1, 1), 4)
+//!     .bits(MatchBits::new(42))
+//!     .ack(AckRequest::NoAck)
+//!     .submit()
 //!     .unwrap();
 //!
 //! let ev = target.eq_wait(eq).unwrap();
@@ -69,6 +77,7 @@
 
 pub mod acl;
 pub mod bench_support;
+pub mod builder;
 pub mod counters;
 pub mod ct;
 pub mod engine;
@@ -77,18 +86,20 @@ pub mod md;
 pub mod me;
 pub mod ni;
 pub mod node;
+pub mod prelude;
 pub mod table;
 pub mod triggered;
 
 pub use acl::{AcEntry, AcMatch, AccessControlList, PortalMatch};
+pub use builder::{GetBuilder, PutBuilder};
 pub use counters::{DropReason, NiCounters, NiCountersSnapshot};
 pub use ct::{CountingEvent, CtValue};
 pub use event::{Event, EventKind, EventQueue};
 pub use md::{CombineOp, Md, MdMemory, MdOptions, MdSpec, MdVerdict, ReqOp, Segment, Threshold};
 pub use me::MatchEntry;
-pub use ni::{AckRequest, NetworkInterface, NiConfig, ProgressModel};
+pub use ni::{AckRequest, NetworkInterface, NiConfig, ProgressModel, NACK_MLENGTH};
 pub use node::{Node, NodeConfig, ProcessDirectory};
-pub use portals_types::{Gather, Region};
+pub use portals_types::{ErrorKind, Gather, Region};
 pub use table::MePos;
 pub use triggered::TriggeredOp;
 

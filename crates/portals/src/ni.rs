@@ -36,6 +36,7 @@
 //! exactly the lock the engine holds for the whole of a put/get delivery.
 
 use crate::acl::{AcEntry, AccessControlList, AclReject, InitiatorClass};
+use crate::builder::{GetBuilder, PutBuilder};
 use crate::counters::{DropReason, NiCounters, NiCountersSnapshot};
 use crate::ct::{CountingEvent, CtValue};
 use crate::engine;
@@ -86,6 +87,14 @@ pub struct NiConfig {
     /// kept as a runtime ablation so the copy count is measurable in one
     /// binary via [`NiCountersSnapshot::copies_per_message`].
     pub region_buffers: bool,
+    /// Per-portal flow control (extension: Portals 4 `PTL_PT_FLOWCTRL`
+    /// lineage). When on, a portal with a registered flow event queue
+    /// ([`NetworkInterface::pt_flow_ctrl`]) auto-disables on resource
+    /// exhaustion instead of silently dropping: deliveries are nacked back to
+    /// the initiator and a [`EventKind::FlowCtrl`] event tells the owner to
+    /// drain, re-post, and [`NetworkInterface::pt_enable`]. Off, the §4.8
+    /// drop-and-count behaviour is preserved exactly.
+    pub flow_control: bool,
 }
 
 impl Default for NiConfig {
@@ -96,9 +105,17 @@ impl Default for NiConfig {
             job: 0,
             match_index: true,
             region_buffers: true,
+            flow_control: true,
         }
     }
 }
+
+/// The `manipulated_length` a nack carries. A flow-controlled target that
+/// rejects a put answers the requested ack with this marker instead of a byte
+/// count, so the initiator knows to re-issue rather than count the message
+/// delivered. Unambiguous: real manipulated lengths are bounded by
+/// `max_message_size`, which is far below `u64::MAX`.
+pub const NACK_MLENGTH: u64 = u64::MAX;
 
 /// Whether a put requests an acknowledgment (§4.7: "A process can also signify
 /// that no acknowledgment is requested by using a special flag").
@@ -243,6 +260,13 @@ impl NetworkInterface {
     /// The progress model.
     pub fn progress_model(&self) -> ProgressModel {
         self.core.config.progress
+    }
+
+    /// Whether per-portal flow control is switched on for this interface
+    /// ([`NiConfig::flow_control`]). Upper layers consult this to decide
+    /// between the nack/recover protocol and the legacy drop-and-count path.
+    pub fn flow_control(&self) -> bool {
+        self.core.config.flow_control
     }
 
     /// Interface counters, including the §4.8 dropped-message counts.
@@ -568,12 +592,89 @@ impl NetworkInterface {
         }
     }
 
+    // ----- portal flow control ----------------------------------------------
+
+    /// Register (or clear, with `None`) the event queue that receives
+    /// [`EventKind::FlowCtrl`] when flow control trips `portal_index`
+    /// (extension: Portals 4 `PTL_PT_FLOWCTRL` lineage). Registering an EQ
+    /// opts the portal into auto-disable; the interface-level
+    /// [`NiConfig::flow_control`] switch must also be on for trips to fire.
+    pub fn pt_flow_ctrl(&self, portal_index: u32, eq: Option<EqHandle>) -> PtlResult<()> {
+        if let Some(eqh) = eq {
+            // Validate the handle up front so a dangling EQ surfaces here,
+            // not silently at trip time.
+            if self.core.state.eqs.with(eqh, |_| ()).is_none() {
+                return Err(PtlError::InvalidEq);
+            }
+        }
+        if self.core.state.table.set_flow_eq(portal_index, eq) {
+            Ok(())
+        } else {
+            Err(PtlError::InvalidPortalIndex)
+        }
+    }
+
+    /// Re-enable a portal after draining and re-posting resources (spec
+    /// lineage: `PtlPTEnable`). Idempotent.
+    pub fn pt_enable(&self, portal_index: u32) -> PtlResult<()> {
+        if (portal_index as usize) < self.core.state.table.size() {
+            self.core.state.table.enable(portal_index);
+            Ok(())
+        } else {
+            Err(PtlError::InvalidPortalIndex)
+        }
+    }
+
+    /// Disable a portal so subsequent deliveries are rejected (spec lineage:
+    /// `PtlPTDisable`). Takes the portal's list lock, so returning guarantees
+    /// no delivery is mid-flight on this portal.
+    pub fn pt_disable(&self, portal_index: u32) -> PtlResult<()> {
+        let guard = self
+            .core
+            .state
+            .table
+            .lock(portal_index)
+            .ok_or(PtlError::InvalidPortalIndex)?;
+        self.core.state.table.try_disable(portal_index);
+        drop(guard);
+        Ok(())
+    }
+
+    /// Whether `portal_index` currently accepts requests.
+    pub fn pt_is_enabled(&self, portal_index: u32) -> PtlResult<bool> {
+        if (portal_index as usize) < self.core.state.table.size() {
+            Ok(self.core.state.table.is_enabled(portal_index))
+        } else {
+            Err(PtlError::InvalidPortalIndex)
+        }
+    }
+
     // ----- data movement ----------------------------------------------------
+
+    /// Start building a put of this MD's region: name the target, bits and
+    /// options fluently, then [`PutBuilder::submit`]. This is the sanctioned
+    /// spelling of `PtlPut`; the positional [`NetworkInterface::put`] arity
+    /// is deprecated.
+    pub fn put_op(&self, md: MdHandle) -> PutBuilder<'_> {
+        PutBuilder::new(self, md)
+    }
+
+    /// Start building a get into this MD's region: name the target, bits,
+    /// offset and length fluently, then [`GetBuilder::submit`]. This is the
+    /// sanctioned spelling of `PtlGet`; the positional
+    /// [`NetworkInterface::get`] arity is deprecated.
+    pub fn get_op(&self, md: MdHandle) -> GetBuilder<'_> {
+        GetBuilder::new(self, md)
+    }
 
     /// Initiate a put (send): transmit the MD's region to
     /// `(target, portal_index)` with `match_bits` at `remote_offset`
     /// (spec: `PtlPut`). Logs a `Sent` event to the MD's queue, and later an
     /// `Ack` event if `ack` was requested and the target accepted.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `put_op(md).target(..).bits(..).ack(..).offset(..).submit()`"
+    )]
     #[allow(clippy::too_many_arguments)] // mirrors PtlPut's arity
     pub fn put(
         &self,
@@ -602,6 +703,10 @@ impl NetworkInterface {
     /// at `remote_offset`; the reply lands at the start of this MD's region
     /// (spec: `PtlGet`). The MD stays pinned ([`PtlError::MdInUse`]) until the
     /// reply arrives.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `get_op(md).target(..).bits(..).offset(..).length(..).submit()`"
+    )]
     #[allow(clippy::too_many_arguments)] // mirrors PtlGet's arity
     pub fn get(
         &self,

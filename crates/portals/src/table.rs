@@ -35,9 +35,10 @@
 //! anchor lookups are O(log n) instead of the former O(n) scan (ranks are
 //! renumbered in the rare case a gap is exhausted).
 
-use crate::MeHandle;
+use crate::{EqHandle, MeHandle};
 use portals_types::{MatchBits, MatchCriteria, ProcessId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Where to insert a match entry relative to the existing list (spec:
 /// `PTL_INS_BEFORE` / `PTL_INS_AFTER` on `PtlMEAttach`/`PtlMEInsert`).
@@ -269,6 +270,26 @@ impl MatchList {
 #[derive(Debug)]
 pub struct PortalTable {
     lists: Vec<parking_lot::Mutex<MatchList>>,
+    states: Vec<PtState>,
+}
+
+/// Per-portal flow-control state (extension: Portals 4 `PTL_PT_FLOWCTRL`
+/// lineage). A portal starts enabled; when the engine detects resource
+/// exhaustion on a flow-controlled portal it latches `enabled` to false
+/// exactly once and posts a `FlowCtrl` event to `flow_eq`.
+#[derive(Debug)]
+struct PtState {
+    enabled: AtomicBool,
+    flow_eq: parking_lot::Mutex<Option<EqHandle>>,
+}
+
+impl Default for PtState {
+    fn default() -> PtState {
+        PtState {
+            enabled: AtomicBool::new(true),
+            flow_eq: parking_lot::Mutex::new(None),
+        }
+    }
 }
 
 impl PortalTable {
@@ -276,6 +297,7 @@ impl PortalTable {
     pub fn new(size: usize) -> PortalTable {
         PortalTable {
             lists: (0..size).map(|_| Default::default()).collect(),
+            states: (0..size).map(|_| Default::default()).collect(),
         }
     }
 
@@ -295,6 +317,54 @@ impl PortalTable {
     /// across the whole receive path).
     pub fn lock_all(&self) -> Vec<parking_lot::MutexGuard<'_, MatchList>> {
         self.lists.iter().map(|m| m.lock()).collect()
+    }
+
+    /// True if the portal accepts requests (out-of-range indices are handled
+    /// separately by `lock`; they report enabled here so the §4.8
+    /// invalid-index drop reason wins).
+    pub fn is_enabled(&self, index: u32) -> bool {
+        self.states
+            .get(index as usize)
+            .is_none_or(|s| s.enabled.load(Ordering::Acquire))
+    }
+
+    /// Re-enable a portal after the owner drained and re-posted resources
+    /// (spec lineage: `PtlPTEnable`). Idempotent.
+    pub fn enable(&self, index: u32) {
+        if let Some(s) = self.states.get(index as usize) {
+            s.enabled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Latch the portal disabled. Returns true only for the caller that
+    /// performed the enabled→disabled transition, so the `FlowCtrl` event
+    /// fires exactly once per trip even when deliveries race.
+    pub fn try_disable(&self, index: u32) -> bool {
+        self.states.get(index as usize).is_some_and(|s| {
+            s.enabled
+                .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        })
+    }
+
+    /// The event queue flow-control trips on this portal are reported to.
+    pub fn flow_eq(&self, index: u32) -> Option<EqHandle> {
+        self.states
+            .get(index as usize)
+            .and_then(|s| *s.flow_eq.lock())
+    }
+
+    /// Register (or clear, with `None`) the flow-control event queue for a
+    /// portal. Registering opts the portal into flow control; returns false
+    /// if the index is out of range.
+    pub fn set_flow_eq(&self, index: u32, eq: Option<EqHandle>) -> bool {
+        match self.states.get(index as usize) {
+            Some(s) => {
+                *s.flow_eq.lock() = eq;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -316,6 +386,37 @@ mod tests {
     /// Insert with wildcard criteria (not indexable).
     fn put_any(list: &mut MatchList, me: MeHandle, pos: MePos) -> bool {
         list.insert(me, pos, ANY_SRC, MatchCriteria::any())
+    }
+
+    #[test]
+    fn pt_state_disable_latches_exactly_once() {
+        let table = PortalTable::new(4);
+        assert!(table.is_enabled(2));
+        // First disabler wins the latch; racers observe false.
+        assert!(table.try_disable(2));
+        assert!(!table.try_disable(2));
+        assert!(!table.is_enabled(2));
+        // Other portals are unaffected.
+        assert!(table.is_enabled(0));
+        table.enable(2);
+        assert!(table.is_enabled(2));
+        assert!(table.try_disable(2));
+    }
+
+    #[test]
+    fn pt_state_flow_eq_registration() {
+        let table = PortalTable::new(2);
+        assert_eq!(table.flow_eq(0), None);
+        let eq: EqHandle = Handle::from_raw(7);
+        assert!(table.set_flow_eq(0, Some(eq)));
+        assert_eq!(table.flow_eq(0), Some(eq));
+        assert!(table.set_flow_eq(0, None));
+        assert_eq!(table.flow_eq(0), None);
+        // Out of range: not registrable, but reported enabled so the §4.8
+        // invalid-index path wins.
+        assert!(!table.set_flow_eq(9, Some(eq)));
+        assert!(table.is_enabled(9));
+        assert!(!table.try_disable(9));
     }
 
     #[test]

@@ -58,16 +58,11 @@ fn put_moves_data_and_logs_event() {
 
     let src = Region::from_vec(b"zero copy delivery".to_vec());
     let md = a.md_bind(MdSpec::new(src)).unwrap();
-    a.put(
-        md,
-        AckRequest::NoAck,
-        b.id(),
-        3,
-        0,
-        MatchBits::new(0xbeef),
-        0,
-    )
-    .unwrap();
+    a.put_op(md)
+        .target(b.id(), 3)
+        .bits(MatchBits::new(0xbeef))
+        .submit()
+        .unwrap();
 
     let ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
@@ -93,7 +88,10 @@ fn put_with_ack_round_trips() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![7u8; 48])).with_eq(aeq))
         .unwrap();
-    a.put(md, AckRequest::Ack, b.id(), 0, 0, MatchBits::ZERO, 0)
+    a.put_op(md)
+        .target(b.id(), 0)
+        .ack(AckRequest::Ack)
+        .submit()
         .unwrap();
 
     // Initiator sees Sent then Ack.
@@ -124,7 +122,10 @@ fn ack_reports_truncated_length() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![1u8; 100])).with_eq(aeq))
         .unwrap();
-    a.put(md, AckRequest::Ack, b.id(), 0, 0, MatchBits::ZERO, 0)
+    a.put_op(md)
+        .target(b.id(), 0)
+        .ack(AckRequest::Ack)
+        .submit()
         .unwrap();
 
     let ev = b.eq_poll(beq, TIMEOUT).unwrap();
@@ -151,7 +152,12 @@ fn get_reads_remote_memory() {
     let aeq = a.eq_alloc(8).unwrap();
     let dst = Region::from_vec(vec![0u8; 8]);
     let md = a.md_bind(MdSpec::new(dst.clone()).with_eq(aeq)).unwrap();
-    a.get(md, b.id(), 5, 0, MatchBits::new(1), 0, 8).unwrap();
+    a.get_op(md)
+        .target(b.id(), 5)
+        .bits(MatchBits::new(1))
+        .length(8)
+        .submit()
+        .unwrap();
 
     let _sent = a.eq_poll(aeq, TIMEOUT).unwrap();
     let reply = a.eq_poll(aeq, TIMEOUT).unwrap();
@@ -182,7 +188,12 @@ fn get_with_offset_reads_middle_of_region() {
     let aeq = a.eq_alloc(8).unwrap();
     let dst = Region::from_vec(vec![0u8; 4]);
     let md = a.md_bind(MdSpec::new(dst.clone()).with_eq(aeq)).unwrap();
-    a.get(md, b.id(), 0, 0, MatchBits::ZERO, 10, 4).unwrap();
+    a.get_op(md)
+        .target(b.id(), 0)
+        .offset(10)
+        .length(4)
+        .submit()
+        .unwrap();
 
     let _sent = a.eq_poll(aeq, TIMEOUT).unwrap();
     let reply = a.eq_poll(aeq, TIMEOUT).unwrap();
@@ -202,7 +213,7 @@ fn md_in_use_while_get_pending_then_unlinkable() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 16])).with_eq(aeq))
         .unwrap();
-    a.get(md, b.id(), 0, 0, MatchBits::ZERO, 0, 16).unwrap();
+    a.get_op(md).target(b.id(), 0).length(16).submit().unwrap();
     // The reply may already have arrived on a fast fabric; only assert the
     // in-use error if the reply is still outstanding.
     let _sent = a.eq_poll(aeq, TIMEOUT).unwrap();
@@ -225,7 +236,10 @@ fn no_matching_entry_drops_with_no_match() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::new(2), 0)
+    a.put_op(md)
+        .target(b.id(), 0)
+        .bits(MatchBits::new(2))
+        .submit()
         .unwrap();
 
     wait_for(|| b.counters().dropped(DropReason::NoMatch) == 1);
@@ -242,8 +256,7 @@ fn invalid_portal_index_drops() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 9999, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 9999).submit().unwrap();
     wait_for(|| b.counters().dropped(DropReason::InvalidPortalIndex) == 1);
 }
 
@@ -259,8 +272,7 @@ fn bad_cookie_drops_with_invalid_ac_index() {
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
         .unwrap();
     // Cookie 7 is a disabled entry in the standard ACL.
-    a.put(md, AckRequest::NoAck, b.id(), 0, 7, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).cookie(7).submit().unwrap();
     wait_for(|| b.counters().dropped(DropReason::InvalidAcIndex) == 1);
 }
 
@@ -286,15 +298,13 @@ fn acl_entry_restricts_by_process_and_portal() {
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
         .unwrap();
     // Allowed: right process, right portal.
-    a.put(md, AckRequest::NoAck, b.id(), 2, 3, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 2).cookie(3).submit().unwrap();
     let ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
 
     // Wrong portal for this cookie: AclPortalMismatch.
     let (_, _, _, _) = listen(&b, 4, MatchCriteria::any(), 64);
-    a.put(md, AckRequest::NoAck, b.id(), 4, 3, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 4).cookie(3).submit().unwrap();
     wait_for(|| b.counters().dropped(DropReason::AclPortalMismatch) == 1);
 }
 
@@ -318,8 +328,7 @@ fn acl_process_mismatch_counts() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 2, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).cookie(2).submit().unwrap();
     wait_for(|| b.counters().dropped(DropReason::AclProcessMismatch) == 1);
 }
 
@@ -368,8 +377,7 @@ fn job_directory_separates_applications() {
     let md = peer
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 4])))
         .unwrap();
-    peer.put(md, AckRequest::NoAck, target.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    peer.put_op(md).target(target.id(), 0).submit().unwrap();
     assert_eq!(target.eq_poll(eq, TIMEOUT).unwrap().kind, EventKind::Put);
 
     // Foreign-job process (pid 2 → job 2) is rejected on entry 0.
@@ -385,17 +393,7 @@ fn job_directory_separates_applications() {
     let md2 = foreign
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 4])))
         .unwrap();
-    foreign
-        .put(
-            md2,
-            AckRequest::NoAck,
-            target.id(),
-            0,
-            0,
-            MatchBits::ZERO,
-            0,
-        )
-        .unwrap();
+    foreign.put_op(md2).target(target.id(), 0).submit().unwrap();
     wait_for(|| target.counters().dropped(DropReason::AclProcessMismatch) == 1);
 
     // But the system process (pid 42) is admitted via entry 1.
@@ -403,16 +401,11 @@ fn job_directory_separates_applications() {
     let md3 = sys
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 4])))
         .unwrap();
-    sys.put(
-        md3,
-        AckRequest::NoAck,
-        target.id(),
-        0,
-        1,
-        MatchBits::ZERO,
-        0,
-    )
-    .unwrap();
+    sys.put_op(md3)
+        .target(target.id(), 0)
+        .cookie(1)
+        .submit()
+        .unwrap();
     assert_eq!(target.eq_poll(eq, TIMEOUT).unwrap().kind, EventKind::Put);
 }
 
@@ -426,16 +419,10 @@ fn message_to_unknown_pid_counts_at_node() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8])))
         .unwrap();
-    a.put(
-        md,
-        AckRequest::NoAck,
-        ProcessId::new(1, 77),
-        0,
-        0,
-        MatchBits::ZERO,
-        0,
-    )
-    .unwrap();
+    a.put_op(md)
+        .target(ProcessId::new(1, 77), 0)
+        .submit()
+        .unwrap();
     wait_for(|| nb.dropped_no_process() == 1);
 }
 
@@ -469,8 +456,7 @@ fn threshold_unlink_consumes_entry_once() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(b"first".to_vec())))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).submit().unwrap();
 
     let put_ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(put_ev.kind, EventKind::Put);
@@ -481,8 +467,7 @@ fn threshold_unlink_consumes_entry_once() {
     let md2 = a
         .md_bind(MdSpec::new(Region::from_vec(b"second".to_vec())))
         .unwrap();
-    a.put(md2, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md2).target(b.id(), 0).submit().unwrap();
     wait_for(|| b.counters().dropped(DropReason::NoMatch) == 1);
     assert_eq!(
         buf.read_vec(0, 5),
@@ -516,8 +501,7 @@ fn match_list_order_respected_end_to_end() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(b"winner".to_vec())))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).submit().unwrap();
     let _ = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(front_buf.read_vec(0, 6), b"winner");
     assert_eq!(back_buf.read_vec(0, 6), &[0u8; 6]);
@@ -543,8 +527,7 @@ fn host_driven_makes_no_progress_without_calls() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(b"parked".to_vec())))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).submit().unwrap();
 
     // Give the fabric ample time: the message must sit raw, unprocessed.
     wait_for(|| b.raw_pending() == 1);
@@ -574,8 +557,7 @@ fn application_bypass_progresses_without_calls() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(b"flows!".to_vec())))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).submit().unwrap();
 
     // No API calls on b: data must still land.
     wait_for(|| b.counters().requests_accepted == 1);
@@ -593,8 +575,7 @@ fn loopback_put_to_self() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(b"self".to_vec())))
         .unwrap();
-    a.put(md, AckRequest::NoAck, a.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(a.id(), 0).submit().unwrap();
     let ev = a.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
     assert_eq!(buf.read_vec(0, 4), b"self");
@@ -614,16 +595,10 @@ fn multiple_processes_per_node_demux() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(b"to-pid-2".to_vec())))
         .unwrap();
-    a.put(
-        md,
-        AckRequest::NoAck,
-        ProcessId::new(1, 2),
-        0,
-        0,
-        MatchBits::ZERO,
-        0,
-    )
-    .unwrap();
+    a.put_op(md)
+        .target(ProcessId::new(1, 2), 0)
+        .submit()
+        .unwrap();
     let ev = b2.eq_poll(eq2, TIMEOUT).unwrap();
     assert_eq!(ev.kind, EventKind::Put);
     assert_eq!(buf2.read_vec(0, 8), b"to-pid-2");
@@ -658,8 +633,7 @@ fn managed_offset_packs_messages_back_to_back() {
         let md = a
             .md_bind(MdSpec::new(Region::from_vec(chunk.to_vec())))
             .unwrap();
-        a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-            .unwrap();
+        a.put_op(md).target(b.id(), 0).submit().unwrap();
     }
     let offs: Vec<(u64, u64)> = (0..3)
         .map(|_| {
@@ -691,8 +665,7 @@ fn works_over_lossy_timed_fabric() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(payload.clone())))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).submit().unwrap();
 
     let ev = b.eq_poll(eq, Duration::from_secs(30)).unwrap();
     assert_eq!(ev.mlength as usize, payload.len());
@@ -737,15 +710,7 @@ fn handle_misuse_is_rejected() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 4])))
         .unwrap();
-    let r = a.put(
-        md,
-        AckRequest::NoAck,
-        ProcessId::ANY,
-        0,
-        0,
-        MatchBits::ZERO,
-        0,
-    );
+    let r = a.put_op(md).target(ProcessId::ANY, 0).submit();
     assert_eq!(r.err(), Some(PtlError::InvalidProcess));
 
     // Duplicate pid on the node.
@@ -793,9 +758,13 @@ fn reply_eq_full_drops_reply() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 16])).with_eq(aeq))
         .unwrap();
-    a.get(md, b.id(), 0, 0, MatchBits::ZERO, 0, 16).unwrap();
+    a.get_op(md).target(b.id(), 0).length(16).submit().unwrap();
 
     wait_for(|| a.counters().dropped(DropReason::ReplyEqFull) == 1);
+
+    // Regression: the dropped reply still settles the get — the MD must not
+    // stay pinned (`MdInUse`) forever.
+    a.md_unlink(md).unwrap();
 }
 
 #[test]
@@ -815,8 +784,7 @@ fn md_update_is_refused_while_events_pend() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(vec![1u8; 4])))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).submit().unwrap();
     wait_for(|| b.eq_len(eq).unwrap() == 1);
     assert_eq!(
         b.md_update(target_md, Some(eq), |md| md.threshold = Threshold::Count(9))
@@ -871,8 +839,7 @@ fn min_free_slab_rotation_end_to_end() {
     // to slab2.
     for payload in [vec![b'x'; 40], vec![b'y'; 20]] {
         let md = a.md_bind(MdSpec::new(Region::from_vec(payload))).unwrap();
-        a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-            .unwrap();
+        a.put_op(md).target(b.id(), 0).submit().unwrap();
     }
     let first = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!(
@@ -908,23 +875,17 @@ fn max_message_size_enforced_at_initiator() {
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 8192])))
         .unwrap();
     assert_eq!(
-        a.put(
-            md,
-            AckRequest::NoAck,
-            ProcessId::new(0, 1),
-            0,
-            0,
-            MatchBits::ZERO,
-            0
-        )
-        .err(),
+        a.put_op(md).target(ProcessId::new(0, 1), 0).submit().err(),
         Some(PtlError::LimitExceeded)
     );
     let md2 = a
         .md_bind(MdSpec::new(Region::from_vec(vec![0u8; 16])))
         .unwrap();
     assert_eq!(
-        a.get(md2, ProcessId::new(0, 1), 0, 0, MatchBits::ZERO, 0, 8192)
+        a.get_op(md2)
+            .target(ProcessId::new(0, 1), 0)
+            .length(8192)
+            .submit()
             .err(),
         Some(PtlError::LimitExceeded)
     );
@@ -953,8 +914,7 @@ fn scattered_md_receives_put_across_segments() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec((0u8..20).collect())))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 2)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).offset(2).submit().unwrap();
     let ev = b.eq_poll(eq, TIMEOUT).unwrap();
     assert_eq!((ev.mlength, ev.offset), (20, 2));
     // Offset 2 → bytes 0..6 land in row0[2..8], 6..14 in row1, 14..20 in row2[..6].
@@ -988,7 +948,7 @@ fn get_gathers_from_scattered_source() {
     let aeq = a.eq_alloc(8).unwrap();
     let dst = Region::from_vec(vec![0u8; 13]);
     let md = a.md_bind(MdSpec::new(dst.clone()).with_eq(aeq)).unwrap();
-    a.get(md, b.id(), 0, 0, MatchBits::ZERO, 0, 13).unwrap();
+    a.get_op(md).target(b.id(), 0).length(13).submit().unwrap();
     let _sent = a.eq_poll(aeq, TIMEOUT).unwrap();
     let reply = a.eq_poll(aeq, TIMEOUT).unwrap();
     assert_eq!(reply.kind, EventKind::Reply);
@@ -996,6 +956,189 @@ fn get_gathers_from_scattered_source() {
 }
 
 /// Spin with a deadline on an eventually-true condition.
+#[test]
+fn flow_control_trips_once_nacks_and_resumes() {
+    let fabric = Fabric::ideal();
+    let (na, nb) = two_nodes(&fabric);
+    let a = default_ni(&na);
+    let b = default_ni(&nb);
+
+    // Portal 5 opts into flow control; no entry posted yet, so the first put
+    // exhausts the match list (the resource-exhaustion trip condition).
+    let flow_eq = b.eq_alloc(8).unwrap();
+    b.pt_flow_ctrl(5, Some(flow_eq)).unwrap();
+    assert!(b.pt_is_enabled(5).unwrap());
+
+    let aeq = a.eq_alloc(16).unwrap();
+    let put_once = |payload: &[u8]| {
+        let md = a
+            .md_bind(MdSpec::new(Region::from_vec(payload.to_vec())).with_eq(aeq))
+            .unwrap();
+        a.put_op(md)
+            .target(b.id(), 5)
+            .bits(MatchBits::new(7))
+            .ack(AckRequest::Ack)
+            .submit()
+            .unwrap();
+        md
+    };
+
+    let md1 = put_once(b"first");
+    // The target trips: FlowCtrl fires on the registered EQ, the portal
+    // latches disabled, and the initiator sees a nack, not an ack.
+    let fev = b.eq_poll(flow_eq, TIMEOUT).unwrap();
+    assert_eq!(fev.kind, EventKind::FlowCtrl);
+    assert_eq!(fev.portal_index, 5);
+    assert_eq!(fev.initiator, a.id());
+    assert!(!b.pt_is_enabled(5).unwrap());
+
+    let nack = wait_for_kind(&a, aeq, EventKind::Ack);
+    assert_eq!(nack.mlength, portals::NACK_MLENGTH);
+    a.md_unlink(md1).unwrap();
+
+    // While disabled: more puts are nacked, but FlowCtrl fires exactly once
+    // per trip — no second event.
+    let md2 = put_once(b"second");
+    let nack2 = wait_for_kind(&a, aeq, EventKind::Ack);
+    assert_eq!(nack2.mlength, portals::NACK_MLENGTH);
+    a.md_unlink(md2).unwrap();
+    assert_eq!(b.eq_len(flow_eq).unwrap(), 0);
+    assert!(b.counters().dropped(DropReason::PtDisabled) >= 2);
+
+    // Owner recovery: post the missing resources, re-enable, retry delivers.
+    let (_, _, beq, buf) = listen(&b, 5, MatchCriteria::exact(MatchBits::new(7)), 64);
+    b.pt_enable(5).unwrap();
+    let md3 = put_once(b"third");
+    let ack = wait_for_kind(&a, aeq, EventKind::Ack);
+    assert_eq!(ack.mlength, 5);
+    let ev = b.eq_poll(beq, TIMEOUT).unwrap();
+    assert_eq!(ev.kind, EventKind::Put);
+    assert_eq!(buf.read_vec(0, 5), b"third");
+    a.md_unlink(md3).unwrap();
+}
+
+#[test]
+fn flow_control_trips_on_full_event_queue_before_data_moves() {
+    let fabric = Fabric::ideal();
+    let (na, nb) = two_nodes(&fabric);
+    let a = default_ni(&na);
+    let b = default_ni(&nb);
+
+    // Capacity-2 EQ on the target MD: the first put leaves one slot, which
+    // fails the room-for-2 check, so the second put must trip *before*
+    // touching the region.
+    let flow_eq = b.eq_alloc(8).unwrap();
+    b.pt_flow_ctrl(0, Some(flow_eq)).unwrap();
+    let eq = b.eq_alloc(2).unwrap();
+    let me = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
+    let buf = Region::from_vec(vec![0u8; 8]);
+    b.md_attach(me, MdSpec::new(buf.clone()).with_eq(eq))
+        .unwrap();
+
+    let aeq = a.eq_alloc(16).unwrap();
+    let put_once = |payload: &[u8]| {
+        let md = a
+            .md_bind(MdSpec::new(Region::from_vec(payload.to_vec())).with_eq(aeq))
+            .unwrap();
+        a.put_op(md)
+            .target(b.id(), 0)
+            .ack(AckRequest::Ack)
+            .submit()
+            .unwrap();
+        md
+    };
+
+    let md1 = put_once(b"aaaa");
+    let ack = wait_for_kind(&a, aeq, EventKind::Ack);
+    assert_eq!(ack.mlength, 4);
+    a.md_unlink(md1).unwrap();
+
+    let md2 = put_once(b"bbbb");
+    let fev = b.eq_poll(flow_eq, TIMEOUT).unwrap();
+    assert_eq!(fev.kind, EventKind::FlowCtrl);
+    let nack = wait_for_kind(&a, aeq, EventKind::Ack);
+    assert_eq!(nack.mlength, portals::NACK_MLENGTH);
+    a.md_unlink(md2).unwrap();
+    // Nothing was half-delivered: the region still holds the first payload
+    // and no unread target event was overwritten.
+    assert_eq!(buf.read_vec(0, 4), b"aaaa");
+    assert_eq!(b.counters().events_overwritten, 0);
+}
+
+#[test]
+fn flow_control_off_preserves_drop_and_count() {
+    let fabric = Fabric::ideal();
+    let (na, nb) = two_nodes(&fabric);
+    let a = default_ni(&na);
+    let b = nb
+        .create_ni(
+            1,
+            NiConfig {
+                flow_control: false,
+                ..NiConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Even with a registered flow EQ, the interface switch wins: a no-match
+    // put takes the old §4.8 path — silent drop, counted, no disable.
+    let flow_eq = b.eq_alloc(8).unwrap();
+    b.pt_flow_ctrl(5, Some(flow_eq)).unwrap();
+
+    let md = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![1u8; 4])))
+        .unwrap();
+    a.put_op(md)
+        .target(b.id(), 5)
+        .bits(MatchBits::new(7))
+        .submit()
+        .unwrap();
+
+    wait_for(|| b.counters().dropped(DropReason::NoMatch) == 1);
+    assert!(b.pt_is_enabled(5).unwrap());
+    assert_eq!(b.eq_len(flow_eq).unwrap(), 0);
+    assert_eq!(b.counters().dropped(DropReason::PtDisabled), 0);
+}
+
+#[test]
+fn pt_flow_ctrl_validates_handles() {
+    let fabric = Fabric::ideal();
+    let (na, _) = two_nodes(&fabric);
+    let a = default_ni(&na);
+    assert_eq!(
+        a.pt_flow_ctrl(999, None).err(),
+        Some(PtlError::InvalidPortalIndex)
+    );
+    assert_eq!(
+        a.pt_flow_ctrl(0, Some(portals_types::Handle::NONE)).err(),
+        Some(PtlError::InvalidEq)
+    );
+    assert_eq!(a.pt_enable(999).err(), Some(PtlError::InvalidPortalIndex));
+    assert_eq!(a.pt_disable(999).err(), Some(PtlError::InvalidPortalIndex));
+    // Explicit disable/enable round-trips even with no flow EQ registered.
+    a.pt_disable(2).unwrap();
+    assert!(!a.pt_is_enabled(2).unwrap());
+    a.pt_enable(2).unwrap();
+    assert!(a.pt_is_enabled(2).unwrap());
+}
+
+/// Poll `eq` until an event of `kind` arrives (skipping Sent and other
+/// bookkeeping events), or the global timeout elapses.
+fn wait_for_kind(ni: &NetworkInterface, eq: portals::EqHandle, kind: EventKind) -> portals::Event {
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    loop {
+        let remaining = deadline
+            .checked_duration_since(std::time::Instant::now())
+            .expect("event of requested kind not seen in time");
+        let ev = ni.eq_poll(eq, remaining).unwrap();
+        if ev.kind == kind {
+            return ev;
+        }
+    }
+}
+
 fn wait_for(cond: impl Fn() -> bool) {
     let deadline = std::time::Instant::now() + TIMEOUT;
     while !cond() {

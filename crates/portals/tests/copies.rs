@@ -43,16 +43,12 @@ fn run(region_buffers: bool) -> (u64, u64, f64) {
     let src = Region::from_vec((0..PAYLOAD).map(|i| i as u8).collect());
     let md = a.md_bind(MdSpec::new(src.clone())).unwrap();
     for _ in 0..MESSAGES {
-        a.put(
-            md,
-            portals::AckRequest::NoAck,
-            b.id(),
-            0,
-            0,
-            MatchBits::new(7),
-            0,
-        )
-        .unwrap();
+        a.put_op(md)
+            .target(b.id(), 0)
+            .bits(MatchBits::new(7))
+            .ack(portals::AckRequest::NoAck)
+            .submit()
+            .unwrap();
         let ev = b.eq_poll(eq, TIMEOUT).unwrap();
         assert_eq!(ev.kind, EventKind::Put);
         assert_eq!(ev.mlength, PAYLOAD as u64);

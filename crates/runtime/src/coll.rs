@@ -46,31 +46,10 @@ const TAG_XFER_CTS: u32 = MAX_USER_TAG + 0x109;
 /// Payload of a size-announced transfer.
 const TAG_XFER_DATA: u32 = MAX_USER_TAG + 0x10a;
 
-/// A collective that could not complete correctly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CollError {
-    /// A peer's message did not fit the receive buffer sized for it — the
-    /// ranks disagree about the collective's geometry.
-    Truncated {
-        /// Bytes the receive buffer was sized for.
-        expected: usize,
-        /// Bytes the peer actually sent.
-        got: usize,
-    },
-}
-
-impl std::fmt::Display for CollError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CollError::Truncated { expected, got } => write!(
-                f,
-                "collective message truncated: expected {expected} bytes, peer sent {got}"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for CollError {}
+/// A collective that could not complete correctly. Defined in
+/// `portals_types::error` (so the layered `ErrorKind` can wrap it) and
+/// re-exported from its owning crate.
+pub use portals_types::CollError;
 
 /// Element-wise reduction operator over `f64` vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -778,16 +757,12 @@ impl Collectives {
             prev = (slot.dones[(r - 1) as usize], 2);
         }
         let peer0 = Rank(((me + 1) % n) as u32);
-        ni.put(
-            st.zero_md,
-            AckRequest::NoAck,
-            self.comm.process(peer0),
-            PT_COLL,
-            COLL_COOKIE,
-            coll_bits(KIND_BARRIER, self.comm.context(), slot.seq),
-            0,
-        )
-        .expect("send barrier round 0");
+        ni.put_op(st.zero_md)
+            .target(self.comm.process(peer0), PT_COLL)
+            .bits(coll_bits(KIND_BARRIER, self.comm.context(), slot.seq))
+            .cookie(COLL_COOKIE)
+            .submit()
+            .expect("send barrier round 0");
         let mut waits: Vec<(CtHandle, u64)> = slot.recvs.iter().map(|&c| (c, 1)).collect();
         waits.extend(slot.dones.iter().map(|&d| (d, 2)));
         // Move the terminal link to the front (it is the last entry when the

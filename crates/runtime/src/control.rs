@@ -9,9 +9,7 @@
 //! access control (launcher and managers are §4.5 *system* processes).
 
 use parking_lot::Mutex;
-use portals::{
-    AckRequest, EqHandle, EventKind, MdOptions, MdSpec, MePos, NetworkInterface, Region,
-};
+use portals::{EqHandle, EventKind, MdOptions, MdSpec, MePos, NetworkInterface, Region};
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -151,15 +149,12 @@ fn send_record(ni: &NetworkInterface, to: ProcessId, portal: u32, record: Contro
     let md = ni
         .md_bind(MdSpec::new(Region::from_vec(record.encode())))
         .expect("bind control md");
-    let _ = ni.put(
-        md,
-        AckRequest::NoAck,
-        to,
-        portal,
-        1, /* system ACL entry */
-        MatchBits::ZERO,
-        0,
-    );
+    let _ = ni
+        .put_op(md)
+        .target(to, portal)
+        .bits(/* system ACL entry */ MatchBits::ZERO)
+        .cookie(1)
+        .submit();
     let _ = ni.md_unlink(md);
 }
 

@@ -27,6 +27,11 @@ pub struct JobConfig {
     pub job_id: u32,
     /// Portals resource limits for every interface.
     pub limits: portals_types::NiLimits,
+    /// Portal-table flow control for every interface (and therefore for the
+    /// MPI engines built on them). On, the Portals-4-style disable/nack/resume
+    /// machinery protects against receiver overload; off, §4.8's
+    /// drop-and-count applies unmitigated.
+    pub flow_control: bool,
     /// Job-wide observability handle: every layer — fabric, transports,
     /// nodes, interfaces — registers its metrics in this one registry and
     /// emits lifecycle traces to its sinks, so invariants can be checked by
@@ -44,6 +49,7 @@ impl Default for JobConfig {
             procs_per_node: 1,
             job_id: 1,
             limits: portals_types::NiLimits::DEFAULT,
+            flow_control: true,
             obs: Obs::default(),
         }
     }
@@ -165,6 +171,7 @@ impl Job {
                             progress: config.progress,
                             job: config.job_id,
                             limits: config.limits,
+                            flow_control: config.flow_control,
                             ..Default::default()
                         },
                     )

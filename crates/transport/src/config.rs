@@ -23,6 +23,22 @@ pub struct TransportConfig {
     /// coalescing — the pre-batching per-packet-ack behaviour, kept as a
     /// runtime ablation.
     pub recv_batch: usize,
+    /// End-to-end credit flow control (runtime ablation flag). When on, a
+    /// sender admits a DATA packet only while its sequence lies below the
+    /// peer's advertised credit horizon (piggybacked on every ACK), and a
+    /// credit-starved sender falls back to bounded-exponential PROBE packets
+    /// instead of blind window retransmission. When off, ACKs still carry
+    /// credits but senders ignore them — the pre-credit behaviour.
+    pub flow_control: bool,
+    /// Receive-side credit window: how many DATA packets per source the
+    /// receiver advertises beyond its in-order horizon when idle. Shrinks
+    /// dynamically while the inbound delivery queue backs up (an
+    /// oversubscribed receiver sheds load by advertising less).
+    pub credit_window: usize,
+    /// Credit horizon a sender assumes for a peer it has never heard from.
+    /// The default equals `credit_window`; `0` models a zero-credit start
+    /// where the first PROBE/ACK exchange must run before any data flows.
+    pub initial_credits: u64,
 }
 
 impl TransportConfig {
@@ -43,6 +59,9 @@ impl Default for TransportConfig {
             rto_base: Duration::from_millis(20),
             stall_retries: 10,
             recv_batch: 64,
+            flow_control: true,
+            credit_window: 128,
+            initial_credits: 128,
         }
     }
 }
@@ -72,5 +91,11 @@ mod tests {
         assert!(cfg.mtu >= 1024);
         assert!(cfg.window >= 2);
         assert!(cfg.rto_base > Duration::ZERO);
+        // Credits must never bind tighter than the go-back-N window by
+        // default, or turning flow control on would change clean-path
+        // behaviour.
+        assert!(cfg.credit_window >= cfg.window);
+        assert_eq!(cfg.initial_credits, cfg.credit_window as u64);
+        assert!(cfg.flow_control);
     }
 }

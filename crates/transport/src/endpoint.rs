@@ -1,7 +1,7 @@
 //! The public transport endpoint.
 
 use crate::config::TransportConfig;
-use crate::stats::{TransportStats, TransportStatsSnapshot};
+use crate::stats::{FlowStats, FlowStatsSnapshot, TransportStats, TransportStatsSnapshot};
 use crate::worker::{Command, Worker};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use portals_net::Nic;
@@ -48,6 +48,7 @@ pub struct Endpoint {
     commands: Sender<Command>,
     incoming: Receiver<IncomingMessage>,
     stats: Arc<TransportStats>,
+    flow: Arc<FlowStats>,
     outstanding: Arc<AtomicUsize>,
     worker: Option<JoinHandle<()>>,
 }
@@ -66,6 +67,7 @@ impl Endpoint {
         let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded();
         let (in_tx, in_rx) = crossbeam::channel::unbounded();
         let stats = Arc::new(TransportStats::new(&obs.registry, nid.0));
+        let flow = Arc::new(FlowStats::new(&obs.registry, nid.0));
         let outstanding = Arc::new(AtomicUsize::new(0));
         let worker = Worker::new(
             nic,
@@ -74,6 +76,7 @@ impl Endpoint {
             cmd_rx,
             in_tx,
             Arc::clone(&stats),
+            Arc::clone(&flow),
             Arc::clone(&outstanding),
         );
         let handle = std::thread::Builder::new()
@@ -85,6 +88,7 @@ impl Endpoint {
             commands: cmd_tx,
             incoming: in_rx,
             stats,
+            flow,
             outstanding,
             worker: Some(handle),
         }
@@ -162,6 +166,11 @@ impl Endpoint {
     /// Snapshot the transport counters.
     pub fn stats(&self) -> TransportStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Snapshot the credit flow-control counters.
+    pub fn flow_stats(&self) -> FlowStatsSnapshot {
+        self.flow.snapshot()
     }
 }
 
@@ -545,6 +554,93 @@ mod tests {
         let sb = burst_then_start_receiver(cfg, 64);
         assert_eq!(sb.acks_sent, 64);
         assert_eq!(sb.acks_coalesced, 0);
+    }
+
+    #[test]
+    fn zero_credit_start_converges_end_to_end() {
+        // With no initial credits nothing may move until a PROBE solicits the
+        // receiver's advertised window; after that the stream flows normally.
+        let fabric = Fabric::ideal();
+        let cfg = TransportConfig {
+            rto_base: Duration::from_millis(1),
+            initial_credits: 0,
+            ..Default::default()
+        };
+        let (a, b) = pair(&fabric, cfg);
+        for i in 0..20u8 {
+            a.send(NodeId(1), Gather::from_vec(vec![i; 100]));
+        }
+        for i in 0..20u8 {
+            let m = b.recv_timeout(Duration::from_secs(10)).expect("delivery");
+            assert_eq!(m.payload.to_bytes()[0], i);
+        }
+        assert!(a.flush(Duration::from_secs(5)));
+        let f = a.flow_stats();
+        assert!(f.probes_sent >= 1, "zero-credit start must probe");
+        assert!(f.credit_stalls >= 1);
+        assert_eq!(
+            f.credit_stalls, f.credit_resumes,
+            "every credit stall must be matched by exactly one resume"
+        );
+        assert_eq!(f.credit_blocked_now, 0);
+        assert!(f.credits_granted >= 20, "acks must have granted credits");
+        assert!(b.flow_stats().probes_received >= 1);
+    }
+
+    #[test]
+    fn flow_control_off_never_probes_or_stalls() {
+        // The ablation: credits ride on acks but senders ignore them.
+        let fabric = Fabric::ideal();
+        let cfg = TransportConfig {
+            flow_control: false,
+            initial_credits: 0, // would deadlock if gating were active
+            ..Default::default()
+        };
+        let (a, b) = pair(&fabric, cfg);
+        for _ in 0..10 {
+            a.send(NodeId(1), Gather::from_vec(vec![7u8; 100]));
+        }
+        for _ in 0..10 {
+            assert!(b.recv_timeout(Duration::from_secs(5)).is_some());
+        }
+        assert!(a.flush(Duration::from_secs(5)));
+        let f = a.flow_stats();
+        assert_eq!(f.probes_sent, 0);
+        assert_eq!(f.credit_stalls, 0);
+        assert_eq!(f.credits_granted, 0);
+    }
+
+    #[test]
+    fn tight_credit_window_still_delivers_under_loss() {
+        // Credits binding tighter than the go-back-N window must not break
+        // reliability on a lossy link (probes and acks are droppable too).
+        let cfg = FabricConfig::default()
+            .with_faults(FaultPlan::lossy(0.2))
+            .with_seed(13)
+            .with_link(LinkModel {
+                latency: Duration::from_micros(10),
+                bandwidth_bytes_per_sec: f64::INFINITY,
+                per_packet_overhead: Duration::ZERO,
+            });
+        let fabric = Fabric::new(cfg);
+        let tcfg = TransportConfig {
+            mtu: 128,
+            rto_base: Duration::from_millis(2),
+            credit_window: 4,
+            initial_credits: 2,
+            ..Default::default()
+        };
+        let (a, b) = pair(&fabric, tcfg);
+        let payload: Vec<u8> = (0..4_000u32).map(|i| (i * 3) as u8).collect();
+        for _ in 0..5 {
+            a.send(NodeId(1), Gather::from_vec(payload.clone()));
+        }
+        for _ in 0..5 {
+            let m = b
+                .recv_timeout(Duration::from_secs(30))
+                .expect("credit-gated lossy delivery");
+            assert_eq!(m.payload, &payload[..]);
+        }
     }
 
     #[test]

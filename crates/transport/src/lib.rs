@@ -40,4 +40,4 @@ mod worker;
 
 pub use config::TransportConfig;
 pub use endpoint::{Endpoint, IncomingMessage};
-pub use stats::{TransportStats, TransportStatsSnapshot};
+pub use stats::{FlowStats, FlowStatsSnapshot, TransportStats, TransportStatsSnapshot};

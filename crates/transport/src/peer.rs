@@ -43,7 +43,9 @@ pub struct SenderPeer {
     in_flight: VecDeque<InFlight>,
     pending: VecDeque<PendingFrag>,
     next_msg_id: u64,
-    /// Deadline for the retransmission timer (None when nothing in flight).
+    /// Deadline for the retransmission timer (None when nothing in flight),
+    /// doubling as the PROBE timer while the peer is credit-blocked with an
+    /// empty window.
     deadline: Option<Instant>,
     /// Consecutive timeouts without forward progress.
     retries: u32,
@@ -51,6 +53,22 @@ pub struct SenderPeer {
     /// progress. Cleared (and reported via [`AckOutcome::recovered`]) by the
     /// first ack that advances the window.
     stalled: bool,
+    /// Advertised credit horizon: sequences strictly below this may be sent.
+    /// Monotonically non-decreasing (acks carrying stale horizons are
+    /// ignored). `u64::MAX` means "unlimited" — the state of a peer created
+    /// with [`SenderPeer::new`], used when flow control is off.
+    credit: u64,
+    /// True while pending fragments are held back by the credit horizon
+    /// (window space is free, credits are not).
+    credit_blocked: bool,
+    /// Consecutive probe timeouts without a credit grant (bounds the probe
+    /// backoff exponent; reset when credits arrive).
+    probe_retries: u32,
+    /// Stall/resume transitions since the last
+    /// [`SenderPeer::take_credit_transitions`] — the worker drains these into
+    /// its flow stats.
+    credit_stalls: u64,
+    credit_resumes: u64,
 }
 
 /// What a timeout produced.
@@ -61,6 +79,9 @@ pub struct TimeoutResult {
     pub resend: Vec<Gather>,
     /// True the first time `retries` crosses the stall threshold.
     pub newly_stalled: bool,
+    /// A credit PROBE to send instead of data: the window is empty and the
+    /// peer's advertised horizon blocks everything still pending.
+    pub probe: Option<Gather>,
 }
 
 /// What an ack produced.
@@ -74,8 +95,16 @@ pub struct AckOutcome {
 }
 
 impl SenderPeer {
-    /// Fresh state for a new destination.
+    /// Fresh state for a new destination with an unlimited credit horizon
+    /// (credit gating never engages — flow-control-off behaviour).
     pub fn new() -> SenderPeer {
+        SenderPeer::with_initial_credit(u64::MAX)
+    }
+
+    /// Fresh state assuming `credit` sequences may be sent before the peer
+    /// advertises anything. `0` models a zero-credit start: the first
+    /// PROBE/ACK exchange must complete before data flows.
+    pub fn with_initial_credit(credit: u64) -> SenderPeer {
         SenderPeer {
             next_seq: 0,
             base: 0,
@@ -85,6 +114,11 @@ impl SenderPeer {
             deadline: None,
             retries: 0,
             stalled: false,
+            credit,
+            credit_blocked: false,
+            probe_retries: 0,
+            credit_stalls: 0,
+            credit_resumes: 0,
         }
     }
 
@@ -112,10 +146,11 @@ impl SenderPeer {
         self.admit(cfg, now)
     }
 
-    /// Move pending fragments into the window while space remains.
+    /// Move pending fragments into the window while both window space and
+    /// credits remain.
     fn admit(&mut self, cfg: &TransportConfig, now: Instant) -> Vec<Gather> {
         let mut out = Vec::new();
-        while self.in_flight.len() < cfg.window {
+        while self.in_flight.len() < cfg.window && self.next_seq < self.credit {
             let Some(frag) = self.pending.pop_front() else {
                 break;
             };
@@ -138,7 +173,42 @@ impl SenderPeer {
         if !out.is_empty() && self.deadline.is_none() {
             self.deadline = Some(now + cfg.rto_after(self.retries));
         }
+        // Credit-block bookkeeping: pending work the window would take but
+        // the advertised horizon forbids.
+        let blocked = !self.pending.is_empty()
+            && self.in_flight.len() < cfg.window
+            && self.next_seq >= self.credit;
+        if blocked != self.credit_blocked {
+            self.credit_blocked = blocked;
+            if blocked {
+                self.credit_stalls += 1;
+            } else {
+                self.credit_resumes += 1;
+                self.probe_retries = 0;
+            }
+        }
+        // With an empty window no ack is ever coming: arm the probe timer so
+        // the worker wakes us to solicit credits.
+        if self.credit_blocked && self.in_flight.is_empty() && self.deadline.is_none() {
+            self.deadline = Some(now + cfg.rto_after(self.probe_retries));
+        }
         out
+    }
+
+    /// Apply a credit horizon advertised by the peer (piggybacked on an ack
+    /// or a probe response). Horizons are monotonic: stale values are
+    /// ignored, so duplicated or reordered acks never shrink the window.
+    /// Returns packets the new credits released.
+    pub fn grant_credit(
+        &mut self,
+        credit: u64,
+        cfg: &TransportConfig,
+        now: Instant,
+    ) -> Vec<Gather> {
+        if credit > self.credit {
+            self.credit = credit;
+        }
+        self.admit(cfg, now)
     }
 
     /// Process a cumulative acknowledgment.
@@ -182,13 +252,25 @@ impl SenderPeer {
     }
 
     /// The retransmission timer fired: resend the whole window (go-back-N) and
-    /// back off.
+    /// back off — or, when the window is empty because the peer's credit
+    /// horizon blocks everything pending, emit a PROBE on its own bounded
+    /// exponential backoff instead of blindly retransmitting.
     pub fn on_timeout(&mut self, cfg: &TransportConfig, now: Instant) -> TimeoutResult {
         if self.in_flight.is_empty() {
+            if self.credit_blocked {
+                self.probe_retries = self.probe_retries.saturating_add(1);
+                self.deadline = Some(now + cfg.rto_after(self.probe_retries));
+                return TimeoutResult {
+                    resend: Vec::new(),
+                    newly_stalled: false,
+                    probe: Some(Packet::probe(self.base).encode()),
+                };
+            }
             self.deadline = None;
             return TimeoutResult {
                 resend: Vec::new(),
                 newly_stalled: false,
+                probe: None,
             };
         }
         self.retries = self.retries.saturating_add(1);
@@ -200,6 +282,7 @@ impl SenderPeer {
         TimeoutResult {
             resend: self.in_flight.iter().map(|p| p.encoded.clone()).collect(),
             newly_stalled,
+            probe: None,
         }
     }
 
@@ -231,6 +314,27 @@ impl SenderPeer {
     #[inline]
     pub fn next_msg_id(&self) -> u64 {
         self.next_msg_id
+    }
+
+    /// The peer's current credit horizon.
+    #[inline]
+    pub fn credit(&self) -> u64 {
+        self.credit
+    }
+
+    /// True while pending fragments are held back by credits, not the window.
+    #[inline]
+    pub fn is_credit_blocked(&self) -> bool {
+        self.credit_blocked
+    }
+
+    /// Drain the (stall, resume) transition counts accumulated since the last
+    /// call — the worker folds these into its flow stats.
+    pub fn take_credit_transitions(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.credit_stalls),
+            std::mem::take(&mut self.credit_resumes),
+        )
     }
 }
 
@@ -287,6 +391,20 @@ impl ReceiverPeer {
 
     fn cumulative(&self) -> u64 {
         self.expected.checked_sub(1).unwrap_or(ACK_NONE)
+    }
+
+    /// Next sequence expected in order — the base the worker adds its
+    /// advertised credit window to when piggybacking credits on acks.
+    #[inline]
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// The cumulative ack this receiver would send right now ([`ACK_NONE`]
+    /// before anything arrived in order) — what a PROBE is answered with.
+    #[inline]
+    pub fn current_ack(&self) -> u64 {
+        self.cumulative()
     }
 
     /// Process a DATA packet. Out-of-order packets are dropped (go-back-N) and
@@ -386,6 +504,7 @@ mod tests {
             rto_base: Duration::from_millis(10),
             stall_retries: 2,
             recv_batch: 64,
+            ..Default::default()
         }
     }
 
@@ -709,6 +828,90 @@ mod tests {
         assert_eq!(tx.outstanding(), 0);
     }
 
+    #[test]
+    fn zero_credit_start_probes_then_flows() {
+        let c = cfg();
+        let t = now();
+        let mut tx = SenderPeer::with_initial_credit(0);
+        // Nothing may leave: no credits yet.
+        assert!(tx.enqueue_message(g(b"0123456789"), &c, t).is_empty());
+        assert!(tx.is_credit_blocked());
+        assert!(tx.deadline().is_some(), "probe timer must be armed");
+        // The timer fires a PROBE, not a retransmission.
+        let r = tx.on_timeout(&c, t);
+        assert!(r.resend.is_empty());
+        let probe = r.probe.expect("credit-blocked empty window probes");
+        assert_eq!(Packet::decode_gather(&probe).unwrap(), Packet::probe(0));
+        // A credit grant releases exactly what the horizon allows.
+        let released = decode(&tx.grant_credit(2, &c, t));
+        assert_eq!(released.len(), 2);
+        assert!(tx.is_credit_blocked(), "fragment 2 still blocked");
+        // Full grant releases the rest and clears the block.
+        let released = tx.grant_credit(100, &c, t);
+        assert_eq!(released.len(), 1);
+        assert!(!tx.is_credit_blocked());
+        let (stalls, resumes) = tx.take_credit_transitions();
+        assert_eq!((stalls, resumes), (1, 1));
+    }
+
+    #[test]
+    fn stale_credit_horizon_is_ignored() {
+        let c = cfg();
+        let t = now();
+        let mut tx = SenderPeer::with_initial_credit(5);
+        tx.enqueue_message(g(b"0123456789"), &c, t); // 3 frags, all admitted
+        assert_eq!(tx.credit(), 5);
+        // A reordered ack advertising less must not shrink the horizon.
+        tx.grant_credit(2, &c, t);
+        assert_eq!(tx.credit(), 5);
+        tx.grant_credit(9, &c, t);
+        assert_eq!(tx.credit(), 9);
+    }
+
+    #[test]
+    fn probe_backoff_is_bounded_exponential() {
+        let c = cfg();
+        let t = now();
+        let mut tx = SenderPeer::with_initial_credit(0);
+        tx.enqueue_message(g(b"hi"), &c, t);
+        let mut last = Duration::ZERO;
+        for i in 1..=10u32 {
+            let before = now();
+            let r = tx.on_timeout(&c, before);
+            assert!(r.probe.is_some());
+            let gap = tx.deadline().unwrap() - before;
+            assert_eq!(gap, c.rto_after(i), "probe interval follows rto backoff");
+            assert!(gap >= last, "backoff never shrinks");
+            last = gap;
+        }
+        // Capped: one more timeout stays at the max interval.
+        let before = now();
+        tx.on_timeout(&c, before);
+        assert_eq!(
+            tx.deadline().unwrap() - before,
+            c.rto_base * 2u32.pow(TransportConfig::MAX_BACKOFF_EXP)
+        );
+    }
+
+    #[test]
+    fn credits_bind_tighter_than_window_mid_stream() {
+        let c = cfg(); // window 3
+        let t = now();
+        let mut tx = SenderPeer::with_initial_credit(1);
+        let sent = tx.enqueue_message(g(b"0123456789"), &c, t); // 3 frags
+        assert_eq!(sent.len(), 1, "credit 1 admits one despite window 3");
+        assert!(tx.is_credit_blocked());
+        // The in-flight packet keeps the retransmission deadline armed; a
+        // timeout resends it rather than probing (acks are still expected).
+        let r = tx.on_timeout(&c, t);
+        assert_eq!(r.resend.len(), 1);
+        assert!(r.probe.is_none());
+        // Ack plus a grown horizon releases the rest.
+        let grants = tx.grant_credit(3, &c, t);
+        let out = tx.on_ack(0, &c, t);
+        assert_eq!(decode(&grants).len() + decode(&out.released).len(), 2);
+    }
+
     proptest! {
         /// Any loss/duplication pattern that eventually lets retransmissions
         /// through yields exactly the original message sequence, in order.
@@ -724,6 +927,7 @@ mod tests {
                 rto_base: Duration::from_millis(1),
                 stall_retries: 100,
                 recv_batch: 64,
+                ..Default::default()
             };
             let t = Instant::now();
             let mut tx = SenderPeer::new();
@@ -745,7 +949,7 @@ mod tests {
                     let p = Packet::decode_gather(&encoded).unwrap();
                     let seq = match p.header {
                         PacketHeader::Data { seq, .. } => seq,
-                        PacketHeader::Ack { .. } => unreachable!("acks bypass the wire here"),
+                        _ => unreachable!("acks/probes bypass the wire here"),
                     };
                     let dropped = drops.entry(seq).or_insert(0);
                     if *loss.next().expect("cycle") && *dropped < 3 {

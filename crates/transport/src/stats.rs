@@ -107,6 +107,76 @@ impl Default for TransportStats {
     }
 }
 
+/// Credit flow-control counters maintained by an endpoint's worker.
+///
+/// Registered as `flow.*` series labeled `{node}` on the same registry as
+/// [`TransportStats`], so job-wide sums (`registry.sum_counters("flow.…")`)
+/// reconcile the credit machinery the same way the transport invariants do.
+#[derive(Debug)]
+pub struct FlowStats {
+    /// PROBE packets sent (credit-starved sender soliciting a window).
+    pub probes_sent: Counter,
+    /// PROBE packets received (each one is answered with an ack).
+    pub probes_received: Counter,
+    /// Times a sender peer transitioned into the credit-blocked state
+    /// (window space free, advertised horizon exhausted).
+    pub credit_stalls: Counter,
+    /// Times a credit-blocked peer was released by a grown horizon. Every
+    /// stall that ends is matched by exactly one resume.
+    pub credit_resumes: Counter,
+    /// Total credit horizon growth received from peers (sequences newly
+    /// permitted; coarse goodput-of-credits measure).
+    pub credits_granted: Counter,
+    /// Sender peers currently credit-blocked.
+    pub credit_blocked_now: Gauge,
+}
+
+impl FlowStats {
+    /// Register the `flow.*` series for node `nid` in `registry`.
+    pub fn new(registry: &Registry, nid: u32) -> FlowStats {
+        let labels = [("node", nid.to_string())];
+        let c = |name| registry.counter(name, &labels);
+        FlowStats {
+            probes_sent: c("flow.probes_sent"),
+            probes_received: c("flow.probes_received"),
+            credit_stalls: c("flow.credit_stalls"),
+            credit_resumes: c("flow.credit_resumes"),
+            credits_granted: c("flow.credits_granted"),
+            credit_blocked_now: registry.gauge("flow.credit_blocked_now", &labels),
+        }
+    }
+
+    /// Snapshot into plain data.
+    pub fn snapshot(&self) -> FlowStatsSnapshot {
+        FlowStatsSnapshot {
+            probes_sent: self.probes_sent.get(),
+            probes_received: self.probes_received.get(),
+            credit_stalls: self.credit_stalls.get(),
+            credit_resumes: self.credit_resumes.get(),
+            credits_granted: self.credits_granted.get(),
+            credit_blocked_now: self.credit_blocked_now.get(),
+        }
+    }
+}
+
+impl Default for FlowStats {
+    fn default() -> Self {
+        FlowStats::new(&Registry::default(), u32::MAX)
+    }
+}
+
+/// Plain-data snapshot of [`FlowStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)]
+pub struct FlowStatsSnapshot {
+    pub probes_sent: u64,
+    pub probes_received: u64,
+    pub credit_stalls: u64,
+    pub credit_resumes: u64,
+    pub credits_granted: u64,
+    pub credit_blocked_now: i64,
+}
+
 /// Plain-data snapshot of [`TransportStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[allow(missing_docs)]

@@ -29,7 +29,7 @@
 use crate::config::TransportConfig;
 use crate::endpoint::IncomingMessage;
 use crate::peer::{ReceiverPeer, SenderPeer};
-use crate::stats::TransportStats;
+use crate::stats::{FlowStats, TransportStats};
 use crossbeam::channel::{Receiver, Sender};
 use portals_net::{Datagram, Nic};
 use portals_obs::{Counter, Layer, Obs, Stage, TraceEvent};
@@ -57,6 +57,7 @@ pub(crate) struct Worker {
     commands: Receiver<Command>,
     delivered: Sender<IncomingMessage>,
     stats: Arc<TransportStats>,
+    flow: Arc<FlowStats>,
     outstanding: Arc<AtomicUsize>,
     tx_peers: HashMap<NodeId, SenderPeer>,
     rx_peers: HashMap<NodeId, ReceiverPeer>,
@@ -71,6 +72,7 @@ pub(crate) struct Worker {
 }
 
 impl Worker {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         nic: Nic,
         cfg: TransportConfig,
@@ -78,6 +80,7 @@ impl Worker {
         commands: Receiver<Command>,
         delivered: Sender<IncomingMessage>,
         stats: Arc<TransportStats>,
+        flow: Arc<FlowStats>,
         outstanding: Arc<AtomicUsize>,
     ) -> Worker {
         let nid = nic.nid();
@@ -89,12 +92,46 @@ impl Worker {
             commands,
             delivered,
             stats,
+            flow,
             outstanding,
             tx_peers: HashMap::new(),
             rx_peers: HashMap::new(),
             peer_retx: HashMap::new(),
             timers: BinaryHeap::new(),
         }
+    }
+
+    /// A fresh sender peer: credit-gated from the configured initial horizon
+    /// when flow control is on, unlimited when off.
+    fn new_tx_peer(cfg: &TransportConfig) -> SenderPeer {
+        if cfg.flow_control {
+            SenderPeer::with_initial_credit(cfg.initial_credits)
+        } else {
+            SenderPeer::new()
+        }
+    }
+
+    /// Fold a peer's credit-block transitions into the flow stats.
+    fn drain_flow_transitions(flow: &FlowStats, peer: &mut SenderPeer) {
+        let (stalls, resumes) = peer.take_credit_transitions();
+        flow.credit_stalls.add(stalls);
+        flow.credit_resumes.add(resumes);
+        for _ in 0..stalls {
+            flow.credit_blocked_now.inc();
+        }
+        for _ in 0..resumes {
+            flow.credit_blocked_now.dec();
+        }
+    }
+
+    /// The credit horizon this node advertises to `src` right now: the
+    /// in-order base plus the configured window, shrunk by however many
+    /// delivered messages are still waiting for the consumer — an
+    /// oversubscribed receiver sheds load instead of buffering it.
+    fn advertised_credit(&self, src: NodeId) -> u64 {
+        let expected = self.rx_peers.get(&src).map_or(0, ReceiverPeer::expected);
+        let backlog = self.delivered.len() as u64;
+        expected + (self.cfg.credit_window as u64).saturating_sub(backlog)
     }
 
     pub(crate) fn run(mut self) {
@@ -152,7 +189,10 @@ impl Worker {
     fn on_send(&mut self, dst: NodeId, msg: Gather) {
         self.stats.add(&self.stats.messages_sent, 1);
         let now = Instant::now();
-        let peer = self.tx_peers.entry(dst).or_default();
+        let peer = self
+            .tx_peers
+            .entry(dst)
+            .or_insert_with(|| Self::new_tx_peer(&self.cfg));
         let msg_id = peer.next_msg_id();
         let msg_len = msg.len() as u64;
         self.obs.tracer.emit(|| {
@@ -166,6 +206,7 @@ impl Worker {
         let packets = peer.enqueue_message(msg, &self.cfg, now);
         self.outstanding
             .fetch_add(peer.outstanding() - before, Ordering::Relaxed);
+        Self::drain_flow_transitions(&self.flow, peer);
         self.send_data(dst, packets, Stage::Fragment);
         self.arm_timer(dst);
     }
@@ -210,7 +251,8 @@ impl Worker {
         }
         for (src, cumulative) in pending_acks {
             self.stats.add(&self.stats.acks_sent, 1);
-            self.nic.send(src, Packet::ack(cumulative).encode());
+            let credit = self.advertised_credit(src);
+            self.nic.send(src, Packet::ack(cumulative, credit).encode());
         }
     }
 
@@ -230,7 +272,7 @@ impl Worker {
             }
         };
         match packet.header {
-            PacketHeader::Ack { cumulative } => {
+            PacketHeader::Ack { cumulative, credit } => {
                 self.stats.add(&self.stats.acks_received, 1);
                 self.obs.tracer.emit(|| {
                     TraceEvent::new(Layer::Transport, Stage::Rx)
@@ -241,6 +283,21 @@ impl Worker {
                 });
                 let now = Instant::now();
                 if let Some(peer) = self.tx_peers.get_mut(&src) {
+                    // Grow the credit horizon first: packets the new horizon
+                    // admits and packets the cumulative ack releases go out in
+                    // one pass. Monotonic max inside `grant_credit` makes
+                    // reordered/duplicated acks harmless. Peers created under
+                    // `flow_control = off` sit at u64::MAX and ignore this.
+                    let granted = if self.cfg.flow_control {
+                        let before = peer.credit();
+                        let released = peer.grant_credit(credit, &self.cfg, now);
+                        if before != u64::MAX && peer.credit() > before {
+                            self.flow.credits_granted.add(peer.credit() - before);
+                        }
+                        released
+                    } else {
+                        Vec::new()
+                    };
                     let before = peer.outstanding();
                     let outcome = peer.on_ack(cumulative, &self.cfg, now);
                     let after = peer.outstanding();
@@ -256,14 +313,34 @@ impl Worker {
                                 .seq(cumulative)
                         });
                     }
+                    Self::drain_flow_transitions(&self.flow, peer);
+                    self.send_data(src, granted, Stage::Fragment);
                     self.send_data(src, outcome.released, Stage::Fragment);
                     self.arm_timer(src);
+                }
+            }
+            PacketHeader::Probe { base } => {
+                self.flow.probes_received.inc();
+                self.obs.tracer.emit(|| {
+                    TraceEvent::new(Layer::Transport, Stage::Rx)
+                        .node(self.nid.0)
+                        .peer(src.0)
+                        .seq(base)
+                        .detail("probe")
+                });
+                // Answer with a fresh cumulative ack carrying the current
+                // credit horizon, coalesced with any ack already queued for
+                // this source in the batch.
+                let ack = self.rx_peers.entry(src).or_default().current_ack();
+                match pending_acks.iter_mut().find(|(nid, _)| *nid == src) {
+                    Some(_) => self.stats.add(&self.stats.acks_coalesced, 1),
+                    None => pending_acks.push((src, ack)),
                 }
             }
             header @ PacketHeader::Data { .. } => {
                 let (seq, msg_id) = match header {
                     PacketHeader::Data { seq, msg_id, .. } => (seq, msg_id),
-                    PacketHeader::Ack { .. } => unreachable!("matched Data"),
+                    _ => unreachable!("matched Data"),
                 };
                 let body_len = packet.body.len() as u64;
                 self.obs.tracer.emit(|| {
@@ -365,6 +442,16 @@ impl Worker {
                     let bytes: u64 = result.resend.iter().map(|p| p.len() as u64).sum();
                     self.stats.add(&self.stats.resend_bytes, bytes);
                     self.send_data(nid, result.resend, Stage::Retransmit);
+                    if let Some(probe) = result.probe {
+                        self.flow.probes_sent.inc();
+                        self.obs.tracer.emit(|| {
+                            TraceEvent::new(Layer::Transport, Stage::Retransmit)
+                                .node(self.nid.0)
+                                .peer(nid.0)
+                                .detail("probe")
+                        });
+                        self.nic.send(nid, probe);
+                    }
                     self.arm_timer(nid);
                 }
                 // The entry was stale; re-file it under the peer's real

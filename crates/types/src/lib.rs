@@ -23,7 +23,10 @@ pub mod shard;
 pub mod stripe;
 
 pub use arena::{Arena, Handle};
-pub use error::{PtlError, PtlResult};
+pub use error::{
+    CollError, ErrorKind, FsError, PtlError, PtlResult, RecvError, Tag, TagError, WireError,
+    COLL_TAG_BASE_OFFSET, MAX_USER_TAG,
+};
 pub use gather::Gather;
 pub use id::{NodeId, ProcessId, Rank, UserId, ANY_NID, ANY_PID};
 pub use limits::NiLimits;

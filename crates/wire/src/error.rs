@@ -1,49 +1,7 @@
 //! Wire decoding errors.
+//!
+//! [`WireError`] is *defined* in `portals_types::error` (so the layered
+//! `ErrorKind` there can wrap it without a dependency cycle) and re-exported
+//! here from the crate that owns the decode paths producing it.
 
-use std::fmt;
-
-/// Why a buffer failed to decode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WireError {
-    /// Buffer shorter than the fixed header for its claimed type.
-    Truncated {
-        /// Bytes required.
-        needed: usize,
-        /// Bytes available.
-        available: usize,
-    },
-    /// First byte is not a known operation code.
-    UnknownOperation(u8),
-    /// Unknown packet kind byte.
-    UnknownPacketKind(u8),
-    /// Declared payload length disagrees with the buffer.
-    LengthMismatch {
-        /// Length the header declared.
-        declared: usize,
-        /// Bytes actually present.
-        actual: usize,
-    },
-    /// Magic bytes / version did not match.
-    BadMagic,
-}
-
-impl fmt::Display for WireError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            WireError::Truncated { needed, available } => {
-                write!(f, "truncated buffer: need {needed} bytes, have {available}")
-            }
-            WireError::UnknownOperation(b) => write!(f, "unknown operation code {b:#04x}"),
-            WireError::UnknownPacketKind(b) => write!(f, "unknown packet kind {b:#04x}"),
-            WireError::LengthMismatch { declared, actual } => {
-                write!(
-                    f,
-                    "length mismatch: header declares {declared}, buffer has {actual}"
-                )
-            }
-            WireError::BadMagic => f.write_str("bad magic/version"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
+pub use portals_types::WireError;

@@ -4,7 +4,11 @@
 //! flow control" (§3) underneath Portals. Our transport does the same job and
 //! this is its packet format: DATA packets carry one fragment of one message
 //! and a per-(src,dst)-pair sequence number; ACK packets carry the receiver's
-//! cumulative in-order sequence, driving the go-back-N sender window.
+//! cumulative in-order sequence, driving the go-back-N sender window, plus a
+//! piggybacked credit horizon — the highest sequence the receiver is prepared
+//! to buffer — driving the sender's credit window. PROBE packets are the
+//! zero-window probe: a sender whose credits ran dry uses them (on a bounded
+//! exponential backoff) to solicit a fresh ACK when no data ack is expected.
 
 use crate::error::WireError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -18,6 +22,8 @@ pub enum PacketKind {
     Data = 0x10,
     /// A cumulative acknowledgment.
     Ack = 0x11,
+    /// A credit probe (sender-to-receiver; solicits an ACK).
+    Probe = 0x12,
 }
 
 impl PacketKind {
@@ -25,6 +31,7 @@ impl PacketKind {
         match b {
             0x10 => Ok(PacketKind::Data),
             0x11 => Ok(PacketKind::Ack),
+            0x12 => Ok(PacketKind::Probe),
             other => Err(WireError::UnknownPacketKind(other)),
         }
     }
@@ -51,6 +58,18 @@ pub enum PacketHeader {
         /// Highest in-order sequence received, or `u64::MAX` if none yet
         /// (encoded as the pre-first value so the first packet has seq 0).
         cumulative: u64,
+        /// Credit horizon: the receiver accepts sequences strictly below
+        /// this value. Monotonically non-decreasing over a stream, so lost
+        /// or duplicated ACKs never leak or double-grant credits; a sender
+        /// that ignores it (flow control off) behaves as before.
+        credit: u64,
+    },
+    /// Zero-window probe: a credit-starved sender asking the receiver to
+    /// re-advertise its window with a fresh ACK.
+    Probe {
+        /// The sender's current send base (lowest unacked sequence), for
+        /// diagnostics; the receiver answers from its own state regardless.
+        base: u64,
     },
 }
 
@@ -71,8 +90,10 @@ pub struct Packet {
 impl Packet {
     /// Size of an encoded DATA header.
     pub const DATA_HEADER_SIZE: usize = 1 + 8 + 8 + 4 + 4;
-    /// Size of an encoded ACK packet.
-    pub const ACK_SIZE: usize = 1 + 8;
+    /// Size of an encoded ACK packet (kind + cumulative + credit horizon).
+    pub const ACK_SIZE: usize = 1 + 8 + 8;
+    /// Size of an encoded PROBE packet.
+    pub const PROBE_SIZE: usize = 1 + 8;
 
     /// Build a DATA packet.
     pub fn data(seq: u64, msg_id: u64, frag_index: u32, frag_count: u32, body: Gather) -> Packet {
@@ -87,10 +108,18 @@ impl Packet {
         }
     }
 
-    /// Build an ACK packet.
-    pub fn ack(cumulative: u64) -> Packet {
+    /// Build an ACK packet carrying the receiver's credit horizon.
+    pub fn ack(cumulative: u64, credit: u64) -> Packet {
         Packet {
-            header: PacketHeader::Ack { cumulative },
+            header: PacketHeader::Ack { cumulative, credit },
+            body: Gather::new(),
+        }
+    }
+
+    /// Build a credit PROBE packet.
+    pub fn probe(base: u64) -> Packet {
+        Packet {
+            header: PacketHeader::Probe { base },
             body: Gather::new(),
         }
     }
@@ -115,10 +144,17 @@ impl Packet {
                 out.append(self.body.clone());
                 out
             }
-            PacketHeader::Ack { cumulative } => {
+            PacketHeader::Ack { cumulative, credit } => {
                 let mut buf = BytesMut::with_capacity(Self::ACK_SIZE);
                 buf.put_u8(PacketKind::Ack as u8);
                 buf.put_u64_le(cumulative);
+                buf.put_u64_le(credit);
+                Gather::from_bytes(buf.freeze())
+            }
+            PacketHeader::Probe { base } => {
+                let mut buf = BytesMut::with_capacity(Self::PROBE_SIZE);
+                buf.put_u8(PacketKind::Probe as u8);
+                buf.put_u64_le(base);
                 Gather::from_bytes(buf.freeze())
             }
         }
@@ -129,6 +165,7 @@ impl Packet {
         match self.header {
             PacketHeader::Data { .. } => Self::DATA_HEADER_SIZE + self.body.len(),
             PacketHeader::Ack { .. } => Self::ACK_SIZE,
+            PacketHeader::Probe { .. } => Self::PROBE_SIZE,
         }
     }
 
@@ -172,11 +209,22 @@ impl Packet {
                         available: buf.len(),
                     });
                 }
+                let cumulative = cursor.get_u64_le();
+                let credit = cursor.get_u64_le();
+                Ok((PacketHeader::Ack { cumulative, credit }, Self::ACK_SIZE))
+            }
+            PacketKind::Probe => {
+                if buf.len() < Self::PROBE_SIZE {
+                    return Err(WireError::Truncated {
+                        needed: Self::PROBE_SIZE,
+                        available: buf.len(),
+                    });
+                }
                 Ok((
-                    PacketHeader::Ack {
-                        cumulative: cursor.get_u64_le(),
+                    PacketHeader::Probe {
+                        base: cursor.get_u64_le(),
                     },
-                    Self::ACK_SIZE,
+                    Self::PROBE_SIZE,
                 ))
             }
         }
@@ -187,7 +235,7 @@ impl Packet {
         let (header, body_at) = Self::decode_header(buf)?;
         let body = match header {
             PacketHeader::Data { .. } => Gather::copy_from_slice(&buf[body_at..]),
-            PacketHeader::Ack { .. } => Gather::new(),
+            PacketHeader::Ack { .. } | PacketHeader::Probe { .. } => Gather::new(),
         };
         Ok(Packet { header, body })
     }
@@ -198,7 +246,7 @@ impl Packet {
         let (header, body_at) = Self::decode_header(buf)?;
         let body = match header {
             PacketHeader::Data { .. } => Gather::from_bytes(buf.slice(body_at..)),
-            PacketHeader::Ack { .. } => Gather::new(),
+            PacketHeader::Ack { .. } | PacketHeader::Probe { .. } => Gather::new(),
         };
         Ok(Packet { header, body })
     }
@@ -213,7 +261,7 @@ impl Packet {
         let (header, body_at) = Self::decode_header(&hdr[..filled])?;
         let body = match header {
             PacketHeader::Data { .. } => buf.slice(body_at, buf.len() - body_at),
-            PacketHeader::Ack { .. } => Gather::new(),
+            PacketHeader::Ack { .. } | PacketHeader::Probe { .. } => Gather::new(),
         };
         Ok(Packet { header, body })
     }
@@ -235,10 +283,33 @@ mod tests {
 
     #[test]
     fn ack_roundtrip() {
-        let p = Packet::ack(41);
+        let p = Packet::ack(41, 105);
         let encoded = p.encode();
         assert_eq!(encoded.len(), Packet::ACK_SIZE);
         assert_eq!(Packet::decode(&encoded.to_vec()).unwrap(), p);
+    }
+
+    #[test]
+    fn probe_roundtrip() {
+        let p = Packet::probe(17);
+        let encoded = p.encode();
+        assert_eq!(encoded.len(), Packet::PROBE_SIZE);
+        assert_eq!(Packet::decode(&encoded.to_vec()).unwrap(), p);
+        assert_eq!(Packet::decode_gather(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_ack_and_probe_rejected() {
+        let ack = Packet::ack(3, 9).encode().to_vec();
+        assert!(matches!(
+            Packet::decode(&ack[..Packet::ACK_SIZE - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        let probe = Packet::probe(3).encode().to_vec();
+        assert!(matches!(
+            Packet::decode(&probe[..Packet::PROBE_SIZE - 1]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -297,8 +368,8 @@ mod tests {
         // The decoded body still points at the original payload segment.
         assert_eq!(decoded.body.segments()[0].as_ref().as_ptr(), body_ptr);
         assert_eq!(
-            Packet::decode_gather(&Packet::ack(5).encode()).unwrap(),
-            Packet::ack(5)
+            Packet::decode_gather(&Packet::ack(5, 12).encode()).unwrap(),
+            Packet::ack(5, 12)
         );
     }
 

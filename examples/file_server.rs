@@ -14,13 +14,11 @@
 //!
 //! Run: `cargo run -p portals-examples --bin file_server`
 
-use portals::{
-    AcEntry, AcMatch, AckRequest, MdOptions, MdSpec, MePos, NiConfig, Node, NodeConfig,
-    PortalMatch, Region,
-};
+use portals::prelude::*;
+use portals::{AcEntry, AcMatch, PortalMatch};
 use portals_net::Fabric;
 use portals_runtime::JobDirectory;
-use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId, PtlError, ANY_PID};
+use portals_types::ANY_PID;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -145,16 +143,14 @@ fn main() {
                 // Read bytes [100, 600) of the remote file with a get.
                 let window = Region::zeroed(500);
                 let md = ni.md_bind(MdSpec::new(window.clone()).with_eq(eq)).unwrap();
-                ni.get(
-                    md,
-                    server_id,
-                    PT_FILE,
-                    AC_CLIENTS,
-                    MatchBits::new(FILE_BITS),
-                    100,
-                    500,
-                )
-                .unwrap();
+                ni.get_op(md)
+                    .target(server_id, PT_FILE)
+                    .bits(MatchBits::new(FILE_BITS))
+                    .cookie(AC_CLIENTS)
+                    .offset(100)
+                    .length(500)
+                    .submit()
+                    .unwrap();
                 loop {
                     let ev = ni.eq_wait(eq).unwrap();
                     if ev.kind == portals::EventKind::Reply {
@@ -173,32 +169,24 @@ fn main() {
                 let rmd = ni
                     .md_bind(MdSpec::new(Region::from_vec(record.into_bytes())))
                     .unwrap();
-                ni.put(
-                    rmd,
-                    AckRequest::NoAck,
-                    server_id,
-                    PT_LOG,
-                    AC_CLIENTS,
-                    MatchBits::new(LOG_BITS),
-                    0,
-                )
-                .unwrap();
+                ni.put_op(rmd)
+                    .target(server_id, PT_LOG)
+                    .bits(MatchBits::new(LOG_BITS))
+                    .cookie(AC_CLIENTS)
+                    .submit()
+                    .unwrap();
 
                 // A write to the read-only file must be dropped (no match,
                 // because the MD rejects puts).
                 let bad = ni
                     .md_bind(MdSpec::new(Region::from_vec(b"vandalism".to_vec())))
                     .unwrap();
-                ni.put(
-                    bad,
-                    AckRequest::NoAck,
-                    server_id,
-                    PT_FILE,
-                    AC_CLIENTS,
-                    MatchBits::new(FILE_BITS),
-                    0,
-                )
-                .unwrap();
+                ni.put_op(bad)
+                    .target(server_id, PT_FILE)
+                    .bits(MatchBits::new(FILE_BITS))
+                    .cookie(AC_CLIENTS)
+                    .submit()
+                    .unwrap();
                 id
             })
         })

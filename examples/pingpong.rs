@@ -7,9 +7,8 @@
 //!
 //! Run: `cargo run --release -p portals-examples --bin pingpong`
 
-use portals::{AckRequest, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
+use portals::prelude::*;
 use portals_net::{Fabric, FabricConfig};
-use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
 use std::time::Instant;
 
 const WARMUP: usize = 50;
@@ -46,16 +45,11 @@ fn main() {
                 .unwrap();
             for _ in 0..WARMUP + ITERS {
                 b.eq_wait(eq).unwrap();
-                b.put(
-                    md,
-                    AckRequest::NoAck,
-                    a_id,
-                    0,
-                    0,
-                    MatchBits::new(size as u64),
-                    0,
-                )
-                .unwrap();
+                b.put_op(md)
+                    .target(a_id, 0)
+                    .bits(MatchBits::new(size as u64))
+                    .submit()
+                    .unwrap();
             }
             b.me_unlink(me).unwrap();
             b.md_unlink(md).unwrap();
@@ -82,30 +76,20 @@ fn main() {
             .unwrap();
 
         for _ in 0..WARMUP {
-            a.put(
-                md,
-                AckRequest::NoAck,
-                b_id,
-                0,
-                0,
-                MatchBits::new(size as u64),
-                0,
-            )
-            .unwrap();
+            a.put_op(md)
+                .target(b_id, 0)
+                .bits(MatchBits::new(size as u64))
+                .submit()
+                .unwrap();
             a.eq_wait(eq).unwrap();
         }
         let t0 = Instant::now();
         for _ in 0..ITERS {
-            a.put(
-                md,
-                AckRequest::NoAck,
-                b_id,
-                0,
-                0,
-                MatchBits::new(size as u64),
-                0,
-            )
-            .unwrap();
+            a.put_op(md)
+                .target(b_id, 0)
+                .bits(MatchBits::new(size as u64))
+                .submit()
+                .unwrap();
             a.eq_wait(eq).unwrap();
         }
         let elapsed = t0.elapsed();

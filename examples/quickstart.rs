@@ -7,9 +7,8 @@
 //!
 //! Run: `cargo run -p portals-examples --bin quickstart`
 
-use portals::{AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
+use portals::prelude::*;
 use portals_net::Fabric;
-use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
 
 fn main() {
     // A two-node fabric with idealized links.
@@ -45,15 +44,11 @@ fn main() {
         .md_bind(MdSpec::new(Region::from_vec(payload.clone())).with_eq(init_eq))
         .unwrap();
     initiator
-        .put(
-            md,
-            AckRequest::Ack,
-            target.id(),
-            4,
-            0,
-            MatchBits::new(42),
-            0,
-        )
+        .put_op(md)
+        .target(target.id(), 4)
+        .bits(MatchBits::new(42))
+        .ack(AckRequest::Ack)
+        .submit()
         .unwrap();
 
     // Target side: the put event appears with no action by the target process.

@@ -7,7 +7,7 @@
 //! once — none lost, none duplicated — no matter how consumers and the
 //! dispatcher interleave.
 
-use portals::{AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
+use portals::{EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
 use portals_net::Fabric;
 use portals_types::{MatchBits, MatchCriteria, NodeId, ProcessId};
 use std::collections::BTreeSet;
@@ -48,16 +48,11 @@ fn concurrent_pollers_never_lose_or_duplicate_events() {
     std::thread::scope(|s| {
         let sender = s.spawn(|| {
             for i in 0..PUTS {
-                a.put(
-                    md,
-                    AckRequest::NoAck,
-                    b.id(),
-                    0,
-                    0,
-                    MatchBits::ZERO,
-                    i as u64 * SLOT,
-                )
-                .unwrap();
+                a.put_op(md)
+                    .target(b.id(), 0)
+                    .offset(i as u64 * SLOT)
+                    .submit()
+                    .unwrap();
             }
         });
 
@@ -142,16 +137,11 @@ fn me_churn_on_one_portal_does_not_disturb_another() {
         });
 
         for i in 0..PUTS {
-            a.put(
-                md,
-                AckRequest::NoAck,
-                b.id(),
-                0,
-                0,
-                MatchBits::ZERO,
-                i as u64 * SLOT,
-            )
-            .unwrap();
+            a.put_op(md)
+                .target(b.id(), 0)
+                .offset(i as u64 * SLOT)
+                .submit()
+                .unwrap();
         }
         let deadline = Instant::now() + Duration::from_secs(30);
         let mut offsets = BTreeSet::new();

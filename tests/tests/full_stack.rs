@@ -173,8 +173,8 @@ fn two_jobs_are_isolated_by_access_control() {
         )
         .unwrap();
 
-    use portals::{AckRequest, MdSpec, MePos, Region};
-    use portals_types::{MatchBits, MatchCriteria};
+    use portals::{MdSpec, MePos, Region};
+    use portals_types::MatchCriteria;
     let eq = b.eq_alloc(8).unwrap();
     let me = b
         .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
@@ -187,8 +187,7 @@ fn two_jobs_are_isolated_by_access_control() {
     let md = a
         .md_bind(MdSpec::new(Region::from_vec(b"legit".to_vec())))
         .unwrap();
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    a.put_op(md).target(b.id(), 0).submit().unwrap();
     assert_eq!(
         b.eq_poll(eq, Duration::from_secs(5)).unwrap().kind,
         portals::EventKind::Put
@@ -198,9 +197,7 @@ fn two_jobs_are_isolated_by_access_control() {
     let md2 = intruder
         .md_bind(MdSpec::new(Region::from_vec(b"snoop".to_vec())))
         .unwrap();
-    intruder
-        .put(md2, AckRequest::NoAck, b.id(), 0, 0, MatchBits::ZERO, 0)
-        .unwrap();
+    intruder.put_op(md2).target(b.id(), 0).submit().unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while b
         .counters()
@@ -292,7 +289,7 @@ fn host_driven_full_job_matches_bypass_results() {
 fn dropped_message_counters_are_complete() {
     let _serial = serial();
     // Fire one message at each §4.8 drop reason and check the breakdown.
-    use portals::{AckRequest, DropReason, MdSpec, MePos, Region};
+    use portals::{DropReason, MdSpec, MePos, Region};
     use portals_types::{MatchBits, MatchCriteria};
 
     let fabric = Fabric::ideal();
@@ -314,28 +311,37 @@ fn dropped_message_counters_are_complete() {
 
     let md = a.md_bind(MdSpec::new(Region::zeroed(4))).unwrap();
     // Invalid portal.
-    a.put(md, AckRequest::NoAck, b.id(), 999, 0, MatchBits::new(1), 0)
+    a.put_op(md)
+        .target(b.id(), 999)
+        .bits(MatchBits::new(1))
+        .submit()
         .unwrap();
     // Invalid cookie.
-    a.put(md, AckRequest::NoAck, b.id(), 0, 50, MatchBits::new(1), 0)
+    a.put_op(md)
+        .target(b.id(), 0)
+        .bits(MatchBits::new(1))
+        .cookie(50)
+        .submit()
         .unwrap();
     // Disabled ACL entry.
-    a.put(md, AckRequest::NoAck, b.id(), 0, 3, MatchBits::new(1), 0)
+    a.put_op(md)
+        .target(b.id(), 0)
+        .bits(MatchBits::new(1))
+        .cookie(3)
+        .submit()
         .unwrap();
     // No matching bits.
-    a.put(md, AckRequest::NoAck, b.id(), 0, 0, MatchBits::new(2), 0)
+    a.put_op(md)
+        .target(b.id(), 0)
+        .bits(MatchBits::new(2))
+        .submit()
         .unwrap();
     // Unknown pid on the node.
-    a.put(
-        md,
-        AckRequest::NoAck,
-        ProcessId::new(1, 9),
-        0,
-        0,
-        MatchBits::new(1),
-        0,
-    )
-    .unwrap();
+    a.put_op(md)
+        .target(ProcessId::new(1, 9), 0)
+        .bits(MatchBits::new(1))
+        .submit()
+        .unwrap();
 
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     let done = |b: &portals::NetworkInterface, n1: &Node| {

@@ -71,16 +71,12 @@ fn duplicated_wire_never_double_fires_cts_eqs_or_triggers() {
         .md_bind(MdSpec::new(Region::from_vec(vec![9u8; 32])).with_ct(put_ct))
         .unwrap();
     for _ in 0..N {
-        a.put(
-            md,
-            AckRequest::Ack,
-            ProcessId::new(1, 1),
-            0,
-            0,
-            MatchBits::new(0),
-            0,
-        )
-        .unwrap();
+        a.put_op(md)
+            .target(ProcessId::new(1, 1), 0)
+            .bits(MatchBits::new(0))
+            .ack(AckRequest::Ack)
+            .submit()
+            .unwrap();
     }
 
     // Completion machinery reaches N (and the trigger fires) exactly once…

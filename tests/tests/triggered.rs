@@ -41,7 +41,11 @@ fn all_four_delivery_paths_count() {
     let get_ct = a.ct_alloc().unwrap();
     let dst = Region::zeroed(32);
     let get_md = a.md_bind(MdSpec::new(dst.clone()).with_ct(get_ct)).unwrap();
-    a.get(get_md, ProcessId::new(1, 1), 0, 0, MatchBits::new(0), 0, 17)
+    a.get_op(get_md)
+        .target(ProcessId::new(1, 1), 0)
+        .bits(MatchBits::new(0))
+        .length(17)
+        .submit()
         .unwrap();
     // Get served at the target…
     assert_eq!(b.ct_wait(target_ct, 1).unwrap().success, 1);
@@ -54,16 +58,12 @@ fn all_four_delivery_paths_count() {
     let put_ct = a.ct_alloc().unwrap();
     let src = Region::from_vec(b"hello".to_vec());
     let put_md = a.md_bind(MdSpec::new(src).with_ct(put_ct)).unwrap();
-    a.put(
-        put_md,
-        AckRequest::Ack,
-        ProcessId::new(1, 1),
-        0,
-        0,
-        MatchBits::new(0),
-        0,
-    )
-    .unwrap();
+    a.put_op(put_md)
+        .target(ProcessId::new(1, 1), 0)
+        .bits(MatchBits::new(0))
+        .ack(AckRequest::Ack)
+        .submit()
+        .unwrap();
     // Put delivered at the target (second success on its counter)…
     assert_eq!(b.ct_wait(target_ct, 2).unwrap().success, 2);
     // …and the ack consumed at the initiator, with no EQ anywhere.
@@ -126,15 +126,10 @@ fn recv_counter_trigger_put_chain_runs_in_engine_context() {
     let src = Region::from_vec(b"relayed!".to_vec());
     let md = nis[0].md_bind(MdSpec::new(src)).unwrap();
     nis[0]
-        .put(
-            md,
-            AckRequest::NoAck,
-            ProcessId::new(1, 1),
-            0,
-            0,
-            MatchBits::new(0),
-            0,
-        )
+        .put_op(md)
+        .target(ProcessId::new(1, 1), 0)
+        .bits(MatchBits::new(0))
+        .submit()
         .unwrap();
 
     assert_eq!(nis[2].ct_wait(c_ct, 1).unwrap().success, 1);
@@ -299,16 +294,11 @@ fn trigger_fire_races_counter_free() {
         // Sender: a steady stream of puts that bump `hot` in engine context.
         s.spawn(|| {
             for _ in 0..PUTS {
-                a.put(
-                    md,
-                    AckRequest::NoAck,
-                    ProcessId::new(1, 1),
-                    0,
-                    0,
-                    MatchBits::new(0),
-                    0,
-                )
-                .unwrap();
+                a.put_op(md)
+                    .target(ProcessId::new(1, 1), 0)
+                    .bits(MatchBits::new(0))
+                    .submit()
+                    .unwrap();
             }
             done.store(true, Ordering::Release);
         });
