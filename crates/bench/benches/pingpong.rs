@@ -3,27 +3,39 @@
 //! NIC implementation in progress.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use portals::{MdSpec, MePos, NiConfig, Node, NodeConfig, Region};
+use portals::{MdSpec, MePos, NiConfig, Node, NodeConfig, ProgressMode, Region};
 use portals_net::{Fabric, FabricConfig};
+use portals_transport::TransportConfig;
 use portals_types::{MatchCriteria, NodeId, ProcessId};
 
 fn bench_pingpong(c: &mut Criterion) {
     let mut g = c.benchmark_group("sec3_pingpong");
     g.sample_size(30);
-    for (size, region_buffers) in [
-        (0usize, true),
-        (64, true),
-        (4096, true),
+    for (size, region_buffers, progress_mode) in [
+        (0usize, true, ProgressMode::NicThread),
+        (64, true, ProgressMode::NicThread),
+        (4096, true, ProgressMode::NicThread),
         // Ablation: the same RTT with flat-copy buffers at every hop.
-        (4096, false),
+        (4096, false, ProgressMode::NicThread),
+        // Ablation: threadless progress — the blocked caller drives the
+        // transport and engine inline, no dispatcher handoff.
+        (0, true, ProgressMode::CallerDriven),
+        (4096, true, ProgressMode::CallerDriven),
     ] {
         let ni_cfg = NiConfig {
             region_buffers,
             ..Default::default()
         };
+        let node_cfg = || NodeConfig {
+            transport: TransportConfig {
+                progress_mode,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let fabric = Fabric::new(FabricConfig::ideal());
-        let na = Node::new(fabric.attach(NodeId(0)), NodeConfig::default());
-        let nb = Node::new(fabric.attach(NodeId(1)), NodeConfig::default());
+        let na = Node::new(fabric.attach(NodeId(0)), node_cfg());
+        let nb = Node::new(fabric.attach(NodeId(1)), node_cfg());
         let a = na.create_ni(1, ni_cfg.clone()).unwrap();
         let b = nb.create_ni(1, ni_cfg).unwrap();
         let (a_id, b_id) = (a.id(), b.id());
@@ -54,7 +66,11 @@ fn bench_pingpong(c: &mut Criterion) {
         });
 
         let md = a.md_bind(MdSpec::new(Region::zeroed(size))).unwrap();
-        let label = if region_buffers { "rtt" } else { "rtt_flat" };
+        let label = match (region_buffers, progress_mode) {
+            (_, ProgressMode::CallerDriven) => "rtt_threadless",
+            (true, _) => "rtt",
+            (false, _) => "rtt_flat",
+        };
         g.bench_with_input(BenchmarkId::new(label, size), &size, |bch, _| {
             bch.iter(|| {
                 a.put_op(md).target(b_id, 0).submit().unwrap();

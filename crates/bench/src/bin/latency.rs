@@ -1,0 +1,243 @@
+//! §3 latency ablation: who drives progress, and what does it cost?
+//!
+//! Measures small-message ping-pong half-RTT through the full Portals stack
+//! under three progress regimes:
+//!
+//! * `host_driven` — GM-style baseline: arriving messages queue raw and are
+//!   processed only inside API calls ([`ProgressModel::HostDriven`]), with
+//!   the classic per-endpoint transport thread.
+//! * `nic_thread` — application bypass with the NIC-thread transport: the
+//!   dispatcher thread runs the receive rules on arrival, but every message
+//!   crosses two thread handoffs per direction (transport worker, node
+//!   dispatcher).
+//! * `threadless` — application bypass with caller-driven progress
+//!   ([`ProgressMode::CallerDriven`]): the blocked caller itself steps the
+//!   transport, pumps the wire and runs the engine inline. No queue hop, no
+//!   handoff; park/unpark only after a bounded spin.
+//!
+//! Prints a table and writes a machine-readable `BENCH_latency.json`.
+//!
+//! Run: `cargo run --release -p portals-bench --bin latency [--quick] [--out PATH]`
+
+use portals::{MdSpec, MePos, NiConfig, Node, NodeConfig, ProgressMode, ProgressModel, Region};
+use portals_net::{Fabric, FabricConfig};
+use portals_transport::TransportConfig;
+use portals_types::{MatchCriteria, NodeId, ProcessId};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    HostDriven,
+    NicThread,
+    Threadless,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::HostDriven => "host_driven",
+            Mode::NicThread => "nic_thread",
+            Mode::Threadless => "threadless",
+        }
+    }
+
+    fn progress_model(self) -> ProgressModel {
+        match self {
+            Mode::HostDriven => ProgressModel::HostDriven,
+            _ => ProgressModel::ApplicationBypass,
+        }
+    }
+
+    fn progress_mode(self) -> ProgressMode {
+        match self {
+            Mode::Threadless => ProgressMode::CallerDriven,
+            // Pin explicitly so PORTALS_PROGRESS_MODE can't skew the ablation.
+            _ => ProgressMode::NicThread,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Sample {
+    mode: &'static str,
+    size: usize,
+    iters: usize,
+    rtt_mean_us: f64,
+    half_rtt_p50_us: f64,
+    half_rtt_p99_us: f64,
+    half_rtt_mean_us: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    quick: bool,
+    warmup: usize,
+    iters: usize,
+    /// p50 round-trip comparisons at 0 bytes (p50, not mean: on a shared
+    /// single-CPU host the mean is dominated by scheduler preemption tails).
+    zero_byte_rtt_p50_us_threadless: f64,
+    zero_byte_rtt_p50_us_nic_thread: f64,
+    zero_byte_rtt_p50_us_host_driven: f64,
+    zero_byte_speedup_vs_nic_thread: f64,
+    zero_byte_speedup_vs_host_driven: f64,
+    results: Vec<Sample>,
+}
+
+/// One ping-pong rig: pinger on the calling thread, echo thread for the pong
+/// side. Returns per-iteration RTTs.
+fn pingpong(mode: Mode, size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
+    let fabric = Fabric::new(FabricConfig::ideal());
+    let node_cfg = || NodeConfig {
+        transport: TransportConfig {
+            progress_mode: mode.progress_mode(),
+            ..Default::default()
+        },
+        directory: None,
+        obs: Default::default(),
+    };
+    let na = Node::new(fabric.attach(NodeId(0)), node_cfg());
+    let nb = Node::new(fabric.attach(NodeId(1)), node_cfg());
+    let ni_cfg = NiConfig {
+        progress: mode.progress_model(),
+        ..Default::default()
+    };
+    let a = na.create_ni(1, ni_cfg.clone()).unwrap();
+    let b = nb.create_ni(1, ni_cfg).unwrap();
+    let (a_id, b_id) = (a.id(), b.id());
+
+    let setup = |ni: &portals::NetworkInterface| {
+        let eq = ni.eq_alloc(64).unwrap();
+        let me = ni
+            .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+            .unwrap();
+        ni.md_attach(me, MdSpec::new(Region::zeroed(size.max(1))).with_eq(eq))
+            .unwrap();
+        eq
+    };
+    let eq_a = setup(&a);
+    let eq_b = setup(&b);
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let ponger = std::thread::spawn(move || {
+        let md = b.md_bind(MdSpec::new(Region::zeroed(size))).unwrap();
+        while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+            match b.eq_poll(eq_b, Duration::from_millis(10)) {
+                Ok(_) => b.put_op(md).target(a_id, 0).submit().unwrap(),
+                Err(_) => continue,
+            }
+        }
+    });
+
+    let md = a.md_bind(MdSpec::new(Region::zeroed(size))).unwrap();
+    let one = || {
+        a.put_op(md).target(b_id, 0).submit().unwrap();
+        a.eq_wait(eq_a).unwrap();
+    };
+    for _ in 0..warmup {
+        one();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        one();
+        samples.push(t0.elapsed());
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    ponger.join().unwrap();
+    // The fabric must outlive the nodes' drop-time transport teardown.
+    drop((na, nb, a));
+    drop(fabric);
+    samples
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+fn measure(mode: Mode, size: usize, warmup: usize, iters: usize) -> Sample {
+    let mut rtts = pingpong(mode, size, warmup, iters);
+    rtts.sort();
+    let mean_us = rtts.iter().map(|d| d.as_secs_f64()).sum::<f64>() / rtts.len() as f64 * 1e6;
+    Sample {
+        mode: mode.name(),
+        size,
+        iters,
+        rtt_mean_us: mean_us,
+        half_rtt_p50_us: percentile_us(&rtts, 0.50) / 2.0,
+        half_rtt_p99_us: percentile_us(&rtts, 0.99) / 2.0,
+        half_rtt_mean_us: mean_us / 2.0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_latency.json".to_string());
+    let (warmup, iters) = if quick { (200, 500) } else { (1000, 5000) };
+
+    println!("§3 progress-mode latency ablation (ideal fabric, full stack)");
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>14} {:>12}",
+        "mode", "bytes", "half-RTT p50", "half-RTT p99", "half-RTT mean", "RTT mean"
+    );
+
+    let mut results = Vec::new();
+    for size in [0usize, 64, 4096] {
+        for mode in [Mode::HostDriven, Mode::NicThread, Mode::Threadless] {
+            let s = measure(mode, size, warmup, iters);
+            println!(
+                "{:<12} {:>6} {:>11.2} µs {:>11.2} µs {:>11.2} µs {:>9.2} µs",
+                s.mode,
+                s.size,
+                s.half_rtt_p50_us,
+                s.half_rtt_p99_us,
+                s.half_rtt_mean_us,
+                s.rtt_mean_us
+            );
+            results.push(s);
+        }
+    }
+
+    // The tentpole claim: threadless small-message RTT under the paper's
+    // 20 µs bar, well below both threaded baselines.
+    let rtt0 = |m: &str| {
+        results
+            .iter()
+            .find(|s| s.mode == m && s.size == 0)
+            .map(|s| s.half_rtt_p50_us * 2.0)
+            .unwrap()
+    };
+    let (host, nic, threadless) = (rtt0("host_driven"), rtt0("nic_thread"), rtt0("threadless"));
+    println!(
+        "\n0-byte RTT p50: host_driven {host:.2} µs, nic_thread {nic:.2} µs, \
+         threadless {threadless:.2} µs — {:.1}x vs nic_thread, {:.1}x vs host_driven",
+        nic / threadless,
+        host / threadless,
+    );
+
+    let report = Report {
+        bench: "latency",
+        quick,
+        warmup,
+        iters,
+        zero_byte_rtt_p50_us_threadless: threadless,
+        zero_byte_rtt_p50_us_nic_thread: nic,
+        zero_byte_rtt_p50_us_host_driven: host,
+        zero_byte_speedup_vs_nic_thread: nic / threadless,
+        zero_byte_speedup_vs_host_driven: host / threadless,
+        results,
+    };
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -26,9 +26,9 @@ use crate::request::{Completion, ReqKind, Request, Status};
 use parking_lot::Mutex;
 use portals::{
     AckRequest, EqHandle, EventKind, MdHandle, MdOptions, MdSpec, MeHandle, MePos,
-    NetworkInterface, Region, Threshold,
+    NetworkInterface, Region, RegionPool, Threshold,
 };
-use portals_obs::{Layer, Stage, TraceEvent};
+use portals_obs::{Counter, Layer, Stage, TraceEvent};
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlError, PtlResult, Rank};
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -72,6 +72,10 @@ struct SendInfo {
     dest: ProcessId,
     match_bits: MatchBits,
     portal: u32,
+    /// The pooled slab backing this send, returned to the pool once the
+    /// operation's final completion (ack or get) arrives. `None` for
+    /// caller-owned and oversize buffers.
+    pooled: Option<Region>,
 }
 
 /// A rendezvous announcement waiting for its receive.
@@ -115,6 +119,14 @@ pub struct MpiEngine {
     eq: EqHandle,
     config: MpiConfig,
     state: Mutex<EngState>,
+    /// Slab pool for small eager sends and RTS records (the malloc/free pair
+    /// the latency-critical path used to pay per message).
+    pool: RegionPool,
+    /// `mpi.regions_pooled`: sends served from a recycled slab.
+    regions_pooled: Counter,
+    /// `mpi.regions_allocated`: pool-eligible sends that fell back to a
+    /// fresh allocation (cold pool or quarantined slabs).
+    regions_allocated: Counter,
 }
 
 impl MpiEngine {
@@ -153,7 +165,13 @@ impl MpiEngine {
             false,
             MePos::Back,
         )?;
+        let labels = [("node", ni.id().nid.0.to_string())];
+        let regions_pooled = ni.obs().registry.counter("mpi.regions_pooled", &labels);
+        let regions_allocated = ni.obs().registry.counter("mpi.regions_allocated", &labels);
         let engine = MpiEngine {
+            pool: RegionPool::new(config.pool_slab, config.pool_free),
+            regions_pooled,
+            regions_allocated,
             ni,
             eq,
             config,
@@ -235,8 +253,9 @@ impl MpiEngine {
     // ----- sending -----------------------------------------------------------
 
     /// Nonblocking send of `data` to `dest` with the given context/rank/tag
-    /// triple. The data is snapshotted into a fresh [`Region`] (the caller's
-    /// slice need not outlive the request) — the one API-boundary copy. Use
+    /// triple. The data is snapshotted (the caller's slice need not outlive
+    /// the request) — the one API-boundary copy. Small eager sends snapshot
+    /// into a pooled slab recycled on completion; larger ones allocate. Use
     /// [`MpiEngine::isend_region`] to send a caller-owned region with no copy.
     pub fn isend(
         &self,
@@ -246,7 +265,27 @@ impl MpiEngine {
         tag: Tag,
         data: &[u8],
     ) -> PtlResult<Request> {
-        self.isend_region(context, my_rank, dest, tag, Region::copy_from_slice(data))
+        let rendezvous = match self.config.protocol {
+            Protocol::Rendezvous { eager_limit } => data.len() >= eager_limit,
+            Protocol::EagerDirect => false,
+        };
+        if !rendezvous && data.len() <= self.pool.slab_len() && self.pool.slab_len() > 0 {
+            let slab = self.take_slab();
+            if !data.is_empty() {
+                slab.write(0, data);
+            }
+            return self.isend_inner(context, my_rank, dest, tag, slab, data.len(), true);
+        }
+        let len = data.len();
+        self.isend_inner(
+            context,
+            my_rank,
+            dest,
+            tag,
+            Region::copy_from_slice(data),
+            len,
+            false,
+        )
     }
 
     /// Nonblocking send of a caller-owned region. Zero-copy: the MD is bound
@@ -261,18 +300,48 @@ impl MpiEngine {
         tag: Tag,
         data: Region,
     ) -> PtlResult<Request> {
+        let len = data.len();
+        self.isend_inner(context, my_rank, dest, tag, data, len, false)
+    }
+
+    /// A pool slab, with the hit/miss mirrored into the obs counters.
+    fn take_slab(&self) -> Region {
+        let (slab, hit) = self.pool.take_tracked();
+        if hit {
+            self.regions_pooled.inc();
+        } else {
+            self.regions_allocated.inc();
+        }
+        slab
+    }
+
+    /// The shared isend body. `len` is the message length — `data` may be a
+    /// pooled slab longer than the message, so the MD is bound `len`-long
+    /// over its front. `pooled` marks the region for recycling when the
+    /// send's final completion arrives.
+    #[allow(clippy::too_many_arguments)]
+    fn isend_inner(
+        &self,
+        context: bits::Context,
+        my_rank: u16,
+        dest: ProcessId,
+        tag: Tag,
+        data: Region,
+        len: usize,
+        pooled: bool,
+    ) -> PtlResult<Request> {
         let match_bits = bits::encode(context, my_rank, tag);
         let mut st = self.state.lock();
         let id = st.next_req;
         st.next_req += 1;
 
         let rendezvous = match self.config.protocol {
-            Protocol::Rendezvous { eager_limit } => data.len() >= eager_limit,
+            Protocol::Rendezvous { eager_limit } => len >= eager_limit,
             Protocol::EagerDirect => false,
         };
         self.trace(
             Stage::Submit,
-            data.len() as u64,
+            len as u64,
             if rendezvous { "rendezvous" } else { "eager" },
         );
 
@@ -290,6 +359,7 @@ impl MpiEngine {
             let md = self.ni.md_attach(
                 me,
                 MdSpec::new(data.clone())
+                    .with_length(len)
                     .with_eq(self.eq)
                     .with_threshold(Threshold::Count(1))
                     .with_options(MdOptions {
@@ -307,18 +377,30 @@ impl MpiEngine {
                     dest,
                     match_bits,
                     portal: PT_RDVZ,
+                    pooled: pooled.then(|| data.clone()),
                 },
             );
 
-            let mut rts = Vec::with_capacity(RTS_SIZE);
-            rts.extend_from_slice(&serial.to_le_bytes());
-            rts.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            let mut rts = [0u8; RTS_SIZE];
+            rts[0..8].copy_from_slice(&serial.to_le_bytes());
+            rts[8..16].copy_from_slice(&(len as u64).to_le_bytes());
+            // RTS records are the highest-rate small allocation on the
+            // rendezvous path: serve them from the pool too.
+            let rts_pooled = self.pool.slab_len() >= RTS_SIZE;
+            let rts_region = if rts_pooled {
+                let slab = self.take_slab();
+                slab.write(0, &rts);
+                slab
+            } else {
+                Region::copy_from_slice(&rts)
+            };
             if self.ni.flow_control() {
                 // The announcement must survive a flow-disabled control
                 // portal: request an ack so a nack can trigger re-issue, and
                 // keep the MD linked until the target confirms buffering.
                 let rts_md = self.ni.md_bind(
-                    MdSpec::new(Region::from_vec(rts))
+                    MdSpec::new(rts_region.clone())
+                        .with_length(RTS_SIZE)
                         .with_eq(self.eq)
                         .with_threshold(Threshold::Count(1)),
                 )?;
@@ -329,6 +411,7 @@ impl MpiEngine {
                         dest,
                         match_bits,
                         portal: PT_CTRL,
+                        pooled: rts_pooled.then(|| rts_region.clone()),
                     },
                 );
                 self.ni
@@ -340,8 +423,12 @@ impl MpiEngine {
                     .submit()?;
             } else {
                 // The RTS needs no completion tracking: put() snapshots the
-                // payload synchronously, so the MD can be unlinked immediately.
-                let rts_md = self.ni.md_bind(MdSpec::new(Region::from_vec(rts)))?;
+                // payload synchronously, so the MD can be unlinked immediately
+                // and the slab recycled (the pool quarantines it while wire
+                // views still reference it).
+                let rts_md = self
+                    .ni
+                    .md_bind(MdSpec::new(rts_region.clone()).with_length(RTS_SIZE))?;
                 self.ni
                     .put_op(rts_md)
                     .target(dest, PT_CTRL)
@@ -349,10 +436,14 @@ impl MpiEngine {
                     .cookie(COOKIE)
                     .submit()?;
                 let _ = self.ni.md_unlink(rts_md);
+                if rts_pooled {
+                    self.pool.recycle(rts_region);
+                }
             }
         } else {
             let md = self.ni.md_bind(
-                MdSpec::new(data)
+                MdSpec::new(data.clone())
+                    .with_length(len)
                     .with_eq(self.eq)
                     .with_threshold(Threshold::Count(1)),
             )?;
@@ -363,6 +454,7 @@ impl MpiEngine {
                     dest,
                     match_bits,
                     portal: PT_MSG,
+                    pooled: pooled.then(|| data.clone()),
                 },
             );
             self.ni
@@ -728,6 +820,17 @@ impl MpiEngine {
         self.state.lock().unexpected.len()
     }
 
+    /// Sends whose snapshot buffer came from the region pool (the
+    /// `mpi.regions_pooled` metric).
+    pub fn regions_pooled(&self) -> u64 {
+        self.pool.pooled()
+    }
+
+    /// Pool-eligible sends that fell back to a fresh allocation.
+    pub fn regions_allocated(&self) -> u64 {
+        self.pool.allocated()
+    }
+
     // ----- event processing -----------------------------------------------------
 
     /// Consume every pending event.
@@ -775,6 +878,9 @@ impl MpiEngine {
                         st.send_done.insert(id, (ev.mlength, ev.rlength));
                     }
                     let _ = self.ni.md_unlink(ev.md);
+                    if let Some(slab) = info.pooled {
+                        self.pool.recycle(slab);
+                    }
                 }
             }
             EventKind::Get => {
@@ -784,6 +890,9 @@ impl MpiEngine {
                         st.send_done.insert(id, (ev.mlength, ev.rlength));
                     }
                     // Exposed MD unlinks itself (threshold 1 + unlink flag).
+                    if let Some(slab) = info.pooled {
+                        self.pool.recycle(slab);
+                    }
                 }
             }
             EventKind::Reply => {

@@ -500,3 +500,58 @@ fn concurrent_pairs_do_not_interfere() {
         },
     );
 }
+
+#[test]
+fn small_send_slabs_are_pooled_and_recycled() {
+    // A ping-pong loop long enough for acks to return slabs to the pool:
+    // after warm-up nearly every small send should reuse a slab rather than
+    // allocate, and the counter must converge accordingly.
+    world_run(
+        2,
+        ProgressModel::ApplicationBypass,
+        MpiConfig::default(),
+        |comm| {
+            let me = comm.rank().0;
+            let partner = Rank(me ^ 1);
+            for i in 0..100u32 {
+                let msg = [i as u8; 32];
+                if me == 0 {
+                    comm.send(partner, 7, &msg);
+                    let _ = comm.recv(Some(partner), Some(7), 64);
+                } else {
+                    let _ = comm.recv(Some(partner), Some(7), 64);
+                    comm.send(partner, 7, &msg);
+                }
+            }
+            let pooled = comm.engine().regions_pooled();
+            let allocated = comm.engine().regions_allocated();
+            assert_eq!(pooled + allocated, 100, "every small send is pool-eligible");
+            assert!(
+                pooled >= 90,
+                "expected ≥90 of 100 sends served from the pool, got {pooled} \
+                 (allocated {allocated})"
+            );
+        },
+    );
+}
+
+#[test]
+fn oversize_sends_bypass_the_pool() {
+    world_run(
+        2,
+        ProgressModel::ApplicationBypass,
+        MpiConfig::default(),
+        |comm| {
+            let me = comm.rank().0;
+            if me == 0 {
+                // Larger than MpiConfig::default().pool_slab (2048).
+                comm.send(Rank(1), 3, &vec![9u8; 8192]);
+                assert_eq!(comm.engine().regions_pooled(), 0);
+                assert_eq!(comm.engine().regions_allocated(), 0);
+            } else {
+                let (data, _) = comm.recv(Some(Rank(0)), Some(3), 16384);
+                assert_eq!(data.len(), 8192);
+            }
+        },
+    );
+}

@@ -79,6 +79,11 @@ pub struct FabricConfig {
     /// Observability handle: the fabric registers its `fabric.*` counters in
     /// `obs.registry` and emits wire/drop trace events through `obs.tracer`.
     pub obs: Obs,
+    /// Pump the timed wire from callers (`Nic::pump_wire`) instead of a
+    /// dedicated scheduler thread. The threadless progress mode sets this so
+    /// no thread at all stands between a send and its delivery; meaningless
+    /// (ignored) when the wire qualifies for full bypass anyway.
+    pub caller_driven_wire: bool,
 }
 
 impl FabricConfig {
@@ -116,6 +121,13 @@ impl FabricConfig {
     /// Set the observability handle.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Choose caller-pumped wire scheduling (see
+    /// [`FabricConfig::caller_driven_wire`]).
+    pub fn with_caller_driven_wire(mut self, on: bool) -> Self {
+        self.caller_driven_wire = on;
         self
     }
 }

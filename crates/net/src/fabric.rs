@@ -7,15 +7,37 @@ use crate::stats::{FabricStats, FabricStatsSnapshot, NicStats};
 use crossbeam::channel::Sender;
 use parking_lot::{Condvar, Mutex, RwLock};
 use portals_obs::{Layer, Stage, TraceEvent, NONE_U64};
-use portals_types::NodeId;
+use portals_types::{NodeId, Readiness};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// A protocol stack that can be driven cooperatively by *other* threads'
+/// blocking waits (the caller-driven progress mode).
+///
+/// In threadless mode no thread stands behind an idle node, so a process that
+/// parks in `eq_wait` must be able to advance its *peers'* protocol state —
+/// the in-process simulation analogue of every real process polling its own
+/// NIC. A node (or bare transport endpoint) registers itself with the fabric's
+/// [`DriverHub`]; wait loops then call [`DriverHub::service_peers`] between
+/// their own progress steps.
+///
+/// Implementations must be re-entrancy-safe against concurrent `service`
+/// calls from different threads (internally they take a non-blocking
+/// try-lock and bail if another thread is already inside).
+pub trait NodeDriver: Send + Sync {
+    /// Advance this node's protocol state machines once. Returns `true` if
+    /// any work was performed.
+    fn service(&self) -> bool;
+    /// Cheap test: is there pending work (raised readiness bits, a due
+    /// retransmission timer) that `service` would act on?
+    fn has_work(&self) -> bool;
+}
 
 /// A packet waiting on the simulated wire.
 struct ScheduledPacket {
@@ -54,17 +76,35 @@ struct WireState {
     shutdown: bool,
 }
 
+/// Per-attached-node routing entry: the inbound channel plus the readiness
+/// doorbell rung when a packet lands on it.
+pub(crate) struct Route {
+    pub(crate) tx: Sender<Datagram>,
+    pub(crate) readiness: Arc<Readiness>,
+}
+
 pub(crate) struct Shared {
     pub(crate) clock: SimClock,
     pub(crate) config: FabricConfig,
     pub(crate) stats: FabricStats,
-    pub(crate) routes: RwLock<HashMap<NodeId, Sender<Datagram>>>,
+    pub(crate) routes: RwLock<HashMap<NodeId, Route>>,
+    /// Caller-driven nodes that volunteered to be serviced from peers' wait
+    /// loops (see [`NodeDriver`]). `Weak` so the registry never keeps a node
+    /// alive — and never forms a cycle through the node's own `Arc<Shared>`.
+    drivers: RwLock<Vec<(NodeId, Weak<dyn NodeDriver>)>>,
     partitions: RwLock<HashSet<(NodeId, NodeId)>>,
     wire: Mutex<WireState>,
     wire_cond: Condvar,
     /// True when the link model and fault plan allow delivering in the sender's
     /// thread (zero delay, no faults) — the scheduler is skipped entirely.
     bypass_wire: bool,
+    /// True when a timed/faulty wire is pumped by callers (via
+    /// [`Shared::pump_wire`]) instead of a scheduler thread.
+    caller_pumped: bool,
+    /// Single-pumper exclusion for [`Shared::pump_wire`]: packets must leave
+    /// the heap in (deliver_at, seq) order, so only one caller drains at a
+    /// time; others skip (the pumper delivers their packets too).
+    pump_lock: Mutex<()>,
     alive: AtomicBool,
 }
 
@@ -82,9 +122,12 @@ impl Shared {
         let (src, dst) = (datagram.src.0, datagram.dst.0);
         let routes = self.routes.read();
         match routes.get(&datagram.dst) {
-            Some(tx) => {
+            Some(route) => {
                 let bytes = datagram.payload.len() as u64;
-                if tx.send(datagram).is_ok() {
+                if route.tx.send(datagram).is_ok() {
+                    // Raise the doorbell *after* the enqueue so a consumer
+                    // that takes the bit always finds the packet.
+                    route.readiness.set(Readiness::INBOUND);
                     self.stats.packets_delivered.inc();
                     self.stats.bytes_delivered.add(bytes);
                     // A bypassed wire has no arrival ordering to record (the
@@ -127,6 +170,7 @@ impl Shared {
     /// Entry point used by [`Nic::send`].
     pub(crate) fn send(&self, datagram: Datagram) {
         let tracer = &self.config.obs.tracer;
+        let dst_node = datagram.dst;
         let (src, dst) = (datagram.src.0, datagram.dst.0);
         let bytes = datagram.payload.len() as u64;
         self.stats.packets_sent.inc();
@@ -228,7 +272,151 @@ impl Shared {
             }));
         }
         drop(wire);
-        self.wire_cond.notify_one();
+        if self.caller_pumped {
+            // No scheduler thread to wake. Ring the destination's doorbell
+            // (sequence bump only, no bits — nothing is queued yet) so a
+            // parked waiter re-derives its park deadline from the new wire
+            // schedule and pumps the packet out at its delivery time.
+            if let Some(route) = self.routes.read().get(&dst_node) {
+                route.readiness.ring();
+            }
+        } else {
+            self.wire_cond.notify_one();
+        }
+    }
+
+    /// Deliver every wire packet whose time has come, in (deliver_at, seq)
+    /// order, and return the delivery deadline of the next pending packet (if
+    /// any). Only meaningful on a caller-pumped wire; a no-op returning `None`
+    /// otherwise.
+    ///
+    /// Any caller-driven progress loop may call this; a non-blocking try-lock
+    /// keeps ordering single-threaded (losers return the next deadline
+    /// without draining).
+    pub(crate) fn pump_wire(&self) -> Option<Instant> {
+        if !self.caller_pumped {
+            return None;
+        }
+        let Some(_pumper) = self.pump_lock.try_lock() else {
+            return self.next_wire_deadline();
+        };
+        loop {
+            let now = self.clock.now();
+            let mut wire = self.wire.lock();
+            match wire.heap.peek() {
+                Some(Reverse(pkt)) if pkt.deliver_at <= now => {
+                    let pkt = wire.heap.pop().expect("peeked").0;
+                    // Deliver outside the wire lock (see wire_scheduler).
+                    drop(wire);
+                    self.deliver(pkt.datagram, pkt.seq, pkt.dup);
+                }
+                Some(Reverse(pkt)) => return Some(self.clock.instant_at(pkt.deliver_at)),
+                None => return None,
+            }
+        }
+    }
+
+    /// Delivery deadline of the earliest scheduled wire packet, if any (and
+    /// only if the wire is caller-pumped).
+    pub(crate) fn next_wire_deadline(&self) -> Option<Instant> {
+        if !self.caller_pumped {
+            return None;
+        }
+        let wire = self.wire.lock();
+        wire.heap
+            .peek()
+            .map(|Reverse(pkt)| self.clock.instant_at(pkt.deliver_at))
+    }
+
+    /// Register (or replace) the cooperative driver for `nid`.
+    pub(crate) fn register_driver(&self, nid: NodeId, driver: Weak<dyn NodeDriver>) {
+        let mut drivers = self.drivers.write();
+        if let Some(slot) = drivers.iter_mut().find(|(n, _)| *n == nid) {
+            slot.1 = driver;
+        } else {
+            drivers.push((nid, driver));
+        }
+    }
+
+    /// Drop the cooperative driver registered for `nid`, if any.
+    pub(crate) fn unregister_driver(&self, nid: NodeId) {
+        self.drivers.write().retain(|(n, _)| *n != nid);
+    }
+
+    /// Service every registered driver other than `own` that reports pending
+    /// work. Returns `true` if any driver performed work. Dead registrations
+    /// (dropped nodes) are pruned as encountered.
+    pub(crate) fn service_peers(&self, own: NodeId) -> bool {
+        // Snapshot under the read lock, service outside it: a serviced driver
+        // may attach/detach nodes or re-enter the fabric.
+        let snapshot: Vec<(NodeId, Weak<dyn NodeDriver>)> = self
+            .drivers
+            .read()
+            .iter()
+            .filter(|(n, _)| *n != own)
+            .cloned()
+            .collect();
+        let mut worked = false;
+        let mut dead: Vec<NodeId> = Vec::new();
+        for (nid, weak) in snapshot {
+            match weak.upgrade() {
+                Some(driver) => {
+                    if driver.has_work() && driver.service() {
+                        worked = true;
+                    }
+                }
+                None => dead.push(nid),
+            }
+        }
+        if !dead.is_empty() {
+            self.drivers
+                .write()
+                .retain(|(n, w)| !dead.contains(n) || w.strong_count() > 0);
+        }
+        worked
+    }
+}
+
+/// A handle for participating in cooperative caller-driven progress: register
+/// a [`NodeDriver`] for this node and service peers' pending work from wait
+/// loops. Obtained from [`Nic::driver_hub`]; cheap to clone.
+#[derive(Clone)]
+pub struct DriverHub {
+    nid: NodeId,
+    shared: Arc<Shared>,
+}
+
+impl DriverHub {
+    pub(crate) fn new(nid: NodeId, shared: Arc<Shared>) -> DriverHub {
+        DriverHub { nid, shared }
+    }
+
+    /// The node this hub handle belongs to.
+    pub fn nid(&self) -> NodeId {
+        self.nid
+    }
+
+    /// Register (or replace) this node's cooperative driver.
+    pub fn register(&self, driver: Weak<dyn NodeDriver>) {
+        self.shared.register_driver(self.nid, driver);
+    }
+
+    /// Remove this node's cooperative driver.
+    pub fn unregister(&self) {
+        self.shared.unregister_driver(self.nid);
+    }
+
+    /// Advance every *other* registered node that has pending work. Returns
+    /// `true` if anything was done. Called from caller-driven wait loops so
+    /// single-process simulations make progress for all their nodes.
+    pub fn service_peers(&self) -> bool {
+        self.shared.service_peers(self.nid)
+    }
+}
+
+impl std::fmt::Debug for DriverHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DriverHub({})", self.nid)
     }
 }
 
@@ -250,10 +438,12 @@ impl Fabric {
             && config.link.latency == Duration::ZERO
             && config.link.per_packet_overhead == Duration::ZERO
             && config.link.bandwidth_bytes_per_sec.is_infinite();
+        let caller_pumped = config.caller_driven_wire && !bypass_wire;
         let shared = Arc::new(Shared {
             clock: SimClock::new(),
             stats: FabricStats::new(&config.obs.registry),
             routes: RwLock::new(HashMap::new()),
+            drivers: RwLock::new(Vec::new()),
             partitions: RwLock::new(HashSet::new()),
             wire: Mutex::new(WireState {
                 heap: BinaryHeap::new(),
@@ -264,11 +454,13 @@ impl Fabric {
             }),
             wire_cond: Condvar::new(),
             bypass_wire,
+            caller_pumped,
+            pump_lock: Mutex::new(()),
             alive: AtomicBool::new(true),
             config,
         });
 
-        let scheduler = if bypass_wire {
+        let scheduler = if bypass_wire || caller_pumped {
             None
         } else {
             let shared = Arc::clone(&shared);
@@ -295,15 +487,23 @@ impl Fabric {
     /// attaching twice is a program structure bug, not a runtime condition.
     pub fn attach(&self, nid: NodeId) -> Nic {
         let (tx, rx) = crossbeam::channel::unbounded();
+        let readiness = Arc::new(Readiness::new());
         {
             let mut routes = self.shared.routes.write();
-            let prev = routes.insert(nid, tx);
+            let prev = routes.insert(
+                nid,
+                Route {
+                    tx,
+                    readiness: Arc::clone(&readiness),
+                },
+            );
             assert!(prev.is_none(), "node {nid} attached twice");
         }
         Nic::new(
             nid,
             Arc::clone(&self.shared),
             rx,
+            readiness,
             Arc::new(NicStats::default()),
         )
     }
@@ -667,6 +867,106 @@ mod tests {
         assert_eq!(first, second, "same seed, same survivors");
         assert!(!first.is_empty() && first.len() < 200, "50% loss plausible");
         assert_ne!(first, different, "different seed, different pattern");
+    }
+
+    #[test]
+    fn delivery_raises_inbound_readiness() {
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        let r = b.readiness();
+        assert_eq!(r.peek() & portals_types::Readiness::INBOUND, 0);
+        a.send(NodeId(1), dgram(0, 1, 4));
+        assert_ne!(r.peek() & portals_types::Readiness::INBOUND, 0);
+        assert_eq!(
+            r.take(portals_types::Readiness::INBOUND),
+            portals_types::Readiness::INBOUND
+        );
+        assert!(b.try_recv().is_ok());
+    }
+
+    #[test]
+    fn caller_pumped_wire_delivers_only_when_pumped() {
+        let latency = Duration::from_millis(5);
+        let cfg = FabricConfig::default()
+            .with_caller_driven_wire(true)
+            .with_link(LinkModel {
+                latency,
+                bandwidth_bytes_per_sec: f64::INFINITY,
+                per_packet_overhead: Duration::ZERO,
+            });
+        let fabric = Fabric::new(cfg);
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        for i in 0..10u8 {
+            a.send(NodeId(1), Bytes::from(vec![i]));
+        }
+        // Nothing moves without a pump (no scheduler thread exists).
+        std::thread::sleep(2 * latency);
+        assert!(b.try_recv().is_err(), "no delivery before a pump");
+        let next = a.pump_wire();
+        assert!(next.is_none(), "all packets were due and must be drained");
+        for i in 0..10u8 {
+            let d = b.try_recv().expect("pumped delivery");
+            assert_eq!(d.payload.to_bytes()[0], i, "in (time, seq) order");
+        }
+    }
+
+    #[test]
+    fn caller_pumped_wire_reports_future_deadline() {
+        let latency = Duration::from_secs(3600); // far future: never due in-test
+        let cfg = FabricConfig::default()
+            .with_caller_driven_wire(true)
+            .with_link(LinkModel {
+                latency,
+                bandwidth_bytes_per_sec: f64::INFINITY,
+                per_packet_overhead: Duration::ZERO,
+            });
+        let fabric = Fabric::new(cfg);
+        let a = fabric.attach(NodeId(0));
+        let _b = fabric.attach(NodeId(1));
+        assert!(a.pump_wire().is_none(), "empty wire has no deadline");
+        a.send(NodeId(1), dgram(0, 1, 4));
+        let deadline = a.pump_wire().expect("scheduled packet has a deadline");
+        assert!(deadline > std::time::Instant::now());
+    }
+
+    #[test]
+    fn service_peers_skips_self_and_prunes_dead() {
+        use std::sync::atomic::AtomicU64;
+        struct CountingDriver {
+            serviced: AtomicU64,
+        }
+        impl NodeDriver for CountingDriver {
+            fn service(&self) -> bool {
+                self.serviced.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            fn has_work(&self) -> bool {
+                true
+            }
+        }
+        let fabric = Fabric::ideal();
+        let a = fabric.attach(NodeId(0));
+        let b = fabric.attach(NodeId(1));
+        let da = Arc::new(CountingDriver {
+            serviced: AtomicU64::new(0),
+        });
+        let db = Arc::new(CountingDriver {
+            serviced: AtomicU64::new(0),
+        });
+        let hub_a = a.driver_hub();
+        let hub_b = b.driver_hub();
+        hub_a.register(Arc::downgrade(&da) as std::sync::Weak<dyn NodeDriver>);
+        hub_b.register(Arc::downgrade(&db) as std::sync::Weak<dyn NodeDriver>);
+        assert!(hub_a.service_peers());
+        assert_eq!(da.serviced.load(Ordering::SeqCst), 0, "never services self");
+        assert_eq!(db.serviced.load(Ordering::SeqCst), 1);
+        // Drop b's driver: the dead weak must be pruned, not serviced.
+        drop(db);
+        assert!(!hub_a.service_peers());
+        assert!(hub_b.service_peers(), "a's driver still registered");
+        assert_eq!(da.serviced.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod stats;
 
 pub use clock::SimClock;
 pub use config::{FabricConfig, LinkModel};
-pub use fabric::Fabric;
+pub use fabric::{DriverHub, Fabric, NodeDriver};
 pub use fault::FaultPlan;
 pub use nic::{Datagram, Nic, RecvError};
 pub use stats::{FabricStats, NicStats};

@@ -1,13 +1,14 @@
 //! The NIC endpoint: what a simulated node holds to talk to the fabric.
 
-use crate::fabric::Shared;
+use crate::fabric::{DriverHub, Shared};
 use crate::stats::NicStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 use portals_types::Gather;
 use portals_types::NodeId;
+use portals_types::Readiness;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One packet on the wire: source, destination, opaque payload.
 #[derive(Clone, PartialEq, Eq)]
@@ -47,6 +48,7 @@ pub struct Nic {
     nid: NodeId,
     shared: Arc<Shared>,
     inbound: Receiver<Datagram>,
+    readiness: Arc<Readiness>,
     stats: Arc<NicStats>,
 }
 
@@ -55,12 +57,14 @@ impl Nic {
         nid: NodeId,
         shared: Arc<Shared>,
         inbound: Receiver<Datagram>,
+        readiness: Arc<Readiness>,
         stats: Arc<NicStats>,
     ) -> Self {
         Nic {
             nid,
             shared,
             inbound,
+            readiness,
             stats,
         }
     }
@@ -133,10 +137,40 @@ impl Nic {
     pub fn inbound_receiver(&self) -> Receiver<Datagram> {
         self.inbound.clone()
     }
+
+    /// This NIC's readiness doorbell: the fabric raises
+    /// [`Readiness::INBOUND`] on it after enqueuing each arriving packet, and
+    /// rings it (no bits) when a packet is scheduled toward this node on a
+    /// caller-pumped wire. Higher layers raise their own bits on the same
+    /// doorbell so one park covers all work classes.
+    pub fn readiness(&self) -> Arc<Readiness> {
+        Arc::clone(&self.readiness)
+    }
+
+    /// On a caller-pumped wire (see
+    /// [`FabricConfig::caller_driven_wire`](crate::FabricConfig)), deliver
+    /// every due wire packet and return the next delivery deadline, if any.
+    /// A no-op returning `None` on bypass wires and scheduler-thread wires.
+    pub fn pump_wire(&self) -> Option<Instant> {
+        self.shared.pump_wire()
+    }
+
+    /// Delivery deadline of the earliest packet scheduled on a caller-pumped
+    /// wire, without pumping. `None` on bypass/scheduler wires or when idle.
+    pub fn next_wire_deadline(&self) -> Option<Instant> {
+        self.shared.next_wire_deadline()
+    }
+
+    /// A [`DriverHub`] handle for this node: register a cooperative driver
+    /// and service peers from caller-driven wait loops.
+    pub fn driver_hub(&self) -> DriverHub {
+        DriverHub::new(self.nid, Arc::clone(&self.shared))
+    }
 }
 
 impl Drop for Nic {
     fn drop(&mut self) {
+        self.shared.unregister_driver(self.nid);
         self.shared.routes.write().remove(&self.nid);
     }
 }

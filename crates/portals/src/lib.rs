@@ -99,7 +99,7 @@ pub use md::{CombineOp, Md, MdMemory, MdOptions, MdSpec, MdVerdict, ReqOp, Segme
 pub use me::MatchEntry;
 pub use ni::{AckRequest, NetworkInterface, NiConfig, ProgressModel, NACK_MLENGTH};
 pub use node::{Node, NodeConfig, ProcessDirectory};
-pub use portals_types::{ErrorKind, Gather, Region};
+pub use portals_types::{ErrorKind, Gather, ProgressMode, Region, RegionPool};
 pub use table::MePos;
 pub use triggered::TriggeredOp;
 

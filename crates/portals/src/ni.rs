@@ -50,7 +50,7 @@ use crate::{CtHandle, EqHandle, MdHandle, MeHandle};
 use parking_lot::{Condvar, Mutex, RwLock};
 use portals_obs::{Layer, Obs, Stage, TraceEvent};
 use portals_types::{
-    Gather, MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult, Sharded,
+    Gather, MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult, Readiness, Sharded,
 };
 use portals_wire::{GetRequest, PortalsMessage, PutRequest, RequestHeader, RAW_HANDLE_NONE};
 use std::collections::VecDeque;
@@ -270,7 +270,10 @@ impl NetworkInterface {
     }
 
     /// Interface counters, including the §4.8 dropped-message counts.
+    /// On a threadless node, reading them drives progress first — a counter
+    /// polling loop must be able to advance the protocol it is observing.
     pub fn counters(&self) -> NiCountersSnapshot {
+        self.node.drive();
         self.core.counters.snapshot()
     }
 
@@ -325,6 +328,7 @@ impl NetworkInterface {
 
     /// Number of events currently pending on a queue.
     pub fn eq_len(&self, h: EqHandle) -> PtlResult<usize> {
+        self.node.drive();
         Ok(self.eq_ref(h)?.len())
     }
 
@@ -338,6 +342,15 @@ impl NetworkInterface {
 
     fn eq_wait_inner(&self, h: EqHandle, timeout: Option<Duration>) -> PtlResult<Event> {
         let eq = self.eq_ref(h)?;
+        if self.node.caller_driven {
+            // Threadless: this caller IS the progress engine. Drive, test,
+            // spin briefly, then park on the node's doorbell.
+            return self.wait_caller_driven(timeout, || match eq.try_get() {
+                Ok(e) => Ok(Some(e)),
+                Err(PtlError::EqEmpty) => Ok(None),
+                Err(e) => Err(e),
+            });
+        }
         match self.core.config.progress {
             ProgressModel::ApplicationBypass => match timeout {
                 Some(t) => eq.poll(t),
@@ -751,6 +764,7 @@ impl NetworkInterface {
 
     /// Current counter value (spec lineage: `PtlCTGet`).
     pub fn ct_get(&self, h: CtHandle) -> PtlResult<CtValue> {
+        self.node.drive();
         self.core
             .state
             .cts
@@ -783,6 +797,9 @@ impl NetworkInterface {
             .cts
             .get_clone(h)
             .ok_or(PtlError::InvalidCt)?;
+        if self.node.caller_driven {
+            return self.wait_caller_driven(timeout, || ct.try_check(test));
+        }
         match self.core.config.progress {
             ProgressModel::ApplicationBypass => ct.wait(test, timeout),
             ProgressModel::HostDriven => {
@@ -821,6 +838,7 @@ impl NetworkInterface {
             }
             ct.fire_done();
         }
+        self.node.ring_event();
         Ok(())
     }
 
@@ -828,6 +846,7 @@ impl NetworkInterface {
     /// triggers that become due, in the calling thread.
     pub fn ct_inc(&self, h: CtHandle, increment: u64) -> PtlResult<()> {
         if triggered::ct_increment(&self.core, &self.node, h, increment) {
+            self.node.ring_event();
             Ok(())
         } else {
             Err(PtlError::InvalidCt)
@@ -845,6 +864,7 @@ impl NetworkInterface {
             .get_clone(h)
             .ok_or(PtlError::InvalidCt)?;
         ct.add_failure(increment);
+        self.node.ring_event();
         Ok(())
     }
 
@@ -943,15 +963,102 @@ impl NetworkInterface {
         if let Some(op) = ct.register(threshold, op)? {
             triggered::fire(&self.core, &self.node, op);
             ct.fire_done();
+            self.node.ring_event();
         }
         Ok(())
     }
 
     // ----- progress -----------------------------------------------------------
 
+    /// The caller-driven blocking loop shared by `eq_wait_inner` and
+    /// `ct_wait_inner`: drive the node (and any peer nodes with pending
+    /// work), test the predicate, spin briefly while work flows, and park on
+    /// the node's readiness doorbell when idle.
+    ///
+    /// Lost-wakeup safety: the doorbell sequence is read *before* the final
+    /// predicate test, and the park is conditional on it being unchanged — a
+    /// completion that lands between the test and the park bumps the
+    /// sequence, so the park returns immediately. The park is additionally
+    /// bounded by the transport's next retransmission/wire deadline (someone
+    /// must fire those timers — there is no thread to do it) and a 1 ms cap.
+    fn wait_caller_driven<T>(
+        &self,
+        timeout: Option<Duration>,
+        mut check: impl FnMut() -> PtlResult<Option<T>>,
+    ) -> PtlResult<T> {
+        /// Idle iterations before parking (on multi-CPU hosts): at ~100 ns
+        /// per drive of an idle node this spins on the order of the
+        /// small-message RTT, so ping-pong never pays the unpark cost. Zero
+        /// on a single CPU, where spinning only delays the peer thread whose
+        /// work we are waiting for (see [`portals_types::spin_budget`]).
+        const SPIN_ITERS: u32 = 200;
+        /// Hard cap on any single park: a bounded backstop against deadline
+        /// computation races (peers can schedule new wire traffic while we
+        /// park).
+        const PARK_CAP: Duration = Duration::from_millis(1);
+
+        let spin_iters = portals_types::spin_budget(SPIN_ITERS);
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let readiness = &self.node.readiness;
+        let mut idle_iters: u32 = 0;
+        loop {
+            let observed = readiness.seq();
+            readiness.take(Readiness::EVENT);
+            let worked = self.node.progress_once();
+            self.drain_raw();
+            if let Some(v) = check()? {
+                return Ok(v);
+            }
+            if worked {
+                idle_iters = 0;
+                continue;
+            }
+            // Own node is idle. Peer nodes usually have their own blocked
+            // caller spinning on this same fabric; stepping them from here on
+            // every iteration turns two waiters into sustained contention on
+            // each other's dispatch and core locks (measured 4x worse 0-byte
+            // RTT). Service them only at a decimated cadence and at the park
+            // boundary — enough to keep single-threaded simulations live,
+            // rare enough to stay out of an active peer's way.
+            idle_iters += 1;
+            let parking = idle_iters > spin_iters;
+            if (parking || idle_iters % 32 == 0) && self.node.hub.service_peers() {
+                idle_iters = 0;
+                continue;
+            }
+            let now = Instant::now();
+            if let Some(d) = deadline {
+                if now >= d {
+                    return Err(PtlError::Timeout);
+                }
+            }
+            if !parking {
+                std::hint::spin_loop();
+                continue;
+            }
+            idle_iters = 0;
+            let mut bound = now + PARK_CAP;
+            if let Some(next) = self.node.endpoint.next_deadline() {
+                bound = bound.min(next.max(now));
+            }
+            if let Some(d) = deadline {
+                bound = bound.min(d);
+            }
+            readiness.wait(observed, bound.saturating_duration_since(now));
+        }
+    }
+
     /// Drain the raw message queue (host-driven model). A no-op for
     /// application-bypass interfaces, whose engine runs on the dispatcher.
+    /// On a caller-driven node this also steps the transport and dispatch
+    /// inline first — there is no dispatcher thread to have filled the queue.
     pub fn progress(&self) {
+        self.node.drive();
+        self.drain_raw();
+    }
+
+    /// Run the engine over every queued raw message (host-driven model).
+    fn drain_raw(&self) {
         if self.core.config.progress == ProgressModel::ApplicationBypass {
             return;
         }
@@ -965,7 +1072,12 @@ impl NetworkInterface {
     }
 
     /// Raw messages awaiting progress (always 0 under application bypass).
+    /// On a threadless node this drives the transport and dispatch (filling
+    /// the raw queue) but never *processes* raw traffic — the host-driven
+    /// model's "no receive rules outside API calls" contract holds in both
+    /// progress modes.
     pub fn raw_pending(&self) -> usize {
+        self.node.drive();
         self.core.raw.lock().len()
     }
 }
@@ -1130,6 +1242,9 @@ fn transmit(
         if core.state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
             core.counters.events_overwritten.inc();
         }
+        // A caller-driven waiter on this queue may be parked in another
+        // thread; the `Sent` event is a completion it can consume.
+        node.ring_event();
     }
     send_message(core, node, target.nid, &msg);
     core.counters.messages_sent.inc();

@@ -13,10 +13,14 @@
 
 use crate::engine;
 use crate::ni::{NetworkInterface, NiConfig, NiCore};
-use parking_lot::RwLock;
+use crossbeam::channel::Receiver;
+use parking_lot::{Mutex, RwLock};
+use portals_net::{DriverHub, NodeDriver};
 use portals_obs::{Counter, Layer, Obs, Stage, TraceEvent};
-use portals_transport::{Endpoint, TransportConfig};
-use portals_types::{Gather, NodeId, ProcessId, PtlError, PtlResult, UserId};
+use portals_transport::{Endpoint, IncomingMessage, TransportConfig};
+use portals_types::{
+    Gather, NodeId, ProcessId, ProgressMode, PtlError, PtlResult, Readiness, UserId,
+};
 use portals_wire::PortalsMessage;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,9 +46,12 @@ impl ProcessDirectory for OpenDirectory {
 }
 
 /// Node configuration.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct NodeConfig {
-    /// Transport tuning for the node's endpoint.
+    /// Transport tuning for the node's endpoint. The
+    /// [`TransportConfig::progress_mode`] field also decides whether this node
+    /// spawns its dispatcher thread ([`ProgressMode::NicThread`]) or runs
+    /// dispatch inline from API calls ([`ProgressMode::CallerDriven`]).
     pub transport: TransportConfig,
     /// Process classifier for ACL checks; defaults to "everyone is
     /// application 0".
@@ -54,6 +61,23 @@ pub struct NodeConfig {
     /// lifecycle traces to its sinks. The default is a private registry with
     /// tracing disabled.
     pub obs: Obs,
+}
+
+impl Default for NodeConfig {
+    /// Unlike [`TransportConfig::default`] (always NIC-thread), the node-level
+    /// default consults the `PORTALS_PROGRESS_MODE` environment variable, so a
+    /// whole application — tests included — can be flipped to the threadless
+    /// mode without code changes.
+    fn default() -> NodeConfig {
+        NodeConfig {
+            transport: TransportConfig {
+                progress_mode: ProgressMode::from_env(),
+                ..TransportConfig::default()
+            },
+            directory: None,
+            obs: Obs::default(),
+        }
+    }
 }
 
 impl std::fmt::Debug for NodeConfig {
@@ -75,6 +99,84 @@ pub(crate) struct NodeShared {
     /// Misrouted or undecodable traffic.
     pub(crate) dropped_garbage: Counter,
     pub(crate) alive: AtomicBool,
+    /// Whether this node runs threadless ([`ProgressMode::CallerDriven`]):
+    /// no dispatcher thread, progress happens inside API calls.
+    pub(crate) caller_driven: bool,
+    /// The endpoint's reassembled-message stream, drained inline by
+    /// [`NodeShared::progress_once`] in caller-driven mode (the dispatcher
+    /// thread owns its own clone in NIC-thread mode).
+    pub(crate) incoming: Receiver<IncomingMessage>,
+    /// The node's readiness doorbell (shared with the NIC and the transport
+    /// core). The engine raises [`Readiness::EVENT`] on it after completions
+    /// so parked `eq_wait`/`ct_wait` callers wake.
+    pub(crate) readiness: Arc<Readiness>,
+    /// Fabric driver registry handle: lets caller-driven wait loops advance
+    /// *other* nodes of a single-process simulation that have pending work.
+    pub(crate) hub: DriverHub,
+    /// Serializes inline dispatch so concurrent caller-driven API calls
+    /// preserve the transport's in-order delivery contract. Try-locked:
+    /// a caller finding it busy knows another thread is already dispatching.
+    dispatch_lock: Mutex<()>,
+}
+
+impl NodeShared {
+    /// Advance this node once from the calling thread: step the transport
+    /// state machines, then dispatch every reassembled message that produced.
+    /// Returns `true` if any work was done. A no-op (returning `false`) when
+    /// another thread is mid-dispatch or the node is powered off.
+    pub(crate) fn progress_once(&self) -> bool {
+        if !self.caller_driven {
+            return false;
+        }
+        let Some(_guard) = self.dispatch_lock.try_lock() else {
+            return false;
+        };
+        if !self.alive.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut worked = self.endpoint.progress_once();
+        while let Ok(msg) = self.incoming.try_recv() {
+            dispatch(self, &msg.payload);
+            worked = true;
+        }
+        worked
+    }
+
+    /// Drive this node and any peers with pending work. In threadless mode a
+    /// polling loop — over counters, queue lengths, whatever — *is* the
+    /// progress engine, so every passive accessor funnels through here.
+    /// Returns `true` if anything was done; `false` always in NIC-thread
+    /// mode, where the dispatcher makes polling passive again.
+    pub(crate) fn drive(&self) -> bool {
+        if !self.caller_driven {
+            return false;
+        }
+        let mut worked = self.progress_once();
+        worked |= self.hub.service_peers();
+        worked
+    }
+
+    /// Raise the completion doorbell: an event was pushed, a counter bumped,
+    /// or a message dispatched — anything a parked `eq_wait`/`ct_wait` caller
+    /// might be waiting on. A no-op in NIC-thread mode, where the event
+    /// queues' own condvars do the waking.
+    pub(crate) fn ring_event(&self) {
+        if self.caller_driven {
+            self.readiness.set(Readiness::EVENT);
+        }
+    }
+}
+
+impl NodeDriver for NodeShared {
+    fn service(&self) -> bool {
+        self.progress_once()
+    }
+
+    fn has_work(&self) -> bool {
+        !self.incoming.is_empty()
+            || self.readiness.peek() & Readiness::INBOUND != 0
+            || self.endpoint.timer_due()
+    }
 }
 
 /// A simulated machine: one transport endpoint, one dispatcher thread, and any
@@ -90,10 +192,20 @@ pub struct Node {
 
 impl Node {
     /// Bring up a node on an attached NIC.
+    ///
+    /// With [`ProgressMode::NicThread`] (the transport-config default) this
+    /// spawns the dispatcher thread that stands in for NIC firmware. With
+    /// [`ProgressMode::CallerDriven`] no thread is spawned: the node registers
+    /// itself as a cooperative fabric driver and every API call advances the
+    /// transport and runs dispatch inline.
     pub fn new(nic: portals_net::Nic, config: NodeConfig) -> Node {
         let nid = nic.nid();
+        let caller_driven = config.transport.progress_mode.is_caller_driven();
         let endpoint = Endpoint::with_obs(nic, config.transport, config.obs.clone());
         let node_labels = [("node", nid.0.to_string())];
+        let incoming = endpoint.incoming_receiver();
+        let readiness = endpoint.readiness();
+        let hub = endpoint.driver_hub();
         let shared = Arc::new(NodeShared {
             nid,
             endpoint,
@@ -109,27 +221,56 @@ impl Node {
                 .counter("portals.node_dropped_garbage", &node_labels),
             obs: config.obs,
             alive: AtomicBool::new(true),
+            caller_driven,
+            incoming,
+            readiness,
+            hub,
+            dispatch_lock: Mutex::new(()),
         });
-        let dispatcher = {
+        let dispatcher = if caller_driven {
+            // Threadless: replace the endpoint's transport-only driver with
+            // the full node driver, so peers servicing this node dispatch
+            // messages all the way to the engine, not just to the incoming
+            // queue.
+            shared
+                .hub
+                .register(Arc::downgrade(&shared) as std::sync::Weak<dyn NodeDriver>);
+            None
+        } else {
             let shared = Arc::clone(&shared);
             let incoming = shared.endpoint.incoming_receiver();
-            std::thread::Builder::new()
-                .name(format!("portals-node-{}", nid.0))
-                .spawn(move || {
-                    while shared.alive.load(Ordering::Relaxed) {
-                        match incoming.recv_timeout(Duration::from_millis(50)) {
-                            Ok(msg) => dispatch(&shared, &msg.payload),
-                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("portals-node-{}", nid.0))
+                    .spawn(move || {
+                        while shared.alive.load(Ordering::Relaxed) {
+                            match incoming.recv_timeout(Duration::from_millis(50)) {
+                                Ok(msg) => dispatch(&shared, &msg.payload),
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                            }
                         }
-                    }
-                })
-                .expect("spawn node dispatcher")
+                    })
+                    .expect("spawn node dispatcher"),
+            )
         };
-        Node {
-            shared,
-            dispatcher: Some(dispatcher),
+        Node { shared, dispatcher }
+    }
+
+    /// Whether this node runs threadless (caller-driven progress).
+    pub fn progress_mode(&self) -> ProgressMode {
+        if self.shared.caller_driven {
+            ProgressMode::CallerDriven
+        } else {
+            ProgressMode::NicThread
         }
+    }
+
+    /// Drive this node's protocol once from the calling thread: step the
+    /// transport, dispatch arrivals, and service peer nodes with pending
+    /// work. Returns `true` if anything was done. A no-op in NIC-thread mode.
+    pub fn progress(&self) -> bool {
+        self.shared.drive()
     }
 
     /// This node's id.
@@ -158,11 +299,13 @@ impl Node {
 
     /// Messages dropped because no process claimed them (§4.8 first check).
     pub fn dropped_no_process(&self) -> u64 {
+        self.shared.drive();
         self.shared.dropped_no_process.get()
     }
 
     /// Messages dropped as undecodable or misrouted.
     pub fn dropped_garbage(&self) -> u64 {
+        self.shared.drive();
         self.shared.dropped_garbage.get()
     }
 
@@ -188,6 +331,10 @@ impl Drop for Node {
         self.shared.alive.store(false, Ordering::Relaxed);
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
+        } else {
+            // Threadless: deregister from the fabric so peers stop trying to
+            // drive a powered-off node.
+            self.shared.hub.unregister();
         }
     }
 }
@@ -237,6 +384,10 @@ fn dispatch(shared: &NodeShared, payload: &Gather) {
                 crate::ProgressModel::ApplicationBypass => engine::deliver(&core, shared, msg),
                 crate::ProgressModel::HostDriven => core.enqueue_raw(msg),
             }
+            // Anything the delivery completed (events pushed, counters
+            // bumped, raw traffic queued) may be what a parked caller-driven
+            // waiter is blocked on.
+            shared.ring_event();
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Transport tuning knobs.
 
+use portals_types::ProgressMode;
 use std::time::Duration;
 
 /// Configuration for an [`Endpoint`](crate::Endpoint).
@@ -39,6 +40,14 @@ pub struct TransportConfig {
     /// The default equals `credit_window`; `0` models a zero-credit start
     /// where the first PROBE/ACK exchange must run before any data flows.
     pub initial_credits: u64,
+    /// Who drives protocol progress. [`ProgressMode::NicThread`] (default)
+    /// spawns the classic worker thread per endpoint;
+    /// [`ProgressMode::CallerDriven`] runs the same state machines inline
+    /// from the submitting/polling caller — no queue hop, no thread handoff.
+    /// Always defaults to `NicThread` here: higher-level configs
+    /// (`NodeConfig`) consult `PORTALS_PROGRESS_MODE`, so transport unit
+    /// tests that rely on autonomous background progress keep it.
+    pub progress_mode: ProgressMode,
 }
 
 impl TransportConfig {
@@ -62,6 +71,7 @@ impl Default for TransportConfig {
             flow_control: true,
             credit_window: 128,
             initial_credits: 128,
+            progress_mode: ProgressMode::NicThread,
         }
     }
 }

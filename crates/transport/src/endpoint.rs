@@ -2,15 +2,16 @@
 
 use crate::config::TransportConfig;
 use crate::stats::{FlowStats, FlowStatsSnapshot, TransportStats, TransportStatsSnapshot};
-use crate::worker::{Command, Worker};
+use crate::worker::{instant_to_ns, ns_to_instant, Command, ProgressCore, Worker, DEADLINE_NONE};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use portals_net::Nic;
+use parking_lot::Mutex;
+use portals_net::{DriverHub, Nic, NodeDriver};
 use portals_obs::Obs;
-use portals_types::{Gather, NodeId};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use portals_types::{Gather, NodeId, ProgressMode, Readiness};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A fully reassembled message from a peer node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,16 +46,84 @@ pub struct IncomingMessage {
 /// ```
 pub struct Endpoint {
     nid: NodeId,
-    commands: Sender<Command>,
     incoming: Receiver<IncomingMessage>,
+    /// The NIC's readiness doorbell (shared with the fabric and the layers
+    /// above): caller-driven waits park on it.
+    readiness: Arc<Readiness>,
+    /// Next transport/wire deadline published by the core (`DEADLINE_NONE`
+    /// when idle).
+    deadline_ns: Arc<AtomicU64>,
+    /// Driver-hub handle for this node (register / service peers).
+    hub: DriverHub,
     stats: Arc<TransportStats>,
     flow: Arc<FlowStats>,
     outstanding: Arc<AtomicUsize>,
-    worker: Option<JoinHandle<()>>,
+    driver: Driver,
 }
 
+/// How this endpoint's [`ProgressCore`] is driven.
+enum Driver {
+    /// Classic mode: a dedicated worker thread owns the core; the API talks
+    /// to it over the command queue.
+    Thread {
+        commands: Sender<Command>,
+        handle: Option<JoinHandle<()>>,
+    },
+    /// Threadless mode: callers step the core inline under a mutex. The
+    /// `Arc` also serves as this endpoint's cooperative [`NodeDriver`]
+    /// registration (peers' wait loops service it through a `Weak`).
+    Caller { driver: Arc<EndpointDriver> },
+}
+
+/// The caller-driven state: the core plus what `NodeDriver` needs lock-free.
+struct EndpointDriver {
+    core: Mutex<ProgressCore>,
+    readiness: Arc<Readiness>,
+    deadline_ns: Arc<AtomicU64>,
+}
+
+impl EndpointDriver {
+    /// Step the core if no other thread is mid-step. Skipping under
+    /// contention is correct: the thread inside the lock performs the work.
+    fn progress_once(&self) -> bool {
+        match self.core.try_lock() {
+            Some(mut core) => core.progress_once(),
+            None => false,
+        }
+    }
+}
+
+impl NodeDriver for EndpointDriver {
+    fn service(&self) -> bool {
+        self.progress_once()
+    }
+
+    fn has_work(&self) -> bool {
+        if self.readiness.peek() & Readiness::INBOUND != 0 {
+            return true;
+        }
+        let deadline = self.deadline_ns.load(Ordering::Acquire);
+        deadline != DEADLINE_NONE && deadline <= instant_to_ns(Instant::now())
+    }
+}
+
+/// Park bound while waiting with no nearer deadline: covers cross-node
+/// events this node cannot predict (e.g. a peer arming a retransmission
+/// timer toward us after we parked).
+const PARK_CAP: Duration = Duration::from_millis(1);
+
+/// Consecutive idle loop iterations before a caller-driven wait parks. Each
+/// iteration is a handful of atomics (~100 ns), so this approximates the
+/// "spin ~20 µs, then park" budget from the design notes: short enough to
+/// waste nothing measurable, long enough that a ping-pong RTT never pays the
+/// ~220 ns unpark. Reduced to zero on single-CPU hosts, where spinning only
+/// steals the timeslice the producer needs (see [`portals_types::spin_budget`]).
+const SPIN_ITERS: u32 = 200;
+
 impl Endpoint {
-    /// Wrap a NIC in a reliable endpoint, spawning its worker thread.
+    /// Wrap a NIC in a reliable endpoint. In `NicThread` mode this spawns
+    /// the worker thread; in `CallerDriven` mode there is no thread and the
+    /// calling threads drive the protocol from `send`/`recv`/`flush`.
     pub fn new(nic: Nic, cfg: TransportConfig) -> Endpoint {
         Endpoint::with_obs(nic, cfg, Obs::default())
     }
@@ -64,33 +133,59 @@ impl Endpoint {
     /// `obs.tracer`.
     pub fn with_obs(nic: Nic, cfg: TransportConfig, obs: Obs) -> Endpoint {
         let nid = nic.nid();
-        let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded();
         let (in_tx, in_rx) = crossbeam::channel::unbounded();
         let stats = Arc::new(TransportStats::new(&obs.registry, nid.0));
         let flow = Arc::new(FlowStats::new(&obs.registry, nid.0));
         let outstanding = Arc::new(AtomicUsize::new(0));
-        let worker = Worker::new(
+        let deadline_ns = Arc::new(AtomicU64::new(DEADLINE_NONE));
+        let readiness = nic.readiness();
+        let hub = nic.driver_hub();
+        let core = ProgressCore::new(
             nic,
             cfg,
             obs,
-            cmd_rx,
             in_tx,
             Arc::clone(&stats),
             Arc::clone(&flow),
             Arc::clone(&outstanding),
+            Arc::clone(&deadline_ns),
         );
-        let handle = std::thread::Builder::new()
-            .name(format!("portals-transport-{}", nid.0))
-            .spawn(move || worker.run())
-            .expect("spawn transport worker");
+        let driver = match cfg.progress_mode {
+            ProgressMode::NicThread => {
+                let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded();
+                let worker = Worker::new(core, cmd_rx);
+                let handle = std::thread::Builder::new()
+                    .name(format!("portals-transport-{}", nid.0))
+                    .spawn(move || worker.run())
+                    .expect("spawn transport worker");
+                Driver::Thread {
+                    commands: cmd_tx,
+                    handle: Some(handle),
+                }
+            }
+            ProgressMode::CallerDriven => {
+                let driver = Arc::new(EndpointDriver {
+                    core: Mutex::new(core),
+                    readiness: Arc::clone(&readiness),
+                    deadline_ns: Arc::clone(&deadline_ns),
+                });
+                // Volunteer for cooperative servicing so peers' wait loops
+                // keep this node's protocol moving while nothing here blocks.
+                // A node built on top replaces this with its own driver.
+                hub.register(Arc::downgrade(&driver) as Weak<dyn NodeDriver>);
+                Driver::Caller { driver }
+            }
+        };
         Endpoint {
             nid,
-            commands: cmd_tx,
             incoming: in_rx,
+            readiness,
+            deadline_ns,
+            hub,
             stats,
             flow,
             outstanding,
-            worker: Some(handle),
+            driver,
         }
     }
 
@@ -105,36 +200,119 @@ impl Endpoint {
         self.nid
     }
 
-    /// Queue `msg` for reliable, ordered delivery to `dst`. Never blocks.
+    /// Queue `msg` for reliable, ordered delivery to `dst`.
+    ///
+    /// In NIC-thread mode this enqueues a command and returns (never
+    /// blocks). In caller-driven mode the message passes from this stack
+    /// frame straight into the transport state machines and onto the wire —
+    /// the pointer-passing submission path; the call runs the fragmentation
+    /// inline but still never waits for acknowledgment.
     ///
     /// Accepts anything convertible to a [`Gather`] — a `Gather` of region
     /// views travels to the wire without its payload ever being copied.
     pub fn send(&self, dst: NodeId, msg: impl Into<Gather>) {
-        // A send after shutdown is a no-op; the worker is gone.
-        let _ = self.commands.send(Command::Send {
-            dst,
-            msg: msg.into(),
-        });
+        match &self.driver {
+            Driver::Thread { commands, .. } => {
+                // A send after shutdown is a no-op; the worker is gone.
+                let _ = commands.send(Command::Send {
+                    dst,
+                    msg: msg.into(),
+                });
+            }
+            Driver::Caller { driver } => driver.core.lock().on_send(dst, msg.into()),
+        }
     }
 
-    /// Block until a message arrives.
+    /// Block until a message arrives. In caller-driven mode the wait drives
+    /// protocol progress (own core, peers, wire pump) between parks.
     pub fn recv(&self) -> Option<IncomingMessage> {
-        self.incoming.recv().ok()
+        match &self.driver {
+            Driver::Thread { .. } => self.incoming.recv().ok(),
+            Driver::Caller { .. } => self.drive_until(None, |ep| ep.incoming.try_recv().ok()),
+        }
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive. In caller-driven mode one progress step runs
+    /// first, so "poll until something arrives" loops make progress.
     pub fn try_recv(&self) -> Option<IncomingMessage> {
+        if let Driver::Caller { driver } = &self.driver {
+            if self.incoming.is_empty() {
+                driver.progress_once();
+            }
+        }
         match self.incoming.try_recv() {
             Ok(m) => Some(m),
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
         }
     }
 
-    /// Receive with a deadline.
+    /// Receive with a deadline. Caller-driven waits drive progress.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<IncomingMessage> {
-        match self.incoming.recv_timeout(timeout) {
-            Ok(m) => Some(m),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        match &self.driver {
+            Driver::Thread { .. } => match self.incoming.recv_timeout(timeout) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+            },
+            Driver::Caller { .. } => self.drive_until(Some(Instant::now() + timeout), |ep| {
+                ep.incoming.try_recv().ok()
+            }),
+        }
+    }
+
+    /// The caller-driven wait loop: progress own core → service peers →
+    /// check → bounded spin → park on the readiness doorbell.
+    ///
+    /// Lost-wakeup safety: the doorbell sequence is read *before* the
+    /// progress step and predicate check, and the park returns immediately
+    /// if it moved — a completion landing anywhere in between bumps it.
+    fn drive_until<T>(
+        &self,
+        deadline: Option<Instant>,
+        mut check: impl FnMut(&Endpoint) -> Option<T>,
+    ) -> Option<T> {
+        let spin_iters = portals_types::spin_budget(SPIN_ITERS);
+        let mut idle_iters: u32 = 0;
+        loop {
+            let observed = self.readiness.seq();
+            let worked = self.progress_once();
+            if let Some(v) = check(self) {
+                return Some(v);
+            }
+            if worked {
+                idle_iters = 0;
+                continue;
+            }
+            // Peers normally have their own blocked caller driving them;
+            // stepping them every iteration makes two waiters contend on each
+            // other's core locks. A decimated cadence (plus once at the park
+            // boundary) keeps single-threaded simulations live without that
+            // interference.
+            idle_iters += 1;
+            let parking = idle_iters > spin_iters;
+            if (parking || idle_iters % 32 == 0) && self.hub.service_peers() {
+                idle_iters = 0;
+                continue;
+            }
+            let now = Instant::now();
+            if let Some(d) = deadline {
+                if now >= d {
+                    return None;
+                }
+            }
+            if !parking {
+                std::hint::spin_loop();
+                continue;
+            }
+            idle_iters = 0;
+            let mut bound = now + PARK_CAP;
+            if let Some(next) = self.next_deadline() {
+                bound = bound.min(next.max(now));
+            }
+            if let Some(d) = deadline {
+                bound = bound.min(d);
+            }
+            self.readiness
+                .wait(observed, bound.saturating_duration_since(now));
         }
     }
 
@@ -150,17 +328,72 @@ impl Endpoint {
         self.outstanding.load(Ordering::Relaxed)
     }
 
-    /// Spin until all queued traffic is acknowledged or `timeout` elapses.
-    /// Returns true on success.
+    /// Wait until all queued traffic is acknowledged or `timeout` elapses.
+    /// Returns true on success. Caller-driven mode drives progress while
+    /// waiting (acks cannot arrive otherwise).
     pub fn flush(&self, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while self.outstanding() > 0 {
-            if std::time::Instant::now() > deadline {
-                return false;
+        let deadline = Instant::now() + timeout;
+        match &self.driver {
+            Driver::Thread { .. } => {
+                while self.outstanding() > 0 {
+                    if Instant::now() > deadline {
+                        return false;
+                    }
+                    std::thread::yield_now();
+                }
+                true
             }
-            std::thread::yield_now();
+            Driver::Caller { .. } => self
+                .drive_until(Some(deadline), |ep| (ep.outstanding() == 0).then_some(()))
+                .is_some(),
         }
-        true
+    }
+
+    /// Step this endpoint's protocol state machines once from the calling
+    /// thread. Returns `true` if any datagram was processed. Always `false`
+    /// (and a no-op) in NIC-thread mode, where the worker owns the core.
+    pub fn progress_once(&self) -> bool {
+        match &self.driver {
+            Driver::Thread { .. } => false,
+            Driver::Caller { driver } => driver.progress_once(),
+        }
+    }
+
+    /// The progress mode this endpoint was built with.
+    pub fn progress_mode(&self) -> ProgressMode {
+        match &self.driver {
+            Driver::Thread { .. } => ProgressMode::NicThread,
+            Driver::Caller { .. } => ProgressMode::CallerDriven,
+        }
+    }
+
+    /// This node's readiness doorbell. Layers above raise their own bits
+    /// (e.g. [`Readiness::EVENT`]) on it so one park covers every work class.
+    pub fn readiness(&self) -> Arc<Readiness> {
+        Arc::clone(&self.readiness)
+    }
+
+    /// The fabric driver-hub handle for this node, for registering a
+    /// higher-level cooperative driver and servicing peers from wait loops.
+    pub fn driver_hub(&self) -> DriverHub {
+        self.hub.clone()
+    }
+
+    /// Next deadline the protocol needs the caller back by (nearest
+    /// retransmission timer or scheduled wire delivery), as published by the
+    /// last progress step. `None` when idle.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        match self.deadline_ns.load(Ordering::Acquire) {
+            DEADLINE_NONE => None,
+            ns => Some(ns_to_instant(ns)),
+        }
+    }
+
+    /// True when [`Endpoint::next_deadline`] is due — i.e. a progress step
+    /// would fire timers or deliver wire packets right now.
+    pub fn timer_due(&self) -> bool {
+        let deadline = self.deadline_ns.load(Ordering::Acquire);
+        deadline != DEADLINE_NONE && deadline <= instant_to_ns(Instant::now())
     }
 
     /// Snapshot the transport counters.
@@ -176,9 +409,19 @@ impl Endpoint {
 
 impl Drop for Endpoint {
     fn drop(&mut self) {
-        let _ = self.commands.send(Command::Shutdown);
-        if let Some(handle) = self.worker.take() {
-            let _ = handle.join();
+        match &mut self.driver {
+            Driver::Thread { commands, handle } => {
+                let _ = commands.send(Command::Shutdown);
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
+            }
+            Driver::Caller { .. } => {
+                // Withdraw from cooperative servicing before the core (and
+                // the NIC inside it) is torn down. The `Weak` registration
+                // would go dead anyway; this just prunes it eagerly.
+                self.hub.unregister();
+            }
         }
     }
 }
@@ -641,6 +884,119 @@ mod tests {
                 .expect("credit-gated lossy delivery");
             assert_eq!(m.payload, &payload[..]);
         }
+    }
+
+    fn caller_cfg() -> TransportConfig {
+        TransportConfig {
+            progress_mode: portals_types::ProgressMode::CallerDriven,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn caller_driven_basic_send_recv() {
+        let fabric = Fabric::ideal();
+        let (a, b) = pair(&fabric, caller_cfg());
+        assert_eq!(a.progress_mode(), portals_types::ProgressMode::CallerDriven);
+        a.send(NodeId(1), Gather::copy_from_slice(b"threadless"));
+        let m = b.recv_timeout(Duration::from_secs(5)).expect("message");
+        assert_eq!(m.src, NodeId(0));
+        assert_eq!(m.payload, &b"threadless"[..]);
+        assert!(a.flush(Duration::from_secs(5)), "acks drain via caller");
+    }
+
+    #[test]
+    fn caller_driven_fragments_and_stays_ordered() {
+        let fabric = Fabric::ideal();
+        let cfg = TransportConfig {
+            mtu: 256,
+            ..caller_cfg()
+        };
+        let (a, b) = pair(&fabric, cfg);
+        let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        for _ in 0..5 {
+            a.send(NodeId(1), Gather::from_vec(payload.clone()));
+        }
+        for _ in 0..5 {
+            let m = b.recv_timeout(Duration::from_secs(10)).expect("message");
+            assert_eq!(m.payload, &payload[..]);
+        }
+        assert!(a.flush(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn caller_driven_survives_loss_on_caller_pumped_wire() {
+        // The full threadless configuration: no worker threads, no wire
+        // scheduler thread — retransmission recovery must run entirely from
+        // the receiving caller's wait loop (which services the sender's core
+        // cooperatively and pumps the wire).
+        let cfg = FabricConfig::default()
+            .with_faults(FaultPlan::lossy(0.3))
+            .with_seed(7)
+            .with_caller_driven_wire(true)
+            .with_link(LinkModel {
+                latency: Duration::from_micros(10),
+                bandwidth_bytes_per_sec: f64::INFINITY,
+                per_packet_overhead: Duration::ZERO,
+            });
+        let fabric = Fabric::new(cfg);
+        let tcfg = TransportConfig {
+            mtu: 512,
+            rto_base: Duration::from_millis(5),
+            ..caller_cfg()
+        };
+        let (a, b) = pair(&fabric, tcfg);
+        let payload: Vec<u8> = (0..20_000u32).map(|i| (i * 7) as u8).collect();
+        for _ in 0..5 {
+            a.send(NodeId(1), Gather::from_vec(payload.clone()));
+        }
+        for _ in 0..5 {
+            let m = b
+                .recv_timeout(Duration::from_secs(30))
+                .expect("lossy threadless delivery");
+            assert_eq!(m.payload, &payload[..]);
+        }
+        assert!(a.flush(Duration::from_secs(10)));
+        assert!(
+            a.stats().retransmissions > 0,
+            "loss must have forced retransmissions"
+        );
+    }
+
+    #[test]
+    fn caller_driven_blocking_recv_wakes_from_another_thread() {
+        // A parked caller-driven receiver must be unparked by a completion
+        // produced on a different thread (the park/unpark protocol, full
+        // stack). Loop it to hammer the check-then-park boundary.
+        let fabric = Fabric::ideal();
+        let a = Arc::new(Endpoint::new(fabric.attach(NodeId(0)), caller_cfg()));
+        let b = Arc::new(Endpoint::new(fabric.attach(NodeId(1)), caller_cfg()));
+        for i in 0..200u32 {
+            let a2 = Arc::clone(&a);
+            let sender = std::thread::spawn(move || {
+                a2.send(NodeId(1), Gather::from_vec(i.to_le_bytes().to_vec()));
+            });
+            let m = b.recv_timeout(Duration::from_secs(5)).expect("wakeup");
+            assert_eq!(
+                u32::from_le_bytes(m.payload.to_vec()[..].try_into().unwrap()),
+                i
+            );
+            sender.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn caller_driven_publishes_retransmission_deadline() {
+        let fabric = Fabric::ideal();
+        let (a, b) = pair(&fabric, caller_cfg());
+        assert!(a.next_deadline().is_none(), "idle endpoint has no deadline");
+        fabric.partition(NodeId(0), NodeId(1));
+        a.send(NodeId(1), Gather::copy_from_slice(b"void"));
+        assert!(
+            a.next_deadline().is_some(),
+            "unacked send must publish its retransmission deadline"
+        );
+        drop(b);
     }
 
     #[test]

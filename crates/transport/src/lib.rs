@@ -40,4 +40,5 @@ mod worker;
 
 pub use config::TransportConfig;
 pub use endpoint::{Endpoint, IncomingMessage};
+pub use portals_types::ProgressMode;
 pub use stats::{FlowStats, FlowStatsSnapshot, TransportStats, TransportStatsSnapshot};

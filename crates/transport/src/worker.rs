@@ -1,5 +1,14 @@
-//! The endpoint worker: one thread that owns all per-peer protocol state and
-//! multiplexes NIC receive, send commands and retransmission timers.
+//! The transport progress engine: all per-peer protocol state, factored so it
+//! can be driven from either progress mode.
+//!
+//! [`ProgressCore`] owns the state machines (fragmentation, go-back-N,
+//! credits, timers) and exposes re-entrant steps: `on_send` for submission,
+//! `progress_once` for "advance everything that is ready". In
+//! [`ProgressMode::NicThread`](portals_types::ProgressMode) a [`Worker`]
+//! thread wraps the core in the classic select loop; in `CallerDriven` the
+//! endpoint keeps the core under a mutex and the submitting/polling caller
+//! drives it inline — the op descriptor passes from the caller's stack
+//! straight into `on_send`, no command queue, no handoff.
 //!
 //! Two receive-path optimisations live here:
 //!
@@ -36,12 +45,33 @@ use portals_obs::{Counter, Layer, Obs, Stage, TraceEvent};
 use portals_wire::{Packet, PacketHeader};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::AtomicUsize;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use portals_types::{Gather, NodeId};
+use portals_types::{Gather, NodeId, Readiness};
+
+/// Sentinel for "no published deadline".
+pub(crate) const DEADLINE_NONE: u64 = u64::MAX;
+
+/// Process-wide epoch for publishing `Instant`s through atomics.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process epoch (saturating at zero for pre-epoch
+/// instants, which read back as "due now").
+pub(crate) fn instant_to_ns(t: Instant) -> u64 {
+    t.saturating_duration_since(epoch())
+        .as_nanos()
+        .min((DEADLINE_NONE - 1) as u128) as u64
+}
+
+/// Inverse of [`instant_to_ns`]. Must not be called with [`DEADLINE_NONE`].
+pub(crate) fn ns_to_instant(ns: u64) -> Instant {
+    epoch() + Duration::from_nanos(ns)
+}
 
 /// Commands from the public API to the worker.
 pub(crate) enum Command {
@@ -49,12 +79,25 @@ pub(crate) enum Command {
     Shutdown,
 }
 
-pub(crate) struct Worker {
+/// The re-entrant transport progress engine (see the module docs). Exactly
+/// one thread steps a core at a time: the worker thread owns it outright in
+/// NIC-thread mode, a mutex serialises callers in caller-driven mode.
+pub(crate) struct ProgressCore {
     nic: Nic,
     nid: NodeId,
     cfg: TransportConfig,
     obs: Obs,
-    commands: Receiver<Command>,
+    /// This NIC's inbound datagram queue (drained by `progress_once` /
+    /// `on_inbound`; the worker thread selects on a clone of it).
+    inbound: Receiver<Datagram>,
+    /// The NIC's readiness doorbell: `INBOUND` is taken before draining, and
+    /// `DELIVERED` raised after handing a reassembled message up.
+    readiness: Arc<Readiness>,
+    /// Published copy of the nearest deadline (retransmission timer or
+    /// caller-pumped wire delivery), as ns-since-epoch, [`DEADLINE_NONE`]
+    /// when idle. Lets peers' wait loops answer "does this core need
+    /// servicing?" without taking its lock.
+    deadline_ns: Arc<AtomicU64>,
     delivered: Sender<IncomingMessage>,
     stats: Arc<TransportStats>,
     flow: Arc<FlowStats>,
@@ -71,25 +114,59 @@ pub(crate) struct Worker {
     timers: BinaryHeap<Reverse<(Instant, NodeId)>>,
 }
 
+/// The NIC-thread driver: the classic select loop around a [`ProgressCore`].
+pub(crate) struct Worker {
+    core: ProgressCore,
+    commands: Receiver<Command>,
+}
+
 impl Worker {
+    pub(crate) fn new(core: ProgressCore, commands: Receiver<Command>) -> Worker {
+        Worker { core, commands }
+    }
+
+    pub(crate) fn run(mut self) {
+        let inbound = self.core.inbound.clone();
+        loop {
+            let timeout = self.core.next_deadline_in();
+            crossbeam::channel::select! {
+                recv(inbound) -> dgram => match dgram {
+                    Ok(d) => self.core.on_inbound(d),
+                    Err(_) => return, // fabric gone
+                },
+                recv(self.commands) -> cmd => match cmd {
+                    Ok(Command::Send { dst, msg }) => self.core.on_send(dst, msg),
+                    Ok(Command::Shutdown) | Err(_) => return,
+                },
+                default(timeout) => self.core.fire_timers(),
+            }
+        }
+    }
+}
+
+impl ProgressCore {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         nic: Nic,
         cfg: TransportConfig,
         obs: Obs,
-        commands: Receiver<Command>,
         delivered: Sender<IncomingMessage>,
         stats: Arc<TransportStats>,
         flow: Arc<FlowStats>,
         outstanding: Arc<AtomicUsize>,
-    ) -> Worker {
+        deadline_ns: Arc<AtomicU64>,
+    ) -> ProgressCore {
         let nid = nic.nid();
-        Worker {
+        let inbound = nic.inbound_receiver();
+        let readiness = nic.readiness();
+        ProgressCore {
             nic,
             nid,
             cfg,
             obs,
-            commands,
+            inbound,
+            readiness,
+            deadline_ns,
             delivered,
             stats,
             flow,
@@ -99,6 +176,44 @@ impl Worker {
             peer_retx: HashMap::new(),
             timers: BinaryHeap::new(),
         }
+    }
+
+    /// One caller-driven progress step: deliver due wire packets, drain this
+    /// NIC's inbound queue through the protocol state machines, fire due
+    /// retransmission timers and republish the next deadline. Returns `true`
+    /// if any datagram was processed.
+    ///
+    /// Re-entrant in the sense required by the progress-mode contract: safe
+    /// to call from any thread holding this core's lock, at any point between
+    /// (not within) other core steps.
+    pub(crate) fn progress_once(&mut self) -> bool {
+        // Pump first so packets due *now* land in inbound queues (a global
+        // drain: the single wire heap serves every node, so an active waiter
+        // delivers for idle nodes too). No-op on bypass/scheduler wires.
+        self.nic.pump_wire();
+        // Take-before-drain: work enqueued after this clear re-raises the bit.
+        self.readiness.take(Readiness::INBOUND);
+        let mut worked = false;
+        while let Ok(d) = self.inbound.try_recv() {
+            self.on_inbound(d);
+            worked = true;
+        }
+        self.fire_timers();
+        self.publish_deadline();
+        worked
+    }
+
+    /// Publish min(retransmission deadline, caller-pumped wire deadline) for
+    /// lock-free `has_work` checks by peers' wait loops.
+    fn publish_deadline(&mut self) {
+        let timer = self.next_deadline_instant();
+        let wire = self.nic.next_wire_deadline();
+        let next = match (timer, wire) {
+            (Some(t), Some(w)) => Some(t.min(w)),
+            (t, w) => t.or(w),
+        };
+        self.deadline_ns
+            .store(next.map_or(DEADLINE_NONE, instant_to_ns), Ordering::Release);
     }
 
     /// A fresh sender peer: credit-gated from the configured initial horizon
@@ -134,24 +249,6 @@ impl Worker {
         expected + (self.cfg.credit_window as u64).saturating_sub(backlog)
     }
 
-    pub(crate) fn run(mut self) {
-        let inbound = self.nic.inbound_receiver();
-        loop {
-            let timeout = self.next_deadline_in();
-            crossbeam::channel::select! {
-                recv(inbound) -> dgram => match dgram {
-                    Ok(d) => self.on_inbound(d, &inbound),
-                    Err(_) => return, // fabric gone
-                },
-                recv(self.commands) -> cmd => match cmd {
-                    Ok(Command::Send { dst, msg }) => self.on_send(dst, msg),
-                    Ok(Command::Shutdown) | Err(_) => return,
-                },
-                default(timeout) => self.fire_timers(),
-            }
-        }
-    }
-
     /// Record `nid`'s current deadline (if any) in the timer heap.
     fn arm_timer(&mut self, nid: NodeId) {
         if let Some(when) = self.tx_peers.get(&nid).and_then(SenderPeer::deadline) {
@@ -159,21 +256,16 @@ impl Worker {
         }
     }
 
-    /// Time until the nearest retransmission deadline (bounded so shutdown and
-    /// races with just-armed timers are handled promptly).
+    /// Nearest valid retransmission deadline, popping stale heap entries as
+    /// they surface.
     ///
-    /// Pops stale heap entries as they surface. Terminates: each iteration
-    /// either returns, shrinks the heap, or replaces a stale entry with the
-    /// peer's exact deadline — which, deadlines being fixed within one call,
-    /// cannot be stale again.
-    fn next_deadline_in(&mut self) -> Duration {
-        const CAP: Duration = Duration::from_millis(100);
-        let now = Instant::now();
+    /// Terminates: each iteration either returns, shrinks the heap, or
+    /// replaces a stale entry with the peer's exact deadline — which,
+    /// deadlines being fixed within one call, cannot be stale again.
+    fn next_deadline_instant(&mut self) -> Option<Instant> {
         while let Some(&Reverse((when, nid))) = self.timers.peek() {
             match self.tx_peers.get(&nid).and_then(SenderPeer::deadline) {
-                Some(actual) if actual == when => {
-                    return when.saturating_duration_since(now).min(CAP);
-                }
+                Some(actual) if actual == when => return Some(when),
                 Some(actual) => {
                     self.timers.pop();
                     self.timers.push(Reverse((actual, nid)));
@@ -183,10 +275,20 @@ impl Worker {
                 }
             }
         }
-        CAP
+        None
     }
 
-    fn on_send(&mut self, dst: NodeId, msg: Gather) {
+    /// Time until the nearest retransmission deadline (bounded so shutdown
+    /// and races with just-armed timers are handled promptly).
+    fn next_deadline_in(&mut self) -> Duration {
+        const CAP: Duration = Duration::from_millis(100);
+        match self.next_deadline_instant() {
+            Some(when) => when.saturating_duration_since(Instant::now()).min(CAP),
+            None => CAP,
+        }
+    }
+
+    pub(crate) fn on_send(&mut self, dst: NodeId, msg: Gather) {
         self.stats.add(&self.stats.messages_sent, 1);
         let now = Instant::now();
         let peer = self
@@ -209,6 +311,7 @@ impl Worker {
         Self::drain_flow_transitions(&self.flow, peer);
         self.send_data(dst, packets, Stage::Fragment);
         self.arm_timer(dst);
+        self.publish_deadline();
     }
 
     /// Put `packets` on the wire, counting them and (when tracing) emitting
@@ -240,11 +343,11 @@ impl Worker {
     /// Drain up to `recv_batch` datagrams for one wakeup, then flush one
     /// cumulative ACK per source seen in the batch. `recv_batch = 1` degrades
     /// to the per-packet-ack behaviour exactly.
-    fn on_inbound(&mut self, first: Datagram, inbound: &Receiver<Datagram>) {
+    pub(crate) fn on_inbound(&mut self, first: Datagram) {
         let mut pending_acks: Vec<(NodeId, u64)> = Vec::new();
         self.process_datagram(first, &mut pending_acks);
         for _ in 1..self.cfg.recv_batch.max(1) {
-            match inbound.try_recv() {
+            match self.inbound.try_recv() {
                 Ok(d) => self.process_datagram(d, &mut pending_acks),
                 Err(_) => break,
             }
@@ -389,6 +492,10 @@ impl Worker {
                     // Receiver side is unbounded; drop only if the endpoint is
                     // being torn down.
                     let _ = self.delivered.send(IncomingMessage { src, payload: msg });
+                    // Doorbell after the enqueue: a parked consumer (possibly
+                    // on another thread, serviced by this one) wakes and finds
+                    // the message already queued.
+                    self.readiness.set(Readiness::DELIVERED);
                 }
                 match pending_acks.iter_mut().find(|(nid, _)| *nid == src) {
                     Some(slot) => {

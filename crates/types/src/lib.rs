@@ -18,6 +18,8 @@ pub mod gather;
 pub mod id;
 pub mod limits;
 pub mod matchbits;
+pub mod pool;
+pub mod readiness;
 pub mod region;
 pub mod shard;
 pub mod stripe;
@@ -31,5 +33,7 @@ pub use gather::Gather;
 pub use id::{NodeId, ProcessId, Rank, UserId, ANY_NID, ANY_PID};
 pub use limits::NiLimits;
 pub use matchbits::{MatchBits, MatchCriteria};
+pub use pool::RegionPool;
+pub use readiness::{spin_budget, ProgressMode, Readiness};
 pub use region::Region;
 pub use shard::Sharded;

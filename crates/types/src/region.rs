@@ -212,6 +212,14 @@ impl Region {
     pub fn same_allocation(&self, other: &Region) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
+
+    /// Number of live handles to this allocation (region clones plus
+    /// zero-copy views). `1` means this handle is the sole owner — the test
+    /// [`RegionPool`](crate::pool::RegionPool) uses to decide a slab is safe
+    /// to hand out again.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
 }
 
 /// `Debug` prints length and refcount, never contents: regions may be mutated
