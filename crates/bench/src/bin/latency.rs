@@ -15,15 +15,22 @@
 //!   transport, pumps the wire and runs the engine inline. No queue hop, no
 //!   handoff; park/unpark only after a bounded spin.
 //!
+//! A fourth set of rows, `udp_loopback`, runs the identical ping-pong rig
+//! against a second OS process (`--udp-echo`, self-spawned) over real
+//! loopback UDP sockets — the cost of the kernel socket stack and a true
+//! process boundary next to the in-process fabric numbers.
+//!
 //! Prints a table and writes a machine-readable `BENCH_latency.json`.
 //!
 //! Run: `cargo run --release -p portals-bench --bin latency [--quick] [--out PATH]`
 
 use portals::{MdSpec, MePos, NiConfig, Node, NodeConfig, ProgressMode, ProgressModel, Region};
 use portals_net::{Fabric, FabricConfig};
+use portals_netudp::{UdpLink, UdpLinkConfig};
 use portals_transport::TransportConfig;
 use portals_types::{MatchCriteria, NodeId, ProcessId};
 use serde::Serialize;
+use std::io::{BufRead, BufReader, Read};
 use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -80,6 +87,8 @@ struct Report {
     zero_byte_rtt_p50_us_threadless: f64,
     zero_byte_rtt_p50_us_nic_thread: f64,
     zero_byte_rtt_p50_us_host_driven: f64,
+    /// Same rig over loopback UDP to a second OS process.
+    zero_byte_rtt_p50_us_udp_loopback: f64,
     zero_byte_speedup_vs_nic_thread: f64,
     zero_byte_speedup_vs_host_driven: f64,
     results: Vec<Sample>,
@@ -154,6 +163,103 @@ fn pingpong(mode: Mode, size: usize, warmup: usize, iters: usize) -> Vec<Duratio
     samples
 }
 
+/// The echo side of the UDP rig, running in its own OS process. Binds a
+/// loopback UDP link as node 1, prints the bound address for the parent to
+/// scrape, and echoes every put back to node 0 (whose address is learned
+/// from the first inbound datagram). Exits when stdin closes.
+fn udp_echo_child(size: usize) -> ! {
+    let link = UdpLink::bind(UdpLinkConfig {
+        nid: NodeId(1),
+        ..Default::default()
+    })
+    .expect("bind echo link");
+    println!("{}", link.local_addr());
+    let node = Node::new(link, NodeConfig::default());
+    let ni = node.create_ni(1, NiConfig::default()).unwrap();
+    let eq = ni.eq_alloc(64).unwrap();
+    let me = ni
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
+    ni.md_attach(me, MdSpec::new(Region::zeroed(size.max(1))).with_eq(eq))
+        .unwrap();
+    let md = ni.md_bind(MdSpec::new(Region::zeroed(size))).unwrap();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop.clone();
+    std::thread::spawn(move || {
+        // Parent closing its end of the pipe is the shutdown signal.
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink);
+        stop2.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        match ni.eq_poll(eq, Duration::from_millis(10)) {
+            Ok(_) => ni
+                .put_op(md)
+                .target(ProcessId::new(0, 1), 0)
+                .submit()
+                .unwrap(),
+            Err(_) => continue,
+        }
+    }
+    std::process::exit(0);
+}
+
+/// Ping-pong against a second OS process over loopback UDP. Same
+/// measurement shape as [`pingpong`]; only the wire differs.
+fn pingpong_udp(size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("--udp-echo")
+        .arg(size.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn udp echo process");
+    let mut addr_line = String::new();
+    BufReader::new(child.stdout.take().expect("child stdout"))
+        .read_line(&mut addr_line)
+        .expect("read echo address");
+    let peer = addr_line.trim().parse().expect("echo address");
+
+    let link = UdpLink::bind(UdpLinkConfig {
+        nid: NodeId(0),
+        ..Default::default()
+    })
+    .expect("bind pinger link");
+    link.set_peer(NodeId(1), peer);
+    let node = Node::new(link, NodeConfig::default());
+    let ni = node.create_ni(1, NiConfig::default()).unwrap();
+    let eq = ni.eq_alloc(64).unwrap();
+    let me = ni
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
+    ni.md_attach(me, MdSpec::new(Region::zeroed(size.max(1))).with_eq(eq))
+        .unwrap();
+    let md = ni.md_bind(MdSpec::new(Region::zeroed(size))).unwrap();
+
+    let one = || {
+        ni.put_op(md)
+            .target(ProcessId::new(1, 1), 0)
+            .submit()
+            .unwrap();
+        ni.eq_wait(eq).unwrap();
+    };
+    for _ in 0..warmup {
+        one();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        one();
+        samples.push(t0.elapsed());
+    }
+
+    drop(child.stdin.take()); // EOF -> child exits
+    let _ = child.wait();
+    samples
+}
+
 fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx].as_secs_f64() * 1e6
@@ -174,8 +280,30 @@ fn measure(mode: Mode, size: usize, warmup: usize, iters: usize) -> Sample {
     }
 }
 
+fn measure_udp(size: usize, warmup: usize, iters: usize) -> Sample {
+    let mut rtts = pingpong_udp(size, warmup, iters);
+    rtts.sort();
+    let mean_us = rtts.iter().map(|d| d.as_secs_f64()).sum::<f64>() / rtts.len() as f64 * 1e6;
+    Sample {
+        mode: "udp_loopback",
+        size,
+        iters,
+        rtt_mean_us: mean_us,
+        half_rtt_p50_us: percentile_us(&rtts, 0.50) / 2.0,
+        half_rtt_p99_us: percentile_us(&rtts, 0.99) / 2.0,
+        half_rtt_mean_us: mean_us / 2.0,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--udp-echo") {
+        let size = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--udp-echo needs a size");
+        udp_echo_child(size);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out = args
         .iter()
@@ -206,6 +334,15 @@ fn main() {
             );
             results.push(s);
         }
+        // Real wire, real process boundary: the same stack over loopback
+        // UDP to a second OS process (fewer iters; each RTT crosses the
+        // kernel four times).
+        let s = measure_udp(size, warmup / 4, (iters / 4).max(100));
+        println!(
+            "{:<12} {:>6} {:>11.2} µs {:>11.2} µs {:>11.2} µs {:>9.2} µs",
+            s.mode, s.size, s.half_rtt_p50_us, s.half_rtt_p99_us, s.half_rtt_mean_us, s.rtt_mean_us
+        );
+        results.push(s);
     }
 
     // The tentpole claim: threadless small-message RTT under the paper's
@@ -218,11 +355,17 @@ fn main() {
             .unwrap()
     };
     let (host, nic, threadless) = (rtt0("host_driven"), rtt0("nic_thread"), rtt0("threadless"));
+    let udp = rtt0("udp_loopback");
     println!(
         "\n0-byte RTT p50: host_driven {host:.2} µs, nic_thread {nic:.2} µs, \
          threadless {threadless:.2} µs — {:.1}x vs nic_thread, {:.1}x vs host_driven",
         nic / threadless,
         host / threadless,
+    );
+    println!(
+        "0-byte RTT p50 over loopback UDP (2 processes): {udp:.2} µs — \
+         {:.1}x the in-process nic_thread wire",
+        udp / nic
     );
 
     let report = Report {
@@ -233,6 +376,7 @@ fn main() {
         zero_byte_rtt_p50_us_threadless: threadless,
         zero_byte_rtt_p50_us_nic_thread: nic,
         zero_byte_rtt_p50_us_host_driven: host,
+        zero_byte_rtt_p50_us_udp_loopback: udp,
         zero_byte_speedup_vs_nic_thread: nic / threadless,
         zero_byte_speedup_vs_host_driven: host / threadless,
         results,

@@ -2,6 +2,9 @@
 
 use crate::clock::SimClock;
 use crate::config::FabricConfig;
+use crate::driver::DriverRegistry;
+#[cfg(test)]
+use crate::driver::NodeDriver;
 use crate::nic::{Datagram, Nic};
 use crate::stats::{FabricStats, FabricStatsSnapshot, NicStats};
 use crossbeam::channel::Sender;
@@ -13,31 +16,9 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// A protocol stack that can be driven cooperatively by *other* threads'
-/// blocking waits (the caller-driven progress mode).
-///
-/// In threadless mode no thread stands behind an idle node, so a process that
-/// parks in `eq_wait` must be able to advance its *peers'* protocol state —
-/// the in-process simulation analogue of every real process polling its own
-/// NIC. A node (or bare transport endpoint) registers itself with the fabric's
-/// [`DriverHub`]; wait loops then call [`DriverHub::service_peers`] between
-/// their own progress steps.
-///
-/// Implementations must be re-entrancy-safe against concurrent `service`
-/// calls from different threads (internally they take a non-blocking
-/// try-lock and bail if another thread is already inside).
-pub trait NodeDriver: Send + Sync {
-    /// Advance this node's protocol state machines once. Returns `true` if
-    /// any work was performed.
-    fn service(&self) -> bool;
-    /// Cheap test: is there pending work (raised readiness bits, a due
-    /// retransmission timer) that `service` would act on?
-    fn has_work(&self) -> bool;
-}
 
 /// A packet waiting on the simulated wire.
 struct ScheduledPacket {
@@ -89,9 +70,9 @@ pub(crate) struct Shared {
     pub(crate) stats: FabricStats,
     pub(crate) routes: RwLock<HashMap<NodeId, Route>>,
     /// Caller-driven nodes that volunteered to be serviced from peers' wait
-    /// loops (see [`NodeDriver`]). `Weak` so the registry never keeps a node
-    /// alive — and never forms a cycle through the node's own `Arc<Shared>`.
-    drivers: RwLock<Vec<(NodeId, Weak<dyn NodeDriver>)>>,
+    /// loops (see [`crate::NodeDriver`]); shared with every
+    /// [`crate::DriverHub`] this fabric's NICs hand out.
+    pub(crate) registry: Arc<DriverRegistry>,
     partitions: RwLock<HashSet<(NodeId, NodeId)>>,
     wire: Mutex<WireState>,
     wire_cond: Condvar,
@@ -327,97 +308,6 @@ impl Shared {
             .peek()
             .map(|Reverse(pkt)| self.clock.instant_at(pkt.deliver_at))
     }
-
-    /// Register (or replace) the cooperative driver for `nid`.
-    pub(crate) fn register_driver(&self, nid: NodeId, driver: Weak<dyn NodeDriver>) {
-        let mut drivers = self.drivers.write();
-        if let Some(slot) = drivers.iter_mut().find(|(n, _)| *n == nid) {
-            slot.1 = driver;
-        } else {
-            drivers.push((nid, driver));
-        }
-    }
-
-    /// Drop the cooperative driver registered for `nid`, if any.
-    pub(crate) fn unregister_driver(&self, nid: NodeId) {
-        self.drivers.write().retain(|(n, _)| *n != nid);
-    }
-
-    /// Service every registered driver other than `own` that reports pending
-    /// work. Returns `true` if any driver performed work. Dead registrations
-    /// (dropped nodes) are pruned as encountered.
-    pub(crate) fn service_peers(&self, own: NodeId) -> bool {
-        // Snapshot under the read lock, service outside it: a serviced driver
-        // may attach/detach nodes or re-enter the fabric.
-        let snapshot: Vec<(NodeId, Weak<dyn NodeDriver>)> = self
-            .drivers
-            .read()
-            .iter()
-            .filter(|(n, _)| *n != own)
-            .cloned()
-            .collect();
-        let mut worked = false;
-        let mut dead: Vec<NodeId> = Vec::new();
-        for (nid, weak) in snapshot {
-            match weak.upgrade() {
-                Some(driver) => {
-                    if driver.has_work() && driver.service() {
-                        worked = true;
-                    }
-                }
-                None => dead.push(nid),
-            }
-        }
-        if !dead.is_empty() {
-            self.drivers
-                .write()
-                .retain(|(n, w)| !dead.contains(n) || w.strong_count() > 0);
-        }
-        worked
-    }
-}
-
-/// A handle for participating in cooperative caller-driven progress: register
-/// a [`NodeDriver`] for this node and service peers' pending work from wait
-/// loops. Obtained from [`Nic::driver_hub`]; cheap to clone.
-#[derive(Clone)]
-pub struct DriverHub {
-    nid: NodeId,
-    shared: Arc<Shared>,
-}
-
-impl DriverHub {
-    pub(crate) fn new(nid: NodeId, shared: Arc<Shared>) -> DriverHub {
-        DriverHub { nid, shared }
-    }
-
-    /// The node this hub handle belongs to.
-    pub fn nid(&self) -> NodeId {
-        self.nid
-    }
-
-    /// Register (or replace) this node's cooperative driver.
-    pub fn register(&self, driver: Weak<dyn NodeDriver>) {
-        self.shared.register_driver(self.nid, driver);
-    }
-
-    /// Remove this node's cooperative driver.
-    pub fn unregister(&self) {
-        self.shared.unregister_driver(self.nid);
-    }
-
-    /// Advance every *other* registered node that has pending work. Returns
-    /// `true` if anything was done. Called from caller-driven wait loops so
-    /// single-process simulations make progress for all their nodes.
-    pub fn service_peers(&self) -> bool {
-        self.shared.service_peers(self.nid)
-    }
-}
-
-impl std::fmt::Debug for DriverHub {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DriverHub({})", self.nid)
-    }
 }
 
 /// The simulated network fabric.
@@ -443,7 +333,7 @@ impl Fabric {
             clock: SimClock::new(),
             stats: FabricStats::new(&config.obs.registry),
             routes: RwLock::new(HashMap::new()),
-            drivers: RwLock::new(Vec::new()),
+            registry: Arc::new(DriverRegistry::new()),
             partitions: RwLock::new(HashSet::new()),
             wire: Mutex::new(WireState {
                 heap: BinaryHeap::new(),

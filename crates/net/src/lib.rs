@@ -24,14 +24,18 @@
 
 mod clock;
 mod config;
+mod driver;
 mod fabric;
 mod fault;
+mod link;
 mod nic;
 mod stats;
 
 pub use clock::SimClock;
 pub use config::{FabricConfig, LinkModel};
-pub use fabric::{DriverHub, Fabric, NodeDriver};
+pub use driver::{DriverHub, DriverRegistry, NodeDriver};
+pub use fabric::Fabric;
 pub use fault::FaultPlan;
+pub use link::Link;
 pub use nic::{Datagram, Nic, RecvError};
 pub use stats::{FabricStats, NicStats};

@@ -1,0 +1,88 @@
+//! The [`Link`] trait: what the transport needs from a wire.
+//!
+//! The transport's reliability machinery (go-back-N windows, cumulative acks,
+//! credit flow control) was written against the in-process [`Nic`] — but
+//! nothing in it is specific to a simulated wire. This trait captures the
+//! exact contract the transport consumes: an unreliable, unordered-in-the-
+//! worst-case datagram service with a doorbell. Backends:
+//!
+//! * the in-process fabric ([`Nic`] — deterministic, seeded fault injection,
+//!   modelled latency/bandwidth; stays authoritative for protocol testing);
+//! * a real UDP socket (`portals-netudp` — real OS boundaries, real loss).
+//!
+//! # Delivery guarantees (and non-guarantees)
+//!
+//! A `Link` promises *at-most-once, possibly-reordered, possibly-lost*
+//! datagram delivery and nothing more. The fault-free fabric happens to be
+//! reliable and in-order; UDP over loopback usually is too; the transport
+//! must not (and does not) depend on either. A backend that can corrupt
+//! payloads in flight must return `true` from
+//! [`Link::body_checksum_required`] so the transport extends packet CRCs
+//! over the body.
+
+use crate::driver::DriverHub;
+use crate::nic::Datagram;
+use crossbeam::channel::Receiver;
+use portals_types::{Gather, NodeId, Readiness};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An unreliable datagram endpoint bound to one node id — the lowest layer
+/// the transport builds on.
+///
+/// The queueing contract: a datagram accepted by [`Link::send`] is either
+/// delivered into the destination's inbound channel (raising
+/// [`Readiness::INBOUND`] on its doorbell *after* the enqueue) or silently
+/// dropped. Sends never block on the receiver and never report failure —
+/// exactly a NIC ring buffer's semantics; recovery is the caller's job.
+pub trait Link: Send + Sync + 'static {
+    /// The node id this endpoint is bound to.
+    fn nid(&self) -> NodeId;
+
+    /// Fire a datagram at `dst`. Best-effort: may be dropped on the floor
+    /// (unroutable, lossy wire, full socket buffer) without feedback.
+    fn send(&self, dst: NodeId, payload: Gather);
+
+    /// A clone of the inbound channel receiver. All arriving datagrams land
+    /// here, in arrival order.
+    fn inbound_receiver(&self) -> Receiver<Datagram>;
+
+    /// This endpoint's readiness doorbell: the backend raises
+    /// [`Readiness::INBOUND`] after each inbound enqueue. Higher layers
+    /// raise their own bits on the same doorbell so one park covers all
+    /// work classes.
+    fn readiness(&self) -> Arc<Readiness>;
+
+    /// A [`DriverHub`] for cooperative caller-driven progress among the
+    /// nodes sharing this backend's process.
+    fn driver_hub(&self) -> DriverHub;
+
+    /// On a caller-pumped wire, deliver every due packet and return the next
+    /// delivery deadline. Backends with their own delivery agent (a
+    /// scheduler thread, a socket rx thread) return `None` and need no
+    /// pumping.
+    fn pump_wire(&self) -> Option<Instant> {
+        None
+    }
+
+    /// Delivery deadline of the earliest packet a caller-pumped wire is
+    /// holding, without pumping it. `None` when idle or not caller-pumped.
+    fn next_wire_deadline(&self) -> Option<Instant> {
+        None
+    }
+
+    /// Hard upper bound on a single datagram's payload size, if the wire has
+    /// one (a UDP socket does; the in-process fabric does not). The
+    /// transport clamps its MTU to this.
+    fn max_datagram(&self) -> Option<usize> {
+        None
+    }
+
+    /// `true` when this wire can corrupt payload bytes in flight, so packet
+    /// CRCs must cover bodies, not just headers. The in-process fabric
+    /// hands over refcounted memory and returns `false`; real sockets
+    /// return `true`.
+    fn body_checksum_required(&self) -> bool {
+        false
+    }
+}

@@ -1,6 +1,8 @@
 //! The NIC endpoint: what a simulated node holds to talk to the fabric.
 
-use crate::fabric::{DriverHub, Shared};
+use crate::driver::DriverHub;
+use crate::fabric::Shared;
+use crate::link::Link;
 use crate::stats::NicStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 use portals_types::Gather;
@@ -164,13 +166,46 @@ impl Nic {
     /// A [`DriverHub`] handle for this node: register a cooperative driver
     /// and service peers from caller-driven wait loops.
     pub fn driver_hub(&self) -> DriverHub {
-        DriverHub::new(self.nid, Arc::clone(&self.shared))
+        DriverHub::new(self.nid, Arc::clone(&self.shared.registry))
+    }
+}
+
+/// The in-process fabric is the reference [`Link`] backend: deterministic,
+/// seeded fault injection, caller-pumpable wire — and a refcounted handoff
+/// that cannot corrupt payloads, so body checksums stay off.
+impl Link for Nic {
+    fn nid(&self) -> NodeId {
+        Nic::nid(self)
+    }
+
+    fn send(&self, dst: NodeId, payload: Gather) {
+        Nic::send(self, dst, payload)
+    }
+
+    fn inbound_receiver(&self) -> Receiver<Datagram> {
+        Nic::inbound_receiver(self)
+    }
+
+    fn readiness(&self) -> Arc<Readiness> {
+        Nic::readiness(self)
+    }
+
+    fn driver_hub(&self) -> DriverHub {
+        Nic::driver_hub(self)
+    }
+
+    fn pump_wire(&self) -> Option<Instant> {
+        Nic::pump_wire(self)
+    }
+
+    fn next_wire_deadline(&self) -> Option<Instant> {
+        Nic::next_wire_deadline(self)
     }
 }
 
 impl Drop for Nic {
     fn drop(&mut self) {
-        self.shared.unregister_driver(self.nid);
+        self.shared.registry.unregister(self.nid);
         self.shared.routes.write().remove(&self.nid);
     }
 }

@@ -1,0 +1,45 @@
+//! Standalone rendezvous listener.
+//!
+//! ```text
+//! rendezvous [--listen 127.0.0.1:7117]
+//! ```
+//!
+//! Runs until killed. Prints the bound address on stdout (one line) so
+//! launchers binding port 0 can scrape it.
+
+use portals_netudp::RendezvousServer;
+
+fn main() {
+    let mut listen = String::from("127.0.0.1:7117");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = args
+                    .next()
+                    .unwrap_or_else(|| usage("--listen needs an address"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let server = match RendezvousServer::bind(listen.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rendezvous: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", server.local_addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("rendezvous: {err}");
+    }
+    eprintln!("usage: rendezvous [--listen ADDR:PORT]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,327 @@
+//! The UDP socket [`Link`] backend.
+
+use crate::frame::{self, FrameError, FRAME_HEADER};
+use crate::stats::{UdpStats, UdpStatsSnapshot};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use portals_net::{Datagram, DriverHub, DriverRegistry, Link};
+use portals_obs::Obs;
+use portals_types::{Gather, NodeId, Readiness};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the receive thread blocks in `recv_from` before re-checking the
+/// shutdown flag. Bounds teardown latency, not delivery latency (a datagram
+/// arriving mid-wait wakes the call immediately).
+const RX_POLL: Duration = Duration::from_millis(5);
+
+/// Send retries on `WouldBlock`/`Interrupted` before the datagram is dropped.
+/// Dropping is legal — this is an unreliable link and the transport
+/// retransmits — but a short retry burst rides out transient buffer pressure
+/// far cheaper than a retransmission timeout.
+const SEND_RETRIES: u32 = 16;
+
+/// Configuration for a [`UdpLink`].
+#[derive(Debug, Clone)]
+pub struct UdpLinkConfig {
+    /// Local socket address to bind (port 0 picks a free port).
+    pub bind: SocketAddr,
+    /// The node id this endpoint speaks as.
+    pub nid: NodeId,
+    /// Hard bound on a single datagram's *payload* (the encoded transport
+    /// packet; the 18-byte frame header rides on top). Reported to the
+    /// transport through [`Link::max_datagram`] so it sizes fragments to
+    /// fit. The default stays under a 1500-byte Ethernet MTU.
+    pub max_payload: usize,
+    /// Send-side seeded loss shim: probability in `[0, 1]` that a datagram
+    /// is silently dropped instead of sent. Real loss recovery (the
+    /// transport's go-back-N machinery) can then be exercised over a
+    /// loopback wire that never loses anything by itself.
+    pub loss: f64,
+    /// Seed for the loss shim (deterministic per link instance).
+    pub seed: u64,
+    /// Observability sinks; `net.udp.*` counters register here.
+    pub obs: Obs,
+}
+
+impl Default for UdpLinkConfig {
+    fn default() -> Self {
+        UdpLinkConfig {
+            bind: "127.0.0.1:0".parse().expect("literal addr"),
+            nid: NodeId(0),
+            max_payload: 1432,
+            loss: 0.0,
+            seed: 0,
+            obs: Obs::default(),
+        }
+    }
+}
+
+/// A real UDP socket presented as a [`Link`]: the transport's reliability
+/// machinery runs over actual OS datagrams, process boundaries and all.
+///
+/// A dedicated receive thread drains the socket (readiness-driven from the
+/// kernel's side: it parks in `recv_from`), validates frames, learns peer
+/// addresses, and feeds the inbound channel — the same delivery contract the
+/// in-process fabric's scheduler thread provides. Sends go straight to the
+/// socket from the calling thread.
+///
+/// Peer routing: a [`NodeId`] → [`SocketAddr`] table, seeded explicitly via
+/// [`UdpLink::set_peer`] (from the rendezvous exchange) and kept fresh by
+/// learning the source address of every valid inbound frame — so a
+/// responder can answer a node it never registered.
+pub struct UdpLink {
+    nid: NodeId,
+    socket: UdpSocket,
+    local_addr: SocketAddr,
+    peers: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
+    inbound: Receiver<Datagram>,
+    readiness: Arc<Readiness>,
+    drivers: Arc<DriverRegistry>,
+    stats: Arc<UdpStats>,
+    max_payload: usize,
+    loss: f64,
+    rng: Mutex<SmallRng>,
+    shutdown: Arc<AtomicBool>,
+    rx_thread: Option<JoinHandle<()>>,
+}
+
+impl UdpLink {
+    /// Bind a UDP socket per `cfg` and start the receive thread.
+    pub fn bind(cfg: UdpLinkConfig) -> std::io::Result<UdpLink> {
+        let socket = UdpSocket::bind(cfg.bind)?;
+        let local_addr = socket.local_addr()?;
+        let rx_socket = socket.try_clone()?;
+        rx_socket.set_read_timeout(Some(RX_POLL))?;
+
+        let (in_tx, in_rx) = crossbeam::channel::unbounded();
+        let readiness = Arc::new(Readiness::new());
+        let peers = Arc::new(RwLock::new(HashMap::new()));
+        let stats = Arc::new(UdpStats::new(&cfg.obs.registry, cfg.nid.0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let rx = RxThread {
+            nid: cfg.nid,
+            socket: rx_socket,
+            peers: Arc::clone(&peers),
+            out: in_tx,
+            readiness: Arc::clone(&readiness),
+            stats: Arc::clone(&stats),
+            shutdown: Arc::clone(&shutdown),
+        };
+        let rx_thread = std::thread::Builder::new()
+            .name(format!("portals-udp-rx-{}", cfg.nid.0))
+            .spawn(move || rx.run())?;
+
+        Ok(UdpLink {
+            nid: cfg.nid,
+            socket,
+            local_addr,
+            peers,
+            inbound: in_rx,
+            readiness,
+            drivers: Arc::new(DriverRegistry::new()),
+            stats,
+            max_payload: cfg.max_payload,
+            loss: cfg.loss,
+            rng: Mutex::new(SmallRng::seed_from_u64(cfg.seed)),
+            shutdown,
+            rx_thread: Some(rx_thread),
+        })
+    }
+
+    /// The socket address this link is bound to (what peers send to).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The node id this link speaks as.
+    pub fn nid(&self) -> NodeId {
+        self.nid
+    }
+
+    /// Route `nid` to `addr`. Usually called once per peer with addresses
+    /// from the rendezvous exchange; inbound traffic keeps the table fresh
+    /// afterwards.
+    pub fn set_peer(&self, nid: NodeId, addr: SocketAddr) {
+        self.peers.write().insert(nid, addr);
+    }
+
+    /// The socket address currently routed for `nid`, if any.
+    pub fn peer_addr(&self, nid: NodeId) -> Option<SocketAddr> {
+        self.peers.read().get(&nid).copied()
+    }
+
+    /// Snapshot the `net.udp.*` counters.
+    pub fn stats(&self) -> UdpStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn send_datagram(&self, dst: NodeId, payload: &Gather) {
+        let Some(addr) = self.peer_addr(dst) else {
+            self.stats.unroutable.inc();
+            return;
+        };
+        if self.loss > 0.0 && self.rng.lock().gen::<f64>() < self.loss {
+            self.stats.shim_dropped.inc();
+            return;
+        }
+        // One contiguous buffer per datagram: UDP's sendto takes a single
+        // slice, so the gather's segments are copied exactly once, here.
+        let len = payload.len();
+        let mut buf = Vec::with_capacity(FRAME_HEADER + len);
+        frame::encode_header(self.nid, dst, len, &mut buf);
+        for seg in payload.segments() {
+            buf.extend_from_slice(seg.as_ref());
+        }
+        let mut attempts = 0;
+        loop {
+            match self.socket.send_to(&buf, addr) {
+                Ok(_) => {
+                    self.stats.datagrams_sent.inc();
+                    self.stats.bytes_sent.add(len as u64);
+                    return;
+                }
+                Err(e)
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted)
+                        && attempts < SEND_RETRIES =>
+                {
+                    attempts += 1;
+                    self.stats.wouldblock_retries.inc();
+                    std::hint::spin_loop();
+                }
+                Err(_) => {
+                    // Unreachable port, exhausted retries, … — an unreliable
+                    // link drops and the transport recovers.
+                    self.stats.send_errors.inc();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Link for UdpLink {
+    fn nid(&self) -> NodeId {
+        self.nid
+    }
+
+    fn send(&self, dst: NodeId, payload: Gather) {
+        self.send_datagram(dst, &payload);
+    }
+
+    fn inbound_receiver(&self) -> Receiver<Datagram> {
+        self.inbound.clone()
+    }
+
+    fn readiness(&self) -> Arc<Readiness> {
+        Arc::clone(&self.readiness)
+    }
+
+    fn driver_hub(&self) -> DriverHub {
+        DriverHub::new(self.nid, Arc::clone(&self.drivers))
+    }
+
+    fn max_datagram(&self) -> Option<usize> {
+        Some(self.max_payload)
+    }
+
+    fn body_checksum_required(&self) -> bool {
+        // Kernel buffers, NIC DMA, a real wire: bytes can rot where the
+        // in-process fabric's refcounted handoff cannot.
+        true
+    }
+}
+
+impl Drop for UdpLink {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.rx_thread.take() {
+            let _ = handle.join();
+        }
+        self.drivers.unregister(self.nid);
+    }
+}
+
+impl std::fmt::Debug for UdpLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UdpLink({} @ {})", self.nid, self.local_addr)
+    }
+}
+
+/// The receive side, owned by the rx thread.
+struct RxThread {
+    nid: NodeId,
+    socket: UdpSocket,
+    peers: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
+    out: Sender<Datagram>,
+    readiness: Arc<Readiness>,
+    stats: Arc<UdpStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl RxThread {
+    fn run(self) {
+        // Largest possible UDP payload: frames above max_payload still parse
+        // (the bound is a courtesy to senders, not a receive-side limit).
+        let mut buf = vec![0u8; 65536];
+        while !self.shutdown.load(Ordering::Acquire) {
+            let (n, from) = match self.socket.recv_from(&mut buf) {
+                Ok(ok) => ok,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                // On Linux a previous send to an unreachable port can surface
+                // here as ECONNREFUSED; not a receive failure.
+                Err(e) if e.kind() == ErrorKind::ConnectionRefused => continue,
+                Err(_) => break, // socket gone
+            };
+            let (src, dst, payload) = match frame::decode(&buf[..n]) {
+                Ok(parts) => parts,
+                Err(FrameError::Truncated) => {
+                    self.stats.truncated.inc();
+                    continue;
+                }
+                Err(FrameError::BadMagic) => {
+                    self.stats.bad_magic.inc();
+                    continue;
+                }
+                Err(FrameError::Checksum) => {
+                    self.stats.checksum_rejects.inc();
+                    continue;
+                }
+            };
+            if dst != self.nid {
+                self.stats.misrouted.inc();
+                continue;
+            }
+            // Learn-on-rx: the freshest return address for this peer is the
+            // one it just sent from.
+            self.peers.write().insert(src, from);
+            self.stats.datagrams_received.inc();
+            self.stats.bytes_received.add(payload.len() as u64);
+            let dgram = Datagram {
+                src,
+                dst,
+                payload: Gather::from_vec(payload.to_vec()),
+            };
+            if self.out.send(dgram).is_err() {
+                break; // receiver side dropped: link is being torn down
+            }
+            // Doorbell after the enqueue, per the Link contract.
+            self.readiness.set(Readiness::INBOUND);
+        }
+    }
+}

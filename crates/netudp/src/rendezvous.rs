@@ -1,0 +1,372 @@
+//! The rendezvous service: how N processes find each other's UDP sockets.
+//!
+//! Each process binds its UDP socket on an ephemeral port, then registers
+//! with the rendezvous listener over TCP:
+//!
+//! ```text
+//! client → server:  REGISTER <job-id> <rank> <nprocs> <udp-addr>\n
+//! server → client:  PEERS <addr-rank0> <addr-rank1> … <addr-rankN-1>\n
+//! server → client:  ERR <reason>\n           (malformed / conflicting)
+//! ```
+//!
+//! The server holds every registration open until all `nprocs` ranks of a
+//! job have arrived, then answers them all with the complete ordered peer
+//! list and forgets the job — registration doubles as the job's startup
+//! barrier, and job ids are reusable across runs. One rendezvous server can
+//! multiplex any number of concurrent jobs.
+//!
+//! This is deliberately the smallest thing that launches a distributed job
+//! (one round trip, line-oriented, debuggable with `nc`). It stands in for
+//! the yod/bebopd launcher of the paper's Cplant deployment: an external
+//! service hands every process the wire addresses of its peers, and the
+//! Portals stack itself never does discovery.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps between polls of the (nonblocking)
+/// listener. Bounds shutdown latency and costs nothing while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// One job mid-rendezvous: the ranks heard from so far and their parked
+/// connections.
+struct PendingJob {
+    nprocs: u32,
+    /// Indexed by rank: the UDP address it registered and the TCP stream
+    /// waiting for the peer list.
+    slots: Vec<Option<(String, TcpStream)>>,
+}
+
+/// The rendezvous listener. Binding spawns the accept thread; dropping the
+/// handle shuts it down.
+pub struct RendezvousServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RendezvousServer {
+    /// Bind the TCP listener (port 0 picks a free port) and start serving.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<RendezvousServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = ServerState {
+            listener,
+            jobs: Mutex::new(HashMap::new()),
+            shutdown: Arc::clone(&shutdown),
+        };
+        let accept_thread = std::thread::Builder::new()
+            .name("portals-rendezvous".into())
+            .spawn(move || state.run())?;
+        Ok(RendezvousServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients register against.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for RendezvousServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct ServerState {
+    listener: TcpListener,
+    jobs: Mutex<HashMap<String, PendingJob>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerState {
+    fn run(self) {
+        let state = Arc::new(self);
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while !state.shutdown.load(Ordering::Acquire) {
+            match state.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&state);
+                    // One short-lived thread per connection: it blocks only
+                    // until the client's single REGISTER line arrives, then
+                    // either answers or parks the stream in the job table.
+                    if let Ok(h) = std::thread::Builder::new()
+                        .name("portals-rendezvous-conn".into())
+                        .spawn(move || state.handle(stream))
+                    {
+                        handlers.push(h);
+                    }
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => break,
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+
+    fn handle(&self, stream: TcpStream) {
+        // A client that connects and never registers must not wedge the
+        // handler forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_err() {
+            return;
+        }
+        match parse_register(&line) {
+            Ok((job, rank, nprocs, udp_addr)) => self.register(stream, job, rank, nprocs, udp_addr),
+            Err(reason) => {
+                let mut stream = stream;
+                let _ = writeln!(stream, "ERR {reason}");
+            }
+        }
+    }
+
+    fn register(&self, mut stream: TcpStream, job: String, rank: u32, nprocs: u32, udp: String) {
+        let mut jobs = self.jobs.lock().expect("rendezvous state poisoned");
+        let pending = jobs.entry(job.clone()).or_insert_with(|| PendingJob {
+            nprocs,
+            slots: (0..nprocs).map(|_| None).collect(),
+        });
+        if pending.nprocs != nprocs {
+            let have = pending.nprocs;
+            drop(jobs);
+            let _ = writeln!(
+                stream,
+                "ERR job {job} registered with nprocs {have}, got {nprocs}"
+            );
+            return;
+        }
+        if pending.slots[rank as usize].is_some() {
+            drop(jobs);
+            let _ = writeln!(stream, "ERR rank {rank} already registered for job {job}");
+            return;
+        }
+        pending.slots[rank as usize] = Some((udp, stream));
+        if pending.slots.iter().any(Option::is_none) {
+            return; // parked until the last rank arrives
+        }
+        // Complete: answer every rank with the ordered peer list and retire
+        // the job id for reuse.
+        let pending = jobs.remove(&job).expect("just completed");
+        drop(jobs);
+        let addrs: Vec<&str> = pending
+            .slots
+            .iter()
+            .map(|slot| slot.as_ref().expect("all present").0.as_str())
+            .collect();
+        let reply = format!("PEERS {}\n", addrs.join(" "));
+        for (_, mut stream) in pending.slots.into_iter().flatten() {
+            let _ = stream.write_all(reply.as_bytes());
+        }
+    }
+}
+
+/// `REGISTER <job> <rank> <nprocs> <udp_addr>` → parts. The udp address is
+/// validated but passed through as text (the client resolves it).
+fn parse_register(line: &str) -> Result<(String, u32, u32, String), String> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("REGISTER") {
+        return Err("expected REGISTER".into());
+    }
+    let job = parts.next().ok_or("missing job id")?.to_string();
+    let rank: u32 = parts
+        .next()
+        .ok_or("missing rank")?
+        .parse()
+        .map_err(|_| "bad rank")?;
+    let nprocs: u32 = parts
+        .next()
+        .ok_or("missing nprocs")?
+        .parse()
+        .map_err(|_| "bad nprocs")?;
+    let udp = parts.next().ok_or("missing udp addr")?.to_string();
+    if parts.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    if nprocs == 0 || rank >= nprocs {
+        return Err(format!("rank {rank} out of range for nprocs {nprocs}"));
+    }
+    if udp.parse::<SocketAddr>().is_err() {
+        return Err(format!("unparseable udp addr {udp}"));
+    }
+    Ok((job, rank, nprocs, udp))
+}
+
+/// Register this process with a rendezvous server and block until the whole
+/// job has registered. Returns the UDP socket addresses of all ranks,
+/// ordered by rank (index == rank; `result[own_rank]` is `udp_addr` echoed
+/// back).
+pub fn register(
+    server: SocketAddr,
+    job: &str,
+    rank: u32,
+    nprocs: u32,
+    udp_addr: SocketAddr,
+    timeout: Duration,
+) -> std::io::Result<Vec<SocketAddr>> {
+    let deadline = Instant::now() + timeout;
+    let mut stream = connect_until(server, deadline)?;
+    stream.set_read_timeout(Some(timeout))?;
+    writeln!(stream, "REGISTER {job} {rank} {nprocs} {udp_addr}")?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let line = line.trim_end();
+    if let Some(rest) = line.strip_prefix("PEERS ") {
+        let addrs: Result<Vec<SocketAddr>, _> = rest.split_whitespace().map(str::parse).collect();
+        let addrs = addrs
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad peer: {e}")))?;
+        if addrs.len() != nprocs as usize {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("expected {nprocs} peers, got {}", addrs.len()),
+            ));
+        }
+        Ok(addrs)
+    } else if let Some(reason) = line.strip_prefix("ERR ") {
+        Err(std::io::Error::other(reason.to_string()))
+    } else {
+        Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("unexpected rendezvous reply: {line:?}"),
+        ))
+    }
+}
+
+/// Retry the TCP connect until `deadline`: the rendezvous server is usually
+/// racing the clients into existence (the launcher starts everything at
+/// once), so refusal is expected startup noise, not an error.
+fn connect_until(server: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "rendezvous connect timed out",
+            ));
+        }
+        match TcpStream::connect_timeout(&server, remaining.min(Duration::from_secs(1))) {
+            Ok(stream) => return Ok(stream),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udp(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn two_ranks_rendezvous() {
+        let server = RendezvousServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let t0 = std::thread::spawn(move || {
+            register(addr, "job-a", 0, 2, udp(9001), Duration::from_secs(10)).unwrap()
+        });
+        let t1 = std::thread::spawn(move || {
+            register(addr, "job-a", 1, 2, udp(9002), Duration::from_secs(10)).unwrap()
+        });
+        let p0 = t0.join().unwrap();
+        let p1 = t1.join().unwrap();
+        assert_eq!(p0, vec![udp(9001), udp(9002)]);
+        assert_eq!(p0, p1, "all ranks must see the same ordered list");
+    }
+
+    #[test]
+    fn jobs_multiplex_and_ids_are_reusable() {
+        let server = RendezvousServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        for round in 0..2u16 {
+            let handles: Vec<_> = (0..3u32)
+                .map(|rank| {
+                    std::thread::spawn(move || {
+                        register(
+                            addr,
+                            "job-b",
+                            rank,
+                            3,
+                            udp(7000 + round * 10 + rank as u16),
+                            Duration::from_secs(10),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            let lists: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for list in &lists {
+                assert_eq!(list, &lists[0]);
+                assert_eq!(list.len(), 3);
+                assert_eq!(list[0], udp(7000 + round * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_registrations_are_rejected() {
+        let server = RendezvousServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        // Wrong rank range: immediate error.
+        let err = register(addr, "job-c", 5, 2, udp(9000), Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // First registration parks; a conflicting nprocs is turned away
+        // without disturbing it.
+        let pending = std::thread::spawn(move || {
+            register(addr, "job-d", 0, 2, udp(9003), Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let err = register(addr, "job-d", 1, 3, udp(9004), Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("nprocs"), "{err}");
+        // A duplicate rank is also turned away.
+        let err = register(addr, "job-d", 0, 2, udp(9005), Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("already registered"), "{err}");
+        // The legitimate second rank completes the job.
+        let peers = register(addr, "job-d", 1, 2, udp(9006), Duration::from_secs(10)).unwrap();
+        assert_eq!(peers, vec![udp(9003), udp(9006)]);
+        assert_eq!(pending.join().unwrap().unwrap(), vec![udp(9003), udp(9006)]);
+    }
+
+    #[test]
+    fn malformed_lines_get_err() {
+        let server = RendezvousServer::bind("127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        writeln!(stream, "HELLO world").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("ERR "), "{reply:?}");
+    }
+
+    #[test]
+    fn connect_timeout_reports_timeout() {
+        // A port with (very probably) nothing listening.
+        let err =
+            register(udp(1), "job-e", 0, 1, udp(9000), Duration::from_millis(200)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::TimedOut);
+    }
+}

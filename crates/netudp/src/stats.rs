@@ -1,0 +1,110 @@
+//! UDP link counters.
+//!
+//! Registered as `net.udp.*` series labeled `{node}`, on the same registry as
+//! the `transport.*` / `flow.*` series, so the observability tooling (the
+//! `tables` bin, the soak invariants) can reconcile socket-level traffic with
+//! protocol-level traffic: every datagram the transport put on this link is
+//! either counted sent here, dropped by the loss shim, or unroutable.
+
+use portals_obs::{Counter, Registry};
+
+/// Counters maintained by a [`UdpLink`](crate::UdpLink).
+#[derive(Debug)]
+pub struct UdpStats {
+    /// Datagrams handed to the socket (after the loss shim).
+    pub datagrams_sent: Counter,
+    /// Payload bytes handed to the socket (frame headers excluded).
+    pub bytes_sent: Counter,
+    /// Well-formed datagrams delivered into the inbound channel.
+    pub datagrams_received: Counter,
+    /// Payload bytes delivered into the inbound channel.
+    pub bytes_received: Counter,
+    /// Datagrams rejected on receive because the frame was shorter than its
+    /// header or shorter than the length the header declared (a truncated
+    /// read or a foreign sender).
+    pub truncated: Counter,
+    /// Datagrams rejected because the frame checksum did not verify.
+    pub checksum_rejects: Counter,
+    /// Datagrams rejected because the frame carried the wrong magic/version
+    /// (something other than a Portals peer is talking to this port).
+    pub bad_magic: Counter,
+    /// Datagrams rejected because the frame's destination was some other
+    /// node id (stale peer table on the sender's side).
+    pub misrouted: Counter,
+    /// `WouldBlock`/`Interrupted` send retries (bounded; the datagram is
+    /// dropped when the budget runs out — it is an unreliable link).
+    pub wouldblock_retries: Counter,
+    /// Sends dropped on the floor by the seeded loss shim
+    /// ([`UdpLinkConfig::loss`](crate::UdpLinkConfig)).
+    pub shim_dropped: Counter,
+    /// Sends dropped because no socket address is known for the destination
+    /// node id.
+    pub unroutable: Counter,
+    /// Sends dropped after exhausting the retry budget or on a hard socket
+    /// error.
+    pub send_errors: Counter,
+}
+
+impl UdpStats {
+    /// Register the `net.udp.*` series for node `nid` in `registry`.
+    pub fn new(registry: &Registry, nid: u32) -> UdpStats {
+        let labels = [("node", nid.to_string())];
+        let c = |name| registry.counter(name, &labels);
+        UdpStats {
+            datagrams_sent: c("net.udp.datagrams_sent"),
+            bytes_sent: c("net.udp.bytes_sent"),
+            datagrams_received: c("net.udp.datagrams_received"),
+            bytes_received: c("net.udp.bytes_received"),
+            truncated: c("net.udp.truncated"),
+            checksum_rejects: c("net.udp.checksum_rejects"),
+            bad_magic: c("net.udp.bad_magic"),
+            misrouted: c("net.udp.misrouted"),
+            wouldblock_retries: c("net.udp.wouldblock_retries"),
+            shim_dropped: c("net.udp.shim_dropped"),
+            unroutable: c("net.udp.unroutable"),
+            send_errors: c("net.udp.send_errors"),
+        }
+    }
+
+    /// Snapshot into plain data.
+    pub fn snapshot(&self) -> UdpStatsSnapshot {
+        UdpStatsSnapshot {
+            datagrams_sent: self.datagrams_sent.get(),
+            bytes_sent: self.bytes_sent.get(),
+            datagrams_received: self.datagrams_received.get(),
+            bytes_received: self.bytes_received.get(),
+            truncated: self.truncated.get(),
+            checksum_rejects: self.checksum_rejects.get(),
+            bad_magic: self.bad_magic.get(),
+            misrouted: self.misrouted.get(),
+            wouldblock_retries: self.wouldblock_retries.get(),
+            shim_dropped: self.shim_dropped.get(),
+            unroutable: self.unroutable.get(),
+            send_errors: self.send_errors.get(),
+        }
+    }
+}
+
+impl Default for UdpStats {
+    fn default() -> Self {
+        UdpStats::new(&Registry::default(), u32::MAX)
+    }
+}
+
+/// Plain-data snapshot of [`UdpStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)]
+pub struct UdpStatsSnapshot {
+    pub datagrams_sent: u64,
+    pub bytes_sent: u64,
+    pub datagrams_received: u64,
+    pub bytes_received: u64,
+    pub truncated: u64,
+    pub checksum_rejects: u64,
+    pub bad_magic: u64,
+    pub misrouted: u64,
+    pub wouldblock_retries: u64,
+    pub shim_dropped: u64,
+    pub unroutable: u64,
+    pub send_errors: u64,
+}

@@ -191,17 +191,18 @@ pub struct Node {
 }
 
 impl Node {
-    /// Bring up a node on an attached NIC.
+    /// Bring up a node on a [`Link`](portals_net::Link) — an attached
+    /// in-process NIC, a UDP socket endpoint, any datagram backend.
     ///
     /// With [`ProgressMode::NicThread`] (the transport-config default) this
     /// spawns the dispatcher thread that stands in for NIC firmware. With
     /// [`ProgressMode::CallerDriven`] no thread is spawned: the node registers
     /// itself as a cooperative fabric driver and every API call advances the
     /// transport and runs dispatch inline.
-    pub fn new(nic: portals_net::Nic, config: NodeConfig) -> Node {
-        let nid = nic.nid();
+    pub fn new(link: impl portals_net::Link, config: NodeConfig) -> Node {
+        let nid = link.nid();
         let caller_driven = config.transport.progress_mode.is_caller_driven();
-        let endpoint = Endpoint::with_obs(nic, config.transport, config.obs.clone());
+        let endpoint = Endpoint::with_obs(link, config.transport, config.obs.clone());
         let node_labels = [("node", nid.0.to_string())];
         let incoming = endpoint.incoming_receiver();
         let readiness = endpoint.readiness();

@@ -12,6 +12,10 @@
 //!   each a Portals interface and an MPI context, run the application function
 //!   on every rank, and collect results. The per-job process directory that
 //!   backs the §4.5 "same application"/"system" ACL entries lives here too.
+//! * [`distributed`] — the same launch shape across real OS processes: each
+//!   process binds a UDP link, finds its peers through the rendezvous
+//!   service, and hosts its slice of the ranks
+//!   ([`Job::launch_distributed`], configured via `PORTALS_*` env vars).
 //! * [`coll`] — the collective communication library: barrier, broadcast,
 //!   reduce, allreduce, gather, scatter, allgather and alltoall with
 //!   tree/ring/recursive-doubling algorithms (selectable, for the ablation
@@ -23,9 +27,11 @@
 pub mod coll;
 pub mod control;
 pub mod directory;
+pub mod distributed;
 pub mod launch;
 
 pub use coll::{AllgatherAlgo, AllreduceAlgo, Collectives, PendingColl, ReduceOp, TriggeredConfig};
 pub use control::{Control, Launcher, NodeState, ProcessManager};
 pub use directory::JobDirectory;
+pub use distributed::DistributedConfig;
 pub use launch::{Job, JobConfig, ProcessEnv};

@@ -40,6 +40,14 @@ pub struct TransportConfig {
     /// The default equals `credit_window`; `0` models a zero-credit start
     /// where the first PROBE/ACK exchange must run before any data flows.
     pub initial_credits: u64,
+    /// Extend each DATA packet's CRC over its body, not just the header.
+    /// Off by default: the in-process fabric hands over refcounted memory
+    /// that cannot rot in flight, and skipping the body keeps encode
+    /// zero-copy-lazy. Forced on by [`Endpoint::new`](crate::Endpoint) when
+    /// the link reports
+    /// [`body_checksum_required`](portals_net::Link::body_checksum_required)
+    /// (real sockets).
+    pub checksum_body: bool,
     /// Who drives protocol progress. [`ProgressMode::NicThread`] (default)
     /// spawns the classic worker thread per endpoint;
     /// [`ProgressMode::CallerDriven`] runs the same state machines inline
@@ -71,6 +79,7 @@ impl Default for TransportConfig {
             flow_control: true,
             credit_window: 128,
             initial_credits: 128,
+            checksum_body: false,
             progress_mode: ProgressMode::NicThread,
         }
     }

@@ -5,9 +5,10 @@ use crate::stats::{FlowStats, FlowStatsSnapshot, TransportStats, TransportStatsS
 use crate::worker::{instant_to_ns, ns_to_instant, Command, ProgressCore, Worker, DEADLINE_NONE};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
-use portals_net::{DriverHub, Nic, NodeDriver};
+use portals_net::{DriverHub, Link, NodeDriver};
 use portals_obs::Obs;
 use portals_types::{Gather, NodeId, ProgressMode, Readiness};
+use portals_wire::Packet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -23,7 +24,7 @@ pub struct IncomingMessage {
     pub payload: Gather,
 }
 
-/// A reliable, ordered, connectionless endpoint bound to one NIC.
+/// A reliable, ordered, connectionless endpoint bound to one [`Link`].
 ///
 /// Sends are asynchronous: [`Endpoint::send`] queues the message and returns;
 /// the worker thread fragments, paces and retransmits. Reassembled inbound
@@ -121,27 +122,39 @@ const PARK_CAP: Duration = Duration::from_millis(1);
 const SPIN_ITERS: u32 = 200;
 
 impl Endpoint {
-    /// Wrap a NIC in a reliable endpoint. In `NicThread` mode this spawns
+    /// Wrap a [`Link`] (the in-process fabric's [`Nic`](portals_net::Nic), a
+    /// UDP socket, …) in a reliable endpoint. In `NicThread` mode this spawns
     /// the worker thread; in `CallerDriven` mode there is no thread and the
     /// calling threads drive the protocol from `send`/`recv`/`flush`.
-    pub fn new(nic: Nic, cfg: TransportConfig) -> Endpoint {
-        Endpoint::with_obs(nic, cfg, Obs::default())
+    pub fn new(link: impl Link, cfg: TransportConfig) -> Endpoint {
+        Endpoint::with_obs(link, cfg, Obs::default())
     }
 
     /// Like [`Endpoint::new`], registering the `transport.*` counters in
     /// `obs.registry` and emitting lifecycle trace events through
     /// `obs.tracer`.
-    pub fn with_obs(nic: Nic, cfg: TransportConfig, obs: Obs) -> Endpoint {
-        let nid = nic.nid();
+    ///
+    /// The link gets the last word on two knobs: a wire that can corrupt
+    /// bytes in flight forces [`TransportConfig::checksum_body`] on, and a
+    /// wire with a hard datagram bound clamps the fragment MTU so every
+    /// DATA packet (header + body) fits in one datagram.
+    pub fn with_obs(link: impl Link, mut cfg: TransportConfig, obs: Obs) -> Endpoint {
+        let link: Box<dyn Link> = Box::new(link);
+        cfg.checksum_body |= link.body_checksum_required();
+        if let Some(max) = link.max_datagram() {
+            let body_max = max.saturating_sub(Packet::DATA_HEADER_SIZE).max(1);
+            cfg.mtu = cfg.mtu.min(body_max);
+        }
+        let nid = link.nid();
         let (in_tx, in_rx) = crossbeam::channel::unbounded();
         let stats = Arc::new(TransportStats::new(&obs.registry, nid.0));
         let flow = Arc::new(FlowStats::new(&obs.registry, nid.0));
         let outstanding = Arc::new(AtomicUsize::new(0));
         let deadline_ns = Arc::new(AtomicU64::new(DEADLINE_NONE));
-        let readiness = nic.readiness();
-        let hub = nic.driver_hub();
+        let readiness = link.readiness();
+        let hub = link.driver_hub();
         let core = ProgressCore::new(
-            nic,
+            link,
             cfg,
             obs,
             in_tx,
@@ -190,8 +203,8 @@ impl Endpoint {
     }
 
     /// Endpoint with default configuration.
-    pub fn with_defaults(nic: Nic) -> Endpoint {
-        Endpoint::new(nic, TransportConfig::default())
+    pub fn with_defaults(link: impl Link) -> Endpoint {
+        Endpoint::new(link, TransportConfig::default())
     }
 
     /// The node this endpoint is bound to.
@@ -997,6 +1010,105 @@ mod tests {
             "unacked send must publish its retransmission deadline"
         );
         drop(b);
+    }
+
+    /// A [`Link`] wrapper that reports real-wire properties (a datagram
+    /// bound, possible corruption) over the in-process fabric — exercises the
+    /// knob-forcing in `with_obs` without a socket.
+    struct BoundedLossyWire {
+        nic: portals_net::Nic,
+        max_datagram: usize,
+    }
+
+    impl Link for BoundedLossyWire {
+        fn nid(&self) -> NodeId {
+            Link::nid(&self.nic)
+        }
+        fn send(&self, dst: NodeId, payload: Gather) {
+            assert!(
+                payload.len() <= self.max_datagram,
+                "transport must never emit a datagram over the link's bound \
+                 ({} > {})",
+                payload.len(),
+                self.max_datagram
+            );
+            Link::send(&self.nic, dst, payload)
+        }
+        fn inbound_receiver(&self) -> crossbeam::channel::Receiver<portals_net::Datagram> {
+            Link::inbound_receiver(&self.nic)
+        }
+        fn readiness(&self) -> Arc<Readiness> {
+            Link::readiness(&self.nic)
+        }
+        fn driver_hub(&self) -> DriverHub {
+            Link::driver_hub(&self.nic)
+        }
+        fn max_datagram(&self) -> Option<usize> {
+            Some(self.max_datagram)
+        }
+        fn body_checksum_required(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn link_bounds_clamp_mtu_and_force_body_crc() {
+        let fabric = Fabric::ideal();
+        let max = 256;
+        let a = Endpoint::new(
+            BoundedLossyWire {
+                nic: fabric.attach(NodeId(0)),
+                max_datagram: max,
+            },
+            TransportConfig::default(), // default mtu (8 KiB) must be clamped
+        );
+        let b = Endpoint::new(
+            BoundedLossyWire {
+                nic: fabric.attach(NodeId(1)),
+                max_datagram: max,
+            },
+            TransportConfig::default(),
+        );
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i * 13) as u8).collect();
+        a.send(NodeId(1), Gather::from_vec(payload.clone()));
+        let m = b.recv_timeout(Duration::from_secs(10)).expect("clamped");
+        assert_eq!(m.payload, &payload[..]);
+        // The clamp forces fragmentation: body_max = max - DATA_HEADER_SIZE.
+        let frags = 10_000usize.div_ceil(max - Packet::DATA_HEADER_SIZE) as u64;
+        assert!(a.stats().data_packets_sent >= frags);
+        // Body CRC was forced on: every DATA packet decodes with coverage.
+        assert_eq!(a.stats().checksum_rejects, 0);
+        assert_eq!(b.stats().checksum_rejects, 0);
+    }
+
+    #[test]
+    fn corrupted_datagram_is_counted_and_recovered() {
+        // Inject a raw corrupted DATA packet alongside real traffic: the
+        // receiver must reject it (counted) and the stream must still
+        // converge byte-identically.
+        let fabric = Fabric::ideal();
+        let raw = fabric.attach(NodeId(2));
+        let (a, b) = pair(&fabric, TransportConfig::default());
+        // A plausible-but-corrupt packet: valid encode, one body byte
+        // flipped after the CRC was computed (covered encode).
+        let pkt = Packet::data(0, 0, 0, 1, Gather::copy_from_slice(b"evil payload"));
+        let mut bytes = pkt.encode_with(true).to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        raw.send(NodeId(1), Gather::from_vec(bytes));
+        a.send(NodeId(1), Gather::copy_from_slice(b"clean"));
+        let m = b.recv_timeout(Duration::from_secs(5)).expect("clean msg");
+        assert_eq!(m.payload, &b"clean"[..]);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.stats().checksum_rejects == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "corrupt packet never counted"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(b.stats().checksum_rejects, 1);
+        assert_eq!(b.stats().garbage_dropped, 0);
     }
 
     #[test]

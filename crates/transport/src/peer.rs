@@ -156,6 +156,8 @@ impl SenderPeer {
             };
             let seq = self.next_seq;
             self.next_seq += 1;
+            // Body coverage is decided here, at encode time: the in-flight
+            // image (and every retransmission of it) carries the same CRC.
             let encoded = Packet::data(
                 seq,
                 frag.msg_id,
@@ -163,7 +165,7 @@ impl SenderPeer {
                 frag.frag_count,
                 frag.body,
             )
-            .encode();
+            .encode_with(cfg.checksum_body);
             self.in_flight.push_back(InFlight {
                 seq,
                 encoded: encoded.clone(),

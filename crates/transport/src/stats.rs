@@ -38,8 +38,13 @@ pub struct TransportStats {
     pub acks_coalesced: Counter,
     /// ACK packets received.
     pub acks_received: Counter,
-    /// Undecodable packets discarded.
+    /// Undecodable packets discarded (wrong magic, truncated, unknown kind —
+    /// everything except CRC failures, which get their own counter).
     pub garbage_dropped: Counter,
+    /// Packets rejected because their CRC did not verify — bytes corrupted
+    /// in flight (or a buggy sender). Kept separate from `garbage_dropped`
+    /// because on a real wire this is the corruption signal, not noise.
+    pub checksum_rejects: Counter,
     /// Times a peer crossed the stall threshold.
     pub peers_stalled: Counter,
     /// Times a stalled peer made progress again. Every stall that ends is
@@ -69,6 +74,7 @@ impl TransportStats {
             acks_coalesced: c("transport.acks_coalesced"),
             acks_received: c("transport.acks_received"),
             garbage_dropped: c("transport.garbage_dropped"),
+            checksum_rejects: c("transport.checksum_rejects"),
             peers_stalled: c("transport.peers_stalled"),
             peers_recovered: c("transport.peers_recovered"),
             stalled_now: registry.gauge("transport.stalled_now", &labels),
@@ -94,6 +100,7 @@ impl TransportStats {
             acks_coalesced: self.acks_coalesced.get(),
             acks_received: self.acks_received.get(),
             garbage_dropped: self.garbage_dropped.get(),
+            checksum_rejects: self.checksum_rejects.get(),
             peers_stalled: self.peers_stalled.get(),
             peers_recovered: self.peers_recovered.get(),
             peers_stalled_now: self.stalled_now.get(),
@@ -193,6 +200,7 @@ pub struct TransportStatsSnapshot {
     pub acks_coalesced: u64,
     pub acks_received: u64,
     pub garbage_dropped: u64,
+    pub checksum_rejects: u64,
     pub peers_stalled: u64,
     pub peers_recovered: u64,
     pub peers_stalled_now: i64,

@@ -40,7 +40,7 @@ use crate::endpoint::IncomingMessage;
 use crate::peer::{ReceiverPeer, SenderPeer};
 use crate::stats::{FlowStats, TransportStats};
 use crossbeam::channel::{Receiver, Sender};
-use portals_net::{Datagram, Nic};
+use portals_net::{Datagram, Link};
 use portals_obs::{Counter, Layer, Obs, Stage, TraceEvent};
 use portals_wire::{Packet, PacketHeader};
 use std::cmp::Reverse;
@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use portals_types::{Gather, NodeId, Readiness};
+use portals_types::{Gather, NodeId, Readiness, WireError};
 
 /// Sentinel for "no published deadline".
 pub(crate) const DEADLINE_NONE: u64 = u64::MAX;
@@ -83,7 +83,7 @@ pub(crate) enum Command {
 /// one thread steps a core at a time: the worker thread owns it outright in
 /// NIC-thread mode, a mutex serialises callers in caller-driven mode.
 pub(crate) struct ProgressCore {
-    nic: Nic,
+    link: Box<dyn Link>,
     nid: NodeId,
     cfg: TransportConfig,
     obs: Obs,
@@ -147,7 +147,7 @@ impl Worker {
 impl ProgressCore {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
-        nic: Nic,
+        link: Box<dyn Link>,
         cfg: TransportConfig,
         obs: Obs,
         delivered: Sender<IncomingMessage>,
@@ -156,11 +156,11 @@ impl ProgressCore {
         outstanding: Arc<AtomicUsize>,
         deadline_ns: Arc<AtomicU64>,
     ) -> ProgressCore {
-        let nid = nic.nid();
-        let inbound = nic.inbound_receiver();
-        let readiness = nic.readiness();
+        let nid = link.nid();
+        let inbound = link.inbound_receiver();
+        let readiness = link.readiness();
         ProgressCore {
-            nic,
+            link,
             nid,
             cfg,
             obs,
@@ -189,8 +189,9 @@ impl ProgressCore {
     pub(crate) fn progress_once(&mut self) -> bool {
         // Pump first so packets due *now* land in inbound queues (a global
         // drain: the single wire heap serves every node, so an active waiter
-        // delivers for idle nodes too). No-op on bypass/scheduler wires.
-        self.nic.pump_wire();
+        // delivers for idle nodes too). No-op on bypass/scheduler wires and
+        // on links with their own delivery agent (socket rx threads).
+        self.link.pump_wire();
         // Take-before-drain: work enqueued after this clear re-raises the bit.
         self.readiness.take(Readiness::INBOUND);
         let mut worked = false;
@@ -207,7 +208,7 @@ impl ProgressCore {
     /// lock-free `has_work` checks by peers' wait loops.
     fn publish_deadline(&mut self) {
         let timer = self.next_deadline_instant();
-        let wire = self.nic.next_wire_deadline();
+        let wire = self.link.next_wire_deadline();
         let next = match (timer, wire) {
             (Some(t), Some(w)) => Some(t.min(w)),
             (t, w) => t.or(w),
@@ -336,7 +337,7 @@ impl ProgressCore {
                     }
                 }
             }
-            self.nic.send(dst, p);
+            self.link.send(dst, p);
         }
     }
 
@@ -355,7 +356,8 @@ impl ProgressCore {
         for (src, cumulative) in pending_acks {
             self.stats.add(&self.stats.acks_sent, 1);
             let credit = self.advertised_credit(src);
-            self.nic.send(src, Packet::ack(cumulative, credit).encode());
+            self.link
+                .send(src, Packet::ack(cumulative, credit).encode());
         }
     }
 
@@ -363,13 +365,23 @@ impl ProgressCore {
         let src = dgram.src;
         let packet = match Packet::decode_gather(&dgram.payload) {
             Ok(p) => p,
-            Err(_) => {
-                self.stats.add(&self.stats.garbage_dropped, 1);
+            Err(e) => {
+                // CRC failures get their own counter: on a real wire they are
+                // the corruption signal, and the reliability machinery treats
+                // the packet exactly like a lost one (the retransmission
+                // timer recovers it).
+                let detail = if matches!(e, WireError::Checksum { .. }) {
+                    self.stats.add(&self.stats.checksum_rejects, 1);
+                    "checksum"
+                } else {
+                    self.stats.add(&self.stats.garbage_dropped, 1);
+                    "garbage"
+                };
                 self.obs.tracer.emit(|| {
                     TraceEvent::new(Layer::Transport, Stage::Drop)
                         .node(self.nid.0)
                         .peer(src.0)
-                        .detail("garbage")
+                        .detail(detail)
                 });
                 return;
             }
@@ -557,7 +569,7 @@ impl ProgressCore {
                                 .peer(nid.0)
                                 .detail("probe")
                         });
-                        self.nic.send(nid, probe);
+                        self.link.send(nid, probe);
                     }
                     self.arm_timer(nid);
                 }

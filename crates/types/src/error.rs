@@ -125,6 +125,14 @@ pub enum WireError {
     },
     /// Magic bytes / version did not match.
     BadMagic,
+    /// Stored checksum disagrees with the checksum of the received bytes —
+    /// the datagram was corrupted in flight.
+    Checksum {
+        /// Checksum the sender stored in the header.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -142,6 +150,12 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::BadMagic => f.write_str("bad magic/version"),
+            WireError::Checksum { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: header stores {stored:#010x}, bytes hash to {computed:#010x}"
+                )
+            }
         }
     }
 }

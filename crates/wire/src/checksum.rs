@@ -1,0 +1,138 @@
+//! CRC-32C payload checksums for the real-wire packet framing.
+//!
+//! The in-process fabric hands refcounted memory between threads — bits cannot
+//! flip in flight — but a UDP datagram crossing a real kernel/network boundary
+//! can arrive corrupted (and UDP's own 16-bit checksum is optional on IPv4 and
+//! weak everywhere). Packets that may touch a real wire therefore carry a
+//! CRC-32C over their contents, verified on decode.
+//!
+//! The implementation is slice-by-4 table-driven CRC-32C (Castagnoli
+//! polynomial, reflected `0x82F63B78`): four 256-entry tables built once per
+//! process, ~1–2 GB/s in software, no dependencies. The streaming [`Crc32`]
+//! state lets callers fold in a [`Gather`](portals_types::Gather)'s segments
+//! without coalescing them.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0x82F6_3B78; // CRC-32C, reflected.
+
+/// Four slice-by-4 lookup tables.
+fn tables() -> &'static [[u32; 256]; 4] {
+    static TABLES: OnceLock<Box<[[u32; 256]; 4]>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 4]);
+        for i in 0..256u32 {
+            let mut crc = i;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            t[0][i as usize] = crc;
+        }
+        for i in 0..256usize {
+            for k in 1..4 {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32C state.
+///
+/// ```
+/// use portals_wire::checksum::Crc32;
+/// let mut crc = Crc32::new();
+/// crc.update(b"hello ");
+/// crc.update(b"world");
+/// let split = crc.finish();
+/// let mut whole = Crc32::new();
+/// whole.update(b"hello world");
+/// assert_eq!(split, whole.finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Fold `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = tables();
+        let mut crc = self.state;
+        let mut chunks = bytes.chunks_exact(4);
+        for c in chunks.by_ref() {
+            let word = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+            crc = t[3][(word & 0xFF) as usize]
+                ^ t[2][((word >> 8) & 0xFF) as usize]
+                ^ t[1][((word >> 16) & 0xFF) as usize]
+                ^ t[0][((word >> 24) & 0xFF) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32C of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Canonical CRC-32C test vectors (RFC 3720 appendix / common refs).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31) as u8).collect();
+        for split in [0, 1, 3, 500, 999, 1000] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 64];
+        let clean = crc32(&data);
+        for bit in 0..data.len() * 8 {
+            data[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&data), clean, "bit {bit} flip undetected");
+            data[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ack;
+pub mod checksum;
 pub mod error;
 pub mod get;
 pub mod header;

@@ -9,7 +9,22 @@
 //! to buffer — driving the sender's credit window. PROBE packets are the
 //! zero-window probe: a sender whose credits ran dry uses them (on a bounded
 //! exponential backoff) to solicit a fresh ACK when no data ack is expected.
+//!
+//! # Wire hardening
+//!
+//! Every packet opens with a 7-byte prefix — [`Packet::MAGIC`],
+//! [`Packet::VERSION`], a flags byte, and a CRC-32C — so a decoder facing a
+//! *real* wire (a UDP socket, not the in-process fabric) can cheaply reject
+//! foreign traffic, cross-version peers, and corrupted datagrams instead of
+//! misparsing them. The CRC always covers the magic/version/flags bytes and
+//! the header fields after the prefix; when [`Packet::encode_with`] is asked
+//! to (the transport asks for links that front a real, corruptible wire), it
+//! also covers the DATA body, recorded in the [`Packet::FLAG_BODY_CRC`] flag
+//! bit so the decoder knows what to verify. The in-process fabric moves
+//! refcounted memory whose bits cannot flip, so simulation traffic skips the
+//! body pass and keeps the zero-copy data path's throughput.
 
+use crate::checksum::Crc32;
 use crate::error::WireError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use portals_types::Gather;
@@ -88,12 +103,20 @@ pub struct Packet {
 }
 
 impl Packet {
-    /// Size of an encoded DATA header.
-    pub const DATA_HEADER_SIZE: usize = 1 + 8 + 8 + 4 + 4;
-    /// Size of an encoded ACK packet (kind + cumulative + credit horizon).
-    pub const ACK_SIZE: usize = 1 + 8 + 8;
+    /// First byte of every packet; anything else is not our traffic.
+    pub const MAGIC: u8 = 0xB3;
+    /// Wire-format version; bumped on incompatible layout changes.
+    pub const VERSION: u8 = 1;
+    /// Flags bit: the CRC also covers the DATA body, not just the header.
+    pub const FLAG_BODY_CRC: u8 = 0x01;
+    /// Size of the hardening prefix: magic, version, flags, CRC-32C.
+    pub const PREFIX_SIZE: usize = 1 + 1 + 1 + 4;
+    /// Size of an encoded DATA header (prefix + kind + fields).
+    pub const DATA_HEADER_SIZE: usize = Self::PREFIX_SIZE + 1 + 8 + 8 + 4 + 4;
+    /// Size of an encoded ACK packet (prefix + kind + cumulative + credit).
+    pub const ACK_SIZE: usize = Self::PREFIX_SIZE + 1 + 8 + 8;
     /// Size of an encoded PROBE packet.
-    pub const PROBE_SIZE: usize = 1 + 8;
+    pub const PROBE_SIZE: usize = Self::PREFIX_SIZE + 1 + 8;
 
     /// Build a DATA packet.
     pub fn data(seq: u64, msg_id: u64, frag_index: u32, frag_count: u32, body: Gather) -> Packet {
@@ -125,39 +148,71 @@ impl Packet {
     }
 
     /// Serialize via vectored gather: one fresh header segment followed by the
-    /// body's own segments, shared rather than copied.
+    /// body's own segments, shared rather than copied. The CRC covers the
+    /// header only — the right choice for the in-process fabric, whose
+    /// refcounted handoff cannot corrupt the body.
     pub fn encode(&self) -> Gather {
-        match self.header {
+        self.encode_with(false)
+    }
+
+    /// Serialize like [`Packet::encode`], extending the CRC over the DATA
+    /// body when `cover_body` is set (recorded in [`Packet::FLAG_BODY_CRC`]
+    /// so the decoder verifies the same span). Links that front a real wire
+    /// ask the transport for this; it reads every body byte once at encode
+    /// time, which the socket send was about to do anyway.
+    pub fn encode_with(&self, cover_body: bool) -> Gather {
+        // Kind byte + fields, staged first so the CRC can run over them
+        // before the prefix is written.
+        let mut fields = BytesMut::with_capacity(Self::DATA_HEADER_SIZE - Self::PREFIX_SIZE);
+        let flags = match self.header {
             PacketHeader::Data {
                 seq,
                 msg_id,
                 frag_index,
                 frag_count,
             } => {
-                let mut buf = BytesMut::with_capacity(Self::DATA_HEADER_SIZE);
-                buf.put_u8(PacketKind::Data as u8);
-                buf.put_u64_le(seq);
-                buf.put_u64_le(msg_id);
-                buf.put_u32_le(frag_index);
-                buf.put_u32_le(frag_count);
-                let mut out = Gather::from_bytes(buf.freeze());
-                out.append(self.body.clone());
-                out
+                fields.put_u8(PacketKind::Data as u8);
+                fields.put_u64_le(seq);
+                fields.put_u64_le(msg_id);
+                fields.put_u32_le(frag_index);
+                fields.put_u32_le(frag_count);
+                if cover_body {
+                    Self::FLAG_BODY_CRC
+                } else {
+                    0
+                }
             }
             PacketHeader::Ack { cumulative, credit } => {
-                let mut buf = BytesMut::with_capacity(Self::ACK_SIZE);
-                buf.put_u8(PacketKind::Ack as u8);
-                buf.put_u64_le(cumulative);
-                buf.put_u64_le(credit);
-                Gather::from_bytes(buf.freeze())
+                fields.put_u8(PacketKind::Ack as u8);
+                fields.put_u64_le(cumulative);
+                fields.put_u64_le(credit);
+                0
             }
             PacketHeader::Probe { base } => {
-                let mut buf = BytesMut::with_capacity(Self::PROBE_SIZE);
-                buf.put_u8(PacketKind::Probe as u8);
-                buf.put_u64_le(base);
-                Gather::from_bytes(buf.freeze())
+                fields.put_u8(PacketKind::Probe as u8);
+                fields.put_u64_le(base);
+                0
+            }
+        };
+        let mut crc = Crc32::new();
+        crc.update(&[Self::MAGIC, Self::VERSION, flags]);
+        crc.update(&fields);
+        if flags & Self::FLAG_BODY_CRC != 0 {
+            for seg in self.body.segments() {
+                crc.update(seg.as_ref());
             }
         }
+        let mut buf = BytesMut::with_capacity(Self::PREFIX_SIZE + fields.len());
+        buf.put_u8(Self::MAGIC);
+        buf.put_u8(Self::VERSION);
+        buf.put_u8(flags);
+        buf.put_u32_le(crc.finish());
+        buf.put_slice(&fields);
+        let mut out = Gather::from_bytes(buf.freeze());
+        if matches!(self.header, PacketHeader::Data { .. }) {
+            out.append(self.body.clone());
+        }
+        out
     }
 
     /// Exact number of bytes [`Packet::encode`] produces.
@@ -169,70 +224,91 @@ impl Packet {
         }
     }
 
-    /// Parse the header alone; returns it with the offset at which the body
-    /// (if any) starts.
-    fn decode_header(buf: &[u8]) -> Result<(PacketHeader, usize), WireError> {
+    /// Parse the prefix and header fields; returns the header, the offset at
+    /// which the body (if any) starts, the flags byte, the stored CRC, and
+    /// the CRC state already fed with everything it covers *except* the body
+    /// (callers fold that in per [`Packet::FLAG_BODY_CRC`], then verify).
+    ///
+    /// Check order matters for error quality: magic/version first (foreign or
+    /// cross-version traffic → [`WireError::BadMagic`]), then the kind byte
+    /// (→ [`WireError::UnknownPacketKind`]), then length (→
+    /// [`WireError::Truncated`]); only a structurally valid header gets as
+    /// far as checksum verification.
+    fn decode_header(buf: &[u8]) -> Result<(PacketHeader, usize, u8, u32, Crc32), WireError> {
         if buf.is_empty() {
             return Err(WireError::Truncated {
-                needed: 1,
+                needed: Self::PREFIX_SIZE + 1,
                 available: 0,
             });
         }
-        let kind = PacketKind::from_byte(buf[0])?;
-        let mut cursor = &buf[1..];
-        match kind {
+        if buf[0] != Self::MAGIC || (buf.len() >= 2 && buf[1] != Self::VERSION) {
+            return Err(WireError::BadMagic);
+        }
+        if buf.len() <= Self::PREFIX_SIZE {
+            return Err(WireError::Truncated {
+                needed: Self::PREFIX_SIZE + 1,
+                available: buf.len(),
+            });
+        }
+        let flags = buf[2];
+        let stored = u32::from_le_bytes([buf[3], buf[4], buf[5], buf[6]]);
+        let kind = PacketKind::from_byte(buf[Self::PREFIX_SIZE])?;
+        let size = match kind {
+            PacketKind::Data => Self::DATA_HEADER_SIZE,
+            PacketKind::Ack => Self::ACK_SIZE,
+            PacketKind::Probe => Self::PROBE_SIZE,
+        };
+        if buf.len() < size {
+            return Err(WireError::Truncated {
+                needed: size,
+                available: buf.len(),
+            });
+        }
+        let mut cursor = &buf[Self::PREFIX_SIZE + 1..size];
+        let header = match kind {
             PacketKind::Data => {
-                if buf.len() < Self::DATA_HEADER_SIZE {
-                    return Err(WireError::Truncated {
-                        needed: Self::DATA_HEADER_SIZE,
-                        available: buf.len(),
-                    });
-                }
                 let seq = cursor.get_u64_le();
                 let msg_id = cursor.get_u64_le();
                 let frag_index = cursor.get_u32_le();
                 let frag_count = cursor.get_u32_le();
-                Ok((
-                    PacketHeader::Data {
-                        seq,
-                        msg_id,
-                        frag_index,
-                        frag_count,
-                    },
-                    Self::DATA_HEADER_SIZE,
-                ))
+                PacketHeader::Data {
+                    seq,
+                    msg_id,
+                    frag_index,
+                    frag_count,
+                }
             }
             PacketKind::Ack => {
-                if buf.len() < Self::ACK_SIZE {
-                    return Err(WireError::Truncated {
-                        needed: Self::ACK_SIZE,
-                        available: buf.len(),
-                    });
-                }
                 let cumulative = cursor.get_u64_le();
                 let credit = cursor.get_u64_le();
-                Ok((PacketHeader::Ack { cumulative, credit }, Self::ACK_SIZE))
+                PacketHeader::Ack { cumulative, credit }
             }
-            PacketKind::Probe => {
-                if buf.len() < Self::PROBE_SIZE {
-                    return Err(WireError::Truncated {
-                        needed: Self::PROBE_SIZE,
-                        available: buf.len(),
-                    });
-                }
-                Ok((
-                    PacketHeader::Probe {
-                        base: cursor.get_u64_le(),
-                    },
-                    Self::PROBE_SIZE,
-                ))
-            }
+            PacketKind::Probe => PacketHeader::Probe {
+                base: cursor.get_u64_le(),
+            },
+        };
+        let mut crc = Crc32::new();
+        crc.update(&buf[..3]);
+        crc.update(&buf[Self::PREFIX_SIZE..size]);
+        Ok((header, size, flags, stored, crc))
+    }
+
+    /// Final CRC comparison shared by the decode variants.
+    fn verify(stored: u32, crc: Crc32) -> Result<(), WireError> {
+        let computed = crc.finish();
+        if computed != stored {
+            return Err(WireError::Checksum { stored, computed });
         }
+        Ok(())
     }
 
     /// Parse, copying the body out of the borrowed buffer.
     pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
-        let (header, body_at) = Self::decode_header(buf)?;
+        let (header, body_at, flags, stored, mut crc) = Self::decode_header(buf)?;
+        if flags & Self::FLAG_BODY_CRC != 0 {
+            crc.update(&buf[body_at..]);
+        }
+        Self::verify(stored, crc)?;
         let body = match header {
             PacketHeader::Data { .. } => Gather::copy_from_slice(&buf[body_at..]),
             PacketHeader::Ack { .. } | PacketHeader::Probe { .. } => Gather::new(),
@@ -243,7 +319,11 @@ impl Packet {
     /// Parse a datagram already held as [`Bytes`] without copying: the body is
     /// an O(1) slice sharing the datagram's backing storage.
     pub fn decode_bytes(buf: &Bytes) -> Result<Packet, WireError> {
-        let (header, body_at) = Self::decode_header(buf)?;
+        let (header, body_at, flags, stored, mut crc) = Self::decode_header(buf)?;
+        if flags & Self::FLAG_BODY_CRC != 0 {
+            crc.update(&buf[body_at..]);
+        }
+        Self::verify(stored, crc)?;
         let body = match header {
             PacketHeader::Data { .. } => Gather::from_bytes(buf.slice(body_at..)),
             PacketHeader::Ack { .. } | PacketHeader::Probe { .. } => Gather::new(),
@@ -254,13 +334,21 @@ impl Packet {
     /// Parse a datagram held as a [`Gather`] without coalescing it: the header
     /// is peeked into a stack buffer and the body is a zero-copy sub-gather.
     /// This is the receive path's variant — the fragment bytes stay in the
-    /// segments the NIC handed over.
+    /// segments the NIC handed over, and unless [`Packet::FLAG_BODY_CRC`] is
+    /// set they are never even read here.
     pub fn decode_gather(buf: &Gather) -> Result<Packet, WireError> {
         let mut hdr = [0u8; Self::DATA_HEADER_SIZE];
         let filled = buf.peek(&mut hdr);
-        let (header, body_at) = Self::decode_header(&hdr[..filled])?;
+        let (header, body_at, flags, stored, mut crc) = Self::decode_header(&hdr[..filled])?;
+        let rest = buf.slice(body_at, buf.len() - body_at);
+        if flags & Self::FLAG_BODY_CRC != 0 {
+            for seg in rest.segments() {
+                crc.update(seg.as_ref());
+            }
+        }
+        Self::verify(stored, crc)?;
         let body = match header {
-            PacketHeader::Data { .. } => buf.slice(body_at, buf.len() - body_at),
+            PacketHeader::Data { .. } => rest,
             PacketHeader::Ack { .. } | PacketHeader::Probe { .. } => Gather::new(),
         };
         Ok(Packet { header, body })
@@ -299,6 +387,16 @@ mod tests {
     }
 
     #[test]
+    fn body_crc_roundtrip() {
+        let p = Packet::data(7, 3, 1, 4, Gather::copy_from_slice(b"covered"));
+        let encoded = p.encode_with(true);
+        assert_eq!(encoded.len(), p.encoded_len());
+        assert_eq!(Packet::decode(&encoded.to_vec()).unwrap(), p);
+        assert_eq!(Packet::decode_gather(&encoded).unwrap(), p);
+        assert_eq!(Packet::decode_bytes(&encoded.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
     fn truncated_ack_and_probe_rejected() {
         let ack = Packet::ack(3, 9).encode().to_vec();
         assert!(matches!(
@@ -313,15 +411,70 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_unknown_rejected() {
+    fn empty_unknown_and_foreign_rejected() {
         assert!(matches!(
             Packet::decode(&[]),
             Err(WireError::Truncated { .. })
         ));
+        // Wrong magic: foreign traffic, rejected before anything else.
         assert!(matches!(
             Packet::decode(&[0x99, 0, 0]),
+            Err(WireError::BadMagic)
+        ));
+        // Right magic, wrong version: a cross-version peer.
+        assert!(matches!(
+            Packet::decode(&[Packet::MAGIC, Packet::VERSION + 1, 0, 0, 0, 0, 0, 0x10]),
+            Err(WireError::BadMagic)
+        ));
+        // Valid prefix, unknown kind byte.
+        assert!(matches!(
+            Packet::decode(&[Packet::MAGIC, Packet::VERSION, 0, 0, 0, 0, 0, 0x99]),
             Err(WireError::UnknownPacketKind(0x99))
         ));
+    }
+
+    #[test]
+    fn corrupted_datagram_rejected() {
+        // The regression test for the real wire: flipped bits anywhere in a
+        // body-covered datagram must surface as a typed checksum error, not a
+        // misparse or a panic.
+        let p = Packet::data(9, 2, 0, 1, Gather::copy_from_slice(b"precious payload"));
+        let clean = p.encode_with(true).to_vec();
+        assert_eq!(Packet::decode(&clean).unwrap(), p);
+
+        // Corrupt one body byte.
+        let mut corrupt = clean.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert!(matches!(
+            Packet::decode(&corrupt),
+            Err(WireError::Checksum { .. })
+        ));
+        assert!(matches!(
+            Packet::decode_gather(&Gather::copy_from_slice(&corrupt)),
+            Err(WireError::Checksum { .. })
+        ));
+
+        // Corrupt a header field byte — caught even without body coverage.
+        let mut corrupt = p.encode().to_vec();
+        corrupt[Packet::PREFIX_SIZE + 1] ^= 0x01; // low byte of `seq`
+        assert!(matches!(
+            Packet::decode(&corrupt),
+            Err(WireError::Checksum { .. })
+        ));
+
+        // Corrupt the magic byte: rejected as foreign before the CRC runs.
+        let mut corrupt = clean.clone();
+        corrupt[0] ^= 0xFF;
+        assert!(matches!(Packet::decode(&corrupt), Err(WireError::BadMagic)));
+
+        // A body flip *without* body coverage decodes fine: the simulation
+        // path deliberately skips the body pass (its handoff cannot corrupt),
+        // which is exactly why real-wire links must request coverage.
+        let mut silent = p.encode().to_vec();
+        let last = silent.len() - 1;
+        silent[last] ^= 0x40;
+        assert!(Packet::decode(&silent).is_ok());
     }
 
     #[test]
@@ -343,6 +496,10 @@ mod tests {
         // Segment 0 is the fresh header; segment 1 is the body, shared.
         assert_eq!(encoded.segment_count(), 2);
         assert_eq!(encoded.segments()[1].as_ref().as_ptr(), body_ptr);
+        // Body coverage reads the payload but still does not copy it.
+        let covered = p.encode_with(true);
+        assert_eq!(covered.segment_count(), 2);
+        assert_eq!(covered.segments()[1].as_ref().as_ptr(), body_ptr);
     }
 
     #[test]
@@ -379,6 +536,7 @@ mod tests {
             Bytes::new(),
             Bytes::from_static(&[0x99, 0, 0]),
             Bytes::from_static(&[0x10, 1, 2]),
+            Bytes::from_static(&[Packet::MAGIC, Packet::VERSION, 0, 0, 0, 0, 0, 0x10, 1]),
         ] {
             assert_eq!(
                 Packet::decode_bytes(&bad).is_err(),
@@ -396,10 +554,11 @@ mod tests {
         fn data_roundtrips(
             seq in any::<u64>(), msg_id in any::<u64>(),
             frag_index in any::<u32>(), frag_count in any::<u32>(),
-            body in proptest::collection::vec(any::<u8>(), 0..1024)
+            body in proptest::collection::vec(any::<u8>(), 0..1024),
+            cover_body in any::<bool>()
         ) {
             let p = Packet::data(seq, msg_id, frag_index, frag_count, Gather::from_vec(body));
-            let encoded = p.encode();
+            let encoded = p.encode_with(cover_body);
             prop_assert_eq!(Packet::decode(&encoded.to_vec()).unwrap(), p.clone());
             prop_assert_eq!(Packet::decode_gather(&encoded).unwrap(), p);
         }
@@ -408,6 +567,73 @@ mod tests {
         fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = Packet::decode(&bytes);
             let _ = Packet::decode_gather(&Gather::copy_from_slice(&bytes));
+        }
+
+        #[test]
+        fn corruption_never_misparses(
+            body in proptest::collection::vec(any::<u8>(), 1..256),
+            flip in any::<usize>()
+        ) {
+            // Any single-bit flip in a body-covered datagram is either
+            // rejected outright or (if it lands in the CRC field itself)
+            // still rejected — it can never decode to a *different* packet.
+            let p = Packet::data(1, 2, 0, 1, Gather::from_vec(body));
+            let mut bytes = p.encode_with(true).to_vec();
+            let bit = flip % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(q) = Packet::decode(&bytes) {
+                prop_assert_eq!(q, p);
+            }
+        }
+
+        #[test]
+        fn gather_iovec_bodies_roundtrip(
+            segs in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..200), 1..8),
+            cover_body in any::<bool>()
+        ) {
+            // A body assembled from many iovec segments (the zero-copy
+            // gather path) must encode and decode exactly like the same
+            // bytes in one contiguous buffer.
+            let mut body = Gather::new();
+            for s in &segs {
+                body.append(Gather::from_vec(s.clone()));
+            }
+            let flat: Vec<u8> = segs.concat();
+            prop_assert_eq!(body.len(), flat.len());
+            let p = Packet::data(7, 9, 0, 1, body);
+            let encoded = p.encode_with(cover_body);
+            let q = Packet::decode(&encoded.to_vec()).unwrap();
+            prop_assert_eq!(&q, &p);
+            prop_assert_eq!(q.body.to_vec(), flat);
+        }
+
+        #[test]
+        fn fragmentation_reassembles_at_any_mtu(
+            msg in proptest::collection::vec(any::<u8>(), 1..8192),
+            mtu in 1usize..2048,
+            cover_body in any::<bool>()
+        ) {
+            // Slice a message at an arbitrary MTU — exercising every
+            // fragment-boundary alignment, including the max-MTU single
+            // fragment and the 1-byte pathological case — encode each
+            // fragment as its own DATA packet over iovec slices of the
+            // original (no copy), decode, and reassemble byte-exact.
+            let whole = Gather::from_vec(msg.clone());
+            let count = msg.len().div_ceil(mtu);
+            let mut rebuilt = Vec::new();
+            for i in 0..count {
+                let off = i * mtu;
+                let len = mtu.min(msg.len() - off);
+                let frag = whole.slice(off, len);
+                let p = Packet::data(i as u64, 42, i as u32, count as u32, frag);
+                let bytes = p.encode_with(cover_body).to_vec();
+                prop_assert!(bytes.len() <= Packet::DATA_HEADER_SIZE + mtu);
+                let q = Packet::decode(&bytes).unwrap();
+                prop_assert_eq!(&q, &p);
+                rebuilt.extend_from_slice(&q.body.to_vec());
+            }
+            prop_assert_eq!(rebuilt, msg);
         }
     }
 }

@@ -1,0 +1,168 @@
+//! Two-process ping-pong over real loopback (or LAN) UDP.
+//!
+//! The whole Portals stack — matching, events, transport reliability — runs
+//! unchanged; only the wire is different: each side binds a `UdpLink`
+//! instead of attaching to the in-process simulated fabric.
+//!
+//! Run the two halves in separate terminals (server first):
+//!
+//! ```text
+//! cargo run --release -p portals-examples --bin udp_pingpong -- --server
+//! cargo run --release -p portals-examples --bin udp_pingpong -- --client 127.0.0.1:7171
+//! ```
+//!
+//! The server prints the address it bound; pass it to the client. The
+//! client never needs to be addressed back explicitly — the server learns
+//! the client's socket address from its first datagram (learn-on-rx).
+//!
+//! `--loss P` on either side injects seeded send-side datagram loss, so you
+//! can watch the transport's retransmission machinery work over a real
+//! socket: `--server --loss 0.2`.
+
+use portals::prelude::*;
+use portals_netudp::{UdpLink, UdpLinkConfig};
+use std::time::{Duration, Instant};
+
+const WARMUP: usize = 50;
+const ITERS: usize = 500;
+const SIZES: [usize; 5] = [0, 64, 1024, 4 * 1024, 64 * 1024];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut server = false;
+    let mut connect: Option<String> = None;
+    let mut listen = String::from("127.0.0.1:7171");
+    let mut loss = 0.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--server" => server = true,
+            "--client" => {
+                i += 1;
+                connect = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--listen" => {
+                i += 1;
+                listen = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--loss" => {
+                i += 1;
+                loss = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match (server, connect) {
+        (true, None) => run_server(&listen, loss),
+        (false, Some(addr)) => run_client(&addr, loss),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: udp_pingpong --server [--listen ADDR:PORT] [--loss P]\n\
+                udp_pingpong --client SERVER:PORT [--loss P]"
+    );
+    std::process::exit(2);
+}
+
+fn run_server(listen: &str, loss: f64) {
+    let link = UdpLink::bind(UdpLinkConfig {
+        bind: listen.parse().expect("listen address"),
+        nid: NodeId(1),
+        loss,
+        seed: 43,
+        ..Default::default()
+    })
+    .expect("bind server socket");
+    println!("serving on {}", link.local_addr());
+    let node = Node::new(link, NodeConfig::default());
+    let ni = node.create_ni(1, NiConfig::default()).unwrap();
+
+    // Echo forever: one catch-all entry per size class is overkill here —
+    // a single permissive entry with a max-size inbox does the job.
+    let eq = ni.eq_alloc(256).unwrap();
+    let me = ni
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
+    ni.md_attach(
+        me,
+        MdSpec::new(Region::zeroed(*SIZES.last().unwrap())).with_eq(eq),
+    )
+    .unwrap();
+    // A put sends its whole MD, so echoing "as many bytes as arrived" means
+    // one cached echo MD per observed size.
+    let mut echo_mds = std::collections::HashMap::new();
+    println!("echoing puts; ctrl-c to stop");
+    loop {
+        match ni.eq_poll(eq, Duration::from_millis(100)) {
+            Ok(ev) => {
+                let md = *echo_mds.entry(ev.mlength).or_insert_with(|| {
+                    ni.md_bind(MdSpec::new(Region::zeroed(ev.mlength as usize)))
+                        .unwrap()
+                });
+                ni.put_op(md).target(ev.initiator, 0).submit().unwrap();
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn run_client(server: &str, loss: f64) {
+    let link = UdpLink::bind(UdpLinkConfig {
+        nid: NodeId(0),
+        loss,
+        seed: 42,
+        ..Default::default()
+    })
+    .expect("bind client socket");
+    link.set_peer(NodeId(1), server.parse().expect("server address"));
+    let node = Node::new(link, NodeConfig::default());
+    let ni = node.create_ni(1, NiConfig::default()).unwrap();
+
+    let eq = ni.eq_alloc(256).unwrap();
+    let me = ni
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
+    ni.md_attach(
+        me,
+        MdSpec::new(Region::zeroed(*SIZES.last().unwrap())).with_eq(eq),
+    )
+    .unwrap();
+
+    println!("{:>10} {:>12} {:>14}", "size(B)", "rtt/2(us)", "bw(MB/s)");
+    for size in SIZES {
+        let md = ni
+            .md_bind(MdSpec::new(Region::from_vec(vec![0xABu8; size])))
+            .unwrap();
+        let one = || {
+            ni.put_op(md)
+                .target(ProcessId::new(1, 1), 0)
+                .submit()
+                .unwrap();
+            ni.eq_wait(eq).unwrap();
+        };
+        for _ in 0..WARMUP {
+            one();
+        }
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            one();
+        }
+        let elapsed = t0.elapsed();
+        let half_rtt_us = elapsed.as_secs_f64() * 1e6 / ITERS as f64 / 2.0;
+        let bw = if size == 0 {
+            0.0
+        } else {
+            (size * ITERS * 2) as f64 / elapsed.as_secs_f64() / 1e6
+        };
+        println!("{size:>10} {half_rtt_us:>12.2} {bw:>14.1}");
+        ni.md_unlink(md).unwrap();
+    }
+    let _ = node.flush_transport(Duration::from_secs(5));
+}

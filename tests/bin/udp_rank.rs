@@ -1,0 +1,42 @@
+//! One participant of a distributed differential run.
+//!
+//! Configured entirely through the `PORTALS_*` environment (see
+//! `portals_runtime::distributed`), plus:
+//!
+//! * `PORTALS_OUT_DIR` — directory to write each local rank's transcript to
+//!   (`rank-<r>.transcript`, raw bytes).
+//!
+//! Runs the shared [`portals_integration_tests::workload`] script
+//! on every hosted rank and prints one status line per rank:
+//! `rank <r> bytes <n> retransmissions <k>`.
+
+use portals_integration_tests::workload;
+use portals_runtime::{DistributedConfig, Job, JobConfig};
+use std::time::Duration;
+
+fn main() {
+    let dist =
+        DistributedConfig::from_env().expect("udp_rank requires PORTALS_TRANSPORT=udp and friends");
+    let out_dir = std::env::var("PORTALS_OUT_DIR").expect("PORTALS_OUT_DIR must be set");
+
+    let mut config = JobConfig::default();
+    if dist.loss > 0.0 {
+        // Injected loss: a tight retransmission timer keeps the run fast.
+        config.transport.rto_base = Duration::from_millis(5);
+    }
+
+    let results = Job::launch_distributed(&dist, config, |env| {
+        let transcript = workload::run(&env);
+        (env.rank().0, transcript, env.node.transport_stats())
+    });
+
+    for (rank, transcript, stats) in results {
+        std::fs::write(format!("{out_dir}/rank-{rank}.transcript"), &transcript)
+            .expect("write transcript");
+        println!(
+            "rank {rank} bytes {} retransmissions {}",
+            transcript.len(),
+            stats.retransmissions
+        );
+    }
+}

@@ -1,1 +1,107 @@
 //! Cross-crate integration tests live in `tests/tests/`.
+//!
+//! The [`workload`] module is the shared application script for the
+//! distributed-vs-local differential test: the `udp_rank` helper binary runs
+//! it across real OS processes over loopback UDP, and
+//! `tests/distributed.rs` runs the identical script through the in-process
+//! launcher, then compares transcripts byte for byte.
+
+pub mod workload {
+    //! A deterministic multi-protocol application script.
+    //!
+    //! Every rank produces a transcript — the exact bytes it received or
+    //! computed, in program order — that depends only on the world size and
+    //! rank map, never on timing, transport, or launcher. Three phases cover
+    //! the three protocol regimes the UDP backend must carry:
+    //!
+    //! 1. **MPI eager**: ring `sendrecv` rounds with sub-eager-limit
+    //!    payloads (served from the receiver's region pool).
+    //! 2. **MPI rendezvous**: one ring exchange of a 64 KiB payload, well
+    //!    past the 16 KiB eager limit, so the get-based rendezvous protocol
+    //!    runs.
+    //! 3. **Triggered allreduce**: the offloaded (counter-chained)
+    //!    collective, checked byte-identical against the host-driven one on
+    //!    the spot.
+
+    use portals_runtime::{Collectives, ProcessEnv, ReduceOp, TriggeredConfig};
+    use portals_types::Rank;
+
+    /// Eager-phase payload from `from` in `round`: size varies per round but
+    /// stays far below the 16 KiB eager limit.
+    pub fn eager_payload(from: usize, round: usize) -> Vec<u8> {
+        let len = 64 + round * 777 + from * 13;
+        (0..len)
+            .map(|i| (i.wrapping_mul(31) ^ from.wrapping_mul(97) ^ round) as u8)
+            .collect()
+    }
+
+    /// Rendezvous-phase payload: 64 KiB, past the eager limit.
+    pub fn bulk_payload(from: usize) -> Vec<u8> {
+        (0..64 * 1024)
+            .map(|i: usize| (i.wrapping_mul(131) ^ from.wrapping_mul(241)) as u8)
+            .collect()
+    }
+
+    /// Per-rank allreduce input (NaN- and signed-zero-free, so the reduction
+    /// is order-insensitive bit for bit).
+    pub fn allreduce_input(rank: usize, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i * 37 + rank * 101) % 1009) as f64 * 0.5 - 100.0)
+            .collect()
+    }
+
+    /// Run the script on one rank; returns its transcript.
+    pub fn run(env: &ProcessEnv) -> Vec<u8> {
+        let comm = &env.comm;
+        let n = comm.size();
+        let me = comm.rank().0 as usize;
+        let right = Rank(((me + 1) % n) as u32);
+        let left = (me + n - 1) % n;
+        let mut transcript = Vec::new();
+
+        // Phase 1: eager ring rounds.
+        for round in 0..3usize {
+            let tag = 10 + round as u32;
+            let (data, _) = comm.sendrecv(
+                right,
+                tag,
+                &eager_payload(me, round),
+                Some(Rank(left as u32)),
+                Some(tag),
+                16 * 1024,
+            );
+            assert_eq!(data, eager_payload(left, round), "eager round {round}");
+            transcript.extend_from_slice(&data);
+        }
+
+        // Phase 2: one rendezvous-protocol ring exchange.
+        let (data, _) = comm.sendrecv(
+            right,
+            20,
+            &bulk_payload(me),
+            Some(Rank(left as u32)),
+            Some(20),
+            128 * 1024,
+        );
+        assert_eq!(data, bulk_payload(left), "bulk exchange");
+        transcript.extend_from_slice(&data);
+
+        // Phase 3: triggered (offloaded) allreduce, differentially checked
+        // against the host-driven library right here.
+        let host = Collectives::new(comm.clone());
+        let off = Collectives::with_triggered(comm.clone(), TriggeredConfig { offload: true });
+        let input = allreduce_input(me, 33);
+        let mut host_out = input.clone();
+        host.allreduce(&mut host_out, ReduceOp::Sum);
+        let mut off_out = input;
+        off.allreduce(&mut off_out, ReduceOp::Sum);
+        for (h, o) in host_out.iter().zip(&off_out) {
+            assert_eq!(h.to_le_bytes(), o.to_le_bytes(), "offloaded != host");
+        }
+        for v in &off_out {
+            transcript.extend_from_slice(&v.to_le_bytes());
+        }
+        off.barrier();
+        transcript
+    }
+}
