@@ -1,0 +1,511 @@
+//! §5 streaming data-path bandwidth sweep: does incremental fragment
+//! delivery actually overlap placement with wire transfer?
+//!
+//! Measures large-message bandwidth (64 KiB – 64 MiB) through the full
+//! Portals stack for three operations:
+//!
+//! * `put` — single matched put with an end-to-end ack; the timer stops when
+//!   the initiator's Ack event arrives, so the figure includes delivery and
+//!   commit at the target.
+//! * `get` — single matched get; timer stops at the Reply event, after the
+//!   pulled bytes have landed in the initiator's MD.
+//! * `sendrecv` — the MPI layer under [`MpiConfig::adaptive`], exercising
+//!   the measured eager/rendezvous switchover and, for large messages, the
+//!   pipelined window of bounded sub-gets.
+//!
+//! Every in-process row runs twice: once with streaming fragment delivery
+//! ([`TransportConfig::streaming`] on — in-order fragments are scattered
+//! into the matched region as they arrive) and once with the
+//! store-and-forward baseline (off — whole-message reassembly before
+//! delivery). The ratio at 16 MiB is the headline number. A final set of
+//! `udp_loopback` rows repeats the put sweep against a second OS process
+//! over real loopback UDP sockets.
+//!
+//! Prints a table and writes a machine-readable `BENCH_bandwidth.json`.
+//!
+//! Run: `cargo run --release -p portals-bench --bin bandwidth [--quick] [--out PATH]`
+
+use portals::{
+    AckRequest, EventKind, MdSpec, MePos, NiConfig, Node, NodeConfig, ProgressMode, Region,
+};
+use portals_mpi::{Mpi, MpiConfig};
+use portals_net::{Fabric, FabricConfig};
+use portals_netudp::{UdpLink, UdpLinkConfig};
+use portals_transport::TransportConfig;
+use portals_types::{MatchCriteria, NiLimits, NodeId, ProcessId, Rank};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Read};
+use std::time::{Duration, Instant};
+
+const KIB: usize = 1024;
+const MIB: usize = 1024 * 1024;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Arm {
+    Streaming,
+    Baseline,
+}
+
+impl Arm {
+    fn name(self) -> &'static str {
+        match self {
+            Arm::Streaming => "streaming",
+            Arm::Baseline => "baseline",
+        }
+    }
+
+    fn transport(self) -> TransportConfig {
+        match self {
+            // The new defaults: streaming fragment delivery over the
+            // follow-the-link MTU (`mtu: 0` adopts the wire's preferred
+            // fragment size — 64 KiB on the in-process fabric).
+            Arm::Streaming => TransportConfig {
+                streaming: true,
+                // Pin explicitly so PORTALS_PROGRESS_MODE can't skew the ratio.
+                progress_mode: ProgressMode::NicThread,
+                ..Default::default()
+            },
+            // The literal pre-PR configuration: store-and-forward reassembly
+            // at the old fixed 8 KiB MTU. Pinned rather than derived from
+            // `Default` so this arm keeps measuring the same thing as the
+            // defaults evolve.
+            Arm::Baseline => TransportConfig {
+                streaming: false,
+                mtu: TransportConfig::DEFAULT_MTU,
+                progress_mode: ProgressMode::NicThread,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn node_cfg(self) -> NodeConfig {
+        NodeConfig {
+            transport: self.transport(),
+            directory: None,
+            obs: Default::default(),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Sample {
+    op: &'static str,
+    wire: &'static str,
+    arm: &'static str,
+    size: usize,
+    iters: usize,
+    mib_per_s_mean: f64,
+    mib_per_s_best: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    quick: bool,
+    /// Streaming ÷ baseline mean bandwidth for a 16 MiB in-process put —
+    /// the PR's headline overlap claim.
+    put_16mib_speedup: f64,
+    /// Streaming ÷ baseline mean bandwidth for a 16 MiB in-process get.
+    get_16mib_speedup: f64,
+    /// Streaming ÷ baseline mean bandwidth for a 16 MiB MPI sendrecv
+    /// (adaptive protocol, pipelined rendezvous window).
+    sendrecv_16mib_speedup: f64,
+    results: Vec<Sample>,
+}
+
+/// NI limits sized for the sweep: the default `max_message_size` (16 MiB)
+/// would reject the 64 MiB rows at submit time.
+fn ni_cfg() -> NiConfig {
+    NiConfig {
+        limits: NiLimits {
+            max_message_size: 128 * MIB,
+            ..NiLimits::DEFAULT
+        },
+        ..Default::default()
+    }
+}
+
+/// Wait for one event of `kind`, draining anything else (Sent precedes
+/// Ack/Reply on an initiator queue).
+fn wait_for(ni: &portals::NetworkInterface, eq: portals::EqHandle, kind: EventKind) {
+    loop {
+        if ni.eq_wait(eq).unwrap().kind == kind {
+            return;
+        }
+    }
+}
+
+/// One-shot put rig over the in-process fabric: acked puts of `size` bytes
+/// into a matched region, timed Sent→Ack. Returns per-transfer durations.
+fn put_bw(arm: Arm, size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
+    let fabric = Fabric::new(FabricConfig::ideal());
+    let na = Node::new(fabric.attach(NodeId(0)), arm.node_cfg());
+    let nb = Node::new(fabric.attach(NodeId(1)), arm.node_cfg());
+    let a = na.create_ni(1, ni_cfg()).unwrap();
+    let b = nb.create_ni(1, ni_cfg()).unwrap();
+
+    let me = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
+    b.md_attach(me, MdSpec::new(Region::zeroed(size))).unwrap();
+
+    let eq = a.eq_alloc(64).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::zeroed(size)).with_eq(eq))
+        .unwrap();
+    let b_id = b.id();
+    let one = || {
+        a.put_op(md)
+            .target(b_id, 0)
+            .ack(AckRequest::Ack)
+            .submit()
+            .unwrap();
+        wait_for(&a, eq, EventKind::Ack);
+    };
+    for _ in 0..warmup {
+        one();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        one();
+        samples.push(t0.elapsed());
+    }
+    drop((na, nb, a, b));
+    drop(fabric);
+    samples
+}
+
+/// One-shot get rig: pulls of `size` bytes from a matched remote region,
+/// timed submit→Reply.
+fn get_bw(arm: Arm, size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
+    let fabric = Fabric::new(FabricConfig::ideal());
+    let na = Node::new(fabric.attach(NodeId(0)), arm.node_cfg());
+    let nb = Node::new(fabric.attach(NodeId(1)), arm.node_cfg());
+    let a = na.create_ni(1, ni_cfg()).unwrap();
+    let b = nb.create_ni(1, ni_cfg()).unwrap();
+
+    let me = b
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
+    b.md_attach(me, MdSpec::new(Region::zeroed(size))).unwrap();
+
+    let eq = a.eq_alloc(64).unwrap();
+    let md = a
+        .md_bind(MdSpec::new(Region::zeroed(size)).with_eq(eq))
+        .unwrap();
+    let b_id = b.id();
+    let one = || {
+        a.get_op(md)
+            .target(b_id, 0)
+            .length(size as u64)
+            .submit()
+            .unwrap();
+        wait_for(&a, eq, EventKind::Reply);
+    };
+    for _ in 0..warmup {
+        one();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        one();
+        samples.push(t0.elapsed());
+    }
+    drop((na, nb, a, b));
+    drop(fabric);
+    samples
+}
+
+/// MPI transfer rig under the adaptive protocol: rank 0 sends `size` bytes
+/// and waits for a 1-byte token back, so each timed iteration covers one
+/// full delivery (eager, or a pipelined rendezvous pull for large sizes).
+fn sendrecv_bw(arm: Arm, size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
+    let fabric = Fabric::new(FabricConfig::ideal());
+    let ranks: Vec<ProcessId> = (0..2).map(|i| ProcessId::new(i, 1)).collect();
+    let nodes: Vec<Node> = (0..2u32)
+        .map(|i| Node::new(fabric.attach(NodeId(i)), arm.node_cfg()))
+        .collect();
+    let mpis: Vec<Mpi> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let ni = node.create_ni(1, ni_cfg()).unwrap();
+            Mpi::init(ni, ranks.clone(), Rank(i as u32), MpiConfig::adaptive()).unwrap()
+        })
+        .collect();
+    let total = warmup + iters;
+    let mut it = mpis.into_iter();
+    let (m0, m1) = (it.next().unwrap(), it.next().unwrap());
+
+    let echo = std::thread::spawn(move || {
+        let comm = m1.world();
+        let buf = Region::zeroed(size);
+        for _ in 0..total {
+            let req = comm.irecv(Some(Rank(0)), Some(1), buf.clone());
+            comm.wait(req);
+            comm.send(Rank(0), 2, b"k");
+        }
+    });
+
+    let comm = m0.world();
+    let data = Region::zeroed(size);
+    let one = || {
+        let req = comm.isend_region(Rank(1), 1, data.clone());
+        comm.wait(req);
+        comm.recv(Some(Rank(1)), Some(2), 1);
+    };
+    for _ in 0..warmup {
+        one();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        one();
+        samples.push(t0.elapsed());
+    }
+    echo.join().unwrap();
+    drop(comm);
+    drop(nodes);
+    drop(fabric);
+    samples
+}
+
+/// The sink side of the UDP rig, running in its own OS process. Binds a
+/// loopback UDP link as node 1, prints the bound address, and absorbs acked
+/// puts of up to `size` bytes into a matched region. Exits when stdin
+/// closes.
+fn udp_sink_child(size: usize, arm: Arm) -> ! {
+    let link = UdpLink::bind(UdpLinkConfig {
+        nid: NodeId(1),
+        ..Default::default()
+    })
+    .expect("bind sink link");
+    println!("{}", link.local_addr());
+    let node = Node::new(link, arm.node_cfg());
+    let ni = node.create_ni(1, ni_cfg()).unwrap();
+    let me = ni
+        .me_attach(0, ProcessId::ANY, MatchCriteria::any(), false, MePos::Back)
+        .unwrap();
+    ni.md_attach(me, MdSpec::new(Region::zeroed(size))).unwrap();
+    // Parent closing its end of the pipe is the shutdown signal; the
+    // dispatcher thread does all the work meanwhile.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    std::process::exit(0);
+}
+
+/// Acked puts to a second OS process over loopback UDP. Same timing shape
+/// as [`put_bw`]; only the wire differs.
+fn put_bw_udp(arm: Arm, size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("--udp-sink")
+        .arg(size.to_string())
+        .arg(arm.name())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn udp sink process");
+    let mut addr_line = String::new();
+    BufReader::new(child.stdout.take().expect("child stdout"))
+        .read_line(&mut addr_line)
+        .expect("read sink address");
+    let peer = addr_line.trim().parse().expect("sink address");
+
+    let link = UdpLink::bind(UdpLinkConfig {
+        nid: NodeId(0),
+        ..Default::default()
+    })
+    .expect("bind sender link");
+    link.set_peer(NodeId(1), peer);
+    let node = Node::new(link, arm.node_cfg());
+    let ni = node.create_ni(1, ni_cfg()).unwrap();
+    let eq = ni.eq_alloc(64).unwrap();
+    let md = ni
+        .md_bind(MdSpec::new(Region::zeroed(size)).with_eq(eq))
+        .unwrap();
+    let one = || {
+        ni.put_op(md)
+            .target(ProcessId::new(1, 1), 0)
+            .ack(AckRequest::Ack)
+            .submit()
+            .unwrap();
+        wait_for(&ni, eq, EventKind::Ack);
+    };
+    for _ in 0..warmup {
+        one();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        one();
+        samples.push(t0.elapsed());
+    }
+    drop(child.stdin.take()); // EOF -> child exits
+    let _ = child.wait();
+    samples
+}
+
+fn to_sample(
+    op: &'static str,
+    wire: &'static str,
+    arm: Arm,
+    size: usize,
+    times: Vec<Duration>,
+) -> Sample {
+    let mib = size as f64 / MIB as f64;
+    let rates: Vec<f64> = times.iter().map(|t| mib / t.as_secs_f64()).collect();
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    let best = rates.iter().cloned().fold(f64::MIN, f64::max);
+    Sample {
+        op,
+        wire,
+        arm: arm.name(),
+        size,
+        iters: times.len(),
+        mib_per_s_mean: mean,
+        mib_per_s_best: best,
+    }
+}
+
+fn print_row(s: &Sample) {
+    println!(
+        "{:<9} {:<12} {:<10} {:>9} {:>5} {:>11.1} {:>11.1}",
+        s.op,
+        s.wire,
+        s.arm,
+        s.size / KIB,
+        s.iters,
+        s.mib_per_s_mean,
+        s.mib_per_s_best
+    );
+}
+
+/// Repetitions for one size: enough bytes to smooth scheduler noise, few
+/// enough that 64 MiB rows stay affordable.
+fn iters_for(size: usize, quick: bool) -> usize {
+    let budget = if quick { 64 * MIB } else { 256 * MIB };
+    (budget / size).clamp(3, 48)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--udp-sink") {
+        let size = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--udp-sink needs a size");
+        let arm = match args.get(i + 2).map(String::as_str) {
+            Some("baseline") => Arm::Baseline,
+            _ => Arm::Streaming,
+        };
+        udp_sink_child(size, arm);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_bandwidth.json".to_string());
+
+    let sizes: &[usize] = if quick {
+        &[64 * KIB, MIB, 16 * MIB]
+    } else {
+        &[64 * KIB, 256 * KIB, MIB, 4 * MIB, 16 * MIB, 64 * MIB]
+    };
+    let udp_sizes: &[usize] = if quick {
+        &[64 * KIB, MIB]
+    } else {
+        &[64 * KIB, MIB, 16 * MIB]
+    };
+
+    println!("§5 streaming data-path bandwidth sweep (streaming vs store-and-forward)");
+    println!(
+        "{:<9} {:<12} {:<10} {:>9} {:>5} {:>11} {:>11}",
+        "op", "wire", "arm", "KiB", "reps", "MiB/s mean", "MiB/s best"
+    );
+
+    let mut results = Vec::new();
+    for &size in sizes {
+        let iters = iters_for(size, quick);
+        let warmup = (iters / 4).max(1);
+        for arm in [Arm::Baseline, Arm::Streaming] {
+            let s = to_sample(
+                "put",
+                "in_process",
+                arm,
+                size,
+                put_bw(arm, size, warmup, iters),
+            );
+            print_row(&s);
+            results.push(s);
+            let s = to_sample(
+                "get",
+                "in_process",
+                arm,
+                size,
+                get_bw(arm, size, warmup, iters),
+            );
+            print_row(&s);
+            results.push(s);
+            let s = to_sample(
+                "sendrecv",
+                "in_process",
+                arm,
+                size,
+                sendrecv_bw(arm, size, warmup, iters),
+            );
+            print_row(&s);
+            results.push(s);
+        }
+    }
+    // Real wire, real process boundary: acked puts over loopback UDP (fewer
+    // reps; every fragment crosses the kernel twice).
+    for &size in udp_sizes {
+        let iters = (iters_for(size, quick) / 4).max(2);
+        for arm in [Arm::Baseline, Arm::Streaming] {
+            let s = to_sample(
+                "put",
+                "udp_loopback",
+                arm,
+                size,
+                put_bw_udp(arm, size, 1, iters),
+            );
+            print_row(&s);
+            results.push(s);
+        }
+    }
+
+    // Headline ratios at 16 MiB (present in both quick and full sweeps).
+    let ratio = |op: &str| {
+        let rate = |arm: &str| {
+            results
+                .iter()
+                .find(|s| {
+                    s.op == op && s.wire == "in_process" && s.arm == arm && s.size == 16 * MIB
+                })
+                .map(|s| s.mib_per_s_mean)
+                .unwrap()
+        };
+        rate("streaming") / rate("baseline")
+    };
+    let (put_r, get_r, sr_r) = (ratio("put"), ratio("get"), ratio("sendrecv"));
+    println!(
+        "\n16 MiB streaming/baseline bandwidth: put {put_r:.2}x, get {get_r:.2}x, \
+         sendrecv {sr_r:.2}x"
+    );
+
+    let report = Report {
+        bench: "bandwidth",
+        quick,
+        put_16mib_speedup: put_r,
+        get_16mib_speedup: get_r,
+        sendrecv_16mib_speedup: sr_r,
+        results,
+    };
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

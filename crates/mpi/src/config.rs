@@ -15,6 +15,20 @@ pub enum Protocol {
         /// Messages at or above this size use the RTS/get path.
         eager_limit: usize,
     },
+    /// Measured switchover: receives post hardware entries as in
+    /// [`Protocol::EagerDirect`], and each send picks eager or rendezvous
+    /// from observed per-byte completion cost (an EWMA per protocol,
+    /// refreshed by periodic exploration of the out-of-favor arm). Below
+    /// `min_eager` the send is always eager; at or above `max_eager` always
+    /// rendezvous; in between the cheaper measured arm wins.
+    Adaptive {
+        /// Sends below this size never pay the rendezvous round trip.
+        min_eager: usize,
+        /// Sends at or above this size never flood the eager slabs; must be
+        /// at most [`MpiConfig::slab_min_free`] so an unexpected eager
+        /// message always fits a slab.
+        max_eager: usize,
+    },
 }
 
 /// Tuning for one process's MPI engine.
@@ -40,6 +54,12 @@ pub struct MpiConfig {
     pub pool_slab: usize,
     /// Bound on the pool's free list (slabs kept for reuse).
     pub pool_free: usize,
+    /// Rendezvous sub-get size, bytes: a matched announcement is pulled in
+    /// chunks of at most this many bytes instead of one monolithic get, so
+    /// chunk replies pipeline on the wire.
+    pub rdvz_chunk: usize,
+    /// Bound on concurrently outstanding sub-gets per rendezvous pull.
+    pub rdvz_window: usize,
 }
 
 impl Default for MpiConfig {
@@ -52,6 +72,8 @@ impl Default for MpiConfig {
             eq_capacity: 8192,
             pool_slab: 2048,
             pool_free: 64,
+            rdvz_chunk: 256 * 1024,
+            rdvz_window: 4,
         }
     }
 }
@@ -62,6 +84,19 @@ impl MpiConfig {
         MpiConfig {
             protocol: Protocol::Rendezvous {
                 eager_limit: 16 * 1024,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Measured eager/rendezvous switchover with the default band: always
+    /// eager below 16 KiB, always rendezvous at 256 KiB and above, measured
+    /// in between.
+    pub fn adaptive() -> MpiConfig {
+        MpiConfig {
+            protocol: Protocol::Adaptive {
+                min_eager: 16 * 1024,
+                max_eager: 256 * 1024,
             },
             ..Default::default()
         }
@@ -86,5 +121,25 @@ mod tests {
             Protocol::Rendezvous { eager_limit } => assert!(eager_limit > 0),
             p => panic!("expected rendezvous, got {p:?}"),
         }
+    }
+
+    #[test]
+    fn adaptive_band_fits_slabs() {
+        let c = MpiConfig::adaptive();
+        match c.protocol {
+            Protocol::Adaptive {
+                min_eager,
+                max_eager,
+            } => {
+                assert!(min_eager < max_eager);
+                assert!(
+                    max_eager <= c.slab_min_free,
+                    "an unexpected eager message must fit a slab"
+                );
+            }
+            p => panic!("expected adaptive, got {p:?}"),
+        }
+        assert!(c.rdvz_chunk > 0);
+        assert!(c.rdvz_window >= 1);
     }
 }

@@ -26,11 +26,12 @@ use crate::request::{Completion, ReqKind, Request, Status};
 use parking_lot::Mutex;
 use portals::{
     AckRequest, EqHandle, EventKind, MdHandle, MdOptions, MdSpec, MeHandle, MePos,
-    NetworkInterface, Region, RegionPool, Threshold,
+    NetworkInterface, PoolClassStats, PoolSet, Region, Threshold,
 };
 use portals_obs::{Counter, Layer, Stage, TraceEvent};
 use portals_types::{MatchBits, MatchCriteria, ProcessId, PtlError, PtlResult, Rank};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const PT_MSG: u32 = 0;
@@ -42,6 +43,16 @@ const COOKIE: u32 = 0;
 const RTS_SIZE: usize = 16;
 /// Control slab capacity (RTS records).
 const CTRL_SLAB_RECORDS: usize = 4096;
+/// Match-bit flag distinguishing the *final* sub-get of a pipelined
+/// rendezvous pull from the bulk ones: the sender exposes two entries per
+/// announcement (serial, serial | FINAL_BIT) and completes the send when the
+/// final one is hit. Serials are sequential and never reach this bit.
+const FINAL_BIT: u64 = 1 << 63;
+/// Adaptive-protocol EWMA smoothing factor.
+const EWMA_ALPHA: f64 = 0.25;
+/// In the adaptive band, try the out-of-favor protocol once every this many
+/// decisions so a stale EWMA can recover.
+const EXPLORE_EVERY: u64 = 16;
 
 /// A posted-but-unmatched receive.
 struct PostedRecv {
@@ -76,6 +87,16 @@ struct SendInfo {
     /// operation's final completion (ack or get) arrives. `None` for
     /// caller-owned and oversize buffers.
     pooled: Option<Region>,
+    /// Message length, reported as the requested length on rendezvous
+    /// completion (the final sub-get's own rlength covers only its chunk).
+    total_len: u64,
+    /// Submission time, for the adaptive protocol's cost EWMA.
+    started: Instant,
+    /// Which protocol arm this send took (feeds the matching EWMA).
+    rendezvous: bool,
+    /// For a rendezvous send keyed by its final-entry MD: the bulk entry
+    /// torn down when the final sub-get lands.
+    bulk: Option<(MdHandle, MeHandle)>,
 }
 
 /// A rendezvous announcement waiting for its receive.
@@ -87,13 +108,40 @@ struct RtsRecord {
     total_len: u64,
 }
 
-/// An outstanding rendezvous pull (receiver-side get).
-struct PullInfo {
-    id: u64,
+/// An outstanding rendezvous pull: the receiver-side window of pipelined
+/// sub-gets draining one announcement into the user buffer.
+struct PullState {
     src: u16,
     tag: Tag,
     total_len: u64,
     cap: usize,
+    /// Bytes actually pulled: `min(total_len, cap)` (§4.8 truncation,
+    /// decided at match time from the announced length).
+    pull_len: u64,
+    /// Next chunk offset to issue.
+    next_off: u64,
+    /// The final sub-get has been issued (it is always issued last, so the
+    /// per-pair FIFO delivers it to the sender after every bulk one).
+    issued_final: bool,
+    /// Outstanding sub-gets, bounded by [`MpiConfig::rdvz_window`].
+    in_flight: usize,
+    /// Bytes landed in the user buffer so far.
+    received: u64,
+    user: Region,
+    sender: ProcessId,
+    serial: u64,
+}
+
+/// One outstanding sub-get of a pull, keyed by its bound MD.
+struct ChunkInfo {
+    /// The receive request this chunk belongs to (key into `EngState::pulls`).
+    pull_id: u64,
+    /// Absolute offset of this chunk in the message payload.
+    off: u64,
+    /// Pooled bounce buffer the reply lands in before the copy to the user
+    /// buffer at `off`. `None` when the chunk MD binds the user buffer
+    /// directly (offset-zero chunks — replies land at an MD's region start).
+    bounce: Option<Region>,
 }
 
 struct EngState {
@@ -104,7 +152,11 @@ struct EngState {
     send_done: HashMap<u64, (u64, u64)>,
     recvs: Vec<PostedRecv>,
     recv_done: HashMap<u64, Status>,
-    pulls: HashMap<MdHandle, PullInfo>,
+    pulls: HashMap<u64, PullState>,
+    chunk_mds: HashMap<MdHandle, ChunkInfo>,
+    /// Bytes pulled so far through each rendezvous send's bulk entry,
+    /// keyed by the bulk MD; folded into the final sub-get's completion.
+    bulk_pulled: HashMap<MdHandle, u64>,
     unexpected: VecDeque<Arrival>,
     rts_waiting: VecDeque<RtsRecord>,
     slab_me: MeHandle,
@@ -113,20 +165,51 @@ struct EngState {
     ctrl_mds: HashMap<MdHandle, Region>,
 }
 
+/// Adaptive-protocol selector state (see [`Protocol::Adaptive`]).
+struct AdaptiveState {
+    /// EWMA of completion cost per arm, ns per byte; zero = no sample yet.
+    eager_ns_per_byte: f64,
+    rdvz_ns_per_byte: f64,
+    eager_decisions: u64,
+    rdvz_decisions: u64,
+    explorations: u64,
+    in_band: u64,
+}
+
+/// Snapshot of the adaptive selector, for reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveReport {
+    /// Measured eager cost, ns per byte (EWMA; zero = never sampled).
+    pub eager_ns_per_byte: f64,
+    /// Measured rendezvous cost, ns per byte (EWMA; zero = never sampled).
+    pub rdvz_ns_per_byte: f64,
+    /// In-band sends that chose eager.
+    pub eager_decisions: u64,
+    /// In-band sends that chose rendezvous.
+    pub rdvz_decisions: u64,
+    /// Decisions overridden to re-sample the out-of-favor arm.
+    pub explorations: u64,
+}
+
 /// The per-process MPI engine (see module docs).
 pub struct MpiEngine {
     ni: NetworkInterface,
     eq: EqHandle,
     config: MpiConfig,
     state: Mutex<EngState>,
-    /// Slab pool for small eager sends and RTS records (the malloc/free pair
-    /// the latency-critical path used to pay per message).
-    pool: RegionPool,
-    /// `mpi.regions_pooled`: sends served from a recycled slab.
+    /// Size-classed slab pools: small eager sends and RTS records in one
+    /// class, rendezvous pull bounce chunks in another (the malloc/free
+    /// pairs the data paths used to pay per message).
+    pools: PoolSet,
+    /// `mpi.regions_pooled`: takes served from a recycled slab (any class).
     regions_pooled: Counter,
-    /// `mpi.regions_allocated`: pool-eligible sends that fell back to a
+    /// `mpi.regions_allocated`: pool-eligible takes that fell back to a
     /// fresh allocation (cold pool or quarantined slabs).
     regions_allocated: Counter,
+    /// Adaptive-protocol selector (unused under the fixed protocols).
+    adaptive: Mutex<AdaptiveState>,
+    /// High-water mark of concurrently outstanding rendezvous sub-gets.
+    window_hwm: AtomicU64,
 }
 
 impl MpiEngine {
@@ -169,9 +252,21 @@ impl MpiEngine {
         let regions_pooled = ni.obs().registry.counter("mpi.regions_pooled", &labels);
         let regions_allocated = ni.obs().registry.counter("mpi.regions_allocated", &labels);
         let engine = MpiEngine {
-            pool: RegionPool::new(config.pool_slab, config.pool_free),
+            pools: PoolSet::new(&[
+                (config.pool_slab, config.pool_free),
+                (config.rdvz_chunk, config.rdvz_window * 2),
+            ]),
             regions_pooled,
             regions_allocated,
+            adaptive: Mutex::new(AdaptiveState {
+                eager_ns_per_byte: 0.0,
+                rdvz_ns_per_byte: 0.0,
+                eager_decisions: 0,
+                rdvz_decisions: 0,
+                explorations: 0,
+                in_band: 0,
+            }),
+            window_hwm: AtomicU64::new(0),
             ni,
             eq,
             config,
@@ -184,6 +279,8 @@ impl MpiEngine {
                 recvs: Vec::new(),
                 recv_done: HashMap::new(),
                 pulls: HashMap::new(),
+                chunk_mds: HashMap::new(),
+                bulk_pulled: HashMap::new(),
                 unexpected: VecDeque::new(),
                 rts_waiting: VecDeque::new(),
                 slab_me,
@@ -265,16 +362,13 @@ impl MpiEngine {
         tag: Tag,
         data: &[u8],
     ) -> PtlResult<Request> {
-        let rendezvous = match self.config.protocol {
-            Protocol::Rendezvous { eager_limit } => data.len() >= eager_limit,
-            Protocol::EagerDirect => false,
-        };
-        if !rendezvous && data.len() <= self.pool.slab_len() && self.pool.slab_len() > 0 {
-            let slab = self.take_slab();
+        let rendezvous = self.choose_rendezvous(data.len());
+        if !rendezvous && data.len() <= self.config.pool_slab && self.config.pool_slab > 0 {
+            let slab = self.take_pooled(self.config.pool_slab);
             if !data.is_empty() {
                 slab.write(0, data);
             }
-            return self.isend_inner(context, my_rank, dest, tag, slab, data.len(), true);
+            return self.isend_inner(context, my_rank, dest, tag, slab, data.len(), true, false);
         }
         let len = data.len();
         self.isend_inner(
@@ -285,6 +379,7 @@ impl MpiEngine {
             Region::copy_from_slice(data),
             len,
             false,
+            rendezvous,
         )
     }
 
@@ -301,18 +396,91 @@ impl MpiEngine {
         data: Region,
     ) -> PtlResult<Request> {
         let len = data.len();
-        self.isend_inner(context, my_rank, dest, tag, data, len, false)
+        let rendezvous = self.choose_rendezvous(len);
+        self.isend_inner(context, my_rank, dest, tag, data, len, false, rendezvous)
     }
 
-    /// A pool slab, with the hit/miss mirrored into the obs counters.
-    fn take_slab(&self) -> Region {
-        let (slab, hit) = self.pool.take_tracked();
-        if hit {
-            self.regions_pooled.inc();
-        } else {
-            self.regions_allocated.inc();
+    /// A pooled region of at least `len` bytes, with the hit/miss mirrored
+    /// into the obs counters. Falls back to an exact allocation when no pool
+    /// class fits.
+    fn take_pooled(&self, len: usize) -> Region {
+        match self.pools.take_tracked(len) {
+            Some((slab, true)) => {
+                self.regions_pooled.inc();
+                slab
+            }
+            Some((slab, false)) => {
+                self.regions_allocated.inc();
+                slab
+            }
+            None => {
+                self.regions_allocated.inc();
+                Region::zeroed(len)
+            }
         }
-        slab
+    }
+
+    /// Pick the protocol arm for a `len`-byte send.
+    fn choose_rendezvous(&self, len: usize) -> bool {
+        match self.config.protocol {
+            Protocol::EagerDirect => false,
+            Protocol::Rendezvous { eager_limit } => len >= eager_limit,
+            Protocol::Adaptive {
+                min_eager,
+                max_eager,
+            } => {
+                if len < min_eager {
+                    return false;
+                }
+                if len >= max_eager {
+                    return true;
+                }
+                let mut a = self.adaptive.lock();
+                a.in_band += 1;
+                // Favor the measured-cheaper arm; before both arms have a
+                // sample, pick the unsampled one so the comparison exists.
+                let favored = if a.eager_ns_per_byte == 0.0 {
+                    false
+                } else if a.rdvz_ns_per_byte == 0.0 {
+                    true
+                } else {
+                    a.rdvz_ns_per_byte < a.eager_ns_per_byte
+                };
+                let both_sampled = a.eager_ns_per_byte > 0.0 && a.rdvz_ns_per_byte > 0.0;
+                let pick = if both_sampled && a.in_band % EXPLORE_EVERY == 0 {
+                    a.explorations += 1;
+                    !favored
+                } else {
+                    favored
+                };
+                if pick {
+                    a.rdvz_decisions += 1;
+                } else {
+                    a.eager_decisions += 1;
+                }
+                pick
+            }
+        }
+    }
+
+    /// Fold a completed send's measured cost into its arm's EWMA (adaptive
+    /// protocol only).
+    fn note_send_cost(&self, rendezvous: bool, len: u64, started: Instant) {
+        if !matches!(self.config.protocol, Protocol::Adaptive { .. }) {
+            return;
+        }
+        let per_byte = started.elapsed().as_nanos() as f64 / len.max(1) as f64;
+        let mut a = self.adaptive.lock();
+        let slot = if rendezvous {
+            &mut a.rdvz_ns_per_byte
+        } else {
+            &mut a.eager_ns_per_byte
+        };
+        *slot = if *slot == 0.0 {
+            per_byte
+        } else {
+            *slot + EWMA_ALPHA * (per_byte - *slot)
+        };
     }
 
     /// The shared isend body. `len` is the message length — `data` may be a
@@ -329,16 +497,14 @@ impl MpiEngine {
         data: Region,
         len: usize,
         pooled: bool,
+        rendezvous: bool,
     ) -> PtlResult<Request> {
         let match_bits = bits::encode(context, my_rank, tag);
+        let started = Instant::now();
         let mut st = self.state.lock();
         let id = st.next_req;
         st.next_req += 1;
 
-        let rendezvous = match self.config.protocol {
-            Protocol::Rendezvous { eager_limit } => len >= eager_limit,
-            Protocol::EagerDirect => false,
-        };
         self.trace(
             Stage::Submit,
             len as u64,
@@ -346,18 +512,45 @@ impl MpiEngine {
         );
 
         if rendezvous {
-            // Expose the payload for the receiver's get, then announce it.
+            // Expose the payload for the receiver's pipelined pull, then
+            // announce it. Two match entries over the same region: the bulk
+            // entry serves every non-final sub-get (unbounded threshold),
+            // the final entry serves exactly the last one and its event
+            // completes the send. The receiver issues the final sub-get
+            // last, and the per-pair FIFO keeps it last on this side.
             let serial = st.next_serial;
             st.next_serial += 1;
-            let me = self.ni.me_attach(
+            debug_assert_eq!(serial & FINAL_BIT, 0, "serial overflow into FINAL_BIT");
+            let bulk_me = self.ni.me_attach(
                 PT_RDVZ,
                 ProcessId::ANY,
                 MatchCriteria::exact(MatchBits::new(serial)),
                 true,
                 MePos::Back,
             )?;
-            let md = self.ni.md_attach(
-                me,
+            let bulk_md = self.ni.md_attach(
+                bulk_me,
+                MdSpec::new(data.clone())
+                    .with_length(len)
+                    .with_eq(self.eq)
+                    .with_threshold(Threshold::Infinite)
+                    .with_options(MdOptions {
+                        op_put: false,
+                        op_get: true,
+                        truncate: true,
+                        unlink_on_exhaustion: false,
+                        ..Default::default()
+                    }),
+            )?;
+            let final_me = self.ni.me_attach(
+                PT_RDVZ,
+                ProcessId::ANY,
+                MatchCriteria::exact(MatchBits::new(serial | FINAL_BIT)),
+                true,
+                MePos::Back,
+            )?;
+            let final_md = self.ni.md_attach(
+                final_me,
                 MdSpec::new(data.clone())
                     .with_length(len)
                     .with_eq(self.eq)
@@ -370,14 +563,19 @@ impl MpiEngine {
                         ..Default::default()
                     }),
             )?;
+            st.bulk_pulled.insert(bulk_md, 0);
             st.sends.insert(
-                md,
+                final_md,
                 SendInfo {
                     id: Some(id),
                     dest,
                     match_bits,
                     portal: PT_RDVZ,
                     pooled: pooled.then(|| data.clone()),
+                    total_len: len as u64,
+                    started,
+                    rendezvous: true,
+                    bulk: Some((bulk_md, bulk_me)),
                 },
             );
 
@@ -386,9 +584,9 @@ impl MpiEngine {
             rts[8..16].copy_from_slice(&(len as u64).to_le_bytes());
             // RTS records are the highest-rate small allocation on the
             // rendezvous path: serve them from the pool too.
-            let rts_pooled = self.pool.slab_len() >= RTS_SIZE;
+            let rts_pooled = self.config.pool_slab >= RTS_SIZE;
             let rts_region = if rts_pooled {
-                let slab = self.take_slab();
+                let slab = self.take_pooled(self.config.pool_slab);
                 slab.write(0, &rts);
                 slab
             } else {
@@ -412,6 +610,10 @@ impl MpiEngine {
                         match_bits,
                         portal: PT_CTRL,
                         pooled: rts_pooled.then(|| rts_region.clone()),
+                        total_len: RTS_SIZE as u64,
+                        started,
+                        rendezvous: false,
+                        bulk: None,
                     },
                 );
                 self.ni
@@ -437,7 +639,7 @@ impl MpiEngine {
                     .submit()?;
                 let _ = self.ni.md_unlink(rts_md);
                 if rts_pooled {
-                    self.pool.recycle(rts_region);
+                    self.pools.recycle(rts_region);
                 }
             }
         } else {
@@ -455,6 +657,10 @@ impl MpiEngine {
                     match_bits,
                     portal: PT_MSG,
                     pooled: pooled.then(|| data.clone()),
+                    total_len: len as u64,
+                    started,
+                    rendezvous: false,
+                    bulk: None,
                 },
             );
             self.ni
@@ -499,7 +705,7 @@ impl MpiEngine {
         }
 
         match self.config.protocol {
-            Protocol::EagerDirect => {
+            Protocol::EagerDirect | Protocol::Adaptive { .. } => {
                 // Post a hardware match entry ahead of the overflow slab, with
                 // an inactive MD, then activate it atomically against the
                 // event queue (the PtlMDUpdate pattern).
@@ -633,37 +839,89 @@ impl MpiEngine {
         self.trace(Stage::Deliver, n as u64, "eager_slab");
     }
 
-    /// Issue the rendezvous get for a matched announcement.
+    /// Begin the pipelined pull for a matched announcement: open the window
+    /// of sub-gets that drains the sender's exposed payload into the user
+    /// buffer chunk by chunk.
     fn start_pull(&self, st: &mut EngState, id: u64, buf: Region, cap: usize, rts: RtsRecord) {
         let pull_len = rts.total_len.min(cap as u64);
         let (_, src_rank, tag) = bits::decode(rts.bits);
-        let md = self
-            .ni
-            .md_bind(
-                MdSpec::new(buf)
-                    .with_length(cap)
-                    .with_eq(self.eq)
-                    .with_threshold(Threshold::Count(1)),
-            )
-            .expect("bind pull md");
         st.pulls.insert(
-            md,
-            PullInfo {
-                id,
+            id,
+            PullState {
                 src: src_rank,
                 tag,
                 total_len: rts.total_len,
                 cap,
+                pull_len,
+                next_off: 0,
+                issued_final: false,
+                in_flight: 0,
+                received: 0,
+                user: buf,
+                sender: rts.sender,
+                serial: rts.serial,
             },
         );
-        self.ni
-            .get_op(md)
-            .target(rts.sender, PT_RDVZ)
-            .bits(MatchBits::new(rts.serial))
-            .cookie(COOKIE)
-            .length(pull_len)
-            .submit()
-            .expect("rendezvous get");
+        self.issue_chunks(st, id);
+    }
+
+    /// Issue sub-gets for pull `pull_id` until its window is full or the
+    /// final chunk is out. Offset-zero chunks bind the user buffer directly
+    /// (a reply lands at its MD's region start); later chunks land in pooled
+    /// bounce slabs and are copied into place on their reply.
+    fn issue_chunks(&self, st: &mut EngState, pull_id: u64) {
+        loop {
+            let (off, len, is_final, sender, serial, user) = {
+                let Some(p) = st.pulls.get_mut(&pull_id) else {
+                    return;
+                };
+                if p.issued_final || p.in_flight >= self.config.rdvz_window.max(1) {
+                    return;
+                }
+                let len = (p.pull_len - p.next_off).min(self.config.rdvz_chunk.max(1) as u64);
+                let off = p.next_off;
+                let is_final = off + len == p.pull_len;
+                p.next_off += len;
+                p.in_flight += 1;
+                p.issued_final |= is_final;
+                self.window_hwm
+                    .fetch_max(p.in_flight as u64, Ordering::Relaxed);
+                (off, len, is_final, p.sender, p.serial, p.user.clone())
+            };
+            let (region, md_len, bounce) = if off == 0 {
+                (user, len as usize, None)
+            } else {
+                let b = self.take_pooled(self.config.rdvz_chunk.max(len as usize));
+                (b.clone(), len as usize, Some(b))
+            };
+            let md = self
+                .ni
+                .md_bind(
+                    MdSpec::new(region)
+                        .with_length(md_len)
+                        .with_eq(self.eq)
+                        .with_threshold(Threshold::Count(1)),
+                )
+                .expect("bind pull chunk md");
+            st.chunk_mds.insert(
+                md,
+                ChunkInfo {
+                    pull_id,
+                    off,
+                    bounce,
+                },
+            );
+            let bits = if is_final { serial | FINAL_BIT } else { serial };
+            self.ni
+                .get_op(md)
+                .target(sender, PT_RDVZ)
+                .bits(MatchBits::new(bits))
+                .cookie(COOKIE)
+                .offset(off)
+                .length(len)
+                .submit()
+                .expect("rendezvous sub-get");
+        }
     }
 
     /// Nonblocking probe (MPI_Iprobe): report the oldest arrived-but-unclaimed
@@ -820,15 +1078,40 @@ impl MpiEngine {
         self.state.lock().unexpected.len()
     }
 
-    /// Sends whose snapshot buffer came from the region pool (the
+    /// Takes served from the region pools, any size class (the
     /// `mpi.regions_pooled` metric).
     pub fn regions_pooled(&self) -> u64 {
-        self.pool.pooled()
+        self.pools.pooled()
     }
 
-    /// Pool-eligible sends that fell back to a fresh allocation.
+    /// Pool-eligible takes that fell back to a fresh allocation.
     pub fn regions_allocated(&self) -> u64 {
-        self.pool.allocated()
+        self.pools.allocated()
+    }
+
+    /// Per-size-class pool statistics (eager/RTS slabs vs rendezvous pull
+    /// chunks), ascending by slab size.
+    pub fn pool_classes(&self) -> Vec<PoolClassStats> {
+        self.pools.class_stats()
+    }
+
+    /// High-water mark of concurrently outstanding rendezvous sub-gets
+    /// across all pulls so far.
+    pub fn rdvz_window_hwm(&self) -> u64 {
+        self.window_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the adaptive protocol selector (zeros under the fixed
+    /// protocols).
+    pub fn adaptive_report(&self) -> AdaptiveReport {
+        let a = self.adaptive.lock();
+        AdaptiveReport {
+            eager_ns_per_byte: a.eager_ns_per_byte,
+            rdvz_ns_per_byte: a.rdvz_ns_per_byte,
+            eager_decisions: a.eager_decisions,
+            rdvz_decisions: a.rdvz_decisions,
+            explorations: a.explorations,
+        }
     }
 
     // ----- event processing -----------------------------------------------------
@@ -876,40 +1159,75 @@ impl MpiEngine {
                     // reports what it accepted.
                     if let Some(id) = info.id {
                         st.send_done.insert(id, (ev.mlength, ev.rlength));
+                        self.note_send_cost(info.rendezvous, info.total_len, info.started);
                     }
                     let _ = self.ni.md_unlink(ev.md);
                     if let Some(slab) = info.pooled {
-                        self.pool.recycle(slab);
+                        self.pools.recycle(slab);
                     }
                 }
             }
             EventKind::Get => {
-                // Rendezvous send completion: the receiver pulled the payload.
-                if let Some(info) = st.sends.remove(&ev.md) {
-                    if let Some(id) = info.id {
-                        st.send_done.insert(id, (ev.mlength, ev.rlength));
+                if let Some(pulled) = st.bulk_pulled.get_mut(&ev.md) {
+                    // A non-final sub-get against the bulk entry: account it
+                    // and keep the exposure up for the rest of the window.
+                    *pulled += ev.mlength;
+                } else if let Some(info) = st.sends.remove(&ev.md) {
+                    // The final sub-get landed: the receiver has issued (and
+                    // the FIFO has delivered) every bulk sub-get before it,
+                    // so the whole pull is done and the bulk exposure can
+                    // come down.
+                    let mut delivered = ev.mlength;
+                    if let Some((bulk_md, bulk_me)) = info.bulk {
+                        delivered += st.bulk_pulled.remove(&bulk_md).unwrap_or(0);
+                        let _ = self.ni.md_unlink(bulk_md);
+                        let _ = self.ni.me_unlink(bulk_me);
                     }
-                    // Exposed MD unlinks itself (threshold 1 + unlink flag).
+                    if let Some(id) = info.id {
+                        st.send_done.insert(id, (delivered, info.total_len));
+                        self.note_send_cost(info.rendezvous, info.total_len, info.started);
+                    }
+                    // Final MD unlinks itself (threshold 1 + unlink flag).
                     if let Some(slab) = info.pooled {
-                        self.pool.recycle(slab);
+                        self.pools.recycle(slab);
                     }
                 }
             }
             EventKind::Reply => {
-                // Rendezvous receive completion.
-                if let Some(pull) = st.pulls.remove(&ev.md) {
-                    st.recv_done.insert(
-                        pull.id,
-                        Status {
-                            source: Rank(pull.src as u32),
-                            tag: pull.tag,
-                            len: ev.mlength as usize,
-                            truncated: pull.total_len as usize > pull.cap,
-                            full_len: pull.total_len as usize,
-                        },
-                    );
-                    self.trace(Stage::Deliver, ev.mlength, "rendezvous");
+                // A rendezvous sub-get came back.
+                if let Some(chunk) = st.chunk_mds.remove(&ev.md) {
                     let _ = self.ni.md_unlink(ev.md);
+                    let mut finished = false;
+                    if let Some(p) = st.pulls.get_mut(&chunk.pull_id) {
+                        p.in_flight -= 1;
+                        p.received += ev.mlength;
+                        if let Some(bounce) = chunk.bounce {
+                            if ev.mlength > 0 {
+                                p.user.write(
+                                    chunk.off as usize,
+                                    &bounce.slice(0, ev.mlength as usize),
+                                );
+                            }
+                            self.pools.recycle(bounce);
+                        }
+                        finished = p.issued_final && p.in_flight == 0;
+                    }
+                    if finished {
+                        let p = st.pulls.remove(&chunk.pull_id).expect("checked above");
+                        st.recv_done.insert(
+                            chunk.pull_id,
+                            Status {
+                                source: Rank(p.src as u32),
+                                tag: p.tag,
+                                len: p.received as usize,
+                                truncated: p.total_len as usize > p.cap,
+                                full_len: p.total_len as usize,
+                            },
+                        );
+                        self.trace(Stage::Deliver, p.received, "rendezvous");
+                    } else {
+                        self.issue_chunks(st, chunk.pull_id);
+                    }
                 }
             }
             EventKind::Put => self.handle_put_event(st, ev),

@@ -43,6 +43,6 @@ pub mod request;
 
 pub use comm::{Communicator, Mpi};
 pub use config::{MpiConfig, Protocol};
-pub use engine::MpiEngine;
+pub use engine::{AdaptiveReport, MpiEngine};
 pub use osc::Window;
 pub use request::{Completion, Request, Status};

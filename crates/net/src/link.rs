@@ -78,6 +78,18 @@ pub trait Link: Send + Sync + 'static {
         None
     }
 
+    /// The fragment size this wire performs best at, if it has an opinion.
+    /// Adopted by the transport when its MTU is left at the follow-the-link
+    /// default (`TransportConfig::mtu = 0` in `portals-transport`); an
+    /// explicitly configured MTU always wins. The in-process fabric hands
+    /// over refcounted memory, so large fragments cost nothing extra on the
+    /// wire and cut per-packet protocol work for bulk transfers; a socket
+    /// backend with a real frame size limit leaves this `None` and relies
+    /// on [`Link::max_datagram`].
+    fn preferred_mtu(&self) -> Option<usize> {
+        None
+    }
+
     /// `true` when this wire can corrupt payload bytes in flight, so packet
     /// CRCs must cover bodies, not just headers. The in-process fabric
     /// hands over refcounted memory and returns `false`; real sockets

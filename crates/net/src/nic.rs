@@ -201,6 +201,13 @@ impl Link for Nic {
     fn next_wire_deadline(&self) -> Option<Instant> {
         Nic::next_wire_deadline(self)
     }
+
+    fn preferred_mtu(&self) -> Option<usize> {
+        // Datagrams are refcounted views — a 64 KiB fragment moves no more
+        // bytes than a small one, and bulk transfers pay per-packet protocol
+        // cost 8x less often than at the Myrinet-era 8 KiB default.
+        Some(64 * 1024)
+    }
 }
 
 impl Drop for Nic {

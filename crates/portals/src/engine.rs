@@ -29,11 +29,11 @@
 
 use crate::counters::DropReason;
 use crate::event::{Event, EventKind};
-use crate::md::{MdVerdict, ReqOp};
+use crate::md::{MdMemory, MdVerdict, ReqOp};
 use crate::ni::{send_message, NiClass, NiCore, NiState, NACK_MLENGTH};
 use crate::node::NodeShared;
 use crate::table::{FastPath, MatchList};
-use crate::{EqHandle, MdHandle, MeHandle};
+use crate::{CtHandle, EqHandle, MdHandle, MeHandle};
 use portals_obs::{Layer, Stage, TraceEvent};
 use portals_types::{Gather, Handle, MatchBits, ProcessId};
 use portals_wire::{
@@ -161,6 +161,40 @@ fn commit_and_log(
     match_bits: MatchBits,
     rlength: u64,
 ) -> bool {
+    let mut events = Vec::new();
+    let committed = commit_and_collect(
+        core,
+        list,
+        accepted,
+        portal_index,
+        kind,
+        initiator,
+        match_bits,
+        rlength,
+        &mut events,
+    );
+    for (eq, event) in events {
+        push_event(core, eq, event);
+    }
+    committed
+}
+
+/// [`commit_and_log`] with the event pushes *collected* instead of fired:
+/// the streaming put path commits at header time (under the portal lock) but
+/// must not make events visible until the last payload fragment has landed,
+/// so its deferred events are carried in the sink and pushed at completion.
+#[allow(clippy::too_many_arguments)]
+fn commit_and_collect(
+    core: &NiCore,
+    list: &mut MatchList,
+    accepted: Accepted,
+    portal_index: u32,
+    kind: EventKind,
+    initiator: ProcessId,
+    match_bits: MatchBits,
+    rlength: u64,
+    out: &mut Vec<(Option<EqHandle>, Event)>,
+) -> bool {
     let state = &core.state;
     let Some((unlink_md, eq)) = state.mds.with_mut(accepted.md, |md| {
         (md.commit(accepted.mlength, accepted.offset), md.eq)
@@ -168,8 +202,7 @@ fn commit_and_log(
         return false;
     };
 
-    push_event(
-        core,
+    out.push((
         eq,
         Event {
             kind,
@@ -181,14 +214,13 @@ fn commit_and_log(
             offset: accepted.offset,
             md: accepted.md,
         },
-    );
+    ));
 
     if unlink_md {
         let pending = state.mds.with(accepted.md, |m| m.pending_ops).unwrap_or(0);
         if pending == 0 {
             state.mds.remove(accepted.md);
-            push_event(
-                core,
+            out.push((
                 eq,
                 Event {
                     kind: EventKind::Unlink,
@@ -200,7 +232,7 @@ fn commit_and_log(
                     offset: accepted.offset,
                     md: accepted.md,
                 },
-            );
+            ));
             let now_empty = state.mes.with_mut(accepted.me, |me| {
                 me.remove_md(accepted.md);
                 me.md_list.is_empty() && me.unlink_when_empty
@@ -662,6 +694,395 @@ fn handle_reply(core: &NiCore, node: &NodeShared, reply: Reply) {
     drop(shard);
     if let Some(ct) = ct {
         crate::triggered::ct_increment(core, node, ct, 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming delivery (§4.8 semantics, fragment-at-a-time data movement)
+// ---------------------------------------------------------------------------
+//
+// The streaming path splits §4.8 into two halves. At *header* time —
+// as soon as the first fragment of a put or reply arrives — the engine runs
+// every check and state transition the store-and-forward path would run
+// (portal validity, ACL, translation, flow control, threshold commit,
+// managed-offset advance, auto-unlink), all under the portal lock, and
+// captures a clone of the matched descriptor's memory map. Payload fragments
+// are then scattered into that memory at their absolute offsets as they
+// arrive off the wire, with no lock held — placement overlaps wire transfer,
+// which is the whole point. Events, counting events and the ack are fired
+// only at *completion* (the last fragment), so the §4.8 observable order —
+// data before event — is preserved.
+//
+// Matching at header time (rather than after reassembly) is what a
+// receiver-side NIC does; it also means a message's match outcome reflects
+// the list state at arrival order, identical to the baseline because the
+// transport delivers per-source fragments in order and whole messages were
+// dispatched in the same arrival order before.
+//
+// Partial-delivery visibility: between the first and last fragment the
+// target region holds a mix of old and new bytes. This is exactly the §6c
+// torn-read/RDMA contract — the paper's semantics make no promise about a
+// region's contents before the completion event is delivered.
+
+/// What `stream_put_begin` decided at header time.
+pub(crate) enum PutBeginOutcome {
+    /// Header accepted: stream payload fragments into the sink, then
+    /// [`PutSink::finish`].
+    Sink(PutSink),
+    /// The matched descriptor needs whole-message handling (a combining MD's
+    /// read-modify-write wants the entire contribution at once): accumulate
+    /// and deliver through [`deliver`] instead.
+    Fallback,
+    /// Dropped (and possibly nacked) at header time: swallow the remaining
+    /// fragments.
+    Done,
+}
+
+/// An accepted streaming put: the matched region plus everything completion
+/// needs. Payload writes go through the captured [`MdMemory`] clone — region
+/// handles are refcounted, so the bytes land in the application's memory even
+/// if the descriptor is auto-unlinked before the tail arrives (the RDMA
+/// model: the NIC holds the registration, not the descriptor table).
+pub(crate) struct PutSink {
+    header: RequestHeader,
+    ack_md: u64,
+    ack_eq: u64,
+    accepted: Accepted,
+    mem: MdMemory,
+    ct: Option<CtHandle>,
+    committed: bool,
+    deferred: Vec<(Option<EqHandle>, Event)>,
+}
+
+/// Run the §4.8 receive checks for a put whose payload has not arrived yet.
+/// Mirrors `handle_put` exactly up to (and including) commit; data movement
+/// and event visibility are deferred to the sink.
+pub(crate) fn stream_put_begin(
+    core: &NiCore,
+    node: &NodeShared,
+    h: RequestHeader,
+    ack_md: u64,
+    ack_eq: u64,
+) -> PutBeginOutcome {
+    // The nack path reads only the header and ack handles.
+    let nack_stub = PutRequest {
+        header: h,
+        ack_md,
+        ack_eq,
+        payload: Gather::new(),
+    };
+    let class = NiClass {
+        node,
+        my_job: core.config.job,
+    };
+    let state = &core.state;
+    let Some(mut list) = state.table.lock(h.portal_index) else {
+        drop_msg(core, DropReason::InvalidPortalIndex);
+        return PutBeginOutcome::Done;
+    };
+    let flow_armed = core.config.flow_control && state.table.flow_eq(h.portal_index).is_some();
+    if !state.table.is_enabled(h.portal_index) {
+        drop(list);
+        nack_put(core, node, &nack_stub);
+        return PutBeginOutcome::Done;
+    }
+    if let Err(r) = state
+        .acl
+        .read()
+        .check(h.cookie, h.initiator, h.portal_index, &class)
+    {
+        drop_msg(core, r.into());
+        return PutBeginOutcome::Done;
+    }
+    let accepted = match translate(
+        &list,
+        state,
+        core.config.match_index,
+        ReqOp::Put,
+        h.initiator,
+        h.match_bits,
+        h.offset,
+        h.length,
+    ) {
+        Ok(a) => a,
+        Err(reason) => {
+            if flow_armed && reason == DropReason::NoMatch {
+                trip_flow_control(core, &h);
+                drop(list);
+                nack_put(core, node, &nack_stub);
+            } else {
+                drop_msg(core, reason);
+            }
+            return PutBeginOutcome::Done;
+        }
+    };
+    if flow_armed {
+        let md_eq = state.mds.with(accepted.md, |md| md.eq).flatten();
+        let room = md_eq.map(|eqh| state.eqs.with(eqh, |q| q.has_room_for(2)));
+        if room == Some(Some(false)) {
+            trip_flow_control(core, &h);
+            drop(list);
+            nack_put(core, node, &nack_stub);
+            return PutBeginOutcome::Done;
+        }
+    }
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Match)
+            .node(core.id.nid.0)
+            .peer(h.initiator.nid.0)
+            .bytes(accepted.mlength)
+            .detail("put")
+    });
+    let Some((mem, ct, combining)) = state.mds.with(accepted.md, |md| {
+        (md.region.clone(), md.ct, md.combine.is_some())
+    }) else {
+        drop_msg(core, DropReason::NoMatch);
+        return PutBeginOutcome::Done;
+    };
+    if combining {
+        return PutBeginOutcome::Fallback;
+    }
+    // Commit at header time, under the portal lock — threshold, managed
+    // offset and auto-unlink behave exactly as in the baseline — but hold
+    // the resulting events back until the payload has fully landed.
+    let mut deferred = Vec::new();
+    let committed = commit_and_collect(
+        core,
+        &mut list,
+        accepted,
+        h.portal_index,
+        EventKind::Put,
+        h.initiator,
+        h.match_bits,
+        h.length,
+        &mut deferred,
+    );
+    core.counters.requests_accepted.inc();
+    drop(list);
+    PutBeginOutcome::Sink(PutSink {
+        header: h,
+        ack_md,
+        ack_eq,
+        accepted,
+        mem,
+        ct,
+        committed,
+        deferred,
+    })
+}
+
+impl PutSink {
+    /// Scatter payload bytes at `payload_off` (offset within the message's
+    /// payload) into the matched region, clamped to the manipulated length —
+    /// bytes past `mlength` are the truncated tail and are dropped here,
+    /// preserving §4.8 truncation.
+    pub(crate) fn write(&self, payload_off: u64, data: &Gather) {
+        if payload_off >= self.accepted.mlength {
+            return;
+        }
+        let room = (self.accepted.mlength - payload_off) as usize;
+        let take = data.len().min(room);
+        if take == 0 {
+            return;
+        }
+        self.mem
+            .write_gather(self.accepted.offset + payload_off, &data.slice(0, take));
+    }
+
+    /// Complete the put: counters, deferred events, the optional ack and the
+    /// counting-event increment — everything `handle_put` fires after data
+    /// movement.
+    pub(crate) fn finish(self, core: &NiCore, node: &NodeShared) {
+        let h = self.header;
+        let accepted = self.accepted;
+        if accepted.mlength > 0 {
+            core.counters.payload_copies.inc();
+        }
+        core.counters.payload_messages.inc();
+        core.counters.delivered_bytes.add(accepted.mlength);
+        core.obs.tracer.emit(|| {
+            TraceEvent::new(Layer::Portals, Stage::Deliver)
+                .node(core.id.nid.0)
+                .peer(h.initiator.nid.0)
+                .bytes(accepted.mlength)
+                .detail("put")
+        });
+        if self.committed {
+            core.counters.completed_bytes.add(accepted.mlength);
+        }
+        for (eq, event) in self.deferred {
+            push_event(core, eq, event);
+        }
+        if self.ack_md != RAW_HANDLE_NONE {
+            let ack = PortalsMessage::Ack(Ack {
+                header: ResponseHeader {
+                    initiator: h.target, // swapped (§4.7)
+                    target: h.initiator,
+                    portal_index: h.portal_index,
+                    match_bits: h.match_bits,
+                    offset: accepted.offset,
+                    md_handle: self.ack_md,
+                    eq_handle: self.ack_eq,
+                    requested_length: h.length,
+                    manipulated_length: accepted.mlength,
+                },
+            });
+            send_message(core, node, h.initiator.nid, &ack);
+        }
+        if let Some(ct) = self.ct {
+            crate::triggered::ct_increment(core, node, ct, 1);
+        }
+    }
+}
+
+/// What `stream_reply_begin` decided at header time.
+pub(crate) enum ReplyBeginOutcome {
+    /// Reply accepted: stream payload fragments in, then
+    /// [`ReplySink::finish`].
+    Sink(ReplySink),
+    /// Combining descriptor: accumulate the whole reply and deliver through
+    /// [`deliver`].
+    Fallback,
+    /// Dropped at header time: swallow the remaining fragments.
+    Done,
+}
+
+/// An accepted streaming reply. The descriptor stays pinned (its
+/// `pending_ops` is *not* decremented until `finish`), so the §4.7 rule — a
+/// get's MD "must not be unlinked until the reply is received" — holds
+/// across the streamed interval.
+pub(crate) struct ReplySink {
+    header: ResponseHeader,
+    md_handle: MdHandle,
+    mem: MdMemory,
+    mlength: u64,
+    eq: Option<EqHandle>,
+    ct: Option<CtHandle>,
+}
+
+/// Run the §4.8 reply checks before the payload has arrived. `declared_len`
+/// is the wire header's manipulated length (what the payload will total).
+pub(crate) fn stream_reply_begin(
+    core: &NiCore,
+    h: ResponseHeader,
+    declared_len: u64,
+) -> ReplyBeginOutcome {
+    let state = &core.state;
+    let md_handle: MdHandle = Handle::from_raw(h.md_handle);
+    let Some((mut shard, local)) = state.mds.lock_shard_of(md_handle) else {
+        drop_msg(core, DropReason::ReplyMdMissing);
+        return ReplyBeginOutcome::Done;
+    };
+    let Some(md) = shard.get(local) else {
+        drop_msg(core, DropReason::ReplyMdMissing);
+        return ReplyBeginOutcome::Done;
+    };
+    let eq = md.eq;
+    let ct = md.ct;
+    if let Some(eqh) = eq {
+        if state.eqs.with(eqh, |queue| queue.is_full()) == Some(true) {
+            let unlink = {
+                let md = shard.get_mut(local).expect("resolved above");
+                md.pending_ops = md.pending_ops.saturating_sub(1);
+                md.options.unlink_on_exhaustion && !md.threshold.active() && md.pending_ops == 0
+            };
+            if unlink {
+                shard.remove(local);
+            }
+            drop_msg(core, DropReason::ReplyEqFull);
+            return ReplyBeginOutcome::Done;
+        }
+    }
+    if md.combine.is_some() {
+        return ReplyBeginOutcome::Fallback;
+    }
+    // Accept-and-truncate, decided up front from the declared length.
+    let mlength = declared_len.min(md.len() as u64);
+    let mem = md.region.clone();
+    drop(shard);
+    ReplyBeginOutcome::Sink(ReplySink {
+        header: h,
+        md_handle,
+        mem,
+        mlength,
+        eq,
+        ct,
+    })
+}
+
+impl ReplySink {
+    /// Scatter reply payload bytes at `payload_off` into the descriptor's
+    /// region (replies land at region offset 0), truncating past `mlength`.
+    pub(crate) fn write(&self, payload_off: u64, data: &Gather) {
+        if payload_off >= self.mlength {
+            return;
+        }
+        let room = (self.mlength - payload_off) as usize;
+        let take = data.len().min(room);
+        if take == 0 {
+            return;
+        }
+        self.mem.write_gather(payload_off, &data.slice(0, take));
+    }
+
+    /// Complete the reply: settle the descriptor's pending-operation pin,
+    /// counters, the reply event and the counting-event increment. If the
+    /// event queue filled between begin and finish the event is counted as
+    /// overwritten — the same back-pressure signal the baseline uses for a
+    /// racing queue.
+    pub(crate) fn finish(self, core: &NiCore, node: &NodeShared) {
+        let h = self.header;
+        let state = &core.state;
+        let mlength = self.mlength;
+        if mlength > 0 {
+            core.counters.payload_copies.inc();
+        }
+        core.counters.payload_messages.inc();
+        core.counters.delivered_bytes.add(mlength);
+        core.counters.completed_bytes.add(mlength);
+        core.obs.tracer.emit(|| {
+            TraceEvent::new(Layer::Portals, Stage::Deliver)
+                .node(core.id.nid.0)
+                .peer(h.initiator.nid.0)
+                .bytes(mlength)
+                .detail("reply")
+        });
+        core.counters.replies_accepted.inc();
+        {
+            let Some((mut shard, local)) = state.mds.lock_shard_of(self.md_handle) else {
+                return;
+            };
+            match shard.get_mut(local) {
+                Some(md) => {
+                    md.pending_ops = md.pending_ops.saturating_sub(1);
+                    let unlink = md.options.unlink_on_exhaustion
+                        && !md.threshold.active()
+                        && md.pending_ops == 0;
+                    if unlink {
+                        shard.remove(local);
+                    }
+                }
+                None => return,
+            }
+        }
+        if let Some(eqh) = self.eq {
+            let event = Event {
+                kind: EventKind::Reply,
+                initiator: h.initiator,
+                portal_index: h.portal_index,
+                match_bits: h.match_bits,
+                rlength: h.requested_length,
+                mlength,
+                offset: 0,
+                md: self.md_handle,
+            };
+            if state.eqs.with(eqh, |queue| queue.push(event)) == Some(false) {
+                core.counters.events_overwritten.inc();
+            }
+        }
+        if let Some(ct) = self.ct {
+            crate::triggered::ct_increment(core, node, ct, 1);
+        }
     }
 }
 

@@ -87,6 +87,7 @@ pub mod me;
 pub mod ni;
 pub mod node;
 pub mod prelude;
+pub(crate) mod stream;
 pub mod table;
 pub mod triggered;
 
@@ -99,7 +100,9 @@ pub use md::{CombineOp, Md, MdMemory, MdOptions, MdSpec, MdVerdict, ReqOp, Segme
 pub use me::MatchEntry;
 pub use ni::{AckRequest, NetworkInterface, NiConfig, ProgressModel, NACK_MLENGTH};
 pub use node::{Node, NodeConfig, ProcessDirectory};
-pub use portals_types::{ErrorKind, Gather, ProgressMode, Region, RegionPool};
+pub use portals_types::{
+    ErrorKind, Gather, PoolClassStats, PoolSet, ProgressMode, Region, RegionPool,
+};
 pub use table::MePos;
 pub use triggered::TriggeredOp;
 

@@ -2,7 +2,8 @@
 //!
 //! A [`NetworkInterface`] owns the process's Portal table, match entries,
 //! memory descriptors, event queues and access control list, and provides the
-//! data movement verbs ([`NetworkInterface::put`], [`NetworkInterface::get`]).
+//! data movement verbs ([`NetworkInterface::put_op`],
+//! [`NetworkInterface::get_op`]).
 //!
 //! Its [`ProgressModel`] decides *who* runs the receive rules of §4.8:
 //!
@@ -665,83 +666,19 @@ impl NetworkInterface {
     // ----- data movement ----------------------------------------------------
 
     /// Start building a put of this MD's region: name the target, bits and
-    /// options fluently, then [`PutBuilder::submit`]. This is the sanctioned
-    /// spelling of `PtlPut`; the positional [`NetworkInterface::put`] arity
-    /// is deprecated.
+    /// options fluently, then [`PutBuilder::submit`]. This is the spelling of
+    /// `PtlPut` (the positional seven-argument arity was removed after its
+    /// deprecation cycle).
     pub fn put_op(&self, md: MdHandle) -> PutBuilder<'_> {
         PutBuilder::new(self, md)
     }
 
     /// Start building a get into this MD's region: name the target, bits,
     /// offset and length fluently, then [`GetBuilder::submit`]. This is the
-    /// sanctioned spelling of `PtlGet`; the positional
-    /// [`NetworkInterface::get`] arity is deprecated.
+    /// spelling of `PtlGet` (the positional eight-argument arity was removed
+    /// after its deprecation cycle).
     pub fn get_op(&self, md: MdHandle) -> GetBuilder<'_> {
         GetBuilder::new(self, md)
-    }
-
-    /// Initiate a put (send): transmit the MD's region to
-    /// `(target, portal_index)` with `match_bits` at `remote_offset`
-    /// (spec: `PtlPut`). Logs a `Sent` event to the MD's queue, and later an
-    /// `Ack` event if `ack` was requested and the target accepted.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `put_op(md).target(..).bits(..).ack(..).offset(..).submit()`"
-    )]
-    #[allow(clippy::too_many_arguments)] // mirrors PtlPut's arity
-    pub fn put(
-        &self,
-        md: MdHandle,
-        ack: AckRequest,
-        target: ProcessId,
-        portal_index: u32,
-        cookie: u32,
-        match_bits: MatchBits,
-        remote_offset: u64,
-    ) -> PtlResult<()> {
-        do_put(
-            &self.core,
-            &self.node,
-            md,
-            ack,
-            target,
-            portal_index,
-            cookie,
-            match_bits,
-            remote_offset,
-        )
-    }
-
-    /// Initiate a get (read): ask `(target, portal_index)` for `length` bytes
-    /// at `remote_offset`; the reply lands at the start of this MD's region
-    /// (spec: `PtlGet`). The MD stays pinned ([`PtlError::MdInUse`]) until the
-    /// reply arrives.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `get_op(md).target(..).bits(..).offset(..).length(..).submit()`"
-    )]
-    #[allow(clippy::too_many_arguments)] // mirrors PtlGet's arity
-    pub fn get(
-        &self,
-        md: MdHandle,
-        target: ProcessId,
-        portal_index: u32,
-        cookie: u32,
-        match_bits: MatchBits,
-        remote_offset: u64,
-        length: u64,
-    ) -> PtlResult<()> {
-        do_get(
-            &self.core,
-            &self.node,
-            md,
-            target,
-            portal_index,
-            cookie,
-            match_bits,
-            remote_offset,
-            length,
-        )
     }
 
     // ----- counting events & triggered operations ---------------------------

@@ -17,7 +17,7 @@ use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 use portals_net::{DriverHub, NodeDriver};
 use portals_obs::{Counter, Layer, Obs, Stage, TraceEvent};
-use portals_transport::{Endpoint, IncomingMessage, TransportConfig};
+use portals_transport::{Delivery, Endpoint, TransportConfig};
 use portals_types::{
     Gather, NodeId, ProcessId, ProgressMode, PtlError, PtlResult, Readiness, UserId,
 };
@@ -102,10 +102,15 @@ pub(crate) struct NodeShared {
     /// Whether this node runs threadless ([`ProgressMode::CallerDriven`]):
     /// no dispatcher thread, progress happens inside API calls.
     pub(crate) caller_driven: bool,
-    /// The endpoint's reassembled-message stream, drained inline by
+    /// The endpoint's delivery stream — whole reassembled messages and, in
+    /// streaming mode, individual fragments — drained inline by
     /// [`NodeShared::progress_once`] in caller-driven mode (the dispatcher
     /// thread owns its own clone in NIC-thread mode).
-    pub(crate) incoming: Receiver<IncomingMessage>,
+    pub(crate) incoming: Receiver<Delivery>,
+    /// Per-source stream state for fragment-at-a-time delivery
+    /// ([`crate::stream`]). Only ever touched from the dispatch context
+    /// (dispatcher thread, or under `dispatch_lock` when caller-driven).
+    pub(crate) streams: Mutex<HashMap<NodeId, crate::stream::MsgStream>>,
     /// The node's readiness doorbell (shared with the NIC and the transport
     /// core). The engine raises [`Readiness::EVENT`] on it after completions
     /// so parked `eq_wait`/`ct_wait` callers wake.
@@ -135,8 +140,8 @@ impl NodeShared {
             return false;
         }
         let mut worked = self.endpoint.progress_once();
-        while let Ok(msg) = self.incoming.try_recv() {
-            dispatch(self, &msg.payload);
+        while let Ok(delivery) = self.incoming.try_recv() {
+            deliver(self, delivery);
             worked = true;
         }
         worked
@@ -224,6 +229,7 @@ impl Node {
             alive: AtomicBool::new(true),
             caller_driven,
             incoming,
+            streams: Mutex::new(HashMap::new()),
             readiness,
             hub,
             dispatch_lock: Mutex::new(()),
@@ -246,7 +252,7 @@ impl Node {
                     .spawn(move || {
                         while shared.alive.load(Ordering::Relaxed) {
                             match incoming.recv_timeout(Duration::from_millis(50)) {
-                                Ok(msg) => dispatch(&shared, &msg.payload),
+                                Ok(delivery) => deliver(&shared, delivery),
                                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                             }
@@ -346,12 +352,25 @@ impl std::fmt::Debug for Node {
     }
 }
 
+/// Route one transport delivery: whole messages take the classic decode
+/// path, stream fragments feed the per-source state machine.
+fn deliver(shared: &NodeShared, delivery: Delivery) {
+    // The transport sheds inbound credit against its message-unit backlog;
+    // report the pop before processing so a long placement doesn't read as
+    // a stuck consumer.
+    shared.endpoint.note_consumed(&delivery);
+    match delivery {
+        Delivery::Message(msg) => dispatch(shared, &msg.payload),
+        Delivery::Fragment(frag) => crate::stream::on_fragment(shared, frag),
+    }
+}
+
 /// One message's §4.8 journey, starting from the node-level checks.
 ///
 /// The reassembled transport message arrives as a [`Gather`] of datagram
 /// views; decoding peeks the fixed headers into a stack buffer and leaves the
 /// payload as zero-copy sub-slices of those views.
-fn dispatch(shared: &NodeShared, payload: &Gather) {
+pub(crate) fn dispatch(shared: &NodeShared, payload: &Gather) {
     let msg = match PortalsMessage::decode_gather(payload) {
         Ok(m) => m,
         Err(_) => {
@@ -395,7 +414,7 @@ fn dispatch(shared: &NodeShared, payload: &Gather) {
 
 /// A node-level drop (before any interface was identified) in the trace
 /// stream.
-fn node_drop_trace(shared: &NodeShared, why: &'static str) {
+pub(crate) fn node_drop_trace(shared: &NodeShared, why: &'static str) {
     shared.obs.tracer.emit(|| {
         TraceEvent::new(Layer::Portals, Stage::Drop)
             .node(shared.nid.0)

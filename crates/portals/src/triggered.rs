@@ -31,7 +31,7 @@ use portals_types::{MatchBits, ProcessId};
 /// An operation parked on a counting event until its threshold is reached.
 #[derive(Debug, Clone)]
 pub enum TriggeredOp {
-    /// A put, identical in meaning to [`crate::NetworkInterface::put`]. The
+    /// A put, identical in meaning to [`crate::NetworkInterface::put_op`]. The
     /// source descriptor's bytes are snapshotted at *fire* time, not at
     /// registration.
     Put {
@@ -50,7 +50,7 @@ pub enum TriggeredOp {
         /// Offset within the target region.
         remote_offset: u64,
     },
-    /// A get, identical in meaning to [`crate::NetworkInterface::get`].
+    /// A get, identical in meaning to [`crate::NetworkInterface::get_op`].
     Get {
         /// Reply destination descriptor.
         md: MdHandle,

@@ -6,8 +6,14 @@ use std::time::Duration;
 /// Configuration for an [`Endpoint`](crate::Endpoint).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransportConfig {
-    /// Maximum fragment payload per DATA packet, in bytes. Myrinet-era MTUs
-    /// were a few KB; the default is 8 KiB.
+    /// Maximum fragment payload per DATA packet, in bytes. `0` (the
+    /// default) follows the link: the wire's
+    /// [`preferred_mtu`](portals_net::Link::preferred_mtu) if it states one
+    /// (the in-process fabric says 64 KiB — refcounted handoff makes large
+    /// fragments free), else [`TransportConfig::DEFAULT_MTU`] (8 KiB, a
+    /// Myrinet-era frame size). An explicit value always wins, and is still
+    /// clamped to [`max_datagram`](portals_net::Link::max_datagram) on
+    /// wires with a hard frame bound (UDP).
     pub mtu: usize,
     /// Go-back-N window: maximum unacknowledged DATA packets per destination.
     pub window: usize,
@@ -48,6 +54,19 @@ pub struct TransportConfig {
     /// [`body_checksum_required`](portals_net::Link::body_checksum_required)
     /// (real sockets).
     pub checksum_body: bool,
+    /// Streaming fragment delivery (runtime ablation flag). When on, the
+    /// worker hands each in-order fragment of a multi-fragment message to the
+    /// consumer immediately as a [`Delivery::Fragment`](crate::Delivery) with
+    /// its absolute payload offset, so placement overlaps wire transfer. When
+    /// off, fragments are reassembled into whole messages before delivery —
+    /// the pre-streaming store-and-forward baseline.
+    pub streaming: bool,
+    /// Byte budget, per source, for buffering out-of-order fragments at the
+    /// receiver. Packets above the in-order horizon are held up to this
+    /// budget and spliced into the stream when the hole fills; beyond it they
+    /// are dropped and go-back-N retransmission recovers them. `0` disables
+    /// buffering entirely (the pre-PR pure go-back-N receiver).
+    pub ooo_buffer_bytes: usize,
     /// Who drives protocol progress. [`ProgressMode::NicThread`] (default)
     /// spawns the classic worker thread per endpoint;
     /// [`ProgressMode::CallerDriven`] runs the same state machines inline
@@ -62,6 +81,11 @@ impl TransportConfig {
     /// Exponent cap for retransmission backoff.
     pub const MAX_BACKOFF_EXP: u32 = 6;
 
+    /// Fallback fragment MTU when the config says "follow the link"
+    /// (`mtu = 0`) and the link has no preference: 8 KiB, mimicking
+    /// Myrinet-era frame sizes.
+    pub const DEFAULT_MTU: usize = 8 * 1024;
+
     /// Effective retransmission timeout after `retries` consecutive timeouts.
     pub fn rto_after(&self, retries: u32) -> Duration {
         self.rto_base * 2u32.pow(retries.min(Self::MAX_BACKOFF_EXP))
@@ -71,7 +95,7 @@ impl TransportConfig {
 impl Default for TransportConfig {
     fn default() -> Self {
         TransportConfig {
-            mtu: 8 * 1024,
+            mtu: 0,
             window: 64,
             rto_base: Duration::from_millis(20),
             stall_retries: 10,
@@ -80,6 +104,8 @@ impl Default for TransportConfig {
             credit_window: 128,
             initial_credits: 128,
             checksum_body: false,
+            streaming: true,
+            ooo_buffer_bytes: 1024 * 1024,
             progress_mode: ProgressMode::NicThread,
         }
     }
@@ -107,7 +133,7 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let cfg = TransportConfig::default();
-        assert!(cfg.mtu >= 1024);
+        assert_eq!(cfg.mtu, 0, "default follows the link's preference");
         assert!(cfg.window >= 2);
         assert!(cfg.rto_base > Duration::ZERO);
         // Credits must never bind tighter than the go-back-N window by

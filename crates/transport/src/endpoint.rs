@@ -24,6 +24,38 @@ pub struct IncomingMessage {
     pub payload: Gather,
 }
 
+/// One in-order fragment of a multi-fragment message, streamed upward with
+/// its placement offset while the rest of the message is still in flight.
+///
+/// The transport guarantees per-source ordering: a message's fragments arrive
+/// offset-contiguous and never interleave with other deliveries from the same
+/// source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamFragment {
+    /// The sending node.
+    pub src: NodeId,
+    /// Per-(src, dst) message id, constant across one message's fragments.
+    pub msg_id: u64,
+    /// Absolute payload offset of `payload` within the message.
+    pub offset: u64,
+    /// True for the message's final fragment: the consumer may complete the
+    /// message (total length = `offset + payload.len()`).
+    pub last: bool,
+    /// This fragment's bytes (zero-copy views into the received datagrams).
+    pub payload: Gather,
+}
+
+/// What the transport hands upward: either a whole message (single-fragment
+/// sends, and everything when [`TransportConfig::streaming`] is off) or one
+/// streamed fragment of a larger message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// A complete message.
+    Message(IncomingMessage),
+    /// One in-order fragment of a multi-fragment message.
+    Fragment(StreamFragment),
+}
+
 /// A reliable, ordered, connectionless endpoint bound to one [`Link`].
 ///
 /// Sends are asynchronous: [`Endpoint::send`] queues the message and returns;
@@ -47,7 +79,12 @@ pub struct IncomingMessage {
 /// ```
 pub struct Endpoint {
     nid: NodeId,
-    incoming: Receiver<IncomingMessage>,
+    incoming: Receiver<Delivery>,
+    /// Per-source accumulators folding streamed fragments back into whole
+    /// messages for the message-level `recv` API. Consumers that take the
+    /// raw channel via [`Endpoint::incoming_receiver`] (the Portals engine)
+    /// never touch this.
+    reasm: Mutex<std::collections::HashMap<NodeId, Gather>>,
     /// The NIC's readiness doorbell (shared with the fabric and the layers
     /// above): caller-driven waits park on it.
     readiness: Arc<Readiness>,
@@ -134,13 +171,19 @@ impl Endpoint {
     /// `obs.registry` and emitting lifecycle trace events through
     /// `obs.tracer`.
     ///
-    /// The link gets the last word on two knobs: a wire that can corrupt
-    /// bytes in flight forces [`TransportConfig::checksum_body`] on, and a
-    /// wire with a hard datagram bound clamps the fragment MTU so every
-    /// DATA packet (header + body) fits in one datagram.
+    /// The link gets the last word on three knobs: a wire that can corrupt
+    /// bytes in flight forces [`TransportConfig::checksum_body`] on, a
+    /// follow-the-link MTU (`mtu = 0`) resolves to the wire's
+    /// [`preferred_mtu`](Link::preferred_mtu) (or
+    /// [`TransportConfig::DEFAULT_MTU`]), and a wire with a hard datagram
+    /// bound clamps the fragment MTU so every DATA packet (header + body)
+    /// fits in one datagram.
     pub fn with_obs(link: impl Link, mut cfg: TransportConfig, obs: Obs) -> Endpoint {
         let link: Box<dyn Link> = Box::new(link);
         cfg.checksum_body |= link.body_checksum_required();
+        if cfg.mtu == 0 {
+            cfg.mtu = link.preferred_mtu().unwrap_or(TransportConfig::DEFAULT_MTU);
+        }
         if let Some(max) = link.max_datagram() {
             let body_max = max.saturating_sub(Packet::DATA_HEADER_SIZE).max(1);
             cfg.mtu = cfg.mtu.min(body_max);
@@ -192,6 +235,7 @@ impl Endpoint {
         Endpoint {
             nid,
             incoming: in_rx,
+            reasm: Mutex::new(std::collections::HashMap::new()),
             readiness,
             deadline_ns,
             hub,
@@ -236,12 +280,61 @@ impl Endpoint {
         }
     }
 
+    /// Fold one delivery into the per-source reassembly state; a completed
+    /// message comes back out.
+    fn fold(&self, delivery: Delivery) -> Option<IncomingMessage> {
+        self.note_consumed(&delivery);
+        match delivery {
+            Delivery::Message(m) => Some(m),
+            Delivery::Fragment(f) => {
+                let mut reasm = self.reasm.lock();
+                let acc = reasm.entry(f.src).or_default();
+                // Per-source ordering makes streamed fragments contiguous.
+                debug_assert_eq!(acc.len() as u64, f.offset);
+                let last = f.last;
+                acc.append(f.payload);
+                if last {
+                    let payload = reasm.remove(&f.src).expect("just inserted");
+                    Some(IncomingMessage {
+                        src: f.src,
+                        payload,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Drain queued deliveries until one completes a message (non-blocking).
+    fn pop_message(&self) -> Option<IncomingMessage> {
+        loop {
+            match self.incoming.try_recv() {
+                Ok(d) => {
+                    if let Some(m) = self.fold(d) {
+                        return Some(m);
+                    }
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return None,
+            }
+        }
+    }
+
     /// Block until a message arrives. In caller-driven mode the wait drives
     /// protocol progress (own core, peers, wire pump) between parks.
     pub fn recv(&self) -> Option<IncomingMessage> {
         match &self.driver {
-            Driver::Thread { .. } => self.incoming.recv().ok(),
-            Driver::Caller { .. } => self.drive_until(None, |ep| ep.incoming.try_recv().ok()),
+            Driver::Thread { .. } => loop {
+                match self.incoming.recv() {
+                    Ok(d) => {
+                        if let Some(m) = self.fold(d) {
+                            return Some(m);
+                        }
+                    }
+                    Err(_) => return None,
+                }
+            },
+            Driver::Caller { .. } => self.drive_until(None, Endpoint::pop_message),
         }
     }
 
@@ -253,22 +346,27 @@ impl Endpoint {
                 driver.progress_once();
             }
         }
-        match self.incoming.try_recv() {
-            Ok(m) => Some(m),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-        }
+        self.pop_message()
     }
 
     /// Receive with a deadline. Caller-driven waits drive progress.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<IncomingMessage> {
+        let deadline = Instant::now() + timeout;
         match &self.driver {
-            Driver::Thread { .. } => match self.incoming.recv_timeout(timeout) {
-                Ok(m) => Some(m),
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+            Driver::Thread { .. } => loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match self.incoming.recv_timeout(left) {
+                    Ok(d) => {
+                        if let Some(m) = self.fold(d) {
+                            return Some(m);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                        return None
+                    }
+                }
             },
-            Driver::Caller { .. } => self.drive_until(Some(Instant::now() + timeout), |ep| {
-                ep.incoming.try_recv().ok()
-            }),
+            Driver::Caller { .. } => self.drive_until(Some(deadline), Endpoint::pop_message),
         }
     }
 
@@ -329,10 +427,31 @@ impl Endpoint {
         }
     }
 
-    /// A clone of the incoming-message receiver, for engines that park a
-    /// dedicated thread on it.
-    pub fn incoming_receiver(&self) -> Receiver<IncomingMessage> {
+    /// A clone of the raw delivery receiver, for engines that park a
+    /// dedicated thread on it (and want streamed fragments, not just whole
+    /// messages).
+    ///
+    /// Consumers popping this receiver directly must report each popped
+    /// delivery through [`Endpoint::note_consumed`] — the worker sheds
+    /// inbound credit against the message-unit backlog
+    /// (`messages_delivered - messages_consumed`), and a consumer that
+    /// never reports reads as permanently oversubscribed.
+    pub fn incoming_receiver(&self) -> Receiver<Delivery> {
         self.incoming.clone()
+    }
+
+    /// Record that `delivery` was popped from the inbound queue. Whole
+    /// messages and last fragments count one message unit each (see
+    /// [`TransportStats::messages_consumed`]); intermediate fragments are
+    /// free. Called automatically by the endpoint's own `recv` family.
+    pub fn note_consumed(&self, delivery: &Delivery) {
+        let unit = match delivery {
+            Delivery::Message(_) => true,
+            Delivery::Fragment(f) => f.last,
+        };
+        if unit {
+            self.stats.messages_consumed.inc();
+        }
     }
 
     /// Fragments queued or in flight (0 means everything sent so far has been
@@ -1091,7 +1210,7 @@ mod tests {
         let (a, b) = pair(&fabric, TransportConfig::default());
         // A plausible-but-corrupt packet: valid encode, one body byte
         // flipped after the CRC was computed (covered encode).
-        let pkt = Packet::data(0, 0, 0, 1, Gather::copy_from_slice(b"evil payload"));
+        let pkt = Packet::data(0, 0, 0, 0, 1, Gather::copy_from_slice(b"evil payload"));
         let mut bytes = pkt.encode_with(true).to_vec();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x40;

@@ -39,6 +39,7 @@ pub mod stats;
 mod worker;
 
 pub use config::TransportConfig;
-pub use endpoint::{Endpoint, IncomingMessage};
+pub use endpoint::{Delivery, Endpoint, IncomingMessage, StreamFragment};
+pub use peer::Assembler;
 pub use portals_types::ProgressMode;
 pub use stats::{FlowStats, FlowStatsSnapshot, TransportStats, TransportStatsSnapshot};

@@ -9,7 +9,7 @@
 use crate::config::TransportConfig;
 use portals_types::Gather;
 use portals_wire::{Packet, PacketHeader};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 /// Cumulative-ack value meaning "nothing received yet" (the sequence space
@@ -20,6 +20,8 @@ pub const ACK_NONE: u64 = u64::MAX;
 #[derive(Debug, Clone)]
 struct PendingFrag {
     msg_id: u64,
+    /// Absolute payload offset of this fragment within its message.
+    offset: u64,
     frag_index: u32,
     frag_count: u32,
     body: Gather,
@@ -138,6 +140,7 @@ impl SenderPeer {
             let end = (start + cfg.mtu).min(msg.len());
             self.pending.push_back(PendingFrag {
                 msg_id,
+                offset: start as u64,
                 frag_index: i,
                 frag_count,
                 body: msg.slice(start, end - start),
@@ -161,6 +164,7 @@ impl SenderPeer {
             let encoded = Packet::data(
                 seq,
                 frag.msg_id,
+                frag.offset,
                 frag.frag_index,
                 frag.frag_count,
                 frag.body,
@@ -354,41 +358,92 @@ fn frag_count_for(len: usize, mtu: usize) -> u32 {
     }
 }
 
-/// A message being reassembled.
-#[derive(Debug)]
-struct Partial {
-    msg_id: u64,
-    frag_count: u32,
-    parts: Vec<Gather>,
+/// One in-order fragment released by the receiver: the unit of streaming
+/// delivery. Carries the absolute payload offset from the wire header, so the
+/// consumer can place the bytes without waiting for the rest of the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragSlice {
+    /// Per-(src, dst) message id assigned by the sender.
+    pub msg_id: u64,
+    /// Absolute payload offset of `body` within the message.
+    pub offset: u64,
+    /// Fragment ordinal within the message.
+    pub frag_index: u32,
+    /// Total fragments in the message.
+    pub frag_count: u32,
+    /// This fragment's payload bytes (zero-copy datagram views).
+    pub body: Gather,
+}
+
+impl FragSlice {
+    /// True for the message's final fragment.
+    #[inline]
+    pub fn last(&self) -> bool {
+        self.frag_index + 1 == self.frag_count
+    }
 }
 
 /// What [`ReceiverPeer::on_data`] produced.
 #[derive(Debug, PartialEq, Eq)]
 pub struct RxResult {
-    /// A fully reassembled message, if this fragment completed one. The
-    /// fragments' gathers are concatenated, not coalesced: the bytes stay in
-    /// the datagrams the NIC delivered.
-    pub delivered: Option<Gather>,
+    /// In-order fragments this packet released: the packet itself when it
+    /// arrived at the horizon, plus any buffered successors it unblocked.
+    /// Empty for duplicates and buffered/dropped out-of-order arrivals.
+    pub slices: Vec<FragSlice>,
     /// Cumulative ack to send back ([`ACK_NONE`] if nothing in-order yet).
     pub ack: u64,
-    /// The packet was a duplicate (seq below the in-order horizon).
+    /// The packet was a duplicate (seq below the horizon, or already held in
+    /// the out-of-order buffer).
     pub duplicate: bool,
-    /// The packet was out of order (seq above the horizon) and dropped.
+    /// The packet arrived above the in-order horizon.
     pub out_of_order: bool,
+    /// The out-of-order packet was kept for later splicing (false: the
+    /// buffer budget was exhausted and go-back-N retransmission recovers it).
+    pub buffered: bool,
 }
 
 /// Receiver-side state for one source.
-#[derive(Debug, Default)]
+///
+/// In-order packets stream straight out as [`FragSlice`]s; out-of-order
+/// packets are buffered up to a byte budget (selective-repeat-style receive
+/// under a cumulative-ack wire protocol) and spliced into the stream when the
+/// hole fills. Only the *gap* is ever held — the pre-streaming design buffered
+/// every fragment of every message until reassembly completed.
+#[derive(Debug)]
 pub struct ReceiverPeer {
     /// Next sequence expected in order.
     expected: u64,
-    partial: Option<Partial>,
+    /// Out-of-order packets keyed by sequence, awaiting the hole to fill.
+    stashed: BTreeMap<u64, FragSlice>,
+    /// Bytes currently held in `stashed`.
+    stashed_bytes: usize,
+    /// High-water mark of `stashed_bytes`.
+    stashed_hwm: usize,
+    /// Byte budget for `stashed`; 0 disables buffering (pure go-back-N).
+    ooo_limit: usize,
+}
+
+impl Default for ReceiverPeer {
+    fn default() -> Self {
+        ReceiverPeer::with_limit(crate::config::TransportConfig::default().ooo_buffer_bytes)
+    }
 }
 
 impl ReceiverPeer {
-    /// Fresh state for a new source.
+    /// Fresh state for a new source with the default out-of-order budget.
     pub fn new() -> ReceiverPeer {
         ReceiverPeer::default()
+    }
+
+    /// Fresh state with an explicit out-of-order buffer budget in bytes.
+    pub fn with_limit(ooo_limit: usize) -> ReceiverPeer {
+        ReceiverPeer {
+            expected: 0,
+            stashed: BTreeMap::new(),
+            stashed_bytes: 0,
+            stashed_hwm: 0,
+            ooo_limit,
+        }
     }
 
     fn cumulative(&self) -> u64 {
@@ -409,13 +464,28 @@ impl ReceiverPeer {
         self.cumulative()
     }
 
-    /// Process a DATA packet. Out-of-order packets are dropped (go-back-N) and
-    /// duplicates suppressed; both still elicit an ack so the sender can
+    /// Bytes currently held in the out-of-order buffer.
+    #[inline]
+    pub fn buffered_bytes(&self) -> usize {
+        self.stashed_bytes
+    }
+
+    /// High-water mark of [`ReceiverPeer::buffered_bytes`].
+    #[inline]
+    pub fn buffered_hwm(&self) -> usize {
+        self.stashed_hwm
+    }
+
+    /// Process a DATA packet. In-order packets (and any buffered successors
+    /// they unblock) come back as slices; out-of-order packets are buffered
+    /// within the byte budget and dropped beyond it; duplicates are
+    /// suppressed. Every arrival elicits a cumulative ack so the sender can
     /// resynchronize.
     pub fn on_data(&mut self, header: PacketHeader, body: Gather) -> RxResult {
         let PacketHeader::Data {
             seq,
             msg_id,
+            offset,
             frag_index,
             frag_count,
         } = header
@@ -424,59 +494,92 @@ impl ReceiverPeer {
         };
         if seq < self.expected {
             return RxResult {
-                delivered: None,
+                slices: Vec::new(),
                 ack: self.cumulative(),
                 duplicate: true,
                 out_of_order: false,
+                buffered: false,
             };
         }
+        let slice = FragSlice {
+            msg_id,
+            offset,
+            frag_index,
+            frag_count,
+            body,
+        };
         if seq > self.expected {
+            if self.stashed.contains_key(&seq) {
+                return RxResult {
+                    slices: Vec::new(),
+                    ack: self.cumulative(),
+                    duplicate: true,
+                    out_of_order: true,
+                    buffered: false,
+                };
+            }
+            let fits = self.stashed_bytes + slice.body.len() <= self.ooo_limit;
+            if fits {
+                self.stashed_bytes += slice.body.len();
+                self.stashed_hwm = self.stashed_hwm.max(self.stashed_bytes);
+                self.stashed.insert(seq, slice);
+            }
             return RxResult {
-                delivered: None,
+                slices: Vec::new(),
                 ack: self.cumulative(),
                 duplicate: false,
                 out_of_order: true,
+                buffered: fits,
             };
         }
+        // At the horizon: release this packet, then splice every buffered
+        // successor the hole-fill unblocked.
         self.expected += 1;
-
-        // In-order fragment: feed reassembly.
-        let delivered = self.accept_fragment(msg_id, frag_index, frag_count, body);
+        let mut slices = vec![slice];
+        while let Some(next) = self.stashed.remove(&self.expected) {
+            self.stashed_bytes -= next.body.len();
+            self.expected += 1;
+            slices.push(next);
+        }
         RxResult {
-            delivered,
+            slices,
             ack: self.cumulative(),
             duplicate: false,
             out_of_order: false,
+            buffered: false,
         }
     }
+}
 
-    fn accept_fragment(
-        &mut self,
-        msg_id: u64,
-        frag_index: u32,
-        frag_count: u32,
-        body: Gather,
-    ) -> Option<Gather> {
-        if frag_index == 0 {
+/// Reassembles a stream of in-order [`FragSlice`]s into whole messages — the
+/// store-and-forward tail kept for consumers that want full messages
+/// (`Endpoint::recv`, the non-streaming baseline).
+#[derive(Debug, Default)]
+pub struct Assembler {
+    cur: Option<(u64, u32, Vec<Gather>)>,
+}
+
+impl Assembler {
+    /// Feed one in-order slice; returns the completed message when `slice`
+    /// was its final fragment. Fragments' gathers are concatenated, not
+    /// coalesced: the bytes stay in the datagrams the NIC delivered.
+    pub fn push(&mut self, slice: FragSlice) -> Option<Gather> {
+        if slice.frag_index == 0 {
             // A new message begins; any stale partial is abandoned (cannot
             // happen with a correct sender, but defends against one that was
             // restarted mid-message).
-            self.partial = Some(Partial {
-                msg_id,
-                frag_count,
-                parts: Vec::new(),
-            });
+            self.cur = Some((slice.msg_id, slice.frag_count, Vec::new()));
         }
-        let partial = self.partial.as_mut()?;
-        if partial.msg_id != msg_id || frag_index as usize != partial.parts.len() {
+        let (msg_id, frag_count, parts) = self.cur.as_mut()?;
+        if *msg_id != slice.msg_id || slice.frag_index as usize != parts.len() {
             // Fragment from a different message or a hole: abandon.
-            self.partial = None;
+            self.cur = None;
             return None;
         }
-        partial.parts.push(body);
-        if partial.parts.len() == partial.frag_count as usize {
-            let partial = self.partial.take().expect("just checked");
-            Some(assemble(partial.parts))
+        parts.push(slice.body);
+        if parts.len() == *frag_count as usize {
+            let (_, _, parts) = self.cur.take().expect("just checked");
+            Some(assemble(parts))
         } else {
             None
         }
@@ -530,15 +633,7 @@ mod tests {
         let pkts = tx.enqueue_message(g(b"hi"), &cfg(), now());
         let pkts = decode(&pkts);
         assert_eq!(pkts.len(), 1);
-        assert_eq!(
-            pkts[0].header,
-            PacketHeader::Data {
-                seq: 0,
-                msg_id: 0,
-                frag_index: 0,
-                frag_count: 1
-            }
-        );
+        assert_eq!(pkts[0].header, dh(0, 0, 0, 0, 1));
         assert_eq!(pkts[0].body, &b"hi"[..]);
     }
 
@@ -548,15 +643,7 @@ mod tests {
         let pkts = tx.enqueue_message(Gather::new(), &cfg(), now());
         assert_eq!(pkts.len(), 1);
         let p = Packet::decode_gather(&pkts[0]).unwrap();
-        assert_eq!(
-            p.header,
-            PacketHeader::Data {
-                seq: 0,
-                msg_id: 0,
-                frag_index: 0,
-                frag_count: 1
-            }
-        );
+        assert_eq!(p.header, dh(0, 0, 0, 0, 1));
         assert!(p.body.is_empty());
     }
 
@@ -586,15 +673,7 @@ mod tests {
         let released = tx.on_ack(1, &c, t).released; // acks seq 0,1
         let released = decode(&released);
         assert_eq!(released.len(), 1);
-        assert_eq!(
-            released[0].header,
-            PacketHeader::Data {
-                seq: 3,
-                msg_id: 1,
-                frag_index: 0,
-                frag_count: 1
-            }
-        );
+        assert_eq!(released[0].header, dh(3, 1, 0, 0, 1));
         assert_eq!(tx.outstanding(), 2); // seq 2 and 3 unacked
     }
 
@@ -717,101 +796,159 @@ mod tests {
         }
     }
 
+    fn dh(seq: u64, msg_id: u64, offset: u64, frag_index: u32, frag_count: u32) -> PacketHeader {
+        PacketHeader::Data {
+            seq,
+            msg_id,
+            offset,
+            frag_index,
+            frag_count,
+        }
+    }
+
+    /// Fold a result's slices through an assembler, returning any completed
+    /// message.
+    fn fold(asm: &mut Assembler, r: RxResult) -> Option<Gather> {
+        let mut out = None;
+        for s in r.slices {
+            if let Some(m) = asm.push(s) {
+                out = Some(m);
+            }
+        }
+        out
+    }
+
     #[test]
     fn receiver_delivers_in_order_single_fragment() {
         let mut rx = ReceiverPeer::new();
-        let r = rx.on_data(
-            PacketHeader::Data {
-                seq: 0,
-                msg_id: 0,
-                frag_index: 0,
-                frag_count: 1,
-            },
-            g(b"hello"),
-        );
-        assert_eq!(r.delivered.map(|d| d.to_vec()), Some(b"hello".to_vec()));
+        let r = rx.on_data(dh(0, 0, 0, 0, 1), g(b"hello"));
+        assert_eq!(r.slices.len(), 1);
+        assert_eq!(r.slices[0].offset, 0);
+        assert!(r.slices[0].last());
+        assert_eq!(r.slices[0].body.to_vec(), b"hello".to_vec());
         assert_eq!(r.ack, 0);
         assert!(!r.duplicate && !r.out_of_order);
     }
 
     #[test]
-    fn receiver_reassembles_fragments() {
+    fn receiver_streams_fragments_with_offsets() {
         let mut rx = ReceiverPeer::new();
-        let r0 = rx.on_data(
-            PacketHeader::Data {
-                seq: 0,
-                msg_id: 0,
-                frag_index: 0,
-                frag_count: 2,
-            },
-            g(b"hel"),
-        );
-        assert!(r0.delivered.is_none());
-        let r1 = rx.on_data(
-            PacketHeader::Data {
-                seq: 1,
-                msg_id: 0,
-                frag_index: 1,
-                frag_count: 2,
-            },
-            g(b"lo"),
-        );
-        assert_eq!(r1.delivered.map(|d| d.to_vec()), Some(b"hello".to_vec()));
+        let mut asm = Assembler::default();
+        let r0 = rx.on_data(dh(0, 0, 0, 0, 2), g(b"hel"));
+        assert_eq!(r0.slices.len(), 1);
+        assert_eq!(r0.slices[0].offset, 0);
+        assert!(!r0.slices[0].last());
+        assert!(fold(&mut asm, r0).is_none());
+        let r1 = rx.on_data(dh(1, 0, 3, 1, 2), g(b"lo"));
+        assert_eq!(r1.slices.len(), 1);
+        assert_eq!(r1.slices[0].offset, 3);
+        assert!(r1.slices[0].last());
         assert_eq!(r1.ack, 1);
+        assert_eq!(
+            fold(&mut asm, r1).map(|d| d.to_vec()),
+            Some(b"hello".to_vec())
+        );
     }
 
     #[test]
-    fn receiver_drops_out_of_order_and_reacks() {
+    fn receiver_buffers_out_of_order_within_budget() {
         let mut rx = ReceiverPeer::new();
-        let r = rx.on_data(
-            PacketHeader::Data {
-                seq: 5,
-                msg_id: 0,
-                frag_index: 0,
-                frag_count: 1,
-            },
-            g(b"x"),
-        );
-        assert!(r.delivered.is_none());
+        let r = rx.on_data(dh(5, 0, 0, 0, 1), g(b"x"));
+        assert!(r.slices.is_empty());
         assert!(r.out_of_order);
+        assert!(r.buffered);
         assert_eq!(r.ack, ACK_NONE); // nothing in-order yet
+        assert_eq!(rx.buffered_bytes(), 1);
+    }
+
+    #[test]
+    fn receiver_splices_buffered_packet_when_hole_fills() {
+        let mut rx = ReceiverPeer::new();
+        // seq 1 (frag 1/2) arrives first: held, not delivered.
+        let r1 = rx.on_data(dh(1, 0, 3, 1, 2), g(b"lo"));
+        assert!(r1.buffered);
+        assert_eq!(rx.buffered_bytes(), 2);
+        assert_eq!(rx.buffered_hwm(), 2);
+        // seq 0 fills the hole: both come out, in order, in one result.
+        let r0 = rx.on_data(dh(0, 0, 0, 0, 2), g(b"hel"));
+        assert_eq!(r0.slices.len(), 2);
+        assert_eq!(r0.slices[0].offset, 0);
+        assert_eq!(r0.slices[1].offset, 3);
+        assert_eq!(r0.ack, 1, "cumulative ack covers the spliced packet");
+        assert_eq!(rx.buffered_bytes(), 0);
+        assert_eq!(rx.buffered_hwm(), 2, "high-water mark persists");
+        let mut asm = Assembler::default();
+        assert_eq!(
+            fold(&mut asm, r0).map(|d| d.to_vec()),
+            Some(b"hello".to_vec())
+        );
+    }
+
+    #[test]
+    fn receiver_drops_out_of_order_beyond_budget() {
+        let mut rx = ReceiverPeer::with_limit(4);
+        let r1 = rx.on_data(dh(1, 0, 4, 1, 3), g(b"abcd"));
+        assert!(r1.buffered, "first packet fills the budget exactly");
+        let r2 = rx.on_data(dh(2, 0, 8, 2, 3), g(b"efgh"));
+        assert!(r2.out_of_order && !r2.buffered, "budget exhausted: dropped");
+        assert_eq!(rx.buffered_bytes(), 4);
+        // Go-back-N still recovers: the hole fill splices what was kept.
+        let r0 = rx.on_data(dh(0, 0, 0, 0, 3), g(b"wxyz"));
+        assert_eq!(r0.slices.len(), 2);
+        assert_eq!(r0.ack, 1);
+    }
+
+    #[test]
+    fn zero_limit_is_pure_go_back_n() {
+        let mut rx = ReceiverPeer::with_limit(0);
+        let r = rx.on_data(dh(1, 0, 1, 1, 2), g(b"y"));
+        assert!(r.out_of_order && !r.buffered);
+        assert_eq!(rx.buffered_bytes(), 0);
     }
 
     #[test]
     fn receiver_suppresses_duplicates() {
         let mut rx = ReceiverPeer::new();
-        let h = PacketHeader::Data {
-            seq: 0,
-            msg_id: 0,
-            frag_index: 0,
-            frag_count: 1,
-        };
+        let h = dh(0, 0, 0, 0, 1);
         let first = rx.on_data(h, g(b"x"));
-        assert!(first.delivered.is_some());
+        assert_eq!(first.slices.len(), 1);
         let dup = rx.on_data(h, g(b"x"));
-        assert!(dup.delivered.is_none());
+        assert!(dup.slices.is_empty());
         assert!(dup.duplicate);
         assert_eq!(dup.ack, 0); // re-ack so the sender resyncs
     }
 
     #[test]
+    fn duplicate_of_a_buffered_packet_is_suppressed() {
+        let mut rx = ReceiverPeer::new();
+        let h = dh(2, 0, 2, 1, 3);
+        assert!(rx.on_data(h, g(b"y")).buffered);
+        let dup = rx.on_data(h, g(b"y"));
+        assert!(dup.duplicate, "already held: retransmission suppressed");
+        assert_eq!(rx.buffered_bytes(), 1, "no double accounting");
+    }
+
+    #[test]
     fn go_back_n_recovery_end_to_end() {
         // Simulate: sender emits 3 fragments; fragment 1 is lost; receiver
-        // drops fragment 2 (out of order); timeout resends; message completes.
+        // buffers fragment 2 (out of order); timeout resends; the hole fill
+        // splices the stream and the message completes.
         let c = cfg();
         let t = now();
         let mut tx = SenderPeer::new();
         let mut rx = ReceiverPeer::new();
+        let mut asm = Assembler::default();
         let pkts = tx.enqueue_message(g(b"0123456789"), &c, t);
         let pkts = decode(&pkts);
 
         // Deliver fragment 0 only.
         let r0 = rx.on_data(pkts[0].header, pkts[0].body.clone());
         assert_eq!(r0.ack, 0);
-        tx.on_ack(r0.ack, &c, t);
-        // Fragment 1 lost; fragment 2 arrives out of order.
+        assert!(fold(&mut asm, r0).is_none());
+        tx.on_ack(0, &c, t);
+        // Fragment 1 lost; fragment 2 arrives out of order and is held.
         let r2 = rx.on_data(pkts[2].header, pkts[2].body.clone());
-        assert!(r2.out_of_order);
+        assert!(r2.out_of_order && r2.buffered);
         tx.on_ack(r2.ack, &c, t); // duplicate cumulative ack: no progress
 
         // Timeout: resend in-flight (seq 1, 2).
@@ -821,13 +958,30 @@ mod tests {
         let mut delivered = None;
         for p in &resend {
             let r = rx.on_data(p.header, p.body.clone());
-            if let Some(d) = r.delivered {
+            let ack = r.ack;
+            if let Some(d) = fold(&mut asm, r) {
                 delivered = Some(d);
             }
-            tx.on_ack(r.ack, &c, t);
+            tx.on_ack(ack, &c, t);
         }
         assert_eq!(delivered.map(|d| d.to_vec()), Some(b"0123456789".to_vec()));
         assert_eq!(tx.outstanding(), 0);
+        assert_eq!(rx.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn fragment_offsets_are_absolute_payload_positions() {
+        let c = cfg(); // mtu 4
+        let mut tx = SenderPeer::new();
+        let pkts = decode(&tx.enqueue_message(g(b"0123456789"), &c, now()));
+        let offs: Vec<u64> = pkts
+            .iter()
+            .map(|p| match p.header {
+                PacketHeader::Data { offset, .. } => offset,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(offs, vec![0, 4, 8]);
     }
 
     #[test]
@@ -934,6 +1088,7 @@ mod tests {
             let t = Instant::now();
             let mut tx = SenderPeer::new();
             let mut rx = ReceiverPeer::new();
+            let mut asm = Assembler::default();
             let mut wire: VecDeque<Gather> = VecDeque::new();
             let mut received: Vec<Vec<u8>> = Vec::new();
             for m in &messages {
@@ -959,8 +1114,16 @@ mod tests {
                         continue; // dropped by the wire
                     }
                     let r = rx.on_data(p.header, p.body);
-                    if let Some(d) = r.delivered {
-                        received.push(d.to_vec());
+                    for s in r.slices {
+                        // Streamed offsets must agree with the assembled
+                        // byte positions.
+                        prop_assert_eq!(
+                            s.offset as usize,
+                            s.frag_index as usize * c.mtu
+                        );
+                        if let Some(d) = asm.push(s) {
+                            received.push(d.to_vec());
+                        }
                     }
                     wire.extend(tx.on_ack(r.ack, &c, t).released);
                 } else {

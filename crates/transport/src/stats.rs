@@ -17,6 +17,15 @@ pub struct TransportStats {
     pub messages_sent: Counter,
     /// Messages fully reassembled and delivered upward.
     pub messages_delivered: Counter,
+    /// Message-unit deliveries the consumer has popped from the inbound
+    /// queue (a whole [`Delivery::Message`](crate::Delivery) or the `last`
+    /// fragment of a streamed message). `messages_delivered -
+    /// messages_consumed` is the consumer backlog the receiver sheds
+    /// against when advertising credits; counting message units rather than
+    /// queue items keeps one large streamed message — thousands of
+    /// fragment deliveries, drained at placement speed — from reading as an
+    /// oversubscribed consumer.
+    pub messages_consumed: Counter,
     /// DATA packets put on the wire (including retransmissions).
     pub data_packets_sent: Counter,
     /// In-order DATA packets accepted by the receiver (fed to reassembly).
@@ -29,8 +38,18 @@ pub struct TransportStats {
     pub resend_bytes: Counter,
     /// Duplicate DATA packets suppressed.
     pub duplicates_dropped: Counter,
-    /// Out-of-order DATA packets dropped (go-back-N).
+    /// Out-of-order DATA packets dropped (arrived above the horizon with the
+    /// buffer budget exhausted; go-back-N retransmission recovers them).
     pub out_of_order_dropped: Counter,
+    /// Out-of-order DATA packets buffered for later splicing instead of
+    /// dropped (selective-repeat-style receive).
+    pub ooo_buffered: Counter,
+    /// Fragments of multi-fragment messages handed upward individually as
+    /// streaming deliveries (zero when `streaming` is off).
+    pub frags_streamed: Counter,
+    /// High-water mark of bytes held in out-of-order buffers, max across
+    /// sources. Written only by the worker.
+    pub bytes_buffered_hwm: Gauge,
     /// ACK packets sent.
     pub acks_sent: Counter,
     /// ACKs that were *not* sent because a later cumulative ACK to the same
@@ -64,12 +83,16 @@ impl TransportStats {
         TransportStats {
             messages_sent: c("transport.messages_sent"),
             messages_delivered: c("transport.messages_delivered"),
+            messages_consumed: c("transport.messages_consumed"),
             data_packets_sent: c("transport.data_packets_sent"),
             data_packets_accepted: c("transport.data_packets_accepted"),
             retransmissions: c("transport.retransmissions"),
             resend_bytes: c("transport.resend_bytes"),
             duplicates_dropped: c("transport.duplicates_dropped"),
             out_of_order_dropped: c("transport.out_of_order_dropped"),
+            ooo_buffered: c("transport.ooo_buffered"),
+            frags_streamed: c("transport.frags_streamed"),
+            bytes_buffered_hwm: registry.gauge("transport.bytes_buffered_hwm", &labels),
             acks_sent: c("transport.acks_sent"),
             acks_coalesced: c("transport.acks_coalesced"),
             acks_received: c("transport.acks_received"),
@@ -90,12 +113,16 @@ impl TransportStats {
         TransportStatsSnapshot {
             messages_sent: self.messages_sent.get(),
             messages_delivered: self.messages_delivered.get(),
+            messages_consumed: self.messages_consumed.get(),
             data_packets_sent: self.data_packets_sent.get(),
             data_packets_accepted: self.data_packets_accepted.get(),
             retransmissions: self.retransmissions.get(),
             resend_bytes: self.resend_bytes.get(),
             duplicates_dropped: self.duplicates_dropped.get(),
             out_of_order_dropped: self.out_of_order_dropped.get(),
+            ooo_buffered: self.ooo_buffered.get(),
+            frags_streamed: self.frags_streamed.get(),
+            bytes_buffered_hwm: self.bytes_buffered_hwm.get(),
             acks_sent: self.acks_sent.get(),
             acks_coalesced: self.acks_coalesced.get(),
             acks_received: self.acks_received.get(),
@@ -190,12 +217,16 @@ pub struct FlowStatsSnapshot {
 pub struct TransportStatsSnapshot {
     pub messages_sent: u64,
     pub messages_delivered: u64,
+    pub messages_consumed: u64,
     pub data_packets_sent: u64,
     pub data_packets_accepted: u64,
     pub retransmissions: u64,
     pub resend_bytes: u64,
     pub duplicates_dropped: u64,
     pub out_of_order_dropped: u64,
+    pub ooo_buffered: u64,
+    pub frags_streamed: u64,
+    pub bytes_buffered_hwm: i64,
     pub acks_sent: u64,
     pub acks_coalesced: u64,
     pub acks_received: u64,

@@ -36,8 +36,8 @@
 //! idle-loop cost no longer scans every sender peer.
 
 use crate::config::TransportConfig;
-use crate::endpoint::IncomingMessage;
-use crate::peer::{ReceiverPeer, SenderPeer};
+use crate::endpoint::{Delivery, IncomingMessage, StreamFragment};
+use crate::peer::{Assembler, ReceiverPeer, SenderPeer};
 use crate::stats::{FlowStats, TransportStats};
 use crossbeam::channel::{Receiver, Sender};
 use portals_net::{Datagram, Link};
@@ -98,12 +98,22 @@ pub(crate) struct ProgressCore {
     /// when idle. Lets peers' wait loops answer "does this core need
     /// servicing?" without taking its lock.
     deadline_ns: Arc<AtomicU64>,
-    delivered: Sender<IncomingMessage>,
+    delivered: Sender<Delivery>,
     stats: Arc<TransportStats>,
     flow: Arc<FlowStats>,
     outstanding: Arc<AtomicUsize>,
     tx_peers: HashMap<NodeId, SenderPeer>,
     rx_peers: HashMap<NodeId, ReceiverPeer>,
+    /// Per-source store-and-forward tails for deliveries that go up as whole
+    /// messages (single-fragment messages, and everything when `streaming` is
+    /// off).
+    assemblers: HashMap<NodeId, Assembler>,
+    /// Streamed fragments accepted in the current receive batch, coalesced
+    /// while contiguous (same source, same message, continuing offset) and
+    /// flushed as one delivery — placement still overlaps the wire at batch
+    /// granularity, but the consumer pays one queue hop and one scatter per
+    /// batch instead of one per MTU fragment.
+    pending_frag: Option<StreamFragment>,
     /// Per-destination retransmission counters
     /// (`transport.peer_retransmissions{node, peer}`), created lazily on the
     /// first retransmission to that peer.
@@ -150,7 +160,7 @@ impl ProgressCore {
         link: Box<dyn Link>,
         cfg: TransportConfig,
         obs: Obs,
-        delivered: Sender<IncomingMessage>,
+        delivered: Sender<Delivery>,
         stats: Arc<TransportStats>,
         flow: Arc<FlowStats>,
         outstanding: Arc<AtomicUsize>,
@@ -173,6 +183,8 @@ impl ProgressCore {
             outstanding,
             tx_peers: HashMap::new(),
             rx_peers: HashMap::new(),
+            assemblers: HashMap::new(),
+            pending_frag: None,
             peer_retx: HashMap::new(),
             timers: BinaryHeap::new(),
         }
@@ -242,11 +254,19 @@ impl ProgressCore {
 
     /// The credit horizon this node advertises to `src` right now: the
     /// in-order base plus the configured window, shrunk by however many
-    /// delivered messages are still waiting for the consumer — an
-    /// oversubscribed receiver sheds load instead of buffering it.
+    /// delivered *messages* are still waiting for the consumer — an
+    /// oversubscribed receiver sheds load instead of buffering it. The
+    /// backlog is counted in message units, not queue items: one streamed
+    /// message is thousands of fragment deliveries that drain at placement
+    /// speed, and shedding against the raw item count would stall every
+    /// large transfer into probe backoff.
     fn advertised_credit(&self, src: NodeId) -> u64 {
         let expected = self.rx_peers.get(&src).map_or(0, ReceiverPeer::expected);
-        let backlog = self.delivered.len() as u64;
+        let backlog = self
+            .stats
+            .messages_delivered
+            .get()
+            .saturating_sub(self.stats.messages_consumed.get());
         expected + (self.cfg.credit_window as u64).saturating_sub(backlog)
     }
 
@@ -353,11 +373,25 @@ impl ProgressCore {
                 Err(_) => break,
             }
         }
+        // Hand up whatever streamed run the batch accumulated before acking:
+        // the advertised credit already reflects its message accounting.
+        self.flush_pending_frag();
         for (src, cumulative) in pending_acks {
             self.stats.add(&self.stats.acks_sent, 1);
             let credit = self.advertised_credit(src);
             self.link
                 .send(src, Packet::ack(cumulative, credit).encode());
+        }
+    }
+
+    /// Queue the coalesced streamed-fragment run (if any) to the consumer
+    /// and ring the delivery doorbell.
+    fn flush_pending_frag(&mut self) {
+        if let Some(frag) = self.pending_frag.take() {
+            // Receiver side is unbounded; drop only if the endpoint is
+            // being torn down.
+            let _ = self.delivered.send(Delivery::Fragment(frag));
+            self.readiness.set(Readiness::DELIVERED);
         }
     }
 
@@ -446,7 +480,12 @@ impl ProgressCore {
                 // Answer with a fresh cumulative ack carrying the current
                 // credit horizon, coalesced with any ack already queued for
                 // this source in the batch.
-                let ack = self.rx_peers.entry(src).or_default().current_ack();
+                let limit = self.cfg.ooo_buffer_bytes;
+                let ack = self
+                    .rx_peers
+                    .entry(src)
+                    .or_insert_with(|| ReceiverPeer::with_limit(limit))
+                    .current_ack();
                 match pending_acks.iter_mut().find(|(nid, _)| *nid == src) {
                     Some(_) => self.stats.add(&self.stats.acks_coalesced, 1),
                     None => pending_acks.push((src, ack)),
@@ -466,8 +505,13 @@ impl ProgressCore {
                         .seq(seq)
                         .bytes(body_len)
                 });
-                let peer = self.rx_peers.entry(src).or_default();
+                let limit = self.cfg.ooo_buffer_bytes;
+                let peer = self
+                    .rx_peers
+                    .entry(src)
+                    .or_insert_with(|| ReceiverPeer::with_limit(limit));
                 let result = peer.on_data(header, packet.body);
+                let hwm = peer.buffered_hwm() as i64;
                 if result.duplicate {
                     self.stats.add(&self.stats.duplicates_dropped, 1);
                     self.obs.tracer.emit(|| {
@@ -478,6 +522,13 @@ impl ProgressCore {
                             .seq(seq)
                             .detail("duplicate")
                     });
+                } else if result.out_of_order && result.buffered {
+                    self.stats.add(&self.stats.ooo_buffered, 1);
+                    // The worker is the gauge's only writer, so read-then-set
+                    // keeps the max without an atomic max primitive.
+                    if hwm > self.stats.bytes_buffered_hwm.get() {
+                        self.stats.bytes_buffered_hwm.set(hwm);
+                    }
                 } else if result.out_of_order {
                     self.stats.add(&self.stats.out_of_order_dropped, 1);
                     self.obs.tracer.emit(|| {
@@ -489,24 +540,83 @@ impl ProgressCore {
                             .detail("out_of_order")
                     });
                 } else {
-                    self.stats.add(&self.stats.data_packets_accepted, 1);
+                    // In-order arrival: the packet itself plus every buffered
+                    // successor it spliced back into the stream.
+                    self.stats.add(
+                        &self.stats.data_packets_accepted,
+                        result.slices.len() as u64,
+                    );
                 }
-                if let Some(msg) = result.delivered {
-                    self.stats.add(&self.stats.messages_delivered, 1);
-                    let msg_len = msg.len() as u64;
-                    self.obs.tracer.emit(|| {
-                        TraceEvent::new(Layer::Transport, Stage::Deliver)
-                            .node(self.nid.0)
-                            .peer(src.0)
-                            .msg_id(msg_id)
-                            .bytes(msg_len)
-                    });
-                    // Receiver side is unbounded; drop only if the endpoint is
-                    // being torn down.
-                    let _ = self.delivered.send(IncomingMessage { src, payload: msg });
+                let mut delivered_any = false;
+                for slice in result.slices {
+                    if self.cfg.streaming && slice.frag_count > 1 {
+                        // Stream the fragment upward with its placement
+                        // offset; the consumer scatters it immediately
+                        // instead of waiting for reassembly. Contiguous
+                        // fragments within one receive batch coalesce into a
+                        // single delivery.
+                        self.stats.add(&self.stats.frags_streamed, 1);
+                        let last = slice.last();
+                        if last {
+                            self.stats.add(&self.stats.messages_delivered, 1);
+                            self.obs.tracer.emit(|| {
+                                TraceEvent::new(Layer::Transport, Stage::Deliver)
+                                    .node(self.nid.0)
+                                    .peer(src.0)
+                                    .msg_id(slice.msg_id)
+                                    .bytes(slice.offset + slice.body.len() as u64)
+                            });
+                        }
+                        match &mut self.pending_frag {
+                            Some(p)
+                                if p.src == src
+                                    && p.msg_id == slice.msg_id
+                                    && p.offset + p.payload.len() as u64 == slice.offset =>
+                            {
+                                p.payload.append(slice.body);
+                                p.last = last;
+                            }
+                            _ => {
+                                self.flush_pending_frag();
+                                self.pending_frag = Some(StreamFragment {
+                                    src,
+                                    msg_id: slice.msg_id,
+                                    offset: slice.offset,
+                                    last,
+                                    payload: slice.body,
+                                });
+                            }
+                        }
+                        if last {
+                            // Completions flush eagerly so the consumer can
+                            // finish the message without waiting for the
+                            // batch to end.
+                            self.flush_pending_frag();
+                            delivered_any = true;
+                        }
+                    } else if let Some(msg) = self.assemblers.entry(src).or_default().push(slice) {
+                        // Order with any streamed fragments already queued
+                        // for this batch.
+                        self.flush_pending_frag();
+                        self.stats.add(&self.stats.messages_delivered, 1);
+                        let msg_len = msg.len() as u64;
+                        self.obs.tracer.emit(|| {
+                            TraceEvent::new(Layer::Transport, Stage::Deliver)
+                                .node(self.nid.0)
+                                .peer(src.0)
+                                .msg_id(msg_id)
+                                .bytes(msg_len)
+                        });
+                        let _ = self
+                            .delivered
+                            .send(Delivery::Message(IncomingMessage { src, payload: msg }));
+                        delivered_any = true;
+                    }
+                }
+                if delivered_any {
                     // Doorbell after the enqueue: a parked consumer (possibly
                     // on another thread, serviced by this one) wakes and finds
-                    // the message already queued.
+                    // the delivery already queued.
                     self.readiness.set(Readiness::DELIVERED);
                 }
                 match pending_acks.iter_mut().find(|(nid, _)| *nid == src) {

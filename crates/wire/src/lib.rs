@@ -37,7 +37,7 @@ pub use ack::Ack;
 pub use error::WireError;
 pub use get::GetRequest;
 pub use header::{RawHandle, RequestHeader, ResponseHeader, RAW_HANDLE_NONE};
-pub use message::PortalsMessage;
+pub use message::{PortalsMessage, StreamHead};
 pub use op::Operation;
 pub use packet::{Packet, PacketHeader, PacketKind};
 pub use put::PutRequest;

@@ -6,6 +6,7 @@
 use crate::ack::Ack;
 use crate::error::WireError;
 use crate::get::GetRequest;
+use crate::header::{RequestHeader, ResponseHeader};
 use crate::op::Operation;
 use crate::put::PutRequest;
 use crate::reply::Reply;
@@ -28,9 +29,81 @@ pub enum PortalsMessage {
     Reply(Reply),
 }
 
+/// What the fixed-size prefix of an incoming message identifies, for
+/// consumers that dispatch before the payload has fully arrived (streaming
+/// fragment delivery).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamHead {
+    /// A put request; payload bytes start at
+    /// [`PortalsMessage::PUT_PAYLOAD_AT`] and run for `header.length`.
+    Put {
+        /// The request header (target, match bits, offset, length, …).
+        header: RequestHeader,
+        /// Initiator's MD handle to return in the ack.
+        ack_md: u64,
+        /// Initiator's EQ handle to return in the ack.
+        ack_eq: u64,
+    },
+    /// A reply; payload bytes start at [`PortalsMessage::REPLY_PAYLOAD_AT`]
+    /// and run for `header.manipulated_length`.
+    Reply {
+        /// The response header.
+        header: ResponseHeader,
+    },
+    /// An ack or get: fixed-size messages with no payload to stream.
+    Other,
+}
+
 impl PortalsMessage {
     /// Envelope overhead: magic + operation code.
     pub const ENVELOPE_SIZE: usize = 2;
+
+    /// Offset of a put's payload within its encoded message.
+    pub const PUT_PAYLOAD_AT: usize = Self::ENVELOPE_SIZE + PutRequest::WIRE_HEADER_SIZE;
+
+    /// Offset of a reply's payload within its encoded message.
+    pub const REPLY_PAYLOAD_AT: usize = Self::ENVELOPE_SIZE + Reply::WIRE_HEADER_SIZE;
+
+    /// Envelope plus the largest fixed-size header: a prefix this long
+    /// classifies any message via [`PortalsMessage::peek_stream_head`].
+    pub const MAX_FIXED: usize = Self::ENVELOPE_SIZE + 80;
+
+    /// Classify a message from a prefix of its encoded bytes, before the
+    /// payload has arrived. `Ok(None)` means the prefix is too short to
+    /// classify yet — feed more bytes (at most [`PortalsMessage::MAX_FIXED`]
+    /// are ever needed). Invalid prefixes (bad magic, unknown operation)
+    /// error immediately.
+    pub fn peek_stream_head(head: &[u8]) -> Result<Option<StreamHead>, WireError> {
+        if head.len() < Self::ENVELOPE_SIZE {
+            return Ok(None);
+        }
+        if head[0] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let op = Operation::from_byte(head[1])?;
+        let body = &head[Self::ENVELOPE_SIZE..];
+        Ok(match op {
+            Operation::PutRequest => {
+                if head.len() < Self::PUT_PAYLOAD_AT {
+                    return Ok(None);
+                }
+                let (header, ack_md, ack_eq) = PutRequest::decode_fields(body)?;
+                Some(StreamHead::Put {
+                    header,
+                    ack_md,
+                    ack_eq,
+                })
+            }
+            Operation::Reply => {
+                if head.len() < Self::REPLY_PAYLOAD_AT {
+                    return Ok(None);
+                }
+                let header = Reply::decode_fields(body)?;
+                Some(StreamHead::Reply { header })
+            }
+            Operation::Ack | Operation::GetRequest => Some(StreamHead::Other),
+        })
+    }
 
     /// The operation code of this message.
     pub fn operation(&self) -> Operation {
@@ -149,8 +222,7 @@ impl PortalsMessage {
     /// payload bytes stay wherever the transport received them.
     pub fn decode_gather(buf: &Gather) -> Result<PortalsMessage, WireError> {
         // Large enough for the envelope plus the largest fixed-size header.
-        const MAX_FIXED: usize = PortalsMessage::ENVELOPE_SIZE + 80;
-        let mut hdr = [0u8; MAX_FIXED];
+        let mut hdr = [0u8; PortalsMessage::MAX_FIXED];
         let filled = buf.peek(&mut hdr);
         let head = &hdr[..filled];
         if filled < Self::ENVELOPE_SIZE {
@@ -359,6 +431,76 @@ mod tests {
         });
         assert_eq!(m.wire_target(), ProcessId::new(1, 0));
         assert_eq!(m.wire_initiator(), ProcessId::new(0, 0));
+    }
+
+    #[test]
+    fn stream_head_classifies_every_type_from_its_fixed_prefix() {
+        for m in sample_messages() {
+            let bytes = m.encode();
+            let cut = bytes.len().min(PortalsMessage::MAX_FIXED);
+            let head = PortalsMessage::peek_stream_head(&bytes[..cut])
+                .unwrap()
+                .expect("fixed prefix classifies");
+            match (&m, head) {
+                (
+                    PortalsMessage::Put(p),
+                    StreamHead::Put {
+                        header,
+                        ack_md,
+                        ack_eq,
+                    },
+                ) => {
+                    assert_eq!(header, p.header);
+                    assert_eq!((ack_md, ack_eq), (p.ack_md, p.ack_eq));
+                }
+                (PortalsMessage::Reply(r), StreamHead::Reply { header }) => {
+                    assert_eq!(header, r.header);
+                }
+                (PortalsMessage::Ack(_), StreamHead::Other)
+                | (PortalsMessage::Get(_), StreamHead::Other) => {}
+                (m, h) => panic!("misclassified {m:?} as {h:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_head_asks_for_more_bytes_on_short_prefixes() {
+        let m = PortalsMessage::Put(PutRequest {
+            header: req_header(3),
+            ack_md: 1,
+            ack_eq: 2,
+            payload: Gather::copy_from_slice(b"abc"),
+        });
+        let bytes = m.encode();
+        for cut in [
+            0,
+            1,
+            PortalsMessage::ENVELOPE_SIZE,
+            PortalsMessage::PUT_PAYLOAD_AT - 1,
+        ] {
+            assert_eq!(
+                PortalsMessage::peek_stream_head(&bytes[..cut]).unwrap(),
+                None,
+                "prefix of {cut} must ask for more"
+            );
+        }
+        assert!(
+            PortalsMessage::peek_stream_head(&bytes[..PortalsMessage::PUT_PAYLOAD_AT])
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn stream_head_rejects_garbage_immediately() {
+        assert_eq!(
+            PortalsMessage::peek_stream_head(&[0xff, 0x00]),
+            Err(WireError::BadMagic)
+        );
+        assert!(matches!(
+            PortalsMessage::peek_stream_head(&[MAGIC, 0xee]),
+            Err(WireError::UnknownOperation { .. })
+        ));
     }
 
     proptest! {

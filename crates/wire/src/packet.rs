@@ -62,6 +62,11 @@ pub enum PacketHeader {
         /// Message this fragment belongs to (sender-local, monotonically
         /// increasing — used only for reassembly sanity checks).
         msg_id: u64,
+        /// Absolute byte offset of this fragment's payload within the
+        /// message. Carried on the wire so any fragment is placeable into
+        /// the destination buffer independently — the enabler for streaming
+        /// delivery, where fragments land before the whole message arrives.
+        offset: u64,
         /// Fragment index within the message.
         frag_index: u32,
         /// Total fragments in the message.
@@ -112,18 +117,27 @@ impl Packet {
     /// Size of the hardening prefix: magic, version, flags, CRC-32C.
     pub const PREFIX_SIZE: usize = 1 + 1 + 1 + 4;
     /// Size of an encoded DATA header (prefix + kind + fields).
-    pub const DATA_HEADER_SIZE: usize = Self::PREFIX_SIZE + 1 + 8 + 8 + 4 + 4;
+    pub const DATA_HEADER_SIZE: usize = Self::PREFIX_SIZE + 1 + 8 + 8 + 8 + 4 + 4;
     /// Size of an encoded ACK packet (prefix + kind + cumulative + credit).
     pub const ACK_SIZE: usize = Self::PREFIX_SIZE + 1 + 8 + 8;
     /// Size of an encoded PROBE packet.
     pub const PROBE_SIZE: usize = Self::PREFIX_SIZE + 1 + 8;
 
-    /// Build a DATA packet.
-    pub fn data(seq: u64, msg_id: u64, frag_index: u32, frag_count: u32, body: Gather) -> Packet {
+    /// Build a DATA packet. `offset` is the fragment payload's absolute byte
+    /// offset within its message.
+    pub fn data(
+        seq: u64,
+        msg_id: u64,
+        offset: u64,
+        frag_index: u32,
+        frag_count: u32,
+        body: Gather,
+    ) -> Packet {
         Packet {
             header: PacketHeader::Data {
                 seq,
                 msg_id,
+                offset,
                 frag_index,
                 frag_count,
             },
@@ -168,12 +182,14 @@ impl Packet {
             PacketHeader::Data {
                 seq,
                 msg_id,
+                offset,
                 frag_index,
                 frag_count,
             } => {
                 fields.put_u8(PacketKind::Data as u8);
                 fields.put_u64_le(seq);
                 fields.put_u64_le(msg_id);
+                fields.put_u64_le(offset);
                 fields.put_u32_le(frag_index);
                 fields.put_u32_le(frag_count);
                 if cover_body {
@@ -269,11 +285,13 @@ impl Packet {
             PacketKind::Data => {
                 let seq = cursor.get_u64_le();
                 let msg_id = cursor.get_u64_le();
+                let offset = cursor.get_u64_le();
                 let frag_index = cursor.get_u32_le();
                 let frag_count = cursor.get_u32_le();
                 PacketHeader::Data {
                     seq,
                     msg_id,
+                    offset,
                     frag_index,
                     frag_count,
                 }
@@ -362,7 +380,7 @@ mod tests {
 
     #[test]
     fn data_roundtrip() {
-        let p = Packet::data(7, 3, 1, 4, Gather::copy_from_slice(b"frag"));
+        let p = Packet::data(7, 3, 4, 1, 4, Gather::copy_from_slice(b"frag"));
         let encoded = p.encode();
         assert_eq!(encoded.len(), p.encoded_len());
         let decoded = Packet::decode(&encoded.to_vec()).unwrap();
@@ -388,7 +406,7 @@ mod tests {
 
     #[test]
     fn body_crc_roundtrip() {
-        let p = Packet::data(7, 3, 1, 4, Gather::copy_from_slice(b"covered"));
+        let p = Packet::data(7, 3, 4, 1, 4, Gather::copy_from_slice(b"covered"));
         let encoded = p.encode_with(true);
         assert_eq!(encoded.len(), p.encoded_len());
         assert_eq!(Packet::decode(&encoded.to_vec()).unwrap(), p);
@@ -438,7 +456,7 @@ mod tests {
         // The regression test for the real wire: flipped bits anywhere in a
         // body-covered datagram must surface as a typed checksum error, not a
         // misparse or a panic.
-        let p = Packet::data(9, 2, 0, 1, Gather::copy_from_slice(b"precious payload"));
+        let p = Packet::data(9, 2, 0, 0, 1, Gather::copy_from_slice(b"precious payload"));
         let clean = p.encode_with(true).to_vec();
         assert_eq!(Packet::decode(&clean).unwrap(), p);
 
@@ -479,7 +497,7 @@ mod tests {
 
     #[test]
     fn truncated_data_header_rejected() {
-        let p = Packet::data(1, 1, 0, 1, Gather::new());
+        let p = Packet::data(1, 1, 0, 0, 1, Gather::new());
         let encoded = p.encode().to_vec();
         assert!(matches!(
             Packet::decode(&encoded[..10]),
@@ -491,7 +509,7 @@ mod tests {
     fn encode_does_not_copy_the_body() {
         let body = Gather::copy_from_slice(b"payload bytes that must not move");
         let body_ptr = body.segments()[0].as_ref().as_ptr();
-        let p = Packet::data(9, 2, 0, 1, body);
+        let p = Packet::data(9, 2, 0, 0, 1, body);
         let encoded = p.encode();
         // Segment 0 is the fresh header; segment 1 is the body, shared.
         assert_eq!(encoded.segment_count(), 2);
@@ -504,7 +522,7 @@ mod tests {
 
     #[test]
     fn decode_bytes_is_zero_copy_and_agrees() {
-        let p = Packet::data(9, 2, 0, 1, Gather::copy_from_slice(b"payload bytes"));
+        let p = Packet::data(9, 2, 0, 0, 1, Gather::copy_from_slice(b"payload bytes"));
         let encoded = p.encode().to_bytes();
         let by_slice = Packet::decode_bytes(&encoded).unwrap();
         assert_eq!(by_slice, Packet::decode(&encoded).unwrap());
@@ -518,7 +536,7 @@ mod tests {
     fn decode_gather_is_zero_copy_and_agrees() {
         let body = Gather::copy_from_slice(b"payload bytes held in a region");
         let body_ptr = body.segments()[0].as_ref().as_ptr();
-        let p = Packet::data(3, 8, 1, 2, body);
+        let p = Packet::data(3, 8, 0, 1, 2, body);
         let encoded = p.encode();
         let decoded = Packet::decode_gather(&encoded).unwrap();
         assert_eq!(decoded, p);
@@ -552,12 +570,12 @@ mod tests {
     proptest! {
         #[test]
         fn data_roundtrips(
-            seq in any::<u64>(), msg_id in any::<u64>(),
+            seq in any::<u64>(), msg_id in any::<u64>(), offset in any::<u64>(),
             frag_index in any::<u32>(), frag_count in any::<u32>(),
             body in proptest::collection::vec(any::<u8>(), 0..1024),
             cover_body in any::<bool>()
         ) {
-            let p = Packet::data(seq, msg_id, frag_index, frag_count, Gather::from_vec(body));
+            let p = Packet::data(seq, msg_id, offset, frag_index, frag_count, Gather::from_vec(body));
             let encoded = p.encode_with(cover_body);
             prop_assert_eq!(Packet::decode(&encoded.to_vec()).unwrap(), p.clone());
             prop_assert_eq!(Packet::decode_gather(&encoded).unwrap(), p);
@@ -577,7 +595,7 @@ mod tests {
             // Any single-bit flip in a body-covered datagram is either
             // rejected outright or (if it lands in the CRC field itself)
             // still rejected — it can never decode to a *different* packet.
-            let p = Packet::data(1, 2, 0, 1, Gather::from_vec(body));
+            let p = Packet::data(1, 2, 0, 0, 1, Gather::from_vec(body));
             let mut bytes = p.encode_with(true).to_vec();
             let bit = flip % (bytes.len() * 8);
             bytes[bit / 8] ^= 1 << (bit % 8);
@@ -601,7 +619,7 @@ mod tests {
             }
             let flat: Vec<u8> = segs.concat();
             prop_assert_eq!(body.len(), flat.len());
-            let p = Packet::data(7, 9, 0, 1, body);
+            let p = Packet::data(7, 9, 0, 0, 1, body);
             let encoded = p.encode_with(cover_body);
             let q = Packet::decode(&encoded.to_vec()).unwrap();
             prop_assert_eq!(&q, &p);
@@ -626,7 +644,7 @@ mod tests {
                 let off = i * mtu;
                 let len = mtu.min(msg.len() - off);
                 let frag = whole.slice(off, len);
-                let p = Packet::data(i as u64, 42, i as u32, count as u32, frag);
+                let p = Packet::data(i as u64, 42, off as u64, i as u32, count as u32, frag);
                 let bytes = p.encode_with(cover_body).to_vec();
                 prop_assert!(bytes.len() <= Packet::DATA_HEADER_SIZE + mtu);
                 let q = Packet::decode(&bytes).unwrap();
