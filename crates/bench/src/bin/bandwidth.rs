@@ -96,6 +96,12 @@ struct Sample {
     iters: usize,
     mib_per_s_mean: f64,
     mib_per_s_best: f64,
+    /// Send-side wire syscalls per MiB moved (udp rows only; 0 in-process).
+    /// `sendmmsg` batching shows up here directly: fewer kernel crossings
+    /// for the same bytes.
+    send_syscalls_per_mib: f64,
+    /// Realized datagrams per send syscall (udp rows only; 0 in-process).
+    avg_send_batch: f64,
 }
 
 #[derive(Serialize)]
@@ -110,8 +116,42 @@ struct Report {
     /// Streaming ÷ baseline mean bandwidth for a 16 MiB MPI sendrecv
     /// (adaptive protocol, pipelined rendezvous window).
     sendrecv_16mib_speedup: f64,
+    /// Batched-jumbo ÷ unbatched mean bandwidth for the largest loopback-UDP
+    /// put in the sweep — the wire-batching headline.
+    udp_put_batched_speedup: f64,
     results: Vec<Sample>,
 }
+
+/// One loopback-UDP wire configuration. The transport above is identical
+/// (streaming defaults); only how datagrams cross the OS boundary changes.
+struct UdpWire {
+    name: &'static str,
+    /// `PORTALS_UDP_BATCH` equivalent: datagrams per wire syscall.
+    batch: usize,
+    /// Per-datagram payload bound.
+    mtu: usize,
+}
+
+/// The swept wire arms: the pre-PR one-syscall-per-1432-byte-datagram wire,
+/// the same MTU over `sendmmsg`/`recvmmsg`, and batching plus jumbo
+/// (~64 KiB) loopback datagrams.
+const UDP_WIRES: &[UdpWire] = &[
+    UdpWire {
+        name: "unbatched",
+        batch: 1,
+        mtu: 1432,
+    },
+    UdpWire {
+        name: "batched",
+        batch: 32,
+        mtu: 1432,
+    },
+    UdpWire {
+        name: "batched_jumbo",
+        batch: 32,
+        mtu: 65489,
+    },
+];
 
 /// NI limits sized for the sweep: the default `max_message_size` (16 MiB)
 /// would reject the 64 MiB rows at submit time.
@@ -275,9 +315,11 @@ fn sendrecv_bw(arm: Arm, size: usize, warmup: usize, iters: usize) -> Vec<Durati
 /// loopback UDP link as node 1, prints the bound address, and absorbs acked
 /// puts of up to `size` bytes into a matched region. Exits when stdin
 /// closes.
-fn udp_sink_child(size: usize, arm: Arm) -> ! {
+fn udp_sink_child(size: usize, arm: Arm, batch: usize, mtu: usize) -> ! {
     let link = UdpLink::bind(UdpLinkConfig {
         nid: NodeId(1),
+        batch,
+        max_payload: mtu,
         ..Default::default()
     })
     .expect("bind sink link");
@@ -295,14 +337,26 @@ fn udp_sink_child(size: usize, arm: Arm) -> ! {
     std::process::exit(0);
 }
 
+/// What one loopback-UDP measurement produced: per-transfer durations plus
+/// the sender's wire syscall accounting over the timed iterations.
+struct UdpRun {
+    times: Vec<Duration>,
+    /// Datagrams the sender's socket accepted during the timed loop.
+    datagrams_sent: u64,
+    /// Send-side wire syscalls during the timed loop.
+    batches_sent: u64,
+}
+
 /// Acked puts to a second OS process over loopback UDP. Same timing shape
 /// as [`put_bw`]; only the wire differs.
-fn put_bw_udp(arm: Arm, size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
+fn put_bw_udp(arm: Arm, wire: &UdpWire, size: usize, warmup: usize, iters: usize) -> UdpRun {
     let exe = std::env::current_exe().expect("current_exe");
     let mut child = std::process::Command::new(exe)
         .arg("--udp-sink")
         .arg(size.to_string())
         .arg(arm.name())
+        .arg(wire.batch.to_string())
+        .arg(wire.mtu.to_string())
         .stdin(std::process::Stdio::piped())
         .stdout(std::process::Stdio::piped())
         .spawn()
@@ -313,8 +367,12 @@ fn put_bw_udp(arm: Arm, size: usize, warmup: usize, iters: usize) -> Vec<Duratio
         .expect("read sink address");
     let peer = addr_line.trim().parse().expect("sink address");
 
+    let obs = portals_obs::Obs::default();
     let link = UdpLink::bind(UdpLinkConfig {
         nid: NodeId(0),
+        batch: wire.batch,
+        max_payload: wire.mtu,
+        obs: obs.clone(),
         ..Default::default()
     })
     .expect("bind sender link");
@@ -336,21 +394,31 @@ fn put_bw_udp(arm: Arm, size: usize, warmup: usize, iters: usize) -> Vec<Duratio
     for _ in 0..warmup {
         one();
     }
-    let mut samples = Vec::with_capacity(iters);
+    let count = |name: &str| obs.registry.sum_counters(name);
+    let (d0, b0) = (
+        count("net.udp.datagrams_sent"),
+        count("net.udp.batches_sent"),
+    );
+    let mut times = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();
         one();
-        samples.push(t0.elapsed());
+        times.push(t0.elapsed());
     }
+    let run = UdpRun {
+        times,
+        datagrams_sent: count("net.udp.datagrams_sent") - d0,
+        batches_sent: count("net.udp.batches_sent") - b0,
+    };
     drop(child.stdin.take()); // EOF -> child exits
     let _ = child.wait();
-    samples
+    run
 }
 
 fn to_sample(
     op: &'static str,
     wire: &'static str,
-    arm: Arm,
+    arm: &'static str,
     size: usize,
     times: Vec<Duration>,
 ) -> Sample {
@@ -361,17 +429,33 @@ fn to_sample(
     Sample {
         op,
         wire,
-        arm: arm.name(),
+        arm,
         size,
         iters: times.len(),
         mib_per_s_mean: mean,
         mib_per_s_best: best,
+        send_syscalls_per_mib: 0.0,
+        avg_send_batch: 0.0,
     }
 }
 
+/// A loopback-UDP sample: bandwidth plus the sender's syscalls-per-MiB and
+/// realized batch size over the timed iterations.
+fn to_udp_sample(wire_arm: &'static str, size: usize, run: UdpRun) -> Sample {
+    let total_mib = (size * run.times.len()) as f64 / MIB as f64;
+    let mut s = to_sample("put", "udp_loopback", wire_arm, size, run.times);
+    s.send_syscalls_per_mib = run.batches_sent as f64 / total_mib;
+    s.avg_send_batch = if run.batches_sent > 0 {
+        run.datagrams_sent as f64 / run.batches_sent as f64
+    } else {
+        0.0
+    };
+    s
+}
+
 fn print_row(s: &Sample) {
-    println!(
-        "{:<9} {:<12} {:<10} {:>9} {:>5} {:>11.1} {:>11.1}",
+    print!(
+        "{:<9} {:<12} {:<14} {:>9} {:>5} {:>11.1} {:>11.1}",
         s.op,
         s.wire,
         s.arm,
@@ -380,6 +464,13 @@ fn print_row(s: &Sample) {
         s.mib_per_s_mean,
         s.mib_per_s_best
     );
+    if s.send_syscalls_per_mib > 0.0 {
+        print!(
+            " {:>12.1} {:>9.1}",
+            s.send_syscalls_per_mib, s.avg_send_batch
+        );
+    }
+    println!();
 }
 
 /// Repetitions for one size: enough bytes to smooth scheduler noise, few
@@ -400,7 +491,9 @@ fn main() {
             Some("baseline") => Arm::Baseline,
             _ => Arm::Streaming,
         };
-        udp_sink_child(size, arm);
+        let batch = args.get(i + 3).and_then(|s| s.parse().ok()).unwrap_or(1);
+        let mtu = args.get(i + 4).and_then(|s| s.parse().ok()).unwrap_or(1432);
+        udp_sink_child(size, arm, batch, mtu);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let out = args
@@ -415,16 +508,14 @@ fn main() {
     } else {
         &[64 * KIB, 256 * KIB, MIB, 4 * MIB, 16 * MIB, 64 * MIB]
     };
-    let udp_sizes: &[usize] = if quick {
-        &[64 * KIB, MIB]
-    } else {
-        &[64 * KIB, MIB, 16 * MIB]
-    };
+    // 16 MiB udp rows stay in the quick sweep: the wire-batching headline
+    // ratio is measured there.
+    let udp_sizes: &[usize] = &[64 * KIB, MIB, 16 * MIB];
 
     println!("§5 streaming data-path bandwidth sweep (streaming vs store-and-forward)");
     println!(
-        "{:<9} {:<12} {:<10} {:>9} {:>5} {:>11} {:>11}",
-        "op", "wire", "arm", "KiB", "reps", "MiB/s mean", "MiB/s best"
+        "{:<9} {:<12} {:<14} {:>9} {:>5} {:>11} {:>11} {:>12} {:>9}",
+        "op", "wire", "arm", "KiB", "reps", "MiB/s mean", "MiB/s best", "syscall/MiB", "avg batch"
     );
 
     let mut results = Vec::new();
@@ -435,7 +526,7 @@ fn main() {
             let s = to_sample(
                 "put",
                 "in_process",
-                arm,
+                arm.name(),
                 size,
                 put_bw(arm, size, warmup, iters),
             );
@@ -444,7 +535,7 @@ fn main() {
             let s = to_sample(
                 "get",
                 "in_process",
-                arm,
+                arm.name(),
                 size,
                 get_bw(arm, size, warmup, iters),
             );
@@ -453,7 +544,7 @@ fn main() {
             let s = to_sample(
                 "sendrecv",
                 "in_process",
-                arm,
+                arm.name(),
                 size,
                 sendrecv_bw(arm, size, warmup, iters),
             );
@@ -461,18 +552,15 @@ fn main() {
             results.push(s);
         }
     }
-    // Real wire, real process boundary: acked puts over loopback UDP (fewer
-    // reps; every fragment crosses the kernel twice).
+    // Real wire, real process boundary: acked puts over loopback UDP, one
+    // row per wire arm (fewer reps; every fragment crosses the kernel
+    // twice). The transport above is the streaming default throughout —
+    // only how datagrams cross the OS boundary varies.
     for &size in udp_sizes {
         let iters = (iters_for(size, quick) / 4).max(2);
-        for arm in [Arm::Baseline, Arm::Streaming] {
-            let s = to_sample(
-                "put",
-                "udp_loopback",
-                arm,
-                size,
-                put_bw_udp(arm, size, 1, iters),
-            );
+        for wire in UDP_WIRES {
+            let run = put_bw_udp(Arm::Streaming, wire, size, 1, iters);
+            let s = to_udp_sample(wire.name, size, run);
             print_row(&s);
             results.push(s);
         }
@@ -496,6 +584,19 @@ fn main() {
         "\n16 MiB streaming/baseline bandwidth: put {put_r:.2}x, get {get_r:.2}x, \
          sendrecv {sr_r:.2}x"
     );
+    let udp_size = *udp_sizes.last().unwrap();
+    let udp_rate = |arm: &str| {
+        results
+            .iter()
+            .find(|s| s.wire == "udp_loopback" && s.arm == arm && s.size == udp_size)
+            .map(|s| s.mib_per_s_mean)
+            .unwrap()
+    };
+    let udp_r = udp_rate("batched_jumbo") / udp_rate("unbatched");
+    println!(
+        "{} MiB udp_loopback batched_jumbo/unbatched bandwidth: {udp_r:.2}x",
+        udp_size / MIB
+    );
 
     let report = Report {
         bench: "bandwidth",
@@ -503,6 +604,7 @@ fn main() {
         put_16mib_speedup: put_r,
         get_16mib_speedup: get_r,
         sendrecv_16mib_speedup: sr_r,
+        udp_put_batched_speedup: udp_r,
         results,
     };
     std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap() + "\n")

@@ -87,8 +87,12 @@ struct Report {
     zero_byte_rtt_p50_us_threadless: f64,
     zero_byte_rtt_p50_us_nic_thread: f64,
     zero_byte_rtt_p50_us_host_driven: f64,
-    /// Same rig over loopback UDP to a second OS process.
+    /// Same rig over loopback UDP to a second OS process (batched wire:
+    /// recvmmsg with MSG_WAITFORONE).
     zero_byte_rtt_p50_us_udp_loopback: f64,
+    /// The one-syscall-per-datagram wire (`PORTALS_UDP_BATCH=1`): batching
+    /// must not tax a lone ping-pong, so these two stay within noise.
+    zero_byte_rtt_p50_us_udp_unbatched: f64,
     zero_byte_speedup_vs_nic_thread: f64,
     zero_byte_speedup_vs_host_driven: f64,
     results: Vec<Sample>,
@@ -167,9 +171,10 @@ fn pingpong(mode: Mode, size: usize, warmup: usize, iters: usize) -> Vec<Duratio
 /// loopback UDP link as node 1, prints the bound address for the parent to
 /// scrape, and echoes every put back to node 0 (whose address is learned
 /// from the first inbound datagram). Exits when stdin closes.
-fn udp_echo_child(size: usize) -> ! {
+fn udp_echo_child(size: usize, batch: usize) -> ! {
     let link = UdpLink::bind(UdpLinkConfig {
         nid: NodeId(1),
+        batch,
         ..Default::default()
     })
     .expect("bind echo link");
@@ -207,11 +212,12 @@ fn udp_echo_child(size: usize) -> ! {
 
 /// Ping-pong against a second OS process over loopback UDP. Same
 /// measurement shape as [`pingpong`]; only the wire differs.
-fn pingpong_udp(size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
+fn pingpong_udp(size: usize, batch: usize, warmup: usize, iters: usize) -> Vec<Duration> {
     let exe = std::env::current_exe().expect("current_exe");
     let mut child = std::process::Command::new(exe)
         .arg("--udp-echo")
         .arg(size.to_string())
+        .arg(batch.to_string())
         .stdin(std::process::Stdio::piped())
         .stdout(std::process::Stdio::piped())
         .spawn()
@@ -224,6 +230,7 @@ fn pingpong_udp(size: usize, warmup: usize, iters: usize) -> Vec<Duration> {
 
     let link = UdpLink::bind(UdpLinkConfig {
         nid: NodeId(0),
+        batch,
         ..Default::default()
     })
     .expect("bind pinger link");
@@ -280,12 +287,18 @@ fn measure(mode: Mode, size: usize, warmup: usize, iters: usize) -> Sample {
     }
 }
 
-fn measure_udp(size: usize, warmup: usize, iters: usize) -> Sample {
-    let mut rtts = pingpong_udp(size, warmup, iters);
+fn measure_udp(
+    mode: &'static str,
+    size: usize,
+    batch: usize,
+    warmup: usize,
+    iters: usize,
+) -> Sample {
+    let mut rtts = pingpong_udp(size, batch, warmup, iters);
     rtts.sort();
     let mean_us = rtts.iter().map(|d| d.as_secs_f64()).sum::<f64>() / rtts.len() as f64 * 1e6;
     Sample {
-        mode: "udp_loopback",
+        mode,
         size,
         iters,
         rtt_mean_us: mean_us,
@@ -302,7 +315,8 @@ fn main() {
             .get(i + 1)
             .and_then(|s| s.parse().ok())
             .expect("--udp-echo needs a size");
-        udp_echo_child(size);
+        let batch = args.get(i + 2).and_then(|s| s.parse().ok()).unwrap_or(1);
+        udp_echo_child(size, batch);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let out = args
@@ -336,13 +350,23 @@ fn main() {
         }
         // Real wire, real process boundary: the same stack over loopback
         // UDP to a second OS process (fewer iters; each RTT crosses the
-        // kernel four times).
-        let s = measure_udp(size, warmup / 4, (iters / 4).max(100));
-        println!(
-            "{:<12} {:>6} {:>11.2} µs {:>11.2} µs {:>11.2} µs {:>9.2} µs",
-            s.mode, s.size, s.half_rtt_p50_us, s.half_rtt_p99_us, s.half_rtt_mean_us, s.rtt_mean_us
-        );
-        results.push(s);
+        // kernel four times). Two wire arms: the batched recvmmsg wire
+        // (MSG_WAITFORONE means a lone ping never waits for a batch to
+        // fill — batching must be latency-neutral) and the unbatched
+        // one-syscall-per-datagram wire.
+        for (mode, batch) in [("udp_loopback", 32), ("udp_unbatched", 1)] {
+            let s = measure_udp(mode, size, batch, warmup / 4, (iters / 4).max(100));
+            println!(
+                "{:<12} {:>6} {:>11.2} µs {:>11.2} µs {:>11.2} µs {:>9.2} µs",
+                s.mode,
+                s.size,
+                s.half_rtt_p50_us,
+                s.half_rtt_p99_us,
+                s.half_rtt_mean_us,
+                s.rtt_mean_us
+            );
+            results.push(s);
+        }
     }
 
     // The tentpole claim: threadless small-message RTT under the paper's
@@ -356,6 +380,7 @@ fn main() {
     };
     let (host, nic, threadless) = (rtt0("host_driven"), rtt0("nic_thread"), rtt0("threadless"));
     let udp = rtt0("udp_loopback");
+    let udp_unbatched = rtt0("udp_unbatched");
     println!(
         "\n0-byte RTT p50: host_driven {host:.2} µs, nic_thread {nic:.2} µs, \
          threadless {threadless:.2} µs — {:.1}x vs nic_thread, {:.1}x vs host_driven",
@@ -363,8 +388,8 @@ fn main() {
         host / threadless,
     );
     println!(
-        "0-byte RTT p50 over loopback UDP (2 processes): {udp:.2} µs — \
-         {:.1}x the in-process nic_thread wire",
+        "0-byte RTT p50 over loopback UDP (2 processes): {udp:.2} µs batched, \
+         {udp_unbatched:.2} µs unbatched — {:.1}x the in-process nic_thread wire",
         udp / nic
     );
 
@@ -377,6 +402,7 @@ fn main() {
         zero_byte_rtt_p50_us_nic_thread: nic,
         zero_byte_rtt_p50_us_host_driven: host,
         zero_byte_rtt_p50_us_udp_loopback: udp,
+        zero_byte_rtt_p50_us_udp_unbatched: udp_unbatched,
         zero_byte_speedup_vs_nic_thread: nic / threadless,
         zero_byte_speedup_vs_host_driven: host / threadless,
         results,

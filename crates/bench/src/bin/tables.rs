@@ -630,12 +630,47 @@ fn net_udp_counters() {
     for (node, series, count) in rows {
         println!("{node:>6} {series:<28} {count:>10}");
     }
+
+    // Wire reconciliation: every datagram the sockets accepted carries the
+    // 18-byte frame header, so framed-byte accounting must equal payload
+    // bytes plus one header per datagram, on both sides. (bytes_sent alone
+    // under-reports what crossed the OS boundary by exactly that margin —
+    // the bug this series exists to fix.)
+    let sum = |name: &str| obs.registry.sum_counters(name);
+    let header = frame::FRAME_HEADER as u64;
+    assert_eq!(
+        sum("net.udp.frame_bytes_sent"),
+        sum("net.udp.bytes_sent") + header * sum("net.udp.datagrams_sent"),
+        "send-side wire bytes must be payload + one frame header per datagram"
+    );
+    assert_eq!(
+        sum("net.udp.frame_bytes_received"),
+        sum("net.udp.bytes_received") + header * sum("net.udp.datagrams_received"),
+        "receive-side wire bytes must be payload + one frame header per datagram"
+    );
     println!(
-        "\nrepair feedback: transport.retransmissions {} (covering the shim's \
+        "\nwire reconciliation: frame_bytes_sent {} = bytes_sent {} + {header} B \
+         header x {} datagrams (both directions verified)",
+        sum("net.udp.frame_bytes_sent"),
+        sum("net.udp.bytes_sent"),
+        sum("net.udp.datagrams_sent"),
+    );
+    println!(
+        "batched wire: {} datagrams sent in {} syscalls ({:.2} per call), \
+         {} received in {} syscalls ({:.2} per call)",
+        sum("net.udp.datagrams_sent"),
+        sum("net.udp.batches_sent"),
+        sum("net.udp.datagrams_sent") as f64 / sum("net.udp.batches_sent").max(1) as f64,
+        sum("net.udp.datagrams_received"),
+        sum("net.udp.batches_recv"),
+        sum("net.udp.datagrams_received") as f64 / sum("net.udp.batches_recv").max(1) as f64,
+    );
+    println!(
+        "repair feedback: transport.retransmissions {} (covering the shim's \
          {} dropped datagrams), transport.checksum_rejects {}",
-        obs.registry.sum_counters("transport.retransmissions"),
-        obs.registry.sum_counters("net.udp.shim_dropped"),
-        obs.registry.sum_counters("transport.checksum_rejects"),
+        sum("transport.retransmissions"),
+        sum("net.udp.shim_dropped"),
+        sum("transport.checksum_rejects"),
     );
 }
 

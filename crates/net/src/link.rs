@@ -43,6 +43,18 @@ pub trait Link: Send + Sync + 'static {
     /// (unroutable, lossy wire, full socket buffer) without feedback.
     fn send(&self, dst: NodeId, payload: Gather);
 
+    /// Fire a batch of datagrams in one call. Same per-datagram semantics as
+    /// [`Link::send`] — each datagram is independently best-effort, and the
+    /// batch implies nothing about ordering or atomicity. The default loops
+    /// over `send`, so backends without a batched wire primitive are
+    /// untouched; a socket backend overrides this to amortize the OS
+    /// boundary (`sendmmsg`: one syscall for the whole vector).
+    fn send_batch(&self, batch: Vec<(NodeId, Gather)>) {
+        for (dst, payload) in batch {
+            self.send(dst, payload);
+        }
+    }
+
     /// A clone of the inbound channel receiver. All arriving datagrams land
     /// here, in arrival order.
     fn inbound_receiver(&self) -> Receiver<Datagram>;

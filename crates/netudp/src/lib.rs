@@ -26,9 +26,11 @@
 
 pub mod frame;
 mod link;
+mod mmsg;
 mod rendezvous;
 mod stats;
 
-pub use link::{UdpLink, UdpLinkConfig};
-pub use rendezvous::{register, RendezvousServer};
+pub use link::{UdpLink, UdpLinkConfig, DEFAULT_BATCH};
+pub use mmsg::UDP_MAX_DATAGRAM;
+pub use rendezvous::{register, RendezvousServer, RendezvousTicket};
 pub use stats::{UdpStats, UdpStatsSnapshot};

@@ -4,8 +4,8 @@
 //! with the rendezvous listener over TCP:
 //!
 //! ```text
-//! client → server:  REGISTER <job-id> <rank> <nprocs> <udp-addr>\n
-//! server → client:  PEERS <addr-rank0> <addr-rank1> … <addr-rankN-1>\n
+//! client → server:  REGISTER <job-id> <rank> <nprocs> <udp-addr> <mtu>\n
+//! server → client:  PEERS <job-mtu> <addr-rank0> … <addr-rankN-1>\n
 //! server → client:  ERR <reason>\n           (malformed / conflicting)
 //! ```
 //!
@@ -14,6 +14,15 @@
 //! list and forgets the job — registration doubles as the job's startup
 //! barrier, and job ids are reusable across runs. One rendezvous server can
 //! multiplex any number of concurrent jobs.
+//!
+//! The `<mtu>` field piggybacks payload-size negotiation on the same round
+//! trip: each rank advertises the largest datagram payload its link accepts
+//! (`0` = no opinion), and the reply carries the job-wide minimum of the
+//! non-zero advertisements (`0` when nobody had an opinion). Every rank
+//! installs that value before building its transport endpoint, so all ranks
+//! fragment identically — which is what lets loopback jobs run jumbo
+//! ~64 KiB datagrams while a mixed job degrades to its most conservative
+//! member.
 //!
 //! This is deliberately the smallest thing that launches a distributed job
 //! (one round trip, line-oriented, debuggable with `nc`). It stands in for
@@ -40,6 +49,9 @@ struct PendingJob {
     /// Indexed by rank: the UDP address it registered and the TCP stream
     /// waiting for the peer list.
     slots: Vec<Option<(String, TcpStream)>>,
+    /// Smallest non-zero MTU advertised so far (`0` until someone has an
+    /// opinion).
+    min_mtu: u64,
 }
 
 /// The rendezvous listener. Binding spawns the accept thread; dropping the
@@ -136,7 +148,9 @@ impl ServerState {
             return;
         }
         match parse_register(&line) {
-            Ok((job, rank, nprocs, udp_addr)) => self.register(stream, job, rank, nprocs, udp_addr),
+            Ok((job, rank, nprocs, udp_addr, mtu)) => {
+                self.register(stream, job, rank, nprocs, udp_addr, mtu)
+            }
             Err(reason) => {
                 let mut stream = stream;
                 let _ = writeln!(stream, "ERR {reason}");
@@ -144,11 +158,20 @@ impl ServerState {
         }
     }
 
-    fn register(&self, mut stream: TcpStream, job: String, rank: u32, nprocs: u32, udp: String) {
+    fn register(
+        &self,
+        mut stream: TcpStream,
+        job: String,
+        rank: u32,
+        nprocs: u32,
+        udp: String,
+        mtu: u64,
+    ) {
         let mut jobs = self.jobs.lock().expect("rendezvous state poisoned");
         let pending = jobs.entry(job.clone()).or_insert_with(|| PendingJob {
             nprocs,
             slots: (0..nprocs).map(|_| None).collect(),
+            min_mtu: 0,
         });
         if pending.nprocs != nprocs {
             let have = pending.nprocs;
@@ -165,11 +188,14 @@ impl ServerState {
             return;
         }
         pending.slots[rank as usize] = Some((udp, stream));
+        if mtu > 0 && (pending.min_mtu == 0 || mtu < pending.min_mtu) {
+            pending.min_mtu = mtu;
+        }
         if pending.slots.iter().any(Option::is_none) {
             return; // parked until the last rank arrives
         }
-        // Complete: answer every rank with the ordered peer list and retire
-        // the job id for reuse.
+        // Complete: answer every rank with the negotiated MTU and the
+        // ordered peer list, then retire the job id for reuse.
         let pending = jobs.remove(&job).expect("just completed");
         drop(jobs);
         let addrs: Vec<&str> = pending
@@ -177,16 +203,16 @@ impl ServerState {
             .iter()
             .map(|slot| slot.as_ref().expect("all present").0.as_str())
             .collect();
-        let reply = format!("PEERS {}\n", addrs.join(" "));
+        let reply = format!("PEERS {} {}\n", pending.min_mtu, addrs.join(" "));
         for (_, mut stream) in pending.slots.into_iter().flatten() {
             let _ = stream.write_all(reply.as_bytes());
         }
     }
 }
 
-/// `REGISTER <job> <rank> <nprocs> <udp_addr>` → parts. The udp address is
-/// validated but passed through as text (the client resolves it).
-fn parse_register(line: &str) -> Result<(String, u32, u32, String), String> {
+/// `REGISTER <job> <rank> <nprocs> <udp_addr> <mtu>` → parts. The udp
+/// address is validated but passed through as text (the client resolves it).
+fn parse_register(line: &str) -> Result<(String, u32, u32, String, u64), String> {
     let mut parts = line.split_whitespace();
     if parts.next() != Some("REGISTER") {
         return Err("expected REGISTER".into());
@@ -203,6 +229,11 @@ fn parse_register(line: &str) -> Result<(String, u32, u32, String), String> {
         .parse()
         .map_err(|_| "bad nprocs")?;
     let udp = parts.next().ok_or("missing udp addr")?.to_string();
+    let mtu: u64 = parts
+        .next()
+        .ok_or("missing mtu")?
+        .parse()
+        .map_err(|_| "bad mtu")?;
     if parts.next().is_some() {
         return Err("trailing fields".into());
     }
@@ -212,40 +243,61 @@ fn parse_register(line: &str) -> Result<(String, u32, u32, String), String> {
     if udp.parse::<SocketAddr>().is_err() {
         return Err(format!("unparseable udp addr {udp}"));
     }
-    Ok((job, rank, nprocs, udp))
+    Ok((job, rank, nprocs, udp, mtu))
+}
+
+/// What a completed rendezvous hands back to each rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RendezvousTicket {
+    /// UDP socket addresses of all ranks, ordered by rank (index == rank;
+    /// `peers[own_rank]` is the registered address echoed back).
+    pub peers: Vec<SocketAddr>,
+    /// Job-wide negotiated datagram payload bound: the minimum of every
+    /// rank's non-zero advertisement, or `0` when no rank had an opinion
+    /// (keep the local configuration).
+    pub max_payload: usize,
 }
 
 /// Register this process with a rendezvous server and block until the whole
-/// job has registered. Returns the UDP socket addresses of all ranks,
-/// ordered by rank (index == rank; `result[own_rank]` is `udp_addr` echoed
-/// back).
+/// job has registered. `mtu` advertises the largest datagram payload this
+/// rank's link accepts (`0` = no opinion); the returned ticket carries the
+/// job-wide minimum alongside the ordered peer list.
 pub fn register(
     server: SocketAddr,
     job: &str,
     rank: u32,
     nprocs: u32,
     udp_addr: SocketAddr,
+    mtu: usize,
     timeout: Duration,
-) -> std::io::Result<Vec<SocketAddr>> {
+) -> std::io::Result<RendezvousTicket> {
     let deadline = Instant::now() + timeout;
     let mut stream = connect_until(server, deadline)?;
     stream.set_read_timeout(Some(timeout))?;
-    writeln!(stream, "REGISTER {job} {rank} {nprocs} {udp_addr}")?;
+    writeln!(stream, "REGISTER {job} {rank} {nprocs} {udp_addr} {mtu}")?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let line = line.trim_end();
     if let Some(rest) = line.strip_prefix("PEERS ") {
-        let addrs: Result<Vec<SocketAddr>, _> = rest.split_whitespace().map(str::parse).collect();
-        let addrs = addrs
+        let mut fields = rest.split_whitespace();
+        let max_payload: usize = fields
+            .next()
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "missing job mtu"))?
+            .parse()
+            .map_err(|e| {
+                std::io::Error::new(ErrorKind::InvalidData, format!("bad job mtu: {e}"))
+            })?;
+        let addrs: Result<Vec<SocketAddr>, _> = fields.map(str::parse).collect();
+        let peers = addrs
             .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad peer: {e}")))?;
-        if addrs.len() != nprocs as usize {
+        if peers.len() != nprocs as usize {
             return Err(std::io::Error::new(
                 ErrorKind::InvalidData,
-                format!("expected {nprocs} peers, got {}", addrs.len()),
+                format!("expected {nprocs} peers, got {}", peers.len()),
             ));
         }
-        Ok(addrs)
+        Ok(RendezvousTicket { peers, max_payload })
     } else if let Some(reason) = line.strip_prefix("ERR ") {
         Err(std::io::Error::other(reason.to_string()))
     } else {
@@ -288,15 +340,47 @@ mod tests {
         let server = RendezvousServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr();
         let t0 = std::thread::spawn(move || {
-            register(addr, "job-a", 0, 2, udp(9001), Duration::from_secs(10)).unwrap()
+            register(addr, "job-a", 0, 2, udp(9001), 0, Duration::from_secs(10)).unwrap()
         });
         let t1 = std::thread::spawn(move || {
-            register(addr, "job-a", 1, 2, udp(9002), Duration::from_secs(10)).unwrap()
+            register(addr, "job-a", 1, 2, udp(9002), 0, Duration::from_secs(10)).unwrap()
         });
         let p0 = t0.join().unwrap();
         let p1 = t1.join().unwrap();
-        assert_eq!(p0, vec![udp(9001), udp(9002)]);
+        assert_eq!(p0.peers, vec![udp(9001), udp(9002)]);
         assert_eq!(p0, p1, "all ranks must see the same ordered list");
+        assert_eq!(p0.max_payload, 0, "no rank advertised an mtu");
+    }
+
+    #[test]
+    fn mtu_negotiates_to_job_minimum() {
+        let server = RendezvousServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        // Ranks advertise 65489, 1432, and 0 (no opinion): the job settles
+        // on the smallest non-zero advertisement.
+        let mtus = [65489usize, 1432, 0];
+        let handles: Vec<_> = (0..3u32)
+            .map(|rank| {
+                let mtu = mtus[rank as usize];
+                std::thread::spawn(move || {
+                    register(
+                        addr,
+                        "job-mtu",
+                        rank,
+                        3,
+                        udp(9100 + rank as u16),
+                        mtu,
+                        Duration::from_secs(10),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let ticket = h.join().unwrap();
+            assert_eq!(ticket.max_payload, 1432);
+            assert_eq!(ticket.peers.len(), 3);
+        }
     }
 
     #[test]
@@ -313,6 +397,7 @@ mod tests {
                             rank,
                             3,
                             udp(7000 + round * 10 + rank as u16),
+                            0,
                             Duration::from_secs(10),
                         )
                         .unwrap()
@@ -320,10 +405,10 @@ mod tests {
                 })
                 .collect();
             let lists: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-            for list in &lists {
-                assert_eq!(list, &lists[0]);
-                assert_eq!(list.len(), 3);
-                assert_eq!(list[0], udp(7000 + round * 10));
+            for ticket in &lists {
+                assert_eq!(ticket, &lists[0]);
+                assert_eq!(ticket.peers.len(), 3);
+                assert_eq!(ticket.peers[0], udp(7000 + round * 10));
             }
         }
     }
@@ -333,23 +418,28 @@ mod tests {
         let server = RendezvousServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr();
         // Wrong rank range: immediate error.
-        let err = register(addr, "job-c", 5, 2, udp(9000), Duration::from_secs(5)).unwrap_err();
+        let err = register(addr, "job-c", 5, 2, udp(9000), 0, Duration::from_secs(5)).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
         // First registration parks; a conflicting nprocs is turned away
         // without disturbing it.
         let pending = std::thread::spawn(move || {
-            register(addr, "job-d", 0, 2, udp(9003), Duration::from_secs(10))
+            register(addr, "job-d", 0, 2, udp(9003), 0, Duration::from_secs(10))
         });
         std::thread::sleep(Duration::from_millis(50));
-        let err = register(addr, "job-d", 1, 3, udp(9004), Duration::from_secs(5)).unwrap_err();
+        let err = register(addr, "job-d", 1, 3, udp(9004), 0, Duration::from_secs(5)).unwrap_err();
         assert!(err.to_string().contains("nprocs"), "{err}");
         // A duplicate rank is also turned away.
-        let err = register(addr, "job-d", 0, 2, udp(9005), Duration::from_secs(5)).unwrap_err();
+        let err = register(addr, "job-d", 0, 2, udp(9005), 0, Duration::from_secs(5)).unwrap_err();
         assert!(err.to_string().contains("already registered"), "{err}");
         // The legitimate second rank completes the job.
-        let peers = register(addr, "job-d", 1, 2, udp(9006), Duration::from_secs(10)).unwrap();
+        let peers = register(addr, "job-d", 1, 2, udp(9006), 0, Duration::from_secs(10))
+            .unwrap()
+            .peers;
         assert_eq!(peers, vec![udp(9003), udp(9006)]);
-        assert_eq!(pending.join().unwrap().unwrap(), vec![udp(9003), udp(9006)]);
+        assert_eq!(
+            pending.join().unwrap().unwrap().peers,
+            vec![udp(9003), udp(9006)]
+        );
     }
 
     #[test]
@@ -360,13 +450,28 @@ mod tests {
         let mut reply = String::new();
         BufReader::new(stream).read_line(&mut reply).unwrap();
         assert!(reply.starts_with("ERR "), "{reply:?}");
+        // A REGISTER without the mtu field is malformed in this protocol
+        // revision.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        writeln!(stream, "REGISTER job-f 0 1 127.0.0.1:9000").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("ERR "), "{reply:?}");
     }
 
     #[test]
     fn connect_timeout_reports_timeout() {
         // A port with (very probably) nothing listening.
-        let err =
-            register(udp(1), "job-e", 0, 1, udp(9000), Duration::from_millis(200)).unwrap_err();
+        let err = register(
+            udp(1),
+            "job-e",
+            0,
+            1,
+            udp(9000),
+            0,
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
         assert_eq!(err.kind(), ErrorKind::TimedOut);
     }
 }

@@ -6,7 +6,11 @@
 //! protocol-level traffic: every datagram the transport put on this link is
 //! either counted sent here, dropped by the loss shim, or unroutable.
 
-use portals_obs::{Counter, Registry};
+use portals_obs::{Counter, Histogram, Registry};
+
+/// Bucket upper bounds for the batch-size histograms: how many datagrams
+/// each `sendmmsg`/`recvmmsg` call actually moved.
+const BATCH_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
 /// Counters maintained by a [`UdpLink`](crate::UdpLink).
 #[derive(Debug)]
@@ -15,10 +19,29 @@ pub struct UdpStats {
     pub datagrams_sent: Counter,
     /// Payload bytes handed to the socket (frame headers excluded).
     pub bytes_sent: Counter,
+    /// Wire bytes handed to the socket: payload plus the 18-byte frame
+    /// header, per datagram — what actually crossed the OS boundary, so the
+    /// `tables` bin can reconcile socket traffic without losing one header
+    /// per datagram.
+    pub frame_bytes_sent: Counter,
     /// Well-formed datagrams delivered into the inbound channel.
     pub datagrams_received: Counter,
     /// Payload bytes delivered into the inbound channel.
     pub bytes_received: Counter,
+    /// Wire bytes of well-formed received datagrams (payload + frame
+    /// header).
+    pub frame_bytes_received: Counter,
+    /// Batched send calls (`sendmmsg` or the per-datagram fallback): the
+    /// send-side syscall count. `datagrams_sent / batches_sent` is the
+    /// realized outbound batch size.
+    pub batches_sent: Counter,
+    /// Batched receive calls that returned at least one datagram: the
+    /// receive-side syscall count (timeouts excluded).
+    pub batches_received: Counter,
+    /// Datagrams per send batch (`net.udp.send_batch_frames`).
+    pub send_batch_frames: Histogram,
+    /// Datagrams per receive batch (`net.udp.recv_batch_frames`).
+    pub recv_batch_frames: Histogram,
     /// Datagrams rejected on receive because the frame was shorter than its
     /// header or shorter than the length the header declared (a truncated
     /// read or a foreign sender).
@@ -50,11 +73,18 @@ impl UdpStats {
     pub fn new(registry: &Registry, nid: u32) -> UdpStats {
         let labels = [("node", nid.to_string())];
         let c = |name| registry.counter(name, &labels);
+        let h = |name| registry.histogram(name, &labels, &BATCH_BOUNDS);
         UdpStats {
             datagrams_sent: c("net.udp.datagrams_sent"),
             bytes_sent: c("net.udp.bytes_sent"),
+            frame_bytes_sent: c("net.udp.frame_bytes_sent"),
             datagrams_received: c("net.udp.datagrams_received"),
             bytes_received: c("net.udp.bytes_received"),
+            frame_bytes_received: c("net.udp.frame_bytes_received"),
+            batches_sent: c("net.udp.batches_sent"),
+            batches_received: c("net.udp.batches_recv"),
+            send_batch_frames: h("net.udp.send_batch_frames"),
+            recv_batch_frames: h("net.udp.recv_batch_frames"),
             truncated: c("net.udp.truncated"),
             checksum_rejects: c("net.udp.checksum_rejects"),
             bad_magic: c("net.udp.bad_magic"),
@@ -71,8 +101,12 @@ impl UdpStats {
         UdpStatsSnapshot {
             datagrams_sent: self.datagrams_sent.get(),
             bytes_sent: self.bytes_sent.get(),
+            frame_bytes_sent: self.frame_bytes_sent.get(),
             datagrams_received: self.datagrams_received.get(),
             bytes_received: self.bytes_received.get(),
+            frame_bytes_received: self.frame_bytes_received.get(),
+            batches_sent: self.batches_sent.get(),
+            batches_received: self.batches_received.get(),
             truncated: self.truncated.get(),
             checksum_rejects: self.checksum_rejects.get(),
             bad_magic: self.bad_magic.get(),
@@ -97,8 +131,12 @@ impl Default for UdpStats {
 pub struct UdpStatsSnapshot {
     pub datagrams_sent: u64,
     pub bytes_sent: u64,
+    pub frame_bytes_sent: u64,
     pub datagrams_received: u64,
     pub bytes_received: u64,
+    pub frame_bytes_received: u64,
+    pub batches_sent: u64,
+    pub batches_received: u64,
     pub truncated: u64,
     pub checksum_rejects: u64,
     pub bad_magic: u64,

@@ -28,6 +28,14 @@
 //! | `PORTALS_UDP_LOSS`       | send-side loss shim probability      | `0`     |
 //! | `PORTALS_UDP_SEED`       | loss shim seed (offset per process)  | `0`     |
 //! | `PORTALS_UDP_MTU`        | max datagram payload bytes           | `1432`  |
+//! | `PORTALS_UDP_BATCH`      | datagrams per wire syscall (1 = off) | `32`    |
+//!
+//! `PORTALS_UDP_MTU` is this process's *advertisement*: the rendezvous
+//! exchange answers with the job-wide minimum of every rank's advertised
+//! MTU, and that negotiated value (installed before the transport endpoint
+//! is built) is what the job actually fragments to — so a single launcher
+//! exporting `PORTALS_UDP_MTU=65489` turns on jumbo loopback datagrams for
+//! the whole job, and a mixed job degrades to its most conservative rank.
 
 use crate::directory::JobDirectory;
 use crate::launch::{JobConfig, ProcessEnv};
@@ -59,7 +67,12 @@ pub struct DistributedConfig {
     /// differ but the whole launch stays reproducible.
     pub seed: u64,
     /// Hard bound on a datagram's payload (transport fragments under it).
+    /// Advertised to rendezvous; the job runs at the minimum advertisement
+    /// across ranks.
     pub max_payload: usize,
+    /// Datagrams per batched wire syscall (`sendmmsg`/`recvmmsg` vector
+    /// length); `1` runs the unbatched one-syscall-per-datagram wire.
+    pub batch: usize,
     /// Rendezvous / startup timeout.
     pub timeout: Duration,
 }
@@ -83,6 +96,7 @@ impl DistributedConfig {
             loss: optional("PORTALS_UDP_LOSS", 0.0),
             seed: optional("PORTALS_UDP_SEED", 0),
             max_payload: optional("PORTALS_UDP_MTU", 1432),
+            batch: optional("PORTALS_UDP_BATCH", portals_netudp::DEFAULT_BATCH),
             timeout: Duration::from_secs(optional("PORTALS_TIMEOUT_SECS", 60)),
         })
     }
@@ -140,6 +154,7 @@ where
     let link = UdpLink::bind(UdpLinkConfig {
         nid: NodeId(dist.proc_index),
         max_payload: dist.max_payload,
+        batch: dist.batch,
         loss: dist.loss,
         seed: dist.seed.wrapping_add(dist.proc_index as u64),
         obs: config.obs.clone(),
@@ -147,17 +162,24 @@ where
     })
     .expect("bind udp link");
     let local_addr = link.local_addr();
-    let peers = register(
+    let ticket = register(
         dist.rendezvous,
         &dist.job_id,
         dist.proc_index,
         dist.nprocs,
         local_addr,
+        link.max_payload(),
         dist.timeout,
     )
     .expect("rendezvous registration");
-    for (i, addr) in peers.iter().enumerate() {
+    for (i, addr) in ticket.peers.iter().enumerate() {
         link.set_peer(NodeId(i as u32), *addr);
+    }
+    // Adopt the job-wide negotiated MTU before Node::new: the transport
+    // endpoint reads the link's datagram bound once, at construction, and
+    // every rank must fragment identically for the wires to interoperate.
+    if ticket.max_payload > 0 {
+        link.set_max_payload(ticket.max_payload);
     }
 
     // Same placement arithmetic as Job::build, so transcripts are
@@ -205,6 +227,27 @@ where
         })
         .collect();
 
+    // Init barrier: every hosted rank's NI and MPI engine must exist —
+    // receive-side match entries posted — before *any* process lets its
+    // application ranks send. Without this, a fast peer's first eager
+    // message can arrive in the window between the registration barrier
+    // and `create_ni` here; the transport accepts and acks the datagram
+    // (wire-level reliability is oblivious to Portals pids), the node
+    // drops it as `portals.node_dropped_no_process`, and the acked sender
+    // never retransmits — a permanent single-message hole that wedges the
+    // job. The rendezvous round trip doubles as that readiness barrier,
+    // exactly like the exit barrier below.
+    register(
+        dist.rendezvous,
+        &format!("{}.init", dist.job_id),
+        dist.proc_index,
+        dist.nprocs,
+        local_addr,
+        0,
+        dist.timeout,
+    )
+    .expect("init barrier");
+
     let f = Arc::new(f);
     let handles: Vec<_> = envs
         .into_iter()
@@ -230,6 +273,7 @@ where
         dist.proc_index,
         dist.nprocs,
         local_addr,
+        0,
         dist.timeout,
     )
     .expect("exit barrier");

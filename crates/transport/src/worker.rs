@@ -342,9 +342,9 @@ impl ProgressCore {
     fn send_data(&self, dst: NodeId, packets: Vec<Gather>, stage: Stage) {
         self.stats
             .add(&self.stats.data_packets_sent, packets.len() as u64);
-        for p in packets {
-            if self.obs.tracer.enabled() {
-                if let Ok(pkt) = Packet::decode_gather(&p) {
+        if self.obs.tracer.enabled() {
+            for p in &packets {
+                if let Ok(pkt) = Packet::decode_gather(p) {
                     if let PacketHeader::Data { seq, msg_id, .. } = pkt.header {
                         self.obs.tracer.emit(|| {
                             TraceEvent::new(Layer::Transport, stage)
@@ -357,8 +357,12 @@ impl ProgressCore {
                     }
                 }
             }
-            self.link.send(dst, p);
         }
+        // The per-destination flush is already a coalesced burst of
+        // fragments; hand it to the wire as one vector so a batching
+        // backend (sendmmsg) crosses the OS boundary once for all of them.
+        self.link
+            .send_batch(packets.into_iter().map(|p| (dst, p)).collect());
     }
 
     /// Drain up to `recv_batch` datagrams for one wakeup, then flush one
@@ -376,12 +380,15 @@ impl ProgressCore {
         // Hand up whatever streamed run the batch accumulated before acking:
         // the advertised credit already reflects its message accounting.
         self.flush_pending_frag();
-        for (src, cumulative) in pending_acks {
-            self.stats.add(&self.stats.acks_sent, 1);
-            let credit = self.advertised_credit(src);
-            self.link
-                .send(src, Packet::ack(cumulative, credit).encode());
-        }
+        let acks: Vec<_> = pending_acks
+            .into_iter()
+            .map(|(src, cumulative)| {
+                self.stats.add(&self.stats.acks_sent, 1);
+                let credit = self.advertised_credit(src);
+                (src, Packet::ack(cumulative, credit).encode())
+            })
+            .collect();
+        self.link.send_batch(acks);
     }
 
     /// Queue the coalesced streamed-fragment run (if any) to the consumer

@@ -6,9 +6,16 @@
 //! weak everywhere). Packets that may touch a real wire therefore carry a
 //! CRC-32C over their contents, verified on decode.
 //!
-//! The implementation is slice-by-4 table-driven CRC-32C (Castagnoli
-//! polynomial, reflected `0x82F63B78`): four 256-entry tables built once per
-//! process, ~1–2 GB/s in software, no dependencies. The streaming [`Crc32`]
+//! The implementation dispatches at runtime: on x86-64 with SSE 4.2 it uses
+//! the native `crc32` instruction (the Castagnoli polynomial is the one the
+//! hardware implements — tens of GB/s, and the reason CRC-32C was chosen over
+//! plain CRC-32 here), otherwise slice-by-4 table-driven software CRC (four
+//! 256-entry tables built once per process, ~1–2 GB/s, no dependencies).
+//! Both paths compute the identical reflected-`0x82F63B78` checksum; the unit
+//! tests hold them to the same known-answer vectors. The distinction matters:
+//! every DATA packet that crosses the UDP wire pays one CRC pass per byte on
+//! each side, so at large message sizes the software path — not the kernel,
+//! not the copies — is what caps loopback bandwidth. The streaming [`Crc32`]
 //! state lets callers fold in a [`Gather`](portals_types::Gather)'s segments
 //! without coalescing them.
 
@@ -67,20 +74,13 @@ impl Crc32 {
 
     /// Fold `bytes` into the checksum.
     pub fn update(&mut self, bytes: &[u8]) {
-        let t = tables();
-        let mut crc = self.state;
-        let mut chunks = bytes.chunks_exact(4);
-        for c in chunks.by_ref() {
-            let word = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
-            crc = t[3][(word & 0xFF) as usize]
-                ^ t[2][((word >> 8) & 0xFF) as usize]
-                ^ t[1][((word >> 16) & 0xFF) as usize]
-                ^ t[0][((word >> 24) & 0xFF) as usize];
+        #[cfg(target_arch = "x86_64")]
+        if hw::available() {
+            // SAFETY: guarded by the runtime SSE 4.2 detection above.
+            self.state = unsafe { hw::update(self.state, bytes) };
+            return;
         }
-        for &b in chunks.remainder() {
-            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
-        }
-        self.state = crc;
+        self.state = update_tables(self.state, bytes);
     }
 
     /// Final checksum value.
@@ -92,6 +92,55 @@ impl Crc32 {
 impl Default for Crc32 {
     fn default() -> Self {
         Crc32::new()
+    }
+}
+
+/// Software slice-by-4 fold: the portable path, and the reference the
+/// hardware path is tested against.
+fn update_tables(state: u32, bytes: &[u8]) -> u32 {
+    let t = tables();
+    let mut crc = state;
+    let mut chunks = bytes.chunks_exact(4);
+    for c in chunks.by_ref() {
+        let word = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        crc = t[3][(word & 0xFF) as usize]
+            ^ t[2][((word >> 8) & 0xFF) as usize]
+            ^ t[1][((word >> 16) & 0xFF) as usize]
+            ^ t[0][((word >> 24) & 0xFF) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Hardware CRC-32C via the SSE 4.2 `crc32` instruction, 8 bytes per fold.
+/// Chains through the same reflected state as the table path, so streaming
+/// updates may freely mix the two (detection is per-process, but the states
+/// are interchangeable by construction).
+#[cfg(target_arch = "x86_64")]
+mod hw {
+    pub(super) fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("sse4.2"))
+    }
+
+    /// # Safety
+    /// Caller must ensure SSE 4.2 is available (see [`available`]).
+    #[target_feature(enable = "sse4.2")]
+    pub(super) unsafe fn update(state: u32, bytes: &[u8]) -> u32 {
+        use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+        let mut chunks = bytes.chunks_exact(8);
+        let mut crc = state as u64;
+        for c in chunks.by_ref() {
+            crc = _mm_crc32_u64(crc, u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        let mut crc = crc as u32;
+        for &b in chunks.remainder() {
+            crc = _mm_crc32_u8(crc, b);
+        }
+        crc
     }
 }
 
@@ -112,6 +161,39 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xE306_9283);
         assert_eq!(crc32(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn table_path_matches_known_vectors() {
+        // The dispatching `crc32` above may have taken the hardware path;
+        // hold the software fold to the same answers explicitly so the
+        // fallback stays verified on machines where it is never dispatched.
+        let sw = |bytes: &[u8]| !update_tables(!0, bytes);
+        assert_eq!(sw(b""), 0);
+        assert_eq!(sw(b"123456789"), 0xE306_9283);
+        assert_eq!(sw(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hw_path_matches_table_path() {
+        if !hw::available() {
+            return;
+        }
+        // Every length 0..64 plus a large odd-length buffer: exercises the
+        // 8-byte folds, the byte remainder, and chaining from a mid-stream
+        // state. The two implementations must agree bit for bit.
+        let data: Vec<u8> = (0..100_003u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for len in (0..64).chain([100_003]) {
+            let sw = update_tables(!0, &data[..len]);
+            let hw = unsafe { hw::update(!0, &data[..len]) };
+            assert_eq!(sw, hw, "len {len}");
+            let sw2 = update_tables(sw, &data[..len]);
+            let hw2 = unsafe { hw::update(hw, &data[..len]) };
+            assert_eq!(sw2, hw2, "chained, len {len}");
+        }
     }
 
     #[test]

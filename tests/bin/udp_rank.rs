@@ -25,6 +25,24 @@ fn main() {
         config.transport.rto_base = Duration::from_millis(5);
     }
 
+    // Watchdog: a healthy run finishes in seconds. If we are still going
+    // after a minute, something wedged — dump every counter to stderr
+    // (inherited by the test harness) so the post-mortem has data, then
+    // keep dumping periodically until the run ends or the harness kills us.
+    let obs = config.obs.clone();
+    let proc_index = dist.proc_index;
+    std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_secs(60));
+        eprintln!("=== udp_rank proc {proc_index} still running; counter dump ===");
+        for s in obs.registry.snapshot() {
+            if let portals_obs::MetricValue::Counter(v) = s.value {
+                if v > 0 {
+                    eprintln!("  proc {proc_index} {} {:?} = {v}", s.name, s.labels);
+                }
+            }
+        }
+    });
+
     let results = Job::launch_distributed(&dist, config, |env| {
         let transcript = workload::run(&env);
         (env.rank().0, transcript, env.node.transport_stats())

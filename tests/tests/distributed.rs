@@ -22,17 +22,34 @@ struct DistRun {
     retransmissions: u64,
 }
 
+/// Wire-level knobs for one distributed run. `None` leaves the matching
+/// `PORTALS_UDP_*` variable to whatever the ambient environment says (which
+/// is how the CI matrix drives the default tests with `PORTALS_UDP_BATCH`
+/// exported on and off); `Some` pins it for differential comparisons within
+/// one test.
+#[derive(Clone, Copy, Default)]
+struct Wire {
+    batch: Option<usize>,
+    mtu: Option<usize>,
+}
+
 /// Launch `nprocs` helper processes × `procs_per_node` ranks over loopback
 /// UDP and harvest their transcripts.
-fn run_distributed(nprocs: u32, procs_per_node: usize, loss: f64, job: &str) -> DistRun {
+fn run_distributed(
+    nprocs: u32,
+    procs_per_node: usize,
+    loss: f64,
+    job: &str,
+    wire: Wire,
+) -> DistRun {
     let server = RendezvousServer::bind("127.0.0.1:0").expect("bind rendezvous");
     let out_dir = std::env::temp_dir().join(format!("portals-dist-{job}-{}", std::process::id()));
     std::fs::create_dir_all(&out_dir).expect("out dir");
 
     let children: Vec<Child> = (0..nprocs)
         .map(|k| {
-            Command::new(env!("CARGO_BIN_EXE_udp_rank"))
-                .env("PORTALS_TRANSPORT", "udp")
+            let mut cmd = Command::new(env!("CARGO_BIN_EXE_udp_rank"));
+            cmd.env("PORTALS_TRANSPORT", "udp")
                 .env("PORTALS_RENDEZVOUS", server.local_addr().to_string())
                 .env("PORTALS_JOB_ID", job)
                 .env("PORTALS_PROC_INDEX", k.to_string())
@@ -43,16 +60,20 @@ fn run_distributed(nprocs: u32, procs_per_node: usize, loss: f64, job: &str) -> 
                 .env("PORTALS_TIMEOUT_SECS", "120")
                 .env("PORTALS_OUT_DIR", &out_dir)
                 .stdout(std::process::Stdio::piped())
-                .stderr(std::process::Stdio::inherit())
-                .spawn()
-                .expect("spawn udp_rank")
+                .stderr(std::process::Stdio::inherit());
+            if let Some(batch) = wire.batch {
+                cmd.env("PORTALS_UDP_BATCH", batch.to_string());
+            }
+            if let Some(mtu) = wire.mtu {
+                cmd.env("PORTALS_UDP_MTU", mtu.to_string());
+            }
+            cmd.spawn().expect("spawn udp_rank")
         })
         .collect();
 
     let deadline = Instant::now() + Duration::from_secs(180);
     let mut retransmissions = 0u64;
-    for (k, child) in children.into_iter().enumerate() {
-        let out = wait_with_deadline(child, deadline, k);
+    for out in wait_all_with_deadline(children, deadline) {
         for line in String::from_utf8_lossy(&out).lines() {
             // "rank <r> bytes <n> retransmissions <k>"
             let fields: Vec<&str> = line.split_whitespace().collect();
@@ -77,10 +98,33 @@ fn run_distributed(nprocs: u32, procs_per_node: usize, loss: f64, job: &str) -> 
     }
 }
 
-fn wait_with_deadline(mut child: Child, deadline: Instant, proc_index: usize) -> Vec<u8> {
+/// Kills every remaining child on drop, so one failed or hung process can
+/// never leak a still-running sibling into the next test (a leaked rank
+/// keeps retransmitting toward its dead peer and steals the whole CPU
+/// budget from later runs).
+struct Reaper(Vec<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Wait for every child, in any completion order, under one shared deadline.
+/// Panics (reaping all children) if any child fails or the deadline passes.
+fn wait_all_with_deadline(children: Vec<Child>, deadline: Instant) -> Vec<Vec<u8>> {
+    let mut guard = Reaper(children);
+    let mut outs: Vec<Option<Vec<u8>>> = guard.0.iter().map(|_| None).collect();
     loop {
-        match child.try_wait().expect("try_wait") {
-            Some(status) => {
+        let mut progressed = false;
+        for (k, child) in guard.0.iter_mut().enumerate() {
+            if outs[k].is_some() {
+                continue;
+            }
+            if let Some(status) = child.try_wait().expect("try_wait") {
                 let mut out = Vec::new();
                 if let Some(mut stdout) = child.stdout.take() {
                     use std::io::Read;
@@ -88,18 +132,28 @@ fn wait_with_deadline(mut child: Child, deadline: Instant, proc_index: usize) ->
                 }
                 assert!(
                     status.success(),
-                    "process {proc_index} failed ({status}); stdout: {}",
+                    "process {k} failed ({status}); stdout: {}",
                     String::from_utf8_lossy(&out)
                 );
-                return out;
+                outs[k] = Some(out);
+                progressed = true;
             }
-            None => {
-                if Instant::now() > deadline {
-                    let _ = child.kill();
-                    panic!("process {proc_index} hit the deadline");
-                }
-                std::thread::sleep(Duration::from_millis(20));
+        }
+        if outs.iter().all(|o| o.is_some()) {
+            guard.0.clear(); // all reaped cleanly; nothing to kill
+            return outs.into_iter().map(Option::unwrap).collect();
+        }
+        if !progressed {
+            if Instant::now() > deadline {
+                let waiting: Vec<usize> = outs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.is_none())
+                    .map(|(k, _)| k)
+                    .collect();
+                panic!("processes {waiting:?} hit the deadline");
             }
+            std::thread::sleep(Duration::from_millis(20));
         }
     }
 }
@@ -131,7 +185,7 @@ fn assert_identical(world: usize, dist: &DistRun, local: &HashMap<u32, Vec<u8>>)
 
 #[test]
 fn two_processes_match_in_process_launch() {
-    let dist = run_distributed(2, 1, 0.0, "diff2x1");
+    let dist = run_distributed(2, 1, 0.0, "diff2x1", Wire::default());
     let local = run_local(2, 1);
     assert_identical(2, &dist, &local);
 }
@@ -140,7 +194,7 @@ fn two_processes_match_in_process_launch() {
 fn two_processes_two_ranks_each_match_in_process_launch() {
     // 2 OS processes × 2 ranks: same-node traffic stays in the node, ring
     // neighbours cross the real wire.
-    let dist = run_distributed(2, 2, 0.0, "diff2x2");
+    let dist = run_distributed(2, 2, 0.0, "diff2x2", Wire::default());
     let local = run_local(4, 2);
     assert_identical(4, &dist, &local);
 }
@@ -150,11 +204,104 @@ fn lossy_udp_still_matches_and_actually_retransmitted() {
     // 10% seeded send-side datagram loss on every link: the go-back-N
     // machinery must recover over the real wire and the application bytes
     // must still be identical to the lossless in-process run.
-    let dist = run_distributed(2, 1, 0.10, "diffloss");
+    let dist = run_distributed(2, 1, 0.10, "diffloss", Wire::default());
     let local = run_local(2, 1);
     assert_identical(2, &dist, &local);
     assert!(
         dist.retransmissions > 0,
         "10% loss must force retransmissions (got none — loss shim inert?)"
     );
+}
+
+#[test]
+fn batched_wire_matches_unbatched_wire_and_local() {
+    // The tentpole differential: the same job (eager + streaming rendezvous
+    // + triggered phases) over the sendmmsg/recvmmsg wire, the one-syscall-
+    // per-datagram wire, and the in-process launcher must produce
+    // byte-identical per-rank transcripts.
+    let batched = run_distributed(
+        2,
+        1,
+        0.0,
+        "diffbatch32",
+        Wire {
+            batch: Some(32),
+            mtu: None,
+        },
+    );
+    let unbatched = run_distributed(
+        2,
+        1,
+        0.0,
+        "diffbatch1",
+        Wire {
+            batch: Some(1),
+            mtu: None,
+        },
+    );
+    let local = run_local(2, 1);
+    assert_identical(2, &batched, &local);
+    assert_identical(2, &unbatched, &local);
+    assert_eq!(
+        batched.transcripts, unbatched.transcripts,
+        "batching must be observationally invisible"
+    );
+}
+
+#[test]
+fn batched_lossy_wire_matches_and_retransmits() {
+    // The loss shim sits below the batch boundary: a 10% seeded drop rate
+    // applied per datagram inside the mmsg vector must exercise go-back-N
+    // over the batched wire exactly as it does over the unbatched one, and
+    // both must still match the lossless in-process run byte for byte.
+    let batched = run_distributed(
+        2,
+        1,
+        0.10,
+        "difflossb32",
+        Wire {
+            batch: Some(32),
+            mtu: None,
+        },
+    );
+    let unbatched = run_distributed(
+        2,
+        1,
+        0.10,
+        "difflossb1",
+        Wire {
+            batch: Some(1),
+            mtu: None,
+        },
+    );
+    let local = run_local(2, 1);
+    assert_identical(2, &batched, &local);
+    assert_identical(2, &unbatched, &local);
+    assert!(
+        batched.retransmissions > 0,
+        "10% loss over the batched wire must force retransmissions"
+    );
+    assert!(
+        unbatched.retransmissions > 0,
+        "10% loss over the unbatched wire must force retransmissions"
+    );
+}
+
+#[test]
+fn jumbo_mtu_negotiated_run_matches_local() {
+    // Jumbo loopback datagrams (~64 KiB, negotiated job-wide through the
+    // rendezvous MTU exchange) change the fragmentation completely but must
+    // not change a single application byte.
+    let dist = run_distributed(
+        2,
+        1,
+        0.0,
+        "diffjumbo",
+        Wire {
+            batch: Some(32),
+            mtu: Some(65489),
+        },
+    );
+    let local = run_local(2, 1);
+    assert_identical(2, &dist, &local);
 }
