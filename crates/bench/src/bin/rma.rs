@@ -1,0 +1,442 @@
+//! One-sided RMA suite: 2-D halo exchange bandwidth and a contended
+//! atomic-counter latency probe, through the rebuilt `Window` API.
+//!
+//! Two workloads, each run over two wires:
+//!
+//! * **Halo exchange** — 4 ranks as a periodic 2×2 grid; every iteration
+//!   each rank `rput`s its four edges (north/south to the vertical
+//!   neighbour, east/west to the horizontal one) and closes the epoch with
+//!   `Window::sync`. The row reports aggregate bandwidth across all ranks,
+//!   the classic stencil communication pattern one-sided models exist for.
+//! * **Atomic counter** — ranks hammer `rfetch_and_op(Sum, 1)` on rank 0's
+//!   counter, each op completed before the next; the row reports rank 0's
+//!   per-op round trip while zero (uncontended) or three (contended) other
+//!   ranks race it. The read-modify-write runs in the target engine, so
+//!   contention serializes under the portal lock instead of bouncing
+//!   get-modify-put retries.
+//!
+//! Wires: `in_process` (4 ranks over the ideal in-process fabric via
+//! `Job::launch`) and `udp_loopback` (2 OS processes × 2 ranks over real
+//! loopback UDP sockets via `Job::launch_distributed`, rendezvous served by
+//! the parent).
+//!
+//! Writes `BENCH_rma_bandwidth.json` (halo rows) and
+//! `BENCH_rma_latency.json` (counter rows).
+//!
+//! Run: `cargo run --release -p portals-bench --bin rma [--quick]
+//! [--out-bandwidth PATH] [--out-latency PATH]`
+
+use portals_mpi::{AtomicDatatype, AtomicOp, Window};
+use portals_netudp::RendezvousServer;
+use portals_runtime::{DistributedConfig, Job, JobConfig, ProcessEnv};
+use portals_types::{Rank, Region};
+use serde::Serialize;
+use std::io::BufRead;
+use std::time::{Duration, Instant};
+
+const KIB: usize = 1024;
+const MIB: usize = 1024 * 1024;
+/// World size: a periodic 2×2 process grid.
+const WORLD: usize = 4;
+
+#[derive(Serialize)]
+struct BwRow {
+    op: &'static str,
+    wire: &'static str,
+    arm: &'static str,
+    size: usize,
+    iters: usize,
+    mib_per_s_mean: f64,
+}
+
+#[derive(Serialize)]
+struct LatRow {
+    op: &'static str,
+    wire: &'static str,
+    arm: &'static str,
+    size: usize,
+    iters: usize,
+    rtt_mean_us: f64,
+    rtt_p50_us: f64,
+    rtt_p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct BwReport {
+    bench: &'static str,
+    quick: bool,
+    results: Vec<BwRow>,
+}
+
+#[derive(Serialize)]
+struct LatReport {
+    bench: &'static str,
+    quick: bool,
+    /// Contended ÷ uncontended mean fetch-and-add round trip, in-process —
+    /// what three racing ranks cost a serialized engine-side RMW.
+    in_process_contention_factor: f64,
+    results: Vec<LatRow>,
+}
+
+/// Per-wire iteration budgets; loopback UDP pays two kernel crossings per
+/// datagram, so its loops are shorter.
+struct Budget {
+    halo_iters: usize,
+    counter_iters: usize,
+}
+
+fn budget(wire: &str, quick: bool) -> Budget {
+    let scale = if quick { 4 } else { 1 };
+    match wire {
+        "udp_loopback" => Budget {
+            halo_iters: 64 / scale,
+            counter_iters: 400 / scale,
+        },
+        _ => Budget {
+            halo_iters: 256 / scale,
+            counter_iters: 2000 / scale,
+        },
+    }
+}
+
+fn halo_sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[4 * KIB, 64 * KIB]
+    } else {
+        &[4 * KIB, 64 * KIB, MIB]
+    }
+}
+
+/// One rank's halo-exchange timing: four edge puts + epoch close per
+/// iteration. All ranks run this concurrently; the per-iteration `sync`
+/// barrier keeps them in lockstep, so any rank's elapsed time measures the
+/// whole grid.
+fn halo_exchange(env: &ProcessEnv, win_id: u32, size: usize, iters: usize) -> Duration {
+    let comm = &env.comm;
+    let me = comm.rank().0 as usize;
+    let (x, y) = (me % 2, me / 2);
+    let vertical = Rank((((y + 1) % 2) * 2 + x) as u32);
+    let horizontal = Rank((y * 2 + (x + 1) % 2) as u32);
+    // Four halo slots: N, S, E, W.
+    let local = Region::zeroed(4 * size);
+    let mut win = Window::create(comm, win_id, local).expect("halo window");
+    let edge = vec![me as u8 + 1; size];
+    let one = |win: &mut Window| {
+        let _n = win.put_to(vertical).offset(0).submit(&edge).expect("N");
+        let _s = win
+            .put_to(vertical)
+            .offset(size as u64)
+            .submit(&edge)
+            .expect("S");
+        let _e = win
+            .put_to(horizontal)
+            .offset(2 * size as u64)
+            .submit(&edge)
+            .expect("E");
+        let _w = win
+            .put_to(horizontal)
+            .offset(3 * size as u64)
+            .submit(&edge)
+            .expect("W");
+        win.sync().expect("epoch");
+    };
+    for _ in 0..(iters / 8).max(1) {
+        one(&mut win); // warmup
+    }
+    comm.barrier();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        one(&mut win);
+    }
+    let dt = t0.elapsed();
+    comm.barrier();
+    dt
+}
+
+/// Per-op fetch-and-add round trips measured at rank 0 against its own
+/// window counter while `contenders` other ranks race it. Non-measuring
+/// ranks either contend (same loop, untimed) or sit in the closing barrier.
+fn atomic_counter(
+    env: &ProcessEnv,
+    win_id: u32,
+    contenders: usize,
+    iters: usize,
+) -> Option<Vec<Duration>> {
+    let comm = &env.comm;
+    let me = comm.rank().0 as usize;
+    let local = Region::zeroed(8);
+    let mut win = Window::create(comm, win_id, local).expect("counter window");
+    let active = me == 0 || me <= contenders;
+    let fetch_add = |win: &mut Window| {
+        let req = win
+            .rfetch_and_op(
+                Rank(0),
+                0,
+                AtomicOp::Sum,
+                AtomicDatatype::U64,
+                1u64.to_le_bytes(),
+            )
+            .expect("fetch_add");
+        win.wait(req).expect("fetch_add wait");
+    };
+    let mut samples = Vec::new();
+    if active {
+        for _ in 0..(iters / 8).max(1) {
+            fetch_add(&mut win); // warmup
+        }
+    }
+    comm.barrier();
+    if active {
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            fetch_add(&mut win);
+            samples.push(t0.elapsed());
+        }
+    }
+    comm.barrier();
+    win.sync().expect("counter epoch");
+    (me == 0).then_some(samples)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// The full suite on one rank; rank 0 returns (bandwidth rows, latency rows).
+fn run_suite(
+    env: &ProcessEnv,
+    wire: &'static str,
+    quick: bool,
+) -> Option<(Vec<BwRow>, Vec<LatRow>)> {
+    let b = budget(wire, quick);
+    let me = env.rank().0;
+    let mut bw_rows = Vec::new();
+    let mut lat_rows = Vec::new();
+
+    for (k, &size) in halo_sizes(quick).iter().enumerate() {
+        let iters = (b.halo_iters * halo_sizes(quick)[0] / size).clamp(4, b.halo_iters);
+        let dt = halo_exchange(env, 100 + k as u32, size, iters);
+        if me == 0 {
+            // Four edges per rank per iteration, WORLD ranks in lockstep.
+            let mib = (WORLD * 4 * size * iters) as f64 / MIB as f64;
+            bw_rows.push(BwRow {
+                op: "halo2d",
+                wire,
+                arm: "rput_sync",
+                size,
+                iters,
+                mib_per_s_mean: mib / dt.as_secs_f64(),
+            });
+        }
+    }
+
+    for (arm, contenders) in [("uncontended", 0usize), ("contended", WORLD - 1)] {
+        let win_id = 200 + contenders as u32;
+        if let Some(times) = atomic_counter(env, win_id, contenders, b.counter_iters) {
+            let mut us: Vec<f64> = times.iter().map(|t| t.as_secs_f64() * 1e6).collect();
+            us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            lat_rows.push(LatRow {
+                op: "fetch_add",
+                wire,
+                arm,
+                size: 8,
+                iters: us.len(),
+                rtt_mean_us: us.iter().sum::<f64>() / us.len() as f64,
+                rtt_p50_us: percentile(&us, 0.50),
+                rtt_p99_us: percentile(&us, 0.99),
+            });
+        }
+    }
+
+    (me == 0).then_some((bw_rows, lat_rows))
+}
+
+fn print_bw(r: &BwRow) {
+    println!(
+        "{:<9} {:<12} {:<11} {:>9} {:>5} {:>11.1}",
+        r.op,
+        r.wire,
+        r.arm,
+        r.size / KIB,
+        r.iters,
+        r.mib_per_s_mean
+    );
+}
+
+fn print_lat(r: &LatRow) {
+    println!(
+        "{:<9} {:<12} {:<11} {:>9} {:>5} {:>11.2} {:>11.2} {:>11.2}",
+        r.op, r.wire, r.arm, r.size, r.iters, r.rtt_mean_us, r.rtt_p50_us, r.rtt_p99_us
+    );
+}
+
+/// Child role for the UDP arm: one OS process hosting a slice of the ranks,
+/// configured through the `PORTALS_*` environment. Rank 0's process prints
+/// the result rows as marked whitespace-separated lines (the offline
+/// serde_json shim has no parser, so the parent reads fields, not JSON).
+fn udp_child() -> ! {
+    let dist = DistributedConfig::from_env().expect("udp child needs PORTALS_* env");
+    let quick = std::env::var("PORTALS_RMA_QUICK").is_ok();
+    let results = Job::launch_distributed(&dist, JobConfig::default(), move |env| {
+        run_suite(&env, "udp_loopback", quick)
+    });
+    for (bw, lat) in results.into_iter().flatten() {
+        for r in bw {
+            println!(
+                "RMA_BW {} {} {} {} {}",
+                r.op, r.arm, r.size, r.iters, r.mib_per_s_mean
+            );
+        }
+        for r in lat {
+            println!(
+                "RMA_LAT {} {} {} {} {} {} {}",
+                r.op, r.arm, r.size, r.iters, r.rtt_mean_us, r.rtt_p50_us, r.rtt_p99_us
+            );
+        }
+    }
+    std::process::exit(0);
+}
+
+/// Intern the two arm names the child can report, so rows keep `&'static str`
+/// fields after crossing the process boundary.
+fn arm_name(s: &str) -> &'static str {
+    match s {
+        "contended" => "contended",
+        _ => "uncontended",
+    }
+}
+
+/// Parent side of the UDP arm: serve rendezvous, spawn 2 child processes ×
+/// 2 ranks, harvest rank 0's rows.
+fn udp_arm(quick: bool) -> (Vec<BwRow>, Vec<LatRow>) {
+    let server = RendezvousServer::bind("127.0.0.1:0").expect("bind rendezvous");
+    let exe = std::env::current_exe().expect("current_exe");
+    let children: Vec<_> = (0..2)
+        .map(|k| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("--udp-child")
+                .env("PORTALS_TRANSPORT", "udp")
+                .env("PORTALS_RENDEZVOUS", server.local_addr().to_string())
+                .env("PORTALS_JOB_ID", "bench-rma")
+                .env("PORTALS_PROC_INDEX", k.to_string())
+                .env("PORTALS_NPROCS", "2")
+                .env("PORTALS_PROCS_PER_NODE", (WORLD / 2).to_string())
+                .env("PORTALS_TIMEOUT_SECS", "300")
+                .stdout(std::process::Stdio::piped());
+            if quick {
+                cmd.env("PORTALS_RMA_QUICK", "1");
+            }
+            cmd.spawn().expect("spawn rma udp child")
+        })
+        .collect();
+    let mut bw = Vec::new();
+    let mut lat = Vec::new();
+    for mut child in children {
+        let stdout = child.stdout.take().expect("child stdout");
+        for line in std::io::BufReader::new(stdout).lines() {
+            let line = line.expect("child line");
+            let f: Vec<&str> = line.split_whitespace().collect();
+            match f.first() {
+                Some(&"RMA_BW") if f.len() == 6 => bw.push(BwRow {
+                    op: "halo2d",
+                    wire: "udp_loopback",
+                    arm: "rput_sync",
+                    size: f[3].parse().expect("size"),
+                    iters: f[4].parse().expect("iters"),
+                    mib_per_s_mean: f[5].parse().expect("rate"),
+                }),
+                Some(&"RMA_LAT") if f.len() == 8 => lat.push(LatRow {
+                    op: "fetch_add",
+                    wire: "udp_loopback",
+                    arm: arm_name(f[2]),
+                    size: f[3].parse().expect("size"),
+                    iters: f[4].parse().expect("iters"),
+                    rtt_mean_us: f[5].parse().expect("mean"),
+                    rtt_p50_us: f[6].parse().expect("p50"),
+                    rtt_p99_us: f[7].parse().expect("p99"),
+                }),
+                _ => {}
+            }
+        }
+        let status = child.wait().expect("child wait");
+        assert!(status.success(), "rma udp child failed: {status}");
+    }
+    (bw, lat)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--udp-child") {
+        udp_child();
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let opt = |flag: &str, default: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let out_bw = opt("--out-bandwidth", "BENCH_rma_bandwidth.json");
+    let out_lat = opt("--out-latency", "BENCH_rma_latency.json");
+
+    println!("RMA suite: 2×2 halo exchange + contended atomic counter");
+    println!(
+        "{:<9} {:<12} {:<11} {:>9} {:>5} {:>11} {:>11} {:>11}",
+        "op", "wire", "arm", "KiB|B", "reps", "MiB/s|mean", "p50 µs", "p99 µs"
+    );
+
+    // In-process arm: 4 ranks over the ideal fabric.
+    let mut rows = Job::launch(WORLD, JobConfig::default(), move |env| {
+        run_suite(&env, "in_process", quick)
+    });
+    let (mut bw_rows, mut lat_rows) = rows.iter_mut().find_map(Option::take).expect("rank 0 rows");
+
+    // Loopback-UDP arm: 2 OS processes × 2 ranks, real sockets.
+    let (udp_bw, udp_lat) = udp_arm(quick);
+    bw_rows.extend(udp_bw);
+    lat_rows.extend(udp_lat);
+
+    for r in &bw_rows {
+        print_bw(r);
+    }
+    for r in &lat_rows {
+        print_lat(r);
+    }
+
+    let contention = {
+        let mean = |arm: &str| {
+            lat_rows
+                .iter()
+                .find(|r| r.wire == "in_process" && r.arm == arm)
+                .map(|r| r.rtt_mean_us)
+                .unwrap_or(f64::NAN)
+        };
+        mean("contended") / mean("uncontended")
+    };
+    println!("in-process fetch_add contention factor (4 ranks vs 1): {contention:.2}x");
+
+    let bw_report = BwReport {
+        bench: "rma_bandwidth",
+        quick,
+        results: bw_rows,
+    };
+    std::fs::write(
+        &out_bw,
+        serde_json::to_string_pretty(&bw_report).unwrap() + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {out_bw}: {e}"));
+    let lat_report = LatReport {
+        bench: "rma_latency",
+        quick,
+        in_process_contention_factor: contention,
+        results: lat_rows,
+    };
+    std::fs::write(
+        &out_lat,
+        serde_json::to_string_pretty(&lat_report).unwrap() + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {out_lat}: {e}"));
+    println!("wrote {out_bw} and {out_lat}");
+}

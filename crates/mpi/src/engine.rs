@@ -1231,6 +1231,10 @@ impl MpiEngine {
                 }
             }
             EventKind::Put => self.handle_put_event(st, ev),
+            EventKind::Atomic | EventKind::FetchAtomic => {
+                // RMA windows run on their own portal with per-window queues;
+                // the point-to-point engine's EQ never sees atomic traffic.
+            }
             EventKind::Unlink => {
                 // A slab rotated out: attach a replacement. (Buffers stay
                 // alive via Arc until their last unexpected message is

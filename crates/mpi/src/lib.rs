@@ -44,5 +44,6 @@ pub mod request;
 pub use comm::{Communicator, Mpi};
 pub use config::{MpiConfig, Protocol};
 pub use engine::{AdaptiveReport, MpiEngine};
-pub use osc::Window;
+pub use osc::{RmaRequest, WinAccumulate, WinGet, WinPut, Window};
+pub use portals::{AtomicDatatype, AtomicOp};
 pub use request::{Completion, Request, Status};

@@ -37,9 +37,10 @@
 //! length — has no safe default and must be set before `submit`, which
 //! returns [`PtlError::InvalidArgument`] otherwise.
 
-use crate::ni::{do_get, do_put, AckRequest, NetworkInterface};
+use crate::ni::{do_atomic, do_get, do_put, AckRequest, NetworkInterface};
 use crate::MdHandle;
 use portals_types::{MatchBits, ProcessId, PtlError, PtlResult};
+use portals_wire::{AtomicDatatype, AtomicOp};
 
 /// A put under construction (see [`NetworkInterface::put_op`]).
 ///
@@ -193,6 +194,132 @@ impl<'a> GetBuilder<'a> {
             self.match_bits,
             self.remote_offset,
             length,
+        )
+    }
+}
+
+/// An atomic read-modify-write under construction (see
+/// [`NetworkInterface::atomic_op`]). The builder's MD is the *operand
+/// source*: its region holds one operand value per 8-byte lane of the touched
+/// length (for a compare-and-swap, the compare value followed by the swap
+/// value).
+///
+/// Defaults: no ack, cookie 0, match bits zero, remote offset 0, datatype
+/// [`AtomicDatatype::U64`], length one lane (8 bytes). The target and the
+/// operation are required. Calling [`AtomicBuilder::fetch`] turns the
+/// operation into a fetching atomic: the value the target held *before* the
+/// RMW lands at offset 0 of the given descriptor, which stays pinned until
+/// its reply arrives, exactly like a get's.
+#[must_use = "an atomic builder does nothing until .submit()"]
+pub struct AtomicBuilder<'a> {
+    ni: &'a NetworkInterface,
+    md: MdHandle,
+    fetch_md: Option<MdHandle>,
+    ack: AckRequest,
+    op: Option<AtomicOp>,
+    datatype: AtomicDatatype,
+    target: Option<(ProcessId, u32)>,
+    cookie: u32,
+    match_bits: MatchBits,
+    remote_offset: u64,
+    length: u64,
+}
+
+impl<'a> AtomicBuilder<'a> {
+    pub(crate) fn new(ni: &'a NetworkInterface, md: MdHandle) -> AtomicBuilder<'a> {
+        AtomicBuilder {
+            ni,
+            md,
+            fetch_md: None,
+            ack: AckRequest::NoAck,
+            op: None,
+            datatype: AtomicDatatype::U64,
+            target: None,
+            cookie: 0,
+            match_bits: MatchBits::ZERO,
+            remote_offset: 0,
+            length: AtomicDatatype::WIDTH,
+        }
+    }
+
+    /// The destination process and portal index. Required.
+    pub fn target(mut self, target: ProcessId, portal_index: u32) -> Self {
+        self.target = Some((target, portal_index));
+        self
+    }
+
+    /// The combining operation applied at the target. Required.
+    pub fn op(mut self, op: AtomicOp) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    /// Lane interpretation for sum/min/max. Default [`AtomicDatatype::U64`]
+    /// (swap and compare-and-swap move raw bytes either way).
+    pub fn datatype(mut self, datatype: AtomicDatatype) -> Self {
+        self.datatype = datatype;
+        self
+    }
+
+    /// Fetch the prior value into `fetch_md` (spec lineage:
+    /// `PtlFetchAtomic`). The reply lands at the descriptor's offset 0.
+    pub fn fetch(mut self, fetch_md: MdHandle) -> Self {
+        self.fetch_md = Some(fetch_md);
+        self
+    }
+
+    /// Request a delivery acknowledgment (plain atomics only — a fetching
+    /// atomic completes through its reply instead). Default no ack.
+    pub fn ack(mut self, ack: AckRequest) -> Self {
+        self.ack = ack;
+        self
+    }
+
+    /// Match bits the target's match list is probed with. Default zero.
+    pub fn bits(mut self, match_bits: MatchBits) -> Self {
+        self.match_bits = match_bits;
+        self
+    }
+
+    /// ACL cookie (§4.5). Default 0, the "same application" entry.
+    pub fn cookie(mut self, cookie: u32) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Offset within the target's memory region. Default 0.
+    pub fn offset(mut self, remote_offset: u64) -> Self {
+        self.remote_offset = remote_offset;
+        self
+    }
+
+    /// Bytes touched at the target: a nonzero multiple of the 8-byte lane
+    /// (exactly one lane for compare-and-swap). Default one lane.
+    pub fn length(mut self, length: u64) -> Self {
+        self.length = length;
+        self
+    }
+
+    /// Initiate the atomic (spec lineage: `PtlAtomic` / `PtlFetchAtomic`).
+    /// Logs a `Sent` event to the operand MD's queue; completion arrives as
+    /// an `Ack` (plain, if requested) or a `Reply` on the fetch descriptor.
+    pub fn submit(self) -> PtlResult<()> {
+        let (target, portal_index) = self.target.ok_or(PtlError::InvalidArgument)?;
+        let op = self.op.ok_or(PtlError::InvalidArgument)?;
+        do_atomic(
+            &self.ni.core,
+            &self.ni.node,
+            self.md,
+            self.fetch_md,
+            self.ack,
+            op,
+            self.datatype,
+            target,
+            portal_index,
+            self.cookie,
+            self.match_bits,
+            self.remote_offset,
+            self.length,
         )
     }
 }

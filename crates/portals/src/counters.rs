@@ -37,11 +37,16 @@ pub enum DropReason {
     /// (extension: Portals 4 lineage, `PTL_EVENT_PT_DISABLED`). Under flow
     /// control the initiator is nacked instead of silently losing the message.
     PtDisabled,
+    /// Atomic request whose geometry is unusable: zero or non-lane-multiple
+    /// length, a CAS touching more than one element, or a length the matched
+    /// descriptor would have to truncate (partial read-modify-writes are
+    /// never performed).
+    AtomicInvalid,
 }
 
 impl DropReason {
     /// All reasons, for iteration in reports.
-    pub const ALL: [DropReason; 9] = [
+    pub const ALL: [DropReason; 10] = [
         DropReason::InvalidPortalIndex,
         DropReason::InvalidAcIndex,
         DropReason::AclProcessMismatch,
@@ -51,6 +56,7 @@ impl DropReason {
         DropReason::ReplyMdMissing,
         DropReason::ReplyEqFull,
         DropReason::PtDisabled,
+        DropReason::AtomicInvalid,
     ];
 
     fn index(self) -> usize {
@@ -64,6 +70,7 @@ impl DropReason {
             DropReason::ReplyMdMissing => 6,
             DropReason::ReplyEqFull => 7,
             DropReason::PtDisabled => 8,
+            DropReason::AtomicInvalid => 9,
         }
     }
 
@@ -79,6 +86,7 @@ impl DropReason {
             DropReason::ReplyMdMissing => "reply descriptor missing",
             DropReason::ReplyEqFull => "reply event queue full",
             DropReason::PtDisabled => "portal disabled by flow control",
+            DropReason::AtomicInvalid => "invalid atomic geometry",
         }
     }
 
@@ -94,6 +102,7 @@ impl DropReason {
             DropReason::ReplyMdMissing => "reply_md_missing",
             DropReason::ReplyEqFull => "reply_eq_full",
             DropReason::PtDisabled => "pt_disabled",
+            DropReason::AtomicInvalid => "atomic_invalid",
         }
     }
 }
@@ -111,7 +120,7 @@ impl std::fmt::Display for DropReason {
 /// standalone use.
 #[derive(Debug)]
 pub struct NiCounters {
-    drops: [Counter; 9],
+    drops: [Counter; 10],
     /// Put/get requests successfully translated and performed.
     pub requests_accepted: Counter,
     /// Acks successfully logged.
@@ -192,7 +201,7 @@ impl NiCounters {
 
     /// Plain-data snapshot.
     pub fn snapshot(&self) -> NiCountersSnapshot {
-        let mut drops = [0u64; 9];
+        let mut drops = [0u64; 10];
         for (i, c) in self.drops.iter().enumerate() {
             drops[i] = c.get();
         }
@@ -222,7 +231,7 @@ impl Default for NiCounters {
 /// Plain-data snapshot of [`NiCounters`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NiCountersSnapshot {
-    drops: [u64; 9],
+    drops: [u64; 10],
     /// Put/get requests successfully translated and performed.
     pub requests_accepted: u64,
     /// Acks successfully logged.
@@ -269,8 +278,8 @@ impl NiCountersSnapshot {
     }
 
     /// The full per-reason breakdown, in [`DropReason::ALL`] order.
-    pub fn dropped_by_reason(&self) -> [(DropReason, u64); 9] {
-        let mut out = [(DropReason::InvalidPortalIndex, 0u64); 9];
+    pub fn dropped_by_reason(&self) -> [(DropReason, u64); 10] {
+        let mut out = [(DropReason::InvalidPortalIndex, 0u64); 10];
         for (slot, reason) in out.iter_mut().zip(DropReason::ALL) {
             *slot = (reason, self.dropped(reason));
         }
@@ -302,7 +311,7 @@ mod tests {
         }
         c.requests_accepted.add(5);
         let snap = c.snapshot();
-        assert_eq!(snap.dropped_total(), 9);
+        assert_eq!(snap.dropped_total(), 10);
         for reason in DropReason::ALL {
             assert_eq!(snap.dropped(reason), 1);
         }
@@ -315,7 +324,7 @@ mod tests {
         for r in DropReason::ALL {
             assert!(seen.insert(r.index()));
         }
-        assert_eq!(seen.len(), 9);
+        assert_eq!(seen.len(), 10);
     }
 
     #[test]

@@ -37,8 +37,8 @@ use crate::{CtHandle, EqHandle, MdHandle, MeHandle};
 use portals_obs::{Layer, Stage, TraceEvent};
 use portals_types::{Gather, Handle, MatchBits, ProcessId};
 use portals_wire::{
-    Ack, GetRequest, PortalsMessage, PutRequest, Reply, RequestHeader, ResponseHeader,
-    RAW_HANDLE_NONE,
+    Ack, AtomicOp, AtomicRequest, GetRequest, PortalsMessage, PutRequest, Reply, RequestHeader,
+    ResponseHeader, RAW_HANDLE_NONE,
 };
 
 /// A successful Fig. 4 translation.
@@ -315,6 +315,7 @@ pub(crate) fn deliver(core: &NiCore, node: &NodeShared, msg: PortalsMessage) {
     match msg {
         PortalsMessage::Put(put) => handle_put(core, node, put),
         PortalsMessage::Get(get) => handle_get(core, node, get),
+        PortalsMessage::Atomic(atomic) => handle_atomic(core, node, atomic),
         PortalsMessage::Ack(ack) => handle_ack(core, node, ack),
         PortalsMessage::Reply(reply) => handle_reply(core, node, reply),
     }
@@ -558,6 +559,215 @@ fn handle_get(core: &NiCore, node: &NodeShared, get: GetRequest) {
 
     // Get served from this descriptor: bump its counter after the reply is on
     // the wire and every lock is dropped.
+    if let Some(ct) = ct {
+        crate::triggered::ct_increment(core, node, ct, 1);
+    }
+}
+
+/// Drop an atomic addressed to a flow-disabled portal and, if the initiator
+/// asked for an ack (plain atomics only), nack it so the sender re-issues.
+/// Fetching atomics have no nack channel (their reply path mirrors the get's),
+/// so a disabled portal drops them like a get.
+fn nack_atomic(core: &NiCore, node: &NodeShared, atomic: &AtomicRequest) {
+    drop_msg(core, DropReason::PtDisabled);
+    if !atomic.fetch && atomic.ack_md != RAW_HANDLE_NONE {
+        let h = atomic.header;
+        let nack = PortalsMessage::Ack(Ack {
+            header: ResponseHeader {
+                initiator: h.target, // swapped (§4.7)
+                target: h.initiator,
+                portal_index: h.portal_index,
+                match_bits: h.match_bits,
+                offset: 0,
+                md_handle: atomic.ack_md,
+                eq_handle: atomic.ack_eq,
+                requested_length: h.length,
+                manipulated_length: NACK_MLENGTH,
+            },
+        });
+        send_message(core, node, h.initiator.nid, &nack);
+    }
+}
+
+/// §4.8 applied to an atomic or fetch-atomic request. The prologue mirrors
+/// `handle_put` (portal validity, flow control, ACL, translation), but the
+/// data phase is a read-modify-write executed *here*, under the portal's list
+/// lock — the target process runs no code. That lock is the atomicity domain:
+/// it already serializes put delivery per portal, so concurrent atomics from
+/// any number of initiators are applied one at a time, which a get-modify-put
+/// built from the plain operations could never guarantee.
+///
+/// Geometry is validated before any byte moves: the touched length must be a
+/// nonzero multiple of the 8-byte lane, a CAS must touch exactly one lane, and
+/// the matched descriptor must accept the full length (`mlength == rlength`) —
+/// a truncated RMW would half-apply, so it drops as [`DropReason::AtomicInvalid`]
+/// instead.
+fn handle_atomic(core: &NiCore, node: &NodeShared, atomic: AtomicRequest) {
+    let h = atomic.header;
+    let class = NiClass {
+        node,
+        my_job: core.config.job,
+    };
+    let state = &core.state;
+    let Some(mut list) = state.table.lock(h.portal_index) else {
+        drop_msg(core, DropReason::InvalidPortalIndex);
+        return;
+    };
+    let flow_armed = core.config.flow_control && state.table.flow_eq(h.portal_index).is_some();
+    if !state.table.is_enabled(h.portal_index) {
+        drop(list);
+        nack_atomic(core, node, &atomic);
+        return;
+    }
+    if let Err(r) = state
+        .acl
+        .read()
+        .check(h.cookie, h.initiator, h.portal_index, &class)
+    {
+        drop_msg(core, r.into());
+        return;
+    }
+    // Lane geometry first — nothing downstream may see a partial RMW.
+    let lane = portals_wire::AtomicDatatype::WIDTH;
+    if h.length == 0
+        || h.length % lane != 0
+        || (atomic.op == AtomicOp::Cas && h.length != lane)
+        || atomic.payload.len() as u64 != atomic.op.operand_len(h.length)
+    {
+        drop_msg(core, DropReason::AtomicInvalid);
+        return;
+    }
+    // A plain atomic only mutates (ReqOp::Put); a fetching atomic also reads
+    // the prior value back, so the descriptor must enable both operations.
+    let req_op = if atomic.fetch {
+        ReqOp::FetchAtomic
+    } else {
+        ReqOp::Put
+    };
+    let accepted = match translate(
+        &list,
+        state,
+        core.config.match_index,
+        req_op,
+        h.initiator,
+        h.match_bits,
+        h.offset,
+        h.length,
+    ) {
+        Ok(a) => a,
+        Err(reason) => {
+            if flow_armed && reason == DropReason::NoMatch {
+                trip_flow_control(core, &h);
+                drop(list);
+                nack_atomic(core, node, &atomic);
+            } else {
+                drop_msg(core, reason);
+            }
+            return;
+        }
+    };
+    // Truncation is acceptance-time rejection here: an RMW applied to a prefix
+    // of the requested lanes would be a different operation, not a shorter one.
+    if accepted.mlength != h.length {
+        drop_msg(core, DropReason::AtomicInvalid);
+        return;
+    }
+    if flow_armed {
+        let md_eq = state.mds.with(accepted.md, |md| md.eq).flatten();
+        let room = md_eq.map(|eqh| state.eqs.with(eqh, |q| q.has_room_for(2)));
+        if room == Some(Some(false)) {
+            trip_flow_control(core, &h);
+            drop(list);
+            nack_atomic(core, node, &atomic);
+            return;
+        }
+    }
+    let kind = if atomic.fetch {
+        EventKind::FetchAtomic
+    } else {
+        EventKind::Atomic
+    };
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Match)
+            .node(core.id.nid.0)
+            .peer(h.initiator.nid.0)
+            .bytes(accepted.mlength)
+            .detail(kind.name())
+    });
+
+    let ct = state.mds.with(accepted.md, |md| md.ct).flatten();
+    // The read-modify-write, under the portal lock. Operands are small (one
+    // value per lane), so the flatten here is cheap and keeps the lane
+    // arithmetic out of the gather path.
+    let operand = atomic.payload.to_vec();
+    let old = state
+        .mds
+        .with(accepted.md, |md| {
+            md.atomic_rmw(accepted.offset, atomic.op, atomic.datatype, &operand)
+        })
+        .unwrap_or_default();
+    if accepted.mlength > 0 {
+        core.counters.payload_copies.inc();
+    }
+    core.counters.payload_messages.inc();
+    core.counters.delivered_bytes.add(accepted.mlength);
+    core.counters.requests_accepted.inc();
+    core.obs.tracer.emit(|| {
+        TraceEvent::new(Layer::Portals, Stage::Deliver)
+            .node(core.id.nid.0)
+            .peer(h.initiator.nid.0)
+            .bytes(accepted.mlength)
+            .detail(kind.name())
+    });
+    if commit_and_log(
+        core,
+        &mut list,
+        accepted,
+        h.portal_index,
+        kind,
+        h.initiator,
+        h.match_bits,
+        h.length,
+    ) {
+        core.counters.completed_bytes.add(accepted.mlength);
+    }
+    drop(list);
+
+    if atomic.fetch {
+        // The prior value travels back exactly like a get's reply and lands at
+        // offset 0 of the initiator's fetch descriptor via `handle_reply`.
+        let reply = PortalsMessage::Reply(Reply {
+            header: ResponseHeader {
+                initiator: h.target, // swapped
+                target: h.initiator,
+                portal_index: h.portal_index,
+                match_bits: h.match_bits,
+                offset: accepted.offset,
+                md_handle: atomic.reply_md,
+                eq_handle: RAW_HANDLE_NONE,
+                requested_length: h.length,
+                manipulated_length: accepted.mlength,
+            },
+            payload: Gather::from_vec(old),
+        });
+        send_message(core, node, h.initiator.nid, &reply);
+    } else if atomic.ack_md != RAW_HANDLE_NONE {
+        let ack = PortalsMessage::Ack(Ack {
+            header: ResponseHeader {
+                initiator: h.target, // swapped (§4.7)
+                target: h.initiator,
+                portal_index: h.portal_index,
+                match_bits: h.match_bits,
+                offset: accepted.offset,
+                md_handle: atomic.ack_md,
+                eq_handle: atomic.ack_eq,
+                requested_length: h.length,
+                manipulated_length: accepted.mlength,
+            },
+        });
+        send_message(core, node, h.initiator.nid, &ack);
+    }
+
     if let Some(ct) = ct {
         crate::triggered::ct_increment(core, node, ct, 1);
     }

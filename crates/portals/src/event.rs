@@ -25,6 +25,13 @@ pub enum EventKind {
     Put,
     /// Target side: a get read from one of this process's memory descriptors.
     Get,
+    /// Target side: an atomic read-modify-write landed in one of this
+    /// process's memory descriptors (extension: Portals 4 lineage,
+    /// `PTL_EVENT_ATOMIC`).
+    Atomic,
+    /// Target side: a fetching atomic read-modify-write landed and its reply
+    /// (the prior value) was sent back.
+    FetchAtomic,
     /// Initiator side: the reply to an earlier get arrived.
     Reply,
     /// Initiator side: the acknowledgment to an earlier put arrived.
@@ -48,6 +55,8 @@ impl EventKind {
         match self {
             EventKind::Put => "put",
             EventKind::Get => "get",
+            EventKind::Atomic => "atomic",
+            EventKind::FetchAtomic => "fetch_atomic",
             EventKind::Reply => "reply",
             EventKind::Ack => "ack",
             EventKind::Sent => "sent",

@@ -92,7 +92,7 @@ pub mod table;
 pub mod triggered;
 
 pub use acl::{AcEntry, AcMatch, AccessControlList, PortalMatch};
-pub use builder::{GetBuilder, PutBuilder};
+pub use builder::{AtomicBuilder, GetBuilder, PutBuilder};
 pub use counters::{DropReason, NiCounters, NiCountersSnapshot};
 pub use ct::{CountingEvent, CtValue};
 pub use event::{Event, EventKind, EventQueue};
@@ -100,9 +100,11 @@ pub use md::{CombineOp, Md, MdMemory, MdOptions, MdSpec, MdVerdict, ReqOp, Segme
 pub use me::MatchEntry;
 pub use ni::{AckRequest, NetworkInterface, NiConfig, ProgressModel, NACK_MLENGTH};
 pub use node::{Node, NodeConfig, ProcessDirectory};
+pub use portals_transport::TransportConfig;
 pub use portals_types::{
     ErrorKind, Gather, PoolClassStats, PoolSet, ProgressMode, Region, RegionPool,
 };
+pub use portals_wire::{AtomicDatatype, AtomicOp};
 pub use table::MePos;
 pub use triggered::TriggeredOp;
 

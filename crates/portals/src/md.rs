@@ -9,6 +9,7 @@
 
 use crate::{CtHandle, EqHandle};
 use portals_types::{Gather, Region};
+use portals_wire::{AtomicDatatype, AtomicOp};
 
 /// Element-wise combine applied by [`Md::deliver`] when the descriptor is a
 /// *combining* MD: incoming put payloads are folded into the region as
@@ -411,10 +412,14 @@ pub enum MdVerdict {
 /// The kind of incoming operation an MD is asked to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReqOp {
-    /// A put request wants to write.
+    /// A put request wants to write. A plain atomic also translates as a put
+    /// (it only mutates; the initiator sees nothing back but the ack).
     Put,
     /// A get request wants to read.
     Get,
+    /// A fetching atomic both reads (the prior value travels back) and
+    /// writes, so the descriptor must enable both operations.
+    FetchAtomic,
 }
 
 /// A live memory descriptor.
@@ -465,6 +470,7 @@ impl Md {
         let enabled = match op {
             ReqOp::Put => self.options.op_put,
             ReqOp::Get => self.options.op_get,
+            ReqOp::FetchAtomic => self.options.op_put && self.options.op_get,
         };
         if !enabled {
             return MdVerdict::Reject(MdReject::OpDisabled);
@@ -555,6 +561,78 @@ impl Md {
     /// Read `mlength` bytes from the region at `offset` (the get side).
     pub fn read(&self, offset: u64, mlength: u64) -> Vec<u8> {
         self.region.read(offset, mlength)
+    }
+
+    /// Apply an atomic read-modify-write at `offset` and return the *prior*
+    /// bytes. `operand` holds one value per 8-byte lane (for CAS it is
+    /// `compare ++ operand`, and the caller has validated a single lane).
+    ///
+    /// Atomicity comes from the caller, not this method: the engine holds the
+    /// portal's list lock across translation, this RMW and the event push —
+    /// the same lock that serializes put delivery — so concurrent atomics
+    /// from any number of initiators compose, which is why accumulate must
+    /// run engine-side rather than as get-modify-put from the initiator.
+    ///
+    /// CAS compares raw bytes (not float equality), so it is well-defined for
+    /// every datatype and never surprised by NaN.
+    pub fn atomic_rmw(
+        &self,
+        offset: u64,
+        op: AtomicOp,
+        datatype: AtomicDatatype,
+        operand: &[u8],
+    ) -> Vec<u8> {
+        let (compare, operand) = match op {
+            AtomicOp::Cas => operand.split_at(operand.len() / 2),
+            _ => (&[][..], operand),
+        };
+        let old = self.read(offset, operand.len() as u64);
+        let mut new = vec![0u8; operand.len()];
+        for (lane, (cur, inc)) in old.chunks_exact(8).zip(operand.chunks_exact(8)).enumerate() {
+            let at = lane * 8;
+            let out = &mut new[at..at + 8];
+            match op {
+                AtomicOp::Swap => out.copy_from_slice(inc),
+                AtomicOp::Cas => {
+                    let cmp = &compare[at..at + 8];
+                    out.copy_from_slice(if cur == cmp { inc } else { cur });
+                }
+                AtomicOp::Sum | AtomicOp::Min | AtomicOp::Max => match datatype {
+                    AtomicDatatype::U64 => {
+                        let a = u64::from_le_bytes(cur.try_into().expect("8-byte lane"));
+                        let b = u64::from_le_bytes(inc.try_into().expect("8-byte lane"));
+                        let r = match op {
+                            AtomicOp::Sum => a.wrapping_add(b),
+                            AtomicOp::Min => a.min(b),
+                            _ => a.max(b),
+                        };
+                        out.copy_from_slice(&r.to_le_bytes());
+                    }
+                    AtomicDatatype::I64 => {
+                        let a = i64::from_le_bytes(cur.try_into().expect("8-byte lane"));
+                        let b = i64::from_le_bytes(inc.try_into().expect("8-byte lane"));
+                        let r = match op {
+                            AtomicOp::Sum => a.wrapping_add(b),
+                            AtomicOp::Min => a.min(b),
+                            _ => a.max(b),
+                        };
+                        out.copy_from_slice(&r.to_le_bytes());
+                    }
+                    AtomicDatatype::F64 => {
+                        let a = f64::from_le_bytes(cur.try_into().expect("8-byte lane"));
+                        let b = f64::from_le_bytes(inc.try_into().expect("8-byte lane"));
+                        let r = match op {
+                            AtomicOp::Sum => a + b,
+                            AtomicOp::Min => a.min(b),
+                            _ => a.max(b),
+                        };
+                        out.copy_from_slice(&r.to_le_bytes());
+                    }
+                },
+            }
+        }
+        self.write(offset, &new);
+        old
     }
 
     /// Zero-copy gather of `[offset, offset + mlength)` — region views, one
@@ -915,5 +993,120 @@ mod tests {
         assert_eq!(Threshold::Count(1).decrement(), Threshold::Count(0));
         assert_eq!(Threshold::Count(0).decrement(), Threshold::Count(0));
         assert_eq!(Threshold::Infinite.decrement(), Threshold::Infinite);
+    }
+
+    #[test]
+    fn fetch_atomic_needs_both_operations_enabled() {
+        for (op_put, op_get, ok) in [
+            (true, true, true),
+            (true, false, false),
+            (false, true, false),
+        ] {
+            let md = md_with(
+                MdOptions {
+                    op_put,
+                    op_get,
+                    ..Default::default()
+                },
+                Threshold::Infinite,
+                64,
+            );
+            let verdict = md.evaluate(ReqOp::FetchAtomic, 8, 0);
+            assert_eq!(
+                matches!(verdict, MdVerdict::Accept { .. }),
+                ok,
+                "op_put={op_put} op_get={op_get}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_rmw_sum_per_datatype() {
+        let md = md_with(MdOptions::default(), Threshold::Infinite, 8);
+        md.write(0, &10u64.to_le_bytes());
+        let old = md.atomic_rmw(0, AtomicOp::Sum, AtomicDatatype::U64, &5u64.to_le_bytes());
+        assert_eq!(old, 10u64.to_le_bytes());
+        assert_eq!(md.read(0, 8), 15u64.to_le_bytes());
+
+        md.write(0, &(-4i64).to_le_bytes());
+        let old = md.atomic_rmw(0, AtomicOp::Sum, AtomicDatatype::I64, &3i64.to_le_bytes());
+        assert_eq!(old, (-4i64).to_le_bytes());
+        assert_eq!(md.read(0, 8), (-1i64).to_le_bytes());
+
+        md.write(0, &1.5f64.to_le_bytes());
+        let old = md.atomic_rmw(
+            0,
+            AtomicOp::Sum,
+            AtomicDatatype::F64,
+            &0.25f64.to_le_bytes(),
+        );
+        assert_eq!(old, 1.5f64.to_le_bytes());
+        assert_eq!(md.read(0, 8), 1.75f64.to_le_bytes());
+    }
+
+    #[test]
+    fn atomic_rmw_min_max_respect_signedness() {
+        let md = md_with(MdOptions::default(), Threshold::Infinite, 8);
+        // -1 as u64 is huge; min must differ between the signed views.
+        md.write(0, &(-1i64).to_le_bytes());
+        let _ = md.atomic_rmw(0, AtomicOp::Min, AtomicDatatype::U64, &7u64.to_le_bytes());
+        assert_eq!(md.read(0, 8), 7u64.to_le_bytes());
+
+        md.write(0, &(-1i64).to_le_bytes());
+        let _ = md.atomic_rmw(0, AtomicOp::Min, AtomicDatatype::I64, &7i64.to_le_bytes());
+        assert_eq!(md.read(0, 8), (-1i64).to_le_bytes());
+
+        md.write(0, &2.0f64.to_le_bytes());
+        let _ = md.atomic_rmw(0, AtomicOp::Max, AtomicDatatype::F64, &3.5f64.to_le_bytes());
+        assert_eq!(md.read(0, 8), 3.5f64.to_le_bytes());
+    }
+
+    #[test]
+    fn atomic_rmw_multi_lane_sum() {
+        let md = md_with(MdOptions::default(), Threshold::Infinite, 24);
+        for lane in 0..3u64 {
+            md.write(lane * 8, &(lane * 100).to_le_bytes());
+        }
+        let mut operand = Vec::new();
+        for lane in 0..3u64 {
+            operand.extend_from_slice(&(lane + 1).to_le_bytes());
+        }
+        let old = md.atomic_rmw(0, AtomicOp::Sum, AtomicDatatype::U64, &operand);
+        assert_eq!(old.len(), 24);
+        for lane in 0..3u64 {
+            let at = (lane * 8) as usize;
+            assert_eq!(old[at..at + 8], (lane * 100).to_le_bytes());
+            assert_eq!(md.read(lane * 8, 8), (lane * 100 + lane + 1).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn atomic_rmw_swap_and_cas() {
+        let md = md_with(MdOptions::default(), Threshold::Infinite, 8);
+        md.write(0, &111u64.to_le_bytes());
+        let old = md.atomic_rmw(
+            0,
+            AtomicOp::Swap,
+            AtomicDatatype::U64,
+            &222u64.to_le_bytes(),
+        );
+        assert_eq!(old, 111u64.to_le_bytes());
+        assert_eq!(md.read(0, 8), 222u64.to_le_bytes());
+
+        // CAS operand = compare ++ swap. Mismatched compare leaves the value.
+        let mut cas = Vec::new();
+        cas.extend_from_slice(&999u64.to_le_bytes());
+        cas.extend_from_slice(&333u64.to_le_bytes());
+        let old = md.atomic_rmw(0, AtomicOp::Cas, AtomicDatatype::U64, &cas);
+        assert_eq!(old, 222u64.to_le_bytes());
+        assert_eq!(md.read(0, 8), 222u64.to_le_bytes());
+
+        // Matching compare swaps.
+        let mut cas = Vec::new();
+        cas.extend_from_slice(&222u64.to_le_bytes());
+        cas.extend_from_slice(&333u64.to_le_bytes());
+        let old = md.atomic_rmw(0, AtomicOp::Cas, AtomicDatatype::U64, &cas);
+        assert_eq!(old, 222u64.to_le_bytes());
+        assert_eq!(md.read(0, 8), 333u64.to_le_bytes());
     }
 }

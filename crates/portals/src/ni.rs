@@ -37,7 +37,7 @@
 //! exactly the lock the engine holds for the whole of a put/get delivery.
 
 use crate::acl::{AcEntry, AccessControlList, AclReject, InitiatorClass};
-use crate::builder::{GetBuilder, PutBuilder};
+use crate::builder::{AtomicBuilder, GetBuilder, PutBuilder};
 use crate::counters::{DropReason, NiCounters, NiCountersSnapshot};
 use crate::ct::{CountingEvent, CtValue};
 use crate::engine;
@@ -53,7 +53,10 @@ use portals_obs::{Layer, Obs, Stage, TraceEvent};
 use portals_types::{
     Gather, MatchBits, MatchCriteria, NiLimits, ProcessId, PtlError, PtlResult, Readiness, Sharded,
 };
-use portals_wire::{GetRequest, PortalsMessage, PutRequest, RequestHeader, RAW_HANDLE_NONE};
+use portals_wire::{
+    AtomicDatatype, AtomicOp, AtomicRequest, GetRequest, PortalsMessage, PutRequest, RequestHeader,
+    RAW_HANDLE_NONE,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -681,6 +684,17 @@ impl NetworkInterface {
         GetBuilder::new(self, md)
     }
 
+    /// Start building an atomic read-modify-write whose operand comes from
+    /// this MD's region: name the target, operation, datatype and (for a
+    /// fetching atomic) the descriptor the prior value lands in, then
+    /// [`AtomicBuilder::submit`]. Spec lineage: Portals 4 `PtlAtomic` /
+    /// `PtlFetchAtomic` — the RMW executes in the *target's* engine, so
+    /// concurrent atomics from many initiators compose without any code
+    /// running in the target process.
+    pub fn atomic_op(&self, md: MdHandle) -> AtomicBuilder<'_> {
+        AtomicBuilder::new(self, md)
+    }
+
     // ----- counting events & triggered operations ---------------------------
 
     /// Allocate a counting event (spec lineage: `PtlCTAlloc`).
@@ -1136,6 +1150,120 @@ pub(crate) fn do_get(
             length,
         },
         reply_md: md.to_raw(),
+    });
+    transmit(
+        core,
+        node,
+        target,
+        msg,
+        md,
+        eq,
+        match_bits,
+        portal_index,
+        length,
+    )
+}
+
+/// The body of [`NetworkInterface::atomic_op`]'s submit. `md` is the operand
+/// source (for CAS its region holds `compare ++ operand`); `fetch_md`, when
+/// set, turns the operation into a fetching atomic whose reply — the prior
+/// value — lands at offset 0 of that descriptor through the ordinary
+/// [`engine::handle_reply`] path, pinning it (`pending_ops`) exactly like a
+/// get pins its reply descriptor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn do_atomic(
+    core: &NiCore,
+    node: &NodeShared,
+    md: MdHandle,
+    fetch_md: Option<MdHandle>,
+    ack: AckRequest,
+    op: AtomicOp,
+    datatype: AtomicDatatype,
+    target: ProcessId,
+    portal_index: u32,
+    cookie: u32,
+    match_bits: MatchBits,
+    remote_offset: u64,
+    length: u64,
+) -> PtlResult<()> {
+    if target.has_wildcard() {
+        return Err(PtlError::InvalidProcess);
+    }
+    // Reject bad lane geometry at the initiator — the target would only drop
+    // it (`DropReason::AtomicInvalid`), and a local error is debuggable.
+    let lane = AtomicDatatype::WIDTH;
+    if length == 0 || length % lane != 0 || (op == AtomicOp::Cas && length != lane) {
+        return Err(PtlError::InvalidArgument);
+    }
+    let operand_len = op.operand_len(length);
+    if length as usize > core.config.limits.max_message_size {
+        return Err(PtlError::LimitExceeded);
+    }
+    // Pin the fetch descriptor first so its reply slot cannot vanish; undo if
+    // the operand source then refuses.
+    if let Some(f) = fetch_md {
+        core.state
+            .mds
+            .with_mut(f, |m| m.pending_ops += 1)
+            .ok_or(PtlError::InvalidMd)?;
+    }
+    let sourced = core
+        .state
+        .mds
+        .with_mut(md, |mdr| {
+            if !mdr.threshold.active() {
+                return Err(PtlError::InvalidMd);
+            }
+            if (mdr.len() as u64) < operand_len {
+                return Err(PtlError::InvalidArgument);
+            }
+            mdr.threshold = mdr.threshold.decrement();
+            let payload = if core.config.region_buffers {
+                mdr.payload_gather(0, operand_len)
+            } else {
+                if operand_len > 0 {
+                    core.counters.payload_copies.inc();
+                }
+                Gather::from_vec(mdr.read(0, operand_len))
+            };
+            Ok((payload, mdr.eq))
+        })
+        .ok_or(PtlError::InvalidMd)
+        .and_then(|r| r);
+    let (payload, eq) = match sourced {
+        Ok(v) => v,
+        Err(e) => {
+            if let Some(f) = fetch_md {
+                core.state
+                    .mds
+                    .with_mut(f, |m| m.pending_ops = m.pending_ops.saturating_sub(1));
+            }
+            return Err(e);
+        }
+    };
+
+    let (ack_md, ack_eq) = match (fetch_md, ack) {
+        // A fetching atomic completes through its reply, never an ack.
+        (Some(_), _) | (None, AckRequest::NoAck) => (RAW_HANDLE_NONE, RAW_HANDLE_NONE),
+        (None, AckRequest::Ack) => (md.to_raw(), eq.map_or(RAW_HANDLE_NONE, |e| e.to_raw())),
+    };
+    let msg = PortalsMessage::Atomic(AtomicRequest {
+        header: RequestHeader {
+            initiator: core.id,
+            target,
+            portal_index,
+            cookie,
+            match_bits,
+            offset: remote_offset,
+            length,
+        },
+        op,
+        datatype,
+        fetch: fetch_md.is_some(),
+        ack_md,
+        ack_eq,
+        reply_md: fetch_md.map_or(RAW_HANDLE_NONE, |f| f.to_raw()),
+        payload,
     });
     transmit(
         core,

@@ -28,8 +28,9 @@
 pub use crate::ni::{AckRequest, NetworkInterface, NiConfig, ProgressModel, NACK_MLENGTH};
 pub use crate::node::{Node, NodeConfig, ProcessDirectory};
 
-// Data movement: op-spec builders.
-pub use crate::builder::{GetBuilder, PutBuilder};
+// Data movement: op-spec builders and the atomic vocabulary.
+pub use crate::builder::{AtomicBuilder, GetBuilder, PutBuilder};
+pub use portals_wire::{AtomicDatatype, AtomicOp};
 
 // Memory descriptors, match entries, portal-table placement.
 pub use crate::md::{CombineOp, MdOptions, MdSpec, ReqOp, Threshold};

@@ -1149,3 +1149,200 @@ fn wait_for(cond: impl Fn() -> bool) {
         std::thread::sleep(Duration::from_millis(1));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Atomic operations (Portals 4 `PtlAtomic`/`PtlFetchAtomic` lineage)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn atomic_sum_applies_at_target_and_acks() {
+    use portals::{AtomicDatatype, AtomicOp};
+    let fabric = Fabric::ideal();
+    let (na, nb) = two_nodes(&fabric);
+    let a = default_ni(&na);
+    let b = default_ni(&nb);
+
+    let (_, _, eq, buf) = listen(&b, 0, MatchCriteria::exact(MatchBits::new(9)), 8);
+    buf.write(0, &100u64.to_le_bytes());
+
+    let src_eq = a.eq_alloc(8).unwrap();
+    let operand = Region::from_vec(7u64.to_le_bytes().to_vec());
+    let md = a.md_bind(MdSpec::new(operand).with_eq(src_eq)).unwrap();
+    a.atomic_op(md)
+        .target(b.id(), 0)
+        .bits(MatchBits::new(9))
+        .op(AtomicOp::Sum)
+        .datatype(AtomicDatatype::U64)
+        .ack(AckRequest::Ack)
+        .submit()
+        .unwrap();
+
+    let ev = wait_for_kind(&b, eq, EventKind::Atomic);
+    assert_eq!(ev.rlength, 8);
+    assert_eq!(ev.mlength, 8);
+    assert_eq!(buf.read_vec(0, 8), 107u64.to_le_bytes());
+    let ack = wait_for_kind(&a, src_eq, EventKind::Ack);
+    assert_eq!(ack.mlength, 8);
+}
+
+#[test]
+fn fetch_atomic_returns_prior_value() {
+    use portals::{AtomicDatatype, AtomicOp};
+    let fabric = Fabric::ideal();
+    let (na, nb) = two_nodes(&fabric);
+    let a = default_ni(&na);
+    let b = default_ni(&nb);
+
+    let (_, _, eq, buf) = listen(&b, 0, MatchCriteria::exact(MatchBits::new(4)), 8);
+    buf.write(0, &41u64.to_le_bytes());
+
+    let fetch_eq = a.eq_alloc(8).unwrap();
+    let fetch_buf = Region::zeroed(8);
+    let fetch = a
+        .md_bind(MdSpec::new(fetch_buf.clone()).with_eq(fetch_eq))
+        .unwrap();
+    let operand = Region::from_vec(1u64.to_le_bytes().to_vec());
+    let md = a.md_bind(MdSpec::new(operand)).unwrap();
+    a.atomic_op(md)
+        .target(b.id(), 0)
+        .bits(MatchBits::new(4))
+        .op(AtomicOp::Sum)
+        .datatype(AtomicDatatype::U64)
+        .fetch(fetch)
+        .submit()
+        .unwrap();
+
+    let ev = wait_for_kind(&b, eq, EventKind::FetchAtomic);
+    assert_eq!(ev.mlength, 8);
+    let reply = wait_for_kind(&a, fetch_eq, EventKind::Reply);
+    assert_eq!(reply.mlength, 8);
+    assert_eq!(fetch_buf.read_vec(0, 8), 41u64.to_le_bytes());
+    assert_eq!(buf.read_vec(0, 8), 42u64.to_le_bytes());
+}
+
+#[test]
+fn compare_and_swap_round_trip() {
+    use portals::{AtomicDatatype, AtomicOp};
+    let fabric = Fabric::ideal();
+    let (na, nb) = two_nodes(&fabric);
+    let a = default_ni(&na);
+    let b = default_ni(&nb);
+
+    let (_, _, _eq, buf) = listen(&b, 0, MatchCriteria::exact(MatchBits::new(1)), 8);
+    buf.write(0, &5u64.to_le_bytes());
+
+    let fetch_eq = a.eq_alloc(8).unwrap();
+    let fetch_buf = Region::zeroed(8);
+    let fetch = a
+        .md_bind(MdSpec::new(fetch_buf.clone()).with_eq(fetch_eq))
+        .unwrap();
+    // compare = 5 (matches), swap in 77.
+    let mut cas = 5u64.to_le_bytes().to_vec();
+    cas.extend_from_slice(&77u64.to_le_bytes());
+    let md = a.md_bind(MdSpec::new(Region::from_vec(cas))).unwrap();
+    a.atomic_op(md)
+        .target(b.id(), 0)
+        .bits(MatchBits::new(1))
+        .op(AtomicOp::Cas)
+        .datatype(AtomicDatatype::U64)
+        .fetch(fetch)
+        .submit()
+        .unwrap();
+    wait_for_kind(&a, fetch_eq, EventKind::Reply);
+    assert_eq!(fetch_buf.read_vec(0, 8), 5u64.to_le_bytes());
+    assert_eq!(buf.read_vec(0, 8), 77u64.to_le_bytes());
+
+    // Second CAS with a stale compare must fail and return the current value.
+    let mut stale = 5u64.to_le_bytes().to_vec();
+    stale.extend_from_slice(&99u64.to_le_bytes());
+    let fetch_buf2 = Region::zeroed(8);
+    let fetch2 = a
+        .md_bind(MdSpec::new(fetch_buf2.clone()).with_eq(fetch_eq))
+        .unwrap();
+    let md2 = a.md_bind(MdSpec::new(Region::from_vec(stale))).unwrap();
+    a.atomic_op(md2)
+        .target(b.id(), 0)
+        .bits(MatchBits::new(1))
+        .op(AtomicOp::Cas)
+        .datatype(AtomicDatatype::U64)
+        .fetch(fetch2)
+        .submit()
+        .unwrap();
+    wait_for_kind(&a, fetch_eq, EventKind::Reply);
+    assert_eq!(fetch_buf2.read_vec(0, 8), 77u64.to_le_bytes());
+    assert_eq!(buf.read_vec(0, 8), 77u64.to_le_bytes());
+}
+
+#[test]
+fn atomic_geometry_is_validated_at_both_ends() {
+    use portals::{AtomicDatatype, AtomicOp};
+    let fabric = Fabric::ideal();
+    let (na, nb) = two_nodes(&fabric);
+    let a = default_ni(&na);
+    let b = default_ni(&nb);
+
+    // Initiator-side: zero length, non-lane-multiple length, multi-lane CAS.
+    let md = a.md_bind(MdSpec::new(Region::zeroed(32))).unwrap();
+    for (op, len) in [(AtomicOp::Sum, 0), (AtomicOp::Sum, 12), (AtomicOp::Cas, 16)] {
+        let err = a
+            .atomic_op(md)
+            .target(b.id(), 0)
+            .op(op)
+            .length(len)
+            .submit()
+            .unwrap_err();
+        assert_eq!(err, PtlError::InvalidArgument, "{op:?} len {len}");
+    }
+
+    // Target-side: a descriptor that would truncate the RMW (8-byte region,
+    // 16-byte atomic) must drop with AtomicInvalid — never half-apply.
+    let (_, _, _eq, buf) = listen(&b, 0, MatchCriteria::any(), 8);
+    buf.write(0, &3u64.to_le_bytes());
+    let wide = a
+        .md_bind(MdSpec::new(Region::from_vec(vec![1u8; 16])))
+        .unwrap();
+    a.atomic_op(wide)
+        .target(b.id(), 0)
+        .op(AtomicOp::Sum)
+        .datatype(AtomicDatatype::U64)
+        .length(16)
+        .submit()
+        .unwrap();
+    wait_for(|| b.counters().dropped(DropReason::AtomicInvalid) == 1);
+    assert_eq!(buf.read_vec(0, 8), 3u64.to_le_bytes());
+}
+
+#[test]
+fn concurrent_atomic_sums_from_two_initiators_serialize() {
+    use portals::{AtomicDatatype, AtomicOp};
+    let fabric = Fabric::ideal();
+    let nodes: Vec<Node> = (0..3)
+        .map(|i| Node::new(fabric.attach(NodeId(i)), NodeConfig::default()))
+        .collect();
+    let target = default_ni(&nodes[0]);
+    let (_, _, _eq, buf) = listen(&target, 0, MatchCriteria::any(), 8);
+
+    const PER_INITIATOR: u64 = 200;
+    let tid = target.id();
+    std::thread::scope(|s| {
+        for node in &nodes[1..] {
+            s.spawn(move || {
+                let ni = default_ni(node);
+                let src_eq = ni.eq_alloc(16).unwrap();
+                let operand = Region::from_vec(1u64.to_le_bytes().to_vec());
+                let md = ni.md_bind(MdSpec::new(operand).with_eq(src_eq)).unwrap();
+                for _ in 0..PER_INITIATOR {
+                    ni.atomic_op(md)
+                        .target(tid, 0)
+                        .op(AtomicOp::Sum)
+                        .datatype(AtomicDatatype::U64)
+                        .ack(AckRequest::Ack)
+                        .submit()
+                        .unwrap();
+                    wait_for_kind(&ni, src_eq, EventKind::Ack);
+                }
+            });
+        }
+    });
+    assert_eq!(buf.read_vec(0, 8), (2 * PER_INITIATOR).to_le_bytes());
+}

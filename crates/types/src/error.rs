@@ -114,6 +114,8 @@ pub enum WireError {
     },
     /// First byte is not a known operation code.
     UnknownOperation(u8),
+    /// Atomic request carried an unknown op or datatype byte.
+    UnknownAtomic(u8),
     /// Unknown packet kind byte.
     UnknownPacketKind(u8),
     /// Declared payload length disagrees with the buffer.
@@ -142,6 +144,7 @@ impl fmt::Display for WireError {
                 write!(f, "truncated buffer: need {needed} bytes, have {available}")
             }
             WireError::UnknownOperation(b) => write!(f, "unknown operation code {b:#04x}"),
+            WireError::UnknownAtomic(b) => write!(f, "unknown atomic op/datatype byte {b:#04x}"),
             WireError::UnknownPacketKind(b) => write!(f, "unknown packet kind {b:#04x}"),
             WireError::LengthMismatch { declared, actual } => {
                 write!(

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ack;
+pub mod atomic;
 pub mod checksum;
 pub mod error;
 pub mod get;
@@ -34,6 +35,7 @@ pub mod put;
 pub mod reply;
 
 pub use ack::Ack;
+pub use atomic::{AtomicDatatype, AtomicOp, AtomicRequest};
 pub use error::WireError;
 pub use get::GetRequest;
 pub use header::{RawHandle, RequestHeader, ResponseHeader, RAW_HANDLE_NONE};

@@ -4,6 +4,7 @@
 //! or corrupted traffic) selects among the four §4.6 message types.
 
 use crate::ack::Ack;
+use crate::atomic::AtomicRequest;
 use crate::error::WireError;
 use crate::get::GetRequest;
 use crate::header::{RequestHeader, ResponseHeader};
@@ -16,7 +17,7 @@ use portals_types::{Gather, ProcessId};
 /// Magic byte identifying Portals 3.0 traffic ('P' ^ 0x30).
 const MAGIC: u8 = b'P' ^ 0x30;
 
-/// Any of the four Portals messages, ready for the wire.
+/// Any of the Portals messages, ready for the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PortalsMessage {
     /// Table 1.
@@ -27,6 +28,9 @@ pub enum PortalsMessage {
     Get(GetRequest),
     /// Table 4.
     Reply(Reply),
+    /// Atomic extension: plain or fetching read-modify-write (the
+    /// [`AtomicRequest::fetch`] flag selects the operation byte).
+    Atomic(AtomicRequest),
 }
 
 /// What the fixed-size prefix of an incoming message identifies, for
@@ -50,7 +54,8 @@ pub enum StreamHead {
         /// The response header.
         header: ResponseHeader,
     },
-    /// An ack or get: fixed-size messages with no payload to stream.
+    /// An ack, get, or atomic: messages whose whole body (operands included)
+    /// is small enough to dispatch without streaming.
     Other,
 }
 
@@ -101,7 +106,10 @@ impl PortalsMessage {
                 let header = Reply::decode_fields(body)?;
                 Some(StreamHead::Reply { header })
             }
-            Operation::Ack | Operation::GetRequest => Some(StreamHead::Other),
+            Operation::Ack
+            | Operation::GetRequest
+            | Operation::AtomicRequest
+            | Operation::FetchAtomicRequest => Some(StreamHead::Other),
         })
     }
 
@@ -112,6 +120,8 @@ impl PortalsMessage {
             PortalsMessage::Ack(_) => Operation::Ack,
             PortalsMessage::Get(_) => Operation::GetRequest,
             PortalsMessage::Reply(_) => Operation::Reply,
+            PortalsMessage::Atomic(m) if m.fetch => Operation::FetchAtomicRequest,
+            PortalsMessage::Atomic(_) => Operation::AtomicRequest,
         }
     }
 
@@ -123,6 +133,8 @@ impl PortalsMessage {
             PortalsMessage::Ack(_) => "ack",
             PortalsMessage::Get(_) => "get",
             PortalsMessage::Reply(_) => "reply",
+            PortalsMessage::Atomic(m) if m.fetch => "fetch_atomic",
+            PortalsMessage::Atomic(_) => "atomic",
         }
     }
 
@@ -136,6 +148,7 @@ impl PortalsMessage {
             PortalsMessage::Ack(m) => m.header.target,
             PortalsMessage::Get(m) => m.header.target,
             PortalsMessage::Reply(m) => m.header.target,
+            PortalsMessage::Atomic(m) => m.header.target,
         }
     }
 
@@ -146,6 +159,7 @@ impl PortalsMessage {
             PortalsMessage::Ack(m) => m.header.initiator,
             PortalsMessage::Get(m) => m.header.initiator,
             PortalsMessage::Reply(m) => m.header.initiator,
+            PortalsMessage::Atomic(m) => m.header.initiator,
         }
     }
 
@@ -160,6 +174,7 @@ impl PortalsMessage {
             PortalsMessage::Ack(m) => m.encode_body(&mut buf),
             PortalsMessage::Get(m) => m.encode_body(&mut buf),
             PortalsMessage::Reply(m) => m.encode_body(&mut buf),
+            PortalsMessage::Atomic(m) => m.encode_body(&mut buf),
         }
         buf.freeze()
     }
@@ -187,6 +202,10 @@ impl PortalsMessage {
                 m.header.encode(&mut hdr);
                 Some(&m.payload)
             }
+            PortalsMessage::Atomic(m) => {
+                m.encode_header(&mut hdr);
+                Some(&m.payload)
+            }
         };
         let mut out = Gather::from_bytes(hdr.freeze());
         if let Some(p) = payload {
@@ -195,11 +214,13 @@ impl PortalsMessage {
         out
     }
 
-    /// Payload bytes this message carries (0 for ack/get).
+    /// Payload bytes this message carries (0 for ack/get; operand bytes for
+    /// atomics).
     pub fn payload_len(&self) -> usize {
         match self {
             PortalsMessage::Put(m) => m.payload.len(),
             PortalsMessage::Reply(m) => m.payload.len(),
+            PortalsMessage::Atomic(m) => m.payload.len(),
             PortalsMessage::Ack(_) | PortalsMessage::Get(_) => 0,
         }
     }
@@ -212,6 +233,7 @@ impl PortalsMessage {
                 PortalsMessage::Ack(_) => Ack::WIRE_SIZE,
                 PortalsMessage::Get(_) => GetRequest::WIRE_SIZE,
                 PortalsMessage::Reply(m) => Reply::WIRE_HEADER_SIZE + m.payload.len(),
+                PortalsMessage::Atomic(m) => AtomicRequest::WIRE_HEADER_SIZE + m.payload.len(),
             }
     }
 
@@ -272,6 +294,28 @@ impl PortalsMessage {
                     payload: buf.slice(at, declared),
                 })
             }
+            Operation::AtomicRequest | Operation::FetchAtomicRequest => {
+                let (header, aop, datatype, ack_md, ack_eq, reply_md) =
+                    AtomicRequest::decode_fields(body)?;
+                let at = payload_at(AtomicRequest::WIRE_HEADER_SIZE);
+                let declared = aop.operand_len(header.length) as usize;
+                if buf.len() - at != declared {
+                    return Err(WireError::LengthMismatch {
+                        declared,
+                        actual: buf.len() - at,
+                    });
+                }
+                PortalsMessage::Atomic(AtomicRequest {
+                    header,
+                    op: aop,
+                    datatype,
+                    fetch: op == Operation::FetchAtomicRequest,
+                    ack_md,
+                    ack_eq,
+                    reply_md,
+                    payload: buf.slice(at, declared),
+                })
+            }
         })
     }
 
@@ -293,6 +337,12 @@ impl PortalsMessage {
             Operation::Ack => PortalsMessage::Ack(Ack::decode_body(body)?),
             Operation::GetRequest => PortalsMessage::Get(GetRequest::decode_body(body)?),
             Operation::Reply => PortalsMessage::Reply(Reply::decode_body(body)?),
+            Operation::AtomicRequest => {
+                PortalsMessage::Atomic(AtomicRequest::decode_body(body, false)?)
+            }
+            Operation::FetchAtomicRequest => {
+                PortalsMessage::Atomic(AtomicRequest::decode_body(body, true)?)
+            }
         })
     }
 }
@@ -348,6 +398,26 @@ mod tests {
             PortalsMessage::Reply(Reply {
                 header: resp_header(4, 4),
                 payload: Gather::copy_from_slice(b"wxyz"),
+            }),
+            PortalsMessage::Atomic(AtomicRequest {
+                header: req_header(8),
+                op: crate::atomic::AtomicOp::Sum,
+                datatype: crate::atomic::AtomicDatatype::U64,
+                fetch: false,
+                ack_md: 1,
+                ack_eq: 2,
+                reply_md: RAW_HANDLE_NONE,
+                payload: Gather::copy_from_slice(&7u64.to_le_bytes()),
+            }),
+            PortalsMessage::Atomic(AtomicRequest {
+                header: req_header(8),
+                op: crate::atomic::AtomicOp::Cas,
+                datatype: crate::atomic::AtomicDatatype::I64,
+                fetch: true,
+                ack_md: RAW_HANDLE_NONE,
+                ack_eq: RAW_HANDLE_NONE,
+                reply_md: 6,
+                payload: Gather::copy_from_slice(&[9u8; 16]),
             }),
         ]
     }
@@ -405,6 +475,18 @@ mod tests {
     }
 
     #[test]
+    fn atomic_fixed_header_fits_the_classification_prefix() {
+        // peek_stream_head promises MAX_FIXED bytes classify anything; the
+        // atomic header must stay inside that budget.
+        const {
+            assert!(
+                PortalsMessage::ENVELOPE_SIZE + AtomicRequest::WIRE_HEADER_SIZE
+                    <= PortalsMessage::MAX_FIXED
+            );
+        }
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let m = PortalsMessage::Get(GetRequest {
             header: req_header(0),
@@ -457,7 +539,8 @@ mod tests {
                     assert_eq!(header, r.header);
                 }
                 (PortalsMessage::Ack(_), StreamHead::Other)
-                | (PortalsMessage::Get(_), StreamHead::Other) => {}
+                | (PortalsMessage::Get(_), StreamHead::Other)
+                | (PortalsMessage::Atomic(_), StreamHead::Other) => {}
                 (m, h) => panic!("misclassified {m:?} as {h:?}"),
             }
         }
@@ -528,7 +611,7 @@ mod tests {
 
         #[test]
         fn decode_garbage_with_valid_envelope_never_panics(
-            op in 0u8..6, body in proptest::collection::vec(any::<u8>(), 0..256)
+            op in 0u8..8, body in proptest::collection::vec(any::<u8>(), 0..256)
         ) {
             let mut buf = vec![MAGIC, op];
             buf.extend_from_slice(&body);

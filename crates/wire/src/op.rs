@@ -3,7 +3,9 @@
 use crate::error::WireError;
 
 /// The four Portals message types (§4.6: "The Portals API uses four types of
-/// messages: put requests, acknowledgments, get requests, and replies").
+/// messages: put requests, acknowledgments, get requests, and replies"), plus
+/// the atomic extension (Portals 4 lineage: `PtlAtomic`/`PtlFetchAtomic`)
+/// carrying a target-side read-modify-write request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Operation {
@@ -15,6 +17,12 @@ pub enum Operation {
     GetRequest = 0x03,
     /// The reply carrying data back to a get's initiator (Table 4).
     Reply = 0x04,
+    /// An atomic request: operand in, read-modify-write at the target, no
+    /// value returned (acked like a put).
+    AtomicRequest = 0x05,
+    /// A fetching atomic request: operand in, prior value returned via a
+    /// reply (like a get).
+    FetchAtomicRequest = 0x06,
 }
 
 impl Operation {
@@ -25,6 +33,8 @@ impl Operation {
             0x02 => Ok(Operation::Ack),
             0x03 => Ok(Operation::GetRequest),
             0x04 => Ok(Operation::Reply),
+            0x05 => Ok(Operation::AtomicRequest),
+            0x06 => Ok(Operation::FetchAtomicRequest),
             other => Err(WireError::UnknownOperation(other)),
         }
     }
@@ -61,6 +71,8 @@ mod tests {
             Operation::Ack,
             Operation::GetRequest,
             Operation::Reply,
+            Operation::AtomicRequest,
+            Operation::FetchAtomicRequest,
         ] {
             assert_eq!(Operation::from_byte(op.to_byte()).unwrap(), op);
         }
@@ -82,6 +94,8 @@ mod tests {
     fn request_response_split_matches_section_4_8() {
         assert!(Operation::PutRequest.is_request());
         assert!(Operation::GetRequest.is_request());
+        assert!(Operation::AtomicRequest.is_request());
+        assert!(Operation::FetchAtomicRequest.is_request());
         assert!(Operation::Ack.is_response());
         assert!(Operation::Reply.is_response());
     }

@@ -43,8 +43,14 @@ fn main() {
         }
     });
 
-    let results = Job::launch_distributed(&dist, config, |env| {
-        let transcript = workload::run(&env);
+    // `PORTALS_WORKLOAD` selects the script: the full multi-protocol run
+    // (default) or the one-sided RMA phase alone.
+    let script = std::env::var("PORTALS_WORKLOAD").unwrap_or_default();
+    let results = Job::launch_distributed(&dist, config, move |env| {
+        let transcript = match script.as_str() {
+            "rma" => workload::run_rma(&env),
+            _ => workload::run(&env),
+        };
         (env.rank().0, transcript, env.node.transport_stats())
     });
 

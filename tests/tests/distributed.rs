@@ -34,13 +34,16 @@ struct Wire {
 }
 
 /// Launch `nprocs` helper processes × `procs_per_node` ranks over loopback
-/// UDP and harvest their transcripts.
-fn run_distributed(
+/// UDP and harvest their transcripts. `script` selects the workload the
+/// helper runs: "full" (every protocol phase) or "rma" (the one-sided phase
+/// alone).
+fn run_distributed_script(
     nprocs: u32,
     procs_per_node: usize,
     loss: f64,
     job: &str,
     wire: Wire,
+    script: &str,
 ) -> DistRun {
     let server = RendezvousServer::bind("127.0.0.1:0").expect("bind rendezvous");
     let out_dir = std::env::temp_dir().join(format!("portals-dist-{job}-{}", std::process::id()));
@@ -59,6 +62,7 @@ fn run_distributed(
                 .env("PORTALS_UDP_SEED", "12345")
                 .env("PORTALS_TIMEOUT_SECS", "120")
                 .env("PORTALS_OUT_DIR", &out_dir)
+                .env("PORTALS_WORKLOAD", script)
                 .stdout(std::process::Stdio::piped())
                 .stderr(std::process::Stdio::inherit());
             if let Some(batch) = wire.batch {
@@ -158,6 +162,16 @@ fn wait_all_with_deadline(children: Vec<Child>, deadline: Instant) -> Vec<Vec<u8
     }
 }
 
+fn run_distributed(
+    nprocs: u32,
+    procs_per_node: usize,
+    loss: f64,
+    job: &str,
+    wire: Wire,
+) -> DistRun {
+    run_distributed_script(nprocs, procs_per_node, loss, job, wire, "full")
+}
+
 /// The same workload through the in-process launcher: rank -> transcript.
 fn run_local(world: usize, procs_per_node: usize) -> HashMap<u32, Vec<u8>> {
     let config = JobConfig {
@@ -165,6 +179,16 @@ fn run_local(world: usize, procs_per_node: usize) -> HashMap<u32, Vec<u8>> {
         ..Default::default()
     };
     let results = Job::launch(world, config, |env| (env.rank().0, workload::run(&env)));
+    results.into_iter().collect()
+}
+
+/// The RMA-only workload through the in-process launcher.
+fn run_local_rma(world: usize, procs_per_node: usize) -> HashMap<u32, Vec<u8>> {
+    let config = JobConfig {
+        procs_per_node,
+        ..Default::default()
+    };
+    let results = Job::launch(world, config, |env| (env.rank().0, workload::run_rma(&env)));
     results.into_iter().collect()
 }
 
@@ -284,6 +308,40 @@ fn batched_lossy_wire_matches_and_retransmits() {
     assert!(
         unbatched.retransmissions > 0,
         "10% loss over the unbatched wire must force retransmissions"
+    );
+}
+
+#[test]
+fn rma_two_ranks_match_in_process_launch() {
+    // The one-sided phase alone: halo puts, contended engine-side atomics,
+    // CAS, and a notified put over real loopback UDP must reproduce the
+    // in-process transcripts byte for byte.
+    let dist = run_distributed_script(2, 1, 0.0, "rma2x1", Wire::default(), "rma");
+    let local = run_local_rma(2, 1);
+    assert_identical(2, &dist, &local);
+}
+
+#[test]
+fn rma_four_ranks_match_in_process_launch() {
+    // 2 OS processes × 2 ranks: the contended counter takes accumulates both
+    // from the wire and from node-local ranks; serialization under the
+    // target's portal lock must make the interleavings invisible.
+    let dist = run_distributed_script(2, 2, 0.0, "rma2x2", Wire::default(), "rma");
+    let local = run_local_rma(4, 2);
+    assert_identical(4, &dist, &local);
+}
+
+#[test]
+fn rma_lossy_udp_matches_and_retransmits() {
+    // 10% seeded datagram loss under the atomic traffic: retransmitted
+    // atomic requests must not double-apply (go-back-N replays are filtered
+    // below the engine), and the transcripts must still match.
+    let dist = run_distributed_script(2, 1, 0.10, "rmaloss", Wire::default(), "rma");
+    let local = run_local_rma(2, 1);
+    assert_identical(2, &dist, &local);
+    assert!(
+        dist.retransmissions > 0,
+        "10% loss must force retransmissions under RMA traffic"
     );
 }
 
